@@ -1,0 +1,278 @@
+//! Servo-hydraulic actuator emulation.
+//!
+//! The UIUC and CU rigs positioned their specimens with servo-hydraulic
+//! actuators under closed-loop displacement control. The emulation captures
+//! the dynamics the coordinator *observes*: commanded moves take real
+//! (virtual) time set by valve lag and velocity saturation, achieved
+//! positions settle within a tolerance band, and hardware limits (stroke,
+//! velocity) are enforced — exceeding them trips a fault rather than
+//! silently clipping, because §4's safety story depends on refusal, not
+//! accommodation.
+//!
+//! Model: proportional closed loop with a first-order valve,
+//! `v' = (clamp(Kp·(r − x)) − v)/τ_v`, `x' = v`, integrated at a fixed
+//! internal tick in virtual time.
+
+use neesgrid_gridsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Actuator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActuatorConfig {
+    /// Stroke limit, m (symmetric: position must stay in ±stroke).
+    pub stroke_m: f64,
+    /// Velocity saturation, m/s.
+    pub max_velocity_mps: f64,
+    /// Proportional gain, 1/s.
+    pub kp: f64,
+    /// Valve time constant, s.
+    pub valve_tau_s: f64,
+    /// Settle tolerance, m.
+    pub tolerance_m: f64,
+    /// Internal integration tick, s.
+    pub tick_s: f64,
+    /// Give up if a move takes longer than this (virtual), s.
+    pub move_timeout_s: f64,
+}
+
+impl ActuatorConfig {
+    /// A 100 kN-class laboratory actuator: ±75 mm stroke, 10 mm/s.
+    pub fn lab_100kn() -> Self {
+        ActuatorConfig {
+            stroke_m: 0.075,
+            max_velocity_mps: 0.010,
+            kp: 8.0,
+            valve_tau_s: 0.05,
+            tolerance_m: 2e-5,
+            tick_s: 0.001,
+            move_timeout_s: 120.0,
+        }
+    }
+}
+
+/// Faults an actuator can raise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActuatorFault {
+    /// Commanded target outside the stroke limit.
+    StrokeLimit {
+        /// The offending target, m.
+        target_m: f64,
+        /// The limit, m.
+        limit_m: f64,
+    },
+    /// The move did not settle within the configured timeout.
+    MoveTimeout {
+        /// Position reached when the watchdog fired, m.
+        position_m: f64,
+    },
+    /// The actuator is latched in emergency stop.
+    EmergencyStop,
+}
+
+impl std::fmt::Display for ActuatorFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActuatorFault::StrokeLimit { target_m, limit_m } => {
+                write!(f, "target {target_m} m outside stroke ±{limit_m} m")
+            }
+            ActuatorFault::MoveTimeout { position_m } => {
+                write!(f, "move timed out at {position_m} m")
+            }
+            ActuatorFault::EmergencyStop => write!(f, "actuator in emergency stop"),
+        }
+    }
+}
+
+impl std::error::Error for ActuatorFault {}
+
+/// Result of a completed move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoveOutcome {
+    /// Position achieved, m.
+    pub position_m: f64,
+    /// Virtual time the ramp + settle took.
+    pub duration: SimTime,
+    /// Peak velocity reached during the move, m/s.
+    pub peak_velocity_mps: f64,
+    /// Peak transient overshoot beyond the target, m.
+    pub overshoot_m: f64,
+}
+
+/// An emulated servo-hydraulic actuator.
+#[derive(Debug, Clone)]
+pub struct ServoHydraulicActuator {
+    config: ActuatorConfig,
+    position_m: f64,
+    velocity_mps: f64,
+    estopped: bool,
+}
+
+impl ServoHydraulicActuator {
+    /// A parked actuator at mid-stroke.
+    pub fn new(config: ActuatorConfig) -> Self {
+        assert!(config.stroke_m > 0.0 && config.tick_s > 0.0);
+        ServoHydraulicActuator {
+            config,
+            position_m: 0.0,
+            velocity_mps: 0.0,
+            estopped: false,
+        }
+    }
+
+    /// Current ram position, m.
+    pub fn position(&self) -> f64 {
+        self.position_m
+    }
+
+    /// Latch the emergency stop (releases hydraulic pressure).
+    pub fn emergency_stop(&mut self) {
+        self.estopped = true;
+        self.velocity_mps = 0.0;
+    }
+
+    /// Release a latched emergency stop (operator action).
+    pub fn reset_estop(&mut self) {
+        self.estopped = false;
+    }
+
+    /// Whether the e-stop is latched.
+    pub fn is_estopped(&self) -> bool {
+        self.estopped
+    }
+
+    /// Execute a closed-loop move to `target_m`, simulating in virtual
+    /// time until the position settles inside the tolerance band with
+    /// near-zero velocity.
+    pub fn move_to(&mut self, target_m: f64) -> Result<MoveOutcome, ActuatorFault> {
+        if self.estopped {
+            return Err(ActuatorFault::EmergencyStop);
+        }
+        let c = self.config;
+        if target_m.abs() > c.stroke_m {
+            return Err(ActuatorFault::StrokeLimit {
+                target_m,
+                limit_m: c.stroke_m,
+            });
+        }
+        let dt = c.tick_s;
+        let max_ticks = (c.move_timeout_s / dt).ceil() as u64;
+        let mut peak_v: f64 = 0.0;
+        let mut overshoot: f64 = 0.0;
+        let start = self.position_m;
+        let dir = (target_m - start).signum();
+        let mut settled_ticks = 0u32;
+        for tick in 0..max_ticks {
+            let err = target_m - self.position_m;
+            let cmd_v = (c.kp * err).clamp(-c.max_velocity_mps, c.max_velocity_mps);
+            self.velocity_mps += (cmd_v - self.velocity_mps) * (dt / c.valve_tau_s).min(1.0);
+            self.position_m += self.velocity_mps * dt;
+            peak_v = peak_v.max(self.velocity_mps.abs());
+            if dir != 0.0 {
+                overshoot = overshoot.max(dir * (self.position_m - target_m));
+            }
+            if (target_m - self.position_m).abs() < c.tolerance_m
+                && self.velocity_mps.abs() < c.tolerance_m / dt * 0.01
+            {
+                settled_ticks += 1;
+                if settled_ticks >= 5 {
+                    return Ok(MoveOutcome {
+                        position_m: self.position_m,
+                        duration: SimTime::from_secs_f64((tick + 1) as f64 * dt),
+                        peak_velocity_mps: peak_v,
+                        overshoot_m: overshoot.max(0.0),
+                    });
+                }
+            } else {
+                settled_ticks = 0;
+            }
+        }
+        Err(ActuatorFault::MoveTimeout {
+            position_m: self.position_m,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actuator() -> ServoHydraulicActuator {
+        ServoHydraulicActuator::new(ActuatorConfig::lab_100kn())
+    }
+
+    #[test]
+    fn move_settles_within_tolerance() {
+        let mut a = actuator();
+        let out = a.move_to(0.010).unwrap();
+        assert!((out.position_m - 0.010).abs() < 2e-5);
+        assert_eq!(a.position(), out.position_m);
+    }
+
+    #[test]
+    fn move_duration_respects_velocity_limit() {
+        let mut a = actuator();
+        // 50 mm at max 10 mm/s → at least 5 virtual seconds.
+        let out = a.move_to(0.050).unwrap();
+        assert!(out.duration >= SimTime::from_secs(5), "took {}", out.duration);
+        assert!(out.peak_velocity_mps <= 0.010 + 1e-9);
+        // But nowhere near the 120 s watchdog.
+        assert!(out.duration < SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn virtual_time_costs_no_real_time() {
+        let mut a = actuator();
+        let t0 = std::time::Instant::now();
+        a.move_to(0.050).unwrap();
+        assert!(t0.elapsed() < std::time::Duration::from_millis(200));
+    }
+
+    #[test]
+    fn small_moves_are_fast() {
+        let mut a = actuator();
+        a.move_to(0.010).unwrap();
+        let out = a.move_to(0.0101).unwrap();
+        assert!(out.duration < SimTime::from_secs(2), "took {}", out.duration);
+    }
+
+    #[test]
+    fn stroke_limit_is_refused_not_clipped() {
+        let mut a = actuator();
+        let err = a.move_to(0.080).unwrap_err();
+        assert!(matches!(err, ActuatorFault::StrokeLimit { .. }));
+        assert_eq!(a.position(), 0.0, "actuator did not move");
+    }
+
+    #[test]
+    fn estop_latches_until_reset() {
+        let mut a = actuator();
+        a.emergency_stop();
+        assert!(matches!(a.move_to(0.001).unwrap_err(), ActuatorFault::EmergencyStop));
+        a.reset_estop();
+        assert!(a.move_to(0.001).is_ok());
+    }
+
+    #[test]
+    fn negative_targets_work() {
+        let mut a = actuator();
+        let out = a.move_to(-0.030).unwrap();
+        assert!((out.position_m + 0.030).abs() < 2e-5);
+    }
+
+    #[test]
+    fn overshoot_is_bounded() {
+        let mut a = actuator();
+        let out = a.move_to(0.020).unwrap();
+        // Well-tuned loop: overshoot under 5% of travel.
+        assert!(out.overshoot_m < 0.001, "overshoot {} m", out.overshoot_m);
+    }
+
+    #[test]
+    fn sequential_moves_accumulate_state() {
+        let mut a = actuator();
+        a.move_to(0.010).unwrap();
+        a.move_to(-0.010).unwrap();
+        let out = a.move_to(0.0).unwrap();
+        assert!(out.position_m.abs() < 2e-5);
+    }
+}

@@ -1,0 +1,368 @@
+//! Shore-Western-style site control system.
+//!
+//! §3.1: "At UIUC, the NTCP server was configured to use a plugin that
+//! communicated, via a simple TCP/IP protocol, with a Shore-Western control
+//! system, which in turn controlled the UIUC servo-hydraulics." This module
+//! is that control system: it owns the actuator, the specimen, and the
+//! instrumentation; it speaks a simple line protocol
+//! ([`ControllerCommand::encode`]); and it enforces the hardware
+//! interlocks of §4 — a force-limit trip latches the system into emergency
+//! stop until an operator resets it.
+
+use neesgrid_gridsim::SimTime;
+
+use crate::actuator::{ActuatorFault, ServoHydraulicActuator};
+use crate::sensors::{LoadCell, Lvdt, Sensor};
+use crate::specimen::Specimen;
+
+/// Commands of the controller's line protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerCommand {
+    /// Closed-loop move to an absolute position, m.
+    Move {
+        /// Target position, m.
+        target_m: f64,
+    },
+    /// Report position and interlock state.
+    Status,
+    /// Latch the emergency stop.
+    EStop,
+    /// Operator reset of a latched e-stop.
+    Reset,
+}
+
+impl ControllerCommand {
+    /// Encode as a protocol line (e.g. `MOVE 0.010000`).
+    pub fn encode(&self) -> String {
+        match self {
+            ControllerCommand::Move { target_m } => format!("MOVE {target_m:.9}"),
+            ControllerCommand::Status => "STATUS".to_string(),
+            ControllerCommand::EStop => "ESTOP".to_string(),
+            ControllerCommand::Reset => "RESET".to_string(),
+        }
+    }
+
+    /// Parse a protocol line.
+    pub fn decode(line: &str) -> Option<ControllerCommand> {
+        let mut parts = line.split_whitespace();
+        match parts.next()? {
+            "MOVE" => {
+                let target: f64 = parts.next()?.parse().ok()?;
+                if parts.next().is_some() || !target.is_finite() {
+                    return None;
+                }
+                Some(ControllerCommand::Move { target_m: target })
+            }
+            "STATUS" if parts.next().is_none() => Some(ControllerCommand::Status),
+            "ESTOP" if parts.next().is_none() => Some(ControllerCommand::EStop),
+            "RESET" if parts.next().is_none() => Some(ControllerCommand::Reset),
+            _ => None,
+        }
+    }
+}
+
+/// Measured outcome of a completed move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredResponse {
+    /// LVDT displacement reading, m.
+    pub displacement_m: f64,
+    /// Load-cell force reading, N.
+    pub force_n: f64,
+    /// Virtual time the move took.
+    pub duration: SimTime,
+}
+
+/// Responses of the controller's line protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerResponse {
+    /// Move completed with measurements.
+    Moved(MeasuredResponse),
+    /// Status report.
+    Status {
+        /// Current ram position, m.
+        position_m: f64,
+        /// Whether an interlock has latched the system.
+        tripped: bool,
+    },
+    /// Command acknowledged (e-stop, reset).
+    Ok,
+    /// Command refused.
+    Error(String),
+}
+
+impl ControllerResponse {
+    /// Encode as a protocol line.
+    pub fn encode(&self) -> String {
+        match self {
+            ControllerResponse::Moved(m) => format!(
+                "MOVED {:.9} {:.6} {}",
+                m.displacement_m,
+                m.force_n,
+                m.duration.as_nanos()
+            ),
+            ControllerResponse::Status {
+                position_m,
+                tripped,
+            } => format!("STATUS {position_m:.9} {}", u8::from(*tripped)),
+            ControllerResponse::Ok => "OK".to_string(),
+            ControllerResponse::Error(e) => format!("ERR {e}"),
+        }
+    }
+
+    /// Parse a protocol line.
+    pub fn decode(line: &str) -> Option<ControllerResponse> {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("MOVED ") {
+            let mut p = rest.split_whitespace();
+            let d: f64 = p.next()?.parse().ok()?;
+            let f: f64 = p.next()?.parse().ok()?;
+            let ns: u64 = p.next()?.parse().ok()?;
+            return Some(ControllerResponse::Moved(MeasuredResponse {
+                displacement_m: d,
+                force_n: f,
+                duration: SimTime::from_nanos(ns),
+            }));
+        }
+        if let Some(rest) = line.strip_prefix("STATUS ") {
+            let mut p = rest.split_whitespace();
+            let pos: f64 = p.next()?.parse().ok()?;
+            let tripped: u8 = p.next()?.parse().ok()?;
+            return Some(ControllerResponse::Status {
+                position_m: pos,
+                tripped: tripped != 0,
+            });
+        }
+        if line == "OK" {
+            return Some(ControllerResponse::Ok);
+        }
+        line.strip_prefix("ERR ")
+            .map(|e| ControllerResponse::Error(e.to_string()))
+    }
+}
+
+/// The site control system: actuator + specimen + instrumentation +
+/// interlocks.
+pub struct ShoreWesternController {
+    actuator: ServoHydraulicActuator,
+    specimen: Box<dyn Specimen>,
+    lvdt: Lvdt,
+    load_cell: LoadCell,
+    /// Force interlock threshold, N.
+    pub force_limit_n: f64,
+    tripped: bool,
+    moves_completed: u64,
+}
+
+impl ShoreWesternController {
+    /// Assemble a controller.
+    pub fn new(
+        actuator: ServoHydraulicActuator,
+        specimen: Box<dyn Specimen>,
+        lvdt: Lvdt,
+        load_cell: LoadCell,
+        force_limit_n: f64,
+    ) -> Self {
+        ShoreWesternController {
+            actuator,
+            specimen,
+            lvdt,
+            load_cell,
+            force_limit_n,
+            tripped: false,
+            moves_completed: 0,
+        }
+    }
+
+    /// Number of moves completed (diagnostics).
+    pub fn moves_completed(&self) -> u64 {
+        self.moves_completed
+    }
+
+    /// Whether an interlock has latched.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Predict whether a move to `target_m` would exceed the force limit
+    /// (probes the specimen without committing) — used at proposal time.
+    pub fn predict_force(&mut self, target_m: f64) -> f64 {
+        self.specimen.trial_force(target_m)
+    }
+
+    /// Execute one protocol command.
+    pub fn execute(&mut self, cmd: ControllerCommand) -> ControllerResponse {
+        match cmd {
+            ControllerCommand::Status => ControllerResponse::Status {
+                position_m: self.actuator.position(),
+                tripped: self.tripped,
+            },
+            ControllerCommand::EStop => {
+                self.actuator.emergency_stop();
+                self.tripped = true;
+                ControllerResponse::Ok
+            }
+            ControllerCommand::Reset => {
+                self.actuator.reset_estop();
+                self.tripped = false;
+                ControllerResponse::Ok
+            }
+            ControllerCommand::Move { target_m } => self.do_move(target_m),
+        }
+    }
+
+    fn do_move(&mut self, target_m: f64) -> ControllerResponse {
+        if self.tripped {
+            return ControllerResponse::Error("interlock tripped".into());
+        }
+        // Predictive force interlock: probe the specimen before moving.
+        let predicted = self.specimen.trial_force(target_m);
+        if predicted.abs() > self.force_limit_n {
+            return ControllerResponse::Error(format!(
+                "predicted force {predicted:.0} N exceeds interlock {} N",
+                self.force_limit_n
+            ));
+        }
+        let outcome = match self.actuator.move_to(target_m) {
+            Ok(o) => o,
+            Err(ActuatorFault::EmergencyStop) => {
+                return ControllerResponse::Error("interlock tripped".into())
+            }
+            Err(e) => return ControllerResponse::Error(e.to_string()),
+        };
+        // The specimen follows the achieved (not commanded) position.
+        let true_force = self.specimen.trial_force(outcome.position_m);
+        self.specimen.commit();
+        let measured_force = self.load_cell.read(true_force);
+        let measured_disp = self.lvdt.read(outcome.position_m);
+        // Post-move force interlock: a real trip latches the system.
+        if measured_force.abs() > self.force_limit_n {
+            self.actuator.emergency_stop();
+            self.tripped = true;
+            return ControllerResponse::Error(format!(
+                "force interlock tripped at {measured_force:.0} N"
+            ));
+        }
+        self.moves_completed += 1;
+        ControllerResponse::Moved(MeasuredResponse {
+            displacement_m: measured_disp,
+            force_n: measured_force,
+            duration: outcome.duration,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actuator::ActuatorConfig;
+    use crate::specimen::SteelColumn;
+
+    fn controller(force_limit: f64) -> ShoreWesternController {
+        ShoreWesternController::new(
+            ServoHydraulicActuator::new(ActuatorConfig::lab_100kn()),
+            Box::new(SteelColumn::most_uiuc()),
+            Lvdt::lab_grade("lvdt", 1),
+            LoadCell::new("load", 2, 150_000.0),
+            force_limit,
+        )
+    }
+
+    #[test]
+    fn command_codec_roundtrip() {
+        for cmd in [
+            ControllerCommand::Move { target_m: 0.0123 },
+            ControllerCommand::Status,
+            ControllerCommand::EStop,
+            ControllerCommand::Reset,
+        ] {
+            assert_eq!(ControllerCommand::decode(&cmd.encode()), Some(cmd));
+        }
+        assert_eq!(ControllerCommand::decode("MOVE abc"), None);
+        assert_eq!(ControllerCommand::decode("MOVE 1 2"), None);
+        assert_eq!(ControllerCommand::decode("MOVE inf"), None);
+        assert_eq!(ControllerCommand::decode("JUMP 1"), None);
+    }
+
+    #[test]
+    fn response_codec_roundtrip() {
+        for resp in [
+            ControllerResponse::Moved(MeasuredResponse {
+                displacement_m: 0.01,
+                force_n: -1234.5,
+                duration: SimTime::from_millis(850),
+            }),
+            ControllerResponse::Status {
+                position_m: -0.002,
+                tripped: true,
+            },
+            ControllerResponse::Ok,
+            ControllerResponse::Error("nope".into()),
+        ] {
+            assert_eq!(ControllerResponse::decode(&resp.encode()), Some(resp));
+        }
+    }
+
+    #[test]
+    fn move_returns_measured_displacement_and_force() {
+        let mut c = controller(150_000.0);
+        let target = 0.010;
+        match c.execute(ControllerCommand::Move { target_m: target }) {
+            ControllerResponse::Moved(m) => {
+                assert!((m.displacement_m - target).abs() < 1e-4);
+                // Elastic range: F ≈ k d (within sensor noise).
+                let k = SteelColumn::most_uiuc().initial_stiffness();
+                assert!((m.force_n - k * target).abs() < 0.02 * k * target);
+                assert!(m.duration > SimTime::from_millis(100));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.moves_completed(), 1);
+    }
+
+    #[test]
+    fn predictive_interlock_refuses_without_motion() {
+        let mut c = controller(5_000.0); // tight limit
+        match c.execute(ControllerCommand::Move { target_m: 0.010 }) {
+            ControllerResponse::Error(e) => assert!(e.contains("predicted force")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Nothing moved, nothing latched.
+        assert!(!c.is_tripped());
+        match c.execute(ControllerCommand::Status) {
+            ControllerResponse::Status { position_m, .. } => {
+                assert_eq!(position_m, 0.0)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn estop_and_reset_cycle() {
+        let mut c = controller(150_000.0);
+        assert_eq!(c.execute(ControllerCommand::EStop), ControllerResponse::Ok);
+        assert!(c.is_tripped());
+        match c.execute(ControllerCommand::Move { target_m: 0.001 }) {
+            ControllerResponse::Error(e) => assert!(e.contains("interlock")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.execute(ControllerCommand::Reset), ControllerResponse::Ok);
+        assert!(matches!(
+            c.execute(ControllerCommand::Move { target_m: 0.001 }),
+            ControllerResponse::Moved(_)
+        ));
+    }
+
+    #[test]
+    fn specimen_hysteresis_survives_across_moves() {
+        let mut c = controller(150_000.0);
+        let dy = SteelColumn::most_uiuc().yield_displacement();
+        // Push well past yield, then return to zero: residual force.
+        c.execute(ControllerCommand::Move { target_m: 2.0 * dy });
+        match c.execute(ControllerCommand::Move { target_m: 0.0 }) {
+            ControllerResponse::Moved(m) => {
+                assert!(m.force_n < -1_000.0, "no residual force: {}", m.force_n)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

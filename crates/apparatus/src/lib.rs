@@ -1,0 +1,49 @@
+//! # neesgrid-apparatus — emulated laboratory apparatus
+//!
+//! The physical side of MOST that this reproduction cannot ship: the
+//! Newmark Lab's servo-hydraulic rig at UIUC, the Structures and Materials
+//! Testing Laboratory rig at CU, and the Mini-MOST tabletop hardware. Each
+//! is replaced by a software emulation that reproduces the *observable
+//! behaviour* the NTCP stack and the coordinator interact with:
+//!
+//! * [`specimen`] — steel test specimens whose restoring force follows the
+//!   structural material laws (elastic until yield, hysteretic beyond);
+//! * [`actuator`] — a servo-hydraulic actuator with valve lag, velocity
+//!   saturation, stroke limits, and closed-loop displacement control,
+//!   integrated in virtual time (commands take seconds of *experiment*
+//!   time, microseconds of wall time);
+//! * [`stepper`] — the Mini-MOST stepper motor: quantized positioning at a
+//!   bounded step rate;
+//! * [`sensors`] — LVDT, load cell, strain gauge, and accelerometer models
+//!   with seeded noise, bias, and quantization;
+//! * [`control_system`] — a Shore-Western-style controller: the line
+//!   protocol the UIUC NTCP plugin spoke, ramp/settle execution, and
+//!   hardware safety interlocks (stroke/force/watchdog/e-stop);
+//! * [`xpc`] — the CU configuration: a fixed-rate real-time target running
+//!   the control loop;
+//! * [`robot`] — the UC Davis centrifuge robot arm with exchangeable
+//!   tools (§5's follow-on experiment);
+//! * [`integration`] — the site NTCP plugins (Figure 9): the Shore-Western
+//!   bridge, the Mini-MOST LabVIEW plugin, and the first-order kinetic
+//!   simulator used "for testing when the actual hardware is not
+//!   available" (§3.5).
+
+pub mod actuator;
+pub mod control_system;
+pub mod integration;
+pub mod robot;
+pub mod sensors;
+pub mod specimen;
+pub mod stepper;
+pub mod xpc;
+
+pub use actuator::{ActuatorConfig, ActuatorFault, ServoHydraulicActuator};
+pub use control_system::{
+    ControllerCommand, ControllerResponse, MeasuredResponse, ShoreWesternController,
+};
+pub use integration::{FirstOrderKineticPlugin, LabViewPlugin, ShoreWesternPlugin};
+pub use robot::{CentrifugeSoil, RobotArm, RobotArmPlugin, Tool};
+pub use sensors::{Accelerometer, LoadCell, Lvdt, Sensor, StrainGauge};
+pub use specimen::{Specimen, SteelColumn};
+pub use stepper::StepperMotor;
+pub use xpc::XpcTarget;

@@ -1,0 +1,360 @@
+//! The UC Davis centrifuge robot arm (§5).
+//!
+//! "Engineers at UC Davis are working on an experiment that uses the
+//! NEESgrid framework to characterize how the properties of soil change
+//! during shaking or ground improvement. This experiment includes remote
+//! operation of a robot arm that will be attached to their centrifuge …
+//! The robot arm has exchangeable tools: a stereo video camera tool for
+//! telepresence, an ultrasound tool for imaging, a cone penetrometer, a
+//! needle probe for high resolution imaging, and a gripper tool for
+//! installation of piles and manipulation/loading."
+//!
+//! The arm is a 3-axis gantry over the centrifuge model with a tool
+//! changer. Teleoperation goes through the same NTCP plugin interface as
+//! everything else ([`RobotArmPlugin`]): tool changes and probe pushes are
+//! proposals that the site can bound (probe depth, gantry envelope)
+//! before anything moves — §4's safety model, applied to a new facility.
+
+use neesgrid_gridsim::SimTime;
+use neesgrid_ntcp::{ControlPlugin, ControlPoint, ControlPointResult, ExecuteOutcome, PluginError};
+use serde::{Deserialize, Serialize};
+
+/// The exchangeable tools of §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tool {
+    /// Stereo video camera (telepresence).
+    StereoCamera,
+    /// Ultrasound imaging head.
+    Ultrasound,
+    /// Cone penetrometer (soil strength profiling).
+    ConePenetrometer,
+    /// Needle probe (high-resolution imaging).
+    NeedleProbe,
+    /// Gripper (pile installation, manipulation).
+    Gripper,
+}
+
+impl Tool {
+    /// Parse from the control-point name suffix used by the plugin.
+    pub fn parse(name: &str) -> Option<Tool> {
+        Some(match name {
+            "stereo-camera" => Tool::StereoCamera,
+            "ultrasound" => Tool::Ultrasound,
+            "cone-penetrometer" => Tool::ConePenetrometer,
+            "needle-probe" => Tool::NeedleProbe,
+            "gripper" => Tool::Gripper,
+            _ => return None,
+        })
+    }
+}
+
+/// A soil model in the centrifuge bucket: penetration resistance grows
+/// with depth and densifies (stiffens) a little with each probe cycle —
+/// the "ground improvement" effect the experiment characterizes.
+#[derive(Debug, Clone)]
+pub struct CentrifugeSoil {
+    /// Resistance gradient, N per meter of depth.
+    pub resistance_gradient: f64,
+    /// Densification per probing, fraction of gradient added each probe.
+    pub densification_rate: f64,
+    probes_performed: u64,
+}
+
+impl CentrifugeSoil {
+    /// A loose sand model.
+    pub fn loose_sand() -> Self {
+        CentrifugeSoil {
+            resistance_gradient: 50_000.0,
+            densification_rate: 0.02,
+            probes_performed: 0,
+        }
+    }
+
+    /// Penetration resistance (N) at `depth_m`, reflecting densification.
+    pub fn resistance_at(&self, depth_m: f64) -> f64 {
+        let densified =
+            1.0 + self.densification_rate * self.probes_performed as f64;
+        self.resistance_gradient * densified * depth_m.max(0.0)
+    }
+
+    fn record_probe(&mut self) {
+        self.probes_performed += 1;
+    }
+
+    /// Probes performed so far.
+    pub fn probes_performed(&self) -> u64 {
+        self.probes_performed
+    }
+}
+
+/// The 3-axis gantry arm with tool changer.
+pub struct RobotArm {
+    /// Gantry envelope half-width, m (x and y symmetric).
+    pub envelope_xy_m: f64,
+    /// Maximum probe depth, m.
+    pub max_depth_m: f64,
+    /// Axis travel speed, m/s.
+    pub axis_speed_mps: f64,
+    /// Tool-change time, s.
+    pub tool_change_s: f64,
+    position: (f64, f64, f64),
+    tool: Tool,
+    tool_changes: u64,
+}
+
+impl RobotArm {
+    /// The UC Davis arm: 0.4 m envelope, 0.3 m probe depth.
+    pub fn uc_davis() -> Self {
+        RobotArm {
+            envelope_xy_m: 0.4,
+            max_depth_m: 0.3,
+            axis_speed_mps: 0.05,
+            tool_change_s: 20.0,
+            position: (0.0, 0.0, 0.0),
+            tool: Tool::StereoCamera,
+            tool_changes: 0,
+        }
+    }
+
+    /// Current tool.
+    pub fn tool(&self) -> Tool {
+        self.tool
+    }
+
+    /// Current (x, y, depth) position, m.
+    pub fn position(&self) -> (f64, f64, f64) {
+        self.position
+    }
+
+    /// Tool changes performed.
+    pub fn tool_changes(&self) -> u64 {
+        self.tool_changes
+    }
+
+    /// Exchange the tool (arm retracts to surface first).
+    pub fn change_tool(&mut self, tool: Tool) -> SimTime {
+        let retract = self.position.2 / self.axis_speed_mps;
+        self.position.2 = 0.0;
+        if tool != self.tool {
+            self.tool = tool;
+            self.tool_changes += 1;
+            SimTime::from_secs_f64(retract + self.tool_change_s)
+        } else {
+            SimTime::from_secs_f64(retract)
+        }
+    }
+
+    /// Move to (x, y) and push the current tool to `depth`, returning the
+    /// move duration; errors if outside the envelope.
+    pub fn move_and_push(
+        &mut self,
+        x: f64,
+        y: f64,
+        depth: f64,
+    ) -> Result<SimTime, String> {
+        if x.abs() > self.envelope_xy_m || y.abs() > self.envelope_xy_m {
+            return Err(format!(
+                "({x}, {y}) outside gantry envelope ±{} m",
+                self.envelope_xy_m
+            ));
+        }
+        if !(0.0..=self.max_depth_m).contains(&depth) {
+            return Err(format!("depth {depth} outside [0, {}] m", self.max_depth_m));
+        }
+        let travel = ((x - self.position.0).abs()
+            + (y - self.position.1).abs()
+            + (depth - self.position.2).abs())
+            / self.axis_speed_mps;
+        self.position = (x, y, depth);
+        Ok(SimTime::from_secs_f64(travel))
+    }
+}
+
+/// NTCP plugin teleoperating the centrifuge robot arm.
+///
+/// Control-point convention (one proposal = one probe operation):
+/// * `name` — `"tool:<tool-name>@<x>,<y>"`: tool to use and plan position;
+/// * `displacement_m` — probe depth (m);
+/// * `expected_force_n` — the client's resistance estimate, policed by the
+///   site as usual.
+pub struct RobotArmPlugin {
+    name: String,
+    arm: RobotArm,
+    soil: CentrifugeSoil,
+}
+
+impl RobotArmPlugin {
+    /// A plugin over the UC Davis arm and a loose-sand model.
+    pub fn new(name: impl Into<String>) -> Self {
+        RobotArmPlugin {
+            name: name.into(),
+            arm: RobotArm::uc_davis(),
+            soil: CentrifugeSoil::loose_sand(),
+        }
+    }
+
+    /// Inspect the soil model (densification tracking).
+    pub fn soil(&self) -> &CentrifugeSoil {
+        &self.soil
+    }
+
+    /// Inspect the arm.
+    pub fn arm(&self) -> &RobotArm {
+        &self.arm
+    }
+
+    fn parse_point(cp: &ControlPoint) -> Result<(Tool, f64, f64), String> {
+        let spec = cp
+            .name
+            .strip_prefix("tool:")
+            .ok_or_else(|| format!("control point '{}' is not tool:<t>@<x>,<y>", cp.name))?;
+        let (tool_name, pos) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("missing '@' in '{}'", cp.name))?;
+        let tool =
+            Tool::parse(tool_name).ok_or_else(|| format!("unknown tool '{tool_name}'"))?;
+        let (x, y) = pos
+            .split_once(',')
+            .ok_or_else(|| format!("missing ',' in '{}'", cp.name))?;
+        let x: f64 = x.parse().map_err(|_| format!("bad x in '{}'", cp.name))?;
+        let y: f64 = y.parse().map_err(|_| format!("bad y in '{}'", cp.name))?;
+        Ok((tool, x, y))
+    }
+}
+
+impl ControlPlugin for RobotArmPlugin {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn review(&mut self, actions: &[ControlPoint]) -> Result<(), String> {
+        if actions.len() != 1 {
+            return Err("one probe operation per transaction".into());
+        }
+        let cp = &actions[0];
+        let (_tool, x, y) = Self::parse_point(cp)?;
+        if x.abs() > self.arm.envelope_xy_m || y.abs() > self.arm.envelope_xy_m {
+            return Err(format!("({x}, {y}) outside gantry envelope"));
+        }
+        if !(0.0..=self.arm.max_depth_m).contains(&cp.displacement_m) {
+            return Err(format!(
+                "depth {} outside [0, {}] m",
+                cp.displacement_m, self.arm.max_depth_m
+            ));
+        }
+        Ok(())
+    }
+
+    fn execute(&mut self, actions: &[ControlPoint]) -> Result<ExecuteOutcome, PluginError> {
+        let cp = &actions[0];
+        let (tool, x, y) = Self::parse_point(cp).map_err(PluginError::permanent)?;
+        let change = self.arm.change_tool(tool);
+        let travel = self
+            .arm
+            .move_and_push(x, y, cp.displacement_m)
+            .map_err(PluginError::permanent)?;
+        // Measuring tools read resistance; the penetrometer also densifies
+        // the soil it probes.
+        let resistance = self.soil.resistance_at(cp.displacement_m);
+        if tool == Tool::ConePenetrometer || tool == Tool::NeedleProbe {
+            self.soil.record_probe();
+        }
+        Ok(ExecuteOutcome {
+            results: vec![ControlPointResult {
+                name: cp.name.clone(),
+                displacement_m: cp.displacement_m,
+                force_n: resistance,
+            }],
+            duration: change + travel,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(tool: &str, x: f64, y: f64, depth: f64) -> Vec<ControlPoint> {
+        vec![ControlPoint {
+            name: format!("tool:{tool}@{x},{y}"),
+            displacement_m: depth,
+            velocity_mps: 0.0,
+            expected_force_n: 10_000.0,
+        }]
+    }
+
+    #[test]
+    fn penetrometer_profiles_resistance_with_depth() {
+        let mut p = RobotArmPlugin::new("ucdavis-arm");
+        let shallow = p
+            .execute(&probe("cone-penetrometer", 0.1, 0.1, 0.05))
+            .unwrap();
+        let deep = p
+            .execute(&probe("cone-penetrometer", 0.1, 0.1, 0.25))
+            .unwrap();
+        assert!(deep.results[0].force_n > 3.0 * shallow.results[0].force_n);
+    }
+
+    #[test]
+    fn probing_densifies_the_soil() {
+        let mut p = RobotArmPlugin::new("ucdavis-arm");
+        let first = p
+            .execute(&probe("cone-penetrometer", 0.0, 0.0, 0.2))
+            .unwrap()
+            .results[0]
+            .force_n;
+        for i in 0..10 {
+            p.execute(&probe("cone-penetrometer", 0.01 * i as f64, 0.0, 0.2))
+                .unwrap();
+        }
+        let later = p
+            .execute(&probe("cone-penetrometer", 0.0, 0.0, 0.2))
+            .unwrap()
+            .results[0]
+            .force_n;
+        assert!(later > 1.15 * first, "no densification: {first} → {later}");
+        assert_eq!(p.soil().probes_performed(), 12);
+    }
+
+    #[test]
+    fn camera_tool_does_not_disturb_soil() {
+        let mut p = RobotArmPlugin::new("ucdavis-arm");
+        p.execute(&probe("stereo-camera", 0.2, 0.2, 0.0)).unwrap();
+        p.execute(&probe("ultrasound", 0.2, 0.2, 0.05)).unwrap();
+        assert_eq!(p.soil().probes_performed(), 0);
+    }
+
+    #[test]
+    fn tool_changes_cost_time_and_are_counted() {
+        let mut p = RobotArmPlugin::new("ucdavis-arm");
+        let with_change = p.execute(&probe("gripper", 0.0, 0.0, 0.1)).unwrap();
+        let without_change = p.execute(&probe("gripper", 0.1, 0.0, 0.1)).unwrap();
+        assert!(with_change.duration > without_change.duration + SimTime::from_secs(15));
+        assert_eq!(p.arm().tool_changes(), 1);
+        assert_eq!(p.arm().tool(), Tool::Gripper);
+    }
+
+    #[test]
+    fn envelope_and_depth_limits_reviewed_before_motion() {
+        let mut p = RobotArmPlugin::new("ucdavis-arm");
+        assert!(p.review(&probe("gripper", 0.9, 0.0, 0.1)).is_err());
+        assert!(p.review(&probe("gripper", 0.0, 0.0, 0.5)).is_err());
+        assert!(p
+            .review(&[ControlPoint::displacement("not-a-tool", 0.1, 0.0)])
+            .is_err());
+        assert!(p.review(&probe("gripper", 0.1, 0.1, 0.1)).is_ok());
+        // Nothing moved during reviews.
+        assert_eq!(p.arm().position(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn works_behind_the_generic_plugin_interface() {
+        // The §5 claim: "NTCP and NSDS can be used to control and observe
+        // a wide range of devices."
+        let mut plugin: Box<dyn ControlPlugin> = Box::new(RobotArmPlugin::new("arm"));
+        plugin.review(&probe("needle-probe", 0.0, 0.1, 0.15)).unwrap();
+        let out = plugin.execute(&probe("needle-probe", 0.0, 0.1, 0.15)).unwrap();
+        assert!(out.results[0].force_n > 0.0);
+        assert!(out.duration > SimTime::ZERO);
+    }
+}

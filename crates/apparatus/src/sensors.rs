@@ -1,0 +1,258 @@
+//! Instrumentation models.
+//!
+//! Mini-MOST's sensor suite (§3.5): "a strain gauge, LVDT for position, and
+//! a load cell for force" — the full-scale sites added accelerometers. Each
+//! sensor model adds seeded Gaussian noise, a fixed bias, and ADC
+//! quantization to the true value, so downstream data (NSDS streams,
+//! repository records, hysteresis plots) carries realistic measurement
+//! texture and the DAQ path is exercised with non-ideal signals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A calibrated sensor reading a physical quantity.
+pub trait Sensor: Send {
+    /// Channel name (becomes the DAQ channel id).
+    fn channel(&self) -> &str;
+
+    /// Engineering unit of the output (e.g. `"m"`, `"N"`).
+    fn unit(&self) -> &str;
+
+    /// Convert a true physical value into a measured one.
+    fn read(&mut self, true_value: f64) -> f64;
+}
+
+/// Shared noise/bias/quantization pipeline.
+struct Frontend {
+    rng: StdRng,
+    noise_std: f64,
+    bias: f64,
+    resolution: f64,
+}
+
+impl Frontend {
+    fn new(seed: u64, noise_std: f64, bias: f64, resolution: f64) -> Self {
+        Frontend {
+            rng: StdRng::seed_from_u64(seed),
+            noise_std,
+            bias,
+            resolution,
+        }
+    }
+
+    fn measure(&mut self, true_value: f64) -> f64 {
+        // Box-Muller Gaussian from two uniforms.
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        let gauss = (-2.0 * u1.ln()).sqrt() * u2.cos();
+        let noisy = true_value + self.bias + gauss * self.noise_std;
+        if self.resolution > 0.0 {
+            (noisy / self.resolution).round() * self.resolution
+        } else {
+            noisy
+        }
+    }
+}
+
+/// Linear variable differential transformer — displacement, meters.
+pub struct Lvdt {
+    channel: String,
+    frontend: Frontend,
+}
+
+impl Lvdt {
+    /// An LVDT with ±`noise_std` m RMS noise and `resolution` m
+    /// quantization.
+    pub fn new(channel: impl Into<String>, seed: u64, noise_std: f64, resolution: f64) -> Self {
+        Lvdt {
+            channel: channel.into(),
+            frontend: Frontend::new(seed, noise_std, 0.0, resolution),
+        }
+    }
+
+    /// A typical lab-grade LVDT: 5 µm noise, 1 µm resolution.
+    pub fn lab_grade(channel: impl Into<String>, seed: u64) -> Self {
+        Lvdt::new(channel, seed, 5e-6, 1e-6)
+    }
+}
+
+impl Sensor for Lvdt {
+    fn channel(&self) -> &str {
+        &self.channel
+    }
+
+    fn unit(&self) -> &str {
+        "m"
+    }
+
+    fn read(&mut self, true_value: f64) -> f64 {
+        self.frontend.measure(true_value)
+    }
+}
+
+/// Load cell — force, newtons.
+pub struct LoadCell {
+    channel: String,
+    frontend: Frontend,
+    capacity_n: f64,
+}
+
+impl LoadCell {
+    /// A load cell with the given capacity; noise scales with capacity
+    /// (0.02% full scale), readings clip at ±capacity.
+    pub fn new(channel: impl Into<String>, seed: u64, capacity_n: f64) -> Self {
+        LoadCell {
+            channel: channel.into(),
+            frontend: Frontend::new(seed, 2e-4 * capacity_n, 0.0, 1e-5 * capacity_n),
+            capacity_n,
+        }
+    }
+}
+
+impl Sensor for LoadCell {
+    fn channel(&self) -> &str {
+        &self.channel
+    }
+
+    fn unit(&self) -> &str {
+        "N"
+    }
+
+    fn read(&mut self, true_value: f64) -> f64 {
+        self.frontend
+            .measure(true_value)
+            .clamp(-self.capacity_n, self.capacity_n)
+    }
+}
+
+/// Strain gauge — microstrain derived from tip displacement through a
+/// calibration factor (µε per meter of tip motion).
+pub struct StrainGauge {
+    channel: String,
+    frontend: Frontend,
+    microstrain_per_meter: f64,
+}
+
+impl StrainGauge {
+    /// A strain gauge with the given displacement-to-strain calibration.
+    pub fn new(
+        channel: impl Into<String>,
+        seed: u64,
+        microstrain_per_meter: f64,
+    ) -> Self {
+        StrainGauge {
+            channel: channel.into(),
+            frontend: Frontend::new(seed, 2.0, 0.5, 1.0),
+            microstrain_per_meter,
+        }
+    }
+}
+
+impl Sensor for StrainGauge {
+    fn channel(&self) -> &str {
+        &self.channel
+    }
+
+    fn unit(&self) -> &str {
+        "ue"
+    }
+
+    fn read(&mut self, true_displacement_m: f64) -> f64 {
+        self.frontend
+            .measure(true_displacement_m * self.microstrain_per_meter)
+    }
+}
+
+/// Accelerometer — m/s², used by the UCLA field-test follow-on (§5).
+pub struct Accelerometer {
+    channel: String,
+    frontend: Frontend,
+}
+
+impl Accelerometer {
+    /// A MEMS-grade accelerometer: 0.01 m/s² noise.
+    pub fn new(channel: impl Into<String>, seed: u64) -> Self {
+        Accelerometer {
+            channel: channel.into(),
+            frontend: Frontend::new(seed, 0.01, 0.0, 0.001),
+        }
+    }
+}
+
+impl Sensor for Accelerometer {
+    fn channel(&self) -> &str {
+        &self.channel
+    }
+
+    fn unit(&self) -> &str {
+        "m/s2"
+    }
+
+    fn read(&mut self, true_value: f64) -> f64 {
+        self.frontend.measure(true_value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lvdt_noise_is_small_and_unbiased() {
+        let mut s = Lvdt::lab_grade("lvdt-1", 7);
+        let n = 10_000;
+        let truth = 0.0123;
+        let mean: f64 = (0..n).map(|_| s.read(truth)).sum::<f64>() / n as f64;
+        assert!((mean - truth).abs() < 1e-6, "mean {mean}");
+        // Individual readings stay within ~6σ.
+        let mut s2 = Lvdt::lab_grade("lvdt-2", 8);
+        for _ in 0..1000 {
+            assert!((s2.read(truth) - truth).abs() < 6.0 * 5e-6);
+        }
+    }
+
+    #[test]
+    fn lvdt_quantizes_to_resolution() {
+        let mut s = Lvdt::new("lvdt", 1, 0.0, 1e-6);
+        let r = s.read(0.0123456789);
+        let quantum = (r / 1e-6).round() * 1e-6;
+        assert!((r - quantum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sensors_are_deterministic_per_seed() {
+        let mut a = Lvdt::lab_grade("x", 42);
+        let mut b = Lvdt::lab_grade("x", 42);
+        for i in 0..100 {
+            let v = i as f64 * 1e-4;
+            assert_eq!(a.read(v), b.read(v));
+        }
+    }
+
+    #[test]
+    fn load_cell_clips_at_capacity() {
+        let mut lc = LoadCell::new("load", 3, 100_000.0);
+        assert_eq!(lc.read(5.0e6), 100_000.0);
+        assert_eq!(lc.read(-5.0e6), -100_000.0);
+        // In-range readings are near the truth.
+        let r = lc.read(50_000.0);
+        assert!((r - 50_000.0).abs() < 200.0);
+    }
+
+    #[test]
+    fn strain_gauge_applies_calibration() {
+        let mut sg = StrainGauge::new("strain", 5, 2000.0);
+        let r = sg.read(0.010); // 10 mm → ~20 µε
+        assert!((r - 20.0).abs() < 10.0, "reading {r}");
+        assert_eq!(sg.unit(), "ue");
+    }
+
+    #[test]
+    fn accelerometer_units_and_channel() {
+        let mut acc = Accelerometer::new("accel-x", 1);
+        assert_eq!(acc.channel(), "accel-x");
+        assert_eq!(acc.unit(), "m/s2");
+        let r = acc.read(9.81);
+        assert!((r - 9.81).abs() < 0.1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Test specimens.
+//!
+//! The steel columns of MOST (Figures 6–7): the left column tested at UIUC
+//! as a pin-top cantilever, the right column at CU rigidly clamped to its
+//! reaction frame, and the 1 m × 10 cm Mini-MOST beam. A [`Specimen`] maps
+//! imposed tip displacement to restoring force through a structural
+//! material law, retaining hysteretic state across the experiment — the
+//! irreversibility that makes NTCP's propose-before-execute design
+//! necessary.
+
+use neesgrid_structsim::element::{
+    cantilever_lateral_stiffness, fixed_fixed_lateral_stiffness,
+};
+use neesgrid_structsim::{BilinearHysteretic, Material};
+
+/// A physical specimen under quasi-static displacement control.
+pub trait Specimen: Send {
+    /// Descriptive name.
+    fn name(&self) -> &str;
+
+    /// Trial: restoring force (N) at imposed tip displacement (m).
+    fn trial_force(&mut self, displacement_m: f64) -> f64;
+
+    /// Commit the trial state (the step physically happened).
+    fn commit(&mut self);
+
+    /// Elastic (initial) lateral stiffness, N/m.
+    fn initial_stiffness(&self) -> f64;
+}
+
+/// A steel column specimen with bilinear hysteretic behaviour.
+pub struct SteelColumn {
+    name: String,
+    material: BilinearHysteretic,
+}
+
+impl SteelColumn {
+    /// A column from section/material properties.
+    ///
+    /// * `e_modulus` — Young's modulus, Pa
+    /// * `inertia` — second moment of area, m⁴
+    /// * `length` — column length, m
+    /// * `yield_force` — lateral force at first yield, N
+    /// * `hardening` — post-yield stiffness ratio
+    /// * `fixed_top` — true for the CU-style fixed-fixed condition
+    pub fn new(
+        name: impl Into<String>,
+        e_modulus: f64,
+        inertia: f64,
+        length: f64,
+        yield_force: f64,
+        hardening: f64,
+        fixed_top: bool,
+    ) -> Self {
+        let k = if fixed_top {
+            fixed_fixed_lateral_stiffness(e_modulus, inertia, length)
+        } else {
+            cantilever_lateral_stiffness(e_modulus, inertia, length)
+        };
+        SteelColumn {
+            name: name.into(),
+            material: BilinearHysteretic::new(k, yield_force, hardening),
+        }
+    }
+
+    /// The UIUC left column: W-section cantilever, pin connection at top
+    /// (paper §3). Stiffness ~1.17 MN/m, yield ~35 kN.
+    pub fn most_uiuc() -> Self {
+        // E = 200 GPa, I = 2.5e-5 m⁴, L = 2.5 m → 3EI/L³ ≈ 0.96 MN/m.
+        SteelColumn::new("uiuc-left-column", 200e9, 2.5e-5, 2.5, 35_000.0, 0.03, false)
+    }
+
+    /// The CU right column: same section, rigidly clamped (fixed-fixed),
+    /// hence ~4× stiffer.
+    pub fn most_cu() -> Self {
+        SteelColumn::new("cu-right-column", 200e9, 2.5e-5, 2.5, 70_000.0, 0.03, true)
+    }
+
+    /// The Mini-MOST beam: 1 m × 10 cm × ~6 mm steel plate section.
+    /// I = b·h³/12 = 0.1 · 0.006³ / 12 ≈ 1.8e-9 m⁴ → k ≈ 1.1 kN/m.
+    pub fn mini_most_beam() -> Self {
+        SteelColumn::new("mini-most-beam", 200e9, 1.8e-9, 1.0, 30.0, 0.05, false)
+    }
+
+    /// The column's yield displacement, m.
+    pub fn yield_displacement(&self) -> f64 {
+        self.material.yield_displacement()
+    }
+}
+
+impl Specimen for SteelColumn {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn trial_force(&mut self, displacement_m: f64) -> f64 {
+        self.material.set_trial(displacement_m)
+    }
+
+    fn commit(&mut self) {
+        self.material.commit();
+    }
+
+    fn initial_stiffness(&self) -> f64 {
+        self.material.initial_stiffness()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cu_column_is_about_four_times_stiffer_than_uiuc() {
+        let uiuc = SteelColumn::most_uiuc();
+        let cu = SteelColumn::most_cu();
+        let ratio = cu.initial_stiffness() / uiuc.initial_stiffness();
+        assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn elastic_range_force_matches_stiffness() {
+        let mut col = SteelColumn::most_uiuc();
+        let k = col.initial_stiffness();
+        let d = 0.5 * col.yield_displacement();
+        let f = col.trial_force(d);
+        assert!((f - k * d).abs() < 1e-6);
+    }
+
+    #[test]
+    fn yielding_leaves_permanent_set() {
+        let mut col = SteelColumn::most_uiuc();
+        let dy = col.yield_displacement();
+        col.trial_force(3.0 * dy);
+        col.commit();
+        let f = col.trial_force(0.0);
+        assert!(f < -1000.0, "expected residual force, got {f}");
+    }
+
+    #[test]
+    fn mini_most_scale_is_right() {
+        let mini = SteelColumn::mini_most_beam();
+        let big = SteelColumn::most_uiuc();
+        // Tabletop stiffness is orders of magnitude below the lab rig's.
+        assert!(mini.initial_stiffness() < big.initial_stiffness() / 100.0);
+        // Yield displacement in the tens of millimeters (visible motion).
+        let dy = mini.yield_displacement();
+        assert!(dy > 0.005 && dy < 0.1, "dy = {dy}");
+    }
+
+    #[test]
+    fn trial_without_commit_is_reversible() {
+        let mut col = SteelColumn::most_uiuc();
+        let dy = col.yield_displacement();
+        let f_before = col.trial_force(0.1 * dy);
+        col.trial_force(5.0 * dy); // probe deep into yield — not committed
+        let f_after = col.trial_force(0.1 * dy);
+        assert!((f_before - f_after).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,155 @@
+//! Stepper-motor positioning for Mini-MOST.
+//!
+//! §3.5: "In the first version, a single 24 lb through-hole stepper motor
+//! was used." Stepper positioning differs from servo-hydraulics in ways the
+//! tabletop software must handle: positions quantize to whole steps, the
+//! step rate bounds speed, and there is no closed-loop settle — the motor
+//! either completes its steps or stalls.
+
+use neesgrid_gridsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Stepper motor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepperConfig {
+    /// Steps per meter of output travel (leadscrew pitch × microstepping).
+    pub steps_per_meter: f64,
+    /// Maximum step rate, steps/s.
+    pub max_step_rate: f64,
+    /// Travel limit, m (symmetric).
+    pub travel_m: f64,
+}
+
+impl StepperConfig {
+    /// The Mini-MOST drive: 200 steps/rev, 8× microstepping, 2 mm pitch
+    /// leadscrew → 800,000 steps/m; 4,000 steps/s max; ±25 mm travel.
+    pub fn mini_most() -> Self {
+        StepperConfig {
+            steps_per_meter: 800_000.0,
+            max_step_rate: 4_000.0,
+            travel_m: 0.025,
+        }
+    }
+}
+
+/// Outcome of a stepper move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepperMove {
+    /// Achieved position (quantized), m.
+    pub position_m: f64,
+    /// Steps issued (signed).
+    pub steps: i64,
+    /// Virtual duration of the move.
+    pub duration: SimTime,
+}
+
+/// An emulated stepper motor with quantized positioning.
+#[derive(Debug, Clone)]
+pub struct StepperMotor {
+    config: StepperConfig,
+    step_count: i64,
+}
+
+impl StepperMotor {
+    /// A motor at its home (zero) position.
+    pub fn new(config: StepperConfig) -> Self {
+        assert!(config.steps_per_meter > 0.0 && config.max_step_rate > 0.0);
+        StepperMotor {
+            config,
+            step_count: 0,
+        }
+    }
+
+    /// Current position, m (exact multiple of the step size).
+    pub fn position(&self) -> f64 {
+        self.step_count as f64 / self.config.steps_per_meter
+    }
+
+    /// The positioning quantum, m.
+    pub fn step_size(&self) -> f64 {
+        1.0 / self.config.steps_per_meter
+    }
+
+    /// Move to the step position nearest `target_m`.
+    /// Returns an error string if the target exceeds travel.
+    pub fn move_to(&mut self, target_m: f64) -> Result<StepperMove, String> {
+        if target_m.abs() > self.config.travel_m {
+            return Err(format!(
+                "target {target_m} m outside travel ±{} m",
+                self.config.travel_m
+            ));
+        }
+        let target_steps = (target_m * self.config.steps_per_meter).round() as i64;
+        let delta = target_steps - self.step_count;
+        self.step_count = target_steps;
+        let duration_s = delta.unsigned_abs() as f64 / self.config.max_step_rate;
+        Ok(StepperMove {
+            position_m: self.position(),
+            steps: delta,
+            duration: SimTime::from_secs_f64(duration_s),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn position_quantizes_to_steps() {
+        let mut m = StepperMotor::new(StepperConfig::mini_most());
+        let out = m.move_to(0.0100003).unwrap();
+        // Step size is 1.25 µm; achieved position is a whole multiple.
+        let q = out.position_m / m.step_size();
+        assert!((q - q.round()).abs() < 1e-9);
+        assert!((out.position_m - 0.0100003).abs() <= m.step_size() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn duration_scales_with_distance() {
+        let mut m = StepperMotor::new(StepperConfig::mini_most());
+        let short = m.move_to(0.001).unwrap();
+        m.move_to(0.0).unwrap();
+        let long = m.move_to(0.010).unwrap();
+        assert!(long.duration > short.duration * 5);
+        // 10 mm = 8000 steps at 4000 steps/s = 2 s.
+        assert!((long.duration.as_secs_f64() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn travel_limit_enforced() {
+        let mut m = StepperMotor::new(StepperConfig::mini_most());
+        assert!(m.move_to(0.030).is_err());
+        assert_eq!(m.position(), 0.0);
+    }
+
+    #[test]
+    fn zero_distance_move_is_instant() {
+        let mut m = StepperMotor::new(StepperConfig::mini_most());
+        m.move_to(0.005).unwrap();
+        let out = m.move_to(0.005).unwrap();
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.duration, SimTime::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips_return_home_exactly(targets in proptest::collection::vec(-0.02f64..0.02, 1..20)) {
+            let mut m = StepperMotor::new(StepperConfig::mini_most());
+            for t in &targets {
+                m.move_to(*t).unwrap();
+            }
+            m.move_to(0.0).unwrap();
+            // Steppers do not accumulate error (no slip modeled).
+            prop_assert_eq!(m.position(), 0.0);
+        }
+
+        #[test]
+        fn achieved_position_within_half_step(target in -0.02f64..0.02) {
+            let mut m = StepperMotor::new(StepperConfig::mini_most());
+            let out = m.move_to(target).unwrap();
+            prop_assert!((out.position_m - target).abs() <= m.step_size() / 2.0 + 1e-12);
+        }
+    }
+}

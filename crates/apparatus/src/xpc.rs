@@ -1,0 +1,120 @@
+//! xPC-style real-time target.
+//!
+//! §3.1: at CU "the Matlab application used Matlab's xPC feature to
+//! communicate with a target machine running Matlab's real-time operating
+//! system, which would in turn control the servo-hydraulics." The defining
+//! property of the real-time target is *fixed-rate execution*: everything
+//! happens on a hard tick, so command handling latency quantizes to whole
+//! ticks. [`XpcTarget`] wraps a controller and imposes that timing model.
+
+use neesgrid_gridsim::SimTime;
+
+use crate::control_system::{ControllerCommand, ControllerResponse, ShoreWesternController};
+
+/// A fixed-rate real-time wrapper around a site controller.
+pub struct XpcTarget {
+    controller: ShoreWesternController,
+    /// The hard real-time tick (1 kHz in MOST's configuration).
+    pub tick: SimTime,
+    ticks_consumed: u64,
+}
+
+impl XpcTarget {
+    /// Wrap a controller with a real-time tick.
+    pub fn new(controller: ShoreWesternController, tick: SimTime) -> Self {
+        assert!(tick > SimTime::ZERO);
+        XpcTarget {
+            controller,
+            tick,
+            ticks_consumed: 0,
+        }
+    }
+
+    /// Total ticks consumed by command processing.
+    pub fn ticks_consumed(&self) -> u64 {
+        self.ticks_consumed
+    }
+
+    /// Access the wrapped controller (operator/diagnostic path).
+    pub fn controller_mut(&mut self) -> &mut ShoreWesternController {
+        &mut self.controller
+    }
+
+    /// Execute a command under real-time semantics: one tick of input
+    /// latency, move durations rounded *up* to whole ticks.
+    pub fn execute(&mut self, cmd: ControllerCommand) -> (ControllerResponse, SimTime) {
+        let response = self.controller.execute(cmd);
+        let raw = match &response {
+            ControllerResponse::Moved(m) => m.duration,
+            _ => SimTime::ZERO,
+        };
+        // Round up to whole ticks, plus one tick of I/O latency.
+        let tick_ns = self.tick.as_nanos();
+        let ticks = raw.as_nanos().div_ceil(tick_ns) + 1;
+        self.ticks_consumed += ticks;
+        let quantized = SimTime::from_nanos(ticks * tick_ns);
+        let response = match response {
+            ControllerResponse::Moved(mut m) => {
+                m.duration = quantized;
+                ControllerResponse::Moved(m)
+            }
+            other => other,
+        };
+        (response, quantized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actuator::{ActuatorConfig, ServoHydraulicActuator};
+    use crate::sensors::{LoadCell, Lvdt};
+    use crate::specimen::SteelColumn;
+
+    fn target() -> XpcTarget {
+        let controller = ShoreWesternController::new(
+            ServoHydraulicActuator::new(ActuatorConfig::lab_100kn()),
+            Box::new(SteelColumn::most_cu()),
+            Lvdt::lab_grade("lvdt", 11),
+            LoadCell::new("load", 12, 300_000.0),
+            300_000.0,
+        );
+        XpcTarget::new(controller, SimTime::from_millis(1))
+    }
+
+    #[test]
+    fn durations_quantize_to_ticks() {
+        let mut t = target();
+        let (resp, dur) = t.execute(ControllerCommand::Move { target_m: 0.005 });
+        assert!(matches!(resp, ControllerResponse::Moved(_)));
+        assert_eq!(dur.as_nanos() % 1_000_000, 0, "not tick-aligned: {dur}");
+        if let ControllerResponse::Moved(m) = resp {
+            assert_eq!(m.duration, dur);
+        }
+    }
+
+    #[test]
+    fn non_move_commands_cost_one_tick() {
+        let mut t = target();
+        let (_, dur) = t.execute(ControllerCommand::Status);
+        assert_eq!(dur, SimTime::from_millis(1));
+        assert_eq!(t.ticks_consumed(), 1);
+    }
+
+    #[test]
+    fn tick_accounting_accumulates() {
+        let mut t = target();
+        t.execute(ControllerCommand::Move { target_m: 0.002 });
+        let after_move = t.ticks_consumed();
+        assert!(after_move > 100, "a 2 mm move takes many 1 ms ticks");
+        t.execute(ControllerCommand::Status);
+        assert_eq!(t.ticks_consumed(), after_move + 1);
+    }
+
+    #[test]
+    fn controller_state_reachable_through_wrapper() {
+        let mut t = target();
+        t.execute(ControllerCommand::EStop);
+        assert!(t.controller_mut().is_tripped());
+    }
+}

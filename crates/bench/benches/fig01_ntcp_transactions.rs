@@ -1,0 +1,98 @@
+//! E1 (Figure 1) — NTCP transaction state machine.
+//!
+//! Regenerates the behavioural content of the state-transition figure:
+//! the cost of each protocol phase (propose, execute, cancel, full
+//! lifecycle over the network) and of the pure in-memory state machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use neesgrid_bench::{loopback_net, single_site};
+use neesgrid_gridsim::SimTime;
+use neesgrid_gsi::ActionLimits;
+use neesgrid_ntcp::{ControlPoint, SimulationPlugin, Transaction, TxState};
+use neesgrid_structsim::{LinearElastic, SimulatedSubstructure};
+
+fn plugin() -> Box<SimulationPlugin> {
+    Box::new(SimulationPlugin::new(
+        "bench-sim",
+        Box::new(SimulatedSubstructure::spring_to_ground(
+            "col",
+            Box::new(LinearElastic::new(2.0e5)),
+        )),
+    ))
+}
+
+fn action(d: f64) -> Vec<ControlPoint> {
+    vec![ControlPoint::displacement("dof-0", d, 2.0e5 * d.abs())]
+}
+
+fn bench_state_machine(c: &mut Criterion) {
+    c.bench_function("fig01/state_machine_full_lifecycle", |b| {
+        b.iter(|| {
+            let mut tx = Transaction::propose(
+                "t",
+                action(0.001),
+                SimTime::from_secs(30),
+                SimTime::from_secs(1),
+            );
+            tx.transition(TxState::Accepted, SimTime::from_secs(2)).unwrap();
+            tx.transition(TxState::Executing, SimTime::from_secs(3)).unwrap();
+            tx.transition(TxState::Completed, SimTime::from_secs(4)).unwrap();
+            std::hint::black_box(tx.to_sde_value())
+        })
+    });
+}
+
+fn bench_protocol_phases(c: &mut Criterion) {
+    let net = loopback_net();
+    let client = single_site(&net, "site", plugin(), ActionLimits::most_large_scale());
+    let mut n = 0u64;
+    c.bench_function("fig01/propose_accept", |b| {
+        b.iter(|| {
+            n += 1;
+            client
+                .propose(&format!("p-{n}"), action(0.001), SimTime::from_secs(30))
+                .unwrap();
+        })
+    });
+    c.bench_function("fig01/propose_execute_lifecycle", |b| {
+        b.iter(|| {
+            n += 1;
+            let tx = format!("l-{n}");
+            client.propose(&tx, action(0.001), SimTime::from_secs(30)).unwrap();
+            std::hint::black_box(client.execute(&tx).unwrap());
+        })
+    });
+    c.bench_function("fig01/propose_cancel", |b| {
+        b.iter(|| {
+            n += 1;
+            let tx = format!("c-{n}");
+            client.propose(&tx, action(0.001), SimTime::from_secs(30)).unwrap();
+            client.cancel(&tx).unwrap();
+        })
+    });
+    c.bench_function("fig01/propose_rejected_by_policy", |b| {
+        b.iter(|| {
+            n += 1;
+            let err = client
+                .propose(&format!("r-{n}"), action(9.0), SimTime::from_secs(30))
+                .unwrap_err();
+            std::hint::black_box(err)
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_state_machine, bench_protocol_phases
+}
+criterion_main!(benches);

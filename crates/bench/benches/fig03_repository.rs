@@ -1,0 +1,124 @@
+//! E3 (Figure 3) — the data & metadata repository.
+//!
+//! Sweeps the GridFTP-style transfer (file size × parallel streams),
+//! NMDS object creation/validation/versioning, and the incremental
+//! ingestion batch path.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use neesgrid_gridsim::SimTime;
+use neesgrid_gsi::DistinguishedName;
+use neesgrid_repo::{
+    GridFtpReceiver, GridFtpSender, Ingester, Nfms, Nmds, VirtualStore,
+};
+use neesgrid_repo::metadata::{FieldType, Schema};
+
+fn payload(n: usize) -> Bytes {
+    Bytes::from((0..n).map(|i| (i * 31 + 7) as u8).collect::<Vec<u8>>())
+}
+
+fn bench_gridftp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03/gridftp_transfer");
+    for size in [64 * 1024, 1024 * 1024] {
+        for streams in [1u32, 4, 8] {
+            let content = payload(size);
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("streams-{streams}"), size),
+                &content,
+                |b, content| {
+                    b.iter(|| {
+                        let sender = GridFtpSender::new(content.clone(), 8192, streams);
+                        let mut rx =
+                            GridFtpReceiver::new(sender.len(), sender.file_checksum());
+                        for chunk in sender.chunks() {
+                            rx.accept(&chunk).unwrap();
+                        }
+                        std::hint::black_box(rx.finish().unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_nmds(c: &mut Criterion) {
+    let owner = DistinguishedName::nees_user("BENCH", "owner");
+    c.bench_function("fig03/nmds_create_validated", |b| {
+        let mut nmds = Nmds::new();
+        nmds.create_schema(
+            "/schemas/sensor",
+            &Schema::new(&[
+                ("sensor_type", FieldType::String),
+                ("channel", FieldType::String),
+            ]),
+            owner.clone(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            nmds.create(
+                format!("/objects/{n}"),
+                Some("/schemas/sensor".into()),
+                serde_json::json!({"sensor_type": "LVDT", "channel": "c"}),
+                owner.clone(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        })
+    });
+    c.bench_function("fig03/nmds_update_version", |b| {
+        let mut nmds = Nmds::new();
+        nmds.create("/obj", None, serde_json::json!({"rev": 0}), owner.clone(), SimTime::ZERO)
+            .unwrap();
+        let mut rev = 0u64;
+        b.iter(|| {
+            rev += 1;
+            nmds.update(
+                "/obj",
+                serde_json::json!({ "rev": rev }),
+                &owner,
+                None,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        })
+    });
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let operator = DistinguishedName::nees_user("BENCH", "ingester");
+    c.bench_function("fig03/ingest_batch_of_10", |b| {
+        let mut nfms = Nfms::new(VirtualStore::new());
+        let mut nmds = Nmds::new();
+        let mut ing = Ingester::new("/experiments/bench", operator.clone());
+        let mut batch_no = 0u64;
+        b.iter(|| {
+            batch_no += 1;
+            let batch: Vec<(String, Bytes)> = (0..10)
+                .map(|i| (format!("w{batch_no}-{i}.csv"), payload(4096)))
+                .collect();
+            ing.ingest_batch(&mut nfms, &mut nmds, batch, SimTime::ZERO)
+                .unwrap();
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_gridftp, bench_nmds, bench_ingestion
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E5 (Figures 6 & 7) — the physical substructure rigs.
+//!
+//! Regenerates the behavioural content of the physical-test figures: how
+//! the emulated servo-hydraulic rig tracks commands. Virtual settle time
+//! vs move amplitude is printed once (the physically meaningful series);
+//! the Criterion numbers measure the emulation's compute cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use neesgrid_apparatus::{
+    ActuatorConfig, ControllerCommand, ControllerResponse, LoadCell, Lvdt,
+    ServoHydraulicActuator, ShoreWesternController, SteelColumn,
+};
+
+fn controller() -> ShoreWesternController {
+    ShoreWesternController::new(
+        ServoHydraulicActuator::new(ActuatorConfig::lab_100kn()),
+        Box::new(SteelColumn::most_uiuc()),
+        Lvdt::lab_grade("lvdt", 1),
+        LoadCell::new("load", 2, 150_000.0),
+        120_000.0,
+    )
+}
+
+fn bench_tracking(c: &mut Criterion) {
+    // The figure-shaped data: settle time and tracking error vs amplitude.
+    eprintln!("fig06: servo-hydraulic tracking (virtual time)");
+    eprintln!("  amplitude    settle      |error|");
+    for amp in [0.0005, 0.002, 0.010, 0.030, 0.050] {
+        let mut ctl = controller();
+        match ctl.execute(ControllerCommand::Move { target_m: amp }) {
+            ControllerResponse::Moved(m) => eprintln!(
+                "  {:7.1} mm  {:>9}  {:8.1} um",
+                amp * 1e3,
+                m.duration,
+                (m.displacement_m - amp).abs() * 1e6
+            ),
+            other => eprintln!("  {:7.1} mm  refused: {other:?}", amp * 1e3),
+        }
+    }
+
+    let mut group = c.benchmark_group("fig06/move_emulation_cost");
+    for amp in [0.002f64, 0.010, 0.050] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}mm", amp * 1e3)),
+            &amp,
+            |b, &amp| {
+                let mut ctl = controller();
+                let mut sign = 1.0;
+                b.iter(|| {
+                    sign = -sign;
+                    std::hint::black_box(
+                        ctl.execute(ControllerCommand::Move { target_m: amp * sign }),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tracking
+}
+criterion_main!(benches);

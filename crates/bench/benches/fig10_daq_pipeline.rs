@@ -1,0 +1,84 @@
+//! E7 (Figure 10) — the DAQ components.
+//!
+//! Sampling throughput vs channel count, the CSV encode of the file-drop
+//! stage, and the full DAQ → drop-dir handoff.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use neesgrid_daq::{ChannelConfig, DaqSystem, FileDropDir, TimeSeries};
+use neesgrid_gridsim::SimTime;
+
+fn daq_with_channels(n: usize, rate: f64) -> DaqSystem {
+    let mut daq = DaqSystem::new();
+    for i in 0..n {
+        daq.add_channel(
+            ChannelConfig::new(format!("ch-{i}"), "m", rate),
+            Box::new(move |t: SimTime| (t.as_secs_f64() * (i as f64 + 1.0)).sin()),
+        );
+    }
+    daq
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10/acquire_1s_window_at_1khz");
+    for channels in [2usize, 8, 32] {
+        group.throughput(Throughput::Elements(channels as u64 * 1000));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(channels),
+            &channels,
+            |b, &channels| {
+                let mut daq = daq_with_channels(channels, 1000.0);
+                let mut t = SimTime::ZERO;
+                b.iter(|| {
+                    let next = t + SimTime::from_secs(1);
+                    let out = daq.acquire(t, next);
+                    t = next;
+                    std::hint::black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_filedrop(c: &mut Criterion) {
+    c.bench_function("fig10/csv_encode_decode_1k_samples", |b| {
+        let mut ts = TimeSeries::new("uiuc/lvdt-1", "m");
+        for i in 0..1000u64 {
+            ts.push(SimTime::from_millis(i), (i as f64 * 0.001).sin());
+        }
+        b.iter(|| {
+            let csv = ts.to_csv();
+            std::hint::black_box(TimeSeries::from_csv(&csv).unwrap())
+        })
+    });
+    c.bench_function("fig10/daq_to_dropdir_window", |b| {
+        let mut daq = daq_with_channels(4, 100.0);
+        let dir = FileDropDir::new();
+        let mut t = SimTime::ZERO;
+        let mut window = 0u64;
+        b.iter(|| {
+            let next = t + SimTime::from_secs(1);
+            for ts in daq.acquire(t, next) {
+                dir.deposit_series(&ts, window, next);
+            }
+            t = next;
+            window += 1;
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sampling, bench_filedrop
+}
+criterion_main!(benches);

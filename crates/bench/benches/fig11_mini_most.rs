@@ -1,0 +1,62 @@
+//! E8 (Figure 11, §3.5) — Mini-MOST.
+//!
+//! Full tabletop runs: the stepper-motor rig vs the first-order kinetic
+//! simulator stand-in, plus a bare stepper positioning microbench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use neesgrid_apparatus::stepper::StepperConfig;
+use neesgrid_apparatus::StepperMotor;
+use neesgrid_most::{run_mini_most, MiniMostConfig};
+
+fn bench_runs(c: &mut Criterion) {
+    // Print the figure-shaped summary once.
+    for (label, config) in [
+        ("stepper-rig", MiniMostConfig::tabletop()),
+        ("kinetic-sim", MiniMostConfig::kinetic_simulator()),
+    ] {
+        let out = run_mini_most(&config);
+        eprintln!(
+            "fig11: {label}: {}/{} steps, peak {:.3} mm",
+            out.steps_completed,
+            config.steps,
+            out.peak_displacement_m * 1e3
+        );
+    }
+
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("mini_most_200_steps_stepper", |b| {
+        let config = MiniMostConfig::tabletop();
+        b.iter(|| std::hint::black_box(run_mini_most(&config)))
+    });
+    group.bench_function("mini_most_200_steps_kinetic", |b| {
+        let config = MiniMostConfig::kinetic_simulator();
+        b.iter(|| std::hint::black_box(run_mini_most(&config)))
+    });
+    group.finish();
+
+    c.bench_function("fig11/stepper_move_2mm", |b| {
+        let mut motor = StepperMotor::new(StepperConfig::mini_most());
+        let mut sign = 1.0;
+        b.iter(|| {
+            sign = -sign;
+            std::hint::black_box(motor.move_to(0.002 * sign).unwrap())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_runs
+}
+criterion_main!(benches);

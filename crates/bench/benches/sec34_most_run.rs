@@ -1,0 +1,53 @@
+//! E9 (§3.4) — the MOST runs.
+//!
+//! Executes the paper's scenarios at a scaled step count (the full
+//! 1,500-step versions run in the integration suite) and prints their
+//! reports once; Criterion then measures the cost of a scaled hybrid run
+//! and of the all-simulation rehearsal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use neesgrid_most::Scenario;
+
+const SCALED_STEPS: usize = 100;
+
+fn bench_scenarios(c: &mut Criterion) {
+    // The §3.4 comparison, printed from scaled runs.
+    for (scenario, label, paper_steps, paper_duration) in [
+        (Scenario::DryRun, "Dry run", "1500/1500", "~5.5 hours"),
+        (Scenario::PublicRun, "Public run", "1493/1500", ">5 hours"),
+    ] {
+        let artifacts = scenario.run_with_steps(SCALED_STEPS);
+        eprintln!(
+            "{}",
+            artifacts
+                .report
+                .render_markdown(label, paper_steps, paper_duration)
+        );
+    }
+
+    let mut group = c.benchmark_group("sec34");
+    group.sample_size(10);
+    group.bench_function("simulation_only_100_steps", |b| {
+        b.iter(|| std::hint::black_box(Scenario::SimulationOnly.run_with_steps(SCALED_STEPS)))
+    });
+    group.bench_function("hybrid_dry_run_100_steps", |b| {
+        b.iter(|| std::hint::black_box(Scenario::DryRun.run_with_steps(SCALED_STEPS)))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(8))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scenarios
+}
+criterion_main!(benches);

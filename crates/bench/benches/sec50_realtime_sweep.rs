@@ -1,0 +1,101 @@
+//! E10 (§5) — the near-real-time work.
+//!
+//! "MOST and most follow-on experiments have lax performance requirements
+//! … We are working … to support distributed experiments with
+//! near-real-time requirements. … we are working on improving NTCP
+//! performance, while the earthquake engineers are developing simulation
+//! and control software that can better tolerate delays."
+//!
+//! Two series are produced:
+//! * virtual NTCP round-trip time vs injected one-way WAN latency (printed
+//!   — latency is virtual, so this is exact, not sampled);
+//! * wall-clock protocol throughput (Criterion), the ceiling on how fast a
+//!   delay-tolerant integrator could step if the physics were free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use neesgrid_bench::single_site;
+use neesgrid_gridsim::{LatencyModel, NetworkConfig, SimTime, VirtualNetwork};
+use neesgrid_gsi::ActionLimits;
+use neesgrid_ntcp::{ControlPoint, SimulationPlugin};
+use neesgrid_structsim::{LinearElastic, SimulatedSubstructure};
+
+fn plugin() -> Box<SimulationPlugin> {
+    let mut p = SimulationPlugin::new(
+        "rt-sim",
+        Box::new(SimulatedSubstructure::spring_to_ground(
+            "col",
+            Box::new(LinearElastic::new(2.0e5)),
+        )),
+    );
+    p.compute_time = SimTime::from_millis(1);
+    Box::new(p)
+}
+
+fn bench_latency_sweep(c: &mut Criterion) {
+    eprintln!("sec50: virtual step time (propose+execute) vs one-way WAN latency");
+    eprintln!("  latency    step RTT   max step rate");
+    for latency_ms in [0u64, 5, 15, 30, 60, 120, 250] {
+        let net = VirtualNetwork::new(NetworkConfig {
+            default_latency: LatencyModel::Fixed(SimTime::from_millis(latency_ms)),
+            ..Default::default()
+        });
+        let client = single_site(
+            &net,
+            "site",
+            plugin(),
+            ActionLimits::most_large_scale(),
+        );
+        let clock = net.clock();
+        let t0 = clock.now();
+        client
+            .propose(
+                "rt-1",
+                vec![ControlPoint::displacement("dof-0", 0.001, 200.0)],
+                SimTime::from_secs(10),
+            )
+            .unwrap();
+        client.execute("rt-1").unwrap();
+        let step_rtt = clock.now().saturating_sub(t0);
+        let rate = if step_rtt > SimTime::ZERO {
+            1.0 / step_rtt.as_secs_f64()
+        } else {
+            f64::INFINITY
+        };
+        eprintln!("  {latency_ms:>5} ms  {step_rtt:>9}  {rate:8.2} steps/s");
+    }
+
+    // Wall-clock protocol throughput (zero-latency network).
+    let net = VirtualNetwork::new(NetworkConfig::default());
+    let client = single_site(&net, "fast-site", plugin(), ActionLimits::most_large_scale());
+    let mut n = 0u64;
+    c.bench_function("sec50/protocol_step_wallclock", |b| {
+        b.iter(|| {
+            n += 1;
+            let tx = format!("wt-{n}");
+            client
+                .propose(
+                    &tx,
+                    vec![ControlPoint::displacement("dof-0", 0.001, 200.0)],
+                    SimTime::from_secs(10),
+                )
+                .unwrap();
+            std::hint::black_box(client.execute(&tx).unwrap());
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_latency_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Chat and message board.
+//!
+//! §3.4: "CHEF's chat feature was crucial to user interaction. It allowed
+//! developers to communicate with one another, while keeping other
+//! participants informed of status and progress."
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_gridsim::SimTime;
+use neesgrid_gsi::DistinguishedName;
+
+/// One chat line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatMessage {
+    /// Monotone message id within the room.
+    pub id: u64,
+    /// When it was posted.
+    pub at: SimTime,
+    /// Who posted it.
+    pub from: DistinguishedName,
+    /// The text.
+    pub text: String,
+}
+
+/// A chat room (or message board — same mechanics, slower cadence).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChatRoom {
+    messages: Vec<ChatMessage>,
+}
+
+impl ChatRoom {
+    /// An empty room.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Post a message; returns its id.
+    pub fn post(&mut self, from: DistinguishedName, text: impl Into<String>, at: SimTime) -> u64 {
+        let id = self.messages.len() as u64;
+        self.messages.push(ChatMessage {
+            id,
+            at,
+            from,
+            text: text.into(),
+        });
+        id
+    }
+
+    /// All messages with id ≥ `since` (a client's catch-up cursor).
+    pub fn since(&self, since: u64) -> &[ChatMessage] {
+        let start = (since as usize).min(self.messages.len());
+        &self.messages[start..]
+    }
+
+    /// Full history.
+    pub fn history(&self) -> &[ChatMessage] {
+        &self.messages
+    }
+
+    /// Message count.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the room is silent.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(n: &str) -> DistinguishedName {
+        DistinguishedName::nees_user("REMOTE", n)
+    }
+
+    #[test]
+    fn post_and_catch_up() {
+        let mut room = ChatRoom::new();
+        room.post(dn("a"), "dry run starting", SimTime::from_secs(1));
+        room.post(dn("b"), "seeing data at step 10", SimTime::from_secs(2));
+        let id = room.post(dn("a"), "UIUC column at 3mm", SimTime::from_secs(3));
+        assert_eq!(id, 2);
+        assert_eq!(room.len(), 3);
+        let new = room.since(1);
+        assert_eq!(new.len(), 2);
+        assert_eq!(new[0].text, "seeing data at step 10");
+        // Cursor beyond the end is empty, not a panic.
+        assert!(room.since(99).is_empty());
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut room = ChatRoom::new();
+        for i in 0..50 {
+            let id = room.post(dn("x"), format!("m{i}"), SimTime::from_secs(i));
+            assert_eq!(id, i);
+        }
+        assert!(room.history().windows(2).all(|w| w[0].id + 1 == w[1].id));
+    }
+}

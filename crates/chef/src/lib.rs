@@ -1,0 +1,33 @@
+//! # neesgrid-chef — the collaboration portal
+//!
+//! MOST's remote participants "accessed tools via logging in to MOST via a
+//! NEESgrid specific collaboration interface built using the CHEF
+//! collaboration framework" (§3). Over 130 of them did, during the public
+//! run. This crate provides that portal:
+//!
+//! * [`session`] — GSI-authenticated login sessions with roles;
+//! * [`chat`] — the chat / message board ("CHEF's chat feature was crucial
+//!   to user interaction");
+//! * [`notebook`] — the electronic notebook;
+//! * [`viewer`] — the Data Viewer of Figure 8: arrangements of views,
+//!   VCR controls (play / pause / rewind / fast-forward), a clickable
+//!   timeline, and hysteresis plots;
+//! * [`telepresence`] — remotely operable pan/tilt/zoom cameras (three of
+//!   them at MOST), with exclusive-control leases;
+//! * [`portal`] — the facade tying it together, including repository data
+//!   download through the https bridge and a synthetic participant load
+//!   generator for the §3.4 scale test.
+
+pub mod chat;
+pub mod notebook;
+pub mod portal;
+pub mod session;
+pub mod telepresence;
+pub mod viewer;
+
+pub use chat::{ChatMessage, ChatRoom};
+pub use notebook::{Notebook, NotebookEntry};
+pub use portal::CollabPortal;
+pub use session::{Role, Session, SessionManager};
+pub use telepresence::{Camera, CameraFrame, CameraServer};
+pub use viewer::{DataViewer, VcrState};

@@ -1,0 +1,113 @@
+//! The electronic notebook.
+//!
+//! CHEF gave MOST participants "access to an electronic notebook" (§3) —
+//! an append-only experiment journal with titled, attributed entries.
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_gridsim::SimTime;
+use neesgrid_gsi::DistinguishedName;
+
+/// One notebook entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NotebookEntry {
+    /// Entry number.
+    pub id: u64,
+    /// When written.
+    pub at: SimTime,
+    /// Author.
+    pub author: DistinguishedName,
+    /// Short title.
+    pub title: String,
+    /// Body text.
+    pub body: String,
+}
+
+/// An append-only experiment notebook.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Notebook {
+    entries: Vec<NotebookEntry>,
+}
+
+impl Notebook {
+    /// An empty notebook.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry; returns its id.
+    pub fn write(
+        &mut self,
+        author: DistinguishedName,
+        title: impl Into<String>,
+        body: impl Into<String>,
+        at: SimTime,
+    ) -> u64 {
+        let id = self.entries.len() as u64;
+        self.entries.push(NotebookEntry {
+            id,
+            at,
+            author,
+            title: title.into(),
+            body: body.into(),
+        });
+        id
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[NotebookEntry] {
+        &self.entries
+    }
+
+    /// Entries whose title or body contains `needle` (case-sensitive).
+    pub fn search(&self, needle: &str) -> Vec<&NotebookEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.title.contains(needle) || e.body.contains(needle))
+            .collect()
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the notebook is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn author() -> DistinguishedName {
+        DistinguishedName::nees_user("UIUC", "Operator")
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let mut nb = Notebook::new();
+        let id = nb.write(
+            author(),
+            "Step 1493",
+            "final network error terminated the run",
+            SimTime::from_secs(100),
+        );
+        assert_eq!(id, 0);
+        assert_eq!(nb.entries()[0].title, "Step 1493");
+        assert_eq!(nb.len(), 1);
+    }
+
+    #[test]
+    fn search_matches_title_and_body() {
+        let mut nb = Notebook::new();
+        nb.write(author(), "Dry run", "completed 1500 steps", SimTime::ZERO);
+        nb.write(author(), "Public run", "terminated at step 1493", SimTime::ZERO);
+        nb.write(author(), "Misc", "camera 2 pan stuck", SimTime::ZERO);
+        assert_eq!(nb.search("run").len(), 2);
+        assert_eq!(nb.search("1493").len(), 1);
+        assert!(nb.search("zebra").is_empty());
+    }
+}

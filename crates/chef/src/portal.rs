@@ -1,0 +1,219 @@
+//! The portal facade.
+//!
+//! Ties the pieces into the experience §3 describes: log in with a GSI
+//! credential, join the chat, watch the structure respond in the data
+//! viewer (fed from an NSDS subscription), drive a camera, download
+//! archived data through the https bridge — and, for the §3.4 scale
+//! test, generate a MOST-sized synthetic crowd.
+
+use bytes::Bytes;
+
+use neesgrid_daq::nsds::{NsdsServer, NsdsSubscription};
+use neesgrid_gridsim::SimTime;
+use neesgrid_gsi::{CaVerifier, Credential, DistinguishedName};
+use neesgrid_repo::{HttpsBridge, Nfms};
+
+use crate::chat::ChatRoom;
+use crate::notebook::Notebook;
+use crate::session::{Role, Session, SessionManager};
+use crate::telepresence::CameraServer;
+use crate::viewer::DataViewer;
+
+/// The collaboration portal for one experiment.
+pub struct CollabPortal {
+    /// Session management.
+    pub sessions: SessionManager,
+    /// The main chat room.
+    pub chat: ChatRoom,
+    /// The experiment notebook.
+    pub notebook: Notebook,
+    /// Camera fleet.
+    pub cameras: CameraServer,
+    bridge: HttpsBridge,
+    downloads: u64,
+}
+
+impl CollabPortal {
+    /// A portal trusting `root`, with the MOST camera fleet.
+    pub fn new(root: CaVerifier) -> Self {
+        CollabPortal {
+            sessions: SessionManager::new(root),
+            chat: ChatRoom::new(),
+            notebook: Notebook::new(),
+            cameras: CameraServer::most(),
+            bridge: HttpsBridge::new(),
+            downloads: 0,
+        }
+    }
+
+    /// Log a participant in.
+    pub fn login(&mut self, credential: &Credential, now: SimTime) -> Result<Session, String> {
+        self.sessions.login(credential, now).map_err(|e| e.to_string())
+    }
+
+    /// Post to chat (requires a live Participant+ session).
+    pub fn post_chat(
+        &mut self,
+        user: &DistinguishedName,
+        text: impl Into<String>,
+        now: SimTime,
+    ) -> Result<u64, String> {
+        let session = self
+            .sessions
+            .session(user, now)
+            .ok_or_else(|| format!("{user} has no live session"))?;
+        if session.role == Role::Observer {
+            return Err(format!("{user} is observer-only"));
+        }
+        Ok(self.chat.post(user.clone(), text, now))
+    }
+
+    /// Open a data viewer fed from an NSDS subscription over `pattern`.
+    /// Returns the viewer and the subscription to pump.
+    pub fn open_viewer(
+        &self,
+        nsds: &NsdsServer,
+        pattern: &str,
+        buffer: usize,
+    ) -> (DataViewer, NsdsSubscription) {
+        (DataViewer::new(), nsds.subscribe(pattern, buffer))
+    }
+
+    /// Pump pending NSDS samples into a viewer (called on the UI cadence).
+    pub fn pump_viewer(viewer: &mut DataViewer, subscription: &NsdsSubscription) -> usize {
+        let samples = subscription.drain();
+        let n = samples.len();
+        for s in samples {
+            viewer.ingest(&s.channel, s.t, s.value);
+        }
+        n
+    }
+
+    /// Download an archived file through the https bridge (requires a
+    /// live session of any role).
+    pub fn download(
+        &mut self,
+        user: &DistinguishedName,
+        nfms: &Nfms,
+        logical: &str,
+        now: SimTime,
+    ) -> Result<Bytes, String> {
+        if self.sessions.session(user, now).is_none() {
+            return Err(format!("{user} has no live session"));
+        }
+        let bytes = self.bridge.get(nfms, logical)?;
+        self.downloads += 1;
+        Ok(bytes)
+    }
+
+    /// Files downloaded through the portal.
+    pub fn downloads(&self) -> u64 {
+        self.downloads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neesgrid_daq::nsds::NsdsSample;
+    use neesgrid_gsi::CertificateAuthority;
+    use neesgrid_repo::VirtualStore;
+
+    fn setup() -> (CertificateAuthority, CollabPortal) {
+        let ca = CertificateAuthority::nees(33);
+        let portal = CollabPortal::new(ca.verifier());
+        (ca, portal)
+    }
+
+    fn participant(ca: &CertificateAuthority, name: &str, seed: u64) -> Credential {
+        Credential::issue(
+            ca,
+            DistinguishedName::nees_user("REMOTE", name),
+            SimTime::ZERO,
+            SimTime::from_secs(6 * 3600),
+            seed,
+        )
+    }
+
+    #[test]
+    fn observer_cannot_chat_participant_can() {
+        let (ca, mut portal) = setup();
+        let obs = participant(&ca, "observer", 1);
+        let part = participant(&ca, "participant", 2);
+        portal
+            .sessions
+            .assign_role(part.identity().clone(), Role::Participant);
+        portal.login(&obs, SimTime::from_secs(1)).unwrap();
+        portal.login(&part, SimTime::from_secs(1)).unwrap();
+        assert!(portal
+            .post_chat(obs.identity(), "hi", SimTime::from_secs(2))
+            .is_err());
+        portal
+            .post_chat(part.identity(), "step 100 done", SimTime::from_secs(2))
+            .unwrap();
+        assert_eq!(portal.chat.len(), 1);
+    }
+
+    #[test]
+    fn viewer_fed_from_nsds() {
+        let (_, portal) = setup();
+        let nsds = NsdsServer::new();
+        let (mut viewer, sub) = portal.open_viewer(&nsds, "resp/*", 256);
+        for i in 0..50u64 {
+            nsds.publish(NsdsSample {
+                channel: "resp/dof-0".into(),
+                t: SimTime::from_millis(i * 10),
+                value: i as f64,
+            });
+        }
+        let n = CollabPortal::pump_viewer(&mut viewer, &sub);
+        assert_eq!(n, 50);
+        viewer.seek(viewer.live_edge);
+        assert_eq!(viewer.visible_series("resp/dof-0").len(), 50);
+    }
+
+    #[test]
+    fn download_requires_session() {
+        let (ca, mut portal) = setup();
+        let mut nfms = Nfms::new(VirtualStore::new());
+        nfms.upload("/most/d.csv", Bytes::from_static(b"x,y"), SimTime::ZERO)
+            .unwrap();
+        let user = participant(&ca, "dl", 3);
+        // No session yet.
+        assert!(portal
+            .download(user.identity(), &nfms, "/most/d.csv", SimTime::from_secs(1))
+            .is_err());
+        portal.login(&user, SimTime::from_secs(1)).unwrap();
+        let bytes = portal
+            .download(user.identity(), &nfms, "/most/d.csv", SimTime::from_secs(2))
+            .unwrap();
+        assert_eq!(&bytes[..], b"x,y");
+        assert_eq!(portal.downloads(), 1);
+    }
+
+    #[test]
+    fn most_scale_crowd() {
+        // §3.4: "over 130 remote participants logged on to observe MOST."
+        let (ca, mut portal) = setup();
+        let nsds = NsdsServer::new();
+        let mut viewers = Vec::new();
+        for i in 0..132 {
+            let cred = participant(&ca, &format!("crowd-{i}"), 1000 + i);
+            portal.login(&cred, SimTime::from_secs(1)).unwrap();
+            viewers.push(portal.open_viewer(&nsds, "resp/*", 128));
+        }
+        // Stream a burst of response data to the whole crowd.
+        for i in 0..100u64 {
+            nsds.publish(NsdsSample {
+                channel: "resp/dof-0".into(),
+                t: SimTime::from_millis(i * 10),
+                value: (i as f64 * 0.01).sin(),
+            });
+        }
+        for (viewer, sub) in viewers.iter_mut() {
+            CollabPortal::pump_viewer(viewer, sub);
+            assert_eq!(sub.dropped(), 0);
+        }
+        assert!(portal.sessions.peak_concurrent() >= 130);
+    }
+}

@@ -1,0 +1,234 @@
+//! Telepresence cameras.
+//!
+//! "During MOST, real-time video from both physical testing sites was also
+//! available, with at least one accessible camera at each site" (§3), and
+//! "the sense of participation of the remote users was enhanced by the
+//! three telepresence cameras, which could be operated remotely" (§3.4).
+//! A [`Camera`] models the pan/tilt/zoom head with axis limits and an
+//! exclusive-control lease so two operators cannot fight over the head;
+//! frames are synthetic but carry the camera state that produced them.
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_gridsim::SimTime;
+use neesgrid_gsi::DistinguishedName;
+
+/// One synthetic video frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CameraFrame {
+    /// Frame sequence number.
+    pub seq: u64,
+    /// Capture time.
+    pub at: SimTime,
+    /// Pan at capture, degrees.
+    pub pan_deg: f64,
+    /// Tilt at capture, degrees.
+    pub tilt_deg: f64,
+    /// Zoom at capture, 1.0 = wide.
+    pub zoom: f64,
+}
+
+/// A pan/tilt/zoom camera.
+pub struct Camera {
+    /// Camera name, e.g. `"uiuc-cam-1"`.
+    pub name: String,
+    pan_deg: f64,
+    tilt_deg: f64,
+    zoom: f64,
+    controller: Option<DistinguishedName>,
+    frame_seq: u64,
+}
+
+/// Pan limits, degrees.
+const PAN_RANGE: (f64, f64) = (-170.0, 170.0);
+/// Tilt limits, degrees.
+const TILT_RANGE: (f64, f64) = (-30.0, 90.0);
+/// Zoom limits.
+const ZOOM_RANGE: (f64, f64) = (1.0, 12.0);
+
+impl Camera {
+    /// A camera at its home position.
+    pub fn new(name: impl Into<String>) -> Self {
+        Camera {
+            name: name.into(),
+            pan_deg: 0.0,
+            tilt_deg: 0.0,
+            zoom: 1.0,
+            controller: None,
+            frame_seq: 0,
+        }
+    }
+
+    /// Who currently holds the control lease.
+    pub fn controller(&self) -> Option<&DistinguishedName> {
+        self.controller.as_ref()
+    }
+
+    /// Acquire exclusive control; fails if someone else holds it.
+    pub fn acquire(&mut self, who: DistinguishedName) -> Result<(), String> {
+        match &self.controller {
+            Some(holder) if *holder != who => {
+                Err(format!("{} is controlled by {holder}", self.name))
+            }
+            _ => {
+                self.controller = Some(who);
+                Ok(())
+            }
+        }
+    }
+
+    /// Release control (idempotent; only the holder can release).
+    pub fn release(&mut self, who: &DistinguishedName) {
+        if self.controller.as_ref() == Some(who) {
+            self.controller = None;
+        }
+    }
+
+    /// Command pan/tilt/zoom (requires the control lease). Values clamp
+    /// to the head's mechanical limits.
+    pub fn command(
+        &mut self,
+        who: &DistinguishedName,
+        pan_deg: f64,
+        tilt_deg: f64,
+        zoom: f64,
+    ) -> Result<(), String> {
+        if self.controller.as_ref() != Some(who) {
+            return Err(format!("{who} does not control {}", self.name));
+        }
+        self.pan_deg = pan_deg.clamp(PAN_RANGE.0, PAN_RANGE.1);
+        self.tilt_deg = tilt_deg.clamp(TILT_RANGE.0, TILT_RANGE.1);
+        self.zoom = zoom.clamp(ZOOM_RANGE.0, ZOOM_RANGE.1);
+        Ok(())
+    }
+
+    /// Capture a frame (any viewer may do this; watching needs no lease).
+    pub fn capture(&mut self, at: SimTime) -> CameraFrame {
+        let seq = self.frame_seq;
+        self.frame_seq += 1;
+        CameraFrame {
+            seq,
+            at,
+            pan_deg: self.pan_deg,
+            tilt_deg: self.tilt_deg,
+            zoom: self.zoom,
+        }
+    }
+}
+
+/// The fleet of cameras at all sites.
+pub struct CameraServer {
+    cameras: Vec<Camera>,
+}
+
+impl CameraServer {
+    /// MOST's deployment: three remotely operable cameras.
+    pub fn most() -> Self {
+        CameraServer {
+            cameras: vec![
+                Camera::new("uiuc-cam-1"),
+                Camera::new("uiuc-cam-2"),
+                Camera::new("cu-cam-1"),
+            ],
+        }
+    }
+
+    /// An empty server.
+    pub fn new() -> Self {
+        CameraServer { cameras: Vec::new() }
+    }
+
+    /// Add a camera.
+    pub fn add(&mut self, camera: Camera) {
+        self.cameras.push(camera);
+    }
+
+    /// Borrow a camera by name.
+    pub fn camera_mut(&mut self, name: &str) -> Option<&mut Camera> {
+        self.cameras.iter_mut().find(|c| c.name == name)
+    }
+
+    /// Camera names.
+    pub fn names(&self) -> Vec<&str> {
+        self.cameras.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Number of cameras.
+    pub fn len(&self) -> usize {
+        self.cameras.len()
+    }
+
+    /// Whether the server has no cameras.
+    pub fn is_empty(&self) -> bool {
+        self.cameras.is_empty()
+    }
+}
+
+impl Default for CameraServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user(n: &str) -> DistinguishedName {
+        DistinguishedName::nees_user("REMOTE", n)
+    }
+
+    #[test]
+    fn most_has_three_cameras() {
+        let server = CameraServer::most();
+        assert_eq!(server.len(), 3);
+        assert_eq!(server.names(), vec!["uiuc-cam-1", "uiuc-cam-2", "cu-cam-1"]);
+    }
+
+    #[test]
+    fn control_lease_is_exclusive() {
+        let mut cam = Camera::new("cam");
+        cam.acquire(user("a")).unwrap();
+        assert!(cam.acquire(user("b")).is_err());
+        // Re-acquire by the holder is fine.
+        cam.acquire(user("a")).unwrap();
+        // Only the holder can release.
+        cam.release(&user("b"));
+        assert_eq!(cam.controller(), Some(&user("a")));
+        cam.release(&user("a"));
+        cam.acquire(user("b")).unwrap();
+    }
+
+    #[test]
+    fn commands_require_the_lease_and_clamp() {
+        let mut cam = Camera::new("cam");
+        assert!(cam.command(&user("a"), 10.0, 10.0, 2.0).is_err());
+        cam.acquire(user("a")).unwrap();
+        cam.command(&user("a"), 500.0, -80.0, 0.1).unwrap();
+        let f = cam.capture(SimTime::from_secs(1));
+        assert_eq!(f.pan_deg, 170.0);
+        assert_eq!(f.tilt_deg, -30.0);
+        assert_eq!(f.zoom, 1.0);
+    }
+
+    #[test]
+    fn frames_sequence_and_carry_state() {
+        let mut cam = Camera::new("cam");
+        cam.acquire(user("a")).unwrap();
+        cam.command(&user("a"), 45.0, 10.0, 3.0).unwrap();
+        let f0 = cam.capture(SimTime::from_secs(1));
+        let f1 = cam.capture(SimTime::from_secs(2));
+        assert_eq!(f0.seq, 0);
+        assert_eq!(f1.seq, 1);
+        assert_eq!(f1.pan_deg, 45.0);
+        assert_eq!(f1.zoom, 3.0);
+    }
+
+    #[test]
+    fn watching_needs_no_lease() {
+        let mut cam = Camera::new("cam");
+        // No controller at all; capture still works (fixed view).
+        let f = cam.capture(SimTime::ZERO);
+        assert_eq!(f.pan_deg, 0.0);
+    }
+}

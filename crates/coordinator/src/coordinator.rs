@@ -1,0 +1,594 @@
+//! The per-step coordination loop.
+//!
+//! Each pseudo-dynamic step runs the two-phase discipline of §2.1:
+//!
+//! 1. **Propose to every site in parallel** — "this separation of proposal
+//!    and execution enables a client to ensure that the actions for a
+//!    testing step are acceptable at all experimental sites before causing
+//!    any action to take place." If any site rejects or fails, accepted
+//!    proposals are cancelled and nothing has moved.
+//! 2. **Execute everywhere in parallel**, collect measured restoring
+//!    forces, and advance the central-difference integrator.
+//!
+//! Failure handling is delegated to the configured [`FaultPolicy`].
+//! Step-level retries use *fresh transaction names*; re-imposing the same
+//! target displacement on a site that already executed it is physically
+//! idempotent (the specimen is already there), which is what makes the
+//! retry sound.
+
+use std::sync::Arc;
+
+use neesgrid_gridsim::{SimClock, SimTime};
+use neesgrid_ntcp::{ControlPoint, NtcpClient, NtcpError};
+use neesgrid_structsim::integrate::CentralDifference;
+use neesgrid_structsim::linalg::{Matrix, Vector};
+use neesgrid_structsim::psd::PsdHistory;
+use neesgrid_structsim::substructure::SubstructureBinding;
+use neesgrid_structsim::GroundMotion;
+
+use crate::log::{EventKind, ExperimentLog};
+use crate::policy::FaultPolicy;
+
+/// One experiment site as the coordinator sees it.
+pub struct SiteHandle {
+    /// Site name (used in transaction names and logs).
+    pub name: String,
+    /// NTCP client bound to the site's server.
+    pub client: NtcpClient,
+    /// Which global DOFs this site's substructure carries.
+    pub binding: SubstructureBinding,
+    /// Elastic stiffness estimate, N/m per DOF, used to fill the
+    /// `expected_force` field of proposals (what the site polices).
+    pub stiffness_estimate: f64,
+}
+
+/// Data handed to the per-step observer callback (feeds NSDS/CHEF).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// Step index.
+    pub step: u64,
+    /// Virtual time at completion.
+    pub at: SimTime,
+    /// Target displacements imposed this step, m.
+    pub displacement: Vec<f64>,
+    /// Measured restoring forces, N.
+    pub restoring: Vec<f64>,
+}
+
+/// How the experiment ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Termination {
+    /// All requested steps completed.
+    Completed,
+    /// Terminated prematurely.
+    Aborted {
+        /// Step at which the fatal failure occurred (0-based).
+        step: u64,
+        /// The site whose failure was fatal.
+        site: String,
+        /// The fatal error.
+        error: String,
+    },
+}
+
+/// The full result of a coordinated experiment.
+pub struct ExperimentOutcome {
+    /// Steps requested.
+    pub steps_requested: usize,
+    /// Recorded motion/force histories (one entry per completed step).
+    pub history: PsdHistory,
+    /// The event log.
+    pub log: ExperimentLog,
+    /// How it ended.
+    pub termination: Termination,
+    /// Transport-level retransmissions observed across all sites.
+    pub retransmissions: u64,
+}
+
+impl ExperimentOutcome {
+    /// Steps completed.
+    pub fn steps_completed(&self) -> usize {
+        self.history.steps_completed
+    }
+}
+
+/// The MS-PSDS simulation coordinator.
+pub struct SimulationCoordinator {
+    sites: Vec<SiteHandle>,
+    masses: Vec<f64>,
+    damping: Matrix,
+    dt: f64,
+    policy: FaultPolicy,
+    /// Execution timeout carried in proposals.
+    pub transaction_timeout: SimTime,
+    clock: Arc<SimClock>,
+    on_step: Option<StepObserver>,
+}
+
+/// Per-step observer callback type.
+pub type StepObserver = Box<dyn FnMut(&StepRecord) + Send>;
+
+impl SimulationCoordinator {
+    /// Create a coordinator over the given global model and sites.
+    pub fn new(
+        masses: Vec<f64>,
+        damping: Matrix,
+        dt: f64,
+        sites: Vec<SiteHandle>,
+        policy: FaultPolicy,
+        clock: Arc<SimClock>,
+    ) -> Self {
+        assert!(!masses.is_empty() && dt > 0.0);
+        let ndof = masses.len();
+        for s in &sites {
+            assert!(
+                s.binding.global_dofs.iter().all(|&d| d < ndof),
+                "site {} binds DOF out of range",
+                s.name
+            );
+        }
+        SimulationCoordinator {
+            sites,
+            masses,
+            damping,
+            dt,
+            policy,
+            transaction_timeout: SimTime::from_secs(60),
+            clock,
+            on_step: None,
+        }
+    }
+
+    /// Install a per-step observer (streams to NSDS / the CHEF viewer).
+    pub fn set_on_step(&mut self, f: StepObserver) {
+        self.on_step = Some(f);
+    }
+
+    fn ground_force(&self, ag: f64) -> Vector {
+        let mut p = Vector::zeros(self.masses.len());
+        for (i, &m) in self.masses.iter().enumerate() {
+            p[i] = -m * ag;
+        }
+        p
+    }
+
+    fn actions_for(&self, site: &SiteHandle, target: &Vector) -> Vec<ControlPoint> {
+        site.binding
+            .gather(target.as_slice())
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| ControlPoint {
+                name: format!("dof-{i}"),
+                displacement_m: d,
+                velocity_mps: 0.0,
+                expected_force_n: site.stiffness_estimate * d.abs(),
+            })
+            .collect()
+    }
+
+    /// Propose + execute one step's displacements at every site.
+    /// Returns the assembled global restoring vector.
+    fn run_step_once(
+        &self,
+        clients: &[NtcpClient],
+        step: u64,
+        attempt: u32,
+        target: &Vector,
+    ) -> Result<Vector, (String, NtcpError)> {
+        let tx_name = format!("step-{step:06}-a{attempt}");
+        // Phase 1: propose everywhere, in parallel.
+        let proposals: Vec<Result<(), NtcpError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .sites
+                .iter()
+                .zip(clients)
+                .map(|(site, client)| {
+                    let actions = self.actions_for(site, target);
+                    let tx = tx_name.clone();
+                    let timeout = self.transaction_timeout;
+                    scope.spawn(move || client.propose(&tx, actions, timeout))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("propose thread")).collect()
+        });
+        if let Some((idx, err)) = proposals
+            .iter()
+            .enumerate()
+            .find_map(|(i, r)| r.as_ref().err().map(|e| (i, e.clone())))
+        {
+            // Withdraw whatever was accepted: nothing may move this step.
+            for (i, r) in proposals.iter().enumerate() {
+                if r.is_ok() {
+                    let _ = clients[i].cancel(&tx_name);
+                }
+            }
+            return Err((self.sites[idx].name.clone(), err));
+        }
+        // Phase 2: execute everywhere, in parallel.
+        let executions: Vec<Result<Vec<neesgrid_ntcp::ControlPointResult>, NtcpError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = clients
+                    .iter()
+                    .map(|client| {
+                        let tx = tx_name.clone();
+                        scope.spawn(move || client.execute(&tx))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("execute thread")).collect()
+            });
+        let mut restoring = vec![0.0; self.masses.len()];
+        for ((site, result), _client) in self.sites.iter().zip(executions).zip(clients) {
+            match result {
+                Ok(results) => {
+                    let forces: Vec<f64> = results.iter().map(|r| r.force_n).collect();
+                    if forces.len() != site.binding.global_dofs.len() {
+                        return Err((
+                            site.name.clone(),
+                            NtcpError::BadResponse(format!(
+                                "{} returned {} results for {} DOFs",
+                                site.name,
+                                forces.len(),
+                                site.binding.global_dofs.len()
+                            )),
+                        ));
+                    }
+                    site.binding.scatter(&forces, &mut restoring);
+                }
+                Err(e) => return Err((site.name.clone(), e)),
+            }
+        }
+        Ok(Vector::from_slice(&restoring))
+    }
+
+    /// Run the experiment for `steps` steps under `motion`.
+    pub fn run(&mut self, motion: &GroundMotion, steps: usize) -> ExperimentOutcome {
+        // Bind every site client to the policy's transport behaviour.
+        let clients: Vec<NtcpClient> = self
+            .sites
+            .iter()
+            .map(|s| s.client.clone().with_rpc_policy(self.policy.rpc_policy()))
+            .collect();
+
+        let ndof = self.masses.len();
+        let mut log = ExperimentLog::new();
+        log.record(self.clock.now(), 0, EventKind::Started);
+
+        // The structure starts at rest: zero displacement, zero restoring.
+        let mut integrator = CentralDifference::new(
+            Matrix::diag(&self.masses),
+            &self.damping,
+            self.dt,
+            Vector::zeros(ndof),
+            Vector::zeros(ndof),
+            &Vector::zeros(ndof),
+            &self.ground_force(motion.value_at(0.0)),
+        );
+
+        let mut history = PsdHistory {
+            dt: self.dt,
+            displacement: Vec::with_capacity(steps),
+            velocity: Vec::with_capacity(steps),
+            acceleration: Vec::with_capacity(steps),
+            restoring: Vec::with_capacity(steps),
+            steps_completed: 0,
+        };
+        let mut termination = Termination::Completed;
+
+        'steps: for n in 0..steps as u64 {
+            let target = integrator.target_displacement().clone();
+            let mut attempt = 0u32;
+            let restoring = loop {
+                match self.run_step_once(&clients, n, attempt, &target) {
+                    Ok(r) => break r,
+                    Err((site, err)) => {
+                        if self.policy.step_retryable(&err, attempt) {
+                            log.record(
+                                self.clock.now(),
+                                n,
+                                EventKind::TransientRecovered {
+                                    site,
+                                    error: err.to_string(),
+                                },
+                            );
+                            attempt += 1;
+                            continue;
+                        }
+                        if let NtcpError::Rejected { reason } = &err {
+                            log.record(
+                                self.clock.now(),
+                                n,
+                                EventKind::ProposalRejected {
+                                    site: site.clone(),
+                                    reason: reason.clone(),
+                                },
+                            );
+                        }
+                        log.record(
+                            self.clock.now(),
+                            n,
+                            EventKind::Aborted {
+                                site: site.clone(),
+                                error: err.to_string(),
+                            },
+                        );
+                        termination = Termination::Aborted {
+                            step: n,
+                            site,
+                            error: err.to_string(),
+                        };
+                        break 'steps;
+                    }
+                }
+            };
+
+            let load = self.ground_force(motion.value_at(n as f64 * self.dt));
+            let result = integrator.advance(&restoring, &load);
+            history.displacement.push(target.as_slice().to_vec());
+            history.velocity.push(result.velocity.as_slice().to_vec());
+            history
+                .acceleration
+                .push(result.acceleration.as_slice().to_vec());
+            history.restoring.push(restoring.as_slice().to_vec());
+            history.steps_completed = (n + 1) as usize;
+            log.record(self.clock.now(), n, EventKind::StepCompleted);
+            if let Some(cb) = self.on_step.as_mut() {
+                cb(&StepRecord {
+                    step: n,
+                    at: self.clock.now(),
+                    displacement: target.as_slice().to_vec(),
+                    restoring: restoring.as_slice().to_vec(),
+                });
+            }
+        }
+
+        if matches!(termination, Termination::Completed) {
+            log.record(self.clock.now(), steps as u64, EventKind::Completed);
+        }
+        let retransmissions = clients.iter().map(|c| c.retransmissions()).sum();
+        ExperimentOutcome {
+            steps_requested: steps,
+            history,
+            log,
+            termination,
+            retransmissions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neesgrid_gridsim::{FaultPlan, LinkKey, NetworkConfig, NodeId, VirtualNetwork};
+    use neesgrid_gsi::{ActionLimits, DistinguishedName, SitePolicy};
+    use neesgrid_ntcp::{NtcpServer, SimulationPlugin};
+    use neesgrid_ogsi::{RpcClient, RpcMux, ServiceContainer};
+    use neesgrid_structsim::element::CouplingSpring;
+    use neesgrid_structsim::material::LinearElastic;
+    use neesgrid_structsim::psd::PsdTest;
+    use neesgrid_structsim::substructure::{SimulatedSubstructure, Substructure};
+    use std::time::Duration;
+
+    const KL: f64 = 2.0e5;
+    const KR: f64 = 3.0e5;
+    const KB: f64 = 1.0e5;
+
+    type SiteSpec = (String, Box<dyn Substructure>, Vec<usize>, f64);
+
+    fn substructures() -> Vec<SiteSpec> {
+        let left =
+            SimulatedSubstructure::spring_to_ground("left", Box::new(LinearElastic::new(KL)));
+        let right =
+            SimulatedSubstructure::spring_to_ground("right", Box::new(LinearElastic::new(KR)));
+        let mut center = SimulatedSubstructure::new("center", 2);
+        center.add_element(Box::new(CouplingSpring::new(
+            0,
+            1,
+            Box::new(LinearElastic::new(KB)),
+        )));
+        vec![
+            ("uiuc".to_string(), Box::new(left) as Box<dyn Substructure>, vec![0], KL),
+            ("cu".to_string(), Box::new(right), vec![1], KR),
+            ("ncsa".to_string(), Box::new(center), vec![0, 1], KB),
+        ]
+    }
+
+    fn start_sites(net: &VirtualNetwork) -> Vec<SiteHandle> {
+        let caller = DistinguishedName::nees_user("NCSA", "Coordinator");
+        let mux = RpcMux::new(net.endpoint("coordinator"));
+        substructures()
+            .into_iter()
+            .map(|(name, sub, dofs, k)| {
+                let server = NtcpServer::new(
+                    name.clone(),
+                    SitePolicy::permissive(&name, ActionLimits::most_large_scale()),
+                    Box::new(SimulationPlugin::new(format!("{name}-plugin"), sub)),
+                    net.clock(),
+                );
+                let container = ServiceContainer::new(net.endpoint(name.as_str()))
+                    .with_service("ntcp", Box::new(server))
+                    .permissive();
+                let _h = container.run();
+                SiteHandle {
+                    name: name.clone(),
+                    client: NtcpClient::new(
+                        RpcClient::new(
+                            Arc::clone(&mux),
+                            NodeId::new(name.as_str()),
+                            "ntcp",
+                            caller.clone(),
+                        )
+                        .with_attempt_timeout(Duration::from_millis(100)),
+                    ),
+                    binding: SubstructureBinding::new(dofs),
+                    stiffness_estimate: k,
+                }
+            })
+            .collect()
+    }
+
+    fn coordinator(net: &VirtualNetwork, policy: FaultPolicy) -> SimulationCoordinator {
+        SimulationCoordinator::new(
+            vec![1000.0, 1000.0],
+            Matrix::zeros(2, 2),
+            0.01,
+            start_sites(net),
+            policy,
+            net.clock(),
+        )
+    }
+
+    fn motion() -> GroundMotion {
+        GroundMotion::synthetic(42, 0.01, 400, 2.0)
+    }
+
+    #[test]
+    fn distributed_run_matches_local_psd_exactly() {
+        // E4: the coordinator driving three NTCP sites must reproduce the
+        // purely local PSD run bit-for-bit (same algorithm, same forces).
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let mut coord = coordinator(&net, FaultPolicy::Full { max_step_retries: 2 });
+        let outcome = coord.run(&motion(), 200);
+        assert_eq!(outcome.steps_completed(), 200);
+        assert!(matches!(outcome.termination, Termination::Completed));
+
+        let local = PsdTest::new(vec![1000.0, 1000.0], Matrix::zeros(2, 2), 0.01);
+        let local_subs: Vec<_> = substructures()
+            .into_iter()
+            .map(|(_, sub, dofs, _)| (SubstructureBinding::new(dofs), sub))
+            .collect();
+        let local_hist = local.run(local_subs, &motion(), 200).unwrap();
+        let diff = outcome.history.max_displacement_difference(&local_hist);
+        assert!(diff < 1e-12, "distributed vs local diff {diff}");
+    }
+
+    #[test]
+    fn transient_drops_are_recovered_under_both_policies() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let mut plan = FaultPlan::reliable();
+        // Drop a few coordinator→site requests mid-experiment.
+        plan.drop_at(LinkKey::new("coordinator", "uiuc"), 40);
+        plan.drop_at(LinkKey::new("coordinator", "cu"), 100);
+        plan.drop_at(LinkKey::new("ncsa", "coordinator"), 77);
+        net.set_fault_plan(plan);
+        let mut coord = coordinator(&net, FaultPolicy::Partial);
+        let outcome = coord.run(&motion(), 150);
+        assert_eq!(outcome.steps_completed(), 150, "timeout retransmission suffices");
+        assert!(outcome.retransmissions >= 3, "retries observed: {}", outcome.retransmissions);
+    }
+
+    #[test]
+    fn link_reset_kills_partial_policy_run_at_that_step() {
+        // §3.4 in miniature: a reset partway through ends the public-run
+        // configuration prematurely, at exactly the faulted step.
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let mut plan = FaultPlan::reliable();
+        // Each step sends 2 messages per site link (propose + execute).
+        // Message index 2*93 = propose of step 93.
+        plan.reset_at(LinkKey::new("coordinator", "cu"), 186);
+        net.set_fault_plan(plan);
+        let mut coord = coordinator(&net, FaultPolicy::Partial);
+        let outcome = coord.run(&motion(), 150);
+        assert_eq!(outcome.steps_completed(), 93);
+        match &outcome.termination {
+            Termination::Aborted { step, site, error } => {
+                assert_eq!(*step, 93);
+                assert_eq!(site, "cu");
+                assert!(error.contains("link reset"), "error: {error}");
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert!(outcome.log.abort().is_some());
+    }
+
+    #[test]
+    fn full_policy_survives_the_same_reset() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let mut plan = FaultPlan::reliable();
+        plan.reset_at(LinkKey::new("coordinator", "cu"), 186);
+        net.set_fault_plan(plan);
+        let mut coord = coordinator(&net, FaultPolicy::Full { max_step_retries: 3 });
+        let outcome = coord.run(&motion(), 150);
+        assert_eq!(outcome.steps_completed(), 150);
+        assert!(matches!(outcome.termination, Termination::Completed));
+    }
+
+    #[test]
+    fn policy_rejection_aborts_with_reason() {
+        // Shrink one site's limits so a mid-experiment displacement is
+        // refused at proposal time; nothing executes at any site for that
+        // step and the coordinator reports the policy reason.
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let caller = DistinguishedName::nees_user("NCSA", "Coordinator");
+        let mux = RpcMux::new(net.endpoint("coordinator"));
+        let mut sites = Vec::new();
+        for (name, sub, dofs, k) in substructures() {
+            let limits = if name == "uiuc" {
+                ActionLimits {
+                    max_displacement_m: 1e-5, // absurdly tight
+                    max_velocity_mps: 1.0,
+                    max_force_n: 1e9,
+                }
+            } else {
+                ActionLimits::most_large_scale()
+            };
+            let server = NtcpServer::new(
+                name.clone(),
+                SitePolicy::permissive(&name, limits),
+                Box::new(SimulationPlugin::new(format!("{name}-plugin"), sub)),
+                net.clock(),
+            );
+            let _h = ServiceContainer::new(net.endpoint(name.as_str()))
+                .with_service("ntcp", Box::new(server))
+                .permissive()
+                .run();
+            sites.push(SiteHandle {
+                name: name.clone(),
+                client: NtcpClient::new(RpcClient::new(
+                    Arc::clone(&mux),
+                    NodeId::new(name.as_str()),
+                    "ntcp",
+                    caller.clone(),
+                )),
+                binding: SubstructureBinding::new(dofs),
+                stiffness_estimate: k,
+            });
+        }
+        let mut coord = SimulationCoordinator::new(
+            vec![1000.0, 1000.0],
+            Matrix::zeros(2, 2),
+            0.01,
+            sites,
+            FaultPolicy::Full { max_step_retries: 2 },
+            net.clock(),
+        );
+        let outcome = coord.run(&motion(), 100);
+        assert!(outcome.steps_completed() < 100);
+        match &outcome.termination {
+            Termination::Aborted { site, error, .. } => {
+                assert_eq!(site, "uiuc");
+                assert!(error.contains("rejected"), "error: {error}");
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert!(outcome
+            .log
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ProposalRejected { .. })));
+    }
+
+    #[test]
+    fn on_step_callback_sees_every_step() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let mut coord = coordinator(&net, FaultPolicy::Full { max_step_retries: 1 });
+        let seen = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        coord.set_on_step(Box::new(move |rec| {
+            assert_eq!(rec.displacement.len(), 2);
+            seen2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }));
+        let outcome = coord.run(&motion(), 50);
+        assert_eq!(outcome.steps_completed(), 50);
+        assert_eq!(seen.load(std::sync::atomic::Ordering::Relaxed), 50);
+    }
+}

@@ -1,0 +1,147 @@
+//! The experiment event log.
+//!
+//! MOST's post-mortem (§3.4) is a narrative of events: transient failures
+//! recovered "throughout the day", then "a final network error caused the
+//! simulation to terminate prematurely". The coordinator records that
+//! narrative structurally so reports (and the EXPERIMENTS.md comparison)
+//! can be generated from it.
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_gridsim::SimTime;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The experiment started.
+    Started,
+    /// A step completed normally.
+    StepCompleted,
+    /// A transient failure was recovered by retransmission or step retry.
+    TransientRecovered {
+        /// Which site was involved.
+        site: String,
+        /// Error description.
+        error: String,
+    },
+    /// A proposal was rejected by site policy or plugin review.
+    ProposalRejected {
+        /// Which site rejected.
+        site: String,
+        /// The rejection reason.
+        reason: String,
+    },
+    /// The experiment completed all requested steps.
+    Completed,
+    /// The experiment terminated prematurely.
+    Aborted {
+        /// Which site's failure was fatal (if attributable).
+        site: String,
+        /// The fatal error.
+        error: String,
+    },
+}
+
+/// One log entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Step index the event belongs to.
+    pub step: u64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+/// An append-only experiment log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentLog {
+    /// Events, oldest first.
+    pub events: Vec<LogEvent>,
+}
+
+impl ExperimentLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn record(&mut self, at: SimTime, step: u64, kind: EventKind) {
+        self.events.push(LogEvent { at, step, kind });
+    }
+
+    /// Number of transient recoveries (the §3.4 "several transient network
+    /// failures" figure).
+    pub fn transient_recoveries(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::TransientRecovered { .. }))
+            .count() as u64
+    }
+
+    /// Steps completed.
+    pub fn steps_completed(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::StepCompleted)
+            .count() as u64
+    }
+
+    /// The abort event, if the experiment died prematurely.
+    pub fn abort(&self) -> Option<&LogEvent> {
+        self.events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Aborted { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_queries() {
+        let mut log = ExperimentLog::new();
+        log.record(SimTime::ZERO, 0, EventKind::Started);
+        log.record(SimTime::from_secs(1), 0, EventKind::StepCompleted);
+        log.record(
+            SimTime::from_secs(2),
+            1,
+            EventKind::TransientRecovered {
+                site: "uiuc".into(),
+                error: "timeout".into(),
+            },
+        );
+        log.record(SimTime::from_secs(3), 1, EventKind::StepCompleted);
+        log.record(
+            SimTime::from_secs(4),
+            2,
+            EventKind::Aborted {
+                site: "cu".into(),
+                error: "link reset".into(),
+            },
+        );
+        assert_eq!(log.steps_completed(), 2);
+        assert_eq!(log.transient_recoveries(), 1);
+        let abort = log.abort().unwrap();
+        assert_eq!(abort.step, 2);
+        assert!(matches!(&abort.kind, EventKind::Aborted { site, .. } if site == "cu"));
+    }
+
+    #[test]
+    fn clean_run_has_no_abort() {
+        let mut log = ExperimentLog::new();
+        log.record(SimTime::ZERO, 0, EventKind::Started);
+        log.record(SimTime::from_secs(1), 9, EventKind::Completed);
+        assert!(log.abort().is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut log = ExperimentLog::new();
+        log.record(SimTime::ZERO, 0, EventKind::Started);
+        let s = serde_json::to_string(&log).unwrap();
+        assert_eq!(serde_json::from_str::<ExperimentLog>(&s).unwrap(), log);
+    }
+}

@@ -1,0 +1,134 @@
+//! Coordinator fault-tolerance policies.
+//!
+//! NTCP gives clients everything needed to survive transient failures:
+//! at-most-once retransmission, typed transport errors, transaction
+//! cancellation. Whether a coordinator *uses* all of it is a coding choice
+//! — and §3.4 records the consequence of an incomplete one. The two
+//! policies here bracket that history.
+
+use neesgrid_ntcp::NtcpError;
+use neesgrid_ogsi::{RetryPolicy, RpcError};
+
+/// How the coordinator responds to failures during a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Use every fault-tolerance feature: retransmit on timeout *and*
+    /// reset, and retry a failed step (with fresh transactions) up to
+    /// `max_step_retries` times. The dry run's effective behaviour.
+    Full {
+        /// Step-level retries after transport-level retries are exhausted.
+        max_step_retries: u32,
+    },
+    /// The public run's incomplete handling: timeouts are retransmitted,
+    /// but an immediate connection error (link reset) — or any failure
+    /// surviving retransmission — terminates the experiment.
+    Partial,
+}
+
+impl FaultPolicy {
+    /// The RPC retransmission policy this coordinator policy implies.
+    pub fn rpc_policy(&self) -> RetryPolicy {
+        match self {
+            FaultPolicy::Full { .. } => RetryPolicy::transient(5),
+            FaultPolicy::Partial => RetryPolicy::timeouts_only(5),
+        }
+    }
+
+    /// Whether a step that failed with `err` may be retried with fresh
+    /// transactions.
+    pub fn step_retryable(&self, err: &NtcpError, attempts_so_far: u32) -> bool {
+        match self {
+            FaultPolicy::Partial => false,
+            FaultPolicy::Full { max_step_retries } => {
+                if attempts_so_far >= *max_step_retries {
+                    return false;
+                }
+                match err {
+                    // Policy rejections and permanent server faults will
+                    // reject again — retrying is pointless.
+                    NtcpError::Rejected { .. } => false,
+                    NtcpError::Fault { retryable, code, .. } => {
+                        *retryable || code == "InvalidState" || code == "DuplicateTransaction"
+                    }
+                    NtcpError::Transport(RpcError::NoRoute) => false,
+                    NtcpError::Transport(_) => true,
+                    NtcpError::BadResponse(_) => true,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neesgrid_ogsi::ServiceFault;
+
+    fn reset_err() -> NtcpError {
+        NtcpError::Transport(RpcError::LinkReset)
+    }
+
+    #[test]
+    fn full_policy_retries_resets() {
+        let p = FaultPolicy::Full { max_step_retries: 3 };
+        assert!(p.rpc_policy().retry_on_reset);
+        assert!(p.step_retryable(&reset_err(), 0));
+        assert!(p.step_retryable(&reset_err(), 2));
+        assert!(!p.step_retryable(&reset_err(), 3), "bounded retries");
+    }
+
+    #[test]
+    fn partial_policy_does_not_retry_steps() {
+        let p = FaultPolicy::Partial;
+        assert!(!p.rpc_policy().retry_on_reset);
+        assert!(p.rpc_policy().retry_on_timeout);
+        assert!(!p.step_retryable(&reset_err(), 0));
+    }
+
+    #[test]
+    fn rejections_never_retried() {
+        let p = FaultPolicy::Full { max_step_retries: 3 };
+        let rejected = NtcpError::Rejected {
+            reason: "limit".into(),
+        };
+        assert!(!p.step_retryable(&rejected, 0));
+    }
+
+    #[test]
+    fn transient_server_faults_retried_under_full() {
+        let p = FaultPolicy::Full { max_step_retries: 3 };
+        let fault = NtcpError::Fault {
+            code: "ExecutionFailed".into(),
+            message: "backend slow".into(),
+            retryable: true,
+        };
+        assert!(p.step_retryable(&fault, 0));
+        let permanent = NtcpError::Fault {
+            code: "ExecutionFailed".into(),
+            message: "specimen damaged".into(),
+            retryable: false,
+        };
+        assert!(!p.step_retryable(&permanent, 0));
+    }
+
+    #[test]
+    fn stale_state_faults_are_retryable() {
+        // After a lost reply + replayed transaction the server may report
+        // InvalidState for a fresh duplicate name; a new step attempt with
+        // fresh names resolves it.
+        let p = FaultPolicy::Full { max_step_retries: 2 };
+        let fault = NtcpError::Fault {
+            code: "DuplicateTransaction".into(),
+            message: "t exists".into(),
+            retryable: false,
+        };
+        assert!(p.step_retryable(&fault, 0));
+        let _ = ServiceFault::permanent("x", "y"); // keep import honest
+    }
+
+    #[test]
+    fn no_route_is_fatal_even_under_full() {
+        let p = FaultPolicy::Full { max_step_retries: 5 };
+        assert!(!p.step_retryable(&NtcpError::Transport(RpcError::NoRoute), 0));
+    }
+}

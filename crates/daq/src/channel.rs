@@ -1,0 +1,118 @@
+//! DAQ channel configuration.
+//!
+//! §3.3: experimenters described "the structural configuration, material
+//! properties, and instrumentation" so that "non-participants viewing the
+//! stored data can understand the meaning of the sensor data". A
+//! [`ChannelConfig`] is the instrumentation half of that: name, unit,
+//! sampling rate, and the linear calibration applied to raw readings.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear calibration `engineering = scale · raw + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Multiplicative factor.
+    pub scale: f64,
+    /// Additive offset.
+    pub offset: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            scale: 1.0,
+            offset: 0.0,
+        }
+    }
+}
+
+impl Calibration {
+    /// Apply the calibration to a raw value.
+    pub fn apply(&self, raw: f64) -> f64 {
+        self.scale * raw + self.offset
+    }
+
+    /// Invert the calibration (engineering → raw).
+    pub fn invert(&self, engineering: f64) -> f64 {
+        (engineering - self.offset) / self.scale
+    }
+}
+
+/// Configuration for one acquisition channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Globally unique channel name, e.g. `"uiuc/lvdt-1"`.
+    pub name: String,
+    /// Engineering unit after calibration.
+    pub unit: String,
+    /// Sampling rate, Hz.
+    pub rate_hz: f64,
+    /// Linear calibration.
+    pub calibration: Calibration,
+}
+
+impl ChannelConfig {
+    /// A channel with identity calibration.
+    pub fn new(name: impl Into<String>, unit: impl Into<String>, rate_hz: f64) -> Self {
+        assert!(rate_hz > 0.0, "sampling rate must be positive");
+        ChannelConfig {
+            name: name.into(),
+            unit: unit.into(),
+            rate_hz,
+            calibration: Calibration::default(),
+        }
+    }
+
+    /// Builder: set calibration.
+    pub fn with_calibration(mut self, scale: f64, offset: f64) -> Self {
+        self.calibration = Calibration { scale, offset };
+        self
+    }
+
+    /// Sample interval in nanoseconds.
+    pub fn interval_ns(&self) -> u64 {
+        (1e9 / self.rate_hz).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_roundtrip() {
+        let c = Calibration {
+            scale: 2.5,
+            offset: -1.0,
+        };
+        let raw = 3.2;
+        assert!((c.invert(c.apply(raw)) - raw).abs() < 1e-12);
+        assert_eq!(c.apply(0.0), -1.0);
+    }
+
+    #[test]
+    fn default_calibration_is_identity() {
+        let c = Calibration::default();
+        assert_eq!(c.apply(7.5), 7.5);
+    }
+
+    #[test]
+    fn channel_interval() {
+        let ch = ChannelConfig::new("uiuc/lvdt-1", "m", 100.0);
+        assert_eq!(ch.interval_ns(), 10_000_000);
+        let fast = ChannelConfig::new("x", "m", 1000.0);
+        assert_eq!(fast.interval_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn builder_sets_calibration() {
+        let ch = ChannelConfig::new("load", "N", 50.0).with_calibration(10.0, 5.0);
+        assert_eq!(ch.calibration.apply(1.0), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = ChannelConfig::new("x", "m", 0.0);
+    }
+}

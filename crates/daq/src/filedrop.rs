@@ -1,0 +1,148 @@
+//! The LabVIEW file-drop stage.
+//!
+//! §3.2: "a simple LabVIEW interface was built that ran at the UIUC and
+//! Colorado sites and periodically gathered data deposited by the DAQ in a
+//! network-mounted file system; NFMS and GridFTP were then used to upload
+//! it securely". [`FileDropDir`] is that network-mounted directory: the
+//! DAQ deposits CSV windows, the repository uploader polls for files it
+//! has not yet shipped.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use neesgrid_gridsim::SimTime;
+
+use crate::timeseries::TimeSeries;
+
+/// One deposited file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropFile {
+    /// Monotone sequence number assigned by the directory.
+    pub seq: u64,
+    /// File name, e.g. `uiuc-lvdt-1-000042.csv`.
+    pub name: String,
+    /// Deposit time.
+    pub created_at: SimTime,
+    /// File content.
+    pub content: Bytes,
+}
+
+/// A shared drop directory (cheaply clonable handle).
+#[derive(Debug, Clone, Default)]
+pub struct FileDropDir {
+    inner: Arc<Mutex<Vec<DropFile>>>,
+}
+
+impl FileDropDir {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit raw content under `name`; returns its sequence number.
+    pub fn deposit(&self, name: impl Into<String>, content: Bytes, now: SimTime) -> u64 {
+        let mut g = self.inner.lock();
+        let seq = g.len() as u64;
+        g.push(DropFile {
+            seq,
+            name: name.into(),
+            created_at: now,
+            content,
+        });
+        seq
+    }
+
+    /// Deposit a time-series window as CSV, named from channel + window
+    /// index.
+    pub fn deposit_series(&self, ts: &TimeSeries, window_index: u64, now: SimTime) -> u64 {
+        let name = format!(
+            "{}-{:06}.csv",
+            ts.channel.replace('/', "-"),
+            window_index
+        );
+        self.deposit(name, Bytes::from(ts.to_csv()), now)
+    }
+
+    /// Files with sequence number ≥ `since` (the uploader's cursor).
+    pub fn poll_new(&self, since: u64) -> Vec<DropFile> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|f| f.seq >= since)
+            .cloned()
+            .collect()
+    }
+
+    /// Total files deposited.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposit_and_poll_cursor() {
+        let dir = FileDropDir::new();
+        dir.deposit("a.csv", Bytes::from_static(b"1"), SimTime::ZERO);
+        dir.deposit("b.csv", Bytes::from_static(b"2"), SimTime::from_secs(1));
+        let all = dir.poll_new(0);
+        assert_eq!(all.len(), 2);
+        let newer = dir.poll_new(1);
+        assert_eq!(newer.len(), 1);
+        assert_eq!(newer[0].name, "b.csv");
+        assert!(dir.poll_new(2).is_empty());
+    }
+
+    #[test]
+    fn series_deposit_roundtrips_through_csv() {
+        let dir = FileDropDir::new();
+        let mut ts = TimeSeries::new("uiuc/lvdt-1", "m");
+        ts.push(SimTime::from_millis(10), 0.001);
+        ts.push(SimTime::from_millis(20), 0.002);
+        dir.deposit_series(&ts, 7, SimTime::from_secs(1));
+        let files = dir.poll_new(0);
+        assert_eq!(files[0].name, "uiuc-lvdt-1-000007.csv");
+        let back = TimeSeries::from_csv(std::str::from_utf8(&files[0].content).unwrap()).unwrap();
+        assert_eq!(back.channel, "uiuc/lvdt-1");
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_directory() {
+        let dir = FileDropDir::new();
+        let clone = dir.clone();
+        clone.deposit("x.csv", Bytes::new(), SimTime::ZERO);
+        assert_eq!(dir.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_deposits_get_unique_seqs() {
+        let dir = FileDropDir::new();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let d = dir.clone();
+            handles.push(std::thread::spawn(move || {
+                for j in 0..100 {
+                    d.deposit(format!("{i}-{j}.csv"), Bytes::new(), SimTime::ZERO);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seqs: Vec<u64> = dir.poll_new(0).iter().map(|f| f.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 800);
+    }
+}

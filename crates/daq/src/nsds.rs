@@ -1,0 +1,240 @@
+//! NEESgrid Streaming Data Service (NSDS).
+//!
+//! §2.2: "The NEESGrid Streaming Data Service provides a best-effort
+//! stream of real-time data from the data acquisition system." The
+//! defining property is **best-effort**: the experiment never blocks on a
+//! slow remote viewer. Each subscription owns a bounded ring buffer;
+//! when it overflows, the *oldest* samples are discarded and counted, so a
+//! viewer that falls behind sees the freshest data with an honest loss
+//! figure — the number the `fig08_dataviewer` bench reports.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use neesgrid_gridsim::SimTime;
+
+/// One streamed sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NsdsSample {
+    /// Channel name.
+    pub channel: String,
+    /// Virtual experiment time.
+    pub t: SimTime,
+    /// Value in the channel's engineering unit.
+    pub value: f64,
+}
+
+struct SubscriptionInner {
+    pattern: String,
+    buffer: VecDeque<NsdsSample>,
+    capacity: usize,
+    dropped: u64,
+    delivered: u64,
+}
+
+/// A best-effort subscription handle.
+#[derive(Clone)]
+pub struct NsdsSubscription {
+    inner: Arc<Mutex<SubscriptionInner>>,
+}
+
+impl NsdsSubscription {
+    /// Pop the oldest buffered sample, if any.
+    pub fn poll(&self) -> Option<NsdsSample> {
+        self.inner.lock().buffer.pop_front()
+    }
+
+    /// Drain everything currently buffered.
+    pub fn drain(&self) -> Vec<NsdsSample> {
+        self.inner.lock().buffer.drain(..).collect()
+    }
+
+    /// Samples lost to buffer overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Samples delivered into the buffer so far (including later drops).
+    pub fn delivered(&self) -> u64 {
+        self.inner.lock().delivered
+    }
+
+    /// Currently buffered count.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().buffer.len()
+    }
+}
+
+/// The streaming server: publishers push, subscriptions buffer.
+#[derive(Default)]
+pub struct NsdsServer {
+    subscriptions: Mutex<Vec<Arc<Mutex<SubscriptionInner>>>>,
+    published: Mutex<u64>,
+}
+
+impl NsdsServer {
+    /// An NSDS with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribe to channels matching `pattern` (exact, or prefix ending
+    /// in `*`), buffering up to `capacity` samples.
+    pub fn subscribe(&self, pattern: impl Into<String>, capacity: usize) -> NsdsSubscription {
+        assert!(capacity > 0);
+        let inner = Arc::new(Mutex::new(SubscriptionInner {
+            pattern: pattern.into(),
+            buffer: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+            delivered: 0,
+        }));
+        self.subscriptions.lock().push(Arc::clone(&inner));
+        NsdsSubscription { inner }
+    }
+
+    /// Publish one sample to all matching subscriptions (never blocks).
+    pub fn publish(&self, sample: NsdsSample) {
+        *self.published.lock() += 1;
+        let subs = self.subscriptions.lock();
+        for sub in subs.iter() {
+            let mut s = sub.lock();
+            if !pattern_matches(&s.pattern, &sample.channel) {
+                continue;
+            }
+            if s.buffer.len() == s.capacity {
+                s.buffer.pop_front();
+                s.dropped += 1;
+            }
+            s.buffer.push_back(sample.clone());
+            s.delivered += 1;
+        }
+    }
+
+    /// Publish a batch of (t, value) points on one channel.
+    pub fn publish_series(&self, channel: &str, points: &[(SimTime, f64)]) {
+        for &(t, value) in points {
+            self.publish(NsdsSample {
+                channel: channel.to_string(),
+                t,
+                value,
+            });
+        }
+    }
+
+    /// Total samples published.
+    pub fn published(&self) -> u64 {
+        *self.published.lock()
+    }
+
+    /// Active subscription count (subscriptions are never auto-removed;
+    /// NSDS lifetimes are managed by the OGSI lease layer in deployment).
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.lock().len()
+    }
+}
+
+fn pattern_matches(pattern: &str, channel: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => channel.starts_with(prefix),
+        None => pattern == channel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(channel: &str, i: u64) -> NsdsSample {
+        NsdsSample {
+            channel: channel.to_string(),
+            t: SimTime::from_millis(i * 10),
+            value: i as f64,
+        }
+    }
+
+    #[test]
+    fn publish_reaches_matching_subscribers() {
+        let nsds = NsdsServer::new();
+        let uiuc = nsds.subscribe("uiuc/*", 100);
+        let all = nsds.subscribe("*", 100);
+        nsds.publish(sample("uiuc/lvdt-1", 1));
+        nsds.publish(sample("cu/load-1", 2));
+        assert_eq!(uiuc.pending(), 1);
+        assert_eq!(all.pending(), 2);
+        assert_eq!(uiuc.poll().unwrap().channel, "uiuc/lvdt-1");
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let nsds = NsdsServer::new();
+        let sub = nsds.subscribe("*", 3);
+        for i in 0..10 {
+            nsds.publish(sample("c", i));
+        }
+        assert_eq!(sub.dropped(), 7);
+        assert_eq!(sub.delivered(), 10);
+        // Freshest three survive.
+        let got: Vec<f64> = sub.drain().iter().map(|s| s.value).collect();
+        assert_eq!(got, vec![7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn slow_subscriber_does_not_block_publishing() {
+        let nsds = NsdsServer::new();
+        let _sub = nsds.subscribe("*", 1); // pathological viewer
+        let t0 = std::time::Instant::now();
+        for i in 0..100_000 {
+            nsds.publish(sample("c", i));
+        }
+        assert!(t0.elapsed().as_secs() < 5);
+        assert_eq!(nsds.published(), 100_000);
+    }
+
+    #[test]
+    fn keeping_up_loses_nothing() {
+        let nsds = NsdsServer::new();
+        let sub = nsds.subscribe("*", 16);
+        let mut got = Vec::new();
+        for i in 0..1000 {
+            nsds.publish(sample("c", i));
+            // Viewer drains every sample promptly.
+            while let Some(s) = sub.poll() {
+                got.push(s.value);
+            }
+        }
+        assert_eq!(sub.dropped(), 0);
+        assert_eq!(got.len(), 1000);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "order preserved");
+    }
+
+    #[test]
+    fn publish_series_batches() {
+        let nsds = NsdsServer::new();
+        let sub = nsds.subscribe("resp/*", 100);
+        nsds.publish_series(
+            "resp/dof-0",
+            &[(SimTime::ZERO, 0.0), (SimTime::from_millis(10), 0.001)],
+        );
+        assert_eq!(sub.pending(), 2);
+    }
+
+    #[test]
+    fn many_subscribers_each_get_their_own_buffer() {
+        let nsds = NsdsServer::new();
+        // §3.4: "over 130 remote participants logged on to observe MOST."
+        let subs: Vec<NsdsSubscription> =
+            (0..130).map(|_| nsds.subscribe("*", 64)).collect();
+        for i in 0..64 {
+            nsds.publish(sample("resp/dof-0", i));
+        }
+        for sub in &subs {
+            assert_eq!(sub.pending(), 64);
+            assert_eq!(sub.dropped(), 0);
+        }
+        assert_eq!(nsds.subscription_count(), 130);
+    }
+}

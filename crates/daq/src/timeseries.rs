@@ -1,0 +1,204 @@
+//! Timestamped sample series.
+//!
+//! The unit of data everywhere downstream of the sensors: NSDS streams
+//! individual [`Sample`]s, the file-drop stage and the repository move
+//! whole [`TimeSeries`] windows, and the CHEF data viewer replays them.
+//! CSV is the interchange encoding, matching the flat files the LabVIEW
+//! DAQ deposited.
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_gridsim::SimTime;
+
+/// One timestamped measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Virtual experiment time.
+    pub t: SimTime,
+    /// Measured value in the channel's engineering unit.
+    pub value: f64,
+}
+
+/// A named, unit-carrying series of samples in time order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Channel name.
+    pub channel: String,
+    /// Engineering unit.
+    pub unit: String,
+    /// Samples, non-decreasing in time.
+    pub samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new(channel: impl Into<String>, unit: impl Into<String>) -> Self {
+        TimeSeries {
+            channel: channel.into(),
+            unit: unit.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Append a sample; panics if time goes backwards.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if let Some(last) = self.samples.last() {
+            assert!(t >= last.t, "samples must be time-ordered");
+        }
+        self.samples.push(Sample { t, value });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples within `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> Vec<Sample> {
+        self.samples
+            .iter()
+            .filter(|s| s.t >= from && s.t < to)
+            .copied()
+            .collect()
+    }
+
+    /// (min, max) values, or `None` when empty.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for s in &self.samples {
+            min = min.min(s.value);
+            max = max.max(s.value);
+        }
+        Some((min, max))
+    }
+
+    /// Value at or before `t` (step interpolation), if any.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.samples.partition_point(|s| s.t <= t) {
+            0 => None,
+            i => Some(self.samples[i - 1].value),
+        }
+    }
+
+    /// Encode as CSV (`# channel,unit` header then `t_ns,value` rows) —
+    /// the file-drop interchange format.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {},{}\n", self.channel, self.unit);
+        for s in &self.samples {
+            out.push_str(&format!("{},{:.12e}\n", s.t.as_nanos(), s.value));
+        }
+        out
+    }
+
+    /// Decode the CSV format produced by [`TimeSeries::to_csv`].
+    pub fn from_csv(text: &str) -> Option<TimeSeries> {
+        let mut lines = text.lines();
+        let header = lines.next()?.strip_prefix("# ")?;
+        let (channel, unit) = header.split_once(',')?;
+        let mut ts = TimeSeries::new(channel, unit);
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (t, v) = line.split_once(',')?;
+            let t: u64 = t.parse().ok()?;
+            let v: f64 = v.parse().ok()?;
+            ts.samples.push(Sample {
+                t: SimTime::from_nanos(t),
+                value: v,
+            });
+        }
+        Some(ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn series() -> TimeSeries {
+        let mut ts = TimeSeries::new("uiuc/lvdt-1", "m");
+        for i in 0..10 {
+            ts.push(SimTime::from_millis(i * 100), i as f64 * 0.001);
+        }
+        ts
+    }
+
+    #[test]
+    fn push_and_window() {
+        let ts = series();
+        assert_eq!(ts.len(), 10);
+        let w = ts.window(SimTime::from_millis(200), SimTime::from_millis(500));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].value, 0.002);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn time_reversal_rejected() {
+        let mut ts = series();
+        ts.push(SimTime::from_millis(100), 0.0);
+    }
+
+    #[test]
+    fn range_and_value_at() {
+        let ts = series();
+        let (lo, hi) = ts.range().unwrap();
+        assert_eq!(lo, 0.0);
+        assert!((hi - 0.009).abs() < 1e-12);
+        assert_eq!(ts.value_at(SimTime::from_millis(250)), Some(0.002));
+        assert_eq!(ts.value_at(SimTime::from_millis(200)), Some(0.002));
+        assert_eq!(ts.value_at(SimTime::ZERO), Some(0.0));
+        let empty = TimeSeries::new("x", "m");
+        assert_eq!(empty.value_at(SimTime::from_secs(1)), None);
+        assert_eq!(empty.range(), None);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let ts = series();
+        let csv = ts.to_csv();
+        assert!(csv.starts_with("# uiuc/lvdt-1,m\n"));
+        let back = TimeSeries::from_csv(&csv).unwrap();
+        assert_eq!(back.channel, ts.channel);
+        assert_eq!(back.unit, ts.unit);
+        assert_eq!(back.len(), ts.len());
+        for (a, b) in back.samples.iter().zip(&ts.samples) {
+            assert_eq!(a.t, b.t);
+            assert!((a.value - b.value).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(TimeSeries::from_csv("not a header\n1,2\n").is_none());
+        assert!(TimeSeries::from_csv("# ch,m\nbogus\n").is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn csv_roundtrip_preserves_values(
+            values in proptest::collection::vec(-1e6f64..1e6, 0..50),
+        ) {
+            let mut ts = TimeSeries::new("ch", "N");
+            for (i, v) in values.iter().enumerate() {
+                ts.push(SimTime::from_micros(i as u64), *v);
+            }
+            let back = TimeSeries::from_csv(&ts.to_csv()).unwrap();
+            prop_assert_eq!(back.len(), ts.len());
+            for (a, b) in back.samples.iter().zip(&ts.samples) {
+                prop_assert!((a.value - b.value).abs() <= b.value.abs() * 1e-12 + 1e-15);
+            }
+        }
+    }
+}

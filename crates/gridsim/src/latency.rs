@@ -1,0 +1,170 @@
+//! Per-link latency models.
+//!
+//! MOST coupled three sites over the commodity Internet; one-way latencies of
+//! tens of milliseconds with jitter were typical, and §5's near-real-time
+//! follow-on work is explicitly about how much delay the coupled control loop
+//! tolerates. Latency here is *virtual*: it is charged to the envelope's
+//! timestamp arithmetic, never slept, so the latency sweep in bench
+//! `sec50_realtime_sweep` covers seconds of injected delay in microseconds of
+//! wall time.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// How a link charges latency to each message it carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LatencyModel {
+    /// Zero latency (co-located components, loopback).
+    #[default]
+    Zero,
+    /// A fixed one-way delay.
+    Fixed(SimTime),
+    /// Uniformly distributed delay in `[min, max]`.
+    Uniform { min: SimTime, max: SimTime },
+    /// Fixed base plus exponentially-distributed jitter with the given mean —
+    /// a standard WAN tail model.
+    BaseWithTail { base: SimTime, tail_mean: SimTime },
+}
+
+
+impl LatencyModel {
+    /// A model resembling the 2003 Abilene path between the MOST sites:
+    /// ~30 ms one way with a modest tail.
+    pub fn wan_2003() -> Self {
+        LatencyModel::BaseWithTail {
+            base: SimTime::from_millis(30),
+            tail_mean: SimTime::from_millis(5),
+        }
+    }
+
+    /// A campus LAN link.
+    pub fn lan() -> Self {
+        LatencyModel::Uniform {
+            min: SimTime::from_micros(100),
+            max: SimTime::from_micros(500),
+        }
+    }
+
+    /// Sample the one-way latency for one message.
+    pub fn sample(&self, rng: &mut StdRng) -> SimTime {
+        match self {
+            LatencyModel::Zero => SimTime::ZERO,
+            LatencyModel::Fixed(t) => *t,
+            LatencyModel::Uniform { min, max } => {
+                let (lo, hi) = (min.as_nanos(), max.as_nanos());
+                if hi <= lo {
+                    *min
+                } else {
+                    SimTime::from_nanos(rng.gen_range(lo..=hi))
+                }
+            }
+            LatencyModel::BaseWithTail { base, tail_mean } => {
+                // Inverse-CDF exponential sample.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let tail = -(u.ln()) * tail_mean.as_secs_f64();
+                *base + SimTime::from_secs_f64(tail)
+            }
+        }
+    }
+
+    /// The smallest latency this model can ever produce (used by timeout
+    /// heuristics).
+    pub fn min_latency(&self) -> SimTime {
+        match self {
+            LatencyModel::Zero => SimTime::ZERO,
+            LatencyModel::Fixed(t) => *t,
+            LatencyModel::Uniform { min, .. } => *min,
+            LatencyModel::BaseWithTail { base, .. } => *base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5EED)
+    }
+
+    #[test]
+    fn zero_and_fixed() {
+        let mut r = rng();
+        assert_eq!(LatencyModel::Zero.sample(&mut r), SimTime::ZERO);
+        let f = LatencyModel::Fixed(SimTime::from_millis(30));
+        assert_eq!(f.sample(&mut r), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = LatencyModel::Uniform {
+            min: SimTime::from_millis(10),
+            max: SimTime::from_millis(20),
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = m.sample(&mut r);
+            assert!(s >= SimTime::from_millis(10) && s <= SimTime::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_min() {
+        let m = LatencyModel::Uniform {
+            min: SimTime::from_millis(5),
+            max: SimTime::from_millis(5),
+        };
+        assert_eq!(m.sample(&mut rng()), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn tail_model_never_below_base() {
+        let m = LatencyModel::wan_2003();
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(m.sample(&mut r) >= SimTime::from_millis(30));
+        }
+    }
+
+    #[test]
+    fn tail_mean_is_close_to_configured() {
+        let m = LatencyModel::BaseWithTail {
+            base: SimTime::ZERO,
+            tail_mean: SimTime::from_millis(10),
+        };
+        let mut r = rng();
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| m.sample(&mut r).as_secs_f64()).sum();
+        let mean_ms = total / n as f64 * 1e3;
+        assert!((mean_ms - 10.0).abs() < 0.5, "mean {mean_ms} ms");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let m = LatencyModel::wan_2003();
+        let a: Vec<SimTime> = {
+            let mut r = rng();
+            (0..100).map(|_| m.sample(&mut r)).collect()
+        };
+        let b: Vec<SimTime> = {
+            let mut r = rng();
+            (0..100).map(|_| m.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn min_latency_matches_model() {
+        assert_eq!(LatencyModel::Zero.min_latency(), SimTime::ZERO);
+        assert_eq!(
+            LatencyModel::wan_2003().min_latency(),
+            SimTime::from_millis(30)
+        );
+        assert_eq!(LatencyModel::lan().min_latency(), SimTime::from_micros(100));
+    }
+}

@@ -1,0 +1,37 @@
+//! # neesgrid-gridsim — virtual grid substrate
+//!
+//! The NEESgrid deployment described in the paper ran over a real wide-area
+//! network linking UIUC, the University of Colorado, and NCSA. The observable
+//! properties of that substrate — message latency, transient loss, connection
+//! resets, and partitions — are what the NTCP fault-tolerance machinery was
+//! designed around. This crate reproduces exactly those observables in
+//! software:
+//!
+//! * [`SimTime`] / [`SimClock`] — virtual experiment time, decoupled from
+//!   wall-clock time so a "five hour" experiment replays in milliseconds.
+//! * [`VirtualNetwork`] — a router connecting named [`Endpoint`]s with
+//!   per-link [`LatencyModel`]s and byte-counted, serialized envelopes.
+//! * [`FaultPlan`] — deterministic fault injection keyed by per-link message
+//!   index (never wall-clock), so a failure history such as MOST's
+//!   "public run terminated at step 1493" replays exactly.
+//!
+//! Determinism contract: given the same topology, fault plan, and seed, every
+//! run delivers/drops/resets exactly the same set of messages. Delivery
+//! *interleaving* across threads may vary, but the NEESgrid coordinator
+//! lock-steps each experiment time-step, so results are interleaving-free.
+
+pub mod fault;
+pub mod latency;
+pub mod message;
+pub mod network;
+pub mod node;
+pub mod stats;
+pub mod time;
+
+pub use fault::{FaultAction, FaultPlan, LinkKey};
+pub use latency::LatencyModel;
+pub use message::{ControlNotice, Envelope, MessageKind};
+pub use network::{Endpoint, NetworkConfig, VirtualNetwork};
+pub use node::NodeId;
+pub use stats::{LinkStats, NetworkStats};
+pub use time::{Pacer, SimClock, SimTime};

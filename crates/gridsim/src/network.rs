@@ -1,0 +1,526 @@
+//! The virtual network: endpoints and the router thread.
+//!
+//! All traffic between NEESgrid nodes flows through a single router thread
+//! that (1) consults the [`FaultPlan`] using the per-link message index,
+//! (2) samples virtual latency from the link's [`LatencyModel`], and
+//! (3) either delivers the envelope to the destination inbox, drops it
+//! silently, or bounces a [`ControlNotice::LinkReset`] back to the sender.
+//!
+//! Nothing here sleeps: latency is charged in virtual time only, so a WAN
+//! with 30 ms links routes millions of messages per wall-clock second.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::fault::{FaultAction, FaultPlan, LinkKey};
+use crate::latency::LatencyModel;
+use crate::message::{ControlNotice, Envelope, MessageKind};
+use crate::node::NodeId;
+use crate::stats::NetworkStats;
+use crate::time::{SimClock, SimTime};
+
+/// Configuration for a [`VirtualNetwork`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Latency model for links with no specific override.
+    pub default_latency: LatencyModel,
+    /// Seed for latency sampling (fault injection is schedule-driven and
+    /// does not consume randomness).
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            default_latency: LatencyModel::Zero,
+            seed: 0x6E65_6573,
+        }
+    }
+}
+
+enum RouterMsg {
+    Send(Envelope),
+    SetLinkLatency(LinkKey, LatencyModel),
+    SetFaultPlan(FaultPlan),
+    Shutdown,
+}
+
+struct RouterState {
+    registry: Arc<Mutex<HashMap<NodeId, Sender<Envelope>>>>,
+    link_latency: HashMap<LinkKey, LatencyModel>,
+    default_latency: LatencyModel,
+    fault_plan: FaultPlan,
+    link_counts: HashMap<LinkKey, u64>,
+    rng: StdRng,
+    stats: NetworkStats,
+}
+
+impl RouterState {
+    fn route(&mut self, mut env: Envelope) {
+        let link = LinkKey {
+            src: env.src.clone(),
+            dst: env.dst.clone(),
+        };
+        let index = {
+            let c = self.link_counts.entry(link.clone()).or_insert(0);
+            let i = *c;
+            *c += 1;
+            i
+        };
+        env.seq = index;
+        self.stats.record_sent(&link);
+
+        let dest = self.registry.lock().get(&env.dst).cloned();
+        let Some(dest) = dest else {
+            self.stats.record_dropped(&link);
+            self.notify_sender(
+                &env.src,
+                ControlNotice::NoRoute {
+                    dst: env.dst.clone(),
+                    correlation_id: env.correlation_id,
+                },
+            );
+            return;
+        };
+
+        match self.fault_plan.decide(&link, index, env.kind) {
+            FaultAction::Deliver => {
+                let latency = self
+                    .link_latency
+                    .get(&link)
+                    .unwrap_or(&self.default_latency)
+                    .sample(&mut self.rng);
+                env.latency = latency;
+                self.stats.record_delivered(&link, env.wire_bytes(), latency);
+                // A receiver that has shut down behaves like a drop.
+                if dest.send(env).is_err() {
+                    self.stats.record_dropped(&link);
+                }
+            }
+            FaultAction::Drop => {
+                self.stats.record_dropped(&link);
+            }
+            FaultAction::Reset => {
+                self.stats.record_reset(&link);
+                self.notify_sender(
+                    &env.src,
+                    ControlNotice::LinkReset {
+                        dst: env.dst.clone(),
+                        correlation_id: env.correlation_id,
+                    },
+                );
+            }
+        }
+    }
+
+    fn notify_sender(&mut self, src: &NodeId, notice: ControlNotice) {
+        if let Some(back) = self.registry.lock().get(src).cloned() {
+            let env = Envelope {
+                seq: 0,
+                src: src.clone(),
+                dst: src.clone(),
+                service: "__net".into(),
+                kind: MessageKind::Control,
+                correlation_id: notice.correlation_id(),
+                sent_at: SimTime::ZERO,
+                latency: SimTime::ZERO,
+                payload: notice.to_bytes(),
+            };
+            let _ = back.send(env);
+        }
+    }
+}
+
+/// A simulated wide-area network connecting named grid nodes.
+pub struct VirtualNetwork {
+    to_router: Sender<RouterMsg>,
+    registry: Arc<Mutex<HashMap<NodeId, Sender<Envelope>>>>,
+    clock: Arc<SimClock>,
+    stats: NetworkStats,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl VirtualNetwork {
+    /// Start a network with the given configuration and a fresh clock.
+    pub fn new(config: NetworkConfig) -> Self {
+        Self::with_clock(config, SimClock::new())
+    }
+
+    /// Start a network sharing an existing experiment clock.
+    pub fn with_clock(config: NetworkConfig, clock: Arc<SimClock>) -> Self {
+        let (tx, rx) = unbounded::<RouterMsg>();
+        let registry: Arc<Mutex<HashMap<NodeId, Sender<Envelope>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let stats = NetworkStats::new();
+        let mut state = RouterState {
+            registry: Arc::clone(&registry),
+            link_latency: HashMap::new(),
+            default_latency: config.default_latency,
+            fault_plan: FaultPlan::reliable(),
+            link_counts: HashMap::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: stats.clone(),
+        };
+        let handle = std::thread::Builder::new()
+            .name("gridsim-router".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        RouterMsg::Send(env) => state.route(env),
+                        RouterMsg::SetLinkLatency(link, model) => {
+                            state.link_latency.insert(link, model);
+                        }
+                        RouterMsg::SetFaultPlan(plan) => state.fault_plan = plan,
+                        RouterMsg::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn router thread");
+        VirtualNetwork {
+            to_router: tx,
+            registry,
+            clock,
+            stats,
+            handle: Some(handle),
+        }
+    }
+
+    /// The shared experiment clock.
+    pub fn clock(&self) -> Arc<SimClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Network-wide statistics handle.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats.clone()
+    }
+
+    /// Register a node and obtain its endpoint. Panics if the name is taken.
+    pub fn endpoint(&self, id: impl Into<NodeId>) -> Endpoint {
+        let id = id.into();
+        let (tx, rx) = unbounded::<Envelope>();
+        let prev = self.registry.lock().insert(id.clone(), tx);
+        assert!(prev.is_none(), "node {id} registered twice");
+        Endpoint {
+            id,
+            to_router: self.to_router.clone(),
+            inbox: rx,
+            clock: Arc::clone(&self.clock),
+            next_correlation: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// Remove a node from the network; its future traffic becomes NoRoute.
+    pub fn deregister(&self, id: &NodeId) {
+        self.registry.lock().remove(id);
+    }
+
+    /// Override the latency model of one directed link.
+    pub fn set_link_latency(&self, link: LinkKey, model: LatencyModel) {
+        let _ = self.to_router.send(RouterMsg::SetLinkLatency(link, model));
+    }
+
+    /// Install (replace) the fault plan.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let _ = self.to_router.send(RouterMsg::SetFaultPlan(plan));
+    }
+
+    /// Stop the router thread. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        let _ = self.to_router.send(RouterMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for VirtualNetwork {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A node's attachment point to the virtual network.
+///
+/// Cloning an endpoint shares the same inbox (crossbeam channels are MPMC),
+/// which is how a site host hands its mailbox to its service container.
+#[derive(Clone)]
+pub struct Endpoint {
+    id: NodeId,
+    to_router: Sender<RouterMsg>,
+    inbox: Receiver<Envelope>,
+    clock: Arc<SimClock>,
+    next_correlation: Arc<AtomicU64>,
+}
+
+impl Endpoint {
+    /// This endpoint's node id.
+    pub fn id(&self) -> &NodeId {
+        &self.id
+    }
+
+    /// The shared experiment clock.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Allocate a fresh correlation id, unique per endpoint.
+    pub fn next_correlation(&self) -> u64 {
+        self.next_correlation.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Post a message onto the network.
+    pub fn send(
+        &self,
+        dst: NodeId,
+        service: impl Into<String>,
+        kind: MessageKind,
+        correlation_id: u64,
+        payload: Bytes,
+    ) {
+        let env = Envelope {
+            seq: 0,
+            src: self.id.clone(),
+            dst,
+            service: service.into(),
+            kind,
+            correlation_id,
+            sent_at: self.clock.now(),
+            latency: SimTime::ZERO,
+            payload,
+        };
+        let _ = self.to_router.send(RouterMsg::Send(env));
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Option<Envelope> {
+        self.inbox.recv().ok()
+    }
+
+    /// Receive with a real-time deadline. Because dropped messages never
+    /// arrive, a short deadline gives a deterministic "timeout" verdict.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvTimeoutError> {
+        self.inbox.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.inbox.try_recv().ok()
+    }
+
+    /// Number of queued messages.
+    pub fn pending(&self) -> usize {
+        self.inbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::PartitionWindow;
+
+    fn net() -> VirtualNetwork {
+        VirtualNetwork::new(NetworkConfig::default())
+    }
+
+    #[test]
+    fn basic_delivery() {
+        let net = net();
+        let a = net.endpoint("a");
+        let b = net.endpoint("b");
+        a.send(
+            b.id().clone(),
+            "svc",
+            MessageKind::OneWay,
+            0,
+            Bytes::from_static(b"hello"),
+        );
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.src.as_str(), "a");
+        assert_eq!(env.service, "svc");
+        assert_eq!(&env.payload[..], b"hello");
+    }
+
+    #[test]
+    fn latency_is_charged_virtually() {
+        let net = VirtualNetwork::new(NetworkConfig {
+            default_latency: LatencyModel::Fixed(SimTime::from_millis(30)),
+            ..Default::default()
+        });
+        let a = net.endpoint("a");
+        let b = net.endpoint("b");
+        net.clock().advance_to(SimTime::from_secs(1));
+        let t0 = std::time::Instant::now();
+        a.send(b.id().clone(), "s", MessageKind::OneWay, 0, Bytes::new());
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(100), "no real sleep");
+        assert_eq!(env.sent_at, SimTime::from_secs(1));
+        assert_eq!(env.latency, SimTime::from_millis(30));
+        assert_eq!(env.delivered_at(), SimTime::from_millis(1030));
+    }
+
+    #[test]
+    fn dropped_message_never_arrives() {
+        let net = net();
+        let a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let mut plan = FaultPlan::reliable();
+        plan.drop_at(LinkKey::new("a", "b"), 0);
+        net.set_fault_plan(plan);
+        a.send(b.id().clone(), "s", MessageKind::Request, 7, Bytes::new());
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        // Next message sails through (index 1).
+        a.send(b.id().clone(), "s", MessageKind::Request, 8, Bytes::new());
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.correlation_id, 8);
+    }
+
+    #[test]
+    fn reset_notifies_sender_immediately() {
+        let net = net();
+        let a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let mut plan = FaultPlan::reliable();
+        plan.reset_at(LinkKey::new("a", "b"), 0);
+        net.set_fault_plan(plan);
+        a.send(b.id().clone(), "s", MessageKind::Request, 99, Bytes::new());
+        let notice_env = a.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(notice_env.kind, MessageKind::Control);
+        let notice = ControlNotice::from_bytes(&notice_env.payload).unwrap();
+        assert_eq!(
+            notice,
+            ControlNotice::LinkReset {
+                dst: NodeId::new("b"),
+                correlation_id: 99
+            }
+        );
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn unknown_destination_yields_no_route() {
+        let net = net();
+        let a = net.endpoint("a");
+        a.send(NodeId::new("ghost"), "s", MessageKind::Request, 5, Bytes::new());
+        let env = a.recv_timeout(Duration::from_secs(1)).unwrap();
+        let notice = ControlNotice::from_bytes(&env.payload).unwrap();
+        assert_eq!(
+            notice,
+            ControlNotice::NoRoute {
+                dst: NodeId::new("ghost"),
+                correlation_id: 5
+            }
+        );
+    }
+
+    #[test]
+    fn deregistered_node_becomes_unroutable() {
+        let net = net();
+        let a = net.endpoint("a");
+        let b = net.endpoint("b");
+        net.deregister(b.id());
+        a.send(b.id().clone(), "s", MessageKind::Request, 1, Bytes::new());
+        let env = a.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(matches!(
+            ControlNotice::from_bytes(&env.payload).unwrap(),
+            ControlNotice::NoRoute { .. }
+        ));
+    }
+
+    #[test]
+    fn partition_drops_a_window_of_messages() {
+        let net = net();
+        let a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let mut plan = FaultPlan::reliable();
+        plan.partition(PartitionWindow {
+            link: LinkKey::new("a", "b"),
+            from_index: 1,
+            to_index: 3,
+        });
+        net.set_fault_plan(plan);
+        for i in 0..4u64 {
+            a.send(b.id().clone(), "s", MessageKind::OneWay, i, Bytes::new());
+        }
+        let got: Vec<u64> = std::iter::from_fn(|| {
+            b.recv_timeout(Duration::from_millis(100))
+                .ok()
+                .map(|e| e.correlation_id)
+        })
+        .collect();
+        assert_eq!(got, vec![0, 3]);
+    }
+
+    #[test]
+    fn stats_reflect_traffic() {
+        let net = net();
+        let a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let mut plan = FaultPlan::reliable();
+        plan.drop_at(LinkKey::new("a", "b"), 1);
+        net.set_fault_plan(plan);
+        for _ in 0..3 {
+            a.send(b.id().clone(), "s", MessageKind::OneWay, 0, Bytes::from_static(b"xyz"));
+        }
+        // Drain deliveries so the router has definitely processed them.
+        let mut n = 0;
+        while b.recv_timeout(Duration::from_millis(100)).is_ok() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+        let s = net.stats().link(&LinkKey::new("a", "b"));
+        assert_eq!(s.sent, 3);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.bytes_delivered, 6);
+    }
+
+    #[test]
+    fn correlation_ids_are_unique_per_endpoint() {
+        let net = net();
+        let a = net.endpoint("a");
+        let ids: Vec<u64> = (0..100).map(|_| a.next_correlation()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let net = net();
+        let _a = net.endpoint("a");
+        let _a2 = net.endpoint("a");
+    }
+
+    #[test]
+    fn per_link_latency_override() {
+        let net = net();
+        let a = net.endpoint("a");
+        let b = net.endpoint("b");
+        net.set_link_latency(
+            LinkKey::new("a", "b"),
+            LatencyModel::Fixed(SimTime::from_millis(250)),
+        );
+        a.send(b.id().clone(), "s", MessageKind::OneWay, 0, Bytes::new());
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.latency, SimTime::from_millis(250));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut net = net();
+        net.shutdown();
+        net.shutdown();
+    }
+}

@@ -1,0 +1,175 @@
+//! Network accounting.
+//!
+//! The router keeps per-link counters so experiment reports can state how
+//! much traffic each NEESgrid service generated and how many messages the
+//! fault plan consumed — the observable side of §3.4's "several transient
+//! network failures".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::fault::LinkKey;
+use crate::time::SimTime;
+
+/// Counters for one directed link.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkStats {
+    /// Messages handed to the router for this link.
+    pub sent: u64,
+    /// Messages delivered to the destination inbox.
+    pub delivered: u64,
+    /// Messages silently dropped by the fault plan.
+    pub dropped: u64,
+    /// Messages killed with a link reset.
+    pub reset: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Sum of sampled virtual latencies over delivered messages.
+    pub total_latency: SimTime,
+}
+
+impl LinkStats {
+    /// Mean virtual latency per delivered message.
+    pub fn mean_latency(&self) -> SimTime {
+        if self.delivered == 0 {
+            SimTime::ZERO
+        } else {
+            self.total_latency / self.delivered
+        }
+    }
+
+    /// Fraction of sent messages that were lost (dropped or reset).
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            (self.dropped + self.reset) as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Shared, thread-safe network statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkStats {
+    inner: Arc<Mutex<HashMap<LinkKey, LinkStats>>>,
+}
+
+impl NetworkStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a send attempt on `link`.
+    pub fn record_sent(&self, link: &LinkKey) {
+        self.inner.lock().entry(link.clone()).or_default().sent += 1;
+    }
+
+    /// Record a successful delivery.
+    pub fn record_delivered(&self, link: &LinkKey, bytes: usize, latency: SimTime) {
+        let mut g = self.inner.lock();
+        let s = g.entry(link.clone()).or_default();
+        s.delivered += 1;
+        s.bytes_delivered += bytes as u64;
+        s.total_latency += latency;
+    }
+
+    /// Record a silent drop.
+    pub fn record_dropped(&self, link: &LinkKey) {
+        self.inner.lock().entry(link.clone()).or_default().dropped += 1;
+    }
+
+    /// Record a reset.
+    pub fn record_reset(&self, link: &LinkKey) {
+        self.inner.lock().entry(link.clone()).or_default().reset += 1;
+    }
+
+    /// Snapshot counters for one link.
+    pub fn link(&self, link: &LinkKey) -> LinkStats {
+        self.inner.lock().get(link).cloned().unwrap_or_default()
+    }
+
+    /// Snapshot of every link.
+    pub fn all(&self) -> HashMap<LinkKey, LinkStats> {
+        self.inner.lock().clone()
+    }
+
+    /// Aggregate counters over all links.
+    pub fn totals(&self) -> LinkStats {
+        let g = self.inner.lock();
+        let mut t = LinkStats::default();
+        for s in g.values() {
+            t.sent += s.sent;
+            t.delivered += s.delivered;
+            t.dropped += s.dropped;
+            t.reset += s.reset;
+            t.bytes_delivered += s.bytes_delivered;
+            t.total_latency += s.total_latency;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(a: &str, b: &str) -> LinkKey {
+        LinkKey::new(a, b)
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = NetworkStats::new();
+        let l = link("a", "b");
+        stats.record_sent(&l);
+        stats.record_sent(&l);
+        stats.record_delivered(&l, 100, SimTime::from_millis(30));
+        stats.record_dropped(&l);
+        let s = stats.link(&l);
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.bytes_delivered, 100);
+        assert_eq!(s.loss_rate(), 0.5);
+    }
+
+    #[test]
+    fn mean_latency_over_delivered_only() {
+        let stats = NetworkStats::new();
+        let l = link("a", "b");
+        stats.record_delivered(&l, 1, SimTime::from_millis(10));
+        stats.record_delivered(&l, 1, SimTime::from_millis(30));
+        assert_eq!(stats.link(&l).mean_latency(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn empty_link_is_zeroed() {
+        let stats = NetworkStats::new();
+        let s = stats.link(&link("x", "y"));
+        assert_eq!(s, LinkStats::default());
+        assert_eq!(s.mean_latency(), SimTime::ZERO);
+        assert_eq!(s.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn totals_aggregate_links() {
+        let stats = NetworkStats::new();
+        stats.record_sent(&link("a", "b"));
+        stats.record_sent(&link("b", "a"));
+        stats.record_reset(&link("b", "a"));
+        let t = stats.totals();
+        assert_eq!(t.sent, 2);
+        assert_eq!(t.reset, 1);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let stats = NetworkStats::new();
+        let clone = stats.clone();
+        clone.record_sent(&link("a", "b"));
+        assert_eq!(stats.link(&link("a", "b")).sent, 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! Community Authorization Service (CAS).
+//!
+//! The paper (§2.3): *"We plan to add support for the Community
+//! Authorization Service"* — CAS moves authorization policy from each site's
+//! gridmap to a community-operated service that issues signed **capability
+//! assertions** ("member X may `read`/`write` resources matching P").
+//! NEESgrid listed this as the next step for repository access control
+//! (§3.3); we implement it as the extension it was, and `neesgrid-repo`
+//! consumes the assertions.
+//!
+//! A relying site verifies the assertion signature against the CAS identity
+//! it trusts, checks expiry, then **intersects** the asserted rights with
+//! local policy — CAS can only narrow, never widen, what a site allows.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_gridsim::SimTime;
+
+use crate::identity::{CertificateAuthority, DistinguishedName};
+use crate::sim_crypto::{canonical_bytes, SigTag, SigningKey};
+
+/// An action a community may grant on a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Right {
+    /// Read data / metadata.
+    Read,
+    /// Write or create data / metadata.
+    Write,
+    /// Administer (change ACLs, schemas).
+    Admin,
+}
+
+/// A signed statement of a member's rights over resources matching a prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapabilityAssertion {
+    /// The community member the assertion is about.
+    pub subject: DistinguishedName,
+    /// The issuing community (e.g. "nees-most").
+    pub community: String,
+    /// Resource prefix this assertion covers, e.g. `"/experiments/most/"`.
+    pub resource_prefix: String,
+    /// Granted rights.
+    pub rights: HashSet<Right>,
+    /// Expiry (virtual time).
+    pub not_after: SimTime,
+    /// CAS signature.
+    pub signature: SigTag,
+}
+
+impl CapabilityAssertion {
+    fn signed_bytes(
+        subject: &DistinguishedName,
+        community: &str,
+        resource_prefix: &str,
+        rights: &HashSet<Right>,
+        not_after: SimTime,
+    ) -> Vec<u8> {
+        let mut rights_sorted: Vec<String> =
+            rights.iter().map(|r| format!("{r:?}")).collect();
+        rights_sorted.sort();
+        canonical_bytes(&[
+            b"cas",
+            subject.as_str().as_bytes(),
+            community.as_bytes(),
+            resource_prefix.as_bytes(),
+            rights_sorted.join(",").as_bytes(),
+            &not_after.as_nanos().to_le_bytes(),
+        ])
+    }
+
+    /// Whether this assertion grants `right` on `resource` at time `now`.
+    pub fn grants(&self, resource: &str, right: Right, now: SimTime) -> bool {
+        now < self.not_after && resource.starts_with(&self.resource_prefix) && self.rights.contains(&right)
+    }
+}
+
+/// The community authorization service: membership + policy + issuance.
+pub struct CommunityAuthorizationService {
+    community: String,
+    key: SigningKey,
+    identity: DistinguishedName,
+    members: HashSet<DistinguishedName>,
+    /// (member → list of (resource prefix, rights)) policy entries.
+    grants: HashMap<DistinguishedName, Vec<(String, HashSet<Right>)>>,
+}
+
+impl CommunityAuthorizationService {
+    /// Stand up a CAS for `community`, with its service identity certified
+    /// by `ca` (the site trust root) and keyed by `seed`.
+    pub fn new(community: impl Into<String>, ca: &CertificateAuthority, seed: u64) -> Self {
+        let community = community.into();
+        let identity = DistinguishedName::nees_host("cas", &community);
+        // In a full deployment the CAS would hold a CA-issued credential;
+        // deriving the signing key from the CA key + seed models the trust
+        // relationship without another key-distribution mechanism.
+        let key = SigningKey::from_seed(ca.key().sign(&seed.to_le_bytes()).0);
+        CommunityAuthorizationService {
+            community,
+            key,
+            identity,
+            members: HashSet::new(),
+            grants: HashMap::new(),
+        }
+    }
+
+    /// The CAS service identity.
+    pub fn identity(&self) -> &DistinguishedName {
+        &self.identity
+    }
+
+    /// The community name.
+    pub fn community(&self) -> &str {
+        &self.community
+    }
+
+    /// Enroll a member.
+    pub fn enroll(&mut self, member: DistinguishedName) {
+        self.members.insert(member);
+    }
+
+    /// Remove a member; outstanding assertions still verify until expiry
+    /// (CAS, like GSI proxies, relies on short lifetimes, not revocation).
+    pub fn expel(&mut self, member: &DistinguishedName) {
+        self.members.remove(member);
+        self.grants.remove(member);
+    }
+
+    /// Grant rights over a resource prefix to a member.
+    pub fn grant(
+        &mut self,
+        member: &DistinguishedName,
+        resource_prefix: impl Into<String>,
+        rights: impl IntoIterator<Item = Right>,
+    ) -> bool {
+        if !self.members.contains(member) {
+            return false;
+        }
+        self.grants
+            .entry(member.clone())
+            .or_default()
+            .push((resource_prefix.into(), rights.into_iter().collect()));
+        true
+    }
+
+    /// Issue a signed assertion for `member` over `resource_prefix`,
+    /// valid until `not_after`. Returns `None` if the member has no grant
+    /// covering the prefix.
+    pub fn issue(
+        &self,
+        member: &DistinguishedName,
+        resource_prefix: &str,
+        not_after: SimTime,
+    ) -> Option<CapabilityAssertion> {
+        let entries = self.grants.get(member)?;
+        let mut rights: HashSet<Right> = HashSet::new();
+        for (prefix, r) in entries {
+            // The requested prefix must fall inside a granted prefix.
+            if resource_prefix.starts_with(prefix.as_str()) {
+                rights.extend(r.iter().copied());
+            }
+        }
+        if rights.is_empty() {
+            return None;
+        }
+        let bytes = CapabilityAssertion::signed_bytes(
+            member,
+            &self.community,
+            resource_prefix,
+            &rights,
+            not_after,
+        );
+        Some(CapabilityAssertion {
+            subject: member.clone(),
+            community: self.community.clone(),
+            resource_prefix: resource_prefix.to_string(),
+            rights,
+            not_after,
+            signature: self.key.sign(&bytes),
+        })
+    }
+
+    /// Verify an assertion this CAS issued.
+    pub fn verify(&self, assertion: &CapabilityAssertion) -> bool {
+        if assertion.community != self.community {
+            return false;
+        }
+        let bytes = CapabilityAssertion::signed_bytes(
+            &assertion.subject,
+            &assertion.community,
+            &assertion.resource_prefix,
+            &assertion.rights,
+            assertion.not_after,
+        );
+        self.key.verify(&bytes, assertion.signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CommunityAuthorizationService, DistinguishedName) {
+        let ca = CertificateAuthority::nees(5);
+        let mut cas = CommunityAuthorizationService::new("nees-most", &ca, 1);
+        let member = DistinguishedName::nees_user("UIUC", "Narutoshi Nakata");
+        cas.enroll(member.clone());
+        cas.grant(&member, "/experiments/most/", [Right::Read, Right::Write]);
+        (cas, member)
+    }
+
+    #[test]
+    fn issue_and_verify_assertion() {
+        let (cas, member) = setup();
+        let a = cas
+            .issue(&member, "/experiments/most/", SimTime::from_secs(100))
+            .unwrap();
+        assert!(cas.verify(&a));
+        assert!(a.grants("/experiments/most/run1/data.csv", Right::Read, SimTime::from_secs(10)));
+        assert!(a.grants("/experiments/most/run1/data.csv", Right::Write, SimTime::from_secs(10)));
+        assert!(!a.grants("/experiments/most/run1/data.csv", Right::Admin, SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn assertion_expires() {
+        let (cas, member) = setup();
+        let a = cas
+            .issue(&member, "/experiments/most/", SimTime::from_secs(100))
+            .unwrap();
+        assert!(!a.grants("/experiments/most/x", Right::Read, SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn prefix_scoping() {
+        let (cas, member) = setup();
+        let a = cas
+            .issue(&member, "/experiments/most/run1/", SimTime::from_secs(100))
+            .unwrap();
+        assert!(a.grants("/experiments/most/run1/d.csv", Right::Read, SimTime::ZERO));
+        assert!(!a.grants("/experiments/other/d.csv", Right::Read, SimTime::ZERO));
+    }
+
+    #[test]
+    fn non_member_gets_nothing() {
+        let (cas, _) = setup();
+        let outsider = DistinguishedName::nees_user("Nowhere", "Eve");
+        assert!(cas.issue(&outsider, "/experiments/most/", SimTime::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn grant_requires_membership() {
+        let ca = CertificateAuthority::nees(5);
+        let mut cas = CommunityAuthorizationService::new("c", &ca, 2);
+        let outsider = DistinguishedName::nees_user("Nowhere", "Eve");
+        assert!(!cas.grant(&outsider, "/x/", [Right::Read]));
+    }
+
+    #[test]
+    fn ungranted_prefix_refused() {
+        let (cas, member) = setup();
+        assert!(cas
+            .issue(&member, "/experiments/other/", SimTime::from_secs(1))
+            .is_none());
+    }
+
+    #[test]
+    fn tampered_assertion_fails() {
+        let (cas, member) = setup();
+        let mut a = cas
+            .issue(&member, "/experiments/most/", SimTime::from_secs(100))
+            .unwrap();
+        a.rights.insert(Right::Admin);
+        assert!(!cas.verify(&a));
+        let mut b = cas
+            .issue(&member, "/experiments/most/", SimTime::from_secs(100))
+            .unwrap();
+        b.resource_prefix = "/".into();
+        assert!(!cas.verify(&b));
+    }
+
+    #[test]
+    fn expelled_member_cannot_get_new_assertions() {
+        let (mut cas, member) = setup();
+        let before = cas
+            .issue(&member, "/experiments/most/", SimTime::from_secs(100))
+            .unwrap();
+        cas.expel(&member);
+        assert!(cas.issue(&member, "/experiments/most/", SimTime::from_secs(100)).is_none());
+        // Already-issued assertions still verify until expiry.
+        assert!(cas.verify(&before));
+    }
+
+    #[test]
+    fn foreign_community_assertion_rejected() {
+        let ca = CertificateAuthority::nees(5);
+        let (cas_a, member) = setup();
+        let mut cas_b = CommunityAuthorizationService::new("other", &ca, 9);
+        cas_b.enroll(member.clone());
+        cas_b.grant(&member, "/experiments/most/", [Right::Read]);
+        let a = cas_b
+            .issue(&member, "/experiments/most/", SimTime::from_secs(100))
+            .unwrap();
+        assert!(!cas_a.verify(&a));
+    }
+}

@@ -1,0 +1,366 @@
+//! Distinguished names, certificates, and certificate authorities.
+//!
+//! NEESgrid participants — experimenters, the simulation coordinator, site
+//! service hosts — are named by X.509-style distinguished names issued under
+//! a CA trusted by all sites (the NMI/DOEGrids model of 2003). A
+//! [`CertificateAuthority`] here issues [`Certificate`]s carrying a
+//! simulated signature; relying parties hold the CA's verifier and check
+//! subject binding and lifetime exactly as a real GSI stack would.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_gridsim::SimTime;
+
+use crate::sim_crypto::{canonical_bytes, SigTag, SigningKey};
+
+/// An X.509-style distinguished name, e.g.
+/// `/O=NEES/OU=UIUC/CN=MOST Coordinator`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DistinguishedName(String);
+
+impl DistinguishedName {
+    /// Construct from component (attribute, value) pairs.
+    pub fn new(components: &[(&str, &str)]) -> Self {
+        let mut s = String::new();
+        for (k, v) in components {
+            s.push('/');
+            s.push_str(k);
+            s.push('=');
+            s.push_str(v);
+        }
+        DistinguishedName(s)
+    }
+
+    /// Parse from the canonical slash-separated form.
+    pub fn parse(s: &str) -> Option<Self> {
+        if !s.starts_with('/') || s.len() < 4 {
+            return None;
+        }
+        for comp in s[1..].split('/') {
+            let (k, v) = comp.split_once('=')?;
+            if k.is_empty() || v.is_empty() {
+                return None;
+            }
+        }
+        Some(DistinguishedName(s.to_string()))
+    }
+
+    /// A NEES person: `/O=NEES/OU=<site>/CN=<name>`.
+    pub fn nees_user(site: &str, name: &str) -> Self {
+        DistinguishedName::new(&[("O", "NEES"), ("OU", site), ("CN", name)])
+    }
+
+    /// A NEES service host: `/O=NEES/OU=<site>/CN=host/<service>`.
+    pub fn nees_host(site: &str, service: &str) -> Self {
+        DistinguishedName(format!("/O=NEES/OU={site}/CN=host/{service}"))
+    }
+
+    /// The canonical string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The common-name component, if present.
+    pub fn common_name(&self) -> Option<&str> {
+        self.0[1..]
+            .split('/')
+            .find_map(|c| c.strip_prefix("CN="))
+    }
+
+    /// Whether `self` is the proxy-extended child of `parent`
+    /// (i.e. `parent`'s DN plus one trailing `/CN=proxy` component).
+    pub fn is_proxy_of(&self, parent: &DistinguishedName) -> bool {
+        self.0
+            .strip_prefix(parent.0.as_str())
+            .map(|rest| rest == "/CN=proxy")
+            .unwrap_or(false)
+    }
+
+    /// Derive the proxy DN for delegation.
+    pub fn proxy(&self) -> DistinguishedName {
+        DistinguishedName(format!("{}/CN=proxy", self.0))
+    }
+}
+
+impl fmt::Display for DistinguishedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A certificate binding a subject DN to an issuer, with a validity window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// The certified identity.
+    pub subject: DistinguishedName,
+    /// The issuing authority's DN.
+    pub issuer: DistinguishedName,
+    /// Issuer-unique serial number.
+    pub serial: u64,
+    /// Start of validity (virtual time).
+    pub not_before: SimTime,
+    /// End of validity (virtual time).
+    pub not_after: SimTime,
+    /// Simulated signature over the fields above.
+    pub signature: SigTag,
+}
+
+impl Certificate {
+    fn signed_bytes(
+        subject: &DistinguishedName,
+        issuer: &DistinguishedName,
+        serial: u64,
+        not_before: SimTime,
+        not_after: SimTime,
+    ) -> Vec<u8> {
+        canonical_bytes(&[
+            subject.as_str().as_bytes(),
+            issuer.as_str().as_bytes(),
+            &serial.to_le_bytes(),
+            &not_before.as_nanos().to_le_bytes(),
+            &not_after.as_nanos().to_le_bytes(),
+        ])
+    }
+
+    /// Whether the validity window covers `now`.
+    pub fn valid_at(&self, now: SimTime) -> bool {
+        now >= self.not_before && now < self.not_after
+    }
+}
+
+/// A certificate authority: issues and verifies certificates.
+///
+/// In the NEESgrid deployment this is the NMI-packaged CA all sites trusted.
+#[derive(Debug)]
+pub struct CertificateAuthority {
+    name: DistinguishedName,
+    key: SigningKey,
+    next_serial: std::sync::atomic::AtomicU64,
+}
+
+impl CertificateAuthority {
+    /// Create a CA with the given DN and key seed.
+    pub fn new(name: DistinguishedName, seed: u64) -> Self {
+        CertificateAuthority {
+            name,
+            key: SigningKey::from_seed(seed),
+            next_serial: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// The canonical NEES testbed CA.
+    pub fn nees(seed: u64) -> Self {
+        Self::new(
+            DistinguishedName::new(&[("O", "NEES"), ("CN", "NEES CA")]),
+            seed,
+        )
+    }
+
+    /// The CA's own DN.
+    pub fn name(&self) -> &DistinguishedName {
+        &self.name
+    }
+
+    /// Issue a certificate for `subject` valid for `[not_before, not_after)`.
+    pub fn issue(
+        &self,
+        subject: DistinguishedName,
+        not_before: SimTime,
+        not_after: SimTime,
+    ) -> Certificate {
+        let serial = self
+            .next_serial
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let bytes = Certificate::signed_bytes(&subject, &self.name, serial, not_before, not_after);
+        Certificate {
+            subject,
+            issuer: self.name.clone(),
+            serial,
+            not_before,
+            not_after,
+            signature: self.key.sign(&bytes),
+        }
+    }
+
+    /// Verify that a certificate was issued (unmodified) by this CA.
+    pub fn verify(&self, cert: &Certificate) -> bool {
+        if cert.issuer != self.name {
+            return false;
+        }
+        let bytes = Certificate::signed_bytes(
+            &cert.subject,
+            &cert.issuer,
+            cert.serial,
+            cert.not_before,
+            cert.not_after,
+        );
+        self.key.verify(&bytes, cert.signature)
+    }
+
+    /// A verifier handle safe to distribute to relying parties.
+    ///
+    /// With real crypto this would be the public key; under simulation the
+    /// verifier carries the same key but offers only `verify`.
+    pub fn verifier(&self) -> CaVerifier {
+        CaVerifier {
+            name: self.name.clone(),
+            key: self.key,
+        }
+    }
+
+    /// Signing key handle for other signed artifacts (e.g. CAS assertions).
+    pub(crate) fn key(&self) -> SigningKey {
+        self.key
+    }
+}
+
+/// Verification-only handle to a CA (a "trust root").
+#[derive(Debug, Clone)]
+pub struct CaVerifier {
+    name: DistinguishedName,
+    key: SigningKey,
+}
+
+impl CaVerifier {
+    /// The trusted CA's DN.
+    pub fn name(&self) -> &DistinguishedName {
+        &self.name
+    }
+
+    /// Verify a certificate against this trust root.
+    pub fn verify(&self, cert: &Certificate) -> bool {
+        if cert.issuer != self.name {
+            return false;
+        }
+        let bytes = Certificate::signed_bytes(
+            &cert.subject,
+            &cert.issuer,
+            cert.serial,
+            cert.not_before,
+            cert.not_after,
+        );
+        self.key.verify(&bytes, cert.signature)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ca() -> CertificateAuthority {
+        CertificateAuthority::nees(7)
+    }
+
+    #[test]
+    fn dn_construction_and_display() {
+        let dn = DistinguishedName::nees_user("UIUC", "B.F. Spencer");
+        assert_eq!(dn.as_str(), "/O=NEES/OU=UIUC/CN=B.F. Spencer");
+        assert_eq!(dn.common_name(), Some("B.F. Spencer"));
+    }
+
+    #[test]
+    fn dn_parse_accepts_valid_rejects_invalid() {
+        assert!(DistinguishedName::parse("/O=NEES/CN=x").is_some());
+        assert!(DistinguishedName::parse("O=NEES").is_none());
+        assert!(DistinguishedName::parse("/O=").is_none());
+        assert!(DistinguishedName::parse("/=v").is_none());
+        assert!(DistinguishedName::parse("/ONEES").is_none());
+    }
+
+    #[test]
+    fn proxy_dn_relationship() {
+        let user = DistinguishedName::nees_user("CU", "Benson Shing");
+        let proxy = user.proxy();
+        assert!(proxy.is_proxy_of(&user));
+        assert!(!user.is_proxy_of(&proxy));
+        let other = DistinguishedName::nees_user("CU", "Someone Else");
+        assert!(!proxy.is_proxy_of(&other));
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let ca = ca();
+        let cert = ca.issue(
+            DistinguishedName::nees_user("NCSA", "Joe Futrelle"),
+            SimTime::ZERO,
+            SimTime::from_secs(3600),
+        );
+        assert!(ca.verify(&cert));
+        assert!(ca.verifier().verify(&cert));
+    }
+
+    #[test]
+    fn tampered_certificate_fails_verification() {
+        let ca = ca();
+        let mut cert = ca.issue(
+            DistinguishedName::nees_user("NCSA", "Joe"),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        cert.subject = DistinguishedName::nees_user("NCSA", "Eve");
+        assert!(!ca.verify(&cert));
+        let mut cert2 = ca.issue(
+            DistinguishedName::nees_user("NCSA", "Joe"),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        cert2.not_after = SimTime::from_secs(1_000_000);
+        assert!(!ca.verify(&cert2));
+    }
+
+    #[test]
+    fn foreign_ca_certificate_rejected() {
+        let ours = ca();
+        let theirs = CertificateAuthority::new(
+            DistinguishedName::new(&[("O", "Evil"), ("CN", "Evil CA")]),
+            999,
+        );
+        let cert = theirs.issue(
+            DistinguishedName::nees_user("UIUC", "Mallory"),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        assert!(!ours.verify(&cert));
+        assert!(!ours.verifier().verify(&cert));
+    }
+
+    #[test]
+    fn validity_window_is_half_open() {
+        let ca = ca();
+        let cert = ca.issue(
+            DistinguishedName::nees_user("UIUC", "x"),
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        );
+        assert!(!cert.valid_at(SimTime::from_secs(9)));
+        assert!(cert.valid_at(SimTime::from_secs(10)));
+        assert!(cert.valid_at(SimTime::from_secs(19)));
+        assert!(!cert.valid_at(SimTime::from_secs(20)));
+    }
+
+    #[test]
+    fn serials_are_unique() {
+        let ca = ca();
+        let a = ca.issue(
+            DistinguishedName::nees_user("UIUC", "a"),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        );
+        let b = ca.issue(
+            DistinguishedName::nees_user("UIUC", "a"),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        );
+        assert_ne!(a.serial, b.serial);
+        assert_ne!(a.signature, b.signature);
+    }
+
+    #[test]
+    fn host_dn_form() {
+        let dn = DistinguishedName::nees_host("uiuc", "ntcp");
+        assert_eq!(dn.as_str(), "/O=NEES/OU=uiuc/CN=host/ntcp");
+    }
+}

@@ -1,0 +1,32 @@
+//! # neesgrid-gsi — simulated Grid Security Infrastructure
+//!
+//! NEESgrid authenticated and authorized every interaction with the Grid
+//! Security Infrastructure (GSI): X.509 end-entity certificates, short-lived
+//! *proxy* credentials for delegation, per-site `gridmap` files mapping
+//! distinguished names to local accounts, and (planned in the paper, §2.3)
+//! the Community Authorization Service (CAS).
+//!
+//! This crate reproduces the complete *logic* of that stack — trust roots,
+//! chain validation, expiry, delegation depth, gridmap lookup, site action
+//! limits, community capability assertions — over a **simulated signature
+//! primitive** ([`sim_crypto::SigTag`], a keyed 64-bit hash instead of RSA).
+//! Every enforcement decision a real GSI deployment would make is made here,
+//! with the same inputs and the same outcomes; only the cryptographic
+//! hardness is stubbed, which is documented as a substitution in DESIGN.md.
+//!
+//! Telecontrol safety (§4 of the paper) hangs off [`policy::ActionLimits`]:
+//! sites retain the ability to bound displacement/force commands and to
+//! reject operations wholesale, independent of who the caller is.
+
+pub mod auth;
+pub mod cas;
+pub mod credential;
+pub mod identity;
+pub mod policy;
+pub mod sim_crypto;
+
+pub use auth::{authenticate, AuthError, SecurityContext};
+pub use cas::{CapabilityAssertion, CommunityAuthorizationService, Right};
+pub use credential::{Credential, CredentialError, CredentialKind};
+pub use identity::{CaVerifier, Certificate, CertificateAuthority, DistinguishedName};
+pub use policy::{ActionLimits, GridMap, PolicyDecision, SitePolicy};

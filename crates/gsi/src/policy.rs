@@ -1,0 +1,313 @@
+//! Site-local authorization: gridmap and action limits.
+//!
+//! §4 of the paper: *"Facility managers want to retain some control over
+//! what commands are acceptable (e.g., to set limits on the amount of force
+//! that can be applied on the local specimen, and to be able to terminate
+//! the local experiment at any time)."* That control lives here:
+//!
+//! * [`GridMap`] — the classic `grid-mapfile`: authenticated DN → local
+//!   account; unlisted DNs get nothing.
+//! * [`ActionLimits`] — hard bounds on commanded displacement, velocity and
+//!   expected force, checked during NTCP *proposal* so an unacceptable
+//!   action is refused before anything moves.
+//! * [`SitePolicy`] — gridmap + limits + per-operation allow-list + a global
+//!   kill switch (the facility's "terminate at any time" right).
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::identity::DistinguishedName;
+
+/// DN → local account mapping (the `grid-mapfile`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GridMap {
+    entries: HashMap<DistinguishedName, String>,
+}
+
+impl GridMap {
+    /// Empty map: nobody is authorized.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a mapping.
+    pub fn add(&mut self, dn: DistinguishedName, local_user: impl Into<String>) -> &mut Self {
+        self.entries.insert(dn, local_user.into());
+        self
+    }
+
+    /// Look up the local account for an authenticated DN.
+    pub fn lookup(&self, dn: &DistinguishedName) -> Option<&str> {
+        self.entries.get(dn).map(String::as_str)
+    }
+
+    /// Number of mapped identities.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Physical bounds a site imposes on every commanded action.
+///
+/// Units are SI: meters, meters/second, newtons.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActionLimits {
+    /// Maximum |displacement| command per control point, in meters.
+    pub max_displacement_m: f64,
+    /// Maximum commanded velocity, in m/s.
+    pub max_velocity_mps: f64,
+    /// Maximum force the specimen/actuator may see, in newtons.
+    pub max_force_n: f64,
+}
+
+impl ActionLimits {
+    /// Limits used for the large-scale MOST columns (±50 mm stroke,
+    /// quasi-static rates, 100 kN actuator).
+    pub fn most_large_scale() -> Self {
+        ActionLimits {
+            max_displacement_m: 0.050,
+            max_velocity_mps: 0.01,
+            max_force_n: 100_000.0,
+        }
+    }
+
+    /// Limits for the Mini-MOST tabletop rig (±20 mm, stepper speeds, tiny
+    /// forces).
+    pub fn mini_most() -> Self {
+        ActionLimits {
+            max_displacement_m: 0.020,
+            max_velocity_mps: 0.005,
+            max_force_n: 200.0,
+        }
+    }
+
+    /// Check a displacement command (m) and expected peak force (N).
+    pub fn check(&self, displacement_m: f64, velocity_mps: f64, force_n: f64) -> PolicyDecision {
+        if !displacement_m.is_finite() || !velocity_mps.is_finite() || !force_n.is_finite() {
+            return PolicyDecision::deny("non-finite command parameter");
+        }
+        if displacement_m.abs() > self.max_displacement_m {
+            return PolicyDecision::deny(format!(
+                "displacement {:.4} m exceeds site limit {:.4} m",
+                displacement_m.abs(),
+                self.max_displacement_m
+            ));
+        }
+        if velocity_mps.abs() > self.max_velocity_mps {
+            return PolicyDecision::deny(format!(
+                "velocity {:.4} m/s exceeds site limit {:.4} m/s",
+                velocity_mps.abs(),
+                self.max_velocity_mps
+            ));
+        }
+        if force_n.abs() > self.max_force_n {
+            return PolicyDecision::deny(format!(
+                "expected force {:.1} N exceeds site limit {:.1} N",
+                force_n.abs(),
+                self.max_force_n
+            ));
+        }
+        PolicyDecision::allow()
+    }
+}
+
+/// Outcome of a policy check, with a human-readable reason on denial.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyDecision {
+    /// Whether the action may proceed.
+    pub allowed: bool,
+    /// Denial reason (empty when allowed).
+    pub reason: String,
+}
+
+impl PolicyDecision {
+    /// An allow decision.
+    pub fn allow() -> Self {
+        PolicyDecision {
+            allowed: true,
+            reason: String::new(),
+        }
+    }
+
+    /// A deny decision with a reason.
+    pub fn deny(reason: impl Into<String>) -> Self {
+        PolicyDecision {
+            allowed: false,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// The complete local policy of one experiment site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SitePolicy {
+    /// Site name (for reporting).
+    pub site: String,
+    /// Who may connect at all.
+    pub gridmap: GridMap,
+    /// Physical command bounds.
+    pub limits: ActionLimits,
+    /// Operations the site accepts (e.g. "propose", "execute", "cancel",
+    /// "getStatus"). Empty set = all operations allowed.
+    pub allowed_operations: HashSet<String>,
+    /// Facility kill switch: when true, every request is refused. Models
+    /// the site's unconditional right to terminate its local experiment.
+    pub emergency_stop: bool,
+}
+
+impl SitePolicy {
+    /// A permissive policy with the given limits (used in tests and the
+    /// simulation-only MOST phase).
+    pub fn permissive(site: impl Into<String>, limits: ActionLimits) -> Self {
+        SitePolicy {
+            site: site.into(),
+            gridmap: GridMap::new(),
+            limits,
+            allowed_operations: HashSet::new(),
+            emergency_stop: false,
+        }
+    }
+
+    /// Authorize an authenticated identity for an operation.
+    pub fn authorize(&self, dn: &DistinguishedName, operation: &str) -> PolicyDecision {
+        if self.emergency_stop {
+            return PolicyDecision::deny(format!("site {} is in emergency stop", self.site));
+        }
+        if !self.gridmap.is_empty() && self.gridmap.lookup(dn).is_none() {
+            return PolicyDecision::deny(format!("{dn} not in {} gridmap", self.site));
+        }
+        if !self.allowed_operations.is_empty() && !self.allowed_operations.contains(operation) {
+            return PolicyDecision::deny(format!(
+                "operation '{operation}' not permitted at {}",
+                self.site
+            ));
+        }
+        PolicyDecision::allow()
+    }
+
+    /// Authorize and bound a physical command in one step (the NTCP
+    /// proposal path).
+    pub fn authorize_command(
+        &self,
+        dn: &DistinguishedName,
+        operation: &str,
+        displacement_m: f64,
+        velocity_mps: f64,
+        force_n: f64,
+    ) -> PolicyDecision {
+        let who = self.authorize(dn, operation);
+        if !who.allowed {
+            return who;
+        }
+        self.limits.check(displacement_m, velocity_mps, force_n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn() -> DistinguishedName {
+        DistinguishedName::nees_user("NCSA", "Coordinator")
+    }
+
+    #[test]
+    fn gridmap_lookup() {
+        let mut gm = GridMap::new();
+        gm.add(dn(), "most");
+        assert_eq!(gm.lookup(&dn()), Some("most"));
+        assert_eq!(
+            gm.lookup(&DistinguishedName::nees_user("X", "Y")),
+            None
+        );
+        assert_eq!(gm.len(), 1);
+    }
+
+    #[test]
+    fn limits_allow_in_bounds() {
+        let l = ActionLimits::most_large_scale();
+        assert!(l.check(0.01, 0.001, 50_000.0).allowed);
+        assert!(l.check(-0.05, -0.01, -100_000.0).allowed);
+    }
+
+    #[test]
+    fn limits_deny_out_of_bounds_with_reason() {
+        let l = ActionLimits::most_large_scale();
+        let d = l.check(0.051, 0.0, 0.0);
+        assert!(!d.allowed);
+        assert!(d.reason.contains("displacement"));
+        let v = l.check(0.0, 0.02, 0.0);
+        assert!(v.reason.contains("velocity"));
+        let f = l.check(0.0, 0.0, 150_000.0);
+        assert!(f.reason.contains("force"));
+    }
+
+    #[test]
+    fn limits_deny_non_finite() {
+        let l = ActionLimits::mini_most();
+        assert!(!l.check(f64::NAN, 0.0, 0.0).allowed);
+        assert!(!l.check(0.0, f64::INFINITY, 0.0).allowed);
+    }
+
+    #[test]
+    fn empty_gridmap_means_open_site() {
+        let p = SitePolicy::permissive("test", ActionLimits::mini_most());
+        assert!(p.authorize(&dn(), "propose").allowed);
+    }
+
+    #[test]
+    fn populated_gridmap_excludes_strangers() {
+        let mut p = SitePolicy::permissive("uiuc", ActionLimits::most_large_scale());
+        p.gridmap.add(dn(), "most");
+        assert!(p.authorize(&dn(), "propose").allowed);
+        let stranger = DistinguishedName::nees_user("Nowhere", "Eve");
+        let d = p.authorize(&stranger, "propose");
+        assert!(!d.allowed);
+        assert!(d.reason.contains("gridmap"));
+    }
+
+    #[test]
+    fn operation_allowlist() {
+        let mut p = SitePolicy::permissive("cu", ActionLimits::most_large_scale());
+        p.allowed_operations.insert("propose".into());
+        p.allowed_operations.insert("getStatus".into());
+        assert!(p.authorize(&dn(), "propose").allowed);
+        assert!(!p.authorize(&dn(), "execute").allowed);
+    }
+
+    #[test]
+    fn emergency_stop_refuses_everything() {
+        let mut p = SitePolicy::permissive("uiuc", ActionLimits::most_large_scale());
+        p.emergency_stop = true;
+        let d = p.authorize(&dn(), "getStatus");
+        assert!(!d.allowed);
+        assert!(d.reason.contains("emergency stop"));
+    }
+
+    #[test]
+    fn authorize_command_combines_identity_and_limits() {
+        let mut p = SitePolicy::permissive("uiuc", ActionLimits::most_large_scale());
+        p.gridmap.add(dn(), "most");
+        assert!(p.authorize_command(&dn(), "propose", 0.01, 0.0, 0.0).allowed);
+        assert!(!p.authorize_command(&dn(), "propose", 0.2, 0.0, 0.0).allowed);
+        let stranger = DistinguishedName::nees_user("Nowhere", "Eve");
+        assert!(!p.authorize_command(&stranger, "propose", 0.01, 0.0, 0.0).allowed);
+    }
+
+    #[test]
+    fn mini_most_limits_are_tighter() {
+        let mini = ActionLimits::mini_most();
+        let large = ActionLimits::most_large_scale();
+        assert!(mini.max_displacement_m < large.max_displacement_m);
+        assert!(mini.max_force_n < large.max_force_n);
+        // A command fine at UIUC would wreck the tabletop rig.
+        assert!(large.check(0.03, 0.0, 500.0).allowed);
+        assert!(!mini.check(0.03, 0.0, 500.0).allowed);
+    }
+}

@@ -1,0 +1,114 @@
+//! Simulated cryptographic primitive.
+//!
+//! **This is not cryptography.** The real NEESgrid used GSI's X.509/RSA
+//! stack; reproducing RSA adds nothing to the system behaviour under test,
+//! so signatures here are keyed 64-bit FNV-1a tags. They have the *API
+//! shape* of signatures — bind a secret key to a byte string, verify
+//! without revealing the key through the type system — which is all the
+//! authentication, delegation, and CAS logic needs. Forgery resistance is
+//! explicitly out of scope (documented substitution, DESIGN.md §2).
+
+use serde::{Deserialize, Serialize};
+
+/// A signing key. The inner value never leaves the issuing authority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigningKey(u64);
+
+impl SigningKey {
+    /// Derive a signing key from a seed (e.g. per-CA configuration).
+    pub fn from_seed(seed: u64) -> Self {
+        // Splitmix64 step so related seeds yield unrelated keys.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SigningKey(z ^ (z >> 31))
+    }
+
+    /// Sign a byte string, producing a tag.
+    pub fn sign(&self, data: &[u8]) -> SigTag {
+        SigTag(keyed_fnv1a(self.0, data))
+    }
+
+    /// Verify that `tag` was produced by this key over `data`.
+    pub fn verify(&self, data: &[u8], tag: SigTag) -> bool {
+        self.sign(data) == tag
+    }
+}
+
+/// A signature tag attached to certificates and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SigTag(pub u64);
+
+/// Keyed FNV-1a over a byte string.
+fn keyed_fnv1a(key: u64, data: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = 0xCBF2_9CE4_8422_2325 ^ key;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    // Finalize with the key again so extension attacks on the toy hash at
+    // least require knowing it.
+    h ^= key.rotate_left(32);
+    h = h.wrapping_mul(PRIME);
+    h
+}
+
+/// Canonical byte encoding helper: length-prefixed field concatenation, so
+/// `("ab","c")` and `("a","bc")` sign differently.
+pub fn canonical_bytes(fields: &[&[u8]]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(fields.iter().map(|f| f.len() + 4).sum());
+    for f in fields {
+        out.extend_from_slice(&(f.len() as u32).to_le_bytes());
+        out.extend_from_slice(f);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let k = SigningKey::from_seed(42);
+        let tag = k.sign(b"hello");
+        assert!(k.verify(b"hello", tag));
+    }
+
+    #[test]
+    fn different_data_different_tag() {
+        let k = SigningKey::from_seed(42);
+        assert_ne!(k.sign(b"hello"), k.sign(b"hellp"));
+        assert!(!k.verify(b"other", k.sign(b"hello")));
+    }
+
+    #[test]
+    fn different_key_different_tag() {
+        let a = SigningKey::from_seed(1);
+        let b = SigningKey::from_seed(2);
+        assert_ne!(a.sign(b"x"), b.sign(b"x"));
+        assert!(!b.verify(b"x", a.sign(b"x")));
+    }
+
+    #[test]
+    fn nearby_seeds_give_unrelated_keys() {
+        let a = SigningKey::from_seed(100);
+        let b = SigningKey::from_seed(101);
+        assert_ne!(a, b);
+        assert_ne!(a.sign(b""), b.sign(b""));
+    }
+
+    #[test]
+    fn canonical_bytes_prevents_field_sliding() {
+        let ab_c = canonical_bytes(&[b"ab", b"c"]);
+        let a_bc = canonical_bytes(&[b"a", b"bc"]);
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn empty_fields_are_distinct_from_absent() {
+        assert_ne!(canonical_bytes(&[b""]), canonical_bytes(&[]));
+        assert_ne!(canonical_bytes(&[b"", b""]), canonical_bytes(&[b""]));
+    }
+}

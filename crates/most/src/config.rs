@@ -1,0 +1,177 @@
+//! MOST experiment configuration.
+//!
+//! Figure 4's structure: "a two-bay single-story steel frame, like that of
+//! the interior of a multistory building", decomposed per MS-PSDS into the
+//! left column (tested at UIUC), the right column (tested at CU), and the
+//! central beam section (simulated at NCSA). The global model has two
+//! lateral DOFs — the column-top displacements — coupled by the beam.
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_apparatus::{Specimen, SteelColumn};
+use neesgrid_structsim::GroundMotion;
+
+/// How a site realizes its substructure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteRole {
+    /// Physical specimen on a servo-hydraulic rig (Shore-Western bridge).
+    PhysicalShoreWestern,
+    /// Physical specimen behind a polled Mplugin + xPC real-time target.
+    PhysicalXpc,
+    /// Numerical simulation behind a polled Mplugin (the NCSA model).
+    SimulatedMplugin,
+    /// Numerical simulation driven directly (simulation-only rehearsal).
+    SimulatedDirect,
+}
+
+/// Full experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MostConfig {
+    /// Lumped mass per DOF, kg.
+    pub mass_kg: f64,
+    /// Coupling-beam lateral stiffness, N/m.
+    pub beam_stiffness: f64,
+    /// Integration step, s.
+    pub dt: f64,
+    /// Steps to run (1,500 in the real experiment).
+    pub steps: usize,
+    /// Ground-motion generator seed.
+    pub motion_seed: u64,
+    /// Peak ground acceleration, m/s².
+    pub pga: f64,
+    /// Role of the UIUC site (left column).
+    pub uiuc_role: SiteRole,
+    /// Role of the CU site (right column).
+    pub cu_role: SiteRole,
+    /// Role of the NCSA site (central beam).
+    pub ncsa_role: SiteRole,
+}
+
+impl MostConfig {
+    /// The July 30, 2003 configuration: two physical columns, one
+    /// simulated beam, 1,500 steps.
+    pub fn paper() -> Self {
+        MostConfig {
+            mass_kg: 8_000.0,
+            beam_stiffness: 2.0e6,
+            dt: 0.01,
+            steps: 1500,
+            motion_seed: 0x4D4F_5354, // "MOST"
+            pga: 1.5,
+            uiuc_role: SiteRole::PhysicalShoreWestern,
+            cu_role: SiteRole::PhysicalXpc,
+            ncsa_role: SiteRole::SimulatedMplugin,
+        }
+    }
+
+    /// The incremental-development rehearsal (§3): "First, we implemented
+    /// and tested a distributed simulation-only experiment."
+    pub fn simulation_only() -> Self {
+        MostConfig {
+            uiuc_role: SiteRole::SimulatedDirect,
+            cu_role: SiteRole::SimulatedDirect,
+            ncsa_role: SiteRole::SimulatedDirect,
+            ..MostConfig::paper()
+        }
+    }
+
+    /// A shortened copy (for tests and quick demos).
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// The UIUC left column's elastic lateral stiffness, N/m.
+    pub fn uiuc_stiffness(&self) -> f64 {
+        SteelColumn::most_uiuc().initial_stiffness()
+    }
+
+    /// The CU right column's elastic lateral stiffness, N/m.
+    pub fn cu_stiffness(&self) -> f64 {
+        SteelColumn::most_cu().initial_stiffness()
+    }
+
+    /// The ground motion record for this configuration.
+    pub fn ground_motion(&self) -> GroundMotion {
+        GroundMotion::synthetic(self.motion_seed, self.dt, self.steps, self.pga)
+    }
+
+    /// Global natural frequencies of the elastic frame, rad/s.
+    pub fn natural_frequencies(&self) -> Vec<f64> {
+        use neesgrid_structsim::element::{CouplingSpring, GroundSpring};
+        use neesgrid_structsim::material::LinearElastic;
+        use neesgrid_structsim::model::MdofModel;
+        let mut m = MdofModel::new(vec![self.mass_kg, self.mass_kg]);
+        m.add_element(Box::new(GroundSpring::new(
+            0,
+            Box::new(LinearElastic::new(self.uiuc_stiffness())),
+        )));
+        m.add_element(Box::new(GroundSpring::new(
+            1,
+            Box::new(LinearElastic::new(self.cu_stiffness())),
+        )));
+        m.add_element(Box::new(CouplingSpring::new(
+            0,
+            1,
+            Box::new(LinearElastic::new(self.beam_stiffness)),
+        )));
+        m.natural_frequencies()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_shape() {
+        let c = MostConfig::paper();
+        assert_eq!(c.steps, 1500);
+        assert_eq!(c.dt, 0.01);
+        assert_eq!(c.uiuc_role, SiteRole::PhysicalShoreWestern);
+        assert_eq!(c.ncsa_role, SiteRole::SimulatedMplugin);
+        // Motion duration: 1,500 steps × 10 ms = 15 s of strong motion.
+        assert!((c.ground_motion().duration() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn column_stiffness_asymmetry() {
+        let c = MostConfig::paper();
+        // The CU column is clamped (fixed-fixed) → 4× the UIUC cantilever.
+        assert!((c.cu_stiffness() / c.uiuc_stiffness() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_integration_is_stable_for_paper_config() {
+        // dt must be comfortably under the central-difference critical
+        // step for the elastic frame.
+        let c = MostConfig::paper();
+        let w_max = *c
+            .natural_frequencies()
+            .last()
+            .unwrap();
+        let dt_critical = 2.0 / w_max;
+        assert!(
+            c.dt < 0.5 * dt_critical,
+            "dt {} vs critical {dt_critical}",
+            c.dt
+        );
+    }
+
+    #[test]
+    fn ground_motion_is_deterministic() {
+        let a = MostConfig::paper().ground_motion();
+        let b = MostConfig::paper().ground_motion();
+        assert_eq!(a, b);
+        assert!((a.pga() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulation_only_swaps_roles_not_physics() {
+        let p = MostConfig::paper();
+        let s = MostConfig::simulation_only();
+        assert_eq!(s.uiuc_role, SiteRole::SimulatedDirect);
+        assert_eq!(p.mass_kg, s.mass_kg);
+        assert_eq!(p.ground_motion(), s.ground_motion());
+    }
+}

@@ -1,0 +1,195 @@
+//! The paper-vs-measured report.
+//!
+//! §3.4's results, as structured data plus a rendered table for
+//! EXPERIMENTS.md. Paper facts being compared against:
+//!
+//! * dry run: 1,500/1,500 steps, "about 5.5 hours", successful;
+//! * public run: terminated at step 1,493 of 1,500 after "more than 5
+//!   hours" on an unhandled network error, after recovering several
+//!   transient failures during the day;
+//! * "over 130 remote participants logged on".
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_coordinator::{ExperimentOutcome, Termination};
+use neesgrid_gridsim::SimTime;
+
+use crate::config::MostConfig;
+
+/// A structured run report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MostReport {
+    /// Steps requested.
+    pub steps_requested: usize,
+    /// Steps completed.
+    pub steps_completed: usize,
+    /// Whether the run completed (vs aborted).
+    pub completed: bool,
+    /// Abort description, if any: (step, site, error).
+    pub abort: Option<(u64, String, String)>,
+    /// Transport retransmissions that recovered transient failures.
+    pub transient_recoveries: u64,
+    /// Peak displacement per DOF, m.
+    pub peak_displacement_m: Vec<f64>,
+    /// Remote participants (peak concurrent).
+    pub participants: usize,
+    /// Data files ingested into the repository during the run.
+    pub files_ingested: u64,
+    /// Bytes ingested.
+    pub bytes_ingested: u64,
+    /// Virtual experiment duration.
+    pub virtual_duration: SimTime,
+}
+
+impl MostReport {
+    /// Build from a coordinator outcome plus deployment counters.
+    pub fn from_outcome(
+        config: &MostConfig,
+        outcome: &ExperimentOutcome,
+        participants: usize,
+        files_ingested: u64,
+        bytes_ingested: u64,
+        now: SimTime,
+    ) -> Self {
+        let ndof = 2;
+        let peaks = (0..ndof)
+            .map(|d| outcome.history.peak_displacement(d))
+            .collect();
+        let abort = match &outcome.termination {
+            Termination::Completed => None,
+            Termination::Aborted { step, site, error } => {
+                Some((*step, site.clone(), error.clone()))
+            }
+        };
+        MostReport {
+            steps_requested: config.steps,
+            steps_completed: outcome.steps_completed(),
+            completed: abort.is_none(),
+            abort,
+            transient_recoveries: outcome.retransmissions + outcome.log.transient_recoveries(),
+            peak_displacement_m: peaks,
+            participants,
+            files_ingested,
+            bytes_ingested,
+            virtual_duration: now,
+        }
+    }
+
+    /// Render the §3.4 comparison rows as a markdown table.
+    pub fn render_markdown(&self, label: &str, paper_steps: &str, paper_duration: &str) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("### {label}\n\n"));
+        s.push_str("| Quantity | Paper | This reproduction |\n|---|---|---|\n");
+        s.push_str(&format!(
+            "| Steps completed | {paper_steps} | {}/{} |\n",
+            self.steps_completed, self.steps_requested
+        ));
+        s.push_str(&format!(
+            "| Duration | {paper_duration} | {} (virtual) |\n",
+            self.virtual_duration
+        ));
+        s.push_str(&format!(
+            "| Transient failures recovered | \"several\" | {} |\n",
+            self.transient_recoveries
+        ));
+        match &self.abort {
+            Some((step, site, error)) => s.push_str(&format!(
+                "| Termination | premature (network error) | aborted at step {step} ({site}: {error}) |\n"
+            )),
+            None => s.push_str("| Termination | ran to completion | ran to completion |\n"),
+        }
+        s.push_str(&format!(
+            "| Remote participants | >130 | {} |\n",
+            self.participants
+        ));
+        s.push_str(&format!(
+            "| Data files archived during run | (not reported) | {} ({} bytes) |\n",
+            self.files_ingested, self.bytes_ingested
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neesgrid_coordinator::ExperimentLog;
+    use neesgrid_structsim::psd::PsdHistory;
+
+    fn outcome(completed: bool, steps: usize) -> ExperimentOutcome {
+        ExperimentOutcome {
+            steps_requested: 1500,
+            history: PsdHistory {
+                dt: 0.01,
+                displacement: vec![vec![0.01, 0.005]; steps],
+                velocity: vec![vec![0.0; 2]; steps],
+                acceleration: vec![vec![0.0; 2]; steps],
+                restoring: vec![vec![0.0; 2]; steps],
+                steps_completed: steps,
+            },
+            log: ExperimentLog::new(),
+            termination: if completed {
+                Termination::Completed
+            } else {
+                Termination::Aborted {
+                    step: steps as u64,
+                    site: "cu".into(),
+                    error: "link reset".into(),
+                }
+            },
+            retransmissions: 4,
+        }
+    }
+
+    #[test]
+    fn report_from_completed_outcome() {
+        let config = MostConfig::paper();
+        let r = MostReport::from_outcome(
+            &config,
+            &outcome(true, 1500),
+            132,
+            90,
+            250_000,
+            SimTime::from_secs(5 * 3600),
+        );
+        assert!(r.completed);
+        assert_eq!(r.steps_completed, 1500);
+        assert_eq!(r.transient_recoveries, 4);
+        assert_eq!(r.peak_displacement_m.len(), 2);
+        assert!(r.abort.is_none());
+    }
+
+    #[test]
+    fn report_from_aborted_outcome() {
+        let config = MostConfig::paper();
+        let r = MostReport::from_outcome(
+            &config,
+            &outcome(false, 1493),
+            131,
+            85,
+            240_000,
+            SimTime::from_secs(5 * 3600),
+        );
+        assert!(!r.completed);
+        let (step, site, _) = r.abort.clone().unwrap();
+        assert_eq!(step, 1493);
+        assert_eq!(site, "cu");
+    }
+
+    #[test]
+    fn markdown_contains_the_comparison() {
+        let config = MostConfig::paper();
+        let r = MostReport::from_outcome(
+            &config,
+            &outcome(false, 1493),
+            131,
+            85,
+            240_000,
+            SimTime::from_secs(18_000),
+        );
+        let md = r.render_markdown("Public run", "1493/1500", ">5 hours");
+        assert!(md.contains("| Steps completed | 1493/1500 | 1493/1500 |"));
+        assert!(md.contains("aborted at step 1493"));
+        assert!(md.contains(">130"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Typed NTCP client.
+//!
+//! Wraps the generic RPC client with the protocol's operations and error
+//! taxonomy. The retry behaviour (how many retransmissions, whether a link
+//! reset is retried) is the *caller's* policy — the paper's §3.4 post-
+//! mortem is precisely about a coordinator that configured this
+//! incompletely, so the knob is exposed rather than hidden.
+
+use serde_json::json;
+
+use neesgrid_gridsim::SimTime;
+use neesgrid_ogsi::{RpcClient, RpcError};
+
+use crate::msg::{
+    ControlPoint, ControlPointResult, ExecuteResponse, ProposalDecision, ProposeBody,
+};
+
+/// Errors surfaced to NTCP callers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NtcpError {
+    /// The proposal was rejected by policy or plugin review.
+    Rejected {
+        /// Server-provided reason.
+        reason: String,
+    },
+    /// Transport-level failure (timeout / reset / no-route).
+    Transport(RpcError),
+    /// The server returned a protocol fault (bad state, unknown
+    /// transaction, execution failure…).
+    Fault {
+        /// Fault code.
+        code: String,
+        /// Fault detail.
+        message: String,
+        /// Whether the server marked it retryable.
+        retryable: bool,
+    },
+    /// The response decoded to something unexpected.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for NtcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NtcpError::Rejected { reason } => write!(f, "proposal rejected: {reason}"),
+            NtcpError::Transport(e) => write!(f, "transport: {e}"),
+            NtcpError::Fault { code, message, .. } => write!(f, "fault [{code}]: {message}"),
+            NtcpError::BadResponse(m) => write!(f, "bad response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NtcpError {}
+
+impl From<RpcError> for NtcpError {
+    fn from(e: RpcError) -> Self {
+        match e {
+            RpcError::Fault(fault) => NtcpError::Fault {
+                code: fault.code,
+                message: fault.message,
+                retryable: fault.retryable,
+            },
+            other => NtcpError::Transport(other),
+        }
+    }
+}
+
+/// A client bound to one remote NTCP server.
+#[derive(Clone)]
+pub struct NtcpClient {
+    rpc: RpcClient,
+    retransmissions: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl NtcpClient {
+    /// Wrap an RPC client already bound to the site's `ntcp` service.
+    pub fn new(rpc: RpcClient) -> Self {
+        NtcpClient {
+            rpc,
+            retransmissions: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// The underlying RPC client (for policy/timeout adjustment).
+    pub fn rpc(&self) -> &RpcClient {
+        &self.rpc
+    }
+
+    /// Transport-level retransmissions observed on successful calls —
+    /// the §3.4 "transient network failures … recovered" counter.
+    /// Shared across clones of this client.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Rebind with a different transport retry policy, keeping the shared
+    /// retransmission counter.
+    pub fn with_rpc_policy(mut self, policy: neesgrid_ogsi::RetryPolicy) -> Self {
+        self.rpc = self.rpc.with_policy(policy);
+        self
+    }
+
+    fn note_attempts(&self, attempts: u32) {
+        if attempts > 1 {
+            self.retransmissions.fetch_add(
+                (attempts - 1) as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Propose a transaction. `Ok(())` means accepted; a rejection is the
+    /// [`NtcpError::Rejected`] variant.
+    pub fn propose(
+        &self,
+        transaction: &str,
+        actions: Vec<ControlPoint>,
+        timeout: SimTime,
+    ) -> Result<(), NtcpError> {
+        let body = serde_json::to_value(ProposeBody {
+            transaction: transaction.to_string(),
+            actions,
+            timeout,
+        })
+        .expect("serialize propose");
+        let reply = self.rpc.call("propose", body)?;
+        self.note_attempts(reply.attempts);
+        let decision: ProposalDecision = serde_json::from_value(reply.value["decision"].clone())
+            .map_err(|e| NtcpError::BadResponse(format!("decision: {e}")))?;
+        match decision {
+            ProposalDecision::Accepted => Ok(()),
+            ProposalDecision::Rejected { reason } => Err(NtcpError::Rejected { reason }),
+        }
+    }
+
+    /// Execute an accepted transaction, returning measured results.
+    pub fn execute(&self, transaction: &str) -> Result<Vec<ControlPointResult>, NtcpError> {
+        let reply = self
+            .rpc
+            .call("execute", json!({ "transaction": transaction }))?;
+        self.note_attempts(reply.attempts);
+        let resp: ExecuteResponse = serde_json::from_value(reply.value)
+            .map_err(|e| NtcpError::BadResponse(format!("execute response: {e}")))?;
+        Ok(resp.results)
+    }
+
+    /// Cancel an accepted-but-unexecuted transaction.
+    pub fn cancel(&self, transaction: &str) -> Result<(), NtcpError> {
+        self.rpc
+            .call("cancel", json!({ "transaction": transaction }))?;
+        Ok(())
+    }
+
+    /// Fetch a transaction's service data document.
+    pub fn get_transaction(&self, transaction: &str) -> Result<serde_json::Value, NtcpError> {
+        Ok(self
+            .rpc
+            .call("getTransaction", json!({ "transaction": transaction }))?
+            .value)
+    }
+
+    /// Fetch server status.
+    pub fn get_status(&self) -> Result<serde_json::Value, NtcpError> {
+        Ok(self.rpc.call("getStatus", json!({}))?.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::SimulationPlugin;
+    use crate::server::NtcpServer;
+    use neesgrid_gridsim::{FaultPlan, LinkKey, NetworkConfig, NodeId, VirtualNetwork};
+    use neesgrid_gsi::{ActionLimits, DistinguishedName, SitePolicy};
+    use neesgrid_ogsi::{RetryPolicy, RpcMux, ServiceContainer};
+    use neesgrid_structsim::{LinearElastic, SimulatedSubstructure};
+    use std::time::Duration;
+
+    fn start_site(net: &VirtualNetwork, name: &str, k: f64) -> NtcpClient {
+        let plugin = SimulationPlugin::new(
+            format!("{name}-sim"),
+            Box::new(SimulatedSubstructure::spring_to_ground(
+                "col",
+                Box::new(LinearElastic::new(k)),
+            )),
+        );
+        let server = NtcpServer::new(
+            name,
+            SitePolicy::permissive(name, ActionLimits::most_large_scale()),
+            Box::new(plugin),
+            net.clock(),
+        );
+        let container = ServiceContainer::new(net.endpoint(name))
+            .with_service("ntcp", Box::new(server))
+            .permissive();
+        let _handle = container.run();
+        let mux = RpcMux::new(net.endpoint(format!("client-{name}")));
+        NtcpClient::new(
+            RpcClient::new(
+                mux,
+                NodeId::new(name),
+                "ntcp",
+                DistinguishedName::nees_user("NCSA", "Coordinator"),
+            )
+            .with_attempt_timeout(Duration::from_millis(80)),
+        )
+    }
+
+    #[test]
+    fn end_to_end_propose_execute() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let client = start_site(&net, "uiuc", 2.0e5);
+        client
+            .propose(
+                "step-1",
+                vec![ControlPoint::displacement("dof-0", 0.002, 500.0)],
+                SimTime::from_secs(30),
+            )
+            .unwrap();
+        let results = client.execute("step-1").unwrap();
+        assert!((results[0].force_n - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejection_is_typed() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let client = start_site(&net, "uiuc", 2.0e5);
+        let err = client
+            .propose(
+                "step-1",
+                vec![ControlPoint::displacement("dof-0", 0.5, 500.0)],
+                SimTime::from_secs(30),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NtcpError::Rejected { reason } if reason.contains("displacement")));
+    }
+
+    #[test]
+    fn retransmission_does_not_double_execute() {
+        // Drop the first execute *reply*; the client retries; the plugin
+        // must run exactly once. This is §2.1's at-most-once guarantee
+        // observed end-to-end through a lossy network.
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let client = start_site(&net, "uiuc", 2.0e5);
+        client
+            .propose(
+                "step-1",
+                vec![ControlPoint::displacement("dof-0", 0.002, 500.0)],
+                SimTime::from_secs(30),
+            )
+            .unwrap();
+        let mut plan = FaultPlan::reliable();
+        // Link uiuc → client-uiuc: message 0 was the propose reply, so the
+        // execute reply is message 1.
+        plan.drop_at(LinkKey::new("uiuc", "client-uiuc"), 1);
+        net.set_fault_plan(plan);
+        let results = client.execute("step-1").unwrap();
+        assert!((results[0].force_n - 400.0).abs() < 1e-9);
+        let status = client.get_status().unwrap();
+        assert_eq!(status["executions"], 1, "exactly-once despite retry");
+        assert_eq!(status["completed"], 1);
+    }
+
+    #[test]
+    fn cancel_roundtrip() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let client = start_site(&net, "uiuc", 2.0e5);
+        client
+            .propose(
+                "step-1",
+                vec![ControlPoint::displacement("dof-0", 0.002, 500.0)],
+                SimTime::from_secs(30),
+            )
+            .unwrap();
+        client.cancel("step-1").unwrap();
+        let err = client.execute("step-1").unwrap_err();
+        assert!(matches!(err, NtcpError::Fault { code, .. } if code == "InvalidState"));
+    }
+
+    #[test]
+    fn transaction_inspection_via_ogsi() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let client = start_site(&net, "uiuc", 2.0e5);
+        client
+            .propose(
+                "step-1",
+                vec![ControlPoint::displacement("dof-0", 0.002, 500.0)],
+                SimTime::from_secs(30),
+            )
+            .unwrap();
+        let doc = client.get_transaction("step-1").unwrap();
+        assert_eq!(doc["state"], "Accepted");
+        // Generic OGSI query over the same server.
+        let out = client
+            .rpc()
+            .call_value("ogsi:query", json!({"pattern": "transaction/*"}))
+            .unwrap();
+        assert_eq!(out["elements"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn link_reset_surfaces_as_transport_error_without_retry_policy() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let client = start_site(&net, "uiuc", 2.0e5);
+        let mut plan = FaultPlan::reliable();
+        plan.reset_at(LinkKey::new("client-uiuc", "uiuc"), 0);
+        net.set_fault_plan(plan);
+        // Rebind with the MOST coordinator's incomplete policy.
+        let weak = NtcpClient::new(
+            client
+                .rpc()
+                .clone()
+                .with_policy(RetryPolicy::timeouts_only(4)),
+        );
+        let err = weak
+            .propose(
+                "step-1",
+                vec![ControlPoint::displacement("dof-0", 0.002, 500.0)],
+                SimTime::from_secs(30),
+            )
+            .unwrap_err();
+        assert_eq!(err, NtcpError::Transport(RpcError::LinkReset));
+    }
+}

@@ -1,0 +1,617 @@
+//! The generic NTCP server core.
+//!
+//! Implements the protocol-generic half of Figure 2: transaction state
+//! management, site-policy enforcement, at-most-once request handling, and
+//! OGSI service-data publication. Everything site-specific is delegated to
+//! the [`ControlPlugin`].
+
+use serde_json::{json, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use neesgrid_gridsim::{SimClock, SimTime};
+use neesgrid_gsi::SitePolicy;
+use neesgrid_ogsi::{CallContext, DedupCache, GridService, ServiceData, ServiceFault};
+
+use crate::msg::{ControlPoint, ExecuteResponse, ProposalDecision, ProposeBody, TransactionRef};
+use crate::plugin::ControlPlugin;
+use crate::transaction::{Transaction, TxState};
+
+/// Capacity of the at-most-once response cache (must exceed the number of
+/// in-flight retransmittable requests; MOST used 3 requests per step).
+const DEDUP_CAPACITY: usize = 4096;
+
+/// An NTCP server for one experiment site.
+pub struct NtcpServer {
+    site: String,
+    policy: SitePolicy,
+    plugin: Box<dyn ControlPlugin>,
+    clock: Arc<SimClock>,
+    transactions: HashMap<String, Transaction>,
+    sde: ServiceData,
+    dedup: DedupCache<u64, Result<Value, ServiceFault>>,
+    executions: u64,
+}
+
+impl NtcpServer {
+    /// Create a server enforcing `policy` over `plugin`.
+    pub fn new(
+        site: impl Into<String>,
+        policy: SitePolicy,
+        plugin: Box<dyn ControlPlugin>,
+        clock: Arc<SimClock>,
+    ) -> Self {
+        let site = site.into();
+        let mut sde = ServiceData::new();
+        sde.set(
+            "serverInfo",
+            json!({ "site": site, "plugin": plugin.name() }),
+            clock.now(),
+        );
+        NtcpServer {
+            site,
+            policy,
+            plugin,
+            clock,
+            transactions: HashMap::new(),
+            sde,
+            dedup: DedupCache::new(DEDUP_CAPACITY),
+            executions: 0,
+        }
+    }
+
+    /// Number of plugin executions performed (at-most-once verification).
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Engage or release the site's emergency stop (§4: the facility's
+    /// unconditional right to terminate its local experiment).
+    pub fn set_emergency_stop(&mut self, engaged: bool) {
+        self.policy.emergency_stop = engaged;
+    }
+
+    fn publish(&mut self, name: &str, now: SimTime) {
+        if let Some(tx) = self.transactions.get(name) {
+            self.sde
+                .set(format!("transaction/{name}"), tx.to_sde_value(), now);
+        }
+    }
+
+    fn do_propose(&mut self, ctx: &CallContext, body: &Value) -> Result<Value, ServiceFault> {
+        let req: ProposeBody = serde_json::from_value(body.clone())
+            .map_err(|e| ServiceFault::permanent("BadRequest", format!("propose body: {e}")))?;
+        if self.transactions.contains_key(&req.transaction) {
+            return Err(ServiceFault::permanent(
+                "DuplicateTransaction",
+                format!("transaction '{}' already exists", req.transaction),
+            ));
+        }
+        let mut tx = Transaction::propose(
+            req.transaction.clone(),
+            req.actions.clone(),
+            req.timeout,
+            ctx.now,
+        );
+        // Policy first (identity + physical limits), then plugin
+        // feasibility; either can reject, neither causes motion.
+        let mut rejection: Option<String> = None;
+        for a in &req.actions {
+            let d = self.policy.authorize_command(
+                &ctx.caller,
+                "propose",
+                a.displacement_m,
+                a.velocity_mps,
+                a.expected_force_n,
+            );
+            if !d.allowed {
+                rejection = Some(d.reason);
+                break;
+            }
+        }
+        if rejection.is_none() {
+            if let Err(reason) = self.plugin.review(&req.actions) {
+                rejection = Some(reason);
+            }
+        }
+        let decision = match rejection {
+            None => {
+                tx.transition(TxState::Accepted, ctx.now).expect("proposed→accepted");
+                ProposalDecision::Accepted
+            }
+            Some(reason) => {
+                tx.reason = Some(reason.clone());
+                tx.transition(TxState::Rejected, ctx.now).expect("proposed→rejected");
+                ProposalDecision::Rejected { reason }
+            }
+        };
+        self.transactions.insert(req.transaction.clone(), tx);
+        self.publish(&req.transaction, ctx.now);
+        Ok(json!({ "decision": decision }))
+    }
+
+    fn do_execute(&mut self, ctx: &CallContext, body: &Value) -> Result<Value, ServiceFault> {
+        let req: TransactionRef = serde_json::from_value(body.clone())
+            .map_err(|e| ServiceFault::permanent("BadRequest", format!("execute body: {e}")))?;
+        let who = self.policy.authorize(&ctx.caller, "execute");
+        if !who.allowed {
+            return Err(ServiceFault::access_denied(who.reason));
+        }
+        let actions: Vec<ControlPoint> = {
+            let tx = self.transactions.get_mut(&req.transaction).ok_or_else(|| {
+                ServiceFault::permanent(
+                    "NoSuchTransaction",
+                    format!("no transaction '{}'", req.transaction),
+                )
+            })?;
+            tx.transition(TxState::Executing, ctx.now).map_err(|e| {
+                ServiceFault::permanent("InvalidState", format!("{}: {e}", req.transaction))
+            })?;
+            tx.actions.clone()
+        };
+        self.publish(&req.transaction, ctx.now);
+
+        let outcome = self.plugin.execute(&actions);
+        self.executions += 1;
+        match outcome {
+            Ok(out) => {
+                // Charge the execution's virtual duration to the clock,
+                // first catching the clock up to the request's arrival time
+                // (a server that has been idle has an older local clock).
+                self.clock.advance_to(ctx.now);
+                let done_at = self.clock.advance(out.duration);
+                let tx = self.transactions.get_mut(&req.transaction).expect("present");
+                tx.results = Some(out.results.clone());
+                tx.transition(TxState::Completed, done_at).expect("executing→completed");
+                self.publish(&req.transaction, done_at);
+                Ok(json!(ExecuteResponse {
+                    results: out.results,
+                    duration: out.duration,
+                }))
+            }
+            Err(e) => {
+                let tx = self.transactions.get_mut(&req.transaction).expect("present");
+                tx.reason = Some(e.message.clone());
+                tx.transition(TxState::Failed, ctx.now).expect("executing→failed");
+                self.publish(&req.transaction, ctx.now);
+                Err(if e.retryable {
+                    ServiceFault::transient("ExecutionFailed", e.message)
+                } else {
+                    ServiceFault::permanent("ExecutionFailed", e.message)
+                })
+            }
+        }
+    }
+
+    fn do_cancel(&mut self, ctx: &CallContext, body: &Value) -> Result<Value, ServiceFault> {
+        let req: TransactionRef = serde_json::from_value(body.clone())
+            .map_err(|e| ServiceFault::permanent("BadRequest", format!("cancel body: {e}")))?;
+        let actions: Vec<ControlPoint> = {
+            let tx = self.transactions.get_mut(&req.transaction).ok_or_else(|| {
+                ServiceFault::permanent(
+                    "NoSuchTransaction",
+                    format!("no transaction '{}'", req.transaction),
+                )
+            })?;
+            tx.transition(TxState::Cancelled, ctx.now).map_err(|e| {
+                ServiceFault::permanent("InvalidState", format!("{}: {e}", req.transaction))
+            })?;
+            tx.actions.clone()
+        };
+        self.plugin
+            .cancel(&actions)
+            .map_err(|e| ServiceFault::permanent("CancelFailed", e.message))?;
+        self.publish(&req.transaction, ctx.now);
+        Ok(json!({ "cancelled": req.transaction }))
+    }
+
+    fn do_get_transaction(&mut self, body: &Value) -> Result<Value, ServiceFault> {
+        let req: TransactionRef = serde_json::from_value(body.clone())
+            .map_err(|e| ServiceFault::permanent("BadRequest", format!("get body: {e}")))?;
+        match self.transactions.get(&req.transaction) {
+            Some(tx) => Ok(tx.to_sde_value()),
+            None => Err(ServiceFault::permanent(
+                "NoSuchTransaction",
+                format!("no transaction '{}'", req.transaction),
+            )),
+        }
+    }
+
+    fn do_get_status(&self) -> Value {
+        let by_state = |s: TxState| {
+            self.transactions
+                .values()
+                .filter(|t| t.state == s)
+                .count()
+        };
+        json!({
+            "site": self.site,
+            "plugin": self.plugin.name(),
+            "transactions": self.transactions.len(),
+            "completed": by_state(TxState::Completed),
+            "rejected": by_state(TxState::Rejected),
+            "failed": by_state(TxState::Failed),
+            "cancelled": by_state(TxState::Cancelled),
+            "executions": self.executions,
+            "emergency_stop": self.policy.emergency_stop,
+        })
+    }
+}
+
+impl GridService for NtcpServer {
+    fn service_type(&self) -> &'static str {
+        "ntcp"
+    }
+
+    fn handle(
+        &mut self,
+        ctx: &CallContext,
+        operation: &str,
+        body: &Value,
+    ) -> Result<Value, ServiceFault> {
+        // At-most-once: replay the remembered outcome for retransmissions.
+        // Reads are idempotent and skip the cache.
+        match operation {
+            "getTransaction" => return self.do_get_transaction(body),
+            "getStatus" => return Ok(self.do_get_status()),
+            _ => {}
+        }
+        if let Some(remembered) = self.dedup.check(&ctx.request_id) {
+            return remembered;
+        }
+        let result = match operation {
+            "propose" => self.do_propose(ctx, body),
+            "execute" => self.do_execute(ctx, body),
+            "cancel" => self.do_cancel(ctx, body),
+            other => Err(ServiceFault::no_such_operation(other)),
+        };
+        self.dedup.remember(ctx.request_id, result.clone());
+        result
+    }
+
+    fn sde(&mut self) -> Option<&mut ServiceData> {
+        Some(&mut self.sde)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::SimulationPlugin;
+    use neesgrid_gsi::{ActionLimits, DistinguishedName};
+    use neesgrid_structsim::{LinearElastic, SimulatedSubstructure};
+
+    fn server() -> NtcpServer {
+        let plugin = SimulationPlugin::new(
+            "sim",
+            Box::new(SimulatedSubstructure::spring_to_ground(
+                "col",
+                Box::new(LinearElastic::new(1.0e5)),
+            )),
+        );
+        NtcpServer::new(
+            "uiuc",
+            SitePolicy::permissive("uiuc", ActionLimits::most_large_scale()),
+            Box::new(plugin),
+            SimClock::new(),
+        )
+    }
+
+    fn ctx(request_id: u64) -> CallContext {
+        CallContext {
+            caller: DistinguishedName::nees_user("NCSA", "Coordinator"),
+            now: SimTime::from_secs(1),
+            request_id,
+        }
+    }
+
+    fn propose_body(tx: &str, d: f64, f: f64) -> Value {
+        json!({
+            "transaction": tx,
+            "actions": [ControlPoint::displacement("dof-0", d, f)],
+            "timeout": SimTime::from_secs(30),
+        })
+    }
+
+    #[test]
+    fn propose_execute_lifecycle() {
+        let mut s = server();
+        let out = s
+            .handle(&ctx(1), "propose", &propose_body("t1", 0.01, 1000.0))
+            .unwrap();
+        assert_eq!(out["decision"], json!(ProposalDecision::Accepted));
+        let out = s
+            .handle(&ctx(2), "execute", &json!({"transaction": "t1"}))
+            .unwrap();
+        let resp: ExecuteResponse = serde_json::from_value(out).unwrap();
+        assert!((resp.results[0].force_n - 1000.0).abs() < 1e-9);
+        // SDE reflects the completed transaction.
+        let sde_val = s
+            .handle(&ctx(3), "getTransaction", &json!({"transaction": "t1"}))
+            .unwrap();
+        assert_eq!(sde_val["state"], "Completed");
+        assert_eq!(sde_val["timestamps"].as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn policy_violation_rejects_at_proposal() {
+        let mut s = server();
+        let out = s
+            .handle(&ctx(1), "propose", &propose_body("t1", 0.2, 1000.0))
+            .unwrap();
+        match serde_json::from_value::<ProposalDecision>(out["decision"].clone()).unwrap() {
+            ProposalDecision::Rejected { reason } => assert!(reason.contains("displacement")),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // The rejected transaction cannot be executed.
+        let err = s
+            .handle(&ctx(2), "execute", &json!({"transaction": "t1"}))
+            .unwrap_err();
+        assert_eq!(err.code, "InvalidState");
+        assert_eq!(s.executions(), 0, "nothing moved");
+    }
+
+    #[test]
+    fn plugin_review_rejects_infeasible() {
+        let mut s = server();
+        let body = json!({
+            "transaction": "t1",
+            "actions": [
+                ControlPoint::displacement("a", 0.001, 0.0),
+                ControlPoint::displacement("b", 0.001, 0.0),
+            ],
+            "timeout": SimTime::from_secs(30),
+        });
+        let out = s.handle(&ctx(1), "propose", &body).unwrap();
+        assert!(matches!(
+            serde_json::from_value::<ProposalDecision>(out["decision"].clone()).unwrap(),
+            ProposalDecision::Rejected { .. }
+        ));
+    }
+
+    #[test]
+    fn at_most_once_replay_on_execute() {
+        let mut s = server();
+        s.handle(&ctx(1), "propose", &propose_body("t1", 0.01, 1000.0))
+            .unwrap();
+        let first = s
+            .handle(&ctx(2), "execute", &json!({"transaction": "t1"}))
+            .unwrap();
+        // Retransmission of the same request id (client saw no reply).
+        let replay = s
+            .handle(&ctx(2), "execute", &json!({"transaction": "t1"}))
+            .unwrap();
+        assert_eq!(first, replay);
+        assert_eq!(s.executions(), 1, "action executed exactly once");
+    }
+
+    #[test]
+    fn distinct_request_ids_are_distinct_requests() {
+        let mut s = server();
+        s.handle(&ctx(1), "propose", &propose_body("t1", 0.01, 1000.0))
+            .unwrap();
+        s.handle(&ctx(2), "execute", &json!({"transaction": "t1"}))
+            .unwrap();
+        // A *new* execute request (different id) is a protocol error:
+        // the transaction is already completed.
+        let err = s
+            .handle(&ctx(3), "execute", &json!({"transaction": "t1"}))
+            .unwrap_err();
+        assert_eq!(err.code, "InvalidState");
+        assert_eq!(s.executions(), 1);
+    }
+
+    #[test]
+    fn duplicate_transaction_name_refused() {
+        let mut s = server();
+        s.handle(&ctx(1), "propose", &propose_body("t1", 0.01, 1000.0))
+            .unwrap();
+        let err = s
+            .handle(&ctx(2), "propose", &propose_body("t1", 0.02, 2000.0))
+            .unwrap_err();
+        assert_eq!(err.code, "DuplicateTransaction");
+    }
+
+    #[test]
+    fn cancel_before_execute() {
+        let mut s = server();
+        s.handle(&ctx(1), "propose", &propose_body("t1", 0.01, 1000.0))
+            .unwrap();
+        let out = s
+            .handle(&ctx(2), "cancel", &json!({"transaction": "t1"}))
+            .unwrap();
+        assert_eq!(out["cancelled"], "t1");
+        let err = s
+            .handle(&ctx(3), "execute", &json!({"transaction": "t1"}))
+            .unwrap_err();
+        assert_eq!(err.code, "InvalidState");
+        assert_eq!(s.executions(), 0);
+    }
+
+    #[test]
+    fn cancel_after_completion_is_invalid() {
+        let mut s = server();
+        s.handle(&ctx(1), "propose", &propose_body("t1", 0.01, 1000.0))
+            .unwrap();
+        s.handle(&ctx(2), "execute", &json!({"transaction": "t1"}))
+            .unwrap();
+        let err = s
+            .handle(&ctx(3), "cancel", &json!({"transaction": "t1"}))
+            .unwrap_err();
+        assert_eq!(err.code, "InvalidState");
+    }
+
+    #[test]
+    fn emergency_stop_refuses_proposals() {
+        let mut s = server();
+        s.set_emergency_stop(true);
+        let out = s
+            .handle(&ctx(1), "propose", &propose_body("t1", 0.001, 10.0))
+            .unwrap();
+        match serde_json::from_value::<ProposalDecision>(out["decision"].clone()).unwrap() {
+            ProposalDecision::Rejected { reason } => assert!(reason.contains("emergency")),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execution_advances_virtual_clock() {
+        let clock = SimClock::new();
+        let mut plugin = SimulationPlugin::new(
+            "sim",
+            Box::new(SimulatedSubstructure::spring_to_ground(
+                "col",
+                Box::new(LinearElastic::new(1.0e5)),
+            )),
+        );
+        plugin.compute_time = SimTime::from_secs(8);
+        let mut s = NtcpServer::new(
+            "uiuc",
+            SitePolicy::permissive("uiuc", ActionLimits::most_large_scale()),
+            Box::new(plugin),
+            Arc::clone(&clock),
+        );
+        s.handle(&ctx(1), "propose", &propose_body("t1", 0.01, 1000.0))
+            .unwrap();
+        s.handle(&ctx(2), "execute", &json!({"transaction": "t1"}))
+            .unwrap();
+        // Clock = request arrival (1 s, the ctx time) + 8 s execution.
+        assert_eq!(clock.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn status_counts_transactions() {
+        let mut s = server();
+        s.handle(&ctx(1), "propose", &propose_body("ok", 0.01, 1000.0))
+            .unwrap();
+        s.handle(&ctx(2), "execute", &json!({"transaction": "ok"}))
+            .unwrap();
+        s.handle(&ctx(3), "propose", &propose_body("bad", 0.9, 1000.0))
+            .unwrap();
+        let status = s.do_get_status();
+        assert_eq!(status["transactions"], 2);
+        assert_eq!(status["completed"], 1);
+        assert_eq!(status["rejected"], 1);
+        assert_eq!(status["site"], "uiuc");
+    }
+
+    #[test]
+    fn most_recently_changed_tracks_latest_transaction() {
+        let mut s = server();
+        s.handle(&ctx(1), "propose", &propose_body("t1", 0.01, 1000.0))
+            .unwrap();
+        s.handle(&ctx(2), "propose", &propose_body("t2", 0.01, 1000.0))
+            .unwrap();
+        let mrc = s.sde().unwrap().most_recently_changed().unwrap();
+        assert_eq!(mrc.name, "transaction/t2");
+        s.handle(&ctx(3), "execute", &json!({"transaction": "t1"}))
+            .unwrap();
+        let mrc = s.sde().unwrap().most_recently_changed().unwrap();
+        assert_eq!(mrc.name, "transaction/t1");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One random protocol action.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Propose { tx: u8, d_mm: i8 },
+            Execute { tx: u8 },
+            Cancel { tx: u8 },
+            Replay, // retransmit the previous request id verbatim
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u8..6, -80i8..80).prop_map(|(tx, d_mm)| Op::Propose { tx, d_mm }),
+                (0u8..6).prop_map(|tx| Op::Execute { tx }),
+                (0u8..6).prop_map(|tx| Op::Cancel { tx }),
+                Just(Op::Replay),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn random_protocol_sequences_preserve_invariants(
+                ops in proptest::collection::vec(op_strategy(), 1..40),
+            ) {
+                let mut s = server();
+                let mut request_id = 0u64;
+                let mut last: Option<(u64, String, Value)> = None;
+                let mut accepted_executes = 0u64;
+                for op in ops {
+                    match op {
+                        Op::Propose { tx, d_mm } => {
+                            request_id += 1;
+                            let body = propose_body(
+                                &format!("tx-{tx}"),
+                                d_mm as f64 * 1e-3,
+                                1000.0,
+                            );
+                            let _ = s.handle(&ctx(request_id), "propose", &body);
+                            last = Some((request_id, "propose".into(), body));
+                        }
+                        Op::Execute { tx } => {
+                            request_id += 1;
+                            let body = json!({"transaction": format!("tx-{tx}")});
+                            if s.handle(&ctx(request_id), "execute", &body).is_ok() {
+                                accepted_executes += 1;
+                            }
+                            last = Some((request_id, "execute".into(), body));
+                        }
+                        Op::Cancel { tx } => {
+                            request_id += 1;
+                            let body = json!({"transaction": format!("tx-{tx}")});
+                            let _ = s.handle(&ctx(request_id), "cancel", &body);
+                            last = Some((request_id, "cancel".into(), body));
+                        }
+                        Op::Replay => {
+                            // At-most-once: replaying the previous request
+                            // must return the identical outcome and never
+                            // re-execute.
+                            if let Some((rid, op_name, body)) = &last {
+                                let before = s.executions();
+                                let replayed = s.handle(&ctx(*rid), op_name, body);
+                                let again = s.handle(&ctx(*rid), op_name, body);
+                                prop_assert_eq!(replayed, again);
+                                prop_assert_eq!(s.executions(), before);
+                            }
+                        }
+                    }
+                    // Global invariant: the plugin ran exactly once per
+                    // successful execute.
+                    prop_assert_eq!(s.executions(), accepted_executes);
+                }
+                // Every recorded transaction is in a coherent state with a
+                // monotone timestamp trail.
+                for el in s.sde().unwrap().query("transaction/*") {
+                    let trail = el.value["timestamps"].as_array().unwrap();
+                    prop_assert!(!trail.is_empty());
+                    let times: Vec<u64> = trail
+                        .iter()
+                        .map(|t| t["at_ns"].as_u64().unwrap())
+                        .collect();
+                    prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+                    prop_assert_eq!(
+                        trail.last().unwrap()["state"].as_str().unwrap(),
+                        el.value["state"].as_str().unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_transaction_faults() {
+        let mut s = server();
+        for op in ["execute", "cancel", "getTransaction"] {
+            let err = s
+                .handle(&ctx(99), op, &json!({"transaction": "ghost"}))
+                .unwrap_err();
+            assert_eq!(err.code, "NoSuchTransaction", "op {op}");
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! The NTCP transaction state machine (paper Figure 1).
+//!
+//! A transaction is created by a proposal and moves through:
+//!
+//! ```text
+//!            ┌──────────┐
+//!            │ Proposed │
+//!            └────┬─────┘
+//!        accept ╱   ╲ reject
+//!      ┌────────┐   ┌──────────┐
+//!      │Accepted│   │ Rejected │ (terminal)
+//!      └──┬───┬─┘   └──────────┘
+//! execute │   │ cancel
+//!  ┌──────▼──┐ └────►┌───────────┐
+//!  │Executing│       │ Cancelled │ (terminal)
+//!  └──┬────┬─┘       └───────────┘
+//!     │    └────────►┌────────┐
+//!     ▼               │ Failed │ (terminal)
+//!  ┌─────────┐        └────────┘
+//!  │Completed│ (terminal)
+//!  └─────────┘
+//! ```
+//!
+//! Every state change is timestamped (virtual time); the full trail is
+//! exposed in the transaction's service data element, which is how remote
+//! observers audited MOST's progress.
+
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+use neesgrid_gridsim::SimTime;
+
+use crate::msg::{ControlPoint, ControlPointResult};
+
+/// Transaction lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxState {
+    /// Proposal received, verdict pending.
+    Proposed,
+    /// Proposal accepted; awaiting execute or cancel.
+    Accepted,
+    /// Proposal refused (terminal).
+    Rejected,
+    /// Plugin is driving the action.
+    Executing,
+    /// Execution finished with results (terminal).
+    Completed,
+    /// Withdrawn before execution (terminal).
+    Cancelled,
+    /// Execution failed (terminal).
+    Failed,
+}
+
+impl TxState {
+    /// Whether this is a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            TxState::Rejected | TxState::Completed | TxState::Cancelled | TxState::Failed
+        )
+    }
+
+    /// Whether `self → to` is a legal transition.
+    pub fn can_transition_to(self, to: TxState) -> bool {
+        use TxState::*;
+        matches!(
+            (self, to),
+            (Proposed, Accepted)
+                | (Proposed, Rejected)
+                | (Proposed, Cancelled)
+                | (Accepted, Executing)
+                | (Accepted, Cancelled)
+                | (Executing, Completed)
+                | (Executing, Failed)
+        )
+    }
+}
+
+/// Error for an illegal state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// State the transaction was in.
+    pub from: TxState,
+    /// State that was requested.
+    pub to: TxState,
+}
+
+impl std::fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "illegal transition {:?} → {:?}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+/// A server-side transaction record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Client-chosen name.
+    pub name: String,
+    /// Current state.
+    pub state: TxState,
+    /// The proposed actions.
+    pub actions: Vec<ControlPoint>,
+    /// Execution timeout from the proposal.
+    pub timeout: SimTime,
+    /// Results, present once `Completed`.
+    pub results: Option<Vec<ControlPointResult>>,
+    /// Reason for rejection/failure/cancellation, if any.
+    pub reason: Option<String>,
+    /// `(state, at)` trail, oldest first; always starts with `Proposed`.
+    pub timestamps: Vec<(TxState, SimTime)>,
+}
+
+impl Transaction {
+    /// Create a transaction in `Proposed` state.
+    pub fn propose(
+        name: impl Into<String>,
+        actions: Vec<ControlPoint>,
+        timeout: SimTime,
+        now: SimTime,
+    ) -> Self {
+        Transaction {
+            name: name.into(),
+            state: TxState::Proposed,
+            actions,
+            timeout,
+            results: None,
+            reason: None,
+            timestamps: vec![(TxState::Proposed, now)],
+        }
+    }
+
+    /// Attempt a state transition, recording the timestamp.
+    pub fn transition(&mut self, to: TxState, now: SimTime) -> Result<(), InvalidTransition> {
+        if !self.state.can_transition_to(to) {
+            return Err(InvalidTransition {
+                from: self.state,
+                to,
+            });
+        }
+        self.state = to;
+        self.timestamps.push((to, now));
+        Ok(())
+    }
+
+    /// Time spent between the first `Proposed` and the final timestamp.
+    pub fn lifetime(&self) -> SimTime {
+        match (self.timestamps.first(), self.timestamps.last()) {
+            (Some(&(_, first)), Some(&(_, last))) => last.saturating_sub(first),
+            _ => SimTime::ZERO,
+        }
+    }
+
+    /// Render as the service-data-element value described in §2.1: name,
+    /// state, requested actions, timeout, results, and state-change
+    /// timestamps.
+    pub fn to_sde_value(&self) -> Value {
+        json!({
+            "name": self.name,
+            "state": format!("{:?}", self.state),
+            "actions": self.actions,
+            "timeout": self.timeout,
+            "results": self.results,
+            "reason": self.reason,
+            "timestamps": self.timestamps
+                .iter()
+                .map(|(s, t)| json!({"state": format!("{s:?}"), "at_ns": t.as_nanos()}))
+                .collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ALL: [TxState; 7] = [
+        TxState::Proposed,
+        TxState::Accepted,
+        TxState::Rejected,
+        TxState::Executing,
+        TxState::Completed,
+        TxState::Cancelled,
+        TxState::Failed,
+    ];
+
+    fn tx() -> Transaction {
+        Transaction::propose("t1", vec![], SimTime::from_secs(10), SimTime::from_secs(1))
+    }
+
+    #[test]
+    fn happy_path_propose_accept_execute_complete() {
+        let mut t = tx();
+        t.transition(TxState::Accepted, SimTime::from_secs(2)).unwrap();
+        t.transition(TxState::Executing, SimTime::from_secs(3)).unwrap();
+        t.transition(TxState::Completed, SimTime::from_secs(9)).unwrap();
+        assert_eq!(t.state, TxState::Completed);
+        assert_eq!(t.timestamps.len(), 4);
+        assert_eq!(t.lifetime(), SimTime::from_secs(8));
+    }
+
+    #[test]
+    fn rejection_is_terminal() {
+        let mut t = tx();
+        t.transition(TxState::Rejected, SimTime::from_secs(2)).unwrap();
+        for to in ALL {
+            assert!(t.transition(to, SimTime::from_secs(3)).is_err());
+        }
+    }
+
+    #[test]
+    fn cancel_allowed_from_proposed_and_accepted_only() {
+        let mut t = tx();
+        t.transition(TxState::Cancelled, SimTime::from_secs(2)).unwrap();
+
+        let mut t = tx();
+        t.transition(TxState::Accepted, SimTime::from_secs(2)).unwrap();
+        t.transition(TxState::Cancelled, SimTime::from_secs(3)).unwrap();
+
+        let mut t = tx();
+        t.transition(TxState::Accepted, SimTime::from_secs(2)).unwrap();
+        t.transition(TxState::Executing, SimTime::from_secs(3)).unwrap();
+        let err = t.transition(TxState::Cancelled, SimTime::from_secs(4)).unwrap_err();
+        assert_eq!(err.from, TxState::Executing);
+    }
+
+    #[test]
+    fn cannot_execute_unaccepted_proposal() {
+        let mut t = tx();
+        assert!(t.transition(TxState::Executing, SimTime::from_secs(2)).is_err());
+    }
+
+    #[test]
+    fn failure_only_from_executing() {
+        let mut t = tx();
+        assert!(t.transition(TxState::Failed, SimTime::from_secs(2)).is_err());
+        t.transition(TxState::Accepted, SimTime::from_secs(2)).unwrap();
+        assert!(t.transition(TxState::Failed, SimTime::from_secs(3)).is_err());
+        t.transition(TxState::Executing, SimTime::from_secs(3)).unwrap();
+        t.transition(TxState::Failed, SimTime::from_secs(4)).unwrap();
+        assert!(t.state.is_terminal());
+    }
+
+    #[test]
+    fn exact_legal_transition_set() {
+        // Enumerate the whole matrix against the documented diagram.
+        let legal: Vec<(TxState, TxState)> = ALL
+            .iter()
+            .flat_map(|&a| ALL.iter().map(move |&b| (a, b)))
+            .filter(|&(a, b)| a.can_transition_to(b))
+            .collect();
+        use TxState::*;
+        let expected = vec![
+            (Proposed, Accepted),
+            (Proposed, Rejected),
+            (Proposed, Cancelled),
+            (Accepted, Executing),
+            (Accepted, Cancelled),
+            (Executing, Completed),
+            (Executing, Failed),
+        ];
+        assert_eq!(legal, expected);
+    }
+
+    #[test]
+    fn sde_value_carries_full_trail() {
+        let mut t = Transaction::propose(
+            "step-0042",
+            vec![ControlPoint::displacement("dof-0", 0.001, 100.0)],
+            SimTime::from_secs(30),
+            SimTime::from_secs(1),
+        );
+        t.transition(TxState::Accepted, SimTime::from_secs(2)).unwrap();
+        let v = t.to_sde_value();
+        assert_eq!(v["name"], "step-0042");
+        assert_eq!(v["state"], "Accepted");
+        assert_eq!(v["actions"][0]["name"], "dof-0");
+        assert_eq!(v["timestamps"].as_array().unwrap().len(), 2);
+        assert_eq!(v["timestamps"][0]["state"], "Proposed");
+    }
+
+    proptest! {
+        #[test]
+        fn terminal_states_accept_no_transition(
+            from_idx in 0usize..7,
+            to_idx in 0usize..7,
+        ) {
+            let from = ALL[from_idx];
+            let to = ALL[to_idx];
+            if from.is_terminal() {
+                prop_assert!(!from.can_transition_to(to));
+            }
+        }
+
+        #[test]
+        fn random_walks_respect_the_machine(
+            steps in proptest::collection::vec(0usize..7, 0..12),
+        ) {
+            let mut t = tx();
+            for (tick, idx) in steps.into_iter().enumerate() {
+                let to = ALL[idx];
+                let legal = t.state.can_transition_to(to);
+                let res = t.transition(to, SimTime::from_secs(2 + tick as u64));
+                prop_assert_eq!(legal, res.is_ok());
+            }
+            // Timestamp trail monotone and consistent with state count.
+            prop_assert!(t.timestamps.windows(2).all(|w| w[0].1 <= w[1].1));
+            prop_assert_eq!(t.timestamps.last().unwrap().0, t.state);
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! The service hosting container.
+//!
+//! The Rust analogue of the GT3 hosting environment each NEESgrid site ran:
+//! it owns the site's network endpoint, authenticates callers against
+//! established GSI security contexts, dispatches requests to registered
+//! services, answers the generic OGSI inspection operations
+//! (`ogsi:query`, `ogsi:mostRecentlyChanged`) for any service exposing
+//! service data, and runs service housekeeping ticks.
+//!
+//! Security model: contexts are established out-of-band via
+//! [`neesgrid_gsi::authenticate`] (the connection-setup handshake) and
+//! installed with [`ServiceContainer::install_session`]. A request from an
+//! identity with no live session is refused with `AccessDenied` — this is
+//! the enforcement point the paper's §4 leans on, together with per-site
+//! action limits checked inside the NTCP service itself.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use serde_json::{json, Value};
+
+use neesgrid_gridsim::{Endpoint, MessageKind, SimTime};
+use neesgrid_gsi::{DistinguishedName, SecurityContext};
+
+use crate::fault::ServiceFault;
+use crate::rpc::{RpcOutcome, RpcRequest, RpcResponse};
+use crate::service::{CallContext, GridService};
+
+/// A container hosting one or more grid services on a node.
+pub struct ServiceContainer {
+    endpoint: Endpoint,
+    services: HashMap<String, Box<dyn GridService>>,
+    sessions: HashMap<DistinguishedName, SecurityContext>,
+    /// When true, requests from identities without an installed session are
+    /// admitted (used by simulation-only phases and unit tests).
+    pub allow_unauthenticated: bool,
+}
+
+impl ServiceContainer {
+    /// Create a container on an endpoint.
+    pub fn new(endpoint: Endpoint) -> Self {
+        ServiceContainer {
+            endpoint,
+            services: HashMap::new(),
+            sessions: HashMap::new(),
+            allow_unauthenticated: false,
+        }
+    }
+
+    /// Register a service under `name` (builder style).
+    pub fn with_service(mut self, name: impl Into<String>, svc: Box<dyn GridService>) -> Self {
+        self.services.insert(name.into(), svc);
+        self
+    }
+
+    /// Register a service under `name`.
+    pub fn add_service(&mut self, name: impl Into<String>, svc: Box<dyn GridService>) {
+        self.services.insert(name.into(), svc);
+    }
+
+    /// Install an authenticated session for a client identity.
+    pub fn install_session(&mut self, ctx: SecurityContext) {
+        self.sessions.insert(ctx.client.clone(), ctx);
+    }
+
+    /// Allow unauthenticated callers (builder style).
+    pub fn permissive(mut self) -> Self {
+        self.allow_unauthenticated = true;
+        self
+    }
+
+    /// Start the container's dispatch loop on its own thread.
+    pub fn run(self) -> ContainerHandle {
+        let name = format!("container-{}", self.endpoint.id());
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || self.dispatch_loop())
+            .expect("spawn container thread");
+        ContainerHandle {
+            thread: Some(handle),
+        }
+    }
+
+    fn dispatch_loop(mut self) {
+        while let Some(env) = self.endpoint.recv() {
+            match env.kind {
+                MessageKind::Request => {
+                    let reply_to = env.src.clone();
+                    let correlation = env.correlation_id;
+                    let service_name = env.service.clone();
+                    self.endpoint.clock().advance_to(env.delivered_at());
+                    let now = self.endpoint.clock().now();
+                    let response = match serde_json::from_slice::<RpcRequest>(&env.payload) {
+                        Ok(req) => RpcResponse {
+                            request_id: req.request_id,
+                            outcome: match self.process(&service_name, &req, now) {
+                                Ok(v) => RpcOutcome::Ok(v),
+                                Err(f) => RpcOutcome::Fault(f),
+                            },
+                        },
+                        Err(_) => RpcResponse {
+                            request_id: correlation,
+                            outcome: RpcOutcome::Fault(ServiceFault::permanent(
+                                "BadRequest",
+                                "undecodable request payload",
+                            )),
+                        },
+                    };
+                    let payload =
+                        Bytes::from(serde_json::to_vec(&response).expect("serialize response"));
+                    self.endpoint.send(
+                        reply_to,
+                        &service_name,
+                        MessageKind::Reply,
+                        correlation,
+                        payload,
+                    );
+                    self.tick_services(now);
+                }
+                MessageKind::OneWay => {
+                    self.endpoint.clock().advance_to(env.delivered_at());
+                    let now = self.endpoint.clock().now();
+                    if let Ok(req) = serde_json::from_slice::<RpcRequest>(&env.payload) {
+                        let _ = self.process(&env.service, &req, now);
+                    }
+                    self.tick_services(now);
+                }
+                MessageKind::Reply | MessageKind::Control => {
+                    // Containers are pure servers; stray replies/notices are
+                    // dropped.
+                }
+            }
+        }
+    }
+
+    fn process(
+        &mut self,
+        service_name: &str,
+        req: &RpcRequest,
+        now: SimTime,
+    ) -> Result<Value, ServiceFault> {
+        if !self.allow_unauthenticated {
+            match self.sessions.get(&req.caller) {
+                Some(session) if session.valid_at(now) => {}
+                Some(_) => {
+                    return Err(ServiceFault::access_denied(format!(
+                        "security context for {} expired",
+                        req.caller
+                    )))
+                }
+                None => {
+                    return Err(ServiceFault::access_denied(format!(
+                        "no security context for {}",
+                        req.caller
+                    )))
+                }
+            }
+        }
+        let svc = self.services.get_mut(service_name).ok_or_else(|| {
+            ServiceFault::permanent("NoSuchService", format!("no service '{service_name}'"))
+        })?;
+        let ctx = CallContext {
+            caller: req.caller.clone(),
+            now,
+            request_id: req.request_id,
+        };
+        match req.operation.as_str() {
+            // Generic OGSI inspection operations.
+            "ogsi:query" => {
+                let pattern = req.body["pattern"].as_str().unwrap_or("*");
+                let sde = svc
+                    .sde()
+                    .ok_or_else(|| ServiceFault::permanent("NoServiceData", "service exposes no SDEs"))?;
+                let elements: Vec<Value> = sde
+                    .query(pattern)
+                    .into_iter()
+                    .map(|el| serde_json::to_value(el).expect("serialize sde"))
+                    .collect();
+                Ok(json!({ "elements": elements }))
+            }
+            "ogsi:mostRecentlyChanged" => {
+                let sde = svc
+                    .sde()
+                    .ok_or_else(|| ServiceFault::permanent("NoServiceData", "service exposes no SDEs"))?;
+                Ok(match sde.most_recently_changed() {
+                    Some(el) => serde_json::to_value(el).expect("serialize sde"),
+                    None => Value::Null,
+                })
+            }
+            op => svc.handle(&ctx, op, &req.body),
+        }
+    }
+
+    fn tick_services(&mut self, now: SimTime) {
+        for svc in self.services.values_mut() {
+            svc.tick(now);
+        }
+    }
+}
+
+/// Handle to a running container.
+pub struct ContainerHandle {
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ContainerHandle {
+    /// Wait for the container to exit (it exits when its network endpoint
+    /// closes, i.e. on network shutdown or node deregistration).
+    pub fn join(mut self) {
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ContainerHandle {
+    fn drop(&mut self) {
+        // Detach; container lifetime is governed by the network.
+        let _ = self.thread.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::{RpcClient, RpcError, RpcMux};
+    use crate::sde::ServiceData;
+    use neesgrid_gridsim::{NetworkConfig, NodeId, VirtualNetwork};
+    use neesgrid_gsi::{authenticate, CertificateAuthority, Credential};
+
+    struct Counter {
+        count: u64,
+        sde: ServiceData,
+    }
+
+    impl Counter {
+        fn boxed() -> Box<dyn GridService> {
+            Box::new(Counter {
+                count: 0,
+                sde: ServiceData::new(),
+            })
+        }
+    }
+
+    impl GridService for Counter {
+        fn service_type(&self) -> &'static str {
+            "counter"
+        }
+
+        fn handle(
+            &mut self,
+            ctx: &CallContext,
+            operation: &str,
+            _body: &Value,
+        ) -> Result<Value, ServiceFault> {
+            match operation {
+                "increment" => {
+                    self.count += 1;
+                    self.sde.set("count", json!(self.count), ctx.now);
+                    Ok(json!({ "count": self.count }))
+                }
+                other => Err(ServiceFault::no_such_operation(other)),
+            }
+        }
+
+        fn sde(&mut self) -> Option<&mut ServiceData> {
+            Some(&mut self.sde)
+        }
+    }
+
+    fn caller() -> DistinguishedName {
+        DistinguishedName::nees_user("NCSA", "tester")
+    }
+
+    fn permissive_setup() -> (VirtualNetwork, RpcClient) {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let container = ServiceContainer::new(net.endpoint("site"))
+            .with_service("counter", Counter::boxed())
+            .permissive();
+        let _handle = container.run();
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("site"), "counter", caller());
+        (net, client)
+    }
+
+    #[test]
+    fn dispatches_to_service() {
+        let (_net, client) = permissive_setup();
+        assert_eq!(client.call_value("increment", Value::Null).unwrap()["count"], 1);
+        assert_eq!(client.call_value("increment", Value::Null).unwrap()["count"], 2);
+    }
+
+    #[test]
+    fn unknown_service_faults() {
+        let (net, _client) = permissive_setup();
+        let mux = RpcMux::new(net.endpoint("client2"));
+        let client = RpcClient::new(mux, NodeId::new("site"), "nope", caller());
+        match client.call("x", Value::Null) {
+            Err(RpcError::Fault(f)) => assert_eq!(f.code, "NoSuchService"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generic_sde_query_works() {
+        let (_net, client) = permissive_setup();
+        client.call("increment", Value::Null).unwrap();
+        let out = client
+            .call_value("ogsi:query", json!({"pattern": "*"}))
+            .unwrap();
+        assert_eq!(out["elements"][0]["name"], "count");
+        assert_eq!(out["elements"][0]["value"], 1);
+        let mrc = client
+            .call_value("ogsi:mostRecentlyChanged", Value::Null)
+            .unwrap();
+        assert_eq!(mrc["name"], "count");
+    }
+
+    #[test]
+    fn unauthenticated_caller_refused_when_strict() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let container =
+            ServiceContainer::new(net.endpoint("site")).with_service("counter", Counter::boxed());
+        let _handle = container.run();
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("site"), "counter", caller());
+        match client.call("increment", Value::Null) {
+            Err(RpcError::Fault(f)) => assert_eq!(f.code, "AccessDenied"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_admits_caller_until_expiry() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let ca = CertificateAuthority::nees(1);
+        let user = Credential::issue(&ca, caller(), SimTime::ZERO, SimTime::from_secs(100), 1);
+        let host = Credential::issue(
+            &ca,
+            DistinguishedName::nees_host("site", "container"),
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+            2,
+        );
+        let session = authenticate(&user, &host, &ca.verifier(), SimTime::ZERO).unwrap();
+        let mut container =
+            ServiceContainer::new(net.endpoint("site")).with_service("counter", Counter::boxed());
+        container.install_session(session);
+        let _handle = container.run();
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("site"), "counter", caller());
+        assert_eq!(client.call_value("increment", Value::Null).unwrap()["count"], 1);
+        // Push virtual time past context expiry; next call is refused.
+        net.clock().advance_to(SimTime::from_secs(200));
+        match client.call("increment", Value::Null) {
+            Err(RpcError::Fault(f)) => {
+                assert_eq!(f.code, "AccessDenied");
+                assert!(f.message.contains("expired"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oneway_requests_are_processed_without_reply() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let container = ServiceContainer::new(net.endpoint("site"))
+            .with_service("counter", Counter::boxed())
+            .permissive();
+        let _handle = container.run();
+        let mux = RpcMux::new(net.endpoint("client"));
+        // Fire a one-way increment shaped like an RpcRequest.
+        let req = RpcRequest {
+            request_id: 1,
+            caller: caller(),
+            operation: "increment".into(),
+            body: Value::Null,
+        };
+        mux.send_oneway(
+            NodeId::new("site"),
+            "counter",
+            &serde_json::to_value(&req).unwrap(),
+        );
+        // Observe the effect through a normal call.
+        let client = RpcClient::new(mux, NodeId::new("site"), "counter", caller());
+        let mut last = 0;
+        for _ in 0..50 {
+            last = client.call_value("increment", Value::Null).unwrap()["count"]
+                .as_u64()
+                .unwrap();
+            if last >= 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(last >= 2, "one-way increment not observed (count={last})");
+    }
+}

@@ -1,0 +1,88 @@
+//! Service faults.
+//!
+//! The OGSI equivalent of a SOAP fault: a structured, serializable error a
+//! service returns to its caller. The `retryable` flag drives client-side
+//! fault tolerance — NTCP's "transient problems need not cause the
+//! experiment to terminate" requirement needs the server to say which
+//! failures are transient.
+
+use serde::{Deserialize, Serialize};
+
+/// A structured error returned by a grid service operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceFault {
+    /// Machine-readable code, e.g. `"PolicyViolation"`, `"NoSuchTransaction"`.
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+    /// Whether the caller may retry the identical request.
+    pub retryable: bool,
+}
+
+impl ServiceFault {
+    /// A non-retryable fault.
+    pub fn permanent(code: impl Into<String>, message: impl Into<String>) -> Self {
+        ServiceFault {
+            code: code.into(),
+            message: message.into(),
+            retryable: false,
+        }
+    }
+
+    /// A retryable (transient) fault.
+    pub fn transient(code: impl Into<String>, message: impl Into<String>) -> Self {
+        ServiceFault {
+            code: code.into(),
+            message: message.into(),
+            retryable: true,
+        }
+    }
+
+    /// The standard fault for an unknown operation name.
+    pub fn no_such_operation(op: &str) -> Self {
+        ServiceFault::permanent("NoSuchOperation", format!("unknown operation '{op}'"))
+    }
+
+    /// The standard fault for an unauthenticated or unauthorized caller.
+    pub fn access_denied(detail: impl Into<String>) -> Self {
+        ServiceFault::permanent("AccessDenied", detail)
+    }
+}
+
+impl std::fmt::Display for ServiceFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServiceFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_retryability() {
+        assert!(!ServiceFault::permanent("X", "y").retryable);
+        assert!(ServiceFault::transient("X", "y").retryable);
+    }
+
+    #[test]
+    fn display_format() {
+        let f = ServiceFault::permanent("PolicyViolation", "force too large");
+        assert_eq!(f.to_string(), "[PolicyViolation] force too large");
+    }
+
+    #[test]
+    fn standard_faults() {
+        assert_eq!(ServiceFault::no_such_operation("zap").code, "NoSuchOperation");
+        assert_eq!(ServiceFault::access_denied("nope").code, "AccessDenied");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let f = ServiceFault::transient("Busy", "try later");
+        let s = serde_json::to_string(&f).unwrap();
+        assert_eq!(serde_json::from_str::<ServiceFault>(&s).unwrap(), f);
+    }
+}

@@ -1,0 +1,190 @@
+//! Soft-state lifetime management.
+//!
+//! OGSI services are created with a *termination time* that the client must
+//! periodically extend; if the client vanishes (crash, partition), the state
+//! evaporates on its own. The paper cites "soft state management" as one of
+//! the OGSI mechanisms NEESgrid services make good use of — NTCP transaction
+//! records and NSDS subscriptions are both lease-bound.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_gridsim::SimTime;
+
+/// A lease over one piece of server-side state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lease {
+    /// When the lease was first granted.
+    pub granted_at: SimTime,
+    /// Current termination time.
+    pub expires_at: SimTime,
+}
+
+impl Lease {
+    /// Whether the lease is still live at `now`.
+    pub fn alive_at(&self, now: SimTime) -> bool {
+        now < self.expires_at
+    }
+}
+
+/// Tracks leases for a family of named resources.
+#[derive(Debug, Default)]
+pub struct LifetimeManager {
+    leases: HashMap<String, Lease>,
+    /// Longest extension a single request may ask for; requests beyond it
+    /// are clipped (OGSI lets the service negotiate down).
+    pub max_extension: Option<SimTime>,
+}
+
+impl LifetimeManager {
+    /// A manager with no extension cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A manager that clips each extension to `max_extension`.
+    pub fn with_max_extension(max_extension: SimTime) -> Self {
+        LifetimeManager {
+            leases: HashMap::new(),
+            max_extension: Some(max_extension),
+        }
+    }
+
+    /// Grant a new lease for `name` lasting `lifetime` from `now`.
+    /// Returns the granted lease (possibly clipped).
+    pub fn grant(&mut self, name: impl Into<String>, now: SimTime, lifetime: SimTime) -> Lease {
+        let lifetime = self.clip(lifetime);
+        let lease = Lease {
+            granted_at: now,
+            expires_at: now + lifetime,
+        };
+        self.leases.insert(name.into(), lease);
+        lease
+    }
+
+    /// Extend (or shorten) an existing lease to `now + lifetime`.
+    /// OGSI allows requested termination times in the past as an explicit
+    /// destroy idiom; `lifetime == 0` expires the lease immediately.
+    pub fn set_termination(&mut self, name: &str, now: SimTime, lifetime: SimTime) -> Option<Lease> {
+        let lifetime = self.clip(lifetime);
+        let lease = self.leases.get_mut(name)?;
+        lease.expires_at = now + lifetime;
+        Some(*lease)
+    }
+
+    /// Current lease for `name`.
+    pub fn get(&self, name: &str) -> Option<Lease> {
+        self.leases.get(name).copied()
+    }
+
+    /// Whether `name` has a live lease at `now`.
+    pub fn alive(&self, name: &str, now: SimTime) -> bool {
+        self.leases.get(name).map(|l| l.alive_at(now)).unwrap_or(false)
+    }
+
+    /// Remove and return every lease expired at `now` — the reaper hook a
+    /// container calls periodically.
+    pub fn reap(&mut self, now: SimTime) -> Vec<String> {
+        let dead: Vec<String> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| !l.alive_at(now))
+            .map(|(n, _)| n.clone())
+            .collect();
+        for n in &dead {
+            self.leases.remove(n);
+        }
+        let mut sorted = dead;
+        sorted.sort();
+        sorted
+    }
+
+    /// Explicitly destroy a lease.
+    pub fn destroy(&mut self, name: &str) -> bool {
+        self.leases.remove(name).is_some()
+    }
+
+    /// Number of tracked leases (live or not yet reaped).
+    pub fn len(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Whether no leases are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+
+    fn clip(&self, lifetime: SimTime) -> SimTime {
+        match self.max_extension {
+            Some(max) if lifetime > max => max,
+            _ => lifetime,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_and_query() {
+        let mut lm = LifetimeManager::new();
+        let lease = lm.grant("tx1", SimTime::from_secs(10), SimTime::from_secs(60));
+        assert_eq!(lease.expires_at, SimTime::from_secs(70));
+        assert!(lm.alive("tx1", SimTime::from_secs(69)));
+        assert!(!lm.alive("tx1", SimTime::from_secs(70)));
+        assert!(!lm.alive("never-granted", SimTime::ZERO));
+    }
+
+    #[test]
+    fn keepalive_extends() {
+        let mut lm = LifetimeManager::new();
+        lm.grant("tx1", SimTime::ZERO, SimTime::from_secs(10));
+        lm.set_termination("tx1", SimTime::from_secs(8), SimTime::from_secs(10));
+        assert!(lm.alive("tx1", SimTime::from_secs(15)));
+        assert!(!lm.alive("tx1", SimTime::from_secs(18)));
+    }
+
+    #[test]
+    fn zero_lifetime_is_immediate_destroy() {
+        let mut lm = LifetimeManager::new();
+        lm.grant("tx1", SimTime::ZERO, SimTime::from_secs(10));
+        lm.set_termination("tx1", SimTime::from_secs(1), SimTime::ZERO);
+        assert!(!lm.alive("tx1", SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn extension_clipped_to_max() {
+        let mut lm = LifetimeManager::with_max_extension(SimTime::from_secs(30));
+        let lease = lm.grant("s", SimTime::ZERO, SimTime::from_secs(3600));
+        assert_eq!(lease.expires_at, SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn reap_removes_expired_only() {
+        let mut lm = LifetimeManager::new();
+        lm.grant("a", SimTime::ZERO, SimTime::from_secs(5));
+        lm.grant("b", SimTime::ZERO, SimTime::from_secs(50));
+        lm.grant("c", SimTime::ZERO, SimTime::from_secs(1));
+        let dead = lm.reap(SimTime::from_secs(10));
+        assert_eq!(dead, vec!["a".to_string(), "c".to_string()]);
+        assert_eq!(lm.len(), 1);
+        assert!(lm.alive("b", SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn destroy_is_idempotent() {
+        let mut lm = LifetimeManager::new();
+        lm.grant("a", SimTime::ZERO, SimTime::from_secs(5));
+        assert!(lm.destroy("a"));
+        assert!(!lm.destroy("a"));
+        assert!(lm.is_empty());
+    }
+
+    #[test]
+    fn set_termination_on_unknown_is_none() {
+        let mut lm = LifetimeManager::new();
+        assert!(lm.set_termination("ghost", SimTime::ZERO, SimTime::from_secs(1)).is_none());
+    }
+}

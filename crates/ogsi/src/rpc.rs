@@ -1,0 +1,640 @@
+//! RPC over the virtual grid network.
+//!
+//! A thin request/reply layer between endpoints: correlation-id
+//! multiplexing, per-attempt timeouts, configurable retransmission, and
+//! explicit surfacing of the three failure flavours a caller can observe —
+//! **timeout** (message or reply silently lost), **link reset** (immediate
+//! connection error), and **service fault** (the server answered with an
+//! error). NTCP's at-most-once guarantee composes from this layer's stable
+//! `request_id` across retransmissions plus the server-side
+//! [`crate::dedup::DedupCache`].
+//!
+//! Virtual time: the mux advances the shared clock to each reply's
+//! `delivered_at`, so end-to-end virtual round-trip times accumulate
+//! without any real sleeping (bench `sec50_realtime_sweep` relies on this).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use neesgrid_gridsim::{ControlNotice, Endpoint, Envelope, MessageKind, NodeId, SimTime};
+use neesgrid_gsi::DistinguishedName;
+
+use crate::fault::ServiceFault;
+
+/// A serialized service request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpcRequest {
+    /// Client-unique id, *stable across retransmissions* — the at-most-once
+    /// key.
+    pub request_id: u64,
+    /// The authenticated caller (end-entity DN).
+    pub caller: DistinguishedName,
+    /// Operation name, e.g. `"propose"`.
+    pub operation: String,
+    /// Operation arguments.
+    pub body: Value,
+}
+
+/// Outcome carried inside an [`RpcResponse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RpcOutcome {
+    /// Success with a result document.
+    Ok(Value),
+    /// Failure with a structured fault.
+    Fault(ServiceFault),
+}
+
+/// A serialized service response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpcResponse {
+    /// Echoes the request id.
+    pub request_id: u64,
+    /// Result or fault.
+    pub outcome: RpcOutcome,
+}
+
+/// Client-observed RPC failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpcError {
+    /// No reply within the per-attempt deadline, after all attempts.
+    Timeout {
+        /// How many attempts were made.
+        attempts: u32,
+    },
+    /// The network reported a connection reset.
+    LinkReset,
+    /// The destination node does not exist.
+    NoRoute,
+    /// The service returned a fault.
+    Fault(ServiceFault),
+    /// The local mux has shut down.
+    MuxClosed,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Timeout { attempts } => write!(f, "timed out after {attempts} attempt(s)"),
+            RpcError::LinkReset => write!(f, "link reset"),
+            RpcError::NoRoute => write!(f, "no route to destination"),
+            RpcError::Fault(fault) => write!(f, "service fault: {fault}"),
+            RpcError::MuxClosed => write!(f, "rpc mux closed"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// Retransmission policy for one logical call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try + retries).
+    pub max_attempts: u32,
+    /// Retry after a silent timeout.
+    pub retry_on_timeout: bool,
+    /// Retry after an immediate link reset.
+    pub retry_on_reset: bool,
+}
+
+impl RetryPolicy {
+    /// One attempt, no retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            retry_on_timeout: false,
+            retry_on_reset: false,
+        }
+    }
+
+    /// Retry all transient failures up to `max_attempts` total attempts.
+    pub fn transient(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            retry_on_timeout: true,
+            retry_on_reset: true,
+        }
+    }
+
+    /// Retry timeouts only — the incomplete policy the MOST coordinator
+    /// shipped with (§3.4): a final link reset is fatal under this policy.
+    pub fn timeouts_only(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            retry_on_timeout: true,
+            retry_on_reset: false,
+        }
+    }
+}
+
+/// A successful reply plus its observed virtual round-trip time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcReply {
+    /// The service's result document.
+    pub value: Value,
+    /// Virtual time from first send to reply delivery.
+    pub virtual_rtt: SimTime,
+    /// Attempts actually used.
+    pub attempts: u32,
+}
+
+enum Routed {
+    Reply(Envelope),
+    Notice(ControlNotice),
+}
+
+/// Correlation-id demultiplexer over one endpoint.
+///
+/// One mux serves any number of concurrent callers (the coordinator fans
+/// proposals out to all sites in parallel through a single mux). Push-style
+/// (one-way) traffic for a named local service can be claimed with
+/// [`RpcMux::register_sink`].
+pub struct RpcMux {
+    endpoint: Endpoint,
+    pending: Arc<Mutex<HashMap<u64, Sender<Routed>>>>,
+    sinks: Arc<Mutex<HashMap<String, Sender<Envelope>>>>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl RpcMux {
+    /// Wrap an endpoint and start the reader thread.
+    pub fn new(endpoint: Endpoint) -> Arc<Self> {
+        let pending: Arc<Mutex<HashMap<u64, Sender<Routed>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let sinks: Arc<Mutex<HashMap<String, Sender<Envelope>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let reader_endpoint = endpoint.clone();
+        let reader_pending = Arc::clone(&pending);
+        let reader_sinks = Arc::clone(&sinks);
+        let clock = Arc::clone(endpoint.clock());
+        let reader = std::thread::Builder::new()
+            .name(format!("rpc-mux-{}", endpoint.id()))
+            .spawn(move || {
+                while let Some(env) = reader_endpoint.recv() {
+                    match env.kind {
+                        MessageKind::Reply => {
+                            clock.advance_to(env.delivered_at());
+                            let tx = reader_pending.lock().get(&env.correlation_id).cloned();
+                            if let Some(tx) = tx {
+                                let _ = tx.send(Routed::Reply(env));
+                            }
+                        }
+                        MessageKind::Control => {
+                            if let Some(notice) = ControlNotice::from_bytes(&env.payload) {
+                                let tx =
+                                    reader_pending.lock().get(&notice.correlation_id()).cloned();
+                                if let Some(tx) = tx {
+                                    let _ = tx.send(Routed::Notice(notice));
+                                }
+                            }
+                        }
+                        MessageKind::Request | MessageKind::OneWay => {
+                            clock.advance_to(env.delivered_at());
+                            let tx = reader_sinks.lock().get(&env.service).cloned();
+                            if let Some(tx) = tx {
+                                let _ = tx.send(env);
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn rpc mux reader");
+        Arc::new(RpcMux {
+            endpoint,
+            pending,
+            sinks,
+            reader: Some(reader),
+        })
+    }
+
+    /// The underlying endpoint's node id.
+    pub fn node(&self) -> &NodeId {
+        self.endpoint.id()
+    }
+
+    /// Claim incoming one-way/request traffic addressed to local `service`.
+    pub fn register_sink(&self, service: impl Into<String>) -> Receiver<Envelope> {
+        let (tx, rx) = unbounded();
+        self.sinks.lock().insert(service.into(), tx);
+        rx
+    }
+
+    /// Fire-and-forget send.
+    pub fn send_oneway(&self, dst: NodeId, service: &str, body: &Value) {
+        let payload = Bytes::from(serde_json::to_vec(body).expect("serialize oneway body"));
+        let corr = self.endpoint.next_correlation();
+        self.endpoint
+            .send(dst, service, MessageKind::OneWay, corr, payload);
+    }
+
+    /// Issue a request with retransmission per `policy`.
+    ///
+    /// (The argument list mirrors the wire fields; a params struct would
+    /// just restate them.)
+    ///
+    /// The same `request_id` (also used as the correlation id) is reused on
+    /// every attempt so the server's dedup cache can guarantee at-most-once
+    /// execution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn call(
+        &self,
+        dst: &NodeId,
+        service: &str,
+        caller: &DistinguishedName,
+        operation: &str,
+        body: Value,
+        attempt_timeout: Duration,
+        policy: RetryPolicy,
+    ) -> Result<RpcReply, RpcError> {
+        let request_id = self.endpoint.next_correlation();
+        let request = RpcRequest {
+            request_id,
+            caller: caller.clone(),
+            operation: operation.to_string(),
+            body,
+        };
+        let payload = Bytes::from(serde_json::to_vec(&request).expect("serialize request"));
+        let (tx, rx) = bounded::<Routed>(4);
+        self.pending.lock().insert(request_id, tx);
+        let first_send = self.endpoint.clock().now();
+        let result = self.call_inner(
+            dst,
+            service,
+            request_id,
+            &payload,
+            attempt_timeout,
+            policy,
+            &rx,
+            first_send,
+        );
+        self.pending.lock().remove(&request_id);
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn call_inner(
+        &self,
+        dst: &NodeId,
+        service: &str,
+        request_id: u64,
+        payload: &Bytes,
+        attempt_timeout: Duration,
+        policy: RetryPolicy,
+        rx: &Receiver<Routed>,
+        first_send: SimTime,
+    ) -> Result<RpcReply, RpcError> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            self.endpoint.send(
+                dst.clone(),
+                service,
+                MessageKind::Request,
+                request_id,
+                payload.clone(),
+            );
+            // Model retransmission back-off in virtual time: each retry after
+            // the first charges one attempt-timeout of virtual waiting.
+            if attempts > 1 {
+                self.endpoint
+                    .clock()
+                    .advance(SimTime::from_secs_f64(attempt_timeout.as_secs_f64()));
+            }
+            match rx.recv_timeout(attempt_timeout) {
+                Ok(Routed::Reply(env)) => {
+                    let response: RpcResponse = serde_json::from_slice(&env.payload)
+                        .map_err(|_| RpcError::Fault(ServiceFault::permanent(
+                            "BadResponse",
+                            "undecodable response payload",
+                        )))?;
+                    return match response.outcome {
+                        RpcOutcome::Ok(value) => Ok(RpcReply {
+                            value,
+                            virtual_rtt: env.delivered_at().saturating_sub(first_send),
+                            attempts,
+                        }),
+                        RpcOutcome::Fault(fault) => Err(RpcError::Fault(fault)),
+                    };
+                }
+                Ok(Routed::Notice(ControlNotice::LinkReset { .. })) => {
+                    if policy.retry_on_reset && attempts < policy.max_attempts {
+                        continue;
+                    }
+                    return Err(RpcError::LinkReset);
+                }
+                Ok(Routed::Notice(ControlNotice::NoRoute { .. })) => {
+                    return Err(RpcError::NoRoute);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if policy.retry_on_timeout && attempts < policy.max_attempts {
+                        continue;
+                    }
+                    return Err(RpcError::Timeout { attempts });
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(RpcError::MuxClosed);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for RpcMux {
+    fn drop(&mut self) {
+        // The reader thread exits when the endpoint's network shuts down;
+        // detach rather than join to avoid ordering constraints.
+        if let Some(h) = self.reader.take() {
+            drop(h);
+        }
+    }
+}
+
+/// A client bound to one remote service.
+#[derive(Clone)]
+pub struct RpcClient {
+    mux: Arc<RpcMux>,
+    dst: NodeId,
+    service: String,
+    caller: DistinguishedName,
+    /// Per-attempt real-time deadline (only reached when messages are lost).
+    pub attempt_timeout: Duration,
+    /// Default retry policy.
+    pub policy: RetryPolicy,
+}
+
+impl RpcClient {
+    /// Bind a client to `service` on node `dst`, calling as `caller`.
+    pub fn new(
+        mux: Arc<RpcMux>,
+        dst: NodeId,
+        service: impl Into<String>,
+        caller: DistinguishedName,
+    ) -> Self {
+        RpcClient {
+            mux,
+            dst,
+            service: service.into(),
+            caller,
+            attempt_timeout: Duration::from_millis(100),
+            policy: RetryPolicy::transient(4),
+        }
+    }
+
+    /// Override the retry policy (builder style).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Override the per-attempt timeout (builder style).
+    pub fn with_attempt_timeout(mut self, t: Duration) -> Self {
+        self.attempt_timeout = t;
+        self
+    }
+
+    /// The remote node this client talks to.
+    pub fn destination(&self) -> &NodeId {
+        &self.dst
+    }
+
+    /// The caller identity requests are issued under.
+    pub fn caller(&self) -> &DistinguishedName {
+        &self.caller
+    }
+
+    /// Call `operation` with `body`.
+    pub fn call(&self, operation: &str, body: Value) -> Result<RpcReply, RpcError> {
+        self.mux.call(
+            &self.dst,
+            &self.service,
+            &self.caller,
+            operation,
+            body,
+            self.attempt_timeout,
+            self.policy,
+        )
+    }
+
+    /// Call and keep only the value (common case).
+    pub fn call_value(&self, operation: &str, body: Value) -> Result<Value, RpcError> {
+        self.call(operation, body).map(|r| r.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neesgrid_gridsim::{FaultPlan, LatencyModel, LinkKey, NetworkConfig, VirtualNetwork};
+
+    /// A trivial echo responder running on its own thread.
+    fn spawn_echo(net: &VirtualNetwork, name: &str) {
+        let ep = net.endpoint(name);
+        std::thread::spawn(move || {
+            while let Some(env) = ep.recv() {
+                if env.kind != MessageKind::Request {
+                    continue;
+                }
+                // A real container advances the clock to the request's
+                // arrival time; mirror that so virtual RTTs accumulate.
+                ep.clock().advance_to(env.delivered_at());
+                let req: RpcRequest = serde_json::from_slice(&env.payload).unwrap();
+                let response = RpcResponse {
+                    request_id: req.request_id,
+                    outcome: if req.operation == "fail" {
+                        RpcOutcome::Fault(ServiceFault::permanent("Oops", "asked to fail"))
+                    } else {
+                        RpcOutcome::Ok(serde_json::json!({
+                            "echo": req.body,
+                            "operation": req.operation,
+                        }))
+                    },
+                };
+                ep.send(
+                    env.src,
+                    &env.service,
+                    MessageKind::Reply,
+                    env.correlation_id,
+                    Bytes::from(serde_json::to_vec(&response).unwrap()),
+                );
+            }
+        });
+    }
+
+    fn caller() -> DistinguishedName {
+        DistinguishedName::nees_user("NCSA", "tester")
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        spawn_echo(&net, "server");
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller());
+        let reply = client.call("ping", serde_json::json!({"x": 1})).unwrap();
+        assert_eq!(reply.value["echo"]["x"], 1);
+        assert_eq!(reply.value["operation"], "ping");
+        assert_eq!(reply.attempts, 1);
+    }
+
+    #[test]
+    fn virtual_rtt_reflects_link_latency() {
+        let net = VirtualNetwork::new(NetworkConfig {
+            default_latency: LatencyModel::Fixed(SimTime::from_millis(40)),
+            ..Default::default()
+        });
+        spawn_echo(&net, "server");
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller());
+        let reply = client.call("ping", Value::Null).unwrap();
+        // Request leg + reply leg.
+        assert!(reply.virtual_rtt >= SimTime::from_millis(80), "rtt {}", reply.virtual_rtt);
+    }
+
+    #[test]
+    fn fault_is_surfaced() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        spawn_echo(&net, "server");
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller());
+        match client.call("fail", Value::Null) {
+            Err(RpcError::Fault(f)) => assert_eq!(f.code, "Oops"),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_dropped_request() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        spawn_echo(&net, "server");
+        let mut plan = FaultPlan::reliable();
+        plan.drop_at(LinkKey::new("client", "server"), 0);
+        net.set_fault_plan(plan);
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller())
+            .with_attempt_timeout(Duration::from_millis(50));
+        let reply = client.call("ping", Value::Null).unwrap();
+        assert_eq!(reply.attempts, 2);
+    }
+
+    #[test]
+    fn retry_recovers_from_dropped_reply() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        spawn_echo(&net, "server");
+        let mut plan = FaultPlan::reliable();
+        plan.drop_at(LinkKey::new("server", "client"), 0);
+        net.set_fault_plan(plan);
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller())
+            .with_attempt_timeout(Duration::from_millis(50));
+        let reply = client.call("ping", Value::Null).unwrap();
+        assert_eq!(reply.attempts, 2);
+    }
+
+    #[test]
+    fn no_retry_policy_times_out() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        spawn_echo(&net, "server");
+        let mut plan = FaultPlan::reliable();
+        plan.drop_at(LinkKey::new("client", "server"), 0);
+        net.set_fault_plan(plan);
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller())
+            .with_policy(RetryPolicy::none())
+            .with_attempt_timeout(Duration::from_millis(30));
+        assert_eq!(
+            client.call("ping", Value::Null).unwrap_err(),
+            RpcError::Timeout { attempts: 1 }
+        );
+    }
+
+    #[test]
+    fn reset_fails_fast_under_timeouts_only_policy() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        spawn_echo(&net, "server");
+        let mut plan = FaultPlan::reliable();
+        plan.reset_at(LinkKey::new("client", "server"), 0);
+        net.set_fault_plan(plan);
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller())
+            .with_policy(RetryPolicy::timeouts_only(4));
+        assert_eq!(client.call("ping", Value::Null).unwrap_err(), RpcError::LinkReset);
+    }
+
+    #[test]
+    fn reset_recovered_under_transient_policy() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        spawn_echo(&net, "server");
+        let mut plan = FaultPlan::reliable();
+        plan.reset_at(LinkKey::new("client", "server"), 0);
+        net.set_fault_plan(plan);
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller());
+        let reply = client.call("ping", Value::Null).unwrap();
+        assert_eq!(reply.attempts, 2);
+    }
+
+    #[test]
+    fn no_route_is_not_retried() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("ghost"), "echo", caller());
+        assert_eq!(client.call("ping", Value::Null).unwrap_err(), RpcError::NoRoute);
+    }
+
+    #[test]
+    fn concurrent_calls_demultiplex() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        spawn_echo(&net, "server");
+        let mux = RpcMux::new(net.endpoint("client"));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let client = RpcClient::new(
+                Arc::clone(&mux),
+                NodeId::new("server"),
+                "echo",
+                caller(),
+            );
+            handles.push(std::thread::spawn(move || {
+                let reply = client.call("ping", serde_json::json!({ "i": i })).unwrap();
+                assert_eq!(reply.value["echo"]["i"], i);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn oneway_reaches_registered_sink() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let server_mux = RpcMux::new(net.endpoint("server"));
+        let sink = server_mux.register_sink("nsds");
+        let client_mux = RpcMux::new(net.endpoint("client"));
+        client_mux.send_oneway(NodeId::new("server"), "nsds", &serde_json::json!({"sample": 0.5}));
+        let env = sink.recv_timeout(Duration::from_secs(1)).unwrap();
+        let v: Value = serde_json::from_slice(&env.payload).unwrap();
+        assert_eq!(v["sample"], 0.5);
+    }
+
+    #[test]
+    fn retransmission_charges_virtual_backoff() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        spawn_echo(&net, "server");
+        let mut plan = FaultPlan::reliable();
+        plan.drop_at(LinkKey::new("client", "server"), 0);
+        net.set_fault_plan(plan);
+        let clock = net.clock();
+        let mux = RpcMux::new(net.endpoint("client"));
+        let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller())
+            .with_attempt_timeout(Duration::from_millis(50));
+        let before = clock.now();
+        client.call("ping", Value::Null).unwrap();
+        // One retransmission → at least one attempt-timeout of virtual wait.
+        assert!(clock.now().saturating_sub(before) >= SimTime::from_millis(50));
+    }
+}

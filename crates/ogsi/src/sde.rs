@@ -1,0 +1,244 @@
+//! Service data elements (SDEs).
+//!
+//! OGSI's state-exposure mechanism: a service publishes named, timestamped
+//! JSON values that any authorized party can inspect or subscribe to. The
+//! paper leans on two patterns this module implements directly:
+//!
+//! * *one SDE per NTCP transaction* — name, state, requested actions,
+//!   timeouts, results, and per-state-change timestamps (§2.1);
+//! * *a "most recently changed" SDE* used "to monitor the behavior of the
+//!   server as a whole".
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use neesgrid_gridsim::SimTime;
+
+/// One named piece of exposed service state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceDataElement {
+    /// Element name, unique within a service.
+    pub name: String,
+    /// Current value.
+    pub value: Value,
+    /// When the element was created.
+    pub created_at: SimTime,
+    /// When the element last changed.
+    pub modified_at: SimTime,
+    /// Monotonic per-element version, bumped on every set.
+    pub version: u64,
+}
+
+/// A change event delivered to subscribers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SdeChange {
+    /// Name of the element that changed.
+    pub name: String,
+    /// The new value.
+    pub value: Value,
+    /// Time of the change.
+    pub at: SimTime,
+    /// New version of the element.
+    pub version: u64,
+}
+
+/// The service-data set of one grid service.
+///
+/// Not internally synchronized: the owning service (or its container thread)
+/// is the single writer; remote reads arrive via service operations on the
+/// same thread.
+#[derive(Debug, Default)]
+pub struct ServiceData {
+    elements: HashMap<String, ServiceDataElement>,
+    subscribers: Vec<(String, Sender<SdeChange>)>,
+    most_recently_changed: Option<String>,
+}
+
+impl ServiceData {
+    /// An empty service-data set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create or update an element, notifying subscribers.
+    pub fn set(&mut self, name: impl Into<String>, value: Value, now: SimTime) {
+        let name = name.into();
+        let version;
+        match self.elements.get_mut(&name) {
+            Some(el) => {
+                el.value = value.clone();
+                el.modified_at = now;
+                el.version += 1;
+                version = el.version;
+            }
+            None => {
+                self.elements.insert(
+                    name.clone(),
+                    ServiceDataElement {
+                        name: name.clone(),
+                        value: value.clone(),
+                        created_at: now,
+                        modified_at: now,
+                        version: 1,
+                    },
+                );
+                version = 1;
+            }
+        }
+        self.most_recently_changed = Some(name.clone());
+        self.subscribers.retain(|(pattern, tx)| {
+            if name_matches(pattern, &name) {
+                tx.send(SdeChange {
+                    name: name.clone(),
+                    value: value.clone(),
+                    at: now,
+                    version,
+                })
+                .is_ok()
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Inspect one element.
+    pub fn get(&self, name: &str) -> Option<&ServiceDataElement> {
+        self.elements.get(name)
+    }
+
+    /// Remove an element (e.g. a destroyed transaction).
+    pub fn remove(&mut self, name: &str) -> Option<ServiceDataElement> {
+        self.elements.remove(name)
+    }
+
+    /// Names of all elements matching a pattern (`*` suffix wildcard).
+    pub fn query(&self, pattern: &str) -> Vec<&ServiceDataElement> {
+        let mut out: Vec<&ServiceDataElement> = self
+            .elements
+            .values()
+            .filter(|el| name_matches(pattern, &el.name))
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// The element changed most recently, if any — the whole-server
+    /// monitoring hook from §2.1.
+    pub fn most_recently_changed(&self) -> Option<&ServiceDataElement> {
+        self.most_recently_changed
+            .as_deref()
+            .and_then(|n| self.elements.get(n))
+    }
+
+    /// Subscribe to changes of elements matching `pattern`
+    /// (exact name, or prefix ending in `*`).
+    pub fn subscribe(&mut self, pattern: impl Into<String>) -> Receiver<SdeChange> {
+        let (tx, rx) = unbounded();
+        self.subscribers.push((pattern.into(), tx));
+        rx
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+}
+
+/// `pattern` matches `name` if equal, or if pattern ends in `*` and the rest
+/// is a prefix of `name`.
+fn name_matches(pattern: &str, name: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => name.starts_with(prefix),
+        None => pattern == name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn set_then_get() {
+        let mut sd = ServiceData::new();
+        sd.set("transaction/t1", json!({"state": "Proposed"}), SimTime::from_secs(1));
+        let el = sd.get("transaction/t1").unwrap();
+        assert_eq!(el.value["state"], "Proposed");
+        assert_eq!(el.version, 1);
+        assert_eq!(el.created_at, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn update_bumps_version_and_modified() {
+        let mut sd = ServiceData::new();
+        sd.set("x", json!(1), SimTime::from_secs(1));
+        sd.set("x", json!(2), SimTime::from_secs(5));
+        let el = sd.get("x").unwrap();
+        assert_eq!(el.version, 2);
+        assert_eq!(el.created_at, SimTime::from_secs(1));
+        assert_eq!(el.modified_at, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn most_recently_changed_tracks_latest() {
+        let mut sd = ServiceData::new();
+        sd.set("a", json!(1), SimTime::from_secs(1));
+        sd.set("b", json!(2), SimTime::from_secs(2));
+        assert_eq!(sd.most_recently_changed().unwrap().name, "b");
+        sd.set("a", json!(3), SimTime::from_secs(3));
+        assert_eq!(sd.most_recently_changed().unwrap().name, "a");
+    }
+
+    #[test]
+    fn query_with_wildcard() {
+        let mut sd = ServiceData::new();
+        sd.set("transaction/t1", json!(1), SimTime::ZERO);
+        sd.set("transaction/t2", json!(2), SimTime::ZERO);
+        sd.set("serverInfo", json!(3), SimTime::ZERO);
+        let names: Vec<&str> = sd.query("transaction/*").iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["transaction/t1", "transaction/t2"]);
+        assert_eq!(sd.query("*").len(), 3);
+        assert_eq!(sd.query("serverInfo").len(), 1);
+        assert_eq!(sd.query("nope").len(), 0);
+    }
+
+    #[test]
+    fn subscription_receives_matching_changes() {
+        let mut sd = ServiceData::new();
+        let rx = sd.subscribe("transaction/*");
+        sd.set("transaction/t1", json!({"state": "Executing"}), SimTime::from_secs(2));
+        sd.set("other", json!(0), SimTime::from_secs(3));
+        let ev = rx.try_recv().unwrap();
+        assert_eq!(ev.name, "transaction/t1");
+        assert_eq!(ev.version, 1);
+        assert!(rx.try_recv().is_err(), "non-matching change not delivered");
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned() {
+        let mut sd = ServiceData::new();
+        let rx = sd.subscribe("*");
+        drop(rx);
+        // First set after drop prunes the dead subscriber.
+        sd.set("a", json!(1), SimTime::ZERO);
+        sd.set("a", json!(2), SimTime::ZERO);
+        assert_eq!(sd.get("a").unwrap().version, 2);
+    }
+
+    #[test]
+    fn remove_deletes_element() {
+        let mut sd = ServiceData::new();
+        sd.set("x", json!(1), SimTime::ZERO);
+        assert!(sd.remove("x").is_some());
+        assert!(sd.get("x").is_none());
+        assert!(sd.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # neesgrid-repo — the NEESgrid data and metadata repository
+//!
+//! Figure 3's architecture, in full:
+//!
+//! * [`storage`] — the repository's backing store (virtual, in-memory,
+//!   checksummed).
+//! * [`metadata`] + [`nmds`] — the **NEESgrid Metadata Service**: metadata
+//!   objects with *first-class schemas* ("metadata schemas are represented
+//!   by first-class objects and can be managed just like any other
+//!   object"), per-object version control, and per-object authorization
+//!   with CAS capability-assertion support (the §3.3 follow-on).
+//! * [`nfms`] — the **NEESgrid File Management Service**: logical file
+//!   naming and transport neutrality; transfers are negotiated, and a
+//!   plug-in API admits transports beyond GridFTP.
+//! * [`gridftp`] — the simulated GridFTP transport: chunked, multi-stream,
+//!   checksummed, restartable bulk transfer.
+//! * [`ingest`] — the ingestion tool that archives data and metadata
+//!   incrementally *while the experiment runs*.
+//! * [`https_bridge`] — "a servlet that acts as a bridge between GridFTP
+//!   and https", giving browser-grade clients (CHEF) read access.
+//! * [`service`] — OGSI `GridService` wrappers so remote sites reach NMDS
+//!   and NFMS over the grid network.
+
+pub mod checksum;
+pub mod gridftp;
+pub mod https_bridge;
+pub mod ingest;
+pub mod metadata;
+pub mod nfms;
+pub mod nmds;
+pub mod service;
+pub mod storage;
+
+pub use checksum::{crc32, from_hex, to_hex};
+pub use gridftp::{GridFtpReceiver, GridFtpSender, RestartMarker, TransferChunk};
+pub use https_bridge::HttpsBridge;
+pub use ingest::Ingester;
+pub use metadata::{MetadataObject, Schema};
+pub use nfms::{Nfms, TransferTicket};
+pub use nmds::Nmds;
+pub use service::{NfmsService, NmdsService};
+pub use storage::{StoredFile, VirtualStore};

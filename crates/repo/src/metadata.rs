@@ -1,0 +1,258 @@
+//! Metadata objects and first-class schemas.
+//!
+//! §2.3: NMDS "differs from most other metadata management systems in that
+//! metadata schemas are represented by first-class objects and can be
+//! managed just like any other object. In addition, it supports per-object
+//! version control and authorization."
+//!
+//! A [`Schema`] declares required fields and their types; it is stored,
+//! versioned, and access-controlled exactly like the objects it validates.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use neesgrid_gridsim::SimTime;
+use neesgrid_gsi::DistinguishedName;
+
+/// Field types a schema can require.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum FieldType {
+    /// JSON string.
+    String,
+    /// JSON number.
+    Number,
+    /// JSON boolean.
+    Boolean,
+    /// JSON array.
+    Array,
+    /// JSON object.
+    Object,
+}
+
+impl FieldType {
+    fn matches(self, v: &Value) -> bool {
+        match self {
+            FieldType::String => v.is_string(),
+            FieldType::Number => v.is_number(),
+            FieldType::Boolean => v.is_boolean(),
+            FieldType::Array => v.is_array(),
+            FieldType::Object => v.is_object(),
+        }
+    }
+}
+
+/// A metadata schema: required fields with expected types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Schema {
+    /// Field name → required type.
+    pub fields: HashMap<String, FieldType>,
+    /// Whether fields not named in `fields` are allowed.
+    pub allow_extra: bool,
+}
+
+impl Schema {
+    /// A schema requiring the given (name, type) fields, allowing extras.
+    pub fn new(fields: &[(&str, FieldType)]) -> Self {
+        Schema {
+            fields: fields
+                .iter()
+                .map(|(n, t)| (n.to_string(), *t))
+                .collect(),
+            allow_extra: true,
+        }
+    }
+
+    /// Validate a body against this schema.
+    pub fn validate(&self, body: &Value) -> Result<(), String> {
+        let obj = body
+            .as_object()
+            .ok_or_else(|| "metadata body must be a JSON object".to_string())?;
+        for (name, ty) in &self.fields {
+            match obj.get(name) {
+                None => return Err(format!("missing required field '{name}'")),
+                Some(v) if !ty.matches(v) => {
+                    return Err(format!("field '{name}' has wrong type (expected {ty:?})"))
+                }
+                Some(_) => {}
+            }
+        }
+        if !self.allow_extra {
+            for key in obj.keys() {
+                if !self.fields.contains_key(key) {
+                    return Err(format!("unexpected field '{key}'"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One version of a metadata object's body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectVersion {
+    /// 1-based version number.
+    pub version: u64,
+    /// The body at this version.
+    pub body: Value,
+    /// Who wrote it.
+    pub author: DistinguishedName,
+    /// When.
+    pub at: SimTime,
+}
+
+/// A versioned, access-controlled metadata object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetadataObject {
+    /// Object id (repository-unique), e.g. `/experiments/most/setup-uiuc`.
+    pub id: String,
+    /// Id of the schema object governing this object, if any.
+    pub schema_id: Option<String>,
+    /// Owner (full rights).
+    pub owner: DistinguishedName,
+    /// Version history, oldest first; never empty.
+    pub versions: Vec<ObjectVersion>,
+}
+
+impl MetadataObject {
+    /// Create version 1.
+    pub fn create(
+        id: impl Into<String>,
+        schema_id: Option<String>,
+        owner: DistinguishedName,
+        body: Value,
+        now: SimTime,
+    ) -> Self {
+        MetadataObject {
+            id: id.into(),
+            schema_id,
+            owner: owner.clone(),
+            versions: vec![ObjectVersion {
+                version: 1,
+                body,
+                author: owner,
+                at: now,
+            }],
+        }
+    }
+
+    /// The latest version.
+    pub fn latest(&self) -> &ObjectVersion {
+        self.versions.last().expect("objects have ≥1 version")
+    }
+
+    /// A specific version (1-based).
+    pub fn version(&self, v: u64) -> Option<&ObjectVersion> {
+        self.versions.iter().find(|ov| ov.version == v)
+    }
+
+    /// Append a new version.
+    pub fn update(&mut self, body: Value, author: DistinguishedName, now: SimTime) -> u64 {
+        let version = self.latest().version + 1;
+        self.versions.push(ObjectVersion {
+            version,
+            body,
+            author,
+            at: now,
+        });
+        version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn owner() -> DistinguishedName {
+        DistinguishedName::nees_user("UIUC", "Experimenter")
+    }
+
+    fn sensor_schema() -> Schema {
+        Schema::new(&[
+            ("sensor_type", FieldType::String),
+            ("channel", FieldType::String),
+            ("calibration_scale", FieldType::Number),
+        ])
+    }
+
+    #[test]
+    fn schema_accepts_conforming_body() {
+        let body = json!({
+            "sensor_type": "LVDT",
+            "channel": "uiuc/lvdt-1",
+            "calibration_scale": 1.0,
+            "notes": "extra allowed",
+        });
+        sensor_schema().validate(&body).unwrap();
+    }
+
+    #[test]
+    fn schema_rejects_missing_and_mistyped() {
+        let schema = sensor_schema();
+        let missing = json!({"sensor_type": "LVDT", "channel": "c"});
+        assert!(schema.validate(&missing).unwrap_err().contains("missing"));
+        let mistyped = json!({
+            "sensor_type": "LVDT",
+            "channel": "c",
+            "calibration_scale": "one",
+        });
+        assert!(schema.validate(&mistyped).unwrap_err().contains("wrong type"));
+        assert!(schema.validate(&json!([1, 2])).is_err());
+    }
+
+    #[test]
+    fn strict_schema_rejects_extras() {
+        let mut schema = sensor_schema();
+        schema.allow_extra = false;
+        let body = json!({
+            "sensor_type": "LVDT",
+            "channel": "c",
+            "calibration_scale": 1.0,
+            "surprise": true,
+        });
+        assert!(schema.validate(&body).unwrap_err().contains("unexpected"));
+    }
+
+    #[test]
+    fn all_field_types_match() {
+        let schema = Schema::new(&[
+            ("s", FieldType::String),
+            ("n", FieldType::Number),
+            ("b", FieldType::Boolean),
+            ("a", FieldType::Array),
+            ("o", FieldType::Object),
+        ]);
+        schema
+            .validate(&json!({"s": "x", "n": 1.5, "b": true, "a": [], "o": {}}))
+            .unwrap();
+    }
+
+    #[test]
+    fn versioning_appends_and_preserves_history() {
+        let mut obj = MetadataObject::create(
+            "/experiments/most/setup",
+            None,
+            owner(),
+            json!({"rev": 1}),
+            SimTime::from_secs(1),
+        );
+        assert_eq!(obj.latest().version, 1);
+        let v2 = obj.update(json!({"rev": 2}), owner(), SimTime::from_secs(2));
+        assert_eq!(v2, 2);
+        assert_eq!(obj.latest().body["rev"], 2);
+        assert_eq!(obj.version(1).unwrap().body["rev"], 1);
+        assert!(obj.version(3).is_none());
+    }
+
+    #[test]
+    fn schema_serializes_as_first_class_object() {
+        // A schema must itself be representable as a metadata body.
+        let schema = sensor_schema();
+        let as_value = serde_json::to_value(&schema).unwrap();
+        let back: Schema = serde_json::from_value(as_value).unwrap();
+        assert_eq!(back, schema);
+    }
+}

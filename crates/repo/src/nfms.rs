@@ -1,0 +1,263 @@
+//! The NEESgrid File Management Service (NFMS).
+//!
+//! §2.3: "NFMS provides two main capabilities: logical file naming and
+//! transport neutrality. Applications negotiate file transfers with NFMS,
+//! which resolves a transfer request for a logical file to a protocol
+//! request for a physical resource. NFMS uses GridFTP to provide transport
+//! and has a plug-in API that allows other transport protocols to be used
+//! if desired."
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use neesgrid_gridsim::SimTime;
+
+use crate::storage::VirtualStore;
+
+/// NFMS operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfmsError {
+    /// Unknown logical name.
+    NotFound(String),
+    /// No transport both sides support.
+    NoCommonTransport {
+        /// Transports the service offers.
+        offered: Vec<String>,
+        /// Transports the client asked for.
+        requested: Vec<String>,
+    },
+    /// Logical name already registered.
+    AlreadyExists(String),
+}
+
+impl std::fmt::Display for NfmsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NfmsError::NotFound(n) => write!(f, "logical file '{n}' not found"),
+            NfmsError::NoCommonTransport { offered, requested } => write!(
+                f,
+                "no common transport (offered {offered:?}, requested {requested:?})"
+            ),
+            NfmsError::AlreadyExists(n) => write!(f, "logical file '{n}' already registered"),
+        }
+    }
+}
+
+impl std::error::Error for NfmsError {}
+
+/// The result of a transfer negotiation: where and how to move the bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferTicket {
+    /// The logical name.
+    pub logical: String,
+    /// Resolved physical path in the repository store.
+    pub physical: String,
+    /// Chosen transport protocol.
+    pub protocol: String,
+    /// File size, bytes.
+    pub size: u64,
+    /// Whole-file CRC-32.
+    pub checksum: u32,
+}
+
+/// The file management service.
+pub struct Nfms {
+    store: VirtualStore,
+    logical: HashMap<String, String>,
+    /// Transports in preference order (plug-in API: push to extend).
+    transports: Vec<String>,
+}
+
+impl Nfms {
+    /// An NFMS over a store, offering GridFTP (preferred) and https.
+    pub fn new(store: VirtualStore) -> Self {
+        Nfms {
+            store,
+            logical: HashMap::new(),
+            transports: vec!["gridftp".to_string(), "https".to_string()],
+        }
+    }
+
+    /// Register an additional transport plugin (lowest preference).
+    pub fn register_transport(&mut self, name: impl Into<String>) {
+        self.transports.push(name.into());
+    }
+
+    /// Offered transports, in preference order.
+    pub fn transports(&self) -> &[String] {
+        &self.transports
+    }
+
+    /// The backing store handle.
+    pub fn store(&self) -> &VirtualStore {
+        &self.store
+    }
+
+    /// Store content under a logical name (registers the mapping).
+    pub fn upload(
+        &mut self,
+        logical: impl Into<String>,
+        content: Bytes,
+        now: SimTime,
+    ) -> Result<TransferTicket, NfmsError> {
+        let logical = logical.into();
+        if self.logical.contains_key(&logical) {
+            return Err(NfmsError::AlreadyExists(logical));
+        }
+        let physical = format!("/store{logical}");
+        let size = content.len() as u64;
+        let checksum = self.store.put(physical.clone(), content, now);
+        self.logical.insert(logical.clone(), physical.clone());
+        Ok(TransferTicket {
+            logical,
+            physical,
+            protocol: self.transports[0].clone(),
+            size,
+            checksum,
+        })
+    }
+
+    /// Negotiate a download: pick the first offered transport the client
+    /// also supports, and resolve the logical name.
+    pub fn negotiate(
+        &self,
+        logical: &str,
+        client_protocols: &[&str],
+    ) -> Result<TransferTicket, NfmsError> {
+        let physical = self
+            .logical
+            .get(logical)
+            .ok_or_else(|| NfmsError::NotFound(logical.to_string()))?;
+        let protocol = self
+            .transports
+            .iter()
+            .find(|t| client_protocols.contains(&t.as_str()))
+            .ok_or_else(|| NfmsError::NoCommonTransport {
+                offered: self.transports.clone(),
+                requested: client_protocols.iter().map(|s| s.to_string()).collect(),
+            })?;
+        let file = self
+            .store
+            .get(physical)
+            .ok_or_else(|| NfmsError::NotFound(logical.to_string()))?;
+        Ok(TransferTicket {
+            logical: logical.to_string(),
+            physical: physical.clone(),
+            protocol: protocol.clone(),
+            size: file.content.len() as u64,
+            checksum: file.checksum,
+        })
+    }
+
+    /// Fetch content for a negotiated ticket.
+    pub fn retrieve(&self, ticket: &TransferTicket) -> Result<Bytes, NfmsError> {
+        self.store
+            .get(&ticket.physical)
+            .map(|f| f.content)
+            .ok_or_else(|| NfmsError::NotFound(ticket.logical.clone()))
+    }
+
+    /// Logical names under a prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .logical
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered logical files.
+    pub fn len(&self) -> usize {
+        self.logical.len()
+    }
+
+    /// Whether no files are registered.
+    pub fn is_empty(&self) -> bool {
+        self.logical.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nfms() -> Nfms {
+        Nfms::new(VirtualStore::new())
+    }
+
+    #[test]
+    fn upload_then_negotiate_then_retrieve() {
+        let mut n = nfms();
+        let up = n
+            .upload("/most/run1/a.csv", Bytes::from_static(b"data"), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(up.size, 4);
+        let ticket = n.negotiate("/most/run1/a.csv", &["gridftp"]).unwrap();
+        assert_eq!(ticket.protocol, "gridftp");
+        assert_eq!(ticket.checksum, up.checksum);
+        assert_eq!(&n.retrieve(&ticket).unwrap()[..], b"data");
+    }
+
+    #[test]
+    fn transport_preference_order() {
+        let mut n = nfms();
+        n.upload("/f", Bytes::new(), SimTime::ZERO).unwrap();
+        // Client supports both → service preference (gridftp) wins.
+        let t = n.negotiate("/f", &["https", "gridftp"]).unwrap();
+        assert_eq!(t.protocol, "gridftp");
+        // https-only client gets https.
+        let t = n.negotiate("/f", &["https"]).unwrap();
+        assert_eq!(t.protocol, "https");
+    }
+
+    #[test]
+    fn no_common_transport_is_an_error() {
+        let mut n = nfms();
+        n.upload("/f", Bytes::new(), SimTime::ZERO).unwrap();
+        let err = n.negotiate("/f", &["carrier-pigeon"]).unwrap_err();
+        assert!(matches!(err, NfmsError::NoCommonTransport { .. }));
+    }
+
+    #[test]
+    fn transport_plugin_api() {
+        let mut n = nfms();
+        n.register_transport("scp");
+        n.upload("/f", Bytes::new(), SimTime::ZERO).unwrap();
+        let t = n.negotiate("/f", &["scp"]).unwrap();
+        assert_eq!(t.protocol, "scp");
+        assert_eq!(n.transports().len(), 3);
+    }
+
+    #[test]
+    fn unknown_logical_name() {
+        let n = nfms();
+        assert!(matches!(
+            n.negotiate("/ghost", &["gridftp"]).unwrap_err(),
+            NfmsError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_logical_name_refused() {
+        let mut n = nfms();
+        n.upload("/f", Bytes::new(), SimTime::ZERO).unwrap();
+        assert!(matches!(
+            n.upload("/f", Bytes::new(), SimTime::ZERO).unwrap_err(),
+            NfmsError::AlreadyExists(_)
+        ));
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let mut n = nfms();
+        n.upload("/most/a", Bytes::new(), SimTime::ZERO).unwrap();
+        n.upload("/most/b", Bytes::new(), SimTime::ZERO).unwrap();
+        n.upload("/other/c", Bytes::new(), SimTime::ZERO).unwrap();
+        assert_eq!(n.list("/most/"), vec!["/most/a", "/most/b"]);
+        assert_eq!(n.len(), 3);
+    }
+}

@@ -1,0 +1,470 @@
+//! The NEESgrid Metadata Service (NMDS).
+//!
+//! Manages [`MetadataObject`]s and their schemas: create, update (new
+//! version), retrieve (any version), validate, and authorize. Schemas are
+//! stored through the same path as ordinary objects — creating one *is*
+//! creating a metadata object whose body is the schema. Authorization is
+//! per object: the owner has full rights; others need an ACL grant or a
+//! CAS capability assertion ("We plan to add support for the Community
+//! Authorization Service", §2.3 — implemented here).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use serde_json::Value;
+
+use neesgrid_gridsim::SimTime;
+use neesgrid_gsi::{CapabilityAssertion, CommunityAuthorizationService, DistinguishedName, Right};
+
+use crate::metadata::{MetadataObject, Schema};
+
+/// NMDS operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NmdsError {
+    /// Object id already exists.
+    AlreadyExists(String),
+    /// No such object (or version).
+    NotFound(String),
+    /// Schema validation failed.
+    ValidationFailed(String),
+    /// Caller lacks the required right.
+    AccessDenied(String),
+    /// Referenced schema is missing or malformed.
+    BadSchema(String),
+}
+
+impl std::fmt::Display for NmdsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NmdsError::AlreadyExists(id) => write!(f, "object '{id}' already exists"),
+            NmdsError::NotFound(id) => write!(f, "object '{id}' not found"),
+            NmdsError::ValidationFailed(m) => write!(f, "validation failed: {m}"),
+            NmdsError::AccessDenied(m) => write!(f, "access denied: {m}"),
+            NmdsError::BadSchema(m) => write!(f, "bad schema: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NmdsError {}
+
+#[derive(Debug, Clone, Default)]
+struct Acl {
+    readers: HashSet<DistinguishedName>,
+    writers: HashSet<DistinguishedName>,
+}
+
+/// The metadata service.
+pub struct Nmds {
+    objects: HashMap<String, MetadataObject>,
+    acls: HashMap<String, Acl>,
+    cas: Option<Arc<CommunityAuthorizationService>>,
+}
+
+impl Nmds {
+    /// An empty NMDS without CAS support.
+    pub fn new() -> Self {
+        Nmds {
+            objects: HashMap::new(),
+            acls: HashMap::new(),
+            cas: None,
+        }
+    }
+
+    /// Enable CAS-based authorization against the given community service.
+    pub fn with_cas(mut self, cas: Arc<CommunityAuthorizationService>) -> Self {
+        self.cas = Some(cas);
+        self
+    }
+
+    fn authorize(
+        &self,
+        id: &str,
+        who: &DistinguishedName,
+        right: Right,
+        assertion: Option<&CapabilityAssertion>,
+        now: SimTime,
+    ) -> Result<(), NmdsError> {
+        let obj = self
+            .objects
+            .get(id)
+            .ok_or_else(|| NmdsError::NotFound(id.to_string()))?;
+        if obj.owner == *who {
+            return Ok(());
+        }
+        if let Some(acl) = self.acls.get(id) {
+            let granted = match right {
+                Right::Read => acl.readers.contains(who) || acl.writers.contains(who),
+                Right::Write => acl.writers.contains(who),
+                Right::Admin => false,
+            };
+            if granted {
+                return Ok(());
+            }
+        }
+        if let (Some(cas), Some(assertion)) = (&self.cas, assertion) {
+            if assertion.subject == *who
+                && cas.verify(assertion)
+                && assertion.grants(id, right, now)
+            {
+                return Ok(());
+            }
+        }
+        Err(NmdsError::AccessDenied(format!(
+            "{who} lacks {right:?} on '{id}'"
+        )))
+    }
+
+    fn schema_for(&self, schema_id: &str) -> Result<Schema, NmdsError> {
+        let obj = self
+            .objects
+            .get(schema_id)
+            .ok_or_else(|| NmdsError::BadSchema(format!("schema '{schema_id}' not found")))?;
+        serde_json::from_value(obj.latest().body.clone())
+            .map_err(|e| NmdsError::BadSchema(format!("schema '{schema_id}' malformed: {e}")))
+    }
+
+    /// Create a schema object (first-class: it *is* a metadata object).
+    pub fn create_schema(
+        &mut self,
+        id: impl Into<String>,
+        schema: &Schema,
+        owner: DistinguishedName,
+        now: SimTime,
+    ) -> Result<(), NmdsError> {
+        let body = serde_json::to_value(schema).expect("schema serializes");
+        self.create(id, None, body, owner, now)
+    }
+
+    /// Create a metadata object, validating against its schema if given.
+    pub fn create(
+        &mut self,
+        id: impl Into<String>,
+        schema_id: Option<String>,
+        body: Value,
+        owner: DistinguishedName,
+        now: SimTime,
+    ) -> Result<(), NmdsError> {
+        let id = id.into();
+        if self.objects.contains_key(&id) {
+            return Err(NmdsError::AlreadyExists(id));
+        }
+        if let Some(sid) = &schema_id {
+            let schema = self.schema_for(sid)?;
+            schema
+                .validate(&body)
+                .map_err(NmdsError::ValidationFailed)?;
+        }
+        self.objects
+            .insert(id.clone(), MetadataObject::create(id, schema_id, owner, body, now));
+        Ok(())
+    }
+
+    /// Append a new version (requires Write).
+    pub fn update(
+        &mut self,
+        id: &str,
+        body: Value,
+        author: &DistinguishedName,
+        assertion: Option<&CapabilityAssertion>,
+        now: SimTime,
+    ) -> Result<u64, NmdsError> {
+        self.authorize(id, author, Right::Write, assertion, now)?;
+        let schema_id = self.objects[id].schema_id.clone();
+        if let Some(sid) = schema_id {
+            let schema = self.schema_for(&sid)?;
+            schema
+                .validate(&body)
+                .map_err(NmdsError::ValidationFailed)?;
+        }
+        let obj = self.objects.get_mut(id).expect("authorized implies present");
+        Ok(obj.update(body, author.clone(), now))
+    }
+
+    /// Fetch a version (`None` = latest); requires Read.
+    pub fn get(
+        &self,
+        id: &str,
+        version: Option<u64>,
+        who: &DistinguishedName,
+        assertion: Option<&CapabilityAssertion>,
+        now: SimTime,
+    ) -> Result<Value, NmdsError> {
+        self.authorize(id, who, Right::Read, assertion, now)?;
+        let obj = &self.objects[id];
+        let ov = match version {
+            None => obj.latest(),
+            Some(v) => obj
+                .version(v)
+                .ok_or_else(|| NmdsError::NotFound(format!("{id} v{v}")))?,
+        };
+        Ok(ov.body.clone())
+    }
+
+    /// Grant a right on an object (owner only).
+    pub fn grant(
+        &mut self,
+        id: &str,
+        grantor: &DistinguishedName,
+        grantee: DistinguishedName,
+        right: Right,
+    ) -> Result<(), NmdsError> {
+        let obj = self
+            .objects
+            .get(id)
+            .ok_or_else(|| NmdsError::NotFound(id.to_string()))?;
+        if obj.owner != *grantor {
+            return Err(NmdsError::AccessDenied(format!(
+                "only the owner may grant on '{id}'"
+            )));
+        }
+        let acl = self.acls.entry(id.to_string()).or_default();
+        match right {
+            Right::Read => {
+                acl.readers.insert(grantee);
+            }
+            Right::Write => {
+                acl.writers.insert(grantee);
+            }
+            Right::Admin => {
+                return Err(NmdsError::AccessDenied(
+                    "admin is not grantable per-object".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Ids under a prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .objects
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of objects (schemas included — they are objects).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the service holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+impl Default for Nmds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::FieldType;
+    use neesgrid_gsi::CertificateAuthority;
+    use serde_json::json;
+
+    fn owner() -> DistinguishedName {
+        DistinguishedName::nees_user("UIUC", "Owner")
+    }
+
+    fn other() -> DistinguishedName {
+        DistinguishedName::nees_user("CU", "Visitor")
+    }
+
+    fn nmds_with_schema() -> Nmds {
+        let mut n = Nmds::new();
+        n.create_schema(
+            "/schemas/sensor",
+            &Schema::new(&[
+                ("sensor_type", FieldType::String),
+                ("channel", FieldType::String),
+            ]),
+            owner(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        n
+    }
+
+    #[test]
+    fn create_with_schema_validation() {
+        let mut n = nmds_with_schema();
+        n.create(
+            "/experiments/most/lvdt-1",
+            Some("/schemas/sensor".into()),
+            json!({"sensor_type": "LVDT", "channel": "uiuc/lvdt-1"}),
+            owner(),
+            SimTime::from_secs(1),
+        )
+        .unwrap();
+        let err = n
+            .create(
+                "/experiments/most/bad",
+                Some("/schemas/sensor".into()),
+                json!({"sensor_type": "LVDT"}),
+                owner(),
+                SimTime::from_secs(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NmdsError::ValidationFailed(_)));
+    }
+
+    #[test]
+    fn duplicate_id_refused() {
+        let mut n = nmds_with_schema();
+        let err = n
+            .create_schema("/schemas/sensor", &Schema::default(), owner(), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, NmdsError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn update_versions_and_history() {
+        let mut n = nmds_with_schema();
+        n.create("/obj", None, json!({"rev": 1}), owner(), SimTime::ZERO)
+            .unwrap();
+        let v = n
+            .update("/obj", json!({"rev": 2}), &owner(), None, SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(v, 2);
+        let latest = n.get("/obj", None, &owner(), None, SimTime::from_secs(2)).unwrap();
+        assert_eq!(latest["rev"], 2);
+        let v1 = n
+            .get("/obj", Some(1), &owner(), None, SimTime::from_secs(2))
+            .unwrap();
+        assert_eq!(v1["rev"], 1);
+        assert!(matches!(
+            n.get("/obj", Some(9), &owner(), None, SimTime::ZERO),
+            Err(NmdsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn update_respects_schema() {
+        let mut n = nmds_with_schema();
+        n.create(
+            "/obj",
+            Some("/schemas/sensor".into()),
+            json!({"sensor_type": "LVDT", "channel": "c"}),
+            owner(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let err = n
+            .update("/obj", json!({"oops": true}), &owner(), None, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, NmdsError::ValidationFailed(_)));
+    }
+
+    #[test]
+    fn acl_grants_read_and_write() {
+        let mut n = nmds_with_schema();
+        n.create("/obj", None, json!({"x": 1}), owner(), SimTime::ZERO)
+            .unwrap();
+        // Stranger refused.
+        assert!(matches!(
+            n.get("/obj", None, &other(), None, SimTime::ZERO),
+            Err(NmdsError::AccessDenied(_))
+        ));
+        // Reader may read, not write.
+        n.grant("/obj", &owner(), other(), Right::Read).unwrap();
+        n.get("/obj", None, &other(), None, SimTime::ZERO).unwrap();
+        assert!(matches!(
+            n.update("/obj", json!({"x": 2}), &other(), None, SimTime::ZERO),
+            Err(NmdsError::AccessDenied(_))
+        ));
+        // Writer may do both.
+        n.grant("/obj", &owner(), other(), Right::Write).unwrap();
+        n.update("/obj", json!({"x": 2}), &other(), None, SimTime::ZERO)
+            .unwrap();
+    }
+
+    #[test]
+    fn only_owner_grants() {
+        let mut n = nmds_with_schema();
+        n.create("/obj", None, json!({}), owner(), SimTime::ZERO).unwrap();
+        let err = n
+            .grant("/obj", &other(), other(), Right::Read)
+            .unwrap_err();
+        assert!(matches!(err, NmdsError::AccessDenied(_)));
+    }
+
+    #[test]
+    fn cas_assertion_authorizes() {
+        let ca = CertificateAuthority::nees(9);
+        let mut cas = CommunityAuthorizationService::new("nees-most", &ca, 1);
+        cas.enroll(other());
+        cas.grant(&other(), "/experiments/most/", [Right::Read]);
+        let cas = Arc::new(cas);
+        let assertion = cas
+            .issue(&other(), "/experiments/most/", SimTime::from_secs(100))
+            .unwrap();
+
+        let mut n = Nmds::new().with_cas(Arc::clone(&cas));
+        n.create("/experiments/most/data", None, json!({"x": 1}), owner(), SimTime::ZERO)
+            .unwrap();
+        // With a valid assertion: allowed.
+        n.get(
+            "/experiments/most/data",
+            None,
+            &other(),
+            Some(&assertion),
+            SimTime::from_secs(1),
+        )
+        .unwrap();
+        // Expired assertion: refused.
+        assert!(matches!(
+            n.get(
+                "/experiments/most/data",
+                None,
+                &other(),
+                Some(&assertion),
+                SimTime::from_secs(200),
+            ),
+            Err(NmdsError::AccessDenied(_))
+        ));
+        // Assertion grants Read, not Write.
+        assert!(matches!(
+            n.update(
+                "/experiments/most/data",
+                json!({"x": 2}),
+                &other(),
+                Some(&assertion),
+                SimTime::from_secs(1),
+            ),
+            Err(NmdsError::AccessDenied(_))
+        ));
+    }
+
+    #[test]
+    fn cas_assertion_for_someone_else_rejected() {
+        let ca = CertificateAuthority::nees(9);
+        let mut cas = CommunityAuthorizationService::new("nees-most", &ca, 1);
+        let mallory = DistinguishedName::nees_user("X", "Mallory");
+        cas.enroll(other());
+        cas.grant(&other(), "/", [Right::Read]);
+        let cas = Arc::new(cas);
+        let assertion = cas.issue(&other(), "/", SimTime::from_secs(100)).unwrap();
+        let mut n = Nmds::new().with_cas(cas);
+        n.create("/obj", None, json!({}), owner(), SimTime::ZERO).unwrap();
+        // Mallory presenting the visitor's assertion is refused.
+        assert!(matches!(
+            n.get("/obj", None, &mallory, Some(&assertion), SimTime::from_secs(1)),
+            Err(NmdsError::AccessDenied(_))
+        ));
+    }
+
+    #[test]
+    fn list_and_len() {
+        let n = nmds_with_schema();
+        assert_eq!(n.list("/schemas/"), vec!["/schemas/sensor"]);
+        assert_eq!(n.len(), 1);
+    }
+}

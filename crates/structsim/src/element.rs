@@ -1,0 +1,213 @@
+//! Structural elements mapped onto global degrees of freedom.
+//!
+//! The MOST frame decomposes into exactly these element types: each column
+//! is a [`GroundSpring`] (lateral stiffness between a story DOF and the
+//! ground — a cantilever column's `3EI/L³`), and the connecting beam is a
+//! [`CouplingSpring`] between two story DOFs. Elements delegate their
+//! force–deformation law to a [`Material`], so a column can be elastic or
+//! hysteretic without changing assembly code.
+
+use crate::material::Material;
+
+/// An element contributing restoring forces to global DOFs.
+pub trait Element: Send {
+    /// DOFs this element touches.
+    fn dofs(&self) -> &[usize];
+
+    /// Set trial global displacements (full vector) and accumulate this
+    /// element's restoring forces into `forces` (full vector).
+    fn add_restoring(&mut self, displacements: &[f64], forces: &mut [f64]);
+
+    /// Accumulate initial-stiffness contributions into a dense matrix
+    /// (used to build `K_I` for implicit integrators).
+    fn add_initial_stiffness(&self, k: &mut [Vec<f64>]);
+
+    /// Commit the trial state.
+    fn commit(&mut self);
+
+    /// Revert to the committed state.
+    fn revert(&mut self);
+}
+
+/// Lateral stiffness of a cantilever column: `k = 3 E I / L³`.
+///
+/// This is the textbook elastic lateral stiffness for the pin-top columns
+/// used in MOST (the "beam-column pin connection" of §3, Figure 4).
+pub fn cantilever_lateral_stiffness(e_modulus: f64, inertia: f64, length: f64) -> f64 {
+    assert!(length > 0.0);
+    3.0 * e_modulus * inertia / (length * length * length)
+}
+
+/// Lateral stiffness of a fixed-fixed column: `k = 12 E I / L³`
+/// (the CU column was "rigidly connected ... suppressing all translational
+/// and rotational degrees of freedom").
+pub fn fixed_fixed_lateral_stiffness(e_modulus: f64, inertia: f64, length: f64) -> f64 {
+    assert!(length > 0.0);
+    12.0 * e_modulus * inertia / (length * length * length)
+}
+
+/// A spring between one global DOF and the ground.
+pub struct GroundSpring {
+    dofs: [usize; 1],
+    material: Box<dyn Material>,
+}
+
+impl GroundSpring {
+    /// A ground spring acting on `dof` with the given material law.
+    pub fn new(dof: usize, material: Box<dyn Material>) -> Self {
+        GroundSpring {
+            dofs: [dof],
+            material,
+        }
+    }
+}
+
+impl Element for GroundSpring {
+    fn dofs(&self) -> &[usize] {
+        &self.dofs
+    }
+
+    fn add_restoring(&mut self, displacements: &[f64], forces: &mut [f64]) {
+        let d = displacements[self.dofs[0]];
+        let f = self.material.set_trial(d);
+        forces[self.dofs[0]] += f;
+    }
+
+    fn add_initial_stiffness(&self, k: &mut [Vec<f64>]) {
+        let i = self.dofs[0];
+        k[i][i] += self.material.initial_stiffness();
+    }
+
+    fn commit(&mut self) {
+        self.material.commit();
+    }
+
+    fn revert(&mut self) {
+        self.material.revert();
+    }
+}
+
+/// A spring coupling two global DOFs (relative deformation `d_j - d_i`).
+pub struct CouplingSpring {
+    dofs: [usize; 2],
+    material: Box<dyn Material>,
+}
+
+impl CouplingSpring {
+    /// A spring between `dof_i` and `dof_j`.
+    pub fn new(dof_i: usize, dof_j: usize, material: Box<dyn Material>) -> Self {
+        assert_ne!(dof_i, dof_j, "coupling spring needs two distinct DOFs");
+        CouplingSpring {
+            dofs: [dof_i, dof_j],
+            material,
+        }
+    }
+}
+
+impl Element for CouplingSpring {
+    fn dofs(&self) -> &[usize] {
+        &self.dofs
+    }
+
+    fn add_restoring(&mut self, displacements: &[f64], forces: &mut [f64]) {
+        let rel = displacements[self.dofs[1]] - displacements[self.dofs[0]];
+        let f = self.material.set_trial(rel);
+        forces[self.dofs[0]] -= f;
+        forces[self.dofs[1]] += f;
+    }
+
+    fn add_initial_stiffness(&self, k: &mut [Vec<f64>]) {
+        let (i, j) = (self.dofs[0], self.dofs[1]);
+        let ks = self.material.initial_stiffness();
+        k[i][i] += ks;
+        k[j][j] += ks;
+        k[i][j] -= ks;
+        k[j][i] -= ks;
+    }
+
+    fn commit(&mut self) {
+        self.material.commit();
+    }
+
+    fn revert(&mut self) {
+        self.material.revert();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::material::{BilinearHysteretic, LinearElastic};
+
+    #[test]
+    fn cantilever_stiffness_formula() {
+        // E = 200 GPa, I = 1e-6 m^4, L = 2 m → 3*200e9*1e-6/8 = 75 kN/m.
+        let k = cantilever_lateral_stiffness(200e9, 1e-6, 2.0);
+        assert!((k - 75_000.0).abs() < 1e-6);
+        let kf = fixed_fixed_lateral_stiffness(200e9, 1e-6, 2.0);
+        assert!((kf - 300_000.0).abs() < 1e-6);
+        assert!((kf / k - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_spring_restoring() {
+        let mut el = GroundSpring::new(1, Box::new(LinearElastic::new(100.0)));
+        let mut forces = vec![0.0; 3];
+        el.add_restoring(&[0.0, 0.02, 0.0], &mut forces);
+        assert_eq!(forces, vec![0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn coupling_spring_equal_and_opposite() {
+        let mut el = CouplingSpring::new(0, 1, Box::new(LinearElastic::new(100.0)));
+        let mut forces = vec![0.0; 2];
+        el.add_restoring(&[0.01, 0.03], &mut forces);
+        // Relative extension 0.02 → f = 2 N pulling the DOFs together.
+        assert!((forces[0] + 2.0).abs() < 1e-12);
+        assert!((forces[1] - 2.0).abs() < 1e-12);
+        assert!((forces[0] + forces[1]).abs() < 1e-12, "internal forces balance");
+    }
+
+    #[test]
+    fn stiffness_assembly() {
+        let g = GroundSpring::new(0, Box::new(LinearElastic::new(10.0)));
+        let c = CouplingSpring::new(0, 1, Box::new(LinearElastic::new(5.0)));
+        let mut k = vec![vec![0.0; 2]; 2];
+        g.add_initial_stiffness(&mut k);
+        c.add_initial_stiffness(&mut k);
+        assert_eq!(k[0][0], 15.0);
+        assert_eq!(k[1][1], 5.0);
+        assert_eq!(k[0][1], -5.0);
+        assert_eq!(k[1][0], -5.0);
+    }
+
+    #[test]
+    fn hysteretic_element_state_flows_through_commit() {
+        let mut el = GroundSpring::new(0, Box::new(BilinearHysteretic::new(1000.0, 10.0, 0.1)));
+        let mut forces = vec![0.0];
+        el.add_restoring(&[0.02], &mut forces); // yields
+        el.commit();
+        forces[0] = 0.0;
+        el.add_restoring(&[0.0], &mut forces);
+        // After yielding to 0.02 and returning to 0, residual force is
+        // negative (permanent set).
+        assert!(forces[0] < -5.0, "force {} shows no plasticity", forces[0]);
+    }
+
+    #[test]
+    fn revert_discards_trial() {
+        let mut el = GroundSpring::new(0, Box::new(BilinearHysteretic::new(1000.0, 10.0, 0.1)));
+        let mut forces = vec![0.0];
+        el.add_restoring(&[0.02], &mut forces);
+        el.revert();
+        forces[0] = 0.0;
+        el.add_restoring(&[0.005], &mut forces);
+        assert!((forces[0] - 5.0).abs() < 1e-12, "no plastic memory after revert");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn coupling_needs_distinct_dofs() {
+        let _ = CouplingSpring::new(2, 2, Box::new(LinearElastic::new(1.0)));
+    }
+}

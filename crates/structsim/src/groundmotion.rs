@@ -1,0 +1,202 @@
+//! Ground motion records.
+//!
+//! MOST drove its 1,500 pseudo-dynamic steps with a scaled historic
+//! accelerogram. Historic records are licensed data we do not ship, so
+//! [`GroundMotion::synthetic`] generates a seeded, spectrally-plausible
+//! strong-motion record (sum of enveloped sinusoids over the 0.5–10 Hz
+//! band) with the same interface: uniform `dt`, acceleration in m/s²,
+//! amplitude scaling, and interpolation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A uniformly sampled ground acceleration record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundMotion {
+    /// Sample interval, s.
+    pub dt: f64,
+    /// Acceleration samples, m/s².
+    pub accel: Vec<f64>,
+}
+
+impl GroundMotion {
+    /// Wrap an existing record.
+    pub fn new(dt: f64, accel: Vec<f64>) -> Self {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
+        GroundMotion { dt, accel }
+    }
+
+    /// Generate a synthetic strong-motion record.
+    ///
+    /// * `seed` — deterministic generator seed
+    /// * `dt` — sample interval (s)
+    /// * `steps` — number of samples
+    /// * `peak` — target peak ground acceleration (m/s²)
+    ///
+    /// Construction: 24 sinusoids with random frequencies in 0.5–10 Hz and
+    /// random phases, under a trapezoidal ramp-hold-decay envelope, rescaled
+    /// so the peak equals `peak` exactly.
+    pub fn synthetic(seed: u64, dt: f64, steps: usize, peak: f64) -> Self {
+        assert!(dt > 0.0 && steps > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let components: Vec<(f64, f64, f64)> = (0..24)
+            .map(|_| {
+                let freq: f64 = rng.gen_range(0.5..10.0);
+                let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let amp: f64 = rng.gen_range(0.3..1.0) / freq.sqrt();
+                (freq, phase, amp)
+            })
+            .collect();
+        let duration = dt * steps as f64;
+        let mut accel: Vec<f64> = (0..steps)
+            .map(|i| {
+                let t = i as f64 * dt;
+                let envelope = trapezoid_envelope(t, duration);
+                let sum: f64 = components
+                    .iter()
+                    .map(|&(f, p, a)| a * (std::f64::consts::TAU * f * t + p).sin())
+                    .sum();
+                envelope * sum
+            })
+            .collect();
+        let max = accel.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        if max > 0.0 {
+            let s = peak / max;
+            for a in accel.iter_mut() {
+                *a *= s;
+            }
+        }
+        GroundMotion { dt, accel }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.accel.len()
+    }
+
+    /// Whether the record is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accel.is_empty()
+    }
+
+    /// Total duration, s.
+    pub fn duration(&self) -> f64 {
+        self.dt * self.accel.len() as f64
+    }
+
+    /// Peak ground acceleration (absolute), m/s².
+    pub fn pga(&self) -> f64 {
+        self.accel.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// Acceleration at continuous time `t` (linear interpolation, zero
+    /// outside the record).
+    pub fn value_at(&self, t: f64) -> f64 {
+        if t < 0.0 || self.accel.is_empty() {
+            return 0.0;
+        }
+        let x = t / self.dt;
+        let i = x.floor() as usize;
+        if i + 1 >= self.accel.len() {
+            return if i < self.accel.len() { self.accel[i] } else { 0.0 };
+        }
+        let frac = x - i as f64;
+        self.accel[i] * (1.0 - frac) + self.accel[i + 1] * frac
+    }
+
+    /// A copy scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> GroundMotion {
+        GroundMotion {
+            dt: self.dt,
+            accel: self.accel.iter().map(|a| a * factor).collect(),
+        }
+    }
+}
+
+/// Ramp up over 15% of the duration, hold, decay over the last 40%.
+fn trapezoid_envelope(t: f64, duration: f64) -> f64 {
+    let ramp_end = 0.15 * duration;
+    let decay_start = 0.6 * duration;
+    if t <= 0.0 || t >= duration {
+        0.0
+    } else if t < ramp_end {
+        t / ramp_end
+    } else if t < decay_start {
+        1.0
+    } else {
+        let x = (t - decay_start) / (duration - decay_start);
+        (1.0 - x).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let a = GroundMotion::synthetic(42, 0.01, 1500, 3.0);
+        let b = GroundMotion::synthetic(42, 0.01, 1500, 3.0);
+        assert_eq!(a, b);
+        let c = GroundMotion::synthetic(43, 0.01, 1500, 3.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synthetic_hits_target_pga() {
+        let gm = GroundMotion::synthetic(7, 0.01, 1500, 3.5);
+        assert!((gm.pga() - 3.5).abs() < 1e-9);
+        assert_eq!(gm.len(), 1500);
+        assert!((gm.duration() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn envelope_starts_and_ends_near_zero() {
+        let gm = GroundMotion::synthetic(7, 0.01, 1000, 1.0);
+        assert!(gm.accel[0].abs() < 1e-9);
+        // Last 2% of samples are small relative to the peak.
+        let tail_max = gm.accel[980..].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(tail_max < 0.15, "tail max {tail_max}");
+    }
+
+    #[test]
+    fn interpolation_between_samples() {
+        let gm = GroundMotion::new(0.1, vec![0.0, 1.0, 0.0]);
+        assert!((gm.value_at(0.05) - 0.5).abs() < 1e-12);
+        assert!((gm.value_at(0.1) - 1.0).abs() < 1e-12);
+        assert!((gm.value_at(0.15) - 0.5).abs() < 1e-12);
+        assert_eq!(gm.value_at(-1.0), 0.0);
+        assert_eq!(gm.value_at(100.0), 0.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let gm = GroundMotion::new(0.01, vec![1.0, -2.0]);
+        let s = gm.scaled(0.5);
+        assert_eq!(s.accel, vec![0.5, -1.0]);
+        assert_eq!(s.dt, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dt_rejected() {
+        let _ = GroundMotion::new(0.0, vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn pga_scales_linearly(factor in 0.1f64..10.0) {
+            let gm = GroundMotion::synthetic(1, 0.01, 500, 2.0);
+            let scaled = gm.scaled(factor);
+            prop_assert!((scaled.pga() - 2.0 * factor).abs() < 1e-9);
+        }
+
+        #[test]
+        fn value_at_bounded_by_pga(t in 0.0f64..20.0) {
+            let gm = GroundMotion::synthetic(1, 0.01, 1500, 2.0);
+            prop_assert!(gm.value_at(t).abs() <= gm.pga() + 1e-12);
+        }
+    }
+}

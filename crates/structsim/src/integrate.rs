@@ -1,0 +1,652 @@
+//! Time integration for pseudo-dynamic testing.
+//!
+//! Three integrators, matching the methods the NEESgrid/MOST ecosystem
+//! used or planned:
+//!
+//! * [`CentralDifference`] — the explicit scheme classic PSD tests run:
+//!   no iteration on the specimen (you never "un-push" steel), restoring
+//!   force is measured once per step at a known displacement. This is what
+//!   the MOST coordinator executed 1,500 times.
+//! * [`NewmarkBeta`] — implicit reference integrator (average acceleration
+//!   by default) used for the monolithic validation model, with
+//!   modified-Newton iteration on the initial stiffness for nonlinear
+//!   models.
+//! * [`AlphaOsIntegrator`] — the α-Operator-Splitting scheme developed for
+//!   real-time and delay-tolerant hybrid testing (the §5 "near-real-time
+//!   requirements" work): one measured restoring force per step at a
+//!   *predictor* displacement, corrected with the initial stiffness, with
+//!   optional HHT-α numerical damping.
+//!
+//! All integrators separate "what displacement must the substructures
+//! reach" from "advance given the measured restoring force", because in a
+//! distributed hybrid test a slow network round-trip sits between those two
+//! moments.
+
+use crate::linalg::{Matrix, Vector};
+
+/// One completed integration step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// New displacement vector (m).
+    pub displacement: Vector,
+    /// Velocity estimate (m/s).
+    pub velocity: Vector,
+    /// Acceleration estimate (m/s²).
+    pub acceleration: Vector,
+}
+
+/// Explicit central-difference integrator in PSD form.
+///
+/// Usage per step `n`:
+/// 1. `target_displacement()` → impose on substructures;
+/// 2. collect measured restoring `R(d_n)`;
+/// 3. `advance(R, p_n)` → the integrator computes `d_{n+1}` which becomes
+///    the next target.
+pub struct CentralDifference {
+    mass: Matrix,
+    dt: f64,
+    /// Effective mass `M̂ = M + (Δt/2) C`, pre-factorized.
+    m_hat_chol: Matrix,
+    /// `M - (Δt/2) C` (multiplies `d_{n-1}`).
+    m_minus: Matrix,
+    d_prev: Vector,
+    d_curr: Vector,
+    step: u64,
+}
+
+impl CentralDifference {
+    /// Create from mass and damping matrices, step `dt`, and initial
+    /// conditions `(d0, v0)` with initial restoring `r0` and load `p0`
+    /// (used to seed the fictitious step `d_{-1}`).
+    pub fn new(
+        mass: Matrix,
+        damping: &Matrix,
+        dt: f64,
+        d0: Vector,
+        v0: Vector,
+        r0: &Vector,
+        p0: &Vector,
+    ) -> Self {
+        let n = mass.rows();
+        assert!(dt > 0.0);
+        assert_eq!(damping.rows(), n);
+        assert_eq!(d0.len(), n);
+        // a0 from equilibrium: M a0 = p0 - C v0 - R0.
+        let rhs = p0.sub(&damping.matvec(&v0)).sub(r0);
+        let a0 = mass.solve(&rhs).expect("mass matrix must be non-singular");
+        // Fictitious previous displacement: d_{-1} = d0 - dt v0 + dt²/2 a0.
+        let mut d_prev = d0.clone();
+        d_prev.axpy(-dt, &v0);
+        d_prev.axpy(dt * dt / 2.0, &a0);
+        let m_hat = mass.add(&damping.scale(dt / 2.0));
+        let m_hat_chol = m_hat
+            .cholesky()
+            .expect("effective mass must be SPD (check damping symmetry)");
+        let m_minus = mass.add(&damping.scale(-dt / 2.0));
+        CentralDifference {
+            mass,
+            dt,
+            m_hat_chol,
+            m_minus,
+            d_prev,
+            d_curr: d0,
+            step: 0,
+        }
+    }
+
+    /// The displacement substructures must be driven to for the current
+    /// step (this is what NTCP proposals carry).
+    pub fn target_displacement(&self) -> &Vector {
+        &self.d_curr
+    }
+
+    /// Current step index.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Critical time step `2/ω_max` for a linear system with the given
+    /// stiffness (stability guard; explicit schemes blow up beyond it).
+    pub fn critical_dt(mass: &Matrix, stiffness: &Matrix) -> f64 {
+        let n = mass.rows();
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = stiffness[(i, j)] / (mass[(i, i)] * mass[(j, j)]).sqrt();
+            }
+        }
+        let w_max = a
+            .symmetric_eigenvalues()
+            .last()
+            .copied()
+            .unwrap_or(0.0)
+            .max(0.0)
+            .sqrt();
+        if w_max == 0.0 {
+            f64::INFINITY
+        } else {
+            2.0 / w_max
+        }
+    }
+
+    /// Advance one step given the measured restoring force at the current
+    /// target displacement and the external load at this step.
+    pub fn advance(&mut self, restoring: &Vector, load: &Vector) -> StepResult {
+        let dt = self.dt;
+        // rhs = Δt² (p - R) + 2 M d_n - (M - Δt/2 C) d_{n-1}.
+        let mut rhs = load.sub(restoring).scale(dt * dt);
+        rhs.axpy(2.0, &self.mass.matvec(&self.d_curr));
+        rhs.axpy(-1.0, &self.m_minus.matvec(&self.d_prev));
+        let d_next = Matrix::cholesky_solve(&self.m_hat_chol, &rhs);
+        let velocity = d_next.sub(&self.d_prev).scale(1.0 / (2.0 * dt));
+        let acceleration = d_next
+            .sub(&self.d_curr.scale(2.0))
+            .add(&self.d_prev)
+            .scale(1.0 / (dt * dt));
+        self.d_prev = std::mem::replace(&mut self.d_curr, d_next.clone());
+        self.step += 1;
+        StepResult {
+            displacement: d_next,
+            velocity,
+            acceleration,
+        }
+    }
+}
+
+/// Implicit Newmark-β integrator with modified-Newton iteration on the
+/// initial stiffness (the monolithic reference for validation).
+pub struct NewmarkBeta {
+    mass: Matrix,
+    damping: Matrix,
+    k_initial: Matrix,
+    dt: f64,
+    beta: f64,
+    gamma: f64,
+    d: Vector,
+    v: Vector,
+    a: Vector,
+    /// Convergence tolerance on the residual force norm (N).
+    pub tolerance: f64,
+    /// Maximum modified-Newton iterations per step.
+    pub max_iterations: usize,
+}
+
+impl NewmarkBeta {
+    /// Average-acceleration Newmark (β=1/4, γ=1/2): unconditionally stable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn average_acceleration(
+        mass: Matrix,
+        damping: Matrix,
+        k_initial: Matrix,
+        dt: f64,
+        d0: Vector,
+        v0: Vector,
+        r0: &Vector,
+        p0: &Vector,
+    ) -> Self {
+        let rhs = p0.sub(&damping.matvec(&v0)).sub(r0);
+        let a0 = mass.solve(&rhs).expect("mass must be non-singular");
+        NewmarkBeta {
+            mass,
+            damping,
+            k_initial,
+            dt,
+            beta: 0.25,
+            gamma: 0.5,
+            d: d0,
+            v: v0,
+            a: a0,
+            tolerance: 1e-8,
+            max_iterations: 60,
+        }
+    }
+
+    /// Current displacement.
+    pub fn displacement(&self) -> &Vector {
+        &self.d
+    }
+
+    /// Current velocity.
+    pub fn velocity(&self) -> &Vector {
+        &self.v
+    }
+
+    /// Current acceleration.
+    pub fn acceleration(&self) -> &Vector {
+        &self.a
+    }
+
+    /// Advance one step to load `p_next`, with `restoring(d)` evaluating
+    /// trial restoring forces (no commit) and returning them.
+    /// The caller commits substructure/material state after this returns.
+    pub fn advance<F>(&mut self, p_next: &Vector, mut restoring: F) -> Result<StepResult, String>
+    where
+        F: FnMut(&[f64]) -> Vector,
+    {
+        let (dt, beta, gamma) = (self.dt, self.beta, self.gamma);
+        // Newmark predictors.
+        let mut d_pred = self.d.clone();
+        d_pred.axpy(dt, &self.v);
+        d_pred.axpy(dt * dt * (0.5 - beta), &self.a);
+        let mut v_pred = self.v.clone();
+        v_pred.axpy(dt * (1.0 - gamma), &self.a);
+
+        // Effective stiffness for acceleration unknowns:
+        // K_eff = M + γΔt C + βΔt² K_I.
+        let k_eff = self
+            .mass
+            .add(&self.damping.scale(gamma * dt))
+            .add(&self.k_initial.scale(beta * dt * dt));
+
+        let mut a_next = self.a.clone();
+        for _ in 0..self.max_iterations {
+            let mut d_trial = d_pred.clone();
+            d_trial.axpy(beta * dt * dt, &a_next);
+            let mut v_trial = v_pred.clone();
+            v_trial.axpy(gamma * dt, &a_next);
+            let r = restoring(d_trial.as_slice());
+            // Residual: p - M a - C v - R.
+            let residual = p_next
+                .sub(&self.mass.matvec(&a_next))
+                .sub(&self.damping.matvec(&v_trial))
+                .sub(&r);
+            if residual.norm() < self.tolerance {
+                self.d = d_trial;
+                self.v = v_trial;
+                self.a = a_next.clone();
+                return Ok(StepResult {
+                    displacement: self.d.clone(),
+                    velocity: self.v.clone(),
+                    acceleration: self.a.clone(),
+                });
+            }
+            let da = k_eff
+                .solve(&residual)
+                .ok_or_else(|| "singular effective stiffness".to_string())?;
+            a_next = {
+                let mut t = a_next;
+                t.axpy(1.0, &da);
+                t
+            };
+        }
+        Err(format!(
+            "Newmark failed to converge in {} iterations",
+            self.max_iterations
+        ))
+    }
+}
+
+/// The α-OS (alpha Operator-Splitting) hybrid-testing integrator.
+///
+/// Per step: [`AlphaOsIntegrator::predictor`] gives the displacement to
+/// impose on the substructures; the measured restoring force at that
+/// predictor goes into [`AlphaOsIntegrator::advance`], which performs one
+/// linear solve (no iteration on the specimen). `alpha ∈ [-1/3, 0]` adds
+/// HHT numerical damping; `alpha = 0` is the plain OS-Newmark scheme.
+pub struct AlphaOsIntegrator {
+    damping: Matrix,
+    k_initial: Matrix,
+    dt: f64,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    d: Vector,
+    v: Vector,
+    a: Vector,
+    r_committed: Vector,
+    p_committed: Vector,
+    k_eff_chol: Matrix,
+}
+
+impl AlphaOsIntegrator {
+    /// Create an α-OS integrator. Panics if `alpha ∉ [-1/3, 0]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        mass: Matrix,
+        damping: Matrix,
+        k_initial: Matrix,
+        dt: f64,
+        alpha: f64,
+        d0: Vector,
+        v0: Vector,
+        r0: Vector,
+        p0: Vector,
+    ) -> Self {
+        assert!(
+            (-1.0 / 3.0..=0.0).contains(&alpha),
+            "alpha must be in [-1/3, 0]"
+        );
+        let beta = (1.0 - alpha) * (1.0 - alpha) / 4.0;
+        let gamma = 0.5 - alpha;
+        let rhs = p0.sub(&damping.matvec(&v0)).sub(&r0);
+        let a0 = mass.solve(&rhs).expect("mass must be non-singular");
+        let k_eff = mass
+            .add(&damping.scale((1.0 + alpha) * gamma * dt))
+            .add(&k_initial.scale((1.0 + alpha) * beta * dt * dt));
+        let k_eff_chol = k_eff.cholesky().expect("effective stiffness must be SPD");
+        AlphaOsIntegrator {
+            damping,
+            k_initial,
+            dt,
+            alpha,
+            beta,
+            gamma,
+            d: d0,
+            v: v0,
+            a: a0,
+            r_committed: r0,
+            p_committed: p0,
+            k_eff_chol,
+        }
+    }
+
+    /// Current (committed) displacement.
+    pub fn displacement(&self) -> &Vector {
+        &self.d
+    }
+
+    /// Current velocity.
+    pub fn velocity(&self) -> &Vector {
+        &self.v
+    }
+
+    /// The predictor displacement `d̃_{n+1}` to impose on substructures.
+    pub fn predictor(&self) -> Vector {
+        let mut d_pred = self.d.clone();
+        d_pred.axpy(self.dt, &self.v);
+        d_pred.axpy(self.dt * self.dt * (0.5 - self.beta), &self.a);
+        d_pred
+    }
+
+    /// Advance one step given the restoring force measured at the
+    /// predictor displacement and the external load at `t_{n+1}`.
+    pub fn advance(&mut self, restoring_at_predictor: &Vector, p_next: &Vector) -> StepResult {
+        let (dt, alpha, beta, gamma) = (self.dt, self.alpha, self.beta, self.gamma);
+        let d_pred = self.predictor();
+        let mut v_pred = self.v.clone();
+        v_pred.axpy(dt * (1.0 - gamma), &self.a);
+
+        // [M + (1+α)(γΔt C + βΔt² K_I)] a_{n+1}
+        //   = (1+α) p_{n+1} - α p_n
+        //     - (1+α)(C ṽ + R̃) + α (C v_n + R_n)
+        let one_pa = 1.0 + alpha;
+        let mut rhs = p_next.scale(one_pa);
+        rhs.axpy(-alpha, &self.p_committed);
+        rhs.axpy(-one_pa, &self.damping.matvec(&v_pred));
+        rhs.axpy(-one_pa, restoring_at_predictor);
+        rhs.axpy(alpha, &self.damping.matvec(&self.v));
+        rhs.axpy(alpha, &self.r_committed);
+
+        let a_next = Matrix::cholesky_solve(&self.k_eff_chol, &rhs);
+        let mut d_next = d_pred.clone();
+        d_next.axpy(beta * dt * dt, &a_next);
+        let mut v_next = v_pred;
+        v_next.axpy(gamma * dt, &a_next);
+
+        // OS corrected restoring: R_{n+1} ≈ R̃ + K_I (d_{n+1} - d̃).
+        let mut r_next = restoring_at_predictor.clone();
+        r_next.axpy(1.0, &self.k_initial.matvec(&d_next.sub(&d_pred)));
+
+        self.d = d_next.clone();
+        self.v = v_next.clone();
+        self.a = a_next.clone();
+        self.r_committed = r_next;
+        self.p_committed = p_next.clone();
+        StepResult {
+            displacement: d_next,
+            velocity: v_next,
+            acceleration: a_next,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact solution for undamped SDOF free vibration released from d0.
+    fn exact_free_vibration(k: f64, m: f64, d0: f64, t: f64) -> f64 {
+        let w = (k / m).sqrt();
+        d0 * (w * t).cos()
+    }
+
+    fn sdof_setup(k: f64, m: f64, d0: f64) -> (Matrix, Matrix, Vector, Vector, Vector, Vector) {
+        let mass = Matrix::diag(&[m]);
+        let damping = Matrix::zeros(1, 1);
+        let d = Vector::from_slice(&[d0]);
+        let v = Vector::zeros(1);
+        let r0 = Vector::from_slice(&[k * d0]);
+        let p0 = Vector::zeros(1);
+        (mass, damping, d, v, r0, p0)
+    }
+
+    #[test]
+    fn central_difference_matches_exact_sdof() {
+        let (k, m, d0) = (400.0, 1.0, 0.01);
+        let (mass, damping, d, v, r0, p0) = sdof_setup(k, m, d0);
+        let dt = 0.001; // well under critical (2/20 = 0.1 s)
+        let mut cd = CentralDifference::new(mass, &damping, dt, d, v, &r0, &p0);
+        let steps = 1000; // 1 s
+        let mut last = 0.0;
+        for _ in 0..steps {
+            let target = cd.target_displacement().clone();
+            let r = target.scale(k);
+            last = cd.advance(&r, &Vector::zeros(1)).displacement[0];
+        }
+        let exact = exact_free_vibration(k, m, d0, dt * steps as f64);
+        assert!((last - exact).abs() < 1e-5, "cd {last} vs exact {exact}");
+    }
+
+    #[test]
+    fn central_difference_critical_dt() {
+        let mass = Matrix::diag(&[1.0]);
+        let k = Matrix::diag(&[400.0]); // ω = 20 → dt_cr = 0.1
+        let dt_cr = CentralDifference::critical_dt(&mass, &k);
+        assert!((dt_cr - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn central_difference_unstable_beyond_critical() {
+        let (k, m, d0) = (400.0, 1.0, 0.01);
+        let (mass, damping, d, v, r0, p0) = sdof_setup(k, m, d0);
+        let dt = 0.12; // beyond critical 0.1
+        let mut cd = CentralDifference::new(mass, &damping, dt, d, v, &r0, &p0);
+        let mut amp: f64 = 0.0;
+        for _ in 0..200 {
+            let target = cd.target_displacement().clone();
+            let r = target.scale(k);
+            amp = cd.advance(&r, &Vector::zeros(1)).displacement[0].abs();
+        }
+        assert!(amp > 1.0, "expected blow-up, amplitude {amp}");
+    }
+
+    #[test]
+    fn newmark_matches_exact_sdof() {
+        let (k, m, d0) = (400.0, 1.0, 0.01);
+        let (mass, damping, d, v, r0, p0) = sdof_setup(k, m, d0);
+        let k_mat = Matrix::diag(&[k]);
+        let dt = 0.002;
+        let mut nm = NewmarkBeta::average_acceleration(mass, damping, k_mat, dt, d, v, &r0, &p0);
+        let steps = 500;
+        let mut last = 0.0;
+        for _ in 0..steps {
+            let res = nm
+                .advance(&Vector::zeros(1), |d| Vector::from_slice(&[k * d[0]]))
+                .unwrap();
+            last = res.displacement[0];
+        }
+        let exact = exact_free_vibration(k, m, d0, dt * steps as f64);
+        // Newmark's period elongation (~(ωΔt)²/12 per cycle) dominates the
+        // error; 1e-4 on a 0.01 amplitude is the expected phase drift here.
+        assert!((last - exact).abs() < 1e-4, "nm {last} vs exact {exact}");
+    }
+
+    #[test]
+    fn newmark_stable_at_large_dt() {
+        // Average acceleration is unconditionally stable: a huge dt must
+        // not blow up (accuracy degrades, amplitude must not grow).
+        let (k, m, d0) = (400.0, 1.0, 0.01);
+        let (mass, damping, d, v, r0, p0) = sdof_setup(k, m, d0);
+        let k_mat = Matrix::diag(&[k]);
+        let mut nm =
+            NewmarkBeta::average_acceleration(mass, damping, k_mat, 0.5, d, v, &r0, &p0);
+        let mut max_amp: f64 = 0.0;
+        for _ in 0..200 {
+            let res = nm
+                .advance(&Vector::zeros(1), |d| Vector::from_slice(&[k * d[0]]))
+                .unwrap();
+            max_amp = max_amp.max(res.displacement[0].abs());
+        }
+        assert!(max_amp <= d0 * 1.0001, "amplitude grew to {max_amp}");
+    }
+
+    #[test]
+    fn alpha_os_matches_exact_sdof_linear() {
+        let (k, m, d0) = (400.0, 1.0, 0.01);
+        let (mass, damping, d, v, r0, p0) = sdof_setup(k, m, d0);
+        let k_mat = Matrix::diag(&[k]);
+        let dt = 0.002;
+        let mut os = AlphaOsIntegrator::new(mass, damping, k_mat, dt, 0.0, d, v, r0, p0);
+        let steps = 500;
+        let mut last = 0.0;
+        for _ in 0..steps {
+            let pred = os.predictor();
+            let r = pred.scale(k);
+            last = os.advance(&r, &Vector::zeros(1)).displacement[0];
+        }
+        let exact = exact_free_vibration(k, m, d0, dt * steps as f64);
+        // Same phase-drift budget as Newmark (α = 0 OS reduces to Newmark
+        // for linear systems).
+        assert!((last - exact).abs() < 1e-4, "os {last} vs exact {exact}");
+    }
+
+    #[test]
+    fn alpha_os_numerical_damping_decays_response() {
+        // With α < 0 the HHT scheme dissipates high-frequency energy; the
+        // free-vibration amplitude after many cycles must be strictly
+        // smaller than with α = 0.
+        let (k, m, d0) = (400.0, 1.0, 0.01);
+        // HHT dissipation scales with (ωΔt)²; use a coarse step (ωΔt = 1)
+        // so the effect is unambiguous within 2000 steps.
+        let dt = 0.05;
+        let run = |alpha: f64| -> f64 {
+            let (mass, damping, d, v, r0, p0) = sdof_setup(k, m, d0);
+            let k_mat = Matrix::diag(&[k]);
+            let mut os = AlphaOsIntegrator::new(mass, damping, k_mat, dt, alpha, d, v, r0, p0);
+            let mut peak: f64 = 0.0;
+            for i in 0..2000 {
+                let pred = os.predictor();
+                let r = pred.scale(k);
+                let res = os.advance(&r, &Vector::zeros(1));
+                if i > 1800 {
+                    peak = peak.max(res.displacement[0].abs());
+                }
+            }
+            peak
+        };
+        let undamped = run(0.0);
+        let damped = run(-0.3);
+        assert!(
+            damped < undamped * 0.9,
+            "α damping ineffective: {damped} vs {undamped}"
+        );
+    }
+
+    #[test]
+    fn damped_sdof_decays_at_expected_rate() {
+        // 5% damped SDOF: amplitude envelope ∝ exp(-ζωt).
+        let (k, m, d0) = (400.0f64, 1.0f64, 0.01f64);
+        let w = (k / m).sqrt();
+        let zeta = 0.05;
+        let c = 2.0 * zeta * w * m;
+        let mass = Matrix::diag(&[m]);
+        let damping = Matrix::diag(&[c]);
+        let d = Vector::from_slice(&[d0]);
+        let v = Vector::zeros(1);
+        let r0 = Vector::from_slice(&[k * d0]);
+        let p0 = Vector::zeros(1);
+        let dt = 0.001;
+        let mut cd = CentralDifference::new(mass, &damping, dt, d, v, &r0, &p0);
+        // Peak near one damped period later: only scan a window around t=T_d
+        // (the initial condition itself is the t=0 peak).
+        let td = std::f64::consts::TAU / (w * (1.0 - zeta * zeta).sqrt());
+        let steps = (1.05 * td / dt).round() as usize;
+        let window_start = (0.75 * td / dt).round() as usize;
+        let mut peak: f64 = 0.0;
+        for n in 0..steps {
+            let target = cd.target_displacement().clone();
+            let r = target.scale(k);
+            let d = cd.advance(&r, &Vector::zeros(1)).displacement[0];
+            if n >= window_start {
+                peak = peak.max(d);
+            }
+        }
+        let expected = d0 * (-zeta * w * td).exp();
+        assert!(
+            (peak - expected).abs() < 0.05 * d0,
+            "peak {peak} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn forced_response_matches_static_limit() {
+        // Slowly applied constant load → displacement tends to p/k.
+        let (k, m) = (400.0, 1.0);
+        let mass = Matrix::diag(&[m]);
+        let damping = Matrix::diag(&[2.0 * 0.7 * 20.0 * m]); // heavy damping
+        let d = Vector::zeros(1);
+        let v = Vector::zeros(1);
+        let r0 = Vector::zeros(1);
+        let p = Vector::from_slice(&[4.0]);
+        let mut cd = CentralDifference::new(mass, &damping, 0.001, d, v, &r0, &p);
+        let mut last = 0.0;
+        for _ in 0..20_000 {
+            let target = cd.target_displacement().clone();
+            let r = target.scale(k);
+            last = cd.advance(&r, &p).displacement[0];
+        }
+        assert!((last - 0.01).abs() < 1e-4, "static limit {last} vs 0.01");
+    }
+
+    #[test]
+    fn newmark_nonconvergence_reports_error() {
+        let (mass, damping, d, v, r0, p0) = sdof_setup(400.0, 1.0, 0.0);
+        // Wrong (far too small) initial stiffness + tight tolerance and a
+        // single iteration → convergence failure.
+        let mut nm = NewmarkBeta::average_acceleration(
+            mass,
+            damping,
+            Matrix::diag(&[1e-9]),
+            0.01,
+            d,
+            v,
+            &r0,
+            &p0,
+        );
+        nm.max_iterations = 1;
+        nm.tolerance = 1e-15;
+        let err = nm
+            .advance(&Vector::from_slice(&[100.0]), |d| {
+                Vector::from_slice(&[400.0 * d[0]])
+            })
+            .unwrap_err();
+        assert!(err.contains("converge"));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_out_of_range_rejected() {
+        let (mass, damping, d, v, r0, p0) = sdof_setup(400.0, 1.0, 0.0);
+        let _ = AlphaOsIntegrator::new(
+            mass,
+            damping,
+            Matrix::diag(&[400.0]),
+            0.01,
+            0.5,
+            d,
+            v,
+            r0,
+            p0,
+        );
+    }
+}

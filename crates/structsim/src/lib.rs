@@ -1,0 +1,51 @@
+//! # neesgrid-structsim — structural dynamics for hybrid testing
+//!
+//! The earthquake-engineering mathematics under MOST: the paper's
+//! experiment applies the **Multi-Site Pseudo-Dynamic Substructure
+//! (MS-PSDS)** method [Watanabe et al., ref 19] — the structure's equation
+//! of motion is integrated numerically, but the restoring forces come from
+//! substructures that may be physical specimens or numerical models. This
+//! crate provides everything the MATLAB side of MOST provided:
+//!
+//! * [`linalg`] — small dense vectors/matrices, LU & Cholesky solves, and a
+//!   Jacobi eigensolver for natural frequencies (no external BLAS; systems
+//!   here have a handful of DOFs).
+//! * [`material`] — 1-D force–deformation laws: linear elastic and bilinear
+//!   hysteretic (the inelastic column behaviour hybrid tests exist to
+//!   capture).
+//! * [`element`] — springs, cantilever columns, and coupling beams mapped
+//!   onto global DOFs.
+//! * [`model`] — MDOF assembly: mass, Rayleigh damping, element restoring
+//!   forces, ground-motion load vectors.
+//! * [`groundmotion`] — accelerogram records and a seeded synthetic
+//!   strong-motion generator (stand-in for the scaled El Centro record the
+//!   experiment used).
+//! * [`substructure`] — the *decomposition* at the heart of MS-PSDS: a
+//!   [`substructure::Substructure`] answers "impose these interface
+//!   displacements, report restoring forces", which is exactly the NTCP
+//!   propose/execute contract; bindings map substructure DOFs onto global
+//!   DOFs.
+//! * [`integrate`] — time integration: explicit central difference (the
+//!   classic PSD driver), Newmark-β (monolithic reference), and the α-OS
+//!   operator-splitting method used for the near-real-time follow-on work
+//!   (§5).
+//! * [`psd`] — the pseudo-dynamic test loop tying it all together, with
+//!   recorded displacement/velocity/force histories.
+
+pub mod element;
+pub mod groundmotion;
+pub mod integrate;
+pub mod linalg;
+pub mod material;
+pub mod model;
+pub mod psd;
+pub mod substructure;
+
+pub use element::{CouplingSpring, Element, GroundSpring};
+pub use groundmotion::GroundMotion;
+pub use integrate::{AlphaOsIntegrator, CentralDifference, NewmarkBeta};
+pub use linalg::{Matrix, Vector};
+pub use material::{BilinearHysteretic, LinearElastic, Material};
+pub use model::MdofModel;
+pub use psd::{PsdHistory, PsdTest};
+pub use substructure::{SimulatedSubstructure, Substructure, SubstructureBinding};

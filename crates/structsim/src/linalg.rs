@@ -1,0 +1,567 @@
+//! Small dense linear algebra.
+//!
+//! Hybrid-test structural models have a handful of degrees of freedom (MOST
+//! has two), so this is a deliberately small, allocation-conscious dense
+//! implementation: row-major [`Matrix`], [`Vector`], LU solve with partial
+//! pivoting, Cholesky for SPD effective-stiffness systems, and a Jacobi
+//! eigensolver for natural frequencies. No external BLAS — determinism and
+//! portability matter more than GFLOPs at n ≤ 100.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense column vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// A zero vector of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Build from a slice.
+    pub fn from_slice(s: &[f64]) -> Self {
+        Vector { data: s.to_vec() }
+    }
+
+    /// Dimension.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector has dimension zero.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Vector) -> Vector {
+        assert_eq!(self.len(), other.len());
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Vector) -> Vector {
+        assert_eq!(self.len(), other.len());
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// `self * c`.
+    pub fn scale(&self, c: f64) -> Vector {
+        Vector {
+            data: self.data.iter().map(|a| a * c).collect(),
+        }
+    }
+
+    /// `self += other * c` in place (axpy).
+    pub fn axpy(&mut self, c: f64, other: &Vector) {
+        assert_eq!(self.len(), other.len());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += c * b;
+        }
+    }
+
+    /// Dot product.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len());
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Maximum absolute component.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+}
+
+impl std::ops::Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// A diagonal matrix from the given entries.
+    pub fn diag(entries: &[f64]) -> Self {
+        let n = entries.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &e) in entries.iter().enumerate() {
+            m[(i, i)] = e;
+        }
+        m
+    }
+
+    /// Build from nested rows (panics on ragged input).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(|x| x.len()).unwrap_or(0);
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &Vector) -> Vector {
+        assert_eq!(self.cols, v.len());
+        let mut out = Vector::zeros(self.rows);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(v.as_slice()).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Matrix-matrix product.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        out
+    }
+
+    /// `self * c`.
+    pub fn scale(&self, c: f64) -> Matrix {
+        let mut out = self.clone();
+        for a in out.data.iter_mut() {
+            *a *= c;
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Solve `self * x = b` by LU decomposition with partial pivoting.
+    /// Returns `None` for singular (or non-square) systems.
+    pub fn solve(&self, b: &Vector) -> Option<Vector> {
+        if self.rows != self.cols || b.len() != self.rows {
+            return None;
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Pivot.
+            let mut pivot = col;
+            let mut best = a[perm[col] * n + col].abs();
+            for (r, &pr) in perm.iter().enumerate().skip(col + 1) {
+                let v = a[pr * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-14 {
+                return None;
+            }
+            perm.swap(col, pivot);
+            let prow = perm[col];
+            let pval = a[prow * n + col];
+            for &r in perm.iter().skip(col + 1) {
+                let factor = a[r * n + col] / pval;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[r * n + col] = 0.0;
+                for j in col + 1..n {
+                    a[r * n + j] -= factor * a[prow * n + j];
+                }
+                x[r] -= factor * x[prow];
+            }
+        }
+        // Back substitution.
+        let mut out = vec![0.0; n];
+        for col in (0..n).rev() {
+            let prow = perm[col];
+            let mut sum = x[prow];
+            for j in col + 1..n {
+                sum -= a[prow * n + j] * out[j];
+            }
+            out[col] = sum / a[prow * n + col];
+        }
+        Some(Vector { data: out })
+    }
+
+    /// Cholesky factorization (`self = L Lᵀ`); `None` if not SPD.
+    pub fn cholesky(&self) -> Option<Matrix> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solve using an existing Cholesky factor `L` (forward + back subst.).
+    pub fn cholesky_solve(l: &Matrix, b: &Vector) -> Vector {
+        let n = l.rows;
+        assert_eq!(b.len(), n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[(i, k)] * y[k];
+            }
+            y[i] = sum / l[(i, i)];
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= l[(k, i)] * x[k];
+            }
+            x[i] = sum / l[(i, i)];
+        }
+        Vector { data: x }
+    }
+
+    /// Eigenvalues of a symmetric matrix by cyclic Jacobi rotation.
+    /// Returns eigenvalues sorted ascending. Panics if not square.
+    pub fn symmetric_eigenvalues(&self) -> Vec<f64> {
+        assert_eq!(self.rows, self.cols, "eigenvalues need a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        for _sweep in 0..100 {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in i + 1..n {
+                    off += a[(i, j)] * a[(i, j)];
+                }
+            }
+            if off < 1e-22 {
+                break;
+            }
+            for p in 0..n {
+                for q in p + 1..n {
+                    let apq = a[(p, q)];
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let theta = (a[(q, q)] - a[(p, p)]) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    for k in 0..n {
+                        let akp = a[(k, p)];
+                        let akq = a[(k, q)];
+                        a[(k, p)] = c * akp - s * akq;
+                        a[(k, q)] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a[(p, k)];
+                        let aqk = a[(q, k)];
+                        a[(p, k)] = c * apk - s * aqk;
+                        a[(q, k)] = s * apk + c * aqk;
+                    }
+                }
+            }
+        }
+        let mut eig: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+        eig.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        eig
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn vector_ops() {
+        let a = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Vector::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+        assert!((Vector::from_slice(&[3.0, 4.0]).norm() - 5.0).abs() < 1e-15);
+        assert_eq!(Vector::from_slice(&[-7.0, 2.0]).max_abs(), 7.0);
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        assert_eq!(c.as_slice(), &[9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let i = Matrix::identity(3);
+        let v = Vector::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(i.matvec(&v), v);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn lu_solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Vector::from_slice(&[5.0, 10.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_solve_needs_pivoting() {
+        // Zero on the initial pivot position.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = Vector::from_slice(&[2.0, 3.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.solve(&Vector::from_slice(&[1.0, 2.0])).is_none());
+    }
+
+    #[test]
+    fn cholesky_known() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 5.0]]);
+        let l = a.cholesky().unwrap();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0).abs() < 1e-12);
+        let x = Matrix::cholesky_solve(&l, &Vector::from_slice(&[8.0, 9.0]));
+        // Check A x = b.
+        let b = a.matvec(&x);
+        assert!((b[0] - 8.0).abs() < 1e-10);
+        assert!((b[1] - 9.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_of_diag() {
+        let a = Matrix::diag(&[3.0, 1.0, 2.0]);
+        let eig = a.symmetric_eigenvalues();
+        assert!((eig[0] - 1.0).abs() < 1e-10);
+        assert!((eig[1] - 2.0).abs() < 1e-10);
+        assert!((eig[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let eig = a.symmetric_eigenvalues();
+        assert!((eig[0] - 1.0).abs() < 1e-10);
+        assert!((eig[1] - 3.0).abs() < 1e-10);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_recovers_rhs(
+            vals in proptest::collection::vec(-10.0f64..10.0, 9),
+            b in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            let mut a = Matrix::zeros(3, 3);
+            for i in 0..3 {
+                for j in 0..3 {
+                    a[(i, j)] = vals[i * 3 + j];
+                }
+                // Diagonal dominance keeps the system well conditioned.
+                a[(i, i)] += 40.0;
+            }
+            let bv = Vector::from_slice(&b);
+            let x = a.solve(&bv).unwrap();
+            let back = a.matvec(&x);
+            for i in 0..3 {
+                prop_assert!((back[i] - b[i]).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn cholesky_matches_lu_on_spd(
+            vals in proptest::collection::vec(-3.0f64..3.0, 9),
+            b in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            // Build SPD as G Gᵀ + 5 I.
+            let mut g = Matrix::zeros(3, 3);
+            for i in 0..3 {
+                for j in 0..3 {
+                    g[(i, j)] = vals[i * 3 + j];
+                }
+            }
+            let spd = g.matmul(&g.transpose()).add(&Matrix::identity(3).scale(5.0));
+            let bv = Vector::from_slice(&b);
+            let via_lu = spd.solve(&bv).unwrap();
+            let l = spd.cholesky().unwrap();
+            let via_chol = Matrix::cholesky_solve(&l, &bv);
+            for i in 0..3 {
+                prop_assert!((via_lu[i] - via_chol[i]).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn eigenvalue_sum_equals_trace(
+            vals in proptest::collection::vec(-5.0f64..5.0, 6),
+        ) {
+            // Symmetric 3x3 from 6 independent entries.
+            let a = Matrix::from_rows(&[
+                &[vals[0], vals[3], vals[4]],
+                &[vals[3], vals[1], vals[5]],
+                &[vals[4], vals[5], vals[2]],
+            ]);
+            let eig = a.symmetric_eigenvalues();
+            let trace = vals[0] + vals[1] + vals[2];
+            prop_assert!((eig.iter().sum::<f64>() - trace).abs() < 1e-8);
+        }
+    }
+}

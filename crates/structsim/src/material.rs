@@ -1,0 +1,343 @@
+//! One-dimensional force–deformation laws.
+//!
+//! Hybrid tests exist because real structural members leave the elastic
+//! range: the physical columns at UIUC and CU supply *measured* restoring
+//! forces that no linear model reproduces. For the numerical substructures
+//! (and for the emulated specimens in `neesgrid-apparatus`) we implement
+//! the two laws the earthquake community leans on most:
+//!
+//! * [`LinearElastic`] — `f = k·d`.
+//! * [`BilinearHysteretic`] — elastic/perfectly-kinematic-hardening with
+//!   yield force `fy` and post-yield ratio `b` (the classic bilinear
+//!   hysteresis loop seen in the paper's Figure 8 data viewers).
+//!
+//! Materials follow the trial/commit protocol used by structural codes
+//! (OpenSees-style): `set_trial` explores a displacement without changing
+//! committed state — essential for iterative integrators — and `commit`
+//! locks in the step.
+
+use serde::{Deserialize, Serialize};
+
+/// A 1-D material under the trial/commit state protocol.
+pub trait Material: Send {
+    /// Set a trial deformation and return the corresponding force.
+    fn set_trial(&mut self, deformation: f64) -> f64;
+
+    /// Force at the current trial state.
+    fn trial_force(&self) -> f64;
+
+    /// Tangent stiffness at the current trial state.
+    fn tangent(&self) -> f64;
+
+    /// Initial (elastic) stiffness.
+    fn initial_stiffness(&self) -> f64;
+
+    /// Commit the trial state as the new equilibrium state.
+    fn commit(&mut self);
+
+    /// Revert the trial state to the last committed state.
+    fn revert(&mut self);
+
+    /// Clone into a box (object-safe clone).
+    fn clone_box(&self) -> Box<dyn Material>;
+}
+
+impl Clone for Box<dyn Material> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Linear elastic spring: `f = k·d`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearElastic {
+    /// Stiffness, N/m.
+    pub k: f64,
+    trial_d: f64,
+}
+
+impl LinearElastic {
+    /// A linear spring of stiffness `k` (N/m).
+    pub fn new(k: f64) -> Self {
+        assert!(k.is_finite() && k > 0.0, "stiffness must be positive");
+        LinearElastic { k, trial_d: 0.0 }
+    }
+}
+
+impl Material for LinearElastic {
+    fn set_trial(&mut self, deformation: f64) -> f64 {
+        self.trial_d = deformation;
+        self.k * deformation
+    }
+
+    fn trial_force(&self) -> f64 {
+        self.k * self.trial_d
+    }
+
+    fn tangent(&self) -> f64 {
+        self.k
+    }
+
+    fn initial_stiffness(&self) -> f64 {
+        self.k
+    }
+
+    fn commit(&mut self) {}
+
+    fn revert(&mut self) {
+        // Stateless beyond the trial point; nothing to restore.
+    }
+
+    fn clone_box(&self) -> Box<dyn Material> {
+        Box::new(*self)
+    }
+}
+
+/// Bilinear material with kinematic hardening.
+///
+/// Elastic stiffness `k0` up to yield force `fy`; post-yield stiffness
+/// `b·k0`. Unloading is elastic; the yield surface translates with plastic
+/// flow (kinematic rule), producing closed hysteresis loops under cyclic
+/// loading — the energy dissipation hybrid tests measure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BilinearHysteretic {
+    /// Elastic stiffness, N/m.
+    pub k0: f64,
+    /// Yield force, N.
+    pub fy: f64,
+    /// Post-yield stiffness ratio (0 ≤ b < 1).
+    pub b: f64,
+    // Committed state.
+    committed_d: f64,
+    committed_f: f64,
+    committed_back: f64,
+    // Trial state.
+    trial_d: f64,
+    trial_f: f64,
+    trial_back: f64,
+    trial_tangent: f64,
+}
+
+impl BilinearHysteretic {
+    /// Create a bilinear material.
+    pub fn new(k0: f64, fy: f64, b: f64) -> Self {
+        assert!(k0.is_finite() && k0 > 0.0, "k0 must be positive");
+        assert!(fy.is_finite() && fy > 0.0, "fy must be positive");
+        assert!((0.0..1.0).contains(&b), "hardening ratio must be in [0,1)");
+        BilinearHysteretic {
+            k0,
+            fy,
+            b,
+            committed_d: 0.0,
+            committed_f: 0.0,
+            committed_back: 0.0,
+            trial_d: 0.0,
+            trial_f: 0.0,
+            trial_back: 0.0,
+            trial_tangent: k0,
+        }
+    }
+
+    /// Yield displacement `fy / k0`.
+    pub fn yield_displacement(&self) -> f64 {
+        self.fy / self.k0
+    }
+}
+
+impl Material for BilinearHysteretic {
+    fn set_trial(&mut self, deformation: f64) -> f64 {
+        // Return-mapping from the committed state (rate-independent
+        // plasticity with kinematic hardening).
+        let d_inc = deformation - self.committed_d;
+        let f_trial = self.committed_f + self.k0 * d_inc;
+        // Yield function relative to the back force (kinematic center).
+        let xi = f_trial - self.committed_back;
+        if xi.abs() <= self.fy {
+            // Elastic step.
+            self.trial_f = f_trial;
+            self.trial_back = self.committed_back;
+            self.trial_tangent = self.k0;
+        } else {
+            // Plastic step: consistent return mapping.
+            let sign = xi.signum();
+            let excess = xi.abs() - self.fy;
+            // Plastic multiplier for bilinear kinematic hardening:
+            // hardening modulus H = b k0 / (1 - b).
+            let h = self.b * self.k0 / (1.0 - self.b);
+            let dgamma = excess / (self.k0 + h);
+            self.trial_f = f_trial - sign * self.k0 * dgamma;
+            self.trial_back = self.committed_back + sign * h * dgamma;
+            self.trial_tangent = self.k0 * h / (self.k0 + h);
+        }
+        self.trial_d = deformation;
+        self.trial_f
+    }
+
+    fn trial_force(&self) -> f64 {
+        self.trial_f
+    }
+
+    fn tangent(&self) -> f64 {
+        self.trial_tangent
+    }
+
+    fn initial_stiffness(&self) -> f64 {
+        self.k0
+    }
+
+    fn commit(&mut self) {
+        self.committed_d = self.trial_d;
+        self.committed_f = self.trial_f;
+        self.committed_back = self.trial_back;
+    }
+
+    fn revert(&mut self) {
+        self.trial_d = self.committed_d;
+        self.trial_f = self.committed_f;
+        self.trial_back = self.committed_back;
+        self.trial_tangent = self.k0;
+    }
+
+    fn clone_box(&self) -> Box<dyn Material> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_is_linear() {
+        let mut m = LinearElastic::new(1000.0);
+        assert_eq!(m.set_trial(0.01), 10.0);
+        assert_eq!(m.set_trial(-0.02), -20.0);
+        assert_eq!(m.tangent(), 1000.0);
+        assert_eq!(m.initial_stiffness(), 1000.0);
+    }
+
+    #[test]
+    fn bilinear_elastic_below_yield() {
+        let mut m = BilinearHysteretic::new(1000.0, 10.0, 0.1);
+        let f = m.set_trial(0.005); // below dy = 0.01
+        assert!((f - 5.0).abs() < 1e-12);
+        assert_eq!(m.tangent(), 1000.0);
+    }
+
+    #[test]
+    fn bilinear_yields_with_hardening_slope() {
+        let mut m = BilinearHysteretic::new(1000.0, 10.0, 0.1);
+        // Push to twice the yield displacement.
+        let f = m.set_trial(0.02);
+        // Expected: fy + b*k0*(d - dy) = 10 + 100*0.01 = 11.
+        assert!((f - 11.0).abs() < 1e-9, "f = {f}");
+        let expected_tangent = 1000.0 * (0.1 * 1000.0 / 0.9) / (1000.0 + 0.1 * 1000.0 / 0.9);
+        assert!((m.tangent() - expected_tangent).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unloading_is_elastic() {
+        let mut m = BilinearHysteretic::new(1000.0, 10.0, 0.1);
+        m.set_trial(0.02);
+        m.commit();
+        // Small unload from the committed plastic state.
+        let f = m.set_trial(0.019);
+        assert!((f - (11.0 - 1.0)).abs() < 1e-9, "f = {f}");
+        assert_eq!(m.tangent(), 1000.0);
+    }
+
+    #[test]
+    fn hysteresis_loop_dissipates_energy() {
+        let mut m = BilinearHysteretic::new(1000.0, 10.0, 0.05);
+        let amp = 0.03;
+        let steps = 200;
+        let mut energy = 0.0;
+        let mut prev_d = 0.0;
+        let mut prev_f = 0.0;
+        // One full displacement cycle 0 → +amp → -amp → 0.
+        let path: Vec<f64> = (0..=steps)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * i as f64 / steps as f64).sin())
+            .collect();
+        for &d in &path {
+            let f = m.set_trial(d);
+            m.commit();
+            energy += 0.5 * (f + prev_f) * (d - prev_d);
+            prev_d = d;
+            prev_f = f;
+        }
+        assert!(energy > 0.5, "dissipated energy {energy} J too small");
+    }
+
+    #[test]
+    fn revert_restores_committed_state() {
+        let mut m = BilinearHysteretic::new(1000.0, 10.0, 0.1);
+        m.set_trial(0.005);
+        m.commit();
+        let committed_force = m.trial_force();
+        m.set_trial(0.05);
+        m.revert();
+        assert_eq!(m.trial_force(), committed_force);
+    }
+
+    #[test]
+    fn trial_without_commit_does_not_accumulate() {
+        let mut m = BilinearHysteretic::new(1000.0, 10.0, 0.1);
+        // Many trials from the same committed state must be idempotent.
+        let f1 = m.set_trial(0.02);
+        let f2 = m.set_trial(0.02);
+        assert_eq!(f1, f2);
+        // A trial past yield then a trial back inside must see no plasticity.
+        m.set_trial(0.05);
+        let f = m.set_trial(0.005);
+        assert!((f - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxed_clone_preserves_state() {
+        let mut m = BilinearHysteretic::new(1000.0, 10.0, 0.1);
+        m.set_trial(0.02);
+        m.commit();
+        let mut c: Box<dyn Material> = m.clone_box();
+        assert_eq!(c.set_trial(0.02), m.set_trial(0.02));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_stiffness_rejected() {
+        let _ = LinearElastic::new(-1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn bilinear_force_never_exceeds_envelope(
+            path in proptest::collection::vec(-0.05f64..0.05, 1..60),
+        ) {
+            let k0 = 1000.0;
+            let fy = 10.0;
+            let b = 0.1;
+            let mut m = BilinearHysteretic::new(k0, fy, b);
+            for &d in &path {
+                let f = m.set_trial(d);
+                m.commit();
+                // The bilinear envelope bounds |f|.
+                let dy = fy / k0;
+                let envelope = fy + b * k0 * (d.abs() - dy).max(0.0);
+                prop_assert!(f.abs() <= envelope + 1e-9,
+                    "f={f} d={d} envelope={envelope}");
+            }
+        }
+
+        #[test]
+        fn small_cycles_stay_elastic(
+            path in proptest::collection::vec(-0.009f64..0.009, 1..40),
+        ) {
+            let mut m = BilinearHysteretic::new(1000.0, 10.0, 0.1);
+            for &d in &path {
+                let f = m.set_trial(d);
+                m.commit();
+                prop_assert!((f - 1000.0 * d).abs() < 1e-9);
+            }
+        }
+    }
+}

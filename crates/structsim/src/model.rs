@@ -1,0 +1,293 @@
+//! MDOF model assembly.
+//!
+//! An [`MdofModel`] is the global structure the simulation coordinator
+//! integrates: a diagonal (lumped) mass matrix, a set of elements supplying
+//! restoring forces, Rayleigh damping built from the initial stiffness, and
+//! a ground-motion influence vector. For MOST this is the two-DOF frame of
+//! Figure 4; the same assembly serves the soil–structure and Mini-MOST
+//! configurations.
+
+use crate::element::Element;
+use crate::linalg::{Matrix, Vector};
+
+/// A lumped-mass multi-degree-of-freedom structural model.
+pub struct MdofModel {
+    masses: Vec<f64>,
+    elements: Vec<Box<dyn Element>>,
+    damping: Matrix,
+    influence: Vector,
+}
+
+impl MdofModel {
+    /// Create a model with the given lumped masses (kg per DOF).
+    /// Damping defaults to zero; the influence vector defaults to ones
+    /// (all DOFs excited horizontally by ground motion).
+    pub fn new(masses: Vec<f64>) -> Self {
+        assert!(!masses.is_empty(), "model needs at least one DOF");
+        assert!(
+            masses.iter().all(|&m| m.is_finite() && m > 0.0),
+            "masses must be positive"
+        );
+        let n = masses.len();
+        MdofModel {
+            masses,
+            elements: Vec::new(),
+            damping: Matrix::zeros(n, n),
+            influence: Vector::from_slice(&vec![1.0; n]),
+        }
+    }
+
+    /// Number of DOFs.
+    pub fn ndof(&self) -> usize {
+        self.masses.len()
+    }
+
+    /// Add an element (panics if it references a DOF out of range).
+    pub fn add_element(&mut self, element: Box<dyn Element>) {
+        assert!(
+            element.dofs().iter().all(|&d| d < self.ndof()),
+            "element DOF out of range"
+        );
+        self.elements.push(element);
+    }
+
+    /// The diagonal mass matrix.
+    pub fn mass_matrix(&self) -> Matrix {
+        Matrix::diag(&self.masses)
+    }
+
+    /// The lumped masses.
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// The damping matrix.
+    pub fn damping(&self) -> &Matrix {
+        &self.damping
+    }
+
+    /// Set an explicit damping matrix.
+    pub fn set_damping(&mut self, c: Matrix) {
+        assert_eq!(c.rows(), self.ndof());
+        assert_eq!(c.cols(), self.ndof());
+        self.damping = c;
+    }
+
+    /// Rayleigh damping `C = a0·M + a1·K_I` built from the initial
+    /// stiffness.
+    pub fn set_rayleigh_damping(&mut self, a0: f64, a1: f64) {
+        let k = self.initial_stiffness();
+        let m = self.mass_matrix();
+        self.damping = m.scale(a0).add(&k.scale(a1));
+    }
+
+    /// Rayleigh coefficients hitting damping ratio `zeta` at circular
+    /// frequencies `w1`, `w2`: the standard two-frequency fit.
+    pub fn rayleigh_coefficients(zeta: f64, w1: f64, w2: f64) -> (f64, f64) {
+        assert!(w1 > 0.0 && w2 > w1);
+        let a0 = zeta * 2.0 * w1 * w2 / (w1 + w2);
+        let a1 = zeta * 2.0 / (w1 + w2);
+        (a0, a1)
+    }
+
+    /// The ground-motion influence vector ι.
+    pub fn influence(&self) -> &Vector {
+        &self.influence
+    }
+
+    /// Override the influence vector (e.g. zero entries for vertical DOFs).
+    pub fn set_influence(&mut self, iota: Vector) {
+        assert_eq!(iota.len(), self.ndof());
+        self.influence = iota;
+    }
+
+    /// External load from ground acceleration `ag` (m/s²): `p = -M ι ag`.
+    pub fn ground_force(&self, ag: f64) -> Vector {
+        let mut p = Vector::zeros(self.ndof());
+        for i in 0..self.ndof() {
+            p[i] = -self.masses[i] * self.influence[i] * ag;
+        }
+        p
+    }
+
+    /// Trial restoring forces at global displacements `d`
+    /// (does not commit).
+    pub fn restoring(&mut self, d: &[f64]) -> Vector {
+        assert_eq!(d.len(), self.ndof());
+        let mut forces = vec![0.0; self.ndof()];
+        for el in self.elements.iter_mut() {
+            el.add_restoring(d, &mut forces);
+        }
+        Vector::from_slice(&forces)
+    }
+
+    /// Commit all element trial states.
+    pub fn commit(&mut self) {
+        for el in self.elements.iter_mut() {
+            el.commit();
+        }
+    }
+
+    /// Revert all element trial states.
+    pub fn revert(&mut self) {
+        for el in self.elements.iter_mut() {
+            el.revert();
+        }
+    }
+
+    /// Assembled initial (elastic) stiffness matrix `K_I`.
+    pub fn initial_stiffness(&self) -> Matrix {
+        let n = self.ndof();
+        let mut rows = vec![vec![0.0; n]; n];
+        for el in &self.elements {
+            el.add_initial_stiffness(&mut rows);
+        }
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                k[(i, j)] = rows[i][j];
+            }
+        }
+        k
+    }
+
+    /// Natural circular frequencies (rad/s), ascending, from the linearized
+    /// eigenproblem `K φ = ω² M φ` (diagonal M).
+    pub fn natural_frequencies(&self) -> Vec<f64> {
+        let k = self.initial_stiffness();
+        let n = self.ndof();
+        // Symmetric reduction: A = M^(-1/2) K M^(-1/2).
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = k[(i, j)] / (self.masses[i] * self.masses[j]).sqrt();
+            }
+        }
+        a.symmetric_eigenvalues()
+            .into_iter()
+            .map(|lambda| lambda.max(0.0).sqrt())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{CouplingSpring, GroundSpring};
+    use crate::material::{BilinearHysteretic, LinearElastic};
+
+    /// MOST-like 2-DOF frame: two columns to ground, coupling beam between.
+    fn two_dof_frame(k_left: f64, k_right: f64, k_beam: f64) -> MdofModel {
+        let mut m = MdofModel::new(vec![1000.0, 1000.0]);
+        m.add_element(Box::new(GroundSpring::new(0, Box::new(LinearElastic::new(k_left)))));
+        m.add_element(Box::new(GroundSpring::new(1, Box::new(LinearElastic::new(k_right)))));
+        m.add_element(Box::new(CouplingSpring::new(
+            0,
+            1,
+            Box::new(LinearElastic::new(k_beam)),
+        )));
+        m
+    }
+
+    #[test]
+    fn stiffness_assembly_matches_hand_calc() {
+        let model = two_dof_frame(2.0e5, 3.0e5, 1.0e5);
+        let k = model.initial_stiffness();
+        assert_eq!(k[(0, 0)], 3.0e5);
+        assert_eq!(k[(1, 1)], 4.0e5);
+        assert_eq!(k[(0, 1)], -1.0e5);
+        assert_eq!(k[(1, 0)], -1.0e5);
+    }
+
+    #[test]
+    fn restoring_matches_k_times_d_for_linear_model() {
+        let mut model = two_dof_frame(2.0e5, 3.0e5, 1.0e5);
+        let k = model.initial_stiffness();
+        let d = [0.003, -0.001];
+        let r = model.restoring(&d);
+        let kd = k.matvec(&Vector::from_slice(&d));
+        for i in 0..2 {
+            assert!((r[i] - kd[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ground_force_is_minus_m_iota_ag() {
+        let model = two_dof_frame(1.0e5, 1.0e5, 1.0e4);
+        let p = model.ground_force(2.0);
+        assert_eq!(p.as_slice(), &[-2000.0, -2000.0]);
+    }
+
+    #[test]
+    fn influence_vector_masks_dofs() {
+        let mut model = two_dof_frame(1.0e5, 1.0e5, 1.0e4);
+        model.set_influence(Vector::from_slice(&[1.0, 0.0]));
+        let p = model.ground_force(2.0);
+        assert_eq!(p.as_slice(), &[-2000.0, 0.0]);
+    }
+
+    #[test]
+    fn sdof_natural_frequency() {
+        let mut m = MdofModel::new(vec![1000.0]);
+        m.add_element(Box::new(GroundSpring::new(0, Box::new(LinearElastic::new(4.0e5)))));
+        let w = m.natural_frequencies();
+        // ω = sqrt(k/m) = sqrt(400) = 20 rad/s.
+        assert!((w[0] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_dof_symmetric_frame_frequencies() {
+        // Symmetric: k columns = k, beam = kb; modes at sqrt(k/m) and
+        // sqrt((k + 2 kb)/m).
+        let model = two_dof_frame(1.0e5, 1.0e5, 0.5e5);
+        let w = model.natural_frequencies();
+        assert!((w[0] - (1.0e5f64 / 1000.0).sqrt()).abs() < 1e-6);
+        assert!((w[1] - (2.0e5f64 / 1000.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rayleigh_damping_hits_target_ratio() {
+        let mut model = two_dof_frame(1.0e5, 1.0e5, 0.5e5);
+        let w = model.natural_frequencies();
+        let (a0, a1) = MdofModel::rayleigh_coefficients(0.05, w[0], w[1]);
+        model.set_rayleigh_damping(a0, a1);
+        // Modal damping at w1: zeta = (a0/w + a1*w)/2 == 0.05.
+        let zeta1 = (a0 / w[0] + a1 * w[0]) / 2.0;
+        let zeta2 = (a0 / w[1] + a1 * w[1]) / 2.0;
+        assert!((zeta1 - 0.05).abs() < 1e-12);
+        assert!((zeta2 - 0.05).abs() < 1e-12);
+        assert!(model.damping()[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn commit_and_revert_propagate_to_elements() {
+        let mut m = MdofModel::new(vec![1000.0]);
+        m.add_element(Box::new(GroundSpring::new(
+            0,
+            Box::new(BilinearHysteretic::new(1.0e5, 100.0, 0.1)),
+        )));
+        // Trial past yield, revert: no plasticity.
+        m.restoring(&[0.01]);
+        m.revert();
+        let r = m.restoring(&[0.0005]);
+        assert!((r[0] - 50.0).abs() < 1e-9);
+        // Trial past yield, commit: permanent set visible.
+        m.restoring(&[0.01]);
+        m.commit();
+        let r = m.restoring(&[0.0]);
+        assert!(r[0] < -10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn element_dof_bounds_checked() {
+        let mut m = MdofModel::new(vec![1000.0]);
+        m.add_element(Box::new(GroundSpring::new(5, Box::new(LinearElastic::new(1.0)))));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_mass_rejected() {
+        let _ = MdofModel::new(vec![1000.0, 0.0]);
+    }
+}

@@ -1,0 +1,374 @@
+//! The pseudo-dynamic (PSD) test loop.
+//!
+//! [`PsdTest`] is the algorithm the MOST simulation coordinator executed
+//! 1,500 times (paper §3): at each step the current displacements are
+//! imposed on every substructure, the restoring forces are collected, the
+//! equation of motion is advanced by explicit central difference, and the
+//! substructure states are committed. Here the substructures are local
+//! trait objects; in `neesgrid-coordinator` the identical numerics run with
+//! NTCP-remote substructures — the equivalence of the two is the key
+//! validation test of this reproduction (experiment E4).
+
+use crate::groundmotion::GroundMotion;
+use crate::integrate::CentralDifference;
+use crate::linalg::{Matrix, Vector};
+use crate::substructure::{Substructure, SubstructureBinding, SubstructureError};
+
+/// Recorded state histories from a PSD run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsdHistory {
+    /// Integration time step, s.
+    pub dt: f64,
+    /// Displacement per step per DOF, m.
+    pub displacement: Vec<Vec<f64>>,
+    /// Velocity estimates, m/s.
+    pub velocity: Vec<Vec<f64>>,
+    /// Acceleration estimates, m/s².
+    pub acceleration: Vec<Vec<f64>>,
+    /// Measured restoring forces, N.
+    pub restoring: Vec<Vec<f64>>,
+    /// Steps completed (equals the requested count unless aborted).
+    pub steps_completed: usize,
+}
+
+impl PsdHistory {
+    /// The displacement time series of one DOF.
+    pub fn displacement_series(&self, dof: usize) -> Vec<f64> {
+        self.displacement.iter().map(|d| d[dof]).collect()
+    }
+
+    /// The restoring-force time series of one DOF.
+    pub fn restoring_series(&self, dof: usize) -> Vec<f64> {
+        self.restoring.iter().map(|r| r[dof]).collect()
+    }
+
+    /// Peak absolute displacement of one DOF, m.
+    pub fn peak_displacement(&self, dof: usize) -> f64 {
+        self.displacement
+            .iter()
+            .fold(0.0, |m, d| m.max(d[dof].abs()))
+    }
+
+    /// (displacement, force) pairs for a hysteresis plot of one DOF —
+    /// the Figure 8 data-viewer series.
+    pub fn hysteresis(&self, dof: usize) -> Vec<(f64, f64)> {
+        self.displacement
+            .iter()
+            .zip(&self.restoring)
+            .map(|(d, r)| (d[dof], r[dof]))
+            .collect()
+    }
+
+    /// Maximum absolute displacement difference against another history
+    /// (validation metric).
+    pub fn max_displacement_difference(&self, other: &PsdHistory) -> f64 {
+        self.displacement
+            .iter()
+            .zip(&other.displacement)
+            .flat_map(|(a, b)| a.iter().zip(b).map(|(x, y)| (x - y).abs()))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A pseudo-dynamic test over a set of bound substructures.
+pub struct PsdTest {
+    masses: Vec<f64>,
+    damping: Matrix,
+    dt: f64,
+}
+
+impl PsdTest {
+    /// Configure a PSD test with lumped masses, a damping matrix, and the
+    /// integration step `dt`.
+    pub fn new(masses: Vec<f64>, damping: Matrix, dt: f64) -> Self {
+        assert!(!masses.is_empty() && masses.iter().all(|&m| m > 0.0));
+        assert_eq!(damping.rows(), masses.len());
+        assert!(dt > 0.0);
+        PsdTest {
+            masses,
+            damping,
+            dt,
+        }
+    }
+
+    /// Number of global DOFs.
+    pub fn ndof(&self) -> usize {
+        self.masses.len()
+    }
+
+    fn ground_force(&self, ag: f64) -> Vector {
+        let mut p = Vector::zeros(self.ndof());
+        for (i, &m) in self.masses.iter().enumerate() {
+            p[i] = -m * ag;
+        }
+        p
+    }
+
+    fn collect_restoring(
+        &self,
+        d: &Vector,
+        substructures: &mut [(SubstructureBinding, Box<dyn Substructure>)],
+    ) -> Result<Vector, SubstructureError> {
+        let mut total = vec![0.0; self.ndof()];
+        for (binding, sub) in substructures.iter_mut() {
+            let local_d = binding.gather(d.as_slice());
+            let local_f = sub.restoring(&local_d)?;
+            binding.scatter(&local_f, &mut total);
+        }
+        Ok(Vector::from_slice(&total))
+    }
+
+    /// Run `steps` PSD steps under the given ground motion.
+    ///
+    /// Per step: impose current displacement on all substructures, collect
+    /// restoring forces, commit, advance. The ground-motion sample at the
+    /// step's time drives the load vector.
+    pub fn run(
+        &self,
+        mut substructures: Vec<(SubstructureBinding, Box<dyn Substructure>)>,
+        motion: &GroundMotion,
+        steps: usize,
+    ) -> Result<PsdHistory, SubstructureError> {
+        for (binding, sub) in &substructures {
+            assert_eq!(
+                binding.global_dofs.len(),
+                sub.interface_dofs(),
+                "binding width must match substructure interface"
+            );
+        }
+        let d0 = Vector::zeros(self.ndof());
+        let v0 = Vector::zeros(self.ndof());
+        let r0 = self.collect_restoring(&d0, &mut substructures)?;
+        let p0 = self.ground_force(motion.value_at(0.0));
+        let mass = Matrix::diag(&self.masses);
+        let mut integrator =
+            CentralDifference::new(mass, &self.damping, self.dt, d0, v0, &r0, &p0);
+
+        let mut history = PsdHistory {
+            dt: self.dt,
+            displacement: Vec::with_capacity(steps),
+            velocity: Vec::with_capacity(steps),
+            acceleration: Vec::with_capacity(steps),
+            restoring: Vec::with_capacity(steps),
+            steps_completed: 0,
+        };
+
+        for n in 0..steps {
+            let t = n as f64 * self.dt;
+            let target = integrator.target_displacement().clone();
+            let r = self.collect_restoring(&target, &mut substructures)?;
+            for (_, sub) in substructures.iter_mut() {
+                sub.commit()?;
+            }
+            let p = self.ground_force(motion.value_at(t));
+            let step = integrator.advance(&r, &p);
+            history.displacement.push(target.as_slice().to_vec());
+            history.velocity.push(step.velocity.as_slice().to_vec());
+            history
+                .acceleration
+                .push(step.acceleration.as_slice().to_vec());
+            history.restoring.push(r.as_slice().to_vec());
+            history.steps_completed = n + 1;
+        }
+        Ok(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{CouplingSpring, GroundSpring};
+    use crate::material::{BilinearHysteretic, LinearElastic};
+    use crate::model::MdofModel;
+    use crate::substructure::SimulatedSubstructure;
+
+    fn most_like_substructures(
+        kl: f64,
+        kr: f64,
+        kb: f64,
+    ) -> Vec<(SubstructureBinding, Box<dyn Substructure>)> {
+        let left =
+            SimulatedSubstructure::spring_to_ground("left", Box::new(LinearElastic::new(kl)));
+        let right =
+            SimulatedSubstructure::spring_to_ground("right", Box::new(LinearElastic::new(kr)));
+        let mut center = SimulatedSubstructure::new("center", 2);
+        center.add_element(Box::new(CouplingSpring::new(
+            0,
+            1,
+            Box::new(LinearElastic::new(kb)),
+        )));
+        vec![
+            (SubstructureBinding::new(vec![0]), Box::new(left) as Box<dyn Substructure>),
+            (SubstructureBinding::new(vec![1]), Box::new(right)),
+            (SubstructureBinding::new(vec![0, 1]), Box::new(center)),
+        ]
+    }
+
+    #[test]
+    fn substructured_psd_matches_monolithic_psd() {
+        // E4 in miniature: the same PSD algorithm over (a) three
+        // substructures and (b) one monolithic model must agree to
+        // round-off, because decomposition is exact.
+        let (kl, kr, kb) = (2.0e5, 3.0e5, 1.0e5);
+        let masses = vec![1000.0, 1000.0];
+        let motion = GroundMotion::synthetic(42, 0.01, 400, 2.0);
+        let damping = Matrix::zeros(2, 2);
+
+        let test = PsdTest::new(masses.clone(), damping.clone(), 0.01);
+        let distributed = test
+            .run(most_like_substructures(kl, kr, kb), &motion, 400)
+            .unwrap();
+
+        // Monolithic: one substructure holding the whole frame.
+        let mut whole = SimulatedSubstructure::new("whole", 2);
+        whole.add_element(Box::new(GroundSpring::new(0, Box::new(LinearElastic::new(kl)))));
+        whole.add_element(Box::new(GroundSpring::new(1, Box::new(LinearElastic::new(kr)))));
+        whole.add_element(Box::new(CouplingSpring::new(0, 1, Box::new(LinearElastic::new(kb)))));
+        let mono = test
+            .run(
+                vec![(SubstructureBinding::new(vec![0, 1]), Box::new(whole) as Box<dyn Substructure>)],
+                &motion,
+                400,
+            )
+            .unwrap();
+
+        assert_eq!(distributed.steps_completed, 400);
+        let diff = distributed.max_displacement_difference(&mono);
+        assert!(diff < 1e-12, "distributed vs monolithic diff {diff}");
+        assert!(distributed.peak_displacement(0) > 1e-5, "response is nontrivial");
+    }
+
+    #[test]
+    fn psd_matches_model_frequencies() {
+        // Linear 2-DOF PSD under a short pulse rings at the model's natural
+        // frequencies; check the dominant period of DOF 0 roughly matches.
+        let masses = vec![1000.0, 1000.0];
+        let (kl, kr, kb) = (2.0e5, 2.0e5, 0.0e5 + 1.0e5);
+        let mut model = MdofModel::new(masses.clone());
+        model.add_element(Box::new(GroundSpring::new(0, Box::new(LinearElastic::new(kl)))));
+        model.add_element(Box::new(GroundSpring::new(1, Box::new(LinearElastic::new(kr)))));
+        model.add_element(Box::new(CouplingSpring::new(0, 1, Box::new(LinearElastic::new(kb)))));
+        let w1 = model.natural_frequencies()[0];
+
+        // Pulse: two nonzero samples then silence.
+        let mut accel = vec![0.0; 1200];
+        accel[1] = 3.0;
+        accel[2] = 3.0;
+        let motion = GroundMotion::new(0.01, accel);
+        let test = PsdTest::new(masses, Matrix::zeros(2, 2), 0.01);
+        let hist = test
+            .run(most_like_substructures(kl, kr, kb), &motion, 1200)
+            .unwrap();
+        // Count zero crossings of DOF 0 after the pulse → frequency.
+        let series = hist.displacement_series(0);
+        let mut crossings = 0;
+        for w in series[10..].windows(2) {
+            if w[0].signum() != w[1].signum() && w[0] != 0.0 {
+                crossings += 1;
+            }
+        }
+        let duration = 0.01 * (series.len() - 10) as f64;
+        let measured_w = std::f64::consts::PI * crossings as f64 / duration;
+        // Symmetric mode dominates for symmetric excitation → w1.
+        assert!(
+            (measured_w - w1).abs() / w1 < 0.05,
+            "measured ω {measured_w} vs modal ω {w1}"
+        );
+    }
+
+    #[test]
+    fn hysteretic_substructure_dissipates_energy() {
+        // Replace the left column with a yielding one; peak response must
+        // drop relative to the fully elastic frame (hysteretic damping).
+        let masses = vec![1000.0, 1000.0];
+        let motion = GroundMotion::synthetic(7, 0.01, 800, 4.0);
+        let test = PsdTest::new(masses, Matrix::zeros(2, 2), 0.01);
+
+        let elastic = test
+            .run(most_like_substructures(2.0e5, 2.0e5, 1.0e5), &motion, 800)
+            .unwrap();
+
+        let left_yielding = SimulatedSubstructure::spring_to_ground(
+            "left",
+            Box::new(BilinearHysteretic::new(2.0e5, 400.0, 0.05)),
+        );
+        let right =
+            SimulatedSubstructure::spring_to_ground("right", Box::new(LinearElastic::new(2.0e5)));
+        let mut center = SimulatedSubstructure::new("center", 2);
+        center.add_element(Box::new(CouplingSpring::new(
+            0,
+            1,
+            Box::new(LinearElastic::new(1.0e5)),
+        )));
+        let nonlinear = test
+            .run(
+                vec![
+                    (SubstructureBinding::new(vec![0]), Box::new(left_yielding) as Box<dyn Substructure>),
+                    (SubstructureBinding::new(vec![1]), Box::new(right)),
+                    (SubstructureBinding::new(vec![0, 1]), Box::new(center)),
+                ],
+                &motion,
+                800,
+            )
+            .unwrap();
+
+        // Yielding changes the response materially relative to the elastic
+        // frame.
+        let diff = nonlinear.max_displacement_difference(&elastic);
+        assert!(
+            diff > 0.1 * elastic.peak_displacement(0),
+            "yielding changed nothing (diff {diff})"
+        );
+        // And its hysteresis loop encloses area (energy dissipation).
+        let loop_area: f64 = {
+            let h = nonlinear.hysteresis(0);
+            h.windows(2)
+                .map(|w| 0.5 * (w[1].1 + w[0].1) * (w[1].0 - w[0].0))
+                .sum()
+        };
+        assert!(loop_area > 0.0, "hysteresis area {loop_area}");
+    }
+
+    #[test]
+    fn substructure_error_aborts_run() {
+        struct Failing;
+        impl Substructure for Failing {
+            fn name(&self) -> &str {
+                "failing"
+            }
+            fn interface_dofs(&self) -> usize {
+                1
+            }
+            fn restoring(&mut self, _d: &[f64]) -> Result<Vec<f64>, SubstructureError> {
+                Err(SubstructureError::fatal("rig offline"))
+            }
+            fn commit(&mut self) -> Result<(), SubstructureError> {
+                Ok(())
+            }
+        }
+        let test = PsdTest::new(vec![1000.0], Matrix::zeros(1, 1), 0.01);
+        let motion = GroundMotion::synthetic(1, 0.01, 10, 1.0);
+        let err = test
+            .run(
+                vec![(SubstructureBinding::new(vec![0]), Box::new(Failing) as Box<dyn Substructure>)],
+                &motion,
+                10,
+            )
+            .unwrap_err();
+        assert!(err.message.contains("rig offline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "binding width")]
+    fn binding_width_mismatch_panics() {
+        let test = PsdTest::new(vec![1000.0, 1000.0], Matrix::zeros(2, 2), 0.01);
+        let sub =
+            SimulatedSubstructure::spring_to_ground("x", Box::new(LinearElastic::new(1.0)));
+        let motion = GroundMotion::synthetic(1, 0.01, 10, 1.0);
+        let _ = test.run(
+            vec![(SubstructureBinding::new(vec![0, 1]), Box::new(sub) as Box<dyn Substructure>)],
+            &motion,
+            10,
+        );
+    }
+}

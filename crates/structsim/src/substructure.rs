@@ -1,0 +1,275 @@
+//! Substructure decomposition — the "S" in MS-PSDS.
+//!
+//! The method of Watanabe et al. [paper ref 19] divides the test structure
+//! into substructures, "each of which is physically tested or numerically
+//! simulated at the same time at a different location". The contract is
+//! force–displacement duality at the interface DOFs:
+//!
+//! > impose these interface displacements → report the restoring forces.
+//!
+//! [`Substructure`] captures exactly that contract. Implementations in this
+//! workspace: [`SimulatedSubstructure`] (numerical, here), the emulated
+//! physical specimens in `neesgrid-apparatus`, and the NTCP-remote proxy in
+//! `neesgrid-coordinator` — which is the paper's central observation that
+//! "a physical experiment and a computational simulation are
+//! indistinguishable" made into a trait.
+
+use crate::element::Element;
+
+/// Errors a substructure can raise (remote substructures surface network
+/// and policy failures through this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstructureError {
+    /// What happened.
+    pub message: String,
+    /// Whether the experiment can plausibly continue by retrying.
+    pub recoverable: bool,
+}
+
+impl SubstructureError {
+    /// A fatal error.
+    pub fn fatal(message: impl Into<String>) -> Self {
+        SubstructureError {
+            message: message.into(),
+            recoverable: false,
+        }
+    }
+
+    /// A recoverable (retryable) error.
+    pub fn recoverable(message: impl Into<String>) -> Self {
+        SubstructureError {
+            message: message.into(),
+            recoverable: true,
+        }
+    }
+}
+
+impl std::fmt::Display for SubstructureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({})",
+            self.message,
+            if self.recoverable { "recoverable" } else { "fatal" }
+        )
+    }
+}
+
+impl std::error::Error for SubstructureError {}
+
+/// One substructure of a decomposed test structure.
+pub trait Substructure: Send {
+    /// Identifying name (e.g. `"uiuc-left-column"`).
+    fn name(&self) -> &str;
+
+    /// Number of interface DOFs.
+    fn interface_dofs(&self) -> usize;
+
+    /// Impose trial interface displacements (m) and return restoring
+    /// forces (N). Does *not* commit — integrators may probe.
+    fn restoring(&mut self, displacements: &[f64]) -> Result<Vec<f64>, SubstructureError>;
+
+    /// Commit the current trial state as the new equilibrium state
+    /// (called once per accepted time-step).
+    fn commit(&mut self) -> Result<(), SubstructureError>;
+}
+
+/// Maps a substructure's local interface DOFs onto global model DOFs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstructureBinding {
+    /// `global_dofs[i]` is the global DOF behind local DOF `i`.
+    pub global_dofs: Vec<usize>,
+}
+
+impl SubstructureBinding {
+    /// Bind local DOFs to the given global DOFs.
+    pub fn new(global_dofs: Vec<usize>) -> Self {
+        SubstructureBinding { global_dofs }
+    }
+
+    /// Gather local displacements from the global vector.
+    pub fn gather(&self, global: &[f64]) -> Vec<f64> {
+        self.global_dofs.iter().map(|&g| global[g]).collect()
+    }
+
+    /// Scatter (accumulate) local forces into the global vector.
+    pub fn scatter(&self, local: &[f64], global_out: &mut [f64]) {
+        assert_eq!(local.len(), self.global_dofs.len());
+        for (l, &g) in local.iter().zip(&self.global_dofs) {
+            global_out[g] += l;
+        }
+    }
+}
+
+/// A purely numerical substructure built from elements over local DOFs.
+pub struct SimulatedSubstructure {
+    name: String,
+    ndof: usize,
+    elements: Vec<Box<dyn Element>>,
+}
+
+impl SimulatedSubstructure {
+    /// An empty substructure with `ndof` local interface DOFs.
+    pub fn new(name: impl Into<String>, ndof: usize) -> Self {
+        assert!(ndof > 0);
+        SimulatedSubstructure {
+            name: name.into(),
+            ndof,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Add an element over local DOFs.
+    pub fn add_element(&mut self, element: Box<dyn Element>) -> &mut Self {
+        assert!(
+            element.dofs().iter().all(|&d| d < self.ndof),
+            "element DOF out of range"
+        );
+        self.elements.push(element);
+        self
+    }
+
+    /// Convenience: a 1-DOF substructure that is a single spring to ground
+    /// with the given material — the shape of each MOST column.
+    pub fn spring_to_ground(
+        name: impl Into<String>,
+        material: Box<dyn crate::material::Material>,
+    ) -> Self {
+        let mut s = SimulatedSubstructure::new(name, 1);
+        s.add_element(Box::new(crate::element::GroundSpring::new(0, material)));
+        s
+    }
+}
+
+impl Substructure for SimulatedSubstructure {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn interface_dofs(&self) -> usize {
+        self.ndof
+    }
+
+    fn restoring(&mut self, displacements: &[f64]) -> Result<Vec<f64>, SubstructureError> {
+        if displacements.len() != self.ndof {
+            return Err(SubstructureError::fatal(format!(
+                "{}: expected {} interface displacements, got {}",
+                self.name,
+                self.ndof,
+                displacements.len()
+            )));
+        }
+        let mut forces = vec![0.0; self.ndof];
+        for el in self.elements.iter_mut() {
+            el.add_restoring(displacements, &mut forces);
+        }
+        Ok(forces)
+    }
+
+    fn commit(&mut self) -> Result<(), SubstructureError> {
+        for el in self.elements.iter_mut() {
+            el.commit();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{CouplingSpring, GroundSpring};
+    use crate::material::{BilinearHysteretic, LinearElastic};
+
+    #[test]
+    fn binding_gather_scatter() {
+        let b = SubstructureBinding::new(vec![2, 0]);
+        let global = [10.0, 20.0, 30.0];
+        assert_eq!(b.gather(&global), vec![30.0, 10.0]);
+        let mut out = [0.0; 3];
+        b.scatter(&[1.0, 2.0], &mut out);
+        assert_eq!(out, [2.0, 0.0, 1.0]);
+        // Scatter accumulates.
+        b.scatter(&[1.0, 2.0], &mut out);
+        assert_eq!(out, [4.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn spring_to_ground_substructure() {
+        let mut s =
+            SimulatedSubstructure::spring_to_ground("left", Box::new(LinearElastic::new(1000.0)));
+        assert_eq!(s.interface_dofs(), 1);
+        assert_eq!(s.name(), "left");
+        let f = s.restoring(&[0.01]).unwrap();
+        assert!((f[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_fatal() {
+        let mut s =
+            SimulatedSubstructure::spring_to_ground("left", Box::new(LinearElastic::new(1000.0)));
+        let err = s.restoring(&[0.01, 0.02]).unwrap_err();
+        assert!(!err.recoverable);
+        assert!(err.message.contains("expected 1"));
+    }
+
+    #[test]
+    fn multi_dof_substructure() {
+        // The NCSA "central section": beam coupling two interface DOFs.
+        let mut s = SimulatedSubstructure::new("center", 2);
+        s.add_element(Box::new(CouplingSpring::new(
+            0,
+            1,
+            Box::new(LinearElastic::new(500.0)),
+        )));
+        let f = s.restoring(&[0.0, 0.01]).unwrap();
+        assert!((f[0] + 5.0).abs() < 1e-12);
+        assert!((f[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hysteretic_substructure_commits() {
+        let mut s = SimulatedSubstructure::spring_to_ground(
+            "col",
+            Box::new(BilinearHysteretic::new(1000.0, 5.0, 0.1)),
+        );
+        s.restoring(&[0.02]).unwrap();
+        s.commit().unwrap();
+        let f = s.restoring(&[0.0]).unwrap();
+        assert!(f[0] < -1.0, "plastic set expected, got {}", f[0]);
+    }
+
+    #[test]
+    fn decomposition_matches_monolith() {
+        // Global 2-DOF frame vs three substructures — restoring forces must
+        // agree exactly. This is the numerical heart of MS-PSDS.
+        let (kl, kr, kb) = (2.0e5, 3.0e5, 1.0e5);
+        let d = [0.004, -0.002];
+
+        // Monolithic.
+        let mut model = crate::model::MdofModel::new(vec![1.0, 1.0]);
+        model.add_element(Box::new(GroundSpring::new(0, Box::new(LinearElastic::new(kl)))));
+        model.add_element(Box::new(GroundSpring::new(1, Box::new(LinearElastic::new(kr)))));
+        model.add_element(Box::new(CouplingSpring::new(0, 1, Box::new(LinearElastic::new(kb)))));
+        let mono = model.restoring(&d);
+
+        // Decomposed.
+        let mut left = SimulatedSubstructure::spring_to_ground("l", Box::new(LinearElastic::new(kl)));
+        let mut right = SimulatedSubstructure::spring_to_ground("r", Box::new(LinearElastic::new(kr)));
+        let mut center = SimulatedSubstructure::new("c", 2);
+        center.add_element(Box::new(CouplingSpring::new(0, 1, Box::new(LinearElastic::new(kb)))));
+        let bindings = [
+            (SubstructureBinding::new(vec![0]), &mut left as &mut dyn Substructure),
+            (SubstructureBinding::new(vec![1]), &mut right as &mut dyn Substructure),
+            (SubstructureBinding::new(vec![0, 1]), &mut center as &mut dyn Substructure),
+        ];
+        let mut total = [0.0; 2];
+        for (binding, sub) in bindings {
+            let local_d = binding.gather(&d);
+            let local_f = sub.restoring(&local_d).unwrap();
+            binding.scatter(&local_f, &mut total);
+        }
+        for i in 0..2 {
+            assert!((total[i] - mono[i]).abs() < 1e-12);
+        }
+    }
+}

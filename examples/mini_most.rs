@@ -1,0 +1,49 @@
+//! Mini-MOST — the tabletop rig of §3.5.
+//!
+//! Runs the stepper-motor hardware emulation and the first-order kinetic
+//! simulator stand-in side by side, printing the response summary and a
+//! small ASCII hysteresis sketch of the beam.
+//!
+//! Run with: `cargo run --example mini_most`
+
+use neesgrid::most::{run_mini_most, MiniMostConfig};
+
+fn main() {
+    for (label, config) in [
+        ("Stepper-motor rig (LabVIEW plugin)", MiniMostConfig::tabletop()),
+        ("First-order kinetic simulator", MiniMostConfig::kinetic_simulator()),
+    ] {
+        println!("=== Mini-MOST: {label} ===");
+        let out = run_mini_most(&config);
+        println!(
+            "  steps completed : {}/{} ({})",
+            out.steps_completed,
+            config.steps,
+            if out.completed { "completed" } else { "aborted" }
+        );
+        println!(
+            "  peak beam tip   : {:.3} mm (travel limit ±20 mm)",
+            out.peak_displacement_m * 1e3
+        );
+        let forces = out.history.restoring_series(0);
+        let peak_force = forces.iter().fold(0.0f64, |m, f| m.max(f.abs()));
+        println!("  peak beam force : {peak_force:.2} N");
+        println!();
+    }
+
+    // Sketch the rig run's displacement history.
+    let out = run_mini_most(&MiniMostConfig::tabletop());
+    let series = out.history.displacement_series(0);
+    let peak = out.peak_displacement_m.max(1e-12);
+    println!("Beam-tip displacement history (each row = 10 steps):");
+    for chunk in series.chunks(10) {
+        let mean: f64 = chunk.iter().sum::<f64>() / chunk.len() as f64;
+        let cols = 60;
+        let pos = ((mean / peak) * (cols as f64 / 2.0)).round() as i64 + cols / 2;
+        let pos = pos.clamp(0, cols) as usize;
+        let mut row = vec![' '; cols as usize + 1];
+        row[(cols / 2) as usize] = '|';
+        row[pos] = '*';
+        println!("  {}", row.iter().collect::<String>());
+    }
+}

@@ -1,0 +1,39 @@
+//! # neesgrid — umbrella crate
+//!
+//! A Rust reproduction of the NEESgrid distributed hybrid earthquake-
+//! engineering experiment framework described in *"Distributed Hybrid
+//! Earthquake Engineering Experiments: Experiences with a Ground-Shaking
+//! Grid Application"* (Pearlman et al., HPDC-13, 2004).
+//!
+//! This crate re-exports every subsystem crate under one roof so examples,
+//! integration tests, and downstream users can depend on a single package:
+//!
+//! * [`gridsim`] — virtual WAN, virtual time, deterministic fault injection
+//! * [`gsi`] — simulated Grid Security Infrastructure + community authz
+//! * [`ogsi`] — OGSI-style grid-service container (SDEs, soft state)
+//! * [`ntcp`] — the NEESgrid Teleoperation Control Protocol (the paper's
+//!   primary contribution)
+//! * [`structsim`] — structural dynamics, pseudo-dynamic substructure testing
+//! * [`apparatus`] — emulated servo-hydraulic rigs, sensors, specimens
+//! * [`daq`] — data acquisition + NSDS streaming
+//! * [`repo`] — NMDS metadata, NFMS file management, GridFTP-sim, ingestion
+//! * [`coordinator`] — the MS-PSDS simulation coordinator
+//! * [`chef`] — collaboration portal (chat, notebook, data viewer, cameras)
+//! * [`most`] — the MOST and Mini-MOST experiments end-to-end
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a minimal hybrid experiment: one NTCP
+//! server with a simulation plugin, driven through propose/execute/cancel.
+
+pub use neesgrid_apparatus as apparatus;
+pub use neesgrid_chef as chef;
+pub use neesgrid_coordinator as coordinator;
+pub use neesgrid_daq as daq;
+pub use neesgrid_gridsim as gridsim;
+pub use neesgrid_gsi as gsi;
+pub use neesgrid_most as most;
+pub use neesgrid_ntcp as ntcp;
+pub use neesgrid_ogsi as ogsi;
+pub use neesgrid_repo as repo;
+pub use neesgrid_structsim as structsim;
