@@ -213,7 +213,11 @@ mod tests {
         let mut a = actuator();
         // 50 mm at max 10 mm/s → at least 5 virtual seconds.
         let out = a.move_to(0.050).unwrap();
-        assert!(out.duration >= SimTime::from_secs(5), "took {}", out.duration);
+        assert!(
+            out.duration >= SimTime::from_secs(5),
+            "took {}",
+            out.duration
+        );
         assert!(out.peak_velocity_mps <= 0.010 + 1e-9);
         // But nowhere near the 120 s watchdog.
         assert!(out.duration < SimTime::from_secs(30));
@@ -232,7 +236,11 @@ mod tests {
         let mut a = actuator();
         a.move_to(0.010).unwrap();
         let out = a.move_to(0.0101).unwrap();
-        assert!(out.duration < SimTime::from_secs(2), "took {}", out.duration);
+        assert!(
+            out.duration < SimTime::from_secs(2),
+            "took {}",
+            out.duration
+        );
     }
 
     #[test]
@@ -247,7 +255,10 @@ mod tests {
     fn estop_latches_until_reset() {
         let mut a = actuator();
         a.emergency_stop();
-        assert!(matches!(a.move_to(0.001).unwrap_err(), ActuatorFault::EmergencyStop));
+        assert!(matches!(
+            a.move_to(0.001).unwrap_err(),
+            ActuatorFault::EmergencyStop
+        ));
         a.reset_estop();
         assert!(a.move_to(0.001).is_ok());
     }

@@ -30,11 +30,7 @@ pub struct ShoreWesternPlugin {
 
 impl ShoreWesternPlugin {
     /// Wrap a controller.
-    pub fn new(
-        name: impl Into<String>,
-        controller: ShoreWesternController,
-        stroke_m: f64,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, controller: ShoreWesternController, stroke_m: f64) -> Self {
         ShoreWesternPlugin {
             name: name.into(),
             controller,
@@ -356,7 +352,10 @@ mod tests {
             .unwrap();
         // After 5τ, within 1% of target.
         assert!((out.results[0].displacement_m - 0.01).abs() < 1e-4);
-        assert!((out.results[0].force_n - 10.0 * out.results[0].displacement_m * 1000.0 / 10.0).abs() < 0.2);
+        assert!(
+            (out.results[0].force_n - 10.0 * out.results[0].displacement_m * 1000.0 / 10.0).abs()
+                < 0.2
+        );
         assert_eq!(out.duration, SimTime::from_millis(500));
     }
 
@@ -364,10 +363,12 @@ mod tests {
     fn first_order_kinetic_state_carries_over() {
         let mut p = FirstOrderKineticPlugin::new("fok", 0.1, 1000.0);
         p.settle_taus = 1.0; // coarse settle: visible residual
-        p.execute(&[ControlPoint::displacement("x", 0.01, 0.0)]).unwrap();
+        p.execute(&[ControlPoint::displacement("x", 0.01, 0.0)])
+            .unwrap();
         let x1 = p.position();
         assert!((x1 - 0.01 * (1.0 - (-1.0f64).exp())).abs() < 1e-9);
-        p.execute(&[ControlPoint::displacement("x", 0.0, 0.0)]).unwrap();
+        p.execute(&[ControlPoint::displacement("x", 0.0, 0.0)])
+            .unwrap();
         assert!((p.position() - x1 * (-1.0f64).exp()).abs() < 1e-9);
     }
 

@@ -72,8 +72,7 @@ impl CentrifugeSoil {
 
     /// Penetration resistance (N) at `depth_m`, reflecting densification.
     pub fn resistance_at(&self, depth_m: f64) -> f64 {
-        let densified =
-            1.0 + self.densification_rate * self.probes_performed as f64;
+        let densified = 1.0 + self.densification_rate * self.probes_performed as f64;
         self.resistance_gradient * densified * depth_m.max(0.0)
     }
 
@@ -146,12 +145,7 @@ impl RobotArm {
 
     /// Move to (x, y) and push the current tool to `depth`, returning the
     /// move duration; errors if outside the envelope.
-    pub fn move_and_push(
-        &mut self,
-        x: f64,
-        y: f64,
-        depth: f64,
-    ) -> Result<SimTime, String> {
+    pub fn move_and_push(&mut self, x: f64, y: f64, depth: f64) -> Result<SimTime, String> {
         if x.abs() > self.envelope_xy_m || y.abs() > self.envelope_xy_m {
             return Err(format!(
                 "({x}, {y}) outside gantry envelope ±{} m",
@@ -211,8 +205,7 @@ impl RobotArmPlugin {
         let (tool_name, pos) = spec
             .split_once('@')
             .ok_or_else(|| format!("missing '@' in '{}'", cp.name))?;
-        let tool =
-            Tool::parse(tool_name).ok_or_else(|| format!("unknown tool '{tool_name}'"))?;
+        let tool = Tool::parse(tool_name).ok_or_else(|| format!("unknown tool '{tool_name}'"))?;
         let (x, y) = pos
             .split_once(',')
             .ok_or_else(|| format!("missing ',' in '{}'", cp.name))?;
@@ -352,8 +345,12 @@ mod tests {
         // The §5 claim: "NTCP and NSDS can be used to control and observe
         // a wide range of devices."
         let mut plugin: Box<dyn ControlPlugin> = Box::new(RobotArmPlugin::new("arm"));
-        plugin.review(&probe("needle-probe", 0.0, 0.1, 0.15)).unwrap();
-        let out = plugin.execute(&probe("needle-probe", 0.0, 0.1, 0.15)).unwrap();
+        plugin
+            .review(&probe("needle-probe", 0.0, 0.1, 0.15))
+            .unwrap();
+        let out = plugin
+            .execute(&probe("needle-probe", 0.0, 0.1, 0.15))
+            .unwrap();
         assert!(out.results[0].force_n > 0.0);
         assert!(out.duration > SimTime::ZERO);
     }

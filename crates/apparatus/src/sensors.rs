@@ -135,11 +135,7 @@ pub struct StrainGauge {
 
 impl StrainGauge {
     /// A strain gauge with the given displacement-to-strain calibration.
-    pub fn new(
-        channel: impl Into<String>,
-        seed: u64,
-        microstrain_per_meter: f64,
-    ) -> Self {
+    pub fn new(channel: impl Into<String>, seed: u64, microstrain_per_meter: f64) -> Self {
         StrainGauge {
             channel: channel.into(),
             frontend: Frontend::new(seed, 2.0, 0.5, 1.0),

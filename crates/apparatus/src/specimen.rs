@@ -8,9 +8,7 @@
 //! irreversibility that makes NTCP's propose-before-execute design
 //! necessary.
 
-use neesgrid_structsim::element::{
-    cantilever_lateral_stiffness, fixed_fixed_lateral_stiffness,
-};
+use neesgrid_structsim::element::{cantilever_lateral_stiffness, fixed_fixed_lateral_stiffness};
 use neesgrid_structsim::{BilinearHysteretic, Material};
 
 /// A physical specimen under quasi-static displacement control.
@@ -67,7 +65,15 @@ impl SteelColumn {
     /// (paper §3). Stiffness ~1.17 MN/m, yield ~35 kN.
     pub fn most_uiuc() -> Self {
         // E = 200 GPa, I = 2.5e-5 m⁴, L = 2.5 m → 3EI/L³ ≈ 0.96 MN/m.
-        SteelColumn::new("uiuc-left-column", 200e9, 2.5e-5, 2.5, 35_000.0, 0.03, false)
+        SteelColumn::new(
+            "uiuc-left-column",
+            200e9,
+            2.5e-5,
+            2.5,
+            35_000.0,
+            0.03,
+            false,
+        )
     }
 
     /// The CU right column: same section, rigidly clamped (fixed-fixed),

@@ -36,9 +36,12 @@ fn bench_state_machine(c: &mut Criterion) {
                 SimTime::from_secs(30),
                 SimTime::from_secs(1),
             );
-            tx.transition(TxState::Accepted, SimTime::from_secs(2)).unwrap();
-            tx.transition(TxState::Executing, SimTime::from_secs(3)).unwrap();
-            tx.transition(TxState::Completed, SimTime::from_secs(4)).unwrap();
+            tx.transition(TxState::Accepted, SimTime::from_secs(2))
+                .unwrap();
+            tx.transition(TxState::Executing, SimTime::from_secs(3))
+                .unwrap();
+            tx.transition(TxState::Completed, SimTime::from_secs(4))
+                .unwrap();
             std::hint::black_box(tx.to_sde_value())
         })
     });
@@ -60,7 +63,9 @@ fn bench_protocol_phases(c: &mut Criterion) {
         b.iter(|| {
             n += 1;
             let tx = format!("l-{n}");
-            client.propose(&tx, action(0.001), SimTime::from_secs(30)).unwrap();
+            client
+                .propose(&tx, action(0.001), SimTime::from_secs(30))
+                .unwrap();
             std::hint::black_box(client.execute(&tx).unwrap());
         })
     });
@@ -68,7 +73,9 @@ fn bench_protocol_phases(c: &mut Criterion) {
         b.iter(|| {
             n += 1;
             let tx = format!("c-{n}");
-            client.propose(&tx, action(0.001), SimTime::from_secs(30)).unwrap();
+            client
+                .propose(&tx, action(0.001), SimTime::from_secs(30))
+                .unwrap();
             client.cancel(&tx).unwrap();
         })
     });

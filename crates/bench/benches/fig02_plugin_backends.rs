@@ -12,9 +12,8 @@ use std::time::Duration;
 
 use neesgrid_apparatus::stepper::StepperConfig;
 use neesgrid_apparatus::{
-    ActuatorConfig, FirstOrderKineticPlugin, LabViewPlugin, LoadCell, Lvdt,
-    ServoHydraulicActuator, ShoreWesternController, ShoreWesternPlugin, StepperMotor,
-    SteelColumn, StrainGauge,
+    ActuatorConfig, FirstOrderKineticPlugin, LabViewPlugin, LoadCell, Lvdt, ServoHydraulicActuator,
+    ShoreWesternController, ShoreWesternPlugin, SteelColumn, StepperMotor, StrainGauge,
 };
 use neesgrid_ntcp::{BufferedPlugin, ControlPlugin, ControlPoint, SimulationPlugin};
 use neesgrid_structsim::{LinearElastic, SimulatedSubstructure};

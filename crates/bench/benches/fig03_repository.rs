@@ -10,10 +10,8 @@ use std::time::Duration;
 
 use neesgrid_gridsim::SimTime;
 use neesgrid_gsi::DistinguishedName;
-use neesgrid_repo::{
-    GridFtpReceiver, GridFtpSender, Ingester, Nfms, Nmds, VirtualStore,
-};
 use neesgrid_repo::metadata::{FieldType, Schema};
+use neesgrid_repo::{GridFtpReceiver, GridFtpSender, Ingester, Nfms, Nmds, VirtualStore};
 
 fn payload(n: usize) -> Bytes {
     Bytes::from((0..n).map(|i| (i * 31 + 7) as u8).collect::<Vec<u8>>())
@@ -31,8 +29,7 @@ fn bench_gridftp(c: &mut Criterion) {
                 |b, content| {
                     b.iter(|| {
                         let sender = GridFtpSender::new(content.clone(), 8192, streams);
-                        let mut rx =
-                            GridFtpReceiver::new(sender.len(), sender.file_checksum());
+                        let mut rx = GridFtpReceiver::new(sender.len(), sender.file_checksum());
                         for chunk in sender.chunks() {
                             rx.accept(&chunk).unwrap();
                         }
@@ -74,8 +71,14 @@ fn bench_nmds(c: &mut Criterion) {
     });
     c.bench_function("fig03/nmds_update_version", |b| {
         let mut nmds = Nmds::new();
-        nmds.create("/obj", None, serde_json::json!({"rev": 0}), owner.clone(), SimTime::ZERO)
-            .unwrap();
+        nmds.create(
+            "/obj",
+            None,
+            serde_json::json!({"rev": 0}),
+            owner.clone(),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let mut rev = 0u64;
         b.iter(|| {
             rev += 1;

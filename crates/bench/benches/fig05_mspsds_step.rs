@@ -14,9 +14,7 @@ use neesgrid_gsi::ActionLimits;
 use neesgrid_ntcp::SimulationPlugin;
 use neesgrid_structsim::material::LinearElastic;
 use neesgrid_structsim::psd::PsdTest;
-use neesgrid_structsim::substructure::{
-    SimulatedSubstructure, Substructure, SubstructureBinding,
-};
+use neesgrid_structsim::substructure::{SimulatedSubstructure, Substructure, SubstructureBinding};
 use neesgrid_structsim::{GroundMotion, Matrix};
 
 const STEPS: usize = 50;
@@ -42,9 +40,7 @@ fn bench_local(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let test = PsdTest::new(vec![1000.0; n], Matrix::zeros(n, n), 0.01);
             b.iter(|| {
-                std::hint::black_box(
-                    test.run(local_substructures(n), &motion, STEPS).unwrap(),
-                )
+                std::hint::black_box(test.run(local_substructures(n), &motion, STEPS).unwrap())
             })
         });
     }

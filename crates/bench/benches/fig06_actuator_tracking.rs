@@ -9,8 +9,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 use neesgrid_apparatus::{
-    ActuatorConfig, ControllerCommand, ControllerResponse, LoadCell, Lvdt,
-    ServoHydraulicActuator, ShoreWesternController, SteelColumn,
+    ActuatorConfig, ControllerCommand, ControllerResponse, LoadCell, Lvdt, ServoHydraulicActuator,
+    ShoreWesternController, SteelColumn,
 };
 
 fn controller() -> ShoreWesternController {
@@ -50,9 +50,9 @@ fn bench_tracking(c: &mut Criterion) {
                 let mut sign = 1.0;
                 b.iter(|| {
                     sign = -sign;
-                    std::hint::black_box(
-                        ctl.execute(ControllerCommand::Move { target_m: amp * sign }),
-                    )
+                    std::hint::black_box(ctl.execute(ControllerCommand::Move {
+                        target_m: amp * sign,
+                    }))
                 })
             },
         );

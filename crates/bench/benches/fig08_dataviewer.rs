@@ -28,7 +28,9 @@ fn bench_fanout(c: &mut Criterion) {
             &subscribers,
             |b, &subscribers| {
                 let nsds = NsdsServer::new();
-                let subs: Vec<_> = (0..subscribers).map(|_| nsds.subscribe("*", 2048)).collect();
+                let subs: Vec<_> = (0..subscribers)
+                    .map(|_| nsds.subscribe("*", 2048))
+                    .collect();
                 b.iter(|| {
                     for i in 0..1000u64 {
                         nsds.publish(sample(i));

@@ -1,0 +1,62 @@
+//! Fig. 12 (extension) — checkpoint overhead.
+//!
+//! What would periodic checkpointing have cost the MOST run? Measures a
+//! scaled simulation-only experiment with no checkpoints and with
+//! every-1 / every-10 / every-100-step policies persisting full
+//! coordinator + site snapshots, so the per-checkpoint cost can be read
+//! off against the uninstrumented baseline. (Every 100 steps is the
+//! cadence the step-1493 recovery test uses.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use neesgrid_checkpoint::{CheckpointPolicy, CheckpointStore, MemoryCheckpointStore};
+use neesgrid_coordinator::FaultPolicy;
+use neesgrid_most::{MostConfig, MostDeployment};
+
+const SCALED_STEPS: usize = 100;
+
+fn run_once(checkpoint_every: Option<u64>) -> usize {
+    let config = MostConfig::simulation_only().with_steps(SCALED_STEPS);
+    let deployment = MostDeployment::build(config, 0);
+    let policy = FaultPolicy::Full {
+        max_step_retries: 2,
+    };
+    let artifacts = match checkpoint_every {
+        Some(n) => {
+            let store: Arc<dyn CheckpointStore> = Arc::new(MemoryCheckpointStore::new());
+            deployment.run_with_checkpoints(policy, "bench", CheckpointPolicy::every(n), store)
+        }
+        None => deployment.run(policy),
+    };
+    artifacts.outcome.steps_completed()
+}
+
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_checkpoint_overhead");
+    group.sample_size(10);
+    group.bench_function("no_checkpoints_100_steps", |b| {
+        b.iter(|| std::hint::black_box(run_once(None)))
+    });
+    for every in [1u64, 10, 100] {
+        group.bench_with_input(BenchmarkId::new("every", every), &every, |b, &n| {
+            b.iter(|| std::hint::black_box(run_once(Some(n))))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(8))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_checkpoint_overhead
+}
+criterion_main!(benches);

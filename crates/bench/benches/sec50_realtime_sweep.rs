@@ -41,12 +41,7 @@ fn bench_latency_sweep(c: &mut Criterion) {
             default_latency: LatencyModel::Fixed(SimTime::from_millis(latency_ms)),
             ..Default::default()
         });
-        let client = single_site(
-            &net,
-            "site",
-            plugin(),
-            ActionLimits::most_large_scale(),
-        );
+        let client = single_site(&net, "site", plugin(), ActionLimits::most_large_scale());
         let clock = net.clock();
         let t0 = clock.now();
         client
@@ -68,7 +63,12 @@ fn bench_latency_sweep(c: &mut Criterion) {
 
     // Wall-clock protocol throughput (zero-latency network).
     let net = VirtualNetwork::new(NetworkConfig::default());
-    let client = single_site(&net, "fast-site", plugin(), ActionLimits::most_large_scale());
+    let client = single_site(
+        &net,
+        "fast-site",
+        plugin(),
+        ActionLimits::most_large_scale(),
+    );
     let mut n = 0u64;
     c.bench_function("sec50/protocol_step_wallclock", |b| {
         b.iter(|| {

@@ -1,0 +1,83 @@
+//! When to checkpoint and how many to keep.
+
+use neesgrid_coordinator::CheckpointCadence;
+
+/// Checkpointing policy: interval, transient-failure trigger, retention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint every N step boundaries (`None`: never on interval).
+    pub every_steps: Option<u64>,
+    /// Also checkpoint at the boundary after a step that needed
+    /// transient-failure recovery — the cheapest moment to capture state
+    /// that a flaky network has just proven is worth protecting.
+    pub on_transient_failure: bool,
+    /// Keep only the most recent K snapshots (`None`: keep all).
+    pub retain: Option<usize>,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint every `n` steps, keep everything.
+    pub fn every(n: u64) -> Self {
+        assert!(n > 0, "checkpoint interval must be positive");
+        CheckpointPolicy {
+            every_steps: Some(n),
+            on_transient_failure: false,
+            retain: None,
+        }
+    }
+
+    /// Never checkpoint on an interval (combine with
+    /// [`CheckpointPolicy::and_on_transient_failure`]).
+    pub fn never() -> Self {
+        CheckpointPolicy {
+            every_steps: None,
+            on_transient_failure: false,
+            retain: None,
+        }
+    }
+
+    /// Also checkpoint after transient-failure recoveries.
+    pub fn and_on_transient_failure(mut self) -> Self {
+        self.on_transient_failure = true;
+        self
+    }
+
+    /// Keep only the most recent `k` snapshots (a ring).
+    pub fn retaining(mut self, k: usize) -> Self {
+        assert!(k > 0, "retention ring must hold at least one snapshot");
+        self.retain = Some(k);
+        self
+    }
+
+    /// The coordinator-side cadence this policy induces.
+    pub fn cadence(&self) -> CheckpointCadence {
+        CheckpointCadence {
+            every_steps: self.every_steps,
+            after_transient: self.on_transient_failure,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let p = CheckpointPolicy::every(100)
+            .and_on_transient_failure()
+            .retaining(3);
+        assert_eq!(p.every_steps, Some(100));
+        assert!(p.on_transient_failure);
+        assert_eq!(p.retain, Some(3));
+        let c = p.cadence();
+        assert_eq!(c.every_steps, Some(100));
+        assert!(c.after_transient);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_is_refused() {
+        let _ = CheckpointPolicy::every(0);
+    }
+}

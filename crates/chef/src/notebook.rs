@@ -104,7 +104,12 @@ mod tests {
     fn search_matches_title_and_body() {
         let mut nb = Notebook::new();
         nb.write(author(), "Dry run", "completed 1500 steps", SimTime::ZERO);
-        nb.write(author(), "Public run", "terminated at step 1493", SimTime::ZERO);
+        nb.write(
+            author(),
+            "Public run",
+            "terminated at step 1493",
+            SimTime::ZERO,
+        );
         nb.write(author(), "Misc", "camera 2 pan stuck", SimTime::ZERO);
         assert_eq!(nb.search("run").len(), 2);
         assert_eq!(nb.search("1493").len(), 1);

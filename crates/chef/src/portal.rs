@@ -48,7 +48,9 @@ impl CollabPortal {
 
     /// Log a participant in.
     pub fn login(&mut self, credential: &Credential, now: SimTime) -> Result<Session, String> {
-        self.sessions.login(credential, now).map_err(|e| e.to_string())
+        self.sessions
+            .login(credential, now)
+            .map_err(|e| e.to_string())
     }
 
     /// Post to chat (requires a live Participant+ session).

@@ -200,8 +200,12 @@ mod tests {
         let (ca, mut mgr) = setup();
         let c = cred(&ca, "viewer", 5);
         mgr.login(&c, SimTime::from_secs(1)).unwrap();
-        assert!(mgr.session(c.identity(), SimTime::from_secs(3599)).is_some());
-        assert!(mgr.session(c.identity(), SimTime::from_secs(3600)).is_none());
+        assert!(mgr
+            .session(c.identity(), SimTime::from_secs(3599))
+            .is_some());
+        assert!(mgr
+            .session(c.identity(), SimTime::from_secs(3600))
+            .is_none());
         assert_eq!(mgr.active_count(SimTime::from_secs(3600)), 0);
     }
 

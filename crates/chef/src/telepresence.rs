@@ -135,7 +135,9 @@ impl CameraServer {
 
     /// An empty server.
     pub fn new() -> Self {
-        CameraServer { cameras: Vec::new() }
+        CameraServer {
+            cameras: Vec::new(),
+        }
     }
 
     /// Add a camera.

@@ -110,12 +110,18 @@ impl DataViewer {
 
     /// VCR: fast-forward at `speed`×.
     pub fn fast_forward(&mut self, speed: u32) {
-        self.state = VcrState::FastForward { speed: speed.max(2) };
+        self.state = VcrState::FastForward {
+            speed: speed.max(2),
+        };
     }
 
     /// Clickable timeline: jump to `t` (clamped to the live edge).
     pub fn seek(&mut self, t: SimTime) {
-        self.position = if t > self.live_edge { self.live_edge } else { t };
+        self.position = if t > self.live_edge {
+            self.live_edge
+        } else {
+            t
+        };
     }
 
     /// Advance playback by `dt` of viewer (wall) time.
@@ -146,8 +152,7 @@ impl DataViewer {
     /// Hysteresis pairs (x(t), y(t)) up to the current position, matching
     /// samples at equal timestamps.
     pub fn hysteresis(&self, x_channel: &str, y_channel: &str) -> Vec<(f64, f64)> {
-        let (Some(xs), Some(ys)) = (self.series.get(x_channel), self.series.get(y_channel))
-        else {
+        let (Some(xs), Some(ys)) = (self.series.get(x_channel), self.series.get(y_channel)) else {
             return Vec::new();
         };
         let mut out = Vec::new();

@@ -78,7 +78,10 @@ impl SimCoordBuilder {
 
     /// Build the coordinator. Panics on an empty model or missing sites.
     pub fn build(self) -> SimulationCoordinator {
-        assert!(!self.sites.is_empty(), "a coordinator needs at least one site");
+        assert!(
+            !self.sites.is_empty(),
+            "a coordinator needs at least one site"
+        );
         let n = self.masses.len();
         SimulationCoordinator::new(
             self.masses,

@@ -18,6 +18,8 @@
 
 use std::sync::Arc;
 
+use serde::{Deserialize, Serialize};
+
 use neesgrid_gridsim::{SimClock, SimTime};
 use neesgrid_ntcp::{ControlPoint, NtcpClient, NtcpError};
 use neesgrid_structsim::integrate::CentralDifference;
@@ -92,6 +94,50 @@ impl ExperimentOutcome {
     }
 }
 
+/// Everything the coordinator needs to continue a run from a step
+/// boundary — the coordinator's share of a checkpoint. Captured *between*
+/// steps: step `step` has not run yet, steps `0..step` are committed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoordinatorState {
+    /// The next step to run (0-based).
+    pub step: u64,
+    /// Integrator displacement at `step - 1`.
+    pub d_prev: Vec<f64>,
+    /// Integrator displacement at `step` (the next target).
+    pub d_curr: Vec<f64>,
+    /// Motion/force histories for steps `0..step`.
+    pub history: PsdHistory,
+    /// The event log so far.
+    pub log: ExperimentLog,
+    /// Transport retransmissions accumulated before the boundary.
+    pub retransmissions: u64,
+}
+
+/// When the coordinator offers its state to the checkpoint hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointCadence {
+    /// Checkpoint every N step boundaries (`None`: never on interval).
+    pub every_steps: Option<u64>,
+    /// Also checkpoint at the boundary after a step that needed
+    /// transient-failure recovery.
+    pub after_transient: bool,
+}
+
+impl CheckpointCadence {
+    fn due(&self, step: u64, transient_in_last_step: bool) -> bool {
+        let interval = match self.every_steps {
+            Some(n) if n > 0 => step > 0 && step.is_multiple_of(n),
+            _ => false,
+        };
+        interval || (self.after_transient && transient_in_last_step)
+    }
+}
+
+/// Checkpoint hook: receives the coordinator's boundary state, persists it
+/// (plus whatever site state the installer gathers), and reports failure
+/// as a string. A failure is logged but never interrupts the experiment.
+pub type CheckpointHook = Box<dyn FnMut(&CoordinatorState) -> Result<(), String> + Send>;
+
 /// The MS-PSDS simulation coordinator.
 pub struct SimulationCoordinator {
     sites: Vec<SiteHandle>,
@@ -103,6 +149,7 @@ pub struct SimulationCoordinator {
     pub transaction_timeout: SimTime,
     clock: Arc<SimClock>,
     on_step: Option<StepObserver>,
+    checkpoint: Option<(CheckpointCadence, CheckpointHook)>,
 }
 
 /// Per-step observer callback type.
@@ -136,12 +183,19 @@ impl SimulationCoordinator {
             transaction_timeout: SimTime::from_secs(60),
             clock,
             on_step: None,
+            checkpoint: None,
         }
     }
 
     /// Install a per-step observer (streams to NSDS / the CHEF viewer).
     pub fn set_on_step(&mut self, f: StepObserver) {
         self.on_step = Some(f);
+    }
+
+    /// Install a checkpoint hook, called with the coordinator's state at
+    /// each step boundary the cadence selects.
+    pub fn set_checkpoint_hook(&mut self, cadence: CheckpointCadence, hook: CheckpointHook) {
+        self.checkpoint = Some((cadence, hook));
     }
 
     fn ground_force(&self, ag: f64) -> Vector {
@@ -189,7 +243,10 @@ impl SimulationCoordinator {
                     scope.spawn(move || client.propose(&tx, actions, timeout))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("propose thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("propose thread"))
+                .collect()
         });
         if let Some((idx, err)) = proposals
             .iter()
@@ -214,7 +271,10 @@ impl SimulationCoordinator {
                         scope.spawn(move || client.execute(&tx))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("execute thread")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("execute thread"))
+                    .collect()
             });
         let mut restoring = vec![0.0; self.masses.len()];
         for ((site, result), _client) in self.sites.iter().zip(executions).zip(clients) {
@@ -242,6 +302,27 @@ impl SimulationCoordinator {
 
     /// Run the experiment for `steps` steps under `motion`.
     pub fn run(&mut self, motion: &GroundMotion, steps: usize) -> ExperimentOutcome {
+        self.run_from(motion, steps, None)
+    }
+
+    /// Continue an experiment from a checkpointed boundary state. The
+    /// site servers must already hold matching state (see the
+    /// `neesgrid-checkpoint` crate for the restore choreography).
+    pub fn resume(
+        &mut self,
+        motion: &GroundMotion,
+        steps: usize,
+        state: CoordinatorState,
+    ) -> ExperimentOutcome {
+        self.run_from(motion, steps, Some(state))
+    }
+
+    fn run_from(
+        &mut self,
+        motion: &GroundMotion,
+        steps: usize,
+        resume: Option<CoordinatorState>,
+    ) -> ExperimentOutcome {
         // Bind every site client to the policy's transport behaviour.
         let clients: Vec<NtcpClient> = self
             .sites
@@ -250,31 +331,82 @@ impl SimulationCoordinator {
             .collect();
 
         let ndof = self.masses.len();
-        let mut log = ExperimentLog::new();
-        log.record(self.clock.now(), 0, EventKind::Started);
-
-        // The structure starts at rest: zero displacement, zero restoring.
-        let mut integrator = CentralDifference::new(
-            Matrix::diag(&self.masses),
-            &self.damping,
-            self.dt,
-            Vector::zeros(ndof),
-            Vector::zeros(ndof),
-            &Vector::zeros(ndof),
-            &self.ground_force(motion.value_at(0.0)),
-        );
-
-        let mut history = PsdHistory {
-            dt: self.dt,
-            displacement: Vec::with_capacity(steps),
-            velocity: Vec::with_capacity(steps),
-            acceleration: Vec::with_capacity(steps),
-            restoring: Vec::with_capacity(steps),
-            steps_completed: 0,
+        let (mut integrator, mut history, mut log, retrans_baseline, start_step) = match resume {
+            Some(state) => {
+                assert_eq!(state.d_prev.len(), ndof, "resume state DOF mismatch");
+                let integrator = CentralDifference::from_state(
+                    Matrix::diag(&self.masses),
+                    &self.damping,
+                    self.dt,
+                    Vector::from_slice(&state.d_prev),
+                    Vector::from_slice(&state.d_curr),
+                    state.step,
+                );
+                let mut log = state.log;
+                log.record(self.clock.now(), state.step, EventKind::Resumed);
+                (
+                    integrator,
+                    state.history,
+                    log,
+                    state.retransmissions,
+                    state.step,
+                )
+            }
+            None => {
+                let mut log = ExperimentLog::new();
+                log.record(self.clock.now(), 0, EventKind::Started);
+                // The structure starts at rest: zero displacement,
+                // zero restoring.
+                let integrator = CentralDifference::new(
+                    Matrix::diag(&self.masses),
+                    &self.damping,
+                    self.dt,
+                    Vector::zeros(ndof),
+                    Vector::zeros(ndof),
+                    &Vector::zeros(ndof),
+                    &self.ground_force(motion.value_at(0.0)),
+                );
+                let history = PsdHistory {
+                    dt: self.dt,
+                    displacement: Vec::with_capacity(steps),
+                    velocity: Vec::with_capacity(steps),
+                    acceleration: Vec::with_capacity(steps),
+                    restoring: Vec::with_capacity(steps),
+                    steps_completed: 0,
+                };
+                (integrator, history, log, 0, 0)
+            }
         };
         let mut termination = Termination::Completed;
+        let mut transient_in_last_step = false;
 
-        'steps: for n in 0..steps as u64 {
+        'steps: for n in start_step..steps as u64 {
+            // Checkpoint at the boundary: steps 0..n are committed, step n
+            // has not started, so a snapshot taken here resumes at n.
+            if let Some((cadence, hook)) = self.checkpoint.as_mut() {
+                if cadence.due(n, transient_in_last_step) {
+                    let retransmissions =
+                        retrans_baseline + clients.iter().map(|c| c.retransmissions()).sum::<u64>();
+                    let (d_prev, d_curr, step) = integrator.state();
+                    // Recorded before the capture so the snapshot's own log
+                    // tail includes this save; replaced on failure.
+                    log.record(self.clock.now(), n, EventKind::CheckpointSaved);
+                    let state = CoordinatorState {
+                        step,
+                        d_prev: d_prev.as_slice().to_vec(),
+                        d_curr: d_curr.as_slice().to_vec(),
+                        history: history.clone(),
+                        log: log.clone(),
+                        retransmissions,
+                    };
+                    if let Err(error) = hook(&state) {
+                        log.events.pop();
+                        log.record(self.clock.now(), n, EventKind::CheckpointFailed { error });
+                    }
+                }
+            }
+            transient_in_last_step = false;
+
             let target = integrator.target_displacement().clone();
             let mut attempt = 0u32;
             let restoring = loop {
@@ -290,6 +422,7 @@ impl SimulationCoordinator {
                                     error: err.to_string(),
                                 },
                             );
+                            transient_in_last_step = true;
                             attempt += 1;
                             continue;
                         }
@@ -344,7 +477,8 @@ impl SimulationCoordinator {
         if matches!(termination, Termination::Completed) {
             log.record(self.clock.now(), steps as u64, EventKind::Completed);
         }
-        let retransmissions = clients.iter().map(|c| c.retransmissions()).sum();
+        let retransmissions =
+            retrans_baseline + clients.iter().map(|c| c.retransmissions()).sum::<u64>();
         ExperimentOutcome {
             steps_requested: steps,
             history,
@@ -386,7 +520,12 @@ mod tests {
             Box::new(LinearElastic::new(KB)),
         )));
         vec![
-            ("uiuc".to_string(), Box::new(left) as Box<dyn Substructure>, vec![0], KL),
+            (
+                "uiuc".to_string(),
+                Box::new(left) as Box<dyn Substructure>,
+                vec![0],
+                KL,
+            ),
             ("cu".to_string(), Box::new(right), vec![1], KR),
             ("ncsa".to_string(), Box::new(center), vec![0, 1], KB),
         ]
@@ -446,7 +585,12 @@ mod tests {
         // E4: the coordinator driving three NTCP sites must reproduce the
         // purely local PSD run bit-for-bit (same algorithm, same forces).
         let net = VirtualNetwork::new(NetworkConfig::default());
-        let mut coord = coordinator(&net, FaultPolicy::Full { max_step_retries: 2 });
+        let mut coord = coordinator(
+            &net,
+            FaultPolicy::Full {
+                max_step_retries: 2,
+            },
+        );
         let outcome = coord.run(&motion(), 200);
         assert_eq!(outcome.steps_completed(), 200);
         assert!(matches!(outcome.termination, Termination::Completed));
@@ -472,8 +616,16 @@ mod tests {
         net.set_fault_plan(plan);
         let mut coord = coordinator(&net, FaultPolicy::Partial);
         let outcome = coord.run(&motion(), 150);
-        assert_eq!(outcome.steps_completed(), 150, "timeout retransmission suffices");
-        assert!(outcome.retransmissions >= 3, "retries observed: {}", outcome.retransmissions);
+        assert_eq!(
+            outcome.steps_completed(),
+            150,
+            "timeout retransmission suffices"
+        );
+        assert!(
+            outcome.retransmissions >= 3,
+            "retries observed: {}",
+            outcome.retransmissions
+        );
     }
 
     #[test]
@@ -506,7 +658,12 @@ mod tests {
         let mut plan = FaultPlan::reliable();
         plan.reset_at(LinkKey::new("coordinator", "cu"), 186);
         net.set_fault_plan(plan);
-        let mut coord = coordinator(&net, FaultPolicy::Full { max_step_retries: 3 });
+        let mut coord = coordinator(
+            &net,
+            FaultPolicy::Full {
+                max_step_retries: 3,
+            },
+        );
         let outcome = coord.run(&motion(), 150);
         assert_eq!(outcome.steps_completed(), 150);
         assert!(matches!(outcome.termination, Termination::Completed));
@@ -558,7 +715,9 @@ mod tests {
             Matrix::zeros(2, 2),
             0.01,
             sites,
-            FaultPolicy::Full { max_step_retries: 2 },
+            FaultPolicy::Full {
+                max_step_retries: 2,
+            },
             net.clock(),
         );
         let outcome = coord.run(&motion(), 100);
@@ -580,7 +739,12 @@ mod tests {
     #[test]
     fn on_step_callback_sees_every_step() {
         let net = VirtualNetwork::new(NetworkConfig::default());
-        let mut coord = coordinator(&net, FaultPolicy::Full { max_step_retries: 1 });
+        let mut coord = coordinator(
+            &net,
+            FaultPolicy::Full {
+                max_step_retries: 1,
+            },
+        );
         let seen = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let seen2 = Arc::clone(&seen);
         coord.set_on_step(Box::new(move |rec| {

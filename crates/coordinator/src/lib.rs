@@ -33,7 +33,8 @@ pub mod remote;
 
 pub use builder::SimCoordBuilder;
 pub use coordinator::{
-    ExperimentOutcome, SimulationCoordinator, SiteHandle, StepRecord, Termination,
+    CheckpointCadence, CheckpointHook, CoordinatorState, ExperimentOutcome, SimulationCoordinator,
+    SiteHandle, StepRecord, Termination,
 };
 pub use log::{EventKind, ExperimentLog, LogEvent};
 pub use policy::FaultPolicy;

@@ -40,6 +40,15 @@ pub enum EventKind {
         /// The fatal error.
         error: String,
     },
+    /// A checkpoint was captured and persisted at a step boundary.
+    CheckpointSaved,
+    /// A checkpoint attempt failed; the experiment itself continues.
+    CheckpointFailed {
+        /// Why the checkpoint could not be taken.
+        error: String,
+    },
+    /// The run was resumed from a previously saved checkpoint.
+    Resumed,
 }
 
 /// One log entry.
@@ -94,6 +103,41 @@ impl ExperimentLog {
             .iter()
             .find(|e| matches!(e.kind, EventKind::Aborted { .. }))
     }
+
+    /// Number of checkpoints recorded as saved.
+    pub fn checkpoints_saved(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::CheckpointSaved)
+            .count() as u64
+    }
+
+    /// Export as JSON Lines: one event per line, oldest first. This is the
+    /// archival form shipped to the repository alongside the data files.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&serde_json::to_string(event).expect("serialize log event"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Import from JSON Lines as produced by [`ExperimentLog::to_jsonl`].
+    /// Blank lines are ignored; a malformed line is an error naming its
+    /// (1-based) line number.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut log = ExperimentLog::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event: LogEvent =
+                serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            log.events.push(event);
+        }
+        Ok(log)
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +179,45 @@ mod tests {
         log.record(SimTime::ZERO, 0, EventKind::Started);
         log.record(SimTime::from_secs(1), 9, EventKind::Completed);
         assert!(log.abort().is_none());
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_every_event() {
+        let mut log = ExperimentLog::new();
+        log.record(SimTime::ZERO, 0, EventKind::Started);
+        log.record(SimTime::from_secs(1), 0, EventKind::StepCompleted);
+        log.record(
+            SimTime::from_secs(2),
+            1,
+            EventKind::TransientRecovered {
+                site: "uiuc".into(),
+                error: "timeout".into(),
+            },
+        );
+        log.record(SimTime::from_secs(3), 1, EventKind::CheckpointSaved);
+        log.record(SimTime::from_secs(4), 1, EventKind::Resumed);
+        log.record(
+            SimTime::from_secs(5),
+            2,
+            EventKind::Aborted {
+                site: "cu".into(),
+                error: "link reset".into(),
+            },
+        );
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), log.events.len());
+        let back = ExperimentLog::from_jsonl(&jsonl).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn jsonl_import_skips_blanks_and_names_bad_lines() {
+        let mut log = ExperimentLog::new();
+        log.record(SimTime::ZERO, 0, EventKind::Started);
+        let jsonl = format!("\n{}\n\n", log.to_jsonl());
+        assert_eq!(ExperimentLog::from_jsonl(&jsonl).unwrap(), log);
+        let err = ExperimentLog::from_jsonl("not json\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "err: {err}");
     }
 
     #[test]

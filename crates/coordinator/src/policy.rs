@@ -47,9 +47,9 @@ impl FaultPolicy {
                     // Policy rejections and permanent server faults will
                     // reject again — retrying is pointless.
                     NtcpError::Rejected { .. } => false,
-                    NtcpError::Fault { retryable, code, .. } => {
-                        *retryable || code == "InvalidState" || code == "DuplicateTransaction"
-                    }
+                    NtcpError::Fault {
+                        retryable, code, ..
+                    } => *retryable || code == "InvalidState" || code == "DuplicateTransaction",
                     NtcpError::Transport(RpcError::NoRoute) => false,
                     NtcpError::Transport(_) => true,
                     NtcpError::BadResponse(_) => true,
@@ -70,7 +70,9 @@ mod tests {
 
     #[test]
     fn full_policy_retries_resets() {
-        let p = FaultPolicy::Full { max_step_retries: 3 };
+        let p = FaultPolicy::Full {
+            max_step_retries: 3,
+        };
         assert!(p.rpc_policy().retry_on_reset);
         assert!(p.step_retryable(&reset_err(), 0));
         assert!(p.step_retryable(&reset_err(), 2));
@@ -87,7 +89,9 @@ mod tests {
 
     #[test]
     fn rejections_never_retried() {
-        let p = FaultPolicy::Full { max_step_retries: 3 };
+        let p = FaultPolicy::Full {
+            max_step_retries: 3,
+        };
         let rejected = NtcpError::Rejected {
             reason: "limit".into(),
         };
@@ -96,7 +100,9 @@ mod tests {
 
     #[test]
     fn transient_server_faults_retried_under_full() {
-        let p = FaultPolicy::Full { max_step_retries: 3 };
+        let p = FaultPolicy::Full {
+            max_step_retries: 3,
+        };
         let fault = NtcpError::Fault {
             code: "ExecutionFailed".into(),
             message: "backend slow".into(),
@@ -116,7 +122,9 @@ mod tests {
         // After a lost reply + replayed transaction the server may report
         // InvalidState for a fresh duplicate name; a new step attempt with
         // fresh names resolves it.
-        let p = FaultPolicy::Full { max_step_retries: 2 };
+        let p = FaultPolicy::Full {
+            max_step_retries: 2,
+        };
         let fault = NtcpError::Fault {
             code: "DuplicateTransaction".into(),
             message: "t exists".into(),
@@ -128,7 +136,9 @@ mod tests {
 
     #[test]
     fn no_route_is_fatal_even_under_full() {
-        let p = FaultPolicy::Full { max_step_retries: 5 };
+        let p = FaultPolicy::Full {
+            max_step_retries: 5,
+        };
         assert!(!p.step_retryable(&NtcpError::Transport(RpcError::NoRoute), 0));
     }
 }

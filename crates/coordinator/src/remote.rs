@@ -54,7 +54,13 @@ impl NtcpSubstructure {
             &e,
             NtcpError::Transport(neesgrid_ogsi::RpcError::Timeout { .. })
                 | NtcpError::Transport(neesgrid_ogsi::RpcError::LinkReset)
-        ) || matches!(&e, NtcpError::Fault { retryable: true, .. });
+        ) || matches!(
+            &e,
+            NtcpError::Fault {
+                retryable: true,
+                ..
+            }
+        );
         SubstructureError {
             message: format!("{}: {e}", self.name),
             recoverable,
@@ -174,10 +180,8 @@ mod tests {
             )
             .unwrap();
         // Identical local run.
-        let local = SimulatedSubstructure::spring_to_ground(
-            "local",
-            Box::new(LinearElastic::new(2.0e5)),
-        );
+        let local =
+            SimulatedSubstructure::spring_to_ground("local", Box::new(LinearElastic::new(2.0e5)));
         let local_hist = test
             .run(
                 vec![(SubstructureBinding::new(vec![0]), Box::new(local) as _)],

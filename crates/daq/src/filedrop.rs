@@ -57,11 +57,7 @@ impl FileDropDir {
     /// Deposit a time-series window as CSV, named from channel + window
     /// index.
     pub fn deposit_series(&self, ts: &TimeSeries, window_index: u64, now: SimTime) -> u64 {
-        let name = format!(
-            "{}-{:06}.csv",
-            ts.channel.replace('/', "-"),
-            window_index
-        );
+        let name = format!("{}-{:06}.csv", ts.channel.replace('/', "-"), window_index);
         self.deposit(name, Bytes::from(ts.to_csv()), now)
     }
 

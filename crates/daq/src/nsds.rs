@@ -226,8 +226,7 @@ mod tests {
     fn many_subscribers_each_get_their_own_buffer() {
         let nsds = NsdsServer::new();
         // §3.4: "over 130 remote participants logged on to observe MOST."
-        let subs: Vec<NsdsSubscription> =
-            (0..130).map(|_| nsds.subscribe("*", 64)).collect();
+        let subs: Vec<NsdsSubscription> = (0..130).map(|_| nsds.subscribe("*", 64)).collect();
         for i in 0..64 {
             nsds.publish(sample("resp/dof-0", i));
         }

@@ -102,15 +102,21 @@ impl Serialize for FaultPlan {
             .point_faults
             .iter()
             .flat_map(|(link, m)| {
-                m.iter().map(move |(&message_index, &action)| ScheduledFault {
-                    link: link.clone(),
-                    message_index,
-                    action,
-                })
+                m.iter()
+                    .map(move |(&message_index, &action)| ScheduledFault {
+                        link: link.clone(),
+                        message_index,
+                        action,
+                    })
             })
             .collect();
-        faults.sort_by(|a, b| (&a.link.src, &a.link.dst, a.message_index)
-            .cmp(&(&b.link.src, &b.link.dst, b.message_index)));
+        faults.sort_by(|a, b| {
+            (&a.link.src, &a.link.dst, a.message_index).cmp(&(
+                &b.link.src,
+                &b.link.dst,
+                b.message_index,
+            ))
+        });
         FaultPlanWire {
             faults,
             partitions: self.partitions.clone(),
@@ -229,9 +235,18 @@ mod tests {
     fn point_drop_hits_only_its_index() {
         let mut plan = FaultPlan::reliable();
         plan.drop_at(link(), 5);
-        assert_eq!(plan.decide(&link(), 4, MessageKind::Request), FaultAction::Deliver);
-        assert_eq!(plan.decide(&link(), 5, MessageKind::Request), FaultAction::Drop);
-        assert_eq!(plan.decide(&link(), 6, MessageKind::Request), FaultAction::Deliver);
+        assert_eq!(
+            plan.decide(&link(), 4, MessageKind::Request),
+            FaultAction::Deliver
+        );
+        assert_eq!(
+            plan.decide(&link(), 5, MessageKind::Request),
+            FaultAction::Drop
+        );
+        assert_eq!(
+            plan.decide(&link(), 6, MessageKind::Request),
+            FaultAction::Deliver
+        );
     }
 
     #[test]
@@ -248,7 +263,10 @@ mod tests {
     fn reset_is_distinct_from_drop() {
         let mut plan = FaultPlan::reliable();
         plan.reset_at(link(), 2);
-        assert_eq!(plan.decide(&link(), 2, MessageKind::Reply), FaultAction::Reset);
+        assert_eq!(
+            plan.decide(&link(), 2, MessageKind::Reply),
+            FaultAction::Reset
+        );
     }
 
     #[test]
@@ -259,11 +277,20 @@ mod tests {
             from_index: 10,
             to_index: 13,
         });
-        assert_eq!(plan.decide(&link(), 9, MessageKind::Request), FaultAction::Deliver);
+        assert_eq!(
+            plan.decide(&link(), 9, MessageKind::Request),
+            FaultAction::Deliver
+        );
         for i in 10..13 {
-            assert_eq!(plan.decide(&link(), i, MessageKind::Request), FaultAction::Drop);
+            assert_eq!(
+                plan.decide(&link(), i, MessageKind::Request),
+                FaultAction::Drop
+            );
         }
-        assert_eq!(plan.decide(&link(), 13, MessageKind::Request), FaultAction::Deliver);
+        assert_eq!(
+            plan.decide(&link(), 13, MessageKind::Request),
+            FaultAction::Deliver
+        );
     }
 
     #[test]
@@ -279,8 +306,14 @@ mod tests {
             message_index: 50,
             action: FaultAction::Deliver,
         });
-        assert_eq!(plan.decide(&link(), 50, MessageKind::Request), FaultAction::Deliver);
-        assert_eq!(plan.decide(&link(), 51, MessageKind::Request), FaultAction::Drop);
+        assert_eq!(
+            plan.decide(&link(), 50, MessageKind::Request),
+            FaultAction::Deliver
+        );
+        assert_eq!(
+            plan.decide(&link(), 51, MessageKind::Request),
+            FaultAction::Drop
+        );
     }
 
     #[test]
@@ -293,17 +326,22 @@ mod tests {
         );
         // but not when exemption is disabled
         plan.exempt_control = false;
-        assert_eq!(plan.decide(&link(), 0, MessageKind::Control), FaultAction::Drop);
+        assert_eq!(
+            plan.decide(&link(), 0, MessageKind::Control),
+            FaultAction::Drop
+        );
     }
 
     #[test]
     fn counts_reflect_schedule() {
         let mut plan = FaultPlan::reliable();
-        plan.drop_at(link(), 1).reset_at(link(), 2).partition(PartitionWindow {
-            link: link(),
-            from_index: 5,
-            to_index: 6,
-        });
+        plan.drop_at(link(), 1)
+            .reset_at(link(), 2)
+            .partition(PartitionWindow {
+                link: link(),
+                from_index: 5,
+                to_index: 6,
+            });
         assert_eq!(plan.point_fault_count(), 2);
         assert_eq!(plan.partition_count(), 1);
     }
@@ -314,6 +352,9 @@ mod tests {
         plan.reset_at(link(), 1493);
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.decide(&link(), 1493, MessageKind::Request), FaultAction::Reset);
+        assert_eq!(
+            back.decide(&link(), 1493, MessageKind::Request),
+            FaultAction::Reset
+        );
     }
 }

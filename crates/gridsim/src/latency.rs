@@ -15,8 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::time::SimTime;
 
 /// How a link charges latency to each message it carries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum LatencyModel {
     /// Zero latency (co-located components, loopback).
     #[default]
@@ -29,7 +28,6 @@ pub enum LatencyModel {
     /// a standard WAN tail model.
     BaseWithTail { base: SimTime, tail_mean: SimTime },
 }
-
 
 impl LatencyModel {
     /// A model resembling the 2003 Abilene path between the MOST sites:

@@ -75,6 +75,11 @@ pub enum ControlNotice {
     LinkReset { dst: NodeId, correlation_id: u64 },
     /// The destination node is not registered on the network.
     NoRoute { dst: NodeId, correlation_id: u64 },
+    /// The message to `dst` was silently lost in transit. Semantically the
+    /// waiting party observes this as its timeout verdict — the notice just
+    /// delivers that verdict deterministically instead of racing a
+    /// wall-clock deadline against scheduler load.
+    Dropped { dst: NodeId, correlation_id: u64 },
 }
 
 impl ControlNotice {
@@ -92,7 +97,8 @@ impl ControlNotice {
     pub fn correlation_id(&self) -> u64 {
         match self {
             ControlNotice::LinkReset { correlation_id, .. }
-            | ControlNotice::NoRoute { correlation_id, .. } => *correlation_id,
+            | ControlNotice::NoRoute { correlation_id, .. }
+            | ControlNotice::Dropped { correlation_id, .. } => *correlation_id,
         }
     }
 }

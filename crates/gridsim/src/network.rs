@@ -100,14 +100,17 @@ impl RouterState {
                     .unwrap_or(&self.default_latency)
                     .sample(&mut self.rng);
                 env.latency = latency;
-                self.stats.record_delivered(&link, env.wire_bytes(), latency);
+                self.stats
+                    .record_delivered(&link, env.wire_bytes(), latency);
                 // A receiver that has shut down behaves like a drop.
-                if dest.send(env).is_err() {
+                if let Err(crossbeam::channel::SendError(env)) = dest.send(env) {
                     self.stats.record_dropped(&link);
+                    self.notify_loss(&env);
                 }
             }
             FaultAction::Drop => {
                 self.stats.record_dropped(&link);
+                self.notify_loss(&env);
             }
             FaultAction::Reset => {
                 self.stats.record_reset(&link);
@@ -119,6 +122,25 @@ impl RouterState {
                     },
                 );
             }
+        }
+    }
+
+    /// Surface a silent loss to whichever endpoint is waiting on the
+    /// message's correlation id: the sender for a lost request, the original
+    /// requester for a lost reply. One-way and control traffic has no
+    /// waiter, so losses there stay silent. This keeps the *semantics* of a
+    /// timeout verdict (the RPC layer still counts it as one) while making
+    /// the verdict deterministic rather than a race between scheduler load
+    /// and a wall-clock deadline.
+    fn notify_loss(&mut self, env: &Envelope) {
+        let notice = ControlNotice::Dropped {
+            dst: env.dst.clone(),
+            correlation_id: env.correlation_id,
+        };
+        match env.kind {
+            MessageKind::Request => self.notify_sender(&env.src, notice),
+            MessageKind::Reply => self.notify_sender(&env.dst, notice),
+            MessageKind::OneWay | MessageKind::Control => {}
         }
     }
 
@@ -278,6 +300,23 @@ impl Endpoint {
         self.next_correlation.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// The next correlation id this endpoint would hand out. Checkpoints
+    /// record this so a restarted node can avoid reusing ids that remote
+    /// dedup caches still remember.
+    pub fn correlation_watermark(&self) -> u64 {
+        self.next_correlation.load(Ordering::Relaxed)
+    }
+
+    /// Fast-forward the correlation counter to at least `watermark`. Used
+    /// when resuming from a checkpoint: a fresh endpoint restarts at 1, and
+    /// without this its new request ids would collide with entries the
+    /// remote servers' at-most-once caches restored, silently replaying
+    /// stale responses.
+    pub fn advance_correlation_to(&self, watermark: u64) {
+        self.next_correlation
+            .fetch_max(watermark, Ordering::Relaxed);
+    }
+
     /// Post a message onto the network.
     pub fn send(
         &self,
@@ -410,7 +449,13 @@ mod tests {
     fn unknown_destination_yields_no_route() {
         let net = net();
         let a = net.endpoint("a");
-        a.send(NodeId::new("ghost"), "s", MessageKind::Request, 5, Bytes::new());
+        a.send(
+            NodeId::new("ghost"),
+            "s",
+            MessageKind::Request,
+            5,
+            Bytes::new(),
+        );
         let env = a.recv_timeout(Duration::from_secs(1)).unwrap();
         let notice = ControlNotice::from_bytes(&env.payload).unwrap();
         assert_eq!(
@@ -469,7 +514,13 @@ mod tests {
         plan.drop_at(LinkKey::new("a", "b"), 1);
         net.set_fault_plan(plan);
         for _ in 0..3 {
-            a.send(b.id().clone(), "s", MessageKind::OneWay, 0, Bytes::from_static(b"xyz"));
+            a.send(
+                b.id().clone(),
+                "s",
+                MessageKind::OneWay,
+                0,
+                Bytes::from_static(b"xyz"),
+            );
         }
         // Drain deliveries so the router has definitely processed them.
         let mut n = 0;

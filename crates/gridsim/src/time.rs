@@ -20,7 +20,9 @@ use serde::{Deserialize, Serialize};
 /// a duration; earthquake-engineering time-steps (10 ms typical) and actuator
 /// settle times (seconds) are both comfortably in range: the representable
 /// span is ~584 years.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {

@@ -73,8 +73,12 @@ pub fn authenticate(
     root: &CaVerifier,
     now: SimTime,
 ) -> Result<SecurityContext, AuthError> {
-    client.validate(root, now).map_err(AuthError::ClientCredential)?;
-    server.validate(root, now).map_err(AuthError::ServerCredential)?;
+    client
+        .validate(root, now)
+        .map_err(AuthError::ClientCredential)?;
+    server
+        .validate(root, now)
+        .map_err(AuthError::ServerCredential)?;
 
     // Proof of possession: each side signs the other's nonce.
     // Nonces are derived deterministically from the context for replay
@@ -161,10 +165,8 @@ mod tests {
     #[test]
     fn untrusted_peer_rejected() {
         let (ca, user, _) = setup();
-        let rogue_ca = CertificateAuthority::new(
-            DistinguishedName::new(&[("O", "Rogue"), ("CN", "CA")]),
-            777,
-        );
+        let rogue_ca =
+            CertificateAuthority::new(DistinguishedName::new(&[("O", "Rogue"), ("CN", "CA")]), 777);
         let rogue = Credential::issue(
             &rogue_ca,
             DistinguishedName::nees_host("rogue", "ntcp"),

@@ -57,8 +57,7 @@ impl CapabilityAssertion {
         rights: &HashSet<Right>,
         not_after: SimTime,
     ) -> Vec<u8> {
-        let mut rights_sorted: Vec<String> =
-            rights.iter().map(|r| format!("{r:?}")).collect();
+        let mut rights_sorted: Vec<String> = rights.iter().map(|r| format!("{r:?}")).collect();
         rights_sorted.sort();
         canonical_bytes(&[
             b"cas",
@@ -72,7 +71,9 @@ impl CapabilityAssertion {
 
     /// Whether this assertion grants `right` on `resource` at time `now`.
     pub fn grants(&self, resource: &str, right: Right, now: SimTime) -> bool {
-        now < self.not_after && resource.starts_with(&self.resource_prefix) && self.rights.contains(&right)
+        now < self.not_after
+            && resource.starts_with(&self.resource_prefix)
+            && self.rights.contains(&right)
     }
 }
 
@@ -217,9 +218,21 @@ mod tests {
             .issue(&member, "/experiments/most/", SimTime::from_secs(100))
             .unwrap();
         assert!(cas.verify(&a));
-        assert!(a.grants("/experiments/most/run1/data.csv", Right::Read, SimTime::from_secs(10)));
-        assert!(a.grants("/experiments/most/run1/data.csv", Right::Write, SimTime::from_secs(10)));
-        assert!(!a.grants("/experiments/most/run1/data.csv", Right::Admin, SimTime::from_secs(10)));
+        assert!(a.grants(
+            "/experiments/most/run1/data.csv",
+            Right::Read,
+            SimTime::from_secs(10)
+        ));
+        assert!(a.grants(
+            "/experiments/most/run1/data.csv",
+            Right::Write,
+            SimTime::from_secs(10)
+        ));
+        assert!(!a.grants(
+            "/experiments/most/run1/data.csv",
+            Right::Admin,
+            SimTime::from_secs(10)
+        ));
     }
 
     #[test]
@@ -245,7 +258,9 @@ mod tests {
     fn non_member_gets_nothing() {
         let (cas, _) = setup();
         let outsider = DistinguishedName::nees_user("Nowhere", "Eve");
-        assert!(cas.issue(&outsider, "/experiments/most/", SimTime::from_secs(1)).is_none());
+        assert!(cas
+            .issue(&outsider, "/experiments/most/", SimTime::from_secs(1))
+            .is_none());
     }
 
     #[test]
@@ -286,7 +301,9 @@ mod tests {
             .issue(&member, "/experiments/most/", SimTime::from_secs(100))
             .unwrap();
         cas.expel(&member);
-        assert!(cas.issue(&member, "/experiments/most/", SimTime::from_secs(100)).is_none());
+        assert!(cas
+            .issue(&member, "/experiments/most/", SimTime::from_secs(100))
+            .is_none());
         // Already-issued assertions still verify until expiry.
         assert!(cas.verify(&before));
     }

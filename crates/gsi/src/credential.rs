@@ -261,18 +261,23 @@ mod tests {
     fn end_entity_validates() {
         let (ca, cred) = setup();
         assert_eq!(cred.kind(), CredentialKind::EndEntity);
-        cred.validate(&ca.verifier(), SimTime::from_secs(1)).unwrap();
+        cred.validate(&ca.verifier(), SimTime::from_secs(1))
+            .unwrap();
     }
 
     #[test]
     fn delegation_produces_proxy_with_depth() {
         let (ca, cred) = setup();
-        let p1 = cred.delegate(SimTime::from_secs(1), SimTime::from_secs(3600)).unwrap();
+        let p1 = cred
+            .delegate(SimTime::from_secs(1), SimTime::from_secs(3600))
+            .unwrap();
         assert_eq!(p1.kind(), CredentialKind::Proxy { depth: 1 });
         assert_eq!(p1.identity(), cred.identity());
         assert!(p1.leaf_subject().is_proxy_of(&cred.leaf_subject()));
         p1.validate(&ca.verifier(), SimTime::from_secs(2)).unwrap();
-        let p2 = p1.delegate(SimTime::from_secs(2), SimTime::from_secs(60)).unwrap();
+        let p2 = p1
+            .delegate(SimTime::from_secs(2), SimTime::from_secs(60))
+            .unwrap();
         assert_eq!(p2.kind(), CredentialKind::Proxy { depth: 2 });
         p2.validate(&ca.verifier(), SimTime::from_secs(30)).unwrap();
     }
@@ -299,10 +304,13 @@ mod tests {
     #[test]
     fn validation_fails_after_proxy_expiry() {
         let (ca, cred) = setup();
-        let p = cred.delegate(SimTime::ZERO, SimTime::from_secs(10)).unwrap();
+        let p = cred
+            .delegate(SimTime::ZERO, SimTime::from_secs(10))
+            .unwrap();
         p.validate(&ca.verifier(), SimTime::from_secs(5)).unwrap();
         assert_eq!(
-            p.validate(&ca.verifier(), SimTime::from_secs(11)).unwrap_err(),
+            p.validate(&ca.verifier(), SimTime::from_secs(11))
+                .unwrap_err(),
             CredentialError::Expired
         );
     }
@@ -310,11 +318,14 @@ mod tests {
     #[test]
     fn tampered_chain_rejected() {
         let (ca, cred) = setup();
-        let mut p = cred.delegate(SimTime::ZERO, SimTime::from_secs(10)).unwrap();
+        let mut p = cred
+            .delegate(SimTime::ZERO, SimTime::from_secs(10))
+            .unwrap();
         // Extend the proxy's lifetime beyond its parent's: malformed.
         p.chain[0].not_after = SimTime::from_secs(100 * 3600);
         assert_eq!(
-            p.validate(&ca.verifier(), SimTime::from_secs(5)).unwrap_err(),
+            p.validate(&ca.verifier(), SimTime::from_secs(5))
+                .unwrap_err(),
             CredentialError::MalformedChain
         );
     }
@@ -322,10 +333,13 @@ mod tests {
     #[test]
     fn wrong_dn_shape_rejected() {
         let (ca, cred) = setup();
-        let mut p = cred.delegate(SimTime::ZERO, SimTime::from_secs(10)).unwrap();
+        let mut p = cred
+            .delegate(SimTime::ZERO, SimTime::from_secs(10))
+            .unwrap();
         p.chain[0].subject = DistinguishedName::nees_user("UIUC", "Impostor");
         assert_eq!(
-            p.validate(&ca.verifier(), SimTime::from_secs(5)).unwrap_err(),
+            p.validate(&ca.verifier(), SimTime::from_secs(5))
+                .unwrap_err(),
             CredentialError::MalformedChain
         );
     }
@@ -338,7 +352,8 @@ mod tests {
             c = c.delegate(SimTime::ZERO, SimTime::from_secs(3600)).unwrap();
         }
         assert_eq!(
-            c.delegate(SimTime::ZERO, SimTime::from_secs(1)).unwrap_err(),
+            c.delegate(SimTime::ZERO, SimTime::from_secs(1))
+                .unwrap_err(),
             CredentialError::DepthExceeded
         );
     }
@@ -351,7 +366,8 @@ mod tests {
             99,
         );
         assert_eq!(
-            cred.validate(&other.verifier(), SimTime::from_secs(1)).unwrap_err(),
+            cred.validate(&other.verifier(), SimTime::from_secs(1))
+                .unwrap_err(),
             CredentialError::BadSignature
         );
     }
@@ -363,7 +379,9 @@ mod tests {
         assert!(cred.verify_own(b"nonce-123", tag));
         assert!(!cred.verify_own(b"nonce-124", tag));
         // Proxy has a different leaf key than the end entity.
-        let p = cred.delegate(SimTime::ZERO, SimTime::from_secs(10)).unwrap();
+        let p = cred
+            .delegate(SimTime::ZERO, SimTime::from_secs(10))
+            .unwrap();
         assert!(!p.verify_own(b"nonce-123", tag));
     }
 }

@@ -64,9 +64,7 @@ impl DistinguishedName {
 
     /// The common-name component, if present.
     pub fn common_name(&self) -> Option<&str> {
-        self.0[1..]
-            .split('/')
-            .find_map(|c| c.strip_prefix("CN="))
+        self.0[1..].split('/').find_map(|c| c.strip_prefix("CN="))
     }
 
     /// Whether `self` is the proxy-extended child of `parent`
@@ -243,7 +241,6 @@ impl CaVerifier {
         );
         self.key.verify(&bytes, cert.signature)
     }
-
 }
 
 #[cfg(test)]

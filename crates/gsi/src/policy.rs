@@ -222,10 +222,7 @@ mod tests {
         let mut gm = GridMap::new();
         gm.add(dn(), "most");
         assert_eq!(gm.lookup(&dn()), Some("most"));
-        assert_eq!(
-            gm.lookup(&DistinguishedName::nees_user("X", "Y")),
-            None
-        );
+        assert_eq!(gm.lookup(&DistinguishedName::nees_user("X", "Y")), None);
         assert_eq!(gm.len(), 1);
     }
 
@@ -294,10 +291,16 @@ mod tests {
     fn authorize_command_combines_identity_and_limits() {
         let mut p = SitePolicy::permissive("uiuc", ActionLimits::most_large_scale());
         p.gridmap.add(dn(), "most");
-        assert!(p.authorize_command(&dn(), "propose", 0.01, 0.0, 0.0).allowed);
+        assert!(
+            p.authorize_command(&dn(), "propose", 0.01, 0.0, 0.0)
+                .allowed
+        );
         assert!(!p.authorize_command(&dn(), "propose", 0.2, 0.0, 0.0).allowed);
         let stranger = DistinguishedName::nees_user("Nowhere", "Eve");
-        assert!(!p.authorize_command(&stranger, "propose", 0.01, 0.0, 0.0).allowed);
+        assert!(
+            !p.authorize_command(&stranger, "propose", 0.01, 0.0, 0.0)
+                .allowed
+        );
     }
 
     #[test]

@@ -146,10 +146,7 @@ mod tests {
         // dt must be comfortably under the central-difference critical
         // step for the elastic frame.
         let c = MostConfig::paper();
-        let w_max = *c
-            .natural_frequencies()
-            .last()
-            .unwrap();
+        let w_max = *c.natural_frequencies().last().unwrap();
         let dt_critical = 2.0 / w_max;
         assert!(
             c.dt < 0.5 * dt_critical,

@@ -233,7 +233,10 @@ pub fn run_field_test(config: &FieldTestConfig, store: &VirtualStore) -> FieldTe
         let content = rx.finish().expect("transfer completes");
         archive_bytes += content.len() as u64;
         store.put(
-            format!("/experiments/ucla-field/{}.csv", ts.channel.replace('/', "-")),
+            format!(
+                "/experiments/ucla-field/{}.csv",
+                ts.channel.replace('/', "-")
+            ),
             content,
             SimTime::from_secs_f64(config.dt * config.steps as f64),
         );

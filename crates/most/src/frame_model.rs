@@ -11,9 +11,7 @@ use neesgrid_structsim::element::CouplingSpring;
 use neesgrid_structsim::linalg::Matrix;
 use neesgrid_structsim::material::{BilinearHysteretic, LinearElastic};
 use neesgrid_structsim::psd::{PsdHistory, PsdTest};
-use neesgrid_structsim::substructure::{
-    SimulatedSubstructure, Substructure, SubstructureBinding,
-};
+use neesgrid_structsim::substructure::{SimulatedSubstructure, Substructure, SubstructureBinding};
 
 use neesgrid_apparatus::{Specimen, SteelColumn};
 
@@ -52,7 +50,10 @@ pub fn ideal_substructures(
         Box::new(LinearElastic::new(config.beam_stiffness)),
     )));
     vec![
-        (SubstructureBinding::new(vec![0]), Box::new(left) as Box<dyn Substructure>),
+        (
+            SubstructureBinding::new(vec![0]),
+            Box::new(left) as Box<dyn Substructure>,
+        ),
         (SubstructureBinding::new(vec![1]), Box::new(right)),
         (SubstructureBinding::new(vec![0, 1]), Box::new(center)),
     ]

@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use neesgrid_apparatus::stepper::StepperConfig;
 use neesgrid_apparatus::{
-    FirstOrderKineticPlugin, LabViewPlugin, LoadCell, Lvdt, Specimen, StepperMotor, SteelColumn,
+    FirstOrderKineticPlugin, LabViewPlugin, LoadCell, Lvdt, Specimen, SteelColumn, StepperMotor,
     StrainGauge,
 };
 use neesgrid_coordinator::{FaultPolicy, SimCoordBuilder, Termination};
@@ -156,8 +156,16 @@ mod tests {
         assert!(out.completed);
         assert_eq!(out.steps_completed, 200);
         // Millimeter-scale motion, within the ±20 mm tabletop policy.
-        assert!(out.peak_displacement_m > 1e-4, "peak {}", out.peak_displacement_m);
-        assert!(out.peak_displacement_m < 0.020, "peak {}", out.peak_displacement_m);
+        assert!(
+            out.peak_displacement_m > 1e-4,
+            "peak {}",
+            out.peak_displacement_m
+        );
+        assert!(
+            out.peak_displacement_m < 0.020,
+            "peak {}",
+            out.peak_displacement_m
+        );
     }
 
     #[test]

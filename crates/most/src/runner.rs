@@ -26,8 +26,11 @@ use parking_lot::Mutex;
 use serde_json::json;
 
 use neesgrid_apparatus::{
-    ActuatorConfig, ControllerCommand, ControllerResponse, LoadCell, Lvdt,
-    ServoHydraulicActuator, ShoreWesternController, ShoreWesternPlugin, SteelColumn, XpcTarget,
+    ActuatorConfig, ControllerCommand, ControllerResponse, LoadCell, Lvdt, ServoHydraulicActuator,
+    ShoreWesternController, ShoreWesternPlugin, SteelColumn, XpcTarget,
+};
+use neesgrid_checkpoint::{
+    CheckpointError, CheckpointPolicy, CheckpointStore, Checkpointable, Checkpointer, Snapshot,
 };
 use neesgrid_chef::{CollabPortal, DataViewer};
 use neesgrid_coordinator::{FaultPolicy, SimCoordBuilder, SiteHandle};
@@ -92,6 +95,14 @@ impl ControlPlugin for TelemetryPlugin {
     fn cancel(&mut self, actions: &[ControlPoint]) -> Result<(), PluginError> {
         self.inner.cancel(actions)
     }
+
+    fn state(&self) -> Option<serde_json::Value> {
+        self.inner.state()
+    }
+
+    fn restore(&mut self, state: &serde_json::Value) -> Result<(), PluginError> {
+        self.inner.restore(state)
+    }
 }
 
 fn xpc_results(
@@ -131,6 +142,12 @@ pub struct MostDeployment {
     nfms_client: RpcClient,
     nmds_client: RpcClient,
     participants: Vec<(DataViewer, NsdsSubscription)>,
+    store: VirtualStore,
+    coordinator_mux: Arc<RpcMux>,
+    /// Per-site NTCP clients on the dedicated `checkpointer` endpoint.
+    /// Snapshot/restore RPCs ride these links so they never shift the
+    /// experiment links' deterministic fault-plan message indices.
+    checkpoint_clients: Vec<(String, NtcpClient)>,
 }
 
 /// Everything a run produces.
@@ -153,6 +170,15 @@ impl MostDeployment {
     /// Build the full deployment with `participants` synthetic remote
     /// observers.
     pub fn build(config: MostConfig, participants: usize) -> Self {
+        Self::build_with_store(config, participants, VirtualStore::new())
+    }
+
+    /// Build the deployment around an existing repository backing store.
+    /// Because [`VirtualStore`] clones share state, handing the same
+    /// store to a second deployment is the crash-and-restart path: the
+    /// new deployment sees every file — and checkpoint — the old one
+    /// deposited.
+    pub fn build_with_store(config: MostConfig, participants: usize, store: VirtualStore) -> Self {
         let net = VirtualNetwork::new(NetworkConfig {
             default_latency: LatencyModel::wan_2003(),
             seed: config.motion_seed,
@@ -181,7 +207,6 @@ impl MostDeployment {
         );
 
         // --- Repository node ------------------------------------------------
-        let store = VirtualStore::new();
         let repo_host = Credential::issue(
             &ca,
             DistinguishedName::nees_host("repository", "container"),
@@ -206,7 +231,9 @@ impl MostDeployment {
             ("ncsa", config.ncsa_role, vec![0, 1], config.beam_stiffness),
         ];
         let coordinator_mux = RpcMux::new(net.endpoint("coordinator"));
+        let checkpointer_mux = RpcMux::new(net.endpoint("checkpointer"));
         let mut sites = Vec::new();
+        let mut checkpoint_clients = Vec::new();
         let mut daqs = Vec::new();
         for (name, role, dofs, stiffness) in site_specs {
             let latest = Arc::new(Mutex::new((0.0f64, 0.0f64)));
@@ -299,8 +326,13 @@ impl MostDeployment {
             let mut container =
                 ServiceContainer::new(net.endpoint(name)).with_service("ntcp", Box::new(server));
             container.install_session(
-                authenticate(&coordinator_proxy, &host_cred, &ca.verifier(), SimTime::ZERO)
-                    .expect("site session"),
+                authenticate(
+                    &coordinator_proxy,
+                    &host_cred,
+                    &ca.verifier(),
+                    SimTime::ZERO,
+                )
+                .expect("site session"),
             );
             let _handle = container.run();
 
@@ -334,6 +366,21 @@ impl MostDeployment {
                 binding: neesgrid_structsim::substructure::SubstructureBinding::new(dofs),
                 stiffness_estimate: stiffness,
             });
+            // The checkpointer reuses the coordinator's proxy identity
+            // (site containers authorize by caller DN) but its own
+            // endpoint, keeping snapshot traffic off the experiment links.
+            checkpoint_clients.push((
+                name.to_string(),
+                NtcpClient::new(
+                    RpcClient::new(
+                        Arc::clone(&checkpointer_mux),
+                        NodeId::new(name),
+                        "ntcp",
+                        coordinator_proxy.identity().clone(),
+                    )
+                    .with_attempt_timeout(Duration::from_millis(150)),
+                ),
+            ));
         }
 
         // Repository clients used by the ingestion path.
@@ -363,7 +410,9 @@ impl MostDeployment {
                 cred_life,
                 5000 + i as u64,
             );
-            portal.login(&cred, SimTime::ZERO).expect("participant login");
+            portal
+                .login(&cred, SimTime::ZERO)
+                .expect("participant login");
             viewers.push(portal.open_viewer(&nsds, "*", 8192));
         }
 
@@ -378,7 +427,16 @@ impl MostDeployment {
             nfms_client,
             nmds_client,
             participants: viewers,
+            store,
+            coordinator_mux,
+            checkpoint_clients,
         }
+    }
+
+    /// The repository backing store (shared with clones; hand it to
+    /// [`MostDeployment::build_with_store`] to rebuild after a crash).
+    pub fn store(&self) -> &VirtualStore {
+        &self.store
     }
 
     /// Install a fault schedule on the WAN.
@@ -435,9 +493,21 @@ impl MostDeployment {
             json!({"id": "/schemas/most-substructure", "schema": schema}),
         );
         let setups = [
-            ("uiuc", "left column (cantilever, pin top)", self.config.uiuc_stiffness()),
-            ("cu", "right column (fixed-fixed)", self.config.cu_stiffness()),
-            ("ncsa", "central beam section (numerical)", self.config.beam_stiffness),
+            (
+                "uiuc",
+                "left column (cantilever, pin top)",
+                self.config.uiuc_stiffness(),
+            ),
+            (
+                "cu",
+                "right column (fixed-fixed)",
+                self.config.cu_stiffness(),
+            ),
+            (
+                "ncsa",
+                "central beam section (numerical)",
+                self.config.beam_stiffness,
+            ),
         ];
         for (site, desc, k) in setups {
             let _ = self.nmds_client.call_value(
@@ -458,16 +528,61 @@ impl MostDeployment {
     }
 
     /// Run the experiment under `policy`. Consumes the deployment.
-    pub fn run(mut self, policy: FaultPolicy) -> MostRunArtifacts {
+    pub fn run(self, policy: FaultPolicy) -> MostRunArtifacts {
+        self.run_inner(policy, None, None)
+            .expect("run without resume cannot fail on checkpoint machinery")
+    }
+
+    /// Run with periodic checkpointing: snapshots of coordinator + site
+    /// state go to `store` under `run_id` at the boundaries
+    /// `checkpoint_policy` selects. A checkpoint failure is logged in the
+    /// experiment log but never interrupts the run.
+    pub fn run_with_checkpoints(
+        self,
+        policy: FaultPolicy,
+        run_id: &str,
+        checkpoint_policy: CheckpointPolicy,
+        checkpoint_store: Arc<dyn CheckpointStore>,
+    ) -> MostRunArtifacts {
+        self.run_inner(
+            policy,
+            Some((run_id.to_string(), checkpoint_policy, checkpoint_store)),
+            None,
+        )
+        .expect("run without resume cannot fail on checkpoint machinery")
+    }
+
+    /// Crash-and-restart mode: load the latest snapshot for `run_id`,
+    /// push each site's state back onto this (freshly built) deployment,
+    /// fast-forward the coordinator's correlation counter and the virtual
+    /// clock, and continue the run to completion.
+    pub fn resume_latest(
+        self,
+        policy: FaultPolicy,
+        run_id: &str,
+        checkpoint_store: Arc<dyn CheckpointStore>,
+    ) -> Result<MostRunArtifacts, CheckpointError> {
+        let snapshot = checkpoint_store.load_latest(run_id)?;
+        self.run_inner(policy, None, Some((snapshot, checkpoint_store)))
+    }
+
+    fn run_inner(
+        mut self,
+        policy: FaultPolicy,
+        checkpoints: Option<(String, CheckpointPolicy, Arc<dyn CheckpointStore>)>,
+        resume: Option<(Snapshot, Arc<dyn CheckpointStore>)>,
+    ) -> Result<MostRunArtifacts, CheckpointError> {
         self.record_setup_metadata();
         let clock = self.net.clock();
         let motion = self.config.ground_motion();
         let steps = self.config.steps;
 
-        let mut builder =
-            SimCoordBuilder::new(vec![self.config.mass_kg, self.config.mass_kg], Arc::clone(&clock))
-                .dt(self.config.dt)
-                .fault_policy(policy);
+        let mut builder = SimCoordBuilder::new(
+            vec![self.config.mass_kg, self.config.mass_kg],
+            Arc::clone(&clock),
+        )
+        .dt(self.config.dt)
+        .fault_policy(policy);
         for s in self.sites.drain(..) {
             builder = builder.site(
                 s.name.clone(),
@@ -540,7 +655,32 @@ impl MostDeployment {
             }));
         }
 
-        let outcome = coordinator.run(&motion, steps);
+        if let Some((run_id, ckpt_policy, ckpt_store)) = checkpoints {
+            coordinator.checkpoint_into(Checkpointer::new(
+                run_id,
+                ckpt_policy,
+                ckpt_store,
+                self.checkpoint_clients.clone(),
+                Arc::clone(&self.coordinator_mux),
+                Arc::clone(&clock),
+            ));
+        }
+
+        let outcome = match resume {
+            Some((snapshot, ckpt_store)) => {
+                let checkpointer = Checkpointer::new(
+                    snapshot.run_id.clone(),
+                    CheckpointPolicy::never(),
+                    ckpt_store,
+                    self.checkpoint_clients.clone(),
+                    Arc::clone(&self.coordinator_mux),
+                    Arc::clone(&clock),
+                );
+                checkpointer.prepare_resume(&snapshot)?;
+                coordinator.resume_from(snapshot, &motion, steps)
+            }
+            None => coordinator.run(&motion, steps),
+        };
 
         // Let the crowd catch up on the stream.
         for (viewer, sub) in self.participants.iter_mut() {
@@ -556,14 +696,14 @@ impl MostDeployment {
             bytes_counter.load(Ordering::Relaxed),
             clock.now(),
         );
-        MostRunArtifacts {
+        Ok(MostRunArtifacts {
             outcome,
             report,
             files_ingested: files_counter.load(Ordering::Relaxed),
             bytes_ingested: bytes_counter.load(Ordering::Relaxed),
             nsds_published: self.nsds.published(),
             participants: self.portal.sessions.peak_concurrent(),
-        }
+        })
     }
 }
 
@@ -580,10 +720,15 @@ mod tests {
         // reference model exactly (ideal substructures, no sensor noise).
         let config = MostConfig::simulation_only().with_steps(150);
         let deployment = MostDeployment::build(config.clone(), 3);
-        let artifacts = deployment.run(FaultPolicy::Full { max_step_retries: 2 });
+        let artifacts = deployment.run(FaultPolicy::Full {
+            max_step_retries: 2,
+        });
         assert_eq!(artifacts.outcome.steps_completed(), 150);
         let reference = reference_history(&config);
-        let diff = artifacts.outcome.history.max_displacement_difference(&reference);
+        let diff = artifacts
+            .outcome
+            .history
+            .max_displacement_difference(&reference);
         assert!(diff < 1e-12, "deployment vs reference diff {diff}");
         assert!(artifacts.nsds_published > 0);
         assert!(artifacts.files_ingested > 0, "incremental ingestion ran");
@@ -597,11 +742,19 @@ mod tests {
         // transparent to the coordinator" claim (§3).
         let config = MostConfig::paper().with_steps(120);
         let deployment = MostDeployment::build(config.clone(), 2);
-        let artifacts = deployment.run(FaultPolicy::Full { max_step_retries: 2 });
+        let artifacts = deployment.run(FaultPolicy::Full {
+            max_step_retries: 2,
+        });
         assert_eq!(artifacts.outcome.steps_completed(), 120);
-        assert!(matches!(artifacts.outcome.termination, Termination::Completed));
+        assert!(matches!(
+            artifacts.outcome.termination,
+            Termination::Completed
+        ));
         let reference = reference_history(&config);
-        let diff = artifacts.outcome.history.max_displacement_difference(&reference);
+        let diff = artifacts
+            .outcome
+            .history
+            .max_displacement_difference(&reference);
         let peak = reference.peak_displacement(0);
         assert!(
             diff < 0.05 * peak.max(1e-4),

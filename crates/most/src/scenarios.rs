@@ -140,7 +140,10 @@ mod tests {
             Scenario::DryRun.policy(),
             FaultPolicy::Full { .. }
         ));
-        assert_eq!(Scenario::SimulationOnly.fault_plan(1500), FaultPlan::reliable());
+        assert_eq!(
+            Scenario::SimulationOnly.fault_plan(1500),
+            FaultPlan::reliable()
+        );
         assert_eq!(Scenario::PublicRun.config().steps, 1500);
     }
 
@@ -163,7 +166,10 @@ mod tests {
     fn scaled_dry_run_completes_with_recoveries() {
         let artifacts = Scenario::DryRun.run_with_steps(150);
         assert_eq!(artifacts.outcome.steps_completed(), 150);
-        assert!(matches!(artifacts.outcome.termination, Termination::Completed));
+        assert!(matches!(
+            artifacts.outcome.termination,
+            Termination::Completed
+        ));
         assert!(
             artifacts.report.transient_recoveries >= 4,
             "recoveries: {}",

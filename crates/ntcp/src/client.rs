@@ -103,10 +103,8 @@ impl NtcpClient {
 
     fn note_attempts(&self, attempts: u32) {
         if attempts > 1 {
-            self.retransmissions.fetch_add(
-                (attempts - 1) as u64,
-                std::sync::atomic::Ordering::Relaxed,
-            );
+            self.retransmissions
+                .fetch_add((attempts - 1) as u64, std::sync::atomic::Ordering::Relaxed);
         }
     }
 
@@ -163,6 +161,19 @@ impl NtcpClient {
     /// Fetch server status.
     pub fn get_status(&self) -> Result<serde_json::Value, NtcpError> {
         Ok(self.rpc.call("getStatus", json!({}))?.value)
+    }
+
+    /// Read the site's full checkpointable state (protocol + specimen).
+    pub fn snapshot_site(&self) -> Result<serde_json::Value, NtcpError> {
+        Ok(self.rpc.call("snapshotSite", json!({}))?.value)
+    }
+
+    /// Push a previously captured site snapshot back onto the server
+    /// (crash-recovery restore).
+    pub fn restore_site(&self, snapshot: &serde_json::Value) -> Result<(), NtcpError> {
+        self.rpc
+            .call("restoreSite", json!({ "snapshot": snapshot }))?;
+        Ok(())
     }
 }
 

@@ -25,7 +25,11 @@ pub struct ControlPoint {
 
 impl ControlPoint {
     /// A quasi-static displacement command with a force estimate.
-    pub fn displacement(name: impl Into<String>, displacement_m: f64, expected_force_n: f64) -> Self {
+    pub fn displacement(
+        name: impl Into<String>,
+        displacement_m: f64,
+        expected_force_n: f64,
+    ) -> Self {
         ControlPoint {
             name: name.into(),
             displacement_m,

@@ -92,6 +92,24 @@ pub trait ControlPlugin: Send {
     fn cancel(&mut self, _actions: &[ControlPoint]) -> Result<(), PluginError> {
         Ok(())
     }
+
+    /// Checkpointable backend state, or `None` if this backend cannot be
+    /// snapshotted (hardware rigs, polling backends whose state lives in
+    /// an external process). A site whose plugin returns `None` still
+    /// checkpoints its protocol state — just not the specimen's.
+    fn state(&self) -> Option<serde_json::Value> {
+        None
+    }
+
+    /// Restore backend state captured by [`ControlPlugin::state`]. The
+    /// default refuses, mirroring the physical reality that a specimen
+    /// cannot be rewound.
+    fn restore(&mut self, _state: &serde_json::Value) -> Result<(), PluginError> {
+        Err(PluginError::permanent(format!(
+            "{}: plugin does not support state restore",
+            self.name()
+        )))
+    }
 }
 
 /// A plugin that drives a numerical substructure directly.
@@ -163,6 +181,26 @@ impl ControlPlugin for SimulationPlugin {
                 .collect(),
             duration: self.compute_time,
         })
+    }
+
+    fn state(&self) -> Option<serde_json::Value> {
+        let elements = self.substructure.snapshot_state()?;
+        Some(serde_json::json!({
+            "executions": self.executions,
+            "elements": elements,
+        }))
+    }
+
+    fn restore(&mut self, state: &serde_json::Value) -> Result<(), PluginError> {
+        let elements: Vec<Vec<f64>> =
+            serde_json::from_value(state["elements"].clone()).map_err(|e| {
+                PluginError::permanent(format!("{}: bad element state: {e}", self.name))
+            })?;
+        self.substructure
+            .restore_state(&elements)
+            .map_err(|e| PluginError::permanent(format!("{}: {}", self.name, e.message)))?;
+        self.executions = state["executions"].as_u64().unwrap_or(0);
+        Ok(())
     }
 }
 
@@ -345,6 +383,14 @@ impl ControlPlugin for HumanApprovalPlugin {
 
     fn cancel(&mut self, actions: &[ControlPoint]) -> Result<(), PluginError> {
         self.inner.cancel(actions)
+    }
+
+    fn state(&self) -> Option<serde_json::Value> {
+        self.inner.state()
+    }
+
+    fn restore(&mut self, state: &serde_json::Value) -> Result<(), PluginError> {
+        self.inner.restore(state)
     }
 }
 

@@ -116,12 +116,14 @@ impl NtcpServer {
         }
         let decision = match rejection {
             None => {
-                tx.transition(TxState::Accepted, ctx.now).expect("proposed→accepted");
+                tx.transition(TxState::Accepted, ctx.now)
+                    .expect("proposed→accepted");
                 ProposalDecision::Accepted
             }
             Some(reason) => {
                 tx.reason = Some(reason.clone());
-                tx.transition(TxState::Rejected, ctx.now).expect("proposed→rejected");
+                tx.transition(TxState::Rejected, ctx.now)
+                    .expect("proposed→rejected");
                 ProposalDecision::Rejected { reason }
             }
         };
@@ -160,9 +162,13 @@ impl NtcpServer {
                 // (a server that has been idle has an older local clock).
                 self.clock.advance_to(ctx.now);
                 let done_at = self.clock.advance(out.duration);
-                let tx = self.transactions.get_mut(&req.transaction).expect("present");
+                let tx = self
+                    .transactions
+                    .get_mut(&req.transaction)
+                    .expect("present");
                 tx.results = Some(out.results.clone());
-                tx.transition(TxState::Completed, done_at).expect("executing→completed");
+                tx.transition(TxState::Completed, done_at)
+                    .expect("executing→completed");
                 self.publish(&req.transaction, done_at);
                 Ok(json!(ExecuteResponse {
                     results: out.results,
@@ -170,9 +176,13 @@ impl NtcpServer {
                 }))
             }
             Err(e) => {
-                let tx = self.transactions.get_mut(&req.transaction).expect("present");
+                let tx = self
+                    .transactions
+                    .get_mut(&req.transaction)
+                    .expect("present");
                 tx.reason = Some(e.message.clone());
-                tx.transition(TxState::Failed, ctx.now).expect("executing→failed");
+                tx.transition(TxState::Failed, ctx.now)
+                    .expect("executing→failed");
                 self.publish(&req.transaction, ctx.now);
                 Err(if e.retryable {
                     ServiceFault::transient("ExecutionFailed", e.message)
@@ -217,13 +227,108 @@ impl NtcpServer {
         }
     }
 
+    /// Serialize the server's full protocol + backend state for a
+    /// checkpoint: transactions, the at-most-once dedup cache (so a
+    /// pre-crash retransmission is still replayed, not re-executed, after
+    /// resume), the execution counter, and the plugin's specimen state (if
+    /// the backend supports snapshots).
+    pub fn snapshot(&self) -> Value {
+        let dedup: Vec<Value> = self
+            .dedup
+            .entries()
+            .into_iter()
+            .map(|(k, v)| {
+                let encoded = match v {
+                    Ok(value) => json!({ "ok": value }),
+                    Err(fault) => json!({ "fault": fault }),
+                };
+                json!([k, encoded])
+            })
+            .collect();
+        json!({
+            "site": self.site,
+            "plugin": self.plugin.name(),
+            "pluginState": self.plugin.state(),
+            "transactions": self.transactions,
+            "executions": self.executions,
+            "dedup": dedup,
+        })
+    }
+
+    /// Restore state captured by [`NtcpServer::snapshot`]. Protocol state
+    /// (transactions, dedup, counters) always restores; plugin state is
+    /// restored when the snapshot carries any — a snapshot with
+    /// `pluginState: null` against a plugin that *does* hold state is
+    /// refused, because resuming would silently diverge.
+    pub fn restore_snapshot(&mut self, snap: &Value, now: SimTime) -> Result<(), ServiceFault> {
+        if snap["site"].as_str() != Some(self.site.as_str()) {
+            return Err(ServiceFault::permanent(
+                "SnapshotMismatch",
+                format!(
+                    "snapshot is for site {:?}, server is '{}'",
+                    snap["site"], self.site
+                ),
+            ));
+        }
+        let transactions: HashMap<String, Transaction> =
+            serde_json::from_value(snap["transactions"].clone()).map_err(|e| {
+                ServiceFault::permanent("BadSnapshot", format!("transactions: {e}"))
+            })?;
+        let dedup_raw = snap["dedup"].as_array().cloned().unwrap_or_default();
+        let mut entries = Vec::with_capacity(dedup_raw.len());
+        for pair in &dedup_raw {
+            let key = pair[0]
+                .as_u64()
+                .ok_or_else(|| ServiceFault::permanent("BadSnapshot", "dedup key"))?;
+            let value = if pair[1]["fault"].is_null() {
+                Ok(pair[1]["ok"].clone())
+            } else {
+                Err(
+                    serde_json::from_value::<ServiceFault>(pair[1]["fault"].clone()).map_err(
+                        |e| ServiceFault::permanent("BadSnapshot", format!("dedup fault: {e}")),
+                    )?,
+                )
+            };
+            entries.push((key, value));
+        }
+        match &snap["pluginState"] {
+            Value::Null => {
+                if self.plugin.state().is_some() {
+                    return Err(ServiceFault::permanent(
+                        "BadSnapshot",
+                        format!(
+                            "snapshot has no state for stateful plugin '{}'",
+                            self.plugin.name()
+                        ),
+                    ));
+                }
+            }
+            state => self
+                .plugin
+                .restore(state)
+                .map_err(|e| ServiceFault::permanent("RestoreFailed", e.message))?,
+        }
+        self.transactions = transactions;
+        self.dedup = DedupCache::from_entries(DEDUP_CAPACITY, entries);
+        self.executions = snap["executions"].as_u64().unwrap_or(0);
+        let names: Vec<String> = self.transactions.keys().cloned().collect();
+        for name in names {
+            self.publish(&name, now);
+        }
+        Ok(())
+    }
+
+    fn do_restore(&mut self, ctx: &CallContext, body: &Value) -> Result<Value, ServiceFault> {
+        let who = self.policy.authorize(&ctx.caller, "restoreSite");
+        if !who.allowed {
+            return Err(ServiceFault::access_denied(who.reason));
+        }
+        self.restore_snapshot(&body["snapshot"], ctx.now)?;
+        Ok(json!({ "restored": self.site, "transactions": self.transactions.len() }))
+    }
+
     fn do_get_status(&self) -> Value {
-        let by_state = |s: TxState| {
-            self.transactions
-                .values()
-                .filter(|t| t.state == s)
-                .count()
-        };
+        let by_state = |s: TxState| self.transactions.values().filter(|t| t.state == s).count();
         json!({
             "site": self.site,
             "plugin": self.plugin.name(),
@@ -250,10 +355,14 @@ impl GridService for NtcpServer {
         body: &Value,
     ) -> Result<Value, ServiceFault> {
         // At-most-once: replay the remembered outcome for retransmissions.
-        // Reads are idempotent and skip the cache.
+        // Reads are idempotent and skip the cache, as does restoreSite —
+        // it *replaces* the cache, so remembering it there is circular,
+        // and replaying a restore is harmless (idempotent by value).
         match operation {
             "getTransaction" => return self.do_get_transaction(body),
             "getStatus" => return Ok(self.do_get_status()),
+            "snapshotSite" => return Ok(self.snapshot()),
+            "restoreSite" => return self.do_restore(ctx, body),
             _ => {}
         }
         if let Some(remembered) = self.dedup.check(&ctx.request_id) {
@@ -602,6 +711,128 @@ mod tests {
                 }
             }
         }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// At-most-once must hold *across* a checkpoint/restore
+            /// boundary: a server rebuilt from a snapshot taken mid-run,
+            /// handed any retransmission of a pre-snapshot request, must
+            /// replay the recorded outcome — never re-execute — and then
+            /// carry the rest of the run to the same result the
+            /// uninterrupted server produced.
+            #[test]
+            fn at_most_once_holds_across_checkpoint_restore(
+                amps in proptest::collection::vec(-70i8..70, 1..12),
+                cut_seed in 0usize..1000,
+            ) {
+                // The uninterrupted run: propose + execute per amplitude,
+                // snapshotting after request index `cut`.
+                let mut plan: Vec<(u64, String, Value)> = Vec::new();
+                for (i, amp) in amps.iter().enumerate() {
+                    plan.push((
+                        2 * i as u64 + 1,
+                        "propose".into(),
+                        propose_body(&format!("tx-{i}"), *amp as f64 * 1e-3, 1000.0),
+                    ));
+                    plan.push((
+                        2 * i as u64 + 2,
+                        "execute".into(),
+                        json!({"transaction": format!("tx-{i}")}),
+                    ));
+                }
+                let cut = cut_seed % plan.len();
+                let mut s = server();
+                let mut responses = Vec::new();
+                let mut snap = None;
+                for (i, (rid, op, body)) in plan.iter().enumerate() {
+                    responses.push(s.handle(&ctx(*rid), op, body));
+                    if i == cut {
+                        snap = Some(s.snapshot());
+                    }
+                }
+
+                // Crash, restart, restore.
+                let mut fresh = server();
+                fresh
+                    .restore_snapshot(&snap.unwrap(), SimTime::from_secs(1))
+                    .unwrap();
+                let restored_executions = fresh.executions();
+
+                // Any pre-snapshot request retransmitted after the restore
+                // is deduplicated: identical outcome, no re-execution.
+                for i in 0..=cut {
+                    let (rid, op, body) = &plan[i];
+                    let replayed = fresh.handle(&ctx(*rid), op, body);
+                    prop_assert_eq!(&replayed, &responses[i]);
+                    prop_assert_eq!(fresh.executions(), restored_executions);
+                }
+
+                // The remainder of the run proceeds exactly as the
+                // uninterrupted server's did.
+                for i in cut + 1..plan.len() {
+                    let (rid, op, body) = &plan[i];
+                    let continued = fresh.handle(&ctx(*rid), op, body);
+                    prop_assert_eq!(&continued, &responses[i]);
+                }
+                prop_assert_eq!(fresh.executions(), s.executions());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_everything() {
+        let mut s = server();
+        s.handle(&ctx(1), "propose", &propose_body("t1", 0.01, 1000.0))
+            .unwrap();
+        let executed = s
+            .handle(&ctx(2), "execute", &json!({"transaction": "t1"}))
+            .unwrap();
+        s.handle(&ctx(3), "propose", &propose_body("t2", 0.005, 500.0))
+            .unwrap();
+        let snap = s.snapshot();
+
+        // A freshly constructed server restores to the identical state.
+        let mut fresh = server();
+        fresh
+            .restore_snapshot(&snap, SimTime::from_secs(2))
+            .unwrap();
+        assert_eq!(fresh.executions(), 1);
+        // Retransmitting the pre-snapshot execute replays, not re-executes.
+        let replay = fresh
+            .handle(&ctx(2), "execute", &json!({"transaction": "t1"}))
+            .unwrap();
+        assert_eq!(replay, executed);
+        assert_eq!(fresh.executions(), 1);
+        // The still-accepted transaction can proceed.
+        fresh
+            .handle(&ctx(4), "execute", &json!({"transaction": "t2"}))
+            .unwrap();
+        assert_eq!(fresh.executions(), 2);
+        // Specimen state carried over: status mirrors the original.
+        let status = fresh.do_get_status();
+        assert_eq!(status["transactions"], 2);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_site() {
+        let mut s = server();
+        let mut snap = s.snapshot();
+        if let Value::Object(m) = &mut snap {
+            m.insert("site".into(), json!("cu"));
+        }
+        let err = s.restore_snapshot(&snap, SimTime::ZERO).unwrap_err();
+        assert_eq!(err.code, "SnapshotMismatch");
+    }
+
+    #[test]
+    fn restore_rejects_missing_plugin_state_for_stateful_plugin() {
+        let mut s = server();
+        let mut snap = s.snapshot();
+        if let Value::Object(m) = &mut snap {
+            m.insert("pluginState".into(), Value::Null);
+        }
+        let err = s.restore_snapshot(&snap, SimTime::ZERO).unwrap_err();
+        assert_eq!(err.code, "BadSnapshot");
     }
 
     #[test]

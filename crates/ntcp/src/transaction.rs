@@ -193,9 +193,12 @@ mod tests {
     #[test]
     fn happy_path_propose_accept_execute_complete() {
         let mut t = tx();
-        t.transition(TxState::Accepted, SimTime::from_secs(2)).unwrap();
-        t.transition(TxState::Executing, SimTime::from_secs(3)).unwrap();
-        t.transition(TxState::Completed, SimTime::from_secs(9)).unwrap();
+        t.transition(TxState::Accepted, SimTime::from_secs(2))
+            .unwrap();
+        t.transition(TxState::Executing, SimTime::from_secs(3))
+            .unwrap();
+        t.transition(TxState::Completed, SimTime::from_secs(9))
+            .unwrap();
         assert_eq!(t.state, TxState::Completed);
         assert_eq!(t.timestamps.len(), 4);
         assert_eq!(t.lifetime(), SimTime::from_secs(8));
@@ -204,7 +207,8 @@ mod tests {
     #[test]
     fn rejection_is_terminal() {
         let mut t = tx();
-        t.transition(TxState::Rejected, SimTime::from_secs(2)).unwrap();
+        t.transition(TxState::Rejected, SimTime::from_secs(2))
+            .unwrap();
         for to in ALL {
             assert!(t.transition(to, SimTime::from_secs(3)).is_err());
         }
@@ -213,33 +217,49 @@ mod tests {
     #[test]
     fn cancel_allowed_from_proposed_and_accepted_only() {
         let mut t = tx();
-        t.transition(TxState::Cancelled, SimTime::from_secs(2)).unwrap();
+        t.transition(TxState::Cancelled, SimTime::from_secs(2))
+            .unwrap();
 
         let mut t = tx();
-        t.transition(TxState::Accepted, SimTime::from_secs(2)).unwrap();
-        t.transition(TxState::Cancelled, SimTime::from_secs(3)).unwrap();
+        t.transition(TxState::Accepted, SimTime::from_secs(2))
+            .unwrap();
+        t.transition(TxState::Cancelled, SimTime::from_secs(3))
+            .unwrap();
 
         let mut t = tx();
-        t.transition(TxState::Accepted, SimTime::from_secs(2)).unwrap();
-        t.transition(TxState::Executing, SimTime::from_secs(3)).unwrap();
-        let err = t.transition(TxState::Cancelled, SimTime::from_secs(4)).unwrap_err();
+        t.transition(TxState::Accepted, SimTime::from_secs(2))
+            .unwrap();
+        t.transition(TxState::Executing, SimTime::from_secs(3))
+            .unwrap();
+        let err = t
+            .transition(TxState::Cancelled, SimTime::from_secs(4))
+            .unwrap_err();
         assert_eq!(err.from, TxState::Executing);
     }
 
     #[test]
     fn cannot_execute_unaccepted_proposal() {
         let mut t = tx();
-        assert!(t.transition(TxState::Executing, SimTime::from_secs(2)).is_err());
+        assert!(t
+            .transition(TxState::Executing, SimTime::from_secs(2))
+            .is_err());
     }
 
     #[test]
     fn failure_only_from_executing() {
         let mut t = tx();
-        assert!(t.transition(TxState::Failed, SimTime::from_secs(2)).is_err());
-        t.transition(TxState::Accepted, SimTime::from_secs(2)).unwrap();
-        assert!(t.transition(TxState::Failed, SimTime::from_secs(3)).is_err());
-        t.transition(TxState::Executing, SimTime::from_secs(3)).unwrap();
-        t.transition(TxState::Failed, SimTime::from_secs(4)).unwrap();
+        assert!(t
+            .transition(TxState::Failed, SimTime::from_secs(2))
+            .is_err());
+        t.transition(TxState::Accepted, SimTime::from_secs(2))
+            .unwrap();
+        assert!(t
+            .transition(TxState::Failed, SimTime::from_secs(3))
+            .is_err());
+        t.transition(TxState::Executing, SimTime::from_secs(3))
+            .unwrap();
+        t.transition(TxState::Failed, SimTime::from_secs(4))
+            .unwrap();
         assert!(t.state.is_terminal());
     }
 
@@ -272,7 +292,8 @@ mod tests {
             SimTime::from_secs(30),
             SimTime::from_secs(1),
         );
-        t.transition(TxState::Accepted, SimTime::from_secs(2)).unwrap();
+        t.transition(TxState::Accepted, SimTime::from_secs(2))
+            .unwrap();
         let v = t.to_sde_value();
         assert_eq!(v["name"], "step-0042");
         assert_eq!(v["state"], "Accepted");

@@ -169,9 +169,9 @@ impl ServiceContainer {
             // Generic OGSI inspection operations.
             "ogsi:query" => {
                 let pattern = req.body["pattern"].as_str().unwrap_or("*");
-                let sde = svc
-                    .sde()
-                    .ok_or_else(|| ServiceFault::permanent("NoServiceData", "service exposes no SDEs"))?;
+                let sde = svc.sde().ok_or_else(|| {
+                    ServiceFault::permanent("NoServiceData", "service exposes no SDEs")
+                })?;
                 let elements: Vec<Value> = sde
                     .query(pattern)
                     .into_iter()
@@ -180,9 +180,9 @@ impl ServiceContainer {
                 Ok(json!({ "elements": elements }))
             }
             "ogsi:mostRecentlyChanged" => {
-                let sde = svc
-                    .sde()
-                    .ok_or_else(|| ServiceFault::permanent("NoServiceData", "service exposes no SDEs"))?;
+                let sde = svc.sde().ok_or_else(|| {
+                    ServiceFault::permanent("NoServiceData", "service exposes no SDEs")
+                })?;
                 Ok(match sde.most_recently_changed() {
                     Some(el) => serde_json::to_value(el).expect("serialize sde"),
                     None => Value::Null,
@@ -287,8 +287,14 @@ mod tests {
     #[test]
     fn dispatches_to_service() {
         let (_net, client) = permissive_setup();
-        assert_eq!(client.call_value("increment", Value::Null).unwrap()["count"], 1);
-        assert_eq!(client.call_value("increment", Value::Null).unwrap()["count"], 2);
+        assert_eq!(
+            client.call_value("increment", Value::Null).unwrap()["count"],
+            1
+        );
+        assert_eq!(
+            client.call_value("increment", Value::Null).unwrap()["count"],
+            2
+        );
     }
 
     #[test]
@@ -350,7 +356,10 @@ mod tests {
         let _handle = container.run();
         let mux = RpcMux::new(net.endpoint("client"));
         let client = RpcClient::new(mux, NodeId::new("site"), "counter", caller());
-        assert_eq!(client.call_value("increment", Value::Null).unwrap()["count"], 1);
+        assert_eq!(
+            client.call_value("increment", Value::Null).unwrap()["count"],
+            1
+        );
         // Push virtual time past context expiry; next call is refused.
         net.clock().advance_to(SimTime::from_secs(200));
         match client.call("increment", Value::Null) {

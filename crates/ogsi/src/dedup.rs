@@ -87,6 +87,29 @@ impl<K: Eq + Hash + Clone, V: Clone> DedupCache<K, V> {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// All remembered entries in insertion (eviction) order. Checkpoints
+    /// persist this so a restarted server still replays responses for
+    /// requests the client sent before the crash.
+    pub fn entries(&self) -> Vec<(K, V)> {
+        self.order
+            .iter()
+            .filter_map(|k| self.map.get(k).map(|v| (k.clone(), v.clone())))
+            .collect()
+    }
+
+    /// Rebuild a cache from entries previously exported with
+    /// [`DedupCache::entries`], preserving insertion order (and therefore
+    /// future eviction order). Hit/miss counters restart at zero.
+    pub fn from_entries(capacity: usize, entries: Vec<(K, V)>) -> Self {
+        let mut cache = DedupCache::new(capacity);
+        for (k, v) in entries {
+            cache.remember(k, v);
+        }
+        cache.hits = 0;
+        cache.misses = 0;
+        cache
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +173,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _c: DedupCache<u64, u64> = DedupCache::new(0);
+    }
+
+    #[test]
+    fn entries_roundtrip_preserves_order_and_eviction() {
+        let mut c: DedupCache<u64, u64> = DedupCache::new(3);
+        for i in 0..3 {
+            c.remember(i, i * 10);
+        }
+        let exported = c.entries();
+        assert_eq!(exported, vec![(0, 0), (1, 10), (2, 20)]);
+        let mut restored = DedupCache::from_entries(3, exported);
+        assert_eq!(restored.check(&1).unwrap(), 10);
+        assert_eq!(restored.stats(), (1, 0));
+        // Eviction order carried over: next insert evicts key 0.
+        restored.remember(3, 30);
+        assert!(restored.check(&0).is_none());
+        assert_eq!(restored.len(), 3);
     }
 }

@@ -75,7 +75,10 @@ mod tests {
 
     #[test]
     fn standard_faults() {
-        assert_eq!(ServiceFault::no_such_operation("zap").code, "NoSuchOperation");
+        assert_eq!(
+            ServiceFault::no_such_operation("zap").code,
+            "NoSuchOperation"
+        );
         assert_eq!(ServiceFault::access_denied("nope").code, "AccessDenied");
     }
 

@@ -66,7 +66,12 @@ impl LifetimeManager {
     /// Extend (or shorten) an existing lease to `now + lifetime`.
     /// OGSI allows requested termination times in the past as an explicit
     /// destroy idiom; `lifetime == 0` expires the lease immediately.
-    pub fn set_termination(&mut self, name: &str, now: SimTime, lifetime: SimTime) -> Option<Lease> {
+    pub fn set_termination(
+        &mut self,
+        name: &str,
+        now: SimTime,
+        lifetime: SimTime,
+    ) -> Option<Lease> {
         let lifetime = self.clip(lifetime);
         let lease = self.leases.get_mut(name)?;
         lease.expires_at = now + lifetime;
@@ -80,7 +85,10 @@ impl LifetimeManager {
 
     /// Whether `name` has a live lease at `now`.
     pub fn alive(&self, name: &str, now: SimTime) -> bool {
-        self.leases.get(name).map(|l| l.alive_at(now)).unwrap_or(false)
+        self.leases
+            .get(name)
+            .map(|l| l.alive_at(now))
+            .unwrap_or(false)
     }
 
     /// Remove and return every lease expired at `now` — the reaper hook a
@@ -185,6 +193,8 @@ mod tests {
     #[test]
     fn set_termination_on_unknown_is_none() {
         let mut lm = LifetimeManager::new();
-        assert!(lm.set_termination("ghost", SimTime::ZERO, SimTime::from_secs(1)).is_none());
+        assert!(lm
+            .set_termination("ghost", SimTime::ZERO, SimTime::from_secs(1))
+            .is_none());
     }
 }

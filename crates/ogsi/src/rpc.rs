@@ -166,8 +166,10 @@ pub struct RpcMux {
 impl RpcMux {
     /// Wrap an endpoint and start the reader thread.
     pub fn new(endpoint: Endpoint) -> Arc<Self> {
-        let pending: Arc<Mutex<HashMap<u64, Sender<Routed>>>> = Arc::new(Mutex::new(HashMap::new()));
-        let sinks: Arc<Mutex<HashMap<String, Sender<Envelope>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let pending: Arc<Mutex<HashMap<u64, Sender<Routed>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let sinks: Arc<Mutex<HashMap<String, Sender<Envelope>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
         let reader_endpoint = endpoint.clone();
         let reader_pending = Arc::clone(&pending);
         let reader_sinks = Arc::clone(&sinks);
@@ -215,6 +217,18 @@ impl RpcMux {
     /// The underlying endpoint's node id.
     pub fn node(&self) -> &NodeId {
         self.endpoint.id()
+    }
+
+    /// The endpoint's correlation watermark (see
+    /// [`Endpoint::correlation_watermark`]); recorded in checkpoints.
+    pub fn correlation_watermark(&self) -> u64 {
+        self.endpoint.correlation_watermark()
+    }
+
+    /// Fast-forward the endpoint's correlation counter past a restored
+    /// checkpoint watermark (see [`Endpoint::advance_correlation_to`]).
+    pub fn advance_correlation_to(&self, watermark: u64) {
+        self.endpoint.advance_correlation_to(watermark);
     }
 
     /// Claim incoming one-way/request traffic addressed to local `service`.
@@ -305,13 +319,20 @@ impl RpcMux {
                     .clock()
                     .advance(SimTime::from_secs_f64(attempt_timeout.as_secs_f64()));
             }
-            match rx.recv_timeout(attempt_timeout) {
+            // The router reports losses deterministically (Dropped/LinkReset/
+            // NoRoute notices), so the real-time wait is only a long-stop
+            // fallback for a wedged peer — generous enough that scheduler
+            // load cannot manufacture a spurious retransmission.
+            let real_deadline = attempt_timeout.max(Duration::from_secs(2));
+            match rx.recv_timeout(real_deadline) {
                 Ok(Routed::Reply(env)) => {
-                    let response: RpcResponse = serde_json::from_slice(&env.payload)
-                        .map_err(|_| RpcError::Fault(ServiceFault::permanent(
-                            "BadResponse",
-                            "undecodable response payload",
-                        )))?;
+                    let response: RpcResponse =
+                        serde_json::from_slice(&env.payload).map_err(|_| {
+                            RpcError::Fault(ServiceFault::permanent(
+                                "BadResponse",
+                                "undecodable response payload",
+                            ))
+                        })?;
                     return match response.outcome {
                         RpcOutcome::Ok(value) => Ok(RpcReply {
                             value,
@@ -329,6 +350,16 @@ impl RpcMux {
                 }
                 Ok(Routed::Notice(ControlNotice::NoRoute { .. })) => {
                     return Err(RpcError::NoRoute);
+                }
+                // A silent loss, surfaced deterministically: semantically
+                // this *is* the attempt timeout (the caller waited out its
+                // deadline), so it follows the timeout retry policy and
+                // error shape exactly.
+                Ok(Routed::Notice(ControlNotice::Dropped { .. })) => {
+                    if policy.retry_on_timeout && attempts < policy.max_attempts {
+                        continue;
+                    }
+                    return Err(RpcError::Timeout { attempts });
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                     if policy.retry_on_timeout && attempts < policy.max_attempts {
@@ -405,6 +436,11 @@ impl RpcClient {
     /// The caller identity requests are issued under.
     pub fn caller(&self) -> &DistinguishedName {
         &self.caller
+    }
+
+    /// The shared mux this client issues requests through.
+    pub fn mux(&self) -> &Arc<RpcMux> {
+        &self.mux
     }
 
     /// Call `operation` with `body`.
@@ -492,7 +528,11 @@ mod tests {
         let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller());
         let reply = client.call("ping", Value::Null).unwrap();
         // Request leg + reply leg.
-        assert!(reply.virtual_rtt >= SimTime::from_millis(80), "rtt {}", reply.virtual_rtt);
+        assert!(
+            reply.virtual_rtt >= SimTime::from_millis(80),
+            "rtt {}",
+            reply.virtual_rtt
+        );
     }
 
     #[test]
@@ -562,7 +602,10 @@ mod tests {
         let mux = RpcMux::new(net.endpoint("client"));
         let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller())
             .with_policy(RetryPolicy::timeouts_only(4));
-        assert_eq!(client.call("ping", Value::Null).unwrap_err(), RpcError::LinkReset);
+        assert_eq!(
+            client.call("ping", Value::Null).unwrap_err(),
+            RpcError::LinkReset
+        );
     }
 
     #[test]
@@ -583,7 +626,10 @@ mod tests {
         let net = VirtualNetwork::new(NetworkConfig::default());
         let mux = RpcMux::new(net.endpoint("client"));
         let client = RpcClient::new(mux, NodeId::new("ghost"), "echo", caller());
-        assert_eq!(client.call("ping", Value::Null).unwrap_err(), RpcError::NoRoute);
+        assert_eq!(
+            client.call("ping", Value::Null).unwrap_err(),
+            RpcError::NoRoute
+        );
     }
 
     #[test]
@@ -593,12 +639,7 @@ mod tests {
         let mux = RpcMux::new(net.endpoint("client"));
         let mut handles = Vec::new();
         for i in 0..8 {
-            let client = RpcClient::new(
-                Arc::clone(&mux),
-                NodeId::new("server"),
-                "echo",
-                caller(),
-            );
+            let client = RpcClient::new(Arc::clone(&mux), NodeId::new("server"), "echo", caller());
             handles.push(std::thread::spawn(move || {
                 let reply = client.call("ping", serde_json::json!({ "i": i })).unwrap();
                 assert_eq!(reply.value["echo"]["i"], i);
@@ -615,7 +656,11 @@ mod tests {
         let server_mux = RpcMux::new(net.endpoint("server"));
         let sink = server_mux.register_sink("nsds");
         let client_mux = RpcMux::new(net.endpoint("client"));
-        client_mux.send_oneway(NodeId::new("server"), "nsds", &serde_json::json!({"sample": 0.5}));
+        client_mux.send_oneway(
+            NodeId::new("server"),
+            "nsds",
+            &serde_json::json!({"sample": 0.5}),
+        );
         let env = sink.recv_timeout(Duration::from_secs(1)).unwrap();
         let v: Value = serde_json::from_slice(&env.payload).unwrap();
         assert_eq!(v["sample"], 0.5);

@@ -169,7 +169,11 @@ mod tests {
     #[test]
     fn set_then_get() {
         let mut sd = ServiceData::new();
-        sd.set("transaction/t1", json!({"state": "Proposed"}), SimTime::from_secs(1));
+        sd.set(
+            "transaction/t1",
+            json!({"state": "Proposed"}),
+            SimTime::from_secs(1),
+        );
         let el = sd.get("transaction/t1").unwrap();
         assert_eq!(el.value["state"], "Proposed");
         assert_eq!(el.version, 1);
@@ -203,7 +207,11 @@ mod tests {
         sd.set("transaction/t1", json!(1), SimTime::ZERO);
         sd.set("transaction/t2", json!(2), SimTime::ZERO);
         sd.set("serverInfo", json!(3), SimTime::ZERO);
-        let names: Vec<&str> = sd.query("transaction/*").iter().map(|e| e.name.as_str()).collect();
+        let names: Vec<&str> = sd
+            .query("transaction/*")
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect();
         assert_eq!(names, vec!["transaction/t1", "transaction/t2"]);
         assert_eq!(sd.query("*").len(), 3);
         assert_eq!(sd.query("serverInfo").len(), 1);
@@ -214,7 +222,11 @@ mod tests {
     fn subscription_receives_matching_changes() {
         let mut sd = ServiceData::new();
         let rx = sd.subscribe("transaction/*");
-        sd.set("transaction/t1", json!({"state": "Executing"}), SimTime::from_secs(2));
+        sd.set(
+            "transaction/t1",
+            json!({"state": "Executing"}),
+            SimTime::from_secs(2),
+        );
         sd.set("other", json!(0), SimTime::from_secs(3));
         let ev = rx.try_recv().unwrap();
         assert_eq!(ev.name, "transaction/t1");

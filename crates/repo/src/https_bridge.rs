@@ -95,7 +95,10 @@ mod tests {
     fn missing_file_is_an_error() {
         let nfms = Nfms::new(VirtualStore::new());
         let mut bridge = HttpsBridge::new();
-        assert!(bridge.get(&nfms, "/ghost").unwrap_err().contains("not found"));
+        assert!(bridge
+            .get(&nfms, "/ghost")
+            .unwrap_err()
+            .contains("not found"));
         assert_eq!(bridge.stats(), (0, 0));
     }
 

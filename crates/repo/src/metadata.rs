@@ -57,10 +57,7 @@ impl Schema {
     /// A schema requiring the given (name, type) fields, allowing extras.
     pub fn new(fields: &[(&str, FieldType)]) -> Self {
         Schema {
-            fields: fields
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
+            fields: fields.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
             allow_extra: true,
         }
     }
@@ -199,7 +196,10 @@ mod tests {
             "channel": "c",
             "calibration_scale": "one",
         });
-        assert!(schema.validate(&mistyped).unwrap_err().contains("wrong type"));
+        assert!(schema
+            .validate(&mistyped)
+            .unwrap_err()
+            .contains("wrong type"));
         assert!(schema.validate(&json!([1, 2])).is_err());
     }
 

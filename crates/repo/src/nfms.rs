@@ -193,7 +193,11 @@ mod tests {
     fn upload_then_negotiate_then_retrieve() {
         let mut n = nfms();
         let up = n
-            .upload("/most/run1/a.csv", Bytes::from_static(b"data"), SimTime::ZERO)
+            .upload(
+                "/most/run1/a.csv",
+                Bytes::from_static(b"data"),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(up.size, 4);
         let ticket = n.negotiate("/most/run1/a.csv", &["gridftp"]).unwrap();

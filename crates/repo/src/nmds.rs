@@ -154,8 +154,10 @@ impl Nmds {
                 .validate(&body)
                 .map_err(NmdsError::ValidationFailed)?;
         }
-        self.objects
-            .insert(id.clone(), MetadataObject::create(id, schema_id, owner, body, now));
+        self.objects.insert(
+            id.clone(),
+            MetadataObject::create(id, schema_id, owner, body, now),
+        );
         Ok(())
     }
 
@@ -176,7 +178,10 @@ impl Nmds {
                 .validate(&body)
                 .map_err(NmdsError::ValidationFailed)?;
         }
-        let obj = self.objects.get_mut(id).expect("authorized implies present");
+        let obj = self
+            .objects
+            .get_mut(id)
+            .expect("authorized implies present");
         Ok(obj.update(body, author.clone(), now))
     }
 
@@ -320,7 +325,12 @@ mod tests {
     fn duplicate_id_refused() {
         let mut n = nmds_with_schema();
         let err = n
-            .create_schema("/schemas/sensor", &Schema::default(), owner(), SimTime::ZERO)
+            .create_schema(
+                "/schemas/sensor",
+                &Schema::default(),
+                owner(),
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert!(matches!(err, NmdsError::AlreadyExists(_)));
     }
@@ -331,10 +341,18 @@ mod tests {
         n.create("/obj", None, json!({"rev": 1}), owner(), SimTime::ZERO)
             .unwrap();
         let v = n
-            .update("/obj", json!({"rev": 2}), &owner(), None, SimTime::from_secs(1))
+            .update(
+                "/obj",
+                json!({"rev": 2}),
+                &owner(),
+                None,
+                SimTime::from_secs(1),
+            )
             .unwrap();
         assert_eq!(v, 2);
-        let latest = n.get("/obj", None, &owner(), None, SimTime::from_secs(2)).unwrap();
+        let latest = n
+            .get("/obj", None, &owner(), None, SimTime::from_secs(2))
+            .unwrap();
         assert_eq!(latest["rev"], 2);
         let v1 = n
             .get("/obj", Some(1), &owner(), None, SimTime::from_secs(2))
@@ -389,10 +407,9 @@ mod tests {
     #[test]
     fn only_owner_grants() {
         let mut n = nmds_with_schema();
-        n.create("/obj", None, json!({}), owner(), SimTime::ZERO).unwrap();
-        let err = n
-            .grant("/obj", &other(), other(), Right::Read)
-            .unwrap_err();
+        n.create("/obj", None, json!({}), owner(), SimTime::ZERO)
+            .unwrap();
+        let err = n.grant("/obj", &other(), other(), Right::Read).unwrap_err();
         assert!(matches!(err, NmdsError::AccessDenied(_)));
     }
 
@@ -408,8 +425,14 @@ mod tests {
             .unwrap();
 
         let mut n = Nmds::new().with_cas(Arc::clone(&cas));
-        n.create("/experiments/most/data", None, json!({"x": 1}), owner(), SimTime::ZERO)
-            .unwrap();
+        n.create(
+            "/experiments/most/data",
+            None,
+            json!({"x": 1}),
+            owner(),
+            SimTime::ZERO,
+        )
+        .unwrap();
         // With a valid assertion: allowed.
         n.get(
             "/experiments/most/data",
@@ -453,10 +476,17 @@ mod tests {
         let cas = Arc::new(cas);
         let assertion = cas.issue(&other(), "/", SimTime::from_secs(100)).unwrap();
         let mut n = Nmds::new().with_cas(cas);
-        n.create("/obj", None, json!({}), owner(), SimTime::ZERO).unwrap();
+        n.create("/obj", None, json!({}), owner(), SimTime::ZERO)
+            .unwrap();
         // Mallory presenting the visitor's assertion is refused.
         assert!(matches!(
-            n.get("/obj", None, &mallory, Some(&assertion), SimTime::from_secs(1)),
+            n.get(
+                "/obj",
+                None,
+                &mallory,
+                Some(&assertion),
+                SimTime::from_secs(1)
+            ),
             Err(NmdsError::AccessDenied(_))
         ));
     }

@@ -73,7 +73,13 @@ impl GridService for NmdsService {
             "create" => {
                 let schema_id = body["schema_id"].as_str().map(str::to_string);
                 self.nmds
-                    .create(id()?, schema_id, body["body"].clone(), ctx.caller.clone(), ctx.now)
+                    .create(
+                        id()?,
+                        schema_id,
+                        body["body"].clone(),
+                        ctx.caller.clone(),
+                        ctx.now,
+                    )
                     .map_err(nmds_fault)?;
                 self.sde.set("objectCount", json!(self.nmds.len()), ctx.now);
                 Ok(json!({"created": true}))
@@ -182,9 +188,9 @@ impl GridService for NfmsService {
                 Ok(json!({ "transfer_id": transfer_id, "chunk_size": 8192 }))
             }
             "uploadChunk" => {
-                let tid = body["transfer_id"]
-                    .as_u64()
-                    .ok_or_else(|| ServiceFault::permanent("BadRequest", "missing 'transfer_id'"))?;
+                let tid = body["transfer_id"].as_u64().ok_or_else(|| {
+                    ServiceFault::permanent("BadRequest", "missing 'transfer_id'")
+                })?;
                 let up = self.uploads.get_mut(&tid).ok_or_else(|| {
                     ServiceFault::permanent("NoSuchTransfer", format!("transfer {tid}"))
                 })?;
@@ -202,9 +208,9 @@ impl GridService for NfmsService {
                 Ok(json!({ "marker": up.receiver.restart_marker() }))
             }
             "commitUpload" => {
-                let tid = body["transfer_id"]
-                    .as_u64()
-                    .ok_or_else(|| ServiceFault::permanent("BadRequest", "missing 'transfer_id'"))?;
+                let tid = body["transfer_id"].as_u64().ok_or_else(|| {
+                    ServiceFault::permanent("BadRequest", "missing 'transfer_id'")
+                })?;
                 let up = self.uploads.remove(&tid).ok_or_else(|| {
                     ServiceFault::permanent("NoSuchTransfer", format!("transfer {tid}"))
                 })?;
@@ -290,19 +296,17 @@ mod tests {
     #[test]
     fn nmds_service_crud() {
         let mut svc = NmdsService::new(Nmds::new());
-        svc.handle(
-            &ctx(1),
-            "create",
-            &json!({"id": "/obj", "body": {"x": 1}}),
-        )
-        .unwrap();
+        svc.handle(&ctx(1), "create", &json!({"id": "/obj", "body": {"x": 1}}))
+            .unwrap();
         let got = svc.handle(&ctx(2), "get", &json!({"id": "/obj"})).unwrap();
         assert_eq!(got["body"]["x"], 1);
         let v = svc
             .handle(&ctx(3), "update", &json!({"id": "/obj", "body": {"x": 2}}))
             .unwrap();
         assert_eq!(v["version"], 2);
-        let ids = svc.handle(&ctx(4), "list", &json!({"prefix": "/"})).unwrap();
+        let ids = svc
+            .handle(&ctx(4), "list", &json!({"prefix": "/"}))
+            .unwrap();
         assert_eq!(ids["ids"][0], "/obj");
     }
 

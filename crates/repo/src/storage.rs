@@ -107,7 +107,11 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let store = VirtualStore::new();
-        let sum = store.put("/a/b.csv", Bytes::from_static(b"data"), SimTime::from_secs(1));
+        let sum = store.put(
+            "/a/b.csv",
+            Bytes::from_static(b"data"),
+            SimTime::from_secs(1),
+        );
         let f = store.get("/a/b.csv").unwrap();
         assert_eq!(&f.content[..], b"data");
         assert_eq!(f.checksum, sum);

@@ -1,0 +1,603 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde facade. The container has no syn/quote, so the item is
+//! parsed directly from the raw token stream and impls are emitted as
+//! formatted strings. Supported shapes cover everything this workspace
+//! derives: non-generic structs (named / tuple / unit) and enums with unit,
+//! tuple, and struct variants, plus `#[serde(rename_all = "...")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match which {
+        Which::Serialize => gen_serialize(&item),
+        Which::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Item {
+    name: String,
+    rename_all: Option<String>,
+    body: Body,
+}
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skip a run of outer attributes, returning any `rename_all` value seen.
+    fn skip_attrs(&mut self) -> Option<String> {
+        let mut rename_all = None;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                if let Some(r) = extract_rename_all(g.stream()) {
+                    rename_all = Some(r);
+                }
+            }
+        }
+        rename_all
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skip tokens of a type (or discriminant expression) until a top-level
+    /// comma or end of stream. Groups are atomic; only `<`/`>` need counting.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn extract_rename_all(attr: TokenStream) -> Option<String> {
+    // Matches `serde ( ... rename_all = "RULE" ... )`.
+    let mut toks = attr.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match toks.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    for (i, t) in inner.iter().enumerate() {
+        if let TokenTree::Ident(id) = t {
+            if id.to_string() == "rename_all" {
+                if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                    return Some(lit.to_string().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    let rename_all = c.skip_attrs();
+    c.skip_visibility();
+
+    let kw = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => {
+            return Err(format!(
+                "serde shim derive: expected struct/enum, got {t:?}"
+            ))
+        }
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => return Err(format!("serde shim derive: expected type name, got {t:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generic type {name} not supported"
+            ));
+        }
+    }
+
+    let body = match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            t => return Err(format!("serde shim derive: bad struct body {t:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            t => return Err(format!("serde shim derive: bad enum body {t:?}")),
+        },
+        other => return Err(format!("serde shim derive: cannot derive for {other}")),
+    };
+
+    Ok(Item {
+        name,
+        rename_all,
+        body,
+    })
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            t => return Err(format!("serde shim derive: expected field name, got {t:?}")),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            t => return Err(format!("serde shim derive: expected ':', got {t:?}")),
+        }
+        c.skip_until_comma();
+        c.next(); // consume the comma, if any
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    if c.at_end() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    let mut saw_token_since_comma = false;
+    while let Some(t) = c.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                saw_token_since_comma = false;
+                count += 1;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    // Trailing comma adds a phantom field; drop it.
+    if !saw_token_since_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            t => {
+                return Err(format!(
+                    "serde shim derive: expected variant name, got {t:?}"
+                ))
+            }
+        };
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        c.skip_until_comma();
+        c.next();
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- renaming
+
+fn apply_rename(name: &str, rule: Option<&str>) -> String {
+    let Some(rule) = rule else {
+        return name.to_string();
+    };
+    let words = split_words(name);
+    match rule {
+        "lowercase" => name.to_lowercase(),
+        "UPPERCASE" => name.to_uppercase(),
+        "snake_case" => words.join("_"),
+        "SCREAMING_SNAKE_CASE" => words.join("_").to_uppercase(),
+        "kebab-case" => words.join("-"),
+        "camelCase" => {
+            let mut out = String::new();
+            for (i, w) in words.iter().enumerate() {
+                if i == 0 {
+                    out.push_str(w);
+                } else {
+                    out.push_str(&capitalize(w));
+                }
+            }
+            out
+        }
+        "PascalCase" => words.iter().map(|w| capitalize(w)).collect(),
+        _ => name.to_string(),
+    }
+}
+
+fn split_words(name: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    for ch in name.chars() {
+        if ch == '_' {
+            if !cur.is_empty() {
+                words.push(cur.clone());
+                cur.clear();
+            }
+        } else if ch.is_uppercase() && !cur.is_empty() {
+            words.push(cur.clone());
+            cur.clear();
+            cur.push(ch.to_ascii_lowercase());
+        } else {
+            cur.push(ch.to_ascii_lowercase());
+        }
+    }
+    if !cur.is_empty() {
+        words.push(cur);
+    }
+    words
+}
+
+fn capitalize(w: &str) -> String {
+    let mut cs = w.chars();
+    match cs.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),
+        None => String::new(),
+    }
+}
+
+// ------------------------------------------------------------ generation
+
+const VALUE: &str = "::serde::__private::Value";
+const MAP: &str = "::serde::__private::Map";
+const TO_VALUE: &str = "::serde::__private::to_value";
+const FROM_VALUE: &str = "::serde::__private::from_value_ref";
+
+fn de_err(item: &str, what: &str) -> String {
+    format!(
+        "return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+         ::std::format!(\"{item}: {what}\")))"
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut s = format!("let mut __m = {MAP}::new();\n");
+            for f in fields {
+                let key = apply_rename(f, item.rename_all.as_deref());
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from({key:?}), {TO_VALUE}(&self.{f}));\n"
+                ));
+            }
+            s.push_str(&format!(
+                "__serializer.serialize_value({VALUE}::Object(__m))"
+            ));
+            s
+        }
+        Body::TupleStruct(1) => {
+            format!("__serializer.serialize_value({TO_VALUE}(&self.0))")
+        }
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n).map(|i| format!("{TO_VALUE}(&self.{i})")).collect();
+            format!(
+                "__serializer.serialize_value({VALUE}::Array(::std::vec![{}]))",
+                elems.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("__serializer.serialize_value({VALUE}::Null)"),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let wire = apply_rename(vname, item.rename_all.as_deref());
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_value(\
+                         {VALUE}::String(::std::string::String::from({wire:?}))),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let content = if *n == 1 {
+                            format!("{TO_VALUE}(__f0)")
+                        } else {
+                            let elems: Vec<String> =
+                                binds.iter().map(|b| format!("{TO_VALUE}({b})")).collect();
+                            format!("{VALUE}::Array(::std::vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut __m = {MAP}::new();\n\
+                             __m.insert(::std::string::String::from({wire:?}), {content});\n\
+                             __serializer.serialize_value({VALUE}::Object(__m))\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = format!("let mut __inner = {MAP}::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(::std::string::String::from({f:?}), {TO_VALUE}({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {fields} }} => {{\n{inner}\
+                             let mut __m = {MAP}::new();\n\
+                             __m.insert(::std::string::String::from({wire:?}), {VALUE}::Object(__inner));\n\
+                             __serializer.serialize_value({VALUE}::Object(__m))\n}}\n",
+                            fields = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let key = apply_rename(f, item.rename_all.as_deref());
+                inits.push_str(&format!(
+                    "{f}: match {FROM_VALUE}(__o.get({key:?}).unwrap_or(&{VALUE}::Null)) {{\n\
+                     ::core::result::Result::Ok(v) => v,\n\
+                     ::core::result::Result::Err(e) => return ::core::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(\
+                     ::std::format!(\"{name}.{f}: {{}}\", e))),\n}},\n"
+                ));
+            }
+            format!(
+                "let __o = match &__v {{\n\
+                 {VALUE}::Object(m) => m,\n\
+                 _ => {err},\n}};\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})",
+                err = de_err(name, "expected object")
+            )
+        }
+        Body::TupleStruct(1) => format!(
+            "match {FROM_VALUE}(&__v) {{\n\
+             ::core::result::Result::Ok(v) => ::core::result::Result::Ok({name}(v)),\n\
+             ::core::result::Result::Err(e) => ::core::result::Result::Err(\
+             <__D::Error as ::serde::de::Error>::custom(\
+             ::std::format!(\"{name}: {{}}\", e))),\n}}"
+        ),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "match {FROM_VALUE}(&__a[{i}]) {{\n\
+                         ::core::result::Result::Ok(v) => v,\n\
+                         ::core::result::Result::Err(e) => return ::core::result::Result::Err(\
+                         <__D::Error as ::serde::de::Error>::custom(\
+                         ::std::format!(\"{name}.{i}: {{}}\", e))),\n}}"
+                    )
+                })
+                .collect();
+            format!(
+                "let __a = match &__v {{\n\
+                 {VALUE}::Array(a) if a.len() == {n} => a,\n\
+                 _ => {err},\n}};\n\
+                 ::core::result::Result::Ok({name}({elems}))",
+                err = de_err(name, &format!("expected array of {n}")),
+                elems = elems.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut content_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let wire = apply_rename(vname, item.rename_all.as_deref());
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{wire:?} => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                        // Also accept the `{"Variant": null}` object form.
+                        content_arms.push_str(&format!(
+                            "{wire:?} => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => content_arms.push_str(&format!(
+                        "{wire:?} => match {FROM_VALUE}(__content) {{\n\
+                         ::core::result::Result::Ok(v) => ::core::result::Result::Ok({name}::{vname}(v)),\n\
+                         ::core::result::Result::Err(e) => ::core::result::Result::Err(\
+                         <__D::Error as ::serde::de::Error>::custom(\
+                         ::std::format!(\"{name}::{vname}: {{}}\", e))),\n}},\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "match {FROM_VALUE}(&__a[{i}]) {{\n\
+                                     ::core::result::Result::Ok(v) => v,\n\
+                                     ::core::result::Result::Err(e) => return ::core::result::Result::Err(\
+                                     <__D::Error as ::serde::de::Error>::custom(\
+                                     ::std::format!(\"{name}::{vname}.{i}: {{}}\", e))),\n}}"
+                                )
+                            })
+                            .collect();
+                        content_arms.push_str(&format!(
+                            "{wire:?} => {{\n\
+                             let __a = match __content {{\n\
+                             {VALUE}::Array(a) if a.len() == {n} => a,\n\
+                             _ => {err},\n}};\n\
+                             ::core::result::Result::Ok({name}::{vname}({elems}))\n}},\n",
+                            err = de_err(&format!("{name}::{vname}"), &format!("expected array of {n}")),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: match {FROM_VALUE}(__o.get({f:?}).unwrap_or(&{VALUE}::Null)) {{\n\
+                                 ::core::result::Result::Ok(v) => v,\n\
+                                 ::core::result::Result::Err(e) => return ::core::result::Result::Err(\
+                                 <__D::Error as ::serde::de::Error>::custom(\
+                                 ::std::format!(\"{name}::{vname}.{f}: {{}}\", e))),\n}},\n"
+                            ));
+                        }
+                        content_arms.push_str(&format!(
+                            "{wire:?} => {{\n\
+                             let __o = match __content {{\n\
+                             {VALUE}::Object(m) => m,\n\
+                             _ => {err},\n}};\n\
+                             ::core::result::Result::Ok({name}::{vname} {{\n{inits}}})\n}},\n",
+                            err = de_err(&format!("{name}::{vname}"), "expected object")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match &__v {{\n\
+                 {VALUE}::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"{name}: unknown variant {{:?}}\", __other))),\n}},\n\
+                 {VALUE}::Object(__m) => {{\n\
+                 let (__tag, __content) = match __m.iter().next() {{\n\
+                 ::core::option::Option::Some((k, v)) => (k.as_str(), v),\n\
+                 ::core::option::Option::None => {err_empty},\n}};\n\
+                 match __tag {{\n{content_arms}\
+                 __other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"{name}: unknown variant {{:?}}\", __other))),\n}}\n}},\n\
+                 _ => {err_shape},\n}}",
+                err_empty = de_err(name, "empty enum object"),
+                err_shape = de_err(name, "expected string or single-key object"),
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         let __v = __deserializer.into_value()?;\n{body}\n}}\n}}\n"
+    )
+}

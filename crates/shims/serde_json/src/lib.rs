@@ -1,0 +1,147 @@
+//! Offline stand-in for `serde_json`: renders the vendored serde facade's
+//! [`Value`] tree to and from JSON text. Covers the API subset this
+//! workspace uses: `to_string`/`to_string_pretty`/`to_vec`/`to_value`,
+//! `from_str`/`from_slice`/`from_value`, `Value`, and the `json!` macro.
+//!
+//! Float output uses Rust's shortest round-trip `Display`, so an
+//! f64 → JSON → f64 round trip is bit-exact — a property the checkpoint
+//! subsystem's "identical trailing trajectory" guarantee leans on.
+
+mod parse;
+mod print;
+
+use std::fmt;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+pub use serde::value::{Map, Number, Value};
+
+/// Error for both parse and data-shape failures.
+#[derive(Debug, Clone)]
+pub struct Error(pub(crate) String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::value::Error> for Error {
+    fn from(e: serde::value::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(serde::value::to_value(&value))
+}
+
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T> {
+    serde::value::from_value(value).map_err(Error::from)
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(print::compact(&serde::value::to_value(value)))
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(print::pretty(&serde::value::to_value(value)))
+}
+
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let v = parse::parse(s)?;
+    serde::value::from_value(v).map_err(Error::from)
+}
+
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
+#[doc(hidden)]
+pub fn __value_from<T: Serialize>(t: &T) -> Value {
+    serde::value::to_value(t)
+}
+
+/// Build a [`Value`] from JSON-looking syntax, like `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_array![ $($tt)* ]) };
+    ({ $($tt:tt)* }) => { $crate::Value::Object($crate::json_object!( $($tt)* )) };
+    ($other:expr) => { $crate::__value_from(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Done: no more elements.
+    (@acc $vec:ident) => {};
+    // Trailing comma.
+    (@acc $vec:ident ,) => {};
+    // Next element is a nested array / object / literal keyword / expression;
+    // capture one full element as tt* up to a top-level comma via tt-munching
+    // on the three container/keyword forms first, then fall back to expr.
+    (@acc $vec:ident [ $($elem:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($elem)* ]));
+        $crate::json_array!(@acc $vec $($($rest)*)?);
+    };
+    (@acc $vec:ident { $($elem:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($elem)* }));
+        $crate::json_array!(@acc $vec $($($rest)*)?);
+    };
+    (@acc $vec:ident null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $crate::json_array!(@acc $vec $($($rest)*)?);
+    };
+    (@acc $vec:ident $elem:expr $(, $($rest:tt)*)?) => {
+        $vec.push($crate::__value_from(&$elem));
+        $crate::json_array!(@acc $vec $($($rest)*)?);
+    };
+    ( $($tt:tt)* ) => {{
+        #[allow(unused_mut)]
+        let mut vec: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array!(@acc vec $($tt)*);
+        vec
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    (@acc $map:ident) => {};
+    (@acc $map:ident ,) => {};
+    (@acc $map:ident $key:tt : [ $($elem:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::json!([ $($elem)* ]));
+        $crate::json_object!(@acc $map $($($rest)*)?);
+    };
+    (@acc $map:ident $key:tt : { $($elem:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::json!({ $($elem)* }));
+        $crate::json_object!(@acc $map $($($rest)*)?);
+    };
+    (@acc $map:ident $key:tt : null $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::Value::Null);
+        $crate::json_object!(@acc $map $($($rest)*)?);
+    };
+    (@acc $map:ident $key:tt : $val:expr $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::__value_from(&$val));
+        $crate::json_object!(@acc $map $($($rest)*)?);
+    };
+    ( $($tt:tt)* ) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_object!(@acc map $($tt)*);
+        map
+    }};
+}

@@ -1,0 +1,12 @@
+//! Rendering delegates to the printer that lives next to `Value` (orphan
+//! rules require `Display for Value` to be implemented in the serde shim).
+
+use serde::value::Value;
+
+pub fn compact(v: &Value) -> String {
+    v.to_json_compact()
+}
+
+pub fn pretty(v: &Value) -> String {
+    v.to_json_pretty()
+}

@@ -27,6 +27,12 @@ pub trait Element: Send {
 
     /// Revert to the committed state.
     fn revert(&mut self);
+
+    /// Committed material history (see [`Material::state`]).
+    fn state(&self) -> Vec<f64>;
+
+    /// Restore committed material history (see [`Material::set_state`]).
+    fn set_state(&mut self, state: &[f64]) -> Result<(), String>;
 }
 
 /// Lateral stiffness of a cantilever column: `k = 3 E I / L³`.
@@ -85,6 +91,14 @@ impl Element for GroundSpring {
     fn revert(&mut self) {
         self.material.revert();
     }
+
+    fn state(&self) -> Vec<f64> {
+        self.material.state()
+    }
+
+    fn set_state(&mut self, state: &[f64]) -> Result<(), String> {
+        self.material.set_state(state)
+    }
 }
 
 /// A spring coupling two global DOFs (relative deformation `d_j - d_i`).
@@ -132,6 +146,14 @@ impl Element for CouplingSpring {
     fn revert(&mut self) {
         self.material.revert();
     }
+
+    fn state(&self) -> Vec<f64> {
+        self.material.state()
+    }
+
+    fn set_state(&mut self, state: &[f64]) -> Result<(), String> {
+        self.material.set_state(state)
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +187,10 @@ mod tests {
         // Relative extension 0.02 → f = 2 N pulling the DOFs together.
         assert!((forces[0] + 2.0).abs() < 1e-12);
         assert!((forces[1] - 2.0).abs() < 1e-12);
-        assert!((forces[0] + forces[1]).abs() < 1e-12, "internal forces balance");
+        assert!(
+            (forces[0] + forces[1]).abs() < 1e-12,
+            "internal forces balance"
+        );
     }
 
     #[test]
@@ -202,7 +227,10 @@ mod tests {
         el.revert();
         forces[0] = 0.0;
         el.add_restoring(&[0.005], &mut forces);
-        assert!((forces[0] - 5.0).abs() < 1e-12, "no plastic memory after revert");
+        assert!(
+            (forces[0] - 5.0).abs() < 1e-12,
+            "no plastic memory after revert"
+        );
     }
 
     #[test]

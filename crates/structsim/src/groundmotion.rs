@@ -99,7 +99,11 @@ impl GroundMotion {
         let x = t / self.dt;
         let i = x.floor() as usize;
         if i + 1 >= self.accel.len() {
-            return if i < self.accel.len() { self.accel[i] } else { 0.0 };
+            return if i < self.accel.len() {
+                self.accel[i]
+            } else {
+                0.0
+            };
         }
         let frac = x - i as f64;
         self.accel[i] * (1.0 - frac) + self.accel[i + 1] * frac

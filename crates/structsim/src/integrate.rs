@@ -94,6 +94,48 @@ impl CentralDifference {
         }
     }
 
+    /// Rebuild an integrator mid-run from checkpointed state. `d_prev` and
+    /// `d_curr` are the last two committed displacement vectors and `step`
+    /// the index of the next step to execute. The derived operators
+    /// (`M̂`, `M - Δt/2 C`) are reconstructed from the same `mass`/`damping`/
+    /// `dt` the original run used, so the resumed trajectory is
+    /// bit-identical to an uninterrupted one.
+    pub fn from_state(
+        mass: Matrix,
+        damping: &Matrix,
+        dt: f64,
+        d_prev: Vector,
+        d_curr: Vector,
+        step: u64,
+    ) -> Self {
+        let n = mass.rows();
+        assert!(dt > 0.0);
+        assert_eq!(damping.rows(), n);
+        assert_eq!(d_prev.len(), n);
+        assert_eq!(d_curr.len(), n);
+        let m_hat = mass.add(&damping.scale(dt / 2.0));
+        let m_hat_chol = m_hat
+            .cholesky()
+            .expect("effective mass must be SPD (check damping symmetry)");
+        let m_minus = mass.add(&damping.scale(-dt / 2.0));
+        CentralDifference {
+            mass,
+            dt,
+            m_hat_chol,
+            m_minus,
+            d_prev,
+            d_curr,
+            step,
+        }
+    }
+
+    /// The integrator's checkpointable state: `(d_prev, d_curr, step)`.
+    /// Everything else is reconstructable via
+    /// [`CentralDifference::from_state`].
+    pub fn state(&self) -> (&Vector, &Vector, u64) {
+        (&self.d_prev, &self.d_curr, self.step)
+    }
+
     /// The displacement substructures must be driven to for the current
     /// step (this is what NTCP proposals carry).
     pub fn target_displacement(&self) -> &Vector {
@@ -438,6 +480,42 @@ mod tests {
     }
 
     #[test]
+    fn central_difference_resumes_bit_identically() {
+        // Run 1000 steps straight; run 400, checkpoint, rebuild, run 600
+        // more. Every post-resume displacement must be *exactly* equal.
+        let (k, m, d0) = (400.0, 1.0, 0.01);
+        let dt = 0.001;
+        let run = |mut cd: CentralDifference, steps: usize| -> (CentralDifference, Vec<f64>) {
+            let mut out = Vec::with_capacity(steps);
+            for _ in 0..steps {
+                let target = cd.target_displacement().clone();
+                let r = target.scale(k);
+                out.push(cd.advance(&r, &Vector::zeros(1)).displacement[0]);
+            }
+            (cd, out)
+        };
+        let (mass, damping, d, v, r0, p0) = sdof_setup(k, m, d0);
+        let (_, full) = run(
+            CentralDifference::new(mass, &damping, dt, d, v, &r0, &p0),
+            1000,
+        );
+        let (mass, damping, d, v, r0, p0) = sdof_setup(k, m, d0);
+        let (cd, head) = run(
+            CentralDifference::new(mass, &damping, dt, d, v, &r0, &p0),
+            400,
+        );
+        let (d_prev, d_curr, step) = cd.state();
+        assert_eq!(step, 400);
+        let (d_prev, d_curr) = (d_prev.clone(), d_curr.clone());
+        drop(cd);
+        let (mass, damping, _, _, _, _) = sdof_setup(k, m, d0);
+        let resumed = CentralDifference::from_state(mass, &damping, dt, d_prev, d_curr, step);
+        let (_, tail) = run(resumed, 600);
+        let stitched: Vec<f64> = head.into_iter().chain(tail).collect();
+        assert_eq!(stitched, full, "resumed trajectory diverged");
+    }
+
+    #[test]
     fn central_difference_critical_dt() {
         let mass = Matrix::diag(&[1.0]);
         let k = Matrix::diag(&[400.0]); // ω = 20 → dt_cr = 0.1
@@ -488,8 +566,7 @@ mod tests {
         let (k, m, d0) = (400.0, 1.0, 0.01);
         let (mass, damping, d, v, r0, p0) = sdof_setup(k, m, d0);
         let k_mat = Matrix::diag(&[k]);
-        let mut nm =
-            NewmarkBeta::average_acceleration(mass, damping, k_mat, 0.5, d, v, &r0, &p0);
+        let mut nm = NewmarkBeta::average_acceleration(mass, damping, k_mat, 0.5, d, v, &r0, &p0);
         let mut max_amp: f64 = 0.0;
         for _ in 0..200 {
             let res = nm

@@ -40,6 +40,29 @@ pub trait Material: Send {
 
     /// Clone into a box (object-safe clone).
     fn clone_box(&self) -> Box<dyn Material>;
+
+    /// Committed history variables, as a flat vector. Stateless materials
+    /// return an empty vector; path-dependent ones expose whatever
+    /// [`Material::set_state`] needs to reproduce the committed state
+    /// exactly. Trial state is *not* included — checkpoints are taken
+    /// between steps, after commit.
+    fn state(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Restore committed history variables from a vector previously
+    /// produced by [`Material::state`]. The trial state is reset onto the
+    /// restored committed state. Returns `Err` on a length mismatch.
+    fn set_state(&mut self, state: &[f64]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "material carries no history but got {} state value(s)",
+                state.len()
+            ))
+        }
+    }
 }
 
 impl Clone for Box<dyn Material> {
@@ -201,6 +224,24 @@ impl Material for BilinearHysteretic {
     fn clone_box(&self) -> Box<dyn Material> {
         Box::new(*self)
     }
+
+    fn state(&self) -> Vec<f64> {
+        vec![self.committed_d, self.committed_f, self.committed_back]
+    }
+
+    fn set_state(&mut self, state: &[f64]) -> Result<(), String> {
+        let [d, f, back] = state else {
+            return Err(format!(
+                "bilinear material expects 3 state values, got {}",
+                state.len()
+            ));
+        };
+        self.committed_d = *d;
+        self.committed_f = *f;
+        self.committed_back = *back;
+        self.revert();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +347,45 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn negative_stiffness_rejected() {
         let _ = LinearElastic::new(-1.0);
+    }
+
+    #[test]
+    fn state_roundtrip_reproduces_committed_response() {
+        let mut m = BilinearHysteretic::new(1000.0, 10.0, 0.1);
+        m.set_trial(0.02);
+        m.commit();
+        m.set_trial(-0.01);
+        m.commit();
+        let state = m.state();
+        assert_eq!(state.len(), 3);
+        // A fresh material restored from the state must answer every
+        // subsequent trial identically.
+        let mut fresh = BilinearHysteretic::new(1000.0, 10.0, 0.1);
+        fresh.set_state(&state).unwrap();
+        for d in [-0.03, -0.005, 0.0, 0.011, 0.04] {
+            assert_eq!(fresh.set_trial(d), m.set_trial(d));
+        }
+    }
+
+    #[test]
+    fn state_restore_discards_uncommitted_trial() {
+        let mut m = BilinearHysteretic::new(1000.0, 10.0, 0.1);
+        m.set_trial(0.02);
+        m.commit();
+        let state = m.state();
+        let mut other = BilinearHysteretic::new(1000.0, 10.0, 0.1);
+        other.set_trial(0.05); // trial garbage, never committed
+        other.set_state(&state).unwrap();
+        assert_eq!(other.trial_force(), m.trial_force());
+    }
+
+    #[test]
+    fn state_length_mismatch_is_rejected() {
+        let mut lin = LinearElastic::new(1000.0);
+        assert!(lin.set_state(&[]).is_ok());
+        assert!(lin.set_state(&[1.0]).is_err());
+        let mut bil = BilinearHysteretic::new(1000.0, 10.0, 0.1);
+        assert!(bil.set_state(&[0.0, 0.0]).is_err());
     }
 
     proptest! {

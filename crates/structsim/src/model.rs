@@ -179,8 +179,14 @@ mod tests {
     /// MOST-like 2-DOF frame: two columns to ground, coupling beam between.
     fn two_dof_frame(k_left: f64, k_right: f64, k_beam: f64) -> MdofModel {
         let mut m = MdofModel::new(vec![1000.0, 1000.0]);
-        m.add_element(Box::new(GroundSpring::new(0, Box::new(LinearElastic::new(k_left)))));
-        m.add_element(Box::new(GroundSpring::new(1, Box::new(LinearElastic::new(k_right)))));
+        m.add_element(Box::new(GroundSpring::new(
+            0,
+            Box::new(LinearElastic::new(k_left)),
+        )));
+        m.add_element(Box::new(GroundSpring::new(
+            1,
+            Box::new(LinearElastic::new(k_right)),
+        )));
         m.add_element(Box::new(CouplingSpring::new(
             0,
             1,
@@ -229,7 +235,10 @@ mod tests {
     #[test]
     fn sdof_natural_frequency() {
         let mut m = MdofModel::new(vec![1000.0]);
-        m.add_element(Box::new(GroundSpring::new(0, Box::new(LinearElastic::new(4.0e5)))));
+        m.add_element(Box::new(GroundSpring::new(
+            0,
+            Box::new(LinearElastic::new(4.0e5)),
+        )));
         let w = m.natural_frequencies();
         // ω = sqrt(k/m) = sqrt(400) = 20 rad/s.
         assert!((w[0] - 20.0).abs() < 1e-9);
@@ -282,7 +291,10 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn element_dof_bounds_checked() {
         let mut m = MdofModel::new(vec![1000.0]);
-        m.add_element(Box::new(GroundSpring::new(5, Box::new(LinearElastic::new(1.0)))));
+        m.add_element(Box::new(GroundSpring::new(
+            5,
+            Box::new(LinearElastic::new(1.0)),
+        )));
     }
 
     #[test]

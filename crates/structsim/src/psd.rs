@@ -9,13 +9,19 @@
 //! NTCP-remote substructures — the equivalence of the two is the key
 //! validation test of this reproduction (experiment E4).
 
+use serde::{Deserialize, Serialize};
+
 use crate::groundmotion::GroundMotion;
 use crate::integrate::CentralDifference;
 use crate::linalg::{Matrix, Vector};
 use crate::substructure::{Substructure, SubstructureBinding, SubstructureError};
 
 /// Recorded state histories from a PSD run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so checkpoints can persist the trajectory recorded so far
+/// (the shim's f64 JSON encoding is bit-exact, which the resume
+/// bit-identity guarantee relies on).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PsdHistory {
     /// Integration time step, s.
     pub dt: f64,
@@ -141,8 +147,7 @@ impl PsdTest {
         let r0 = self.collect_restoring(&d0, &mut substructures)?;
         let p0 = self.ground_force(motion.value_at(0.0));
         let mass = Matrix::diag(&self.masses);
-        let mut integrator =
-            CentralDifference::new(mass, &self.damping, self.dt, d0, v0, &r0, &p0);
+        let mut integrator = CentralDifference::new(mass, &self.damping, self.dt, d0, v0, &r0, &p0);
 
         let mut history = PsdHistory {
             dt: self.dt,
@@ -198,7 +203,10 @@ mod tests {
             Box::new(LinearElastic::new(kb)),
         )));
         vec![
-            (SubstructureBinding::new(vec![0]), Box::new(left) as Box<dyn Substructure>),
+            (
+                SubstructureBinding::new(vec![0]),
+                Box::new(left) as Box<dyn Substructure>,
+            ),
             (SubstructureBinding::new(vec![1]), Box::new(right)),
             (SubstructureBinding::new(vec![0, 1]), Box::new(center)),
         ]
@@ -221,12 +229,25 @@ mod tests {
 
         // Monolithic: one substructure holding the whole frame.
         let mut whole = SimulatedSubstructure::new("whole", 2);
-        whole.add_element(Box::new(GroundSpring::new(0, Box::new(LinearElastic::new(kl)))));
-        whole.add_element(Box::new(GroundSpring::new(1, Box::new(LinearElastic::new(kr)))));
-        whole.add_element(Box::new(CouplingSpring::new(0, 1, Box::new(LinearElastic::new(kb)))));
+        whole.add_element(Box::new(GroundSpring::new(
+            0,
+            Box::new(LinearElastic::new(kl)),
+        )));
+        whole.add_element(Box::new(GroundSpring::new(
+            1,
+            Box::new(LinearElastic::new(kr)),
+        )));
+        whole.add_element(Box::new(CouplingSpring::new(
+            0,
+            1,
+            Box::new(LinearElastic::new(kb)),
+        )));
         let mono = test
             .run(
-                vec![(SubstructureBinding::new(vec![0, 1]), Box::new(whole) as Box<dyn Substructure>)],
+                vec![(
+                    SubstructureBinding::new(vec![0, 1]),
+                    Box::new(whole) as Box<dyn Substructure>,
+                )],
                 &motion,
                 400,
             )
@@ -235,7 +256,10 @@ mod tests {
         assert_eq!(distributed.steps_completed, 400);
         let diff = distributed.max_displacement_difference(&mono);
         assert!(diff < 1e-12, "distributed vs monolithic diff {diff}");
-        assert!(distributed.peak_displacement(0) > 1e-5, "response is nontrivial");
+        assert!(
+            distributed.peak_displacement(0) > 1e-5,
+            "response is nontrivial"
+        );
     }
 
     #[test]
@@ -245,9 +269,19 @@ mod tests {
         let masses = vec![1000.0, 1000.0];
         let (kl, kr, kb) = (2.0e5, 2.0e5, 0.0e5 + 1.0e5);
         let mut model = MdofModel::new(masses.clone());
-        model.add_element(Box::new(GroundSpring::new(0, Box::new(LinearElastic::new(kl)))));
-        model.add_element(Box::new(GroundSpring::new(1, Box::new(LinearElastic::new(kr)))));
-        model.add_element(Box::new(CouplingSpring::new(0, 1, Box::new(LinearElastic::new(kb)))));
+        model.add_element(Box::new(GroundSpring::new(
+            0,
+            Box::new(LinearElastic::new(kl)),
+        )));
+        model.add_element(Box::new(GroundSpring::new(
+            1,
+            Box::new(LinearElastic::new(kr)),
+        )));
+        model.add_element(Box::new(CouplingSpring::new(
+            0,
+            1,
+            Box::new(LinearElastic::new(kb)),
+        )));
         let w1 = model.natural_frequencies()[0];
 
         // Pulse: two nonzero samples then silence.
@@ -303,7 +337,10 @@ mod tests {
         let nonlinear = test
             .run(
                 vec![
-                    (SubstructureBinding::new(vec![0]), Box::new(left_yielding) as Box<dyn Substructure>),
+                    (
+                        SubstructureBinding::new(vec![0]),
+                        Box::new(left_yielding) as Box<dyn Substructure>,
+                    ),
                     (SubstructureBinding::new(vec![1]), Box::new(right)),
                     (SubstructureBinding::new(vec![0, 1]), Box::new(center)),
                 ],
@@ -350,7 +387,10 @@ mod tests {
         let motion = GroundMotion::synthetic(1, 0.01, 10, 1.0);
         let err = test
             .run(
-                vec![(SubstructureBinding::new(vec![0]), Box::new(Failing) as Box<dyn Substructure>)],
+                vec![(
+                    SubstructureBinding::new(vec![0]),
+                    Box::new(Failing) as Box<dyn Substructure>,
+                )],
                 &motion,
                 10,
             )
@@ -362,11 +402,13 @@ mod tests {
     #[should_panic(expected = "binding width")]
     fn binding_width_mismatch_panics() {
         let test = PsdTest::new(vec![1000.0, 1000.0], Matrix::zeros(2, 2), 0.01);
-        let sub =
-            SimulatedSubstructure::spring_to_ground("x", Box::new(LinearElastic::new(1.0)));
+        let sub = SimulatedSubstructure::spring_to_ground("x", Box::new(LinearElastic::new(1.0)));
         let motion = GroundMotion::synthetic(1, 0.01, 10, 1.0);
         let _ = test.run(
-            vec![(SubstructureBinding::new(vec![0, 1]), Box::new(sub) as Box<dyn Substructure>)],
+            vec![(
+                SubstructureBinding::new(vec![0, 1]),
+                Box::new(sub) as Box<dyn Substructure>,
+            )],
             &motion,
             10,
         );

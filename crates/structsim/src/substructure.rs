@@ -50,7 +50,11 @@ impl std::fmt::Display for SubstructureError {
             f,
             "{} ({})",
             self.message,
-            if self.recoverable { "recoverable" } else { "fatal" }
+            if self.recoverable {
+                "recoverable"
+            } else {
+                "fatal"
+            }
         )
     }
 }
@@ -72,6 +76,24 @@ pub trait Substructure: Send {
     /// Commit the current trial state as the new equilibrium state
     /// (called once per accepted time-step).
     fn commit(&mut self) -> Result<(), SubstructureError>;
+
+    /// Committed element states for checkpointing, one vector per element
+    /// in insertion order. `None` means this substructure cannot be
+    /// snapshotted (physical specimens, remote proxies) — a checkpoint of
+    /// the hosting site then records no structural state for it.
+    fn snapshot_state(&self) -> Option<Vec<Vec<f64>>> {
+        None
+    }
+
+    /// Restore committed element states captured by
+    /// [`Substructure::snapshot_state`]. The default refuses: you cannot
+    /// rewind a physical specimen.
+    fn restore_state(&mut self, _state: &[Vec<f64>]) -> Result<(), SubstructureError> {
+        Err(SubstructureError::fatal(format!(
+            "{}: substructure does not support state restore",
+            self.name()
+        )))
+    }
 }
 
 /// Maps a substructure's local interface DOFs onto global model DOFs.
@@ -172,6 +194,26 @@ impl Substructure for SimulatedSubstructure {
         }
         Ok(())
     }
+
+    fn snapshot_state(&self) -> Option<Vec<Vec<f64>>> {
+        Some(self.elements.iter().map(|el| el.state()).collect())
+    }
+
+    fn restore_state(&mut self, state: &[Vec<f64>]) -> Result<(), SubstructureError> {
+        if state.len() != self.elements.len() {
+            return Err(SubstructureError::fatal(format!(
+                "{}: snapshot has {} element state(s), substructure has {}",
+                self.name,
+                state.len(),
+                self.elements.len()
+            )));
+        }
+        for (el, s) in self.elements.iter_mut().zip(state) {
+            el.set_state(s)
+                .map_err(|e| SubstructureError::fatal(format!("{}: {e}", self.name)))?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +281,35 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restore_reproduces_hysteretic_response() {
+        let mut s = SimulatedSubstructure::spring_to_ground(
+            "col",
+            Box::new(BilinearHysteretic::new(1000.0, 5.0, 0.1)),
+        );
+        s.restoring(&[0.02]).unwrap();
+        s.commit().unwrap();
+        let snap = s.snapshot_state().unwrap();
+
+        let mut fresh = SimulatedSubstructure::spring_to_ground(
+            "col",
+            Box::new(BilinearHysteretic::new(1000.0, 5.0, 0.1)),
+        );
+        fresh.restore_state(&snap).unwrap();
+        for d in [-0.01, 0.0, 0.015, 0.03] {
+            assert_eq!(fresh.restoring(&[d]).unwrap(), s.restoring(&[d]).unwrap());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_element_count() {
+        let mut s =
+            SimulatedSubstructure::spring_to_ground("col", Box::new(LinearElastic::new(1.0)));
+        let err = s.restore_state(&[vec![], vec![]]).unwrap_err();
+        assert!(!err.recoverable);
+        assert!(err.message.contains("element state"));
+    }
+
+    #[test]
     fn decomposition_matches_monolith() {
         // Global 2-DOF frame vs three substructures — restoring forces must
         // agree exactly. This is the numerical heart of MS-PSDS.
@@ -247,20 +318,45 @@ mod tests {
 
         // Monolithic.
         let mut model = crate::model::MdofModel::new(vec![1.0, 1.0]);
-        model.add_element(Box::new(GroundSpring::new(0, Box::new(LinearElastic::new(kl)))));
-        model.add_element(Box::new(GroundSpring::new(1, Box::new(LinearElastic::new(kr)))));
-        model.add_element(Box::new(CouplingSpring::new(0, 1, Box::new(LinearElastic::new(kb)))));
+        model.add_element(Box::new(GroundSpring::new(
+            0,
+            Box::new(LinearElastic::new(kl)),
+        )));
+        model.add_element(Box::new(GroundSpring::new(
+            1,
+            Box::new(LinearElastic::new(kr)),
+        )));
+        model.add_element(Box::new(CouplingSpring::new(
+            0,
+            1,
+            Box::new(LinearElastic::new(kb)),
+        )));
         let mono = model.restoring(&d);
 
         // Decomposed.
-        let mut left = SimulatedSubstructure::spring_to_ground("l", Box::new(LinearElastic::new(kl)));
-        let mut right = SimulatedSubstructure::spring_to_ground("r", Box::new(LinearElastic::new(kr)));
+        let mut left =
+            SimulatedSubstructure::spring_to_ground("l", Box::new(LinearElastic::new(kl)));
+        let mut right =
+            SimulatedSubstructure::spring_to_ground("r", Box::new(LinearElastic::new(kr)));
         let mut center = SimulatedSubstructure::new("c", 2);
-        center.add_element(Box::new(CouplingSpring::new(0, 1, Box::new(LinearElastic::new(kb)))));
+        center.add_element(Box::new(CouplingSpring::new(
+            0,
+            1,
+            Box::new(LinearElastic::new(kb)),
+        )));
         let bindings = [
-            (SubstructureBinding::new(vec![0]), &mut left as &mut dyn Substructure),
-            (SubstructureBinding::new(vec![1]), &mut right as &mut dyn Substructure),
-            (SubstructureBinding::new(vec![0, 1]), &mut center as &mut dyn Substructure),
+            (
+                SubstructureBinding::new(vec![0]),
+                &mut left as &mut dyn Substructure,
+            ),
+            (
+                SubstructureBinding::new(vec![1]),
+                &mut right as &mut dyn Substructure,
+            ),
+            (
+                SubstructureBinding::new(vec![0, 1]),
+                &mut center as &mut dyn Substructure,
+            ),
         ];
         let mut total = [0.0; 2];
         for (binding, sub) in bindings {

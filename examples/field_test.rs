@@ -45,8 +45,7 @@ fn main() {
             "  wireless telemetry        : {} samples received, {} lost ({:.1}%)",
             out.samples_received,
             out.samples_lost,
-            100.0 * out.samples_lost as f64
-                / (out.samples_received + out.samples_lost) as f64
+            100.0 * out.samples_lost as f64 / (out.samples_received + out.samples_lost) as f64
         );
         println!(
             "  satellite uplink          : {} bytes archived, {} restart-marker resumes",

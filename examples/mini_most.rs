@@ -10,8 +10,14 @@ use neesgrid::most::{run_mini_most, MiniMostConfig};
 
 fn main() {
     for (label, config) in [
-        ("Stepper-motor rig (LabVIEW plugin)", MiniMostConfig::tabletop()),
-        ("First-order kinetic simulator", MiniMostConfig::kinetic_simulator()),
+        (
+            "Stepper-motor rig (LabVIEW plugin)",
+            MiniMostConfig::tabletop(),
+        ),
+        (
+            "First-order kinetic simulator",
+            MiniMostConfig::kinetic_simulator(),
+        ),
     ] {
         println!("=== Mini-MOST: {label} ===");
         let out = run_mini_most(&config);
@@ -19,7 +25,11 @@ fn main() {
             "  steps completed : {}/{} ({})",
             out.steps_completed,
             config.steps,
-            if out.completed { "completed" } else { "aborted" }
+            if out.completed {
+                "completed"
+            } else {
+                "aborted"
+            }
         );
         println!(
             "  peak beam tip   : {:.3} mm (travel limit ±20 mm)",

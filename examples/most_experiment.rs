@@ -19,7 +19,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1500);
 
-    for scenario in [Scenario::SimulationOnly, Scenario::DryRun, Scenario::PublicRun] {
+    for scenario in [
+        Scenario::SimulationOnly,
+        Scenario::DryRun,
+        Scenario::PublicRun,
+    ] {
         let label = match scenario {
             Scenario::SimulationOnly => "Simulation-only rehearsal",
             Scenario::DryRun => "Dry run",

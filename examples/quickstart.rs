@@ -21,10 +21,8 @@ fn main() {
 
     // 2. The site: an NTCP server whose plugin drives a 200 kN/m column
     //    model, under MOST-grade policy limits (±50 mm, 100 kN).
-    let substructure = SimulatedSubstructure::spring_to_ground(
-        "demo-column",
-        Box::new(LinearElastic::new(2.0e5)),
-    );
+    let substructure =
+        SimulatedSubstructure::spring_to_ground("demo-column", Box::new(LinearElastic::new(2.0e5)));
     let server = NtcpServer::new(
         "demo-site",
         SitePolicy::permissive("demo-site", ActionLimits::most_large_scale()),
@@ -87,10 +85,15 @@ fn main() {
     let status = client.get_status().expect("status");
     println!(
         "server status: {} transactions ({} completed, {} rejected, {} cancelled), {} executions",
-        status["transactions"], status["completed"], status["rejected"], status["cancelled"],
+        status["transactions"],
+        status["completed"],
+        status["rejected"],
+        status["cancelled"],
         status["executions"],
     );
-    let t1 = client.get_transaction("step-1").expect("transaction record");
+    let t1 = client
+        .get_transaction("step-1")
+        .expect("transaction record");
     println!(
         "step-1 final state: {} (state trail length {})",
         t1["state"],

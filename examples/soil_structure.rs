@@ -66,9 +66,21 @@ fn main() {
             "ncsa",
             {
                 let mut c = SimulatedSubstructure::new("ncsa-coupling", 3);
-                c.add_element(Box::new(CouplingSpring::new(0, 1, Box::new(LinearElastic::new(3.0e6)))));
-                c.add_element(Box::new(CouplingSpring::new(0, 2, Box::new(LinearElastic::new(3.0e6)))));
-                c.add_element(Box::new(CouplingSpring::new(1, 2, Box::new(LinearElastic::new(0.8e6)))));
+                c.add_element(Box::new(CouplingSpring::new(
+                    0,
+                    1,
+                    Box::new(LinearElastic::new(3.0e6)),
+                )));
+                c.add_element(Box::new(CouplingSpring::new(
+                    0,
+                    2,
+                    Box::new(LinearElastic::new(3.0e6)),
+                )));
+                c.add_element(Box::new(CouplingSpring::new(
+                    1,
+                    2,
+                    Box::new(LinearElastic::new(0.8e6)),
+                )));
                 Box::new(c)
             },
             vec![0, 1, 2],
@@ -83,7 +95,9 @@ fn main() {
     };
     let mut builder = SimCoordBuilder::new(vec![50_000.0, 9_000.0, 8_000.0], net.clock())
         .dt(0.005)
-        .fault_policy(FaultPolicy::Full { max_step_retries: 3 });
+        .fault_policy(FaultPolicy::Full {
+            max_step_retries: 3,
+        });
     for (name, sub, dofs, k) in sites {
         let server = NtcpServer::new(
             name,

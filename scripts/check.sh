@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full verification gate: tier-1 (build + tests) plus formatting and lints.
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh --quick  # lints + debug tests only (skip release build)
+#
+# Tier-1 (ROADMAP.md) is `cargo build --release && cargo test -q`; this
+# script is a superset and is what a PR should pass before merging.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo build --release (tier-1)"
+    cargo build --release
+fi
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo build --benches (harness compiles)"
+cargo build --workspace --benches
+
+echo "All checks passed."

@@ -18,6 +18,8 @@
 //! * [`daq`] — data acquisition + NSDS streaming
 //! * [`repo`] — NMDS metadata, NFMS file management, GridFTP-sim, ingestion
 //! * [`coordinator`] — the MS-PSDS simulation coordinator
+//! * [`checkpoint`] — checkpoint & resume: checksummed snapshots so a run
+//!   killed mid-experiment (the step-1493 failure) restarts and finishes
 //! * [`chef`] — collaboration portal (chat, notebook, data viewer, cameras)
 //! * [`most`] — the MOST and Mini-MOST experiments end-to-end
 //!
@@ -27,6 +29,7 @@
 //! server with a simulation plugin, driven through propose/execute/cancel.
 
 pub use neesgrid_apparatus as apparatus;
+pub use neesgrid_checkpoint as checkpoint;
 pub use neesgrid_chef as chef;
 pub use neesgrid_coordinator as coordinator;
 pub use neesgrid_daq as daq;

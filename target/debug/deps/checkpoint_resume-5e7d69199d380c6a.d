@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_resume-5e7d69199d380c6a.d: tests/checkpoint_resume.rs
+
+/root/repo/target/debug/deps/checkpoint_resume-5e7d69199d380c6a: tests/checkpoint_resume.rs
+
+tests/checkpoint_resume.rs:

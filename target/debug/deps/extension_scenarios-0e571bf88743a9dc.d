@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_scenarios-0e571bf88743a9dc.d: tests/extension_scenarios.rs
+
+/root/repo/target/debug/deps/extension_scenarios-0e571bf88743a9dc: tests/extension_scenarios.rs
+
+tests/extension_scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_scenarios-3a17ed2bab4c9d6a.d: tests/extension_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_scenarios-3a17ed2bab4c9d6a.rmeta: tests/extension_scenarios.rs Cargo.toml
+
+tests/extension_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

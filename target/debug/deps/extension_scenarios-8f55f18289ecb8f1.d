@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_scenarios-8f55f18289ecb8f1.d: tests/extension_scenarios.rs
+
+/root/repo/target/debug/deps/extension_scenarios-8f55f18289ecb8f1: tests/extension_scenarios.rs
+
+tests/extension_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance_ablation-3d5fbf8a8fb832da.d: tests/fault_tolerance_ablation.rs
+
+/root/repo/target/debug/deps/fault_tolerance_ablation-3d5fbf8a8fb832da: tests/fault_tolerance_ablation.rs
+
+tests/fault_tolerance_ablation.rs:

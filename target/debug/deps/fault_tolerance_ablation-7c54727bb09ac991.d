@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance_ablation-7c54727bb09ac991.d: tests/fault_tolerance_ablation.rs
+
+/root/repo/target/debug/deps/fault_tolerance_ablation-7c54727bb09ac991: tests/fault_tolerance_ablation.rs
+
+tests/fault_tolerance_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance_ablation-93fe89ee876ef659.d: tests/fault_tolerance_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance_ablation-93fe89ee876ef659.rmeta: tests/fault_tolerance_ablation.rs Cargo.toml
+
+tests/fault_tolerance_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_ntcp_transactions-9e273f2513ec195a.d: crates/bench/benches/fig01_ntcp_transactions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_ntcp_transactions-9e273f2513ec195a.rmeta: crates/bench/benches/fig01_ntcp_transactions.rs Cargo.toml
+
+crates/bench/benches/fig01_ntcp_transactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

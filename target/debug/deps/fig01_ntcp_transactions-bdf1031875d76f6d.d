@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_ntcp_transactions-bdf1031875d76f6d.d: crates/bench/benches/fig01_ntcp_transactions.rs
+
+/root/repo/target/debug/deps/fig01_ntcp_transactions-bdf1031875d76f6d: crates/bench/benches/fig01_ntcp_transactions.rs
+
+crates/bench/benches/fig01_ntcp_transactions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_plugin_backends-8c713465d5e6ae09.d: crates/bench/benches/fig02_plugin_backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_plugin_backends-8c713465d5e6ae09.rmeta: crates/bench/benches/fig02_plugin_backends.rs Cargo.toml
+
+crates/bench/benches/fig02_plugin_backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_plugin_backends-8dce9da6b0d0cb79.d: crates/bench/benches/fig02_plugin_backends.rs
+
+/root/repo/target/debug/deps/fig02_plugin_backends-8dce9da6b0d0cb79: crates/bench/benches/fig02_plugin_backends.rs
+
+crates/bench/benches/fig02_plugin_backends.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_plugin_backends-91f7a3f7278b7ea8.d: crates/bench/benches/fig02_plugin_backends.rs
+
+/root/repo/target/debug/deps/fig02_plugin_backends-91f7a3f7278b7ea8: crates/bench/benches/fig02_plugin_backends.rs
+
+crates/bench/benches/fig02_plugin_backends.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_repository-d11b395505e80b61.d: crates/bench/benches/fig03_repository.rs
+
+/root/repo/target/debug/deps/fig03_repository-d11b395505e80b61: crates/bench/benches/fig03_repository.rs
+
+crates/bench/benches/fig03_repository.rs:

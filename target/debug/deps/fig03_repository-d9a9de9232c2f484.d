@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_repository-d9a9de9232c2f484.d: crates/bench/benches/fig03_repository.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_repository-d9a9de9232c2f484.rmeta: crates/bench/benches/fig03_repository.rs Cargo.toml
+
+crates/bench/benches/fig03_repository.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_mspsds_step-29f7c0ac0130178f.d: crates/bench/benches/fig05_mspsds_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_mspsds_step-29f7c0ac0130178f.rmeta: crates/bench/benches/fig05_mspsds_step.rs Cargo.toml
+
+crates/bench/benches/fig05_mspsds_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_mspsds_step-83d5d873e30afefb.d: crates/bench/benches/fig05_mspsds_step.rs
+
+/root/repo/target/debug/deps/fig05_mspsds_step-83d5d873e30afefb: crates/bench/benches/fig05_mspsds_step.rs
+
+crates/bench/benches/fig05_mspsds_step.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_actuator_tracking-71306eed3adc4a7d.d: crates/bench/benches/fig06_actuator_tracking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_actuator_tracking-71306eed3adc4a7d.rmeta: crates/bench/benches/fig06_actuator_tracking.rs Cargo.toml
+
+crates/bench/benches/fig06_actuator_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_actuator_tracking-ba694a06409586c5.d: crates/bench/benches/fig06_actuator_tracking.rs
+
+/root/repo/target/debug/deps/fig06_actuator_tracking-ba694a06409586c5: crates/bench/benches/fig06_actuator_tracking.rs
+
+crates/bench/benches/fig06_actuator_tracking.rs:

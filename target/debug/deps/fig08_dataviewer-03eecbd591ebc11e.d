@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_dataviewer-03eecbd591ebc11e.d: crates/bench/benches/fig08_dataviewer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_dataviewer-03eecbd591ebc11e.rmeta: crates/bench/benches/fig08_dataviewer.rs Cargo.toml
+
+crates/bench/benches/fig08_dataviewer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

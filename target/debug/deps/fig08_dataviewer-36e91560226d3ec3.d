@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_dataviewer-36e91560226d3ec3.d: crates/bench/benches/fig08_dataviewer.rs
+
+/root/repo/target/debug/deps/fig08_dataviewer-36e91560226d3ec3: crates/bench/benches/fig08_dataviewer.rs
+
+crates/bench/benches/fig08_dataviewer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_daq_pipeline-cc3354cd2492b947.d: crates/bench/benches/fig10_daq_pipeline.rs
+
+/root/repo/target/debug/deps/fig10_daq_pipeline-cc3354cd2492b947: crates/bench/benches/fig10_daq_pipeline.rs
+
+crates/bench/benches/fig10_daq_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_daq_pipeline-cfbdbc6baebef055.d: crates/bench/benches/fig10_daq_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_daq_pipeline-cfbdbc6baebef055.rmeta: crates/bench/benches/fig10_daq_pipeline.rs Cargo.toml
+
+crates/bench/benches/fig10_daq_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_mini_most-500bc9f053b07412.d: crates/bench/benches/fig11_mini_most.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_mini_most-500bc9f053b07412.rmeta: crates/bench/benches/fig11_mini_most.rs Cargo.toml
+
+crates/bench/benches/fig11_mini_most.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_mini_most-611c9f607178a900.d: crates/bench/benches/fig11_mini_most.rs
+
+/root/repo/target/debug/deps/fig11_mini_most-611c9f607178a900: crates/bench/benches/fig11_mini_most.rs
+
+crates/bench/benches/fig11_mini_most.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_checkpoint_overhead-ac91a2cbd64b2ea7.d: crates/bench/benches/fig12_checkpoint_overhead.rs
+
+/root/repo/target/debug/deps/fig12_checkpoint_overhead-ac91a2cbd64b2ea7: crates/bench/benches/fig12_checkpoint_overhead.rs
+
+crates/bench/benches/fig12_checkpoint_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_checkpoint_overhead-c93fd3433fcb3008.d: crates/bench/benches/fig12_checkpoint_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_checkpoint_overhead-c93fd3433fcb3008.rmeta: crates/bench/benches/fig12_checkpoint_overhead.rs Cargo.toml
+
+crates/bench/benches/fig12_checkpoint_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

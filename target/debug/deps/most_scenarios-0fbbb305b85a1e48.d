@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/most_scenarios-0fbbb305b85a1e48.d: tests/most_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmost_scenarios-0fbbb305b85a1e48.rmeta: tests/most_scenarios.rs Cargo.toml
+
+tests/most_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

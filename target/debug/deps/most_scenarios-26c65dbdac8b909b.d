@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/most_scenarios-26c65dbdac8b909b.d: tests/most_scenarios.rs
+
+/root/repo/target/debug/deps/most_scenarios-26c65dbdac8b909b: tests/most_scenarios.rs
+
+tests/most_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/most_scenarios-5e21760af81994e4.d: tests/most_scenarios.rs
+
+/root/repo/target/debug/deps/most_scenarios-5e21760af81994e4: tests/most_scenarios.rs
+
+tests/most_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neesgrid-0b53e3915684be44.d: src/lib.rs
+
+/root/repo/target/debug/deps/neesgrid-0b53e3915684be44: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neesgrid-698c7a180b21585a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libneesgrid-698c7a180b21585a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libneesgrid-698c7a180b21585a.rmeta: src/lib.rs
+
+src/lib.rs:

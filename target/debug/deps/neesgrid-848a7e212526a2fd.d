@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neesgrid-848a7e212526a2fd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid-848a7e212526a2fd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neesgrid-9cfc8242d4b72e87.d: src/lib.rs
+
+/root/repo/target/debug/deps/neesgrid-9cfc8242d4b72e87: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neesgrid-a3d8eccb59832567.d: src/lib.rs
+
+/root/repo/target/debug/deps/libneesgrid-a3d8eccb59832567.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libneesgrid-a3d8eccb59832567.rmeta: src/lib.rs
+
+src/lib.rs:

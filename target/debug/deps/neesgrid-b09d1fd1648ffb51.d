@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neesgrid-b09d1fd1648ffb51.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid-b09d1fd1648ffb51.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/neesgrid_apparatus-236bd9c4b7ce6fa5.d: crates/apparatus/src/lib.rs crates/apparatus/src/actuator.rs crates/apparatus/src/control_system.rs crates/apparatus/src/integration.rs crates/apparatus/src/robot.rs crates/apparatus/src/sensors.rs crates/apparatus/src/specimen.rs crates/apparatus/src/stepper.rs crates/apparatus/src/xpc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_apparatus-236bd9c4b7ce6fa5.rmeta: crates/apparatus/src/lib.rs crates/apparatus/src/actuator.rs crates/apparatus/src/control_system.rs crates/apparatus/src/integration.rs crates/apparatus/src/robot.rs crates/apparatus/src/sensors.rs crates/apparatus/src/specimen.rs crates/apparatus/src/stepper.rs crates/apparatus/src/xpc.rs Cargo.toml
+
+crates/apparatus/src/lib.rs:
+crates/apparatus/src/actuator.rs:
+crates/apparatus/src/control_system.rs:
+crates/apparatus/src/integration.rs:
+crates/apparatus/src/robot.rs:
+crates/apparatus/src/sensors.rs:
+crates/apparatus/src/specimen.rs:
+crates/apparatus/src/stepper.rs:
+crates/apparatus/src/xpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/neesgrid_apparatus-72392252cbb8677c.d: crates/apparatus/src/lib.rs crates/apparatus/src/actuator.rs crates/apparatus/src/control_system.rs crates/apparatus/src/integration.rs crates/apparatus/src/robot.rs crates/apparatus/src/sensors.rs crates/apparatus/src/specimen.rs crates/apparatus/src/stepper.rs crates/apparatus/src/xpc.rs
+
+/root/repo/target/debug/deps/libneesgrid_apparatus-72392252cbb8677c.rlib: crates/apparatus/src/lib.rs crates/apparatus/src/actuator.rs crates/apparatus/src/control_system.rs crates/apparatus/src/integration.rs crates/apparatus/src/robot.rs crates/apparatus/src/sensors.rs crates/apparatus/src/specimen.rs crates/apparatus/src/stepper.rs crates/apparatus/src/xpc.rs
+
+/root/repo/target/debug/deps/libneesgrid_apparatus-72392252cbb8677c.rmeta: crates/apparatus/src/lib.rs crates/apparatus/src/actuator.rs crates/apparatus/src/control_system.rs crates/apparatus/src/integration.rs crates/apparatus/src/robot.rs crates/apparatus/src/sensors.rs crates/apparatus/src/specimen.rs crates/apparatus/src/stepper.rs crates/apparatus/src/xpc.rs
+
+crates/apparatus/src/lib.rs:
+crates/apparatus/src/actuator.rs:
+crates/apparatus/src/control_system.rs:
+crates/apparatus/src/integration.rs:
+crates/apparatus/src/robot.rs:
+crates/apparatus/src/sensors.rs:
+crates/apparatus/src/specimen.rs:
+crates/apparatus/src/stepper.rs:
+crates/apparatus/src/xpc.rs:

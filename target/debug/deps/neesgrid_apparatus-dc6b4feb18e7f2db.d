@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neesgrid_apparatus-dc6b4feb18e7f2db.d: crates/apparatus/src/lib.rs crates/apparatus/src/actuator.rs crates/apparatus/src/control_system.rs crates/apparatus/src/integration.rs crates/apparatus/src/robot.rs crates/apparatus/src/sensors.rs crates/apparatus/src/specimen.rs crates/apparatus/src/stepper.rs crates/apparatus/src/xpc.rs
+
+/root/repo/target/debug/deps/neesgrid_apparatus-dc6b4feb18e7f2db: crates/apparatus/src/lib.rs crates/apparatus/src/actuator.rs crates/apparatus/src/control_system.rs crates/apparatus/src/integration.rs crates/apparatus/src/robot.rs crates/apparatus/src/sensors.rs crates/apparatus/src/specimen.rs crates/apparatus/src/stepper.rs crates/apparatus/src/xpc.rs
+
+crates/apparatus/src/lib.rs:
+crates/apparatus/src/actuator.rs:
+crates/apparatus/src/control_system.rs:
+crates/apparatus/src/integration.rs:
+crates/apparatus/src/robot.rs:
+crates/apparatus/src/sensors.rs:
+crates/apparatus/src/specimen.rs:
+crates/apparatus/src/stepper.rs:
+crates/apparatus/src/xpc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neesgrid_bench-22bd72e3d15185d8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/neesgrid_bench-22bd72e3d15185d8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

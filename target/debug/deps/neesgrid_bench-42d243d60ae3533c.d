@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neesgrid_bench-42d243d60ae3533c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/neesgrid_bench-42d243d60ae3533c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

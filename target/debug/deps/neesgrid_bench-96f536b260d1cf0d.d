@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neesgrid_bench-96f536b260d1cf0d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneesgrid_bench-96f536b260d1cf0d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneesgrid_bench-96f536b260d1cf0d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

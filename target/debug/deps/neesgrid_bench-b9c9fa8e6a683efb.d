@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neesgrid_bench-b9c9fa8e6a683efb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneesgrid_bench-b9c9fa8e6a683efb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneesgrid_bench-b9c9fa8e6a683efb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

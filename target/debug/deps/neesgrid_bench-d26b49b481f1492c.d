@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neesgrid_bench-d26b49b481f1492c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneesgrid_bench-d26b49b481f1492c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneesgrid_bench-d26b49b481f1492c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/neesgrid_checkpoint-37cbd23aebf28432.d: crates/checkpoint/src/lib.rs crates/checkpoint/src/checkpointer.rs crates/checkpoint/src/policy.rs crates/checkpoint/src/snapshot.rs crates/checkpoint/src/store.rs
+
+/root/repo/target/debug/deps/libneesgrid_checkpoint-37cbd23aebf28432.rlib: crates/checkpoint/src/lib.rs crates/checkpoint/src/checkpointer.rs crates/checkpoint/src/policy.rs crates/checkpoint/src/snapshot.rs crates/checkpoint/src/store.rs
+
+/root/repo/target/debug/deps/libneesgrid_checkpoint-37cbd23aebf28432.rmeta: crates/checkpoint/src/lib.rs crates/checkpoint/src/checkpointer.rs crates/checkpoint/src/policy.rs crates/checkpoint/src/snapshot.rs crates/checkpoint/src/store.rs
+
+crates/checkpoint/src/lib.rs:
+crates/checkpoint/src/checkpointer.rs:
+crates/checkpoint/src/policy.rs:
+crates/checkpoint/src/snapshot.rs:
+crates/checkpoint/src/store.rs:

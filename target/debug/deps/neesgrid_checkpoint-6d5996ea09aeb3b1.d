@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neesgrid_checkpoint-6d5996ea09aeb3b1.d: crates/checkpoint/src/lib.rs crates/checkpoint/src/checkpointer.rs crates/checkpoint/src/policy.rs crates/checkpoint/src/snapshot.rs crates/checkpoint/src/store.rs
+
+/root/repo/target/debug/deps/neesgrid_checkpoint-6d5996ea09aeb3b1: crates/checkpoint/src/lib.rs crates/checkpoint/src/checkpointer.rs crates/checkpoint/src/policy.rs crates/checkpoint/src/snapshot.rs crates/checkpoint/src/store.rs
+
+crates/checkpoint/src/lib.rs:
+crates/checkpoint/src/checkpointer.rs:
+crates/checkpoint/src/policy.rs:
+crates/checkpoint/src/snapshot.rs:
+crates/checkpoint/src/store.rs:

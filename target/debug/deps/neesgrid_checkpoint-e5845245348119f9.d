@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neesgrid_checkpoint-e5845245348119f9.d: crates/checkpoint/src/lib.rs crates/checkpoint/src/checkpointer.rs crates/checkpoint/src/policy.rs crates/checkpoint/src/snapshot.rs crates/checkpoint/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_checkpoint-e5845245348119f9.rmeta: crates/checkpoint/src/lib.rs crates/checkpoint/src/checkpointer.rs crates/checkpoint/src/policy.rs crates/checkpoint/src/snapshot.rs crates/checkpoint/src/store.rs Cargo.toml
+
+crates/checkpoint/src/lib.rs:
+crates/checkpoint/src/checkpointer.rs:
+crates/checkpoint/src/policy.rs:
+crates/checkpoint/src/snapshot.rs:
+crates/checkpoint/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/neesgrid_chef-6a4f8cf228c59d59.d: crates/chef/src/lib.rs crates/chef/src/chat.rs crates/chef/src/notebook.rs crates/chef/src/portal.rs crates/chef/src/session.rs crates/chef/src/telepresence.rs crates/chef/src/viewer.rs
+
+/root/repo/target/debug/deps/neesgrid_chef-6a4f8cf228c59d59: crates/chef/src/lib.rs crates/chef/src/chat.rs crates/chef/src/notebook.rs crates/chef/src/portal.rs crates/chef/src/session.rs crates/chef/src/telepresence.rs crates/chef/src/viewer.rs
+
+crates/chef/src/lib.rs:
+crates/chef/src/chat.rs:
+crates/chef/src/notebook.rs:
+crates/chef/src/portal.rs:
+crates/chef/src/session.rs:
+crates/chef/src/telepresence.rs:
+crates/chef/src/viewer.rs:

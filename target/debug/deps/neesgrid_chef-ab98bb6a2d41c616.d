@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neesgrid_chef-ab98bb6a2d41c616.d: crates/chef/src/lib.rs crates/chef/src/chat.rs crates/chef/src/notebook.rs crates/chef/src/portal.rs crates/chef/src/session.rs crates/chef/src/telepresence.rs crates/chef/src/viewer.rs
+
+/root/repo/target/debug/deps/libneesgrid_chef-ab98bb6a2d41c616.rlib: crates/chef/src/lib.rs crates/chef/src/chat.rs crates/chef/src/notebook.rs crates/chef/src/portal.rs crates/chef/src/session.rs crates/chef/src/telepresence.rs crates/chef/src/viewer.rs
+
+/root/repo/target/debug/deps/libneesgrid_chef-ab98bb6a2d41c616.rmeta: crates/chef/src/lib.rs crates/chef/src/chat.rs crates/chef/src/notebook.rs crates/chef/src/portal.rs crates/chef/src/session.rs crates/chef/src/telepresence.rs crates/chef/src/viewer.rs
+
+crates/chef/src/lib.rs:
+crates/chef/src/chat.rs:
+crates/chef/src/notebook.rs:
+crates/chef/src/portal.rs:
+crates/chef/src/session.rs:
+crates/chef/src/telepresence.rs:
+crates/chef/src/viewer.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/neesgrid_chef-bd4c4fb9081e5e63.d: crates/chef/src/lib.rs crates/chef/src/chat.rs crates/chef/src/notebook.rs crates/chef/src/portal.rs crates/chef/src/session.rs crates/chef/src/telepresence.rs crates/chef/src/viewer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_chef-bd4c4fb9081e5e63.rmeta: crates/chef/src/lib.rs crates/chef/src/chat.rs crates/chef/src/notebook.rs crates/chef/src/portal.rs crates/chef/src/session.rs crates/chef/src/telepresence.rs crates/chef/src/viewer.rs Cargo.toml
+
+crates/chef/src/lib.rs:
+crates/chef/src/chat.rs:
+crates/chef/src/notebook.rs:
+crates/chef/src/portal.rs:
+crates/chef/src/session.rs:
+crates/chef/src/telepresence.rs:
+crates/chef/src/viewer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

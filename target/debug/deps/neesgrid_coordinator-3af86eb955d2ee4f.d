@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neesgrid_coordinator-3af86eb955d2ee4f.d: crates/coordinator/src/lib.rs crates/coordinator/src/builder.rs crates/coordinator/src/coordinator.rs crates/coordinator/src/log.rs crates/coordinator/src/policy.rs crates/coordinator/src/remote.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_coordinator-3af86eb955d2ee4f.rmeta: crates/coordinator/src/lib.rs crates/coordinator/src/builder.rs crates/coordinator/src/coordinator.rs crates/coordinator/src/log.rs crates/coordinator/src/policy.rs crates/coordinator/src/remote.rs Cargo.toml
+
+crates/coordinator/src/lib.rs:
+crates/coordinator/src/builder.rs:
+crates/coordinator/src/coordinator.rs:
+crates/coordinator/src/log.rs:
+crates/coordinator/src/policy.rs:
+crates/coordinator/src/remote.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neesgrid_coordinator-a76f9a837f4b8899.d: crates/coordinator/src/lib.rs crates/coordinator/src/builder.rs crates/coordinator/src/coordinator.rs crates/coordinator/src/log.rs crates/coordinator/src/policy.rs crates/coordinator/src/remote.rs
+
+/root/repo/target/debug/deps/libneesgrid_coordinator-a76f9a837f4b8899.rlib: crates/coordinator/src/lib.rs crates/coordinator/src/builder.rs crates/coordinator/src/coordinator.rs crates/coordinator/src/log.rs crates/coordinator/src/policy.rs crates/coordinator/src/remote.rs
+
+/root/repo/target/debug/deps/libneesgrid_coordinator-a76f9a837f4b8899.rmeta: crates/coordinator/src/lib.rs crates/coordinator/src/builder.rs crates/coordinator/src/coordinator.rs crates/coordinator/src/log.rs crates/coordinator/src/policy.rs crates/coordinator/src/remote.rs
+
+crates/coordinator/src/lib.rs:
+crates/coordinator/src/builder.rs:
+crates/coordinator/src/coordinator.rs:
+crates/coordinator/src/log.rs:
+crates/coordinator/src/policy.rs:
+crates/coordinator/src/remote.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neesgrid_coordinator-bc75d5a2a006f0b9.d: crates/coordinator/src/lib.rs crates/coordinator/src/builder.rs crates/coordinator/src/coordinator.rs crates/coordinator/src/log.rs crates/coordinator/src/policy.rs crates/coordinator/src/remote.rs
+
+/root/repo/target/debug/deps/neesgrid_coordinator-bc75d5a2a006f0b9: crates/coordinator/src/lib.rs crates/coordinator/src/builder.rs crates/coordinator/src/coordinator.rs crates/coordinator/src/log.rs crates/coordinator/src/policy.rs crates/coordinator/src/remote.rs
+
+crates/coordinator/src/lib.rs:
+crates/coordinator/src/builder.rs:
+crates/coordinator/src/coordinator.rs:
+crates/coordinator/src/log.rs:
+crates/coordinator/src/policy.rs:
+crates/coordinator/src/remote.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neesgrid_coordinator-fa2eb138c5e7ca0e.d: crates/coordinator/src/lib.rs crates/coordinator/src/builder.rs crates/coordinator/src/coordinator.rs crates/coordinator/src/log.rs crates/coordinator/src/policy.rs crates/coordinator/src/remote.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_coordinator-fa2eb138c5e7ca0e.rmeta: crates/coordinator/src/lib.rs crates/coordinator/src/builder.rs crates/coordinator/src/coordinator.rs crates/coordinator/src/log.rs crates/coordinator/src/policy.rs crates/coordinator/src/remote.rs Cargo.toml
+
+crates/coordinator/src/lib.rs:
+crates/coordinator/src/builder.rs:
+crates/coordinator/src/coordinator.rs:
+crates/coordinator/src/log.rs:
+crates/coordinator/src/policy.rs:
+crates/coordinator/src/remote.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neesgrid_daq-1f228ad6be6ae37f.d: crates/daq/src/lib.rs crates/daq/src/channel.rs crates/daq/src/filedrop.rs crates/daq/src/nsds.rs crates/daq/src/sampler.rs crates/daq/src/timeseries.rs
+
+/root/repo/target/debug/deps/libneesgrid_daq-1f228ad6be6ae37f.rlib: crates/daq/src/lib.rs crates/daq/src/channel.rs crates/daq/src/filedrop.rs crates/daq/src/nsds.rs crates/daq/src/sampler.rs crates/daq/src/timeseries.rs
+
+/root/repo/target/debug/deps/libneesgrid_daq-1f228ad6be6ae37f.rmeta: crates/daq/src/lib.rs crates/daq/src/channel.rs crates/daq/src/filedrop.rs crates/daq/src/nsds.rs crates/daq/src/sampler.rs crates/daq/src/timeseries.rs
+
+crates/daq/src/lib.rs:
+crates/daq/src/channel.rs:
+crates/daq/src/filedrop.rs:
+crates/daq/src/nsds.rs:
+crates/daq/src/sampler.rs:
+crates/daq/src/timeseries.rs:

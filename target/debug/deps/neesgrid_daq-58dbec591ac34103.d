@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neesgrid_daq-58dbec591ac34103.d: crates/daq/src/lib.rs crates/daq/src/channel.rs crates/daq/src/filedrop.rs crates/daq/src/nsds.rs crates/daq/src/sampler.rs crates/daq/src/timeseries.rs
+
+/root/repo/target/debug/deps/neesgrid_daq-58dbec591ac34103: crates/daq/src/lib.rs crates/daq/src/channel.rs crates/daq/src/filedrop.rs crates/daq/src/nsds.rs crates/daq/src/sampler.rs crates/daq/src/timeseries.rs
+
+crates/daq/src/lib.rs:
+crates/daq/src/channel.rs:
+crates/daq/src/filedrop.rs:
+crates/daq/src/nsds.rs:
+crates/daq/src/sampler.rs:
+crates/daq/src/timeseries.rs:

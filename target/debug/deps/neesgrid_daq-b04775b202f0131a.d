@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neesgrid_daq-b04775b202f0131a.d: crates/daq/src/lib.rs crates/daq/src/channel.rs crates/daq/src/filedrop.rs crates/daq/src/nsds.rs crates/daq/src/sampler.rs crates/daq/src/timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_daq-b04775b202f0131a.rmeta: crates/daq/src/lib.rs crates/daq/src/channel.rs crates/daq/src/filedrop.rs crates/daq/src/nsds.rs crates/daq/src/sampler.rs crates/daq/src/timeseries.rs Cargo.toml
+
+crates/daq/src/lib.rs:
+crates/daq/src/channel.rs:
+crates/daq/src/filedrop.rs:
+crates/daq/src/nsds.rs:
+crates/daq/src/sampler.rs:
+crates/daq/src/timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/neesgrid_gsi-5e83817dc5d37a20.d: crates/gsi/src/lib.rs crates/gsi/src/auth.rs crates/gsi/src/cas.rs crates/gsi/src/credential.rs crates/gsi/src/identity.rs crates/gsi/src/policy.rs crates/gsi/src/sim_crypto.rs
+
+/root/repo/target/debug/deps/neesgrid_gsi-5e83817dc5d37a20: crates/gsi/src/lib.rs crates/gsi/src/auth.rs crates/gsi/src/cas.rs crates/gsi/src/credential.rs crates/gsi/src/identity.rs crates/gsi/src/policy.rs crates/gsi/src/sim_crypto.rs
+
+crates/gsi/src/lib.rs:
+crates/gsi/src/auth.rs:
+crates/gsi/src/cas.rs:
+crates/gsi/src/credential.rs:
+crates/gsi/src/identity.rs:
+crates/gsi/src/policy.rs:
+crates/gsi/src/sim_crypto.rs:

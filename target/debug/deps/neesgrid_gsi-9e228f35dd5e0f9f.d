@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/neesgrid_gsi-9e228f35dd5e0f9f.d: crates/gsi/src/lib.rs crates/gsi/src/auth.rs crates/gsi/src/cas.rs crates/gsi/src/credential.rs crates/gsi/src/identity.rs crates/gsi/src/policy.rs crates/gsi/src/sim_crypto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_gsi-9e228f35dd5e0f9f.rmeta: crates/gsi/src/lib.rs crates/gsi/src/auth.rs crates/gsi/src/cas.rs crates/gsi/src/credential.rs crates/gsi/src/identity.rs crates/gsi/src/policy.rs crates/gsi/src/sim_crypto.rs Cargo.toml
+
+crates/gsi/src/lib.rs:
+crates/gsi/src/auth.rs:
+crates/gsi/src/cas.rs:
+crates/gsi/src/credential.rs:
+crates/gsi/src/identity.rs:
+crates/gsi/src/policy.rs:
+crates/gsi/src/sim_crypto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

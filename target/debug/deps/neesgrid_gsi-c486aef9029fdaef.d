@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neesgrid_gsi-c486aef9029fdaef.d: crates/gsi/src/lib.rs crates/gsi/src/auth.rs crates/gsi/src/cas.rs crates/gsi/src/credential.rs crates/gsi/src/identity.rs crates/gsi/src/policy.rs crates/gsi/src/sim_crypto.rs
+
+/root/repo/target/debug/deps/libneesgrid_gsi-c486aef9029fdaef.rlib: crates/gsi/src/lib.rs crates/gsi/src/auth.rs crates/gsi/src/cas.rs crates/gsi/src/credential.rs crates/gsi/src/identity.rs crates/gsi/src/policy.rs crates/gsi/src/sim_crypto.rs
+
+/root/repo/target/debug/deps/libneesgrid_gsi-c486aef9029fdaef.rmeta: crates/gsi/src/lib.rs crates/gsi/src/auth.rs crates/gsi/src/cas.rs crates/gsi/src/credential.rs crates/gsi/src/identity.rs crates/gsi/src/policy.rs crates/gsi/src/sim_crypto.rs
+
+crates/gsi/src/lib.rs:
+crates/gsi/src/auth.rs:
+crates/gsi/src/cas.rs:
+crates/gsi/src/credential.rs:
+crates/gsi/src/identity.rs:
+crates/gsi/src/policy.rs:
+crates/gsi/src/sim_crypto.rs:

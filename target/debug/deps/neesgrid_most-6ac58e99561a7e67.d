@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/neesgrid_most-6ac58e99561a7e67.d: crates/most/src/lib.rs crates/most/src/config.rs crates/most/src/field_test.rs crates/most/src/frame_model.rs crates/most/src/mini.rs crates/most/src/report.rs crates/most/src/runner.rs crates/most/src/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_most-6ac58e99561a7e67.rmeta: crates/most/src/lib.rs crates/most/src/config.rs crates/most/src/field_test.rs crates/most/src/frame_model.rs crates/most/src/mini.rs crates/most/src/report.rs crates/most/src/runner.rs crates/most/src/scenarios.rs Cargo.toml
+
+crates/most/src/lib.rs:
+crates/most/src/config.rs:
+crates/most/src/field_test.rs:
+crates/most/src/frame_model.rs:
+crates/most/src/mini.rs:
+crates/most/src/report.rs:
+crates/most/src/runner.rs:
+crates/most/src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neesgrid_most-b3e2b674c4367d0d.d: crates/most/src/lib.rs crates/most/src/config.rs crates/most/src/field_test.rs crates/most/src/frame_model.rs crates/most/src/mini.rs crates/most/src/report.rs crates/most/src/runner.rs crates/most/src/scenarios.rs
+
+/root/repo/target/debug/deps/libneesgrid_most-b3e2b674c4367d0d.rlib: crates/most/src/lib.rs crates/most/src/config.rs crates/most/src/field_test.rs crates/most/src/frame_model.rs crates/most/src/mini.rs crates/most/src/report.rs crates/most/src/runner.rs crates/most/src/scenarios.rs
+
+/root/repo/target/debug/deps/libneesgrid_most-b3e2b674c4367d0d.rmeta: crates/most/src/lib.rs crates/most/src/config.rs crates/most/src/field_test.rs crates/most/src/frame_model.rs crates/most/src/mini.rs crates/most/src/report.rs crates/most/src/runner.rs crates/most/src/scenarios.rs
+
+crates/most/src/lib.rs:
+crates/most/src/config.rs:
+crates/most/src/field_test.rs:
+crates/most/src/frame_model.rs:
+crates/most/src/mini.rs:
+crates/most/src/report.rs:
+crates/most/src/runner.rs:
+crates/most/src/scenarios.rs:

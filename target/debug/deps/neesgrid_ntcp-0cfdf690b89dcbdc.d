@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neesgrid_ntcp-0cfdf690b89dcbdc.d: crates/ntcp/src/lib.rs crates/ntcp/src/client.rs crates/ntcp/src/msg.rs crates/ntcp/src/plugin.rs crates/ntcp/src/server.rs crates/ntcp/src/transaction.rs
+
+/root/repo/target/debug/deps/libneesgrid_ntcp-0cfdf690b89dcbdc.rlib: crates/ntcp/src/lib.rs crates/ntcp/src/client.rs crates/ntcp/src/msg.rs crates/ntcp/src/plugin.rs crates/ntcp/src/server.rs crates/ntcp/src/transaction.rs
+
+/root/repo/target/debug/deps/libneesgrid_ntcp-0cfdf690b89dcbdc.rmeta: crates/ntcp/src/lib.rs crates/ntcp/src/client.rs crates/ntcp/src/msg.rs crates/ntcp/src/plugin.rs crates/ntcp/src/server.rs crates/ntcp/src/transaction.rs
+
+crates/ntcp/src/lib.rs:
+crates/ntcp/src/client.rs:
+crates/ntcp/src/msg.rs:
+crates/ntcp/src/plugin.rs:
+crates/ntcp/src/server.rs:
+crates/ntcp/src/transaction.rs:

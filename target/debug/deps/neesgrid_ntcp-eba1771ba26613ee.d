@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neesgrid_ntcp-eba1771ba26613ee.d: crates/ntcp/src/lib.rs crates/ntcp/src/client.rs crates/ntcp/src/msg.rs crates/ntcp/src/plugin.rs crates/ntcp/src/server.rs crates/ntcp/src/transaction.rs
+
+/root/repo/target/debug/deps/neesgrid_ntcp-eba1771ba26613ee: crates/ntcp/src/lib.rs crates/ntcp/src/client.rs crates/ntcp/src/msg.rs crates/ntcp/src/plugin.rs crates/ntcp/src/server.rs crates/ntcp/src/transaction.rs
+
+crates/ntcp/src/lib.rs:
+crates/ntcp/src/client.rs:
+crates/ntcp/src/msg.rs:
+crates/ntcp/src/plugin.rs:
+crates/ntcp/src/server.rs:
+crates/ntcp/src/transaction.rs:

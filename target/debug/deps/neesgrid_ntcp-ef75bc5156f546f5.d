@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neesgrid_ntcp-ef75bc5156f546f5.d: crates/ntcp/src/lib.rs crates/ntcp/src/client.rs crates/ntcp/src/msg.rs crates/ntcp/src/plugin.rs crates/ntcp/src/server.rs crates/ntcp/src/transaction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_ntcp-ef75bc5156f546f5.rmeta: crates/ntcp/src/lib.rs crates/ntcp/src/client.rs crates/ntcp/src/msg.rs crates/ntcp/src/plugin.rs crates/ntcp/src/server.rs crates/ntcp/src/transaction.rs Cargo.toml
+
+crates/ntcp/src/lib.rs:
+crates/ntcp/src/client.rs:
+crates/ntcp/src/msg.rs:
+crates/ntcp/src/plugin.rs:
+crates/ntcp/src/server.rs:
+crates/ntcp/src/transaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neesgrid_ogsi-17d191d5f5407a33.d: crates/ogsi/src/lib.rs crates/ogsi/src/container.rs crates/ogsi/src/dedup.rs crates/ogsi/src/fault.rs crates/ogsi/src/lifetime.rs crates/ogsi/src/rpc.rs crates/ogsi/src/sde.rs crates/ogsi/src/service.rs
+
+/root/repo/target/debug/deps/neesgrid_ogsi-17d191d5f5407a33: crates/ogsi/src/lib.rs crates/ogsi/src/container.rs crates/ogsi/src/dedup.rs crates/ogsi/src/fault.rs crates/ogsi/src/lifetime.rs crates/ogsi/src/rpc.rs crates/ogsi/src/sde.rs crates/ogsi/src/service.rs
+
+crates/ogsi/src/lib.rs:
+crates/ogsi/src/container.rs:
+crates/ogsi/src/dedup.rs:
+crates/ogsi/src/fault.rs:
+crates/ogsi/src/lifetime.rs:
+crates/ogsi/src/rpc.rs:
+crates/ogsi/src/sde.rs:
+crates/ogsi/src/service.rs:

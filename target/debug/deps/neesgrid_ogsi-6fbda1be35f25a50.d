@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/neesgrid_ogsi-6fbda1be35f25a50.d: crates/ogsi/src/lib.rs crates/ogsi/src/container.rs crates/ogsi/src/dedup.rs crates/ogsi/src/fault.rs crates/ogsi/src/lifetime.rs crates/ogsi/src/rpc.rs crates/ogsi/src/sde.rs crates/ogsi/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_ogsi-6fbda1be35f25a50.rmeta: crates/ogsi/src/lib.rs crates/ogsi/src/container.rs crates/ogsi/src/dedup.rs crates/ogsi/src/fault.rs crates/ogsi/src/lifetime.rs crates/ogsi/src/rpc.rs crates/ogsi/src/sde.rs crates/ogsi/src/service.rs Cargo.toml
+
+crates/ogsi/src/lib.rs:
+crates/ogsi/src/container.rs:
+crates/ogsi/src/dedup.rs:
+crates/ogsi/src/fault.rs:
+crates/ogsi/src/lifetime.rs:
+crates/ogsi/src/rpc.rs:
+crates/ogsi/src/sde.rs:
+crates/ogsi/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neesgrid_ogsi-f28a6c35ec2fa040.d: crates/ogsi/src/lib.rs crates/ogsi/src/container.rs crates/ogsi/src/dedup.rs crates/ogsi/src/fault.rs crates/ogsi/src/lifetime.rs crates/ogsi/src/rpc.rs crates/ogsi/src/sde.rs crates/ogsi/src/service.rs
+
+/root/repo/target/debug/deps/libneesgrid_ogsi-f28a6c35ec2fa040.rlib: crates/ogsi/src/lib.rs crates/ogsi/src/container.rs crates/ogsi/src/dedup.rs crates/ogsi/src/fault.rs crates/ogsi/src/lifetime.rs crates/ogsi/src/rpc.rs crates/ogsi/src/sde.rs crates/ogsi/src/service.rs
+
+/root/repo/target/debug/deps/libneesgrid_ogsi-f28a6c35ec2fa040.rmeta: crates/ogsi/src/lib.rs crates/ogsi/src/container.rs crates/ogsi/src/dedup.rs crates/ogsi/src/fault.rs crates/ogsi/src/lifetime.rs crates/ogsi/src/rpc.rs crates/ogsi/src/sde.rs crates/ogsi/src/service.rs
+
+crates/ogsi/src/lib.rs:
+crates/ogsi/src/container.rs:
+crates/ogsi/src/dedup.rs:
+crates/ogsi/src/fault.rs:
+crates/ogsi/src/lifetime.rs:
+crates/ogsi/src/rpc.rs:
+crates/ogsi/src/sde.rs:
+crates/ogsi/src/service.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neesgrid_repo-3e9cd9e4a65374e6.d: crates/repo/src/lib.rs crates/repo/src/checksum.rs crates/repo/src/gridftp.rs crates/repo/src/https_bridge.rs crates/repo/src/ingest.rs crates/repo/src/metadata.rs crates/repo/src/nfms.rs crates/repo/src/nmds.rs crates/repo/src/service.rs crates/repo/src/storage.rs
+
+/root/repo/target/debug/deps/neesgrid_repo-3e9cd9e4a65374e6: crates/repo/src/lib.rs crates/repo/src/checksum.rs crates/repo/src/gridftp.rs crates/repo/src/https_bridge.rs crates/repo/src/ingest.rs crates/repo/src/metadata.rs crates/repo/src/nfms.rs crates/repo/src/nmds.rs crates/repo/src/service.rs crates/repo/src/storage.rs
+
+crates/repo/src/lib.rs:
+crates/repo/src/checksum.rs:
+crates/repo/src/gridftp.rs:
+crates/repo/src/https_bridge.rs:
+crates/repo/src/ingest.rs:
+crates/repo/src/metadata.rs:
+crates/repo/src/nfms.rs:
+crates/repo/src/nmds.rs:
+crates/repo/src/service.rs:
+crates/repo/src/storage.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/neesgrid_repo-967bb7f48991d11e.d: crates/repo/src/lib.rs crates/repo/src/checksum.rs crates/repo/src/gridftp.rs crates/repo/src/https_bridge.rs crates/repo/src/ingest.rs crates/repo/src/metadata.rs crates/repo/src/nfms.rs crates/repo/src/nmds.rs crates/repo/src/service.rs crates/repo/src/storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_repo-967bb7f48991d11e.rmeta: crates/repo/src/lib.rs crates/repo/src/checksum.rs crates/repo/src/gridftp.rs crates/repo/src/https_bridge.rs crates/repo/src/ingest.rs crates/repo/src/metadata.rs crates/repo/src/nfms.rs crates/repo/src/nmds.rs crates/repo/src/service.rs crates/repo/src/storage.rs Cargo.toml
+
+crates/repo/src/lib.rs:
+crates/repo/src/checksum.rs:
+crates/repo/src/gridftp.rs:
+crates/repo/src/https_bridge.rs:
+crates/repo/src/ingest.rs:
+crates/repo/src/metadata.rs:
+crates/repo/src/nfms.rs:
+crates/repo/src/nmds.rs:
+crates/repo/src/service.rs:
+crates/repo/src/storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/neesgrid_structsim-80040982c33768ae.d: crates/structsim/src/lib.rs crates/structsim/src/element.rs crates/structsim/src/groundmotion.rs crates/structsim/src/integrate.rs crates/structsim/src/linalg.rs crates/structsim/src/material.rs crates/structsim/src/model.rs crates/structsim/src/psd.rs crates/structsim/src/substructure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_structsim-80040982c33768ae.rmeta: crates/structsim/src/lib.rs crates/structsim/src/element.rs crates/structsim/src/groundmotion.rs crates/structsim/src/integrate.rs crates/structsim/src/linalg.rs crates/structsim/src/material.rs crates/structsim/src/model.rs crates/structsim/src/psd.rs crates/structsim/src/substructure.rs Cargo.toml
+
+crates/structsim/src/lib.rs:
+crates/structsim/src/element.rs:
+crates/structsim/src/groundmotion.rs:
+crates/structsim/src/integrate.rs:
+crates/structsim/src/linalg.rs:
+crates/structsim/src/material.rs:
+crates/structsim/src/model.rs:
+crates/structsim/src/psd.rs:
+crates/structsim/src/substructure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

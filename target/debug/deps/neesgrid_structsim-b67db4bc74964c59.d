@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/neesgrid_structsim-b67db4bc74964c59.d: crates/structsim/src/lib.rs crates/structsim/src/element.rs crates/structsim/src/groundmotion.rs crates/structsim/src/integrate.rs crates/structsim/src/linalg.rs crates/structsim/src/material.rs crates/structsim/src/model.rs crates/structsim/src/psd.rs crates/structsim/src/substructure.rs
+
+/root/repo/target/debug/deps/libneesgrid_structsim-b67db4bc74964c59.rlib: crates/structsim/src/lib.rs crates/structsim/src/element.rs crates/structsim/src/groundmotion.rs crates/structsim/src/integrate.rs crates/structsim/src/linalg.rs crates/structsim/src/material.rs crates/structsim/src/model.rs crates/structsim/src/psd.rs crates/structsim/src/substructure.rs
+
+/root/repo/target/debug/deps/libneesgrid_structsim-b67db4bc74964c59.rmeta: crates/structsim/src/lib.rs crates/structsim/src/element.rs crates/structsim/src/groundmotion.rs crates/structsim/src/integrate.rs crates/structsim/src/linalg.rs crates/structsim/src/material.rs crates/structsim/src/model.rs crates/structsim/src/psd.rs crates/structsim/src/substructure.rs
+
+crates/structsim/src/lib.rs:
+crates/structsim/src/element.rs:
+crates/structsim/src/groundmotion.rs:
+crates/structsim/src/integrate.rs:
+crates/structsim/src/linalg.rs:
+crates/structsim/src/material.rs:
+crates/structsim/src/model.rs:
+crates/structsim/src/psd.rs:
+crates/structsim/src/substructure.rs:

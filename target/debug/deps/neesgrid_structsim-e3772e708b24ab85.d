@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neesgrid_structsim-e3772e708b24ab85.d: crates/structsim/src/lib.rs crates/structsim/src/element.rs crates/structsim/src/groundmotion.rs crates/structsim/src/integrate.rs crates/structsim/src/linalg.rs crates/structsim/src/material.rs crates/structsim/src/model.rs crates/structsim/src/psd.rs crates/structsim/src/substructure.rs
+
+/root/repo/target/debug/deps/neesgrid_structsim-e3772e708b24ab85: crates/structsim/src/lib.rs crates/structsim/src/element.rs crates/structsim/src/groundmotion.rs crates/structsim/src/integrate.rs crates/structsim/src/linalg.rs crates/structsim/src/material.rs crates/structsim/src/model.rs crates/structsim/src/psd.rs crates/structsim/src/substructure.rs
+
+crates/structsim/src/lib.rs:
+crates/structsim/src/element.rs:
+crates/structsim/src/groundmotion.rs:
+crates/structsim/src/integrate.rs:
+crates/structsim/src/linalg.rs:
+crates/structsim/src/material.rs:
+crates/structsim/src/model.rs:
+crates/structsim/src/psd.rs:
+crates/structsim/src/substructure.rs:

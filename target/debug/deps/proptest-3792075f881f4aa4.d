@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3792075f881f4aa4.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3792075f881f4aa4.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3792075f881f4aa4.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-88f7282875bbedcb.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-88f7282875bbedcb.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repository_roundtrip-2bffa7e20387c38b.d: tests/repository_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepository_roundtrip-2bffa7e20387c38b.rmeta: tests/repository_roundtrip.rs Cargo.toml
+
+tests/repository_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repository_roundtrip-5306fcdf9c20c6a4.d: tests/repository_roundtrip.rs
+
+/root/repo/target/debug/deps/repository_roundtrip-5306fcdf9c20c6a4: tests/repository_roundtrip.rs
+
+tests/repository_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repository_roundtrip-809422a571f530fc.d: tests/repository_roundtrip.rs
+
+/root/repo/target/debug/deps/repository_roundtrip-809422a571f530fc: tests/repository_roundtrip.rs
+
+tests/repository_roundtrip.rs:

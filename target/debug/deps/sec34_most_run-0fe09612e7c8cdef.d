@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec34_most_run-0fe09612e7c8cdef.d: crates/bench/benches/sec34_most_run.rs
+
+/root/repo/target/debug/deps/sec34_most_run-0fe09612e7c8cdef: crates/bench/benches/sec34_most_run.rs
+
+crates/bench/benches/sec34_most_run.rs:

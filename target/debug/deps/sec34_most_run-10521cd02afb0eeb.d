@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec34_most_run-10521cd02afb0eeb.d: crates/bench/benches/sec34_most_run.rs
+
+/root/repo/target/debug/deps/sec34_most_run-10521cd02afb0eeb: crates/bench/benches/sec34_most_run.rs
+
+crates/bench/benches/sec34_most_run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec34_most_run-ac1ed4f13ccdcd67.d: crates/bench/benches/sec34_most_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec34_most_run-ac1ed4f13ccdcd67.rmeta: crates/bench/benches/sec34_most_run.rs Cargo.toml
+
+crates/bench/benches/sec34_most_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

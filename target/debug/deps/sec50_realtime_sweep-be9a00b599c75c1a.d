@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec50_realtime_sweep-be9a00b599c75c1a.d: crates/bench/benches/sec50_realtime_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec50_realtime_sweep-be9a00b599c75c1a.rmeta: crates/bench/benches/sec50_realtime_sweep.rs Cargo.toml
+
+crates/bench/benches/sec50_realtime_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

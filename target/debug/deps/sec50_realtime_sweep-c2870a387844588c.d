@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec50_realtime_sweep-c2870a387844588c.d: crates/bench/benches/sec50_realtime_sweep.rs
+
+/root/repo/target/debug/deps/sec50_realtime_sweep-c2870a387844588c: crates/bench/benches/sec50_realtime_sweep.rs
+
+crates/bench/benches/sec50_realtime_sweep.rs:

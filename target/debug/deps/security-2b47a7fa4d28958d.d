@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security-2b47a7fa4d28958d.d: tests/security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity-2b47a7fa4d28958d.rmeta: tests/security.rs Cargo.toml
+
+tests/security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-38fe9d17e5702e62.d: tests/security.rs
+
+/root/repo/target/debug/deps/security-38fe9d17e5702e62: tests/security.rs
+
+tests/security.rs:

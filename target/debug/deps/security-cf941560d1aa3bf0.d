@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-cf941560d1aa3bf0.d: tests/security.rs
+
+/root/repo/target/debug/deps/security-cf941560d1aa3bf0: tests/security.rs
+
+tests/security.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-b987625d5ee8752f.d: crates/shims/serde_json/src/lib.rs crates/shims/serde_json/src/parse.rs crates/shims/serde_json/src/print.rs
+
+/root/repo/target/debug/deps/libserde_json-b987625d5ee8752f.rmeta: crates/shims/serde_json/src/lib.rs crates/shims/serde_json/src/parse.rs crates/shims/serde_json/src/print.rs
+
+crates/shims/serde_json/src/lib.rs:
+crates/shims/serde_json/src/parse.rs:
+crates/shims/serde_json/src/print.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_resume-28b663d3f612a0bf.d: examples/checkpoint_resume.rs
+
+/root/repo/target/debug/examples/checkpoint_resume-28b663d3f612a0bf: examples/checkpoint_resume.rs
+
+examples/checkpoint_resume.rs:

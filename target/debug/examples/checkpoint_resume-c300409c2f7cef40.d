@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/checkpoint_resume-c300409c2f7cef40.d: examples/checkpoint_resume.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcheckpoint_resume-c300409c2f7cef40.rmeta: examples/checkpoint_resume.rs Cargo.toml
+
+examples/checkpoint_resume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/field_test-47ccea6d10cf3708.d: examples/field_test.rs
+
+/root/repo/target/debug/examples/field_test-47ccea6d10cf3708: examples/field_test.rs
+
+examples/field_test.rs:

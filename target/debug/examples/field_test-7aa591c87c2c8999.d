@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/field_test-7aa591c87c2c8999.d: examples/field_test.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfield_test-7aa591c87c2c8999.rmeta: examples/field_test.rs Cargo.toml
+
+examples/field_test.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

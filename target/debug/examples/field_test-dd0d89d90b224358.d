@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/field_test-dd0d89d90b224358.d: examples/field_test.rs
+
+/root/repo/target/debug/examples/field_test-dd0d89d90b224358: examples/field_test.rs
+
+examples/field_test.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mini_most-297167c881c4a76b.d: examples/mini_most.rs
+
+/root/repo/target/debug/examples/mini_most-297167c881c4a76b: examples/mini_most.rs
+
+examples/mini_most.rs:

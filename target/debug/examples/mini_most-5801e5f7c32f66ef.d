@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mini_most-5801e5f7c32f66ef.d: examples/mini_most.rs
+
+/root/repo/target/debug/examples/mini_most-5801e5f7c32f66ef: examples/mini_most.rs
+
+examples/mini_most.rs:

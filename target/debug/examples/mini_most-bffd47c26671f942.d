@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mini_most-bffd47c26671f942.d: examples/mini_most.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmini_most-bffd47c26671f942.rmeta: examples/mini_most.rs Cargo.toml
+
+examples/mini_most.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/most_experiment-049377dfd1daf2ef.d: examples/most_experiment.rs
+
+/root/repo/target/debug/examples/most_experiment-049377dfd1daf2ef: examples/most_experiment.rs
+
+examples/most_experiment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/most_experiment-9d78e39960e9765f.d: examples/most_experiment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmost_experiment-9d78e39960e9765f.rmeta: examples/most_experiment.rs Cargo.toml
+
+examples/most_experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

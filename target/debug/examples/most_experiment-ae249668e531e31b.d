@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/most_experiment-ae249668e531e31b.d: examples/most_experiment.rs
+
+/root/repo/target/debug/examples/most_experiment-ae249668e531e31b: examples/most_experiment.rs
+
+examples/most_experiment.rs:

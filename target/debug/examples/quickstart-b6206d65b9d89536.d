@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b6206d65b9d89536.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b6206d65b9d89536: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bc4410b03779ff40.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bc4410b03779ff40: examples/quickstart.rs
+
+examples/quickstart.rs:

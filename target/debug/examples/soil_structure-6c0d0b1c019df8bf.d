@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/soil_structure-6c0d0b1c019df8bf.d: examples/soil_structure.rs
+
+/root/repo/target/debug/examples/soil_structure-6c0d0b1c019df8bf: examples/soil_structure.rs
+
+examples/soil_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/soil_structure-c15a65208cb8d303.d: examples/soil_structure.rs
+
+/root/repo/target/debug/examples/soil_structure-c15a65208cb8d303: examples/soil_structure.rs
+
+examples/soil_structure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/soil_structure-c226be3b60651bce.d: examples/soil_structure.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsoil_structure-c226be3b60651bce.rmeta: examples/soil_structure.rs Cargo.toml
+
+examples/soil_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/checkpoint_resume-0abe9bab56085dbe.d: tests/checkpoint_resume.rs
+
+/root/repo/target/release/deps/checkpoint_resume-0abe9bab56085dbe: tests/checkpoint_resume.rs
+
+tests/checkpoint_resume.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-0bb0d8bafd09ae3a.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0bb0d8bafd09ae3a.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0bb0d8bafd09ae3a.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-680774f4527d9be1.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-680774f4527d9be1.rlib: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-680774f4527d9be1.rmeta: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_checkpoint_overhead-e28970c2df0156ad.d: crates/bench/benches/fig12_checkpoint_overhead.rs
+
+/root/repo/target/release/deps/fig12_checkpoint_overhead-e28970c2df0156ad: crates/bench/benches/fig12_checkpoint_overhead.rs
+
+crates/bench/benches/fig12_checkpoint_overhead.rs:

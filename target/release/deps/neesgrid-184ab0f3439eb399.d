@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neesgrid-184ab0f3439eb399.d: src/lib.rs
+
+/root/repo/target/release/deps/libneesgrid-184ab0f3439eb399.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libneesgrid-184ab0f3439eb399.rmeta: src/lib.rs
+
+src/lib.rs:

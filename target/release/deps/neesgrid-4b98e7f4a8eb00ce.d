@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neesgrid-4b98e7f4a8eb00ce.d: src/lib.rs
+
+/root/repo/target/release/deps/libneesgrid-4b98e7f4a8eb00ce.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libneesgrid-4b98e7f4a8eb00ce.rmeta: src/lib.rs
+
+src/lib.rs:

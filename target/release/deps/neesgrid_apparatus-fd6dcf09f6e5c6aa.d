@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/neesgrid_apparatus-fd6dcf09f6e5c6aa.d: crates/apparatus/src/lib.rs crates/apparatus/src/actuator.rs crates/apparatus/src/control_system.rs crates/apparatus/src/integration.rs crates/apparatus/src/robot.rs crates/apparatus/src/sensors.rs crates/apparatus/src/specimen.rs crates/apparatus/src/stepper.rs crates/apparatus/src/xpc.rs
+
+/root/repo/target/release/deps/libneesgrid_apparatus-fd6dcf09f6e5c6aa.rlib: crates/apparatus/src/lib.rs crates/apparatus/src/actuator.rs crates/apparatus/src/control_system.rs crates/apparatus/src/integration.rs crates/apparatus/src/robot.rs crates/apparatus/src/sensors.rs crates/apparatus/src/specimen.rs crates/apparatus/src/stepper.rs crates/apparatus/src/xpc.rs
+
+/root/repo/target/release/deps/libneesgrid_apparatus-fd6dcf09f6e5c6aa.rmeta: crates/apparatus/src/lib.rs crates/apparatus/src/actuator.rs crates/apparatus/src/control_system.rs crates/apparatus/src/integration.rs crates/apparatus/src/robot.rs crates/apparatus/src/sensors.rs crates/apparatus/src/specimen.rs crates/apparatus/src/stepper.rs crates/apparatus/src/xpc.rs
+
+crates/apparatus/src/lib.rs:
+crates/apparatus/src/actuator.rs:
+crates/apparatus/src/control_system.rs:
+crates/apparatus/src/integration.rs:
+crates/apparatus/src/robot.rs:
+crates/apparatus/src/sensors.rs:
+crates/apparatus/src/specimen.rs:
+crates/apparatus/src/stepper.rs:
+crates/apparatus/src/xpc.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neesgrid_bench-7f151beb7c91c9ea.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libneesgrid_bench-7f151beb7c91c9ea.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libneesgrid_bench-7f151beb7c91c9ea.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/neesgrid_checkpoint-cb1f4f5fa3c134ef.d: crates/checkpoint/src/lib.rs crates/checkpoint/src/checkpointer.rs crates/checkpoint/src/policy.rs crates/checkpoint/src/snapshot.rs crates/checkpoint/src/store.rs
+
+/root/repo/target/release/deps/libneesgrid_checkpoint-cb1f4f5fa3c134ef.rlib: crates/checkpoint/src/lib.rs crates/checkpoint/src/checkpointer.rs crates/checkpoint/src/policy.rs crates/checkpoint/src/snapshot.rs crates/checkpoint/src/store.rs
+
+/root/repo/target/release/deps/libneesgrid_checkpoint-cb1f4f5fa3c134ef.rmeta: crates/checkpoint/src/lib.rs crates/checkpoint/src/checkpointer.rs crates/checkpoint/src/policy.rs crates/checkpoint/src/snapshot.rs crates/checkpoint/src/store.rs
+
+crates/checkpoint/src/lib.rs:
+crates/checkpoint/src/checkpointer.rs:
+crates/checkpoint/src/policy.rs:
+crates/checkpoint/src/snapshot.rs:
+crates/checkpoint/src/store.rs:

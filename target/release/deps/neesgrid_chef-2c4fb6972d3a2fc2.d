@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/neesgrid_chef-2c4fb6972d3a2fc2.d: crates/chef/src/lib.rs crates/chef/src/chat.rs crates/chef/src/notebook.rs crates/chef/src/portal.rs crates/chef/src/session.rs crates/chef/src/telepresence.rs crates/chef/src/viewer.rs
+
+/root/repo/target/release/deps/libneesgrid_chef-2c4fb6972d3a2fc2.rlib: crates/chef/src/lib.rs crates/chef/src/chat.rs crates/chef/src/notebook.rs crates/chef/src/portal.rs crates/chef/src/session.rs crates/chef/src/telepresence.rs crates/chef/src/viewer.rs
+
+/root/repo/target/release/deps/libneesgrid_chef-2c4fb6972d3a2fc2.rmeta: crates/chef/src/lib.rs crates/chef/src/chat.rs crates/chef/src/notebook.rs crates/chef/src/portal.rs crates/chef/src/session.rs crates/chef/src/telepresence.rs crates/chef/src/viewer.rs
+
+crates/chef/src/lib.rs:
+crates/chef/src/chat.rs:
+crates/chef/src/notebook.rs:
+crates/chef/src/portal.rs:
+crates/chef/src/session.rs:
+crates/chef/src/telepresence.rs:
+crates/chef/src/viewer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/neesgrid_coordinator-c35a05cbb1ba7dd5.d: crates/coordinator/src/lib.rs crates/coordinator/src/builder.rs crates/coordinator/src/coordinator.rs crates/coordinator/src/log.rs crates/coordinator/src/policy.rs crates/coordinator/src/remote.rs
+
+/root/repo/target/release/deps/libneesgrid_coordinator-c35a05cbb1ba7dd5.rlib: crates/coordinator/src/lib.rs crates/coordinator/src/builder.rs crates/coordinator/src/coordinator.rs crates/coordinator/src/log.rs crates/coordinator/src/policy.rs crates/coordinator/src/remote.rs
+
+/root/repo/target/release/deps/libneesgrid_coordinator-c35a05cbb1ba7dd5.rmeta: crates/coordinator/src/lib.rs crates/coordinator/src/builder.rs crates/coordinator/src/coordinator.rs crates/coordinator/src/log.rs crates/coordinator/src/policy.rs crates/coordinator/src/remote.rs
+
+crates/coordinator/src/lib.rs:
+crates/coordinator/src/builder.rs:
+crates/coordinator/src/coordinator.rs:
+crates/coordinator/src/log.rs:
+crates/coordinator/src/policy.rs:
+crates/coordinator/src/remote.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/neesgrid_daq-bde71b64235e272e.d: crates/daq/src/lib.rs crates/daq/src/channel.rs crates/daq/src/filedrop.rs crates/daq/src/nsds.rs crates/daq/src/sampler.rs crates/daq/src/timeseries.rs
+
+/root/repo/target/release/deps/libneesgrid_daq-bde71b64235e272e.rlib: crates/daq/src/lib.rs crates/daq/src/channel.rs crates/daq/src/filedrop.rs crates/daq/src/nsds.rs crates/daq/src/sampler.rs crates/daq/src/timeseries.rs
+
+/root/repo/target/release/deps/libneesgrid_daq-bde71b64235e272e.rmeta: crates/daq/src/lib.rs crates/daq/src/channel.rs crates/daq/src/filedrop.rs crates/daq/src/nsds.rs crates/daq/src/sampler.rs crates/daq/src/timeseries.rs
+
+crates/daq/src/lib.rs:
+crates/daq/src/channel.rs:
+crates/daq/src/filedrop.rs:
+crates/daq/src/nsds.rs:
+crates/daq/src/sampler.rs:
+crates/daq/src/timeseries.rs:

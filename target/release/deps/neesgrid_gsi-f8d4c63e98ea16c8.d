@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/neesgrid_gsi-f8d4c63e98ea16c8.d: crates/gsi/src/lib.rs crates/gsi/src/auth.rs crates/gsi/src/cas.rs crates/gsi/src/credential.rs crates/gsi/src/identity.rs crates/gsi/src/policy.rs crates/gsi/src/sim_crypto.rs
+
+/root/repo/target/release/deps/libneesgrid_gsi-f8d4c63e98ea16c8.rlib: crates/gsi/src/lib.rs crates/gsi/src/auth.rs crates/gsi/src/cas.rs crates/gsi/src/credential.rs crates/gsi/src/identity.rs crates/gsi/src/policy.rs crates/gsi/src/sim_crypto.rs
+
+/root/repo/target/release/deps/libneesgrid_gsi-f8d4c63e98ea16c8.rmeta: crates/gsi/src/lib.rs crates/gsi/src/auth.rs crates/gsi/src/cas.rs crates/gsi/src/credential.rs crates/gsi/src/identity.rs crates/gsi/src/policy.rs crates/gsi/src/sim_crypto.rs
+
+crates/gsi/src/lib.rs:
+crates/gsi/src/auth.rs:
+crates/gsi/src/cas.rs:
+crates/gsi/src/credential.rs:
+crates/gsi/src/identity.rs:
+crates/gsi/src/policy.rs:
+crates/gsi/src/sim_crypto.rs:

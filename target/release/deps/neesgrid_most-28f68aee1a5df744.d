@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/neesgrid_most-28f68aee1a5df744.d: crates/most/src/lib.rs crates/most/src/config.rs crates/most/src/field_test.rs crates/most/src/frame_model.rs crates/most/src/mini.rs crates/most/src/report.rs crates/most/src/runner.rs crates/most/src/scenarios.rs
+
+/root/repo/target/release/deps/libneesgrid_most-28f68aee1a5df744.rlib: crates/most/src/lib.rs crates/most/src/config.rs crates/most/src/field_test.rs crates/most/src/frame_model.rs crates/most/src/mini.rs crates/most/src/report.rs crates/most/src/runner.rs crates/most/src/scenarios.rs
+
+/root/repo/target/release/deps/libneesgrid_most-28f68aee1a5df744.rmeta: crates/most/src/lib.rs crates/most/src/config.rs crates/most/src/field_test.rs crates/most/src/frame_model.rs crates/most/src/mini.rs crates/most/src/report.rs crates/most/src/runner.rs crates/most/src/scenarios.rs
+
+crates/most/src/lib.rs:
+crates/most/src/config.rs:
+crates/most/src/field_test.rs:
+crates/most/src/frame_model.rs:
+crates/most/src/mini.rs:
+crates/most/src/report.rs:
+crates/most/src/runner.rs:
+crates/most/src/scenarios.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/neesgrid_most-fbcd1e5946e0b557.d: crates/most/src/lib.rs crates/most/src/config.rs crates/most/src/field_test.rs crates/most/src/frame_model.rs crates/most/src/mini.rs crates/most/src/report.rs crates/most/src/runner.rs crates/most/src/scenarios.rs
+
+/root/repo/target/release/deps/libneesgrid_most-fbcd1e5946e0b557.rlib: crates/most/src/lib.rs crates/most/src/config.rs crates/most/src/field_test.rs crates/most/src/frame_model.rs crates/most/src/mini.rs crates/most/src/report.rs crates/most/src/runner.rs crates/most/src/scenarios.rs
+
+/root/repo/target/release/deps/libneesgrid_most-fbcd1e5946e0b557.rmeta: crates/most/src/lib.rs crates/most/src/config.rs crates/most/src/field_test.rs crates/most/src/frame_model.rs crates/most/src/mini.rs crates/most/src/report.rs crates/most/src/runner.rs crates/most/src/scenarios.rs
+
+crates/most/src/lib.rs:
+crates/most/src/config.rs:
+crates/most/src/field_test.rs:
+crates/most/src/frame_model.rs:
+crates/most/src/mini.rs:
+crates/most/src/report.rs:
+crates/most/src/runner.rs:
+crates/most/src/scenarios.rs:

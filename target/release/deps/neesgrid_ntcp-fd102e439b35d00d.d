@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/neesgrid_ntcp-fd102e439b35d00d.d: crates/ntcp/src/lib.rs crates/ntcp/src/client.rs crates/ntcp/src/msg.rs crates/ntcp/src/plugin.rs crates/ntcp/src/server.rs crates/ntcp/src/transaction.rs
+
+/root/repo/target/release/deps/libneesgrid_ntcp-fd102e439b35d00d.rlib: crates/ntcp/src/lib.rs crates/ntcp/src/client.rs crates/ntcp/src/msg.rs crates/ntcp/src/plugin.rs crates/ntcp/src/server.rs crates/ntcp/src/transaction.rs
+
+/root/repo/target/release/deps/libneesgrid_ntcp-fd102e439b35d00d.rmeta: crates/ntcp/src/lib.rs crates/ntcp/src/client.rs crates/ntcp/src/msg.rs crates/ntcp/src/plugin.rs crates/ntcp/src/server.rs crates/ntcp/src/transaction.rs
+
+crates/ntcp/src/lib.rs:
+crates/ntcp/src/client.rs:
+crates/ntcp/src/msg.rs:
+crates/ntcp/src/plugin.rs:
+crates/ntcp/src/server.rs:
+crates/ntcp/src/transaction.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/neesgrid_ogsi-2184386e58d91633.d: crates/ogsi/src/lib.rs crates/ogsi/src/container.rs crates/ogsi/src/dedup.rs crates/ogsi/src/fault.rs crates/ogsi/src/lifetime.rs crates/ogsi/src/rpc.rs crates/ogsi/src/sde.rs crates/ogsi/src/service.rs
+
+/root/repo/target/release/deps/libneesgrid_ogsi-2184386e58d91633.rlib: crates/ogsi/src/lib.rs crates/ogsi/src/container.rs crates/ogsi/src/dedup.rs crates/ogsi/src/fault.rs crates/ogsi/src/lifetime.rs crates/ogsi/src/rpc.rs crates/ogsi/src/sde.rs crates/ogsi/src/service.rs
+
+/root/repo/target/release/deps/libneesgrid_ogsi-2184386e58d91633.rmeta: crates/ogsi/src/lib.rs crates/ogsi/src/container.rs crates/ogsi/src/dedup.rs crates/ogsi/src/fault.rs crates/ogsi/src/lifetime.rs crates/ogsi/src/rpc.rs crates/ogsi/src/sde.rs crates/ogsi/src/service.rs
+
+crates/ogsi/src/lib.rs:
+crates/ogsi/src/container.rs:
+crates/ogsi/src/dedup.rs:
+crates/ogsi/src/fault.rs:
+crates/ogsi/src/lifetime.rs:
+crates/ogsi/src/rpc.rs:
+crates/ogsi/src/sde.rs:
+crates/ogsi/src/service.rs:

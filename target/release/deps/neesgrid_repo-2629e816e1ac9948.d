@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/neesgrid_repo-2629e816e1ac9948.d: crates/repo/src/lib.rs crates/repo/src/checksum.rs crates/repo/src/gridftp.rs crates/repo/src/https_bridge.rs crates/repo/src/ingest.rs crates/repo/src/metadata.rs crates/repo/src/nfms.rs crates/repo/src/nmds.rs crates/repo/src/service.rs crates/repo/src/storage.rs
+
+/root/repo/target/release/deps/libneesgrid_repo-2629e816e1ac9948.rlib: crates/repo/src/lib.rs crates/repo/src/checksum.rs crates/repo/src/gridftp.rs crates/repo/src/https_bridge.rs crates/repo/src/ingest.rs crates/repo/src/metadata.rs crates/repo/src/nfms.rs crates/repo/src/nmds.rs crates/repo/src/service.rs crates/repo/src/storage.rs
+
+/root/repo/target/release/deps/libneesgrid_repo-2629e816e1ac9948.rmeta: crates/repo/src/lib.rs crates/repo/src/checksum.rs crates/repo/src/gridftp.rs crates/repo/src/https_bridge.rs crates/repo/src/ingest.rs crates/repo/src/metadata.rs crates/repo/src/nfms.rs crates/repo/src/nmds.rs crates/repo/src/service.rs crates/repo/src/storage.rs
+
+crates/repo/src/lib.rs:
+crates/repo/src/checksum.rs:
+crates/repo/src/gridftp.rs:
+crates/repo/src/https_bridge.rs:
+crates/repo/src/ingest.rs:
+crates/repo/src/metadata.rs:
+crates/repo/src/nfms.rs:
+crates/repo/src/nmds.rs:
+crates/repo/src/service.rs:
+crates/repo/src/storage.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/neesgrid_structsim-52d31b988dceeb55.d: crates/structsim/src/lib.rs crates/structsim/src/element.rs crates/structsim/src/groundmotion.rs crates/structsim/src/integrate.rs crates/structsim/src/linalg.rs crates/structsim/src/material.rs crates/structsim/src/model.rs crates/structsim/src/psd.rs crates/structsim/src/substructure.rs
+
+/root/repo/target/release/deps/libneesgrid_structsim-52d31b988dceeb55.rlib: crates/structsim/src/lib.rs crates/structsim/src/element.rs crates/structsim/src/groundmotion.rs crates/structsim/src/integrate.rs crates/structsim/src/linalg.rs crates/structsim/src/material.rs crates/structsim/src/model.rs crates/structsim/src/psd.rs crates/structsim/src/substructure.rs
+
+/root/repo/target/release/deps/libneesgrid_structsim-52d31b988dceeb55.rmeta: crates/structsim/src/lib.rs crates/structsim/src/element.rs crates/structsim/src/groundmotion.rs crates/structsim/src/integrate.rs crates/structsim/src/linalg.rs crates/structsim/src/material.rs crates/structsim/src/model.rs crates/structsim/src/psd.rs crates/structsim/src/substructure.rs
+
+crates/structsim/src/lib.rs:
+crates/structsim/src/element.rs:
+crates/structsim/src/groundmotion.rs:
+crates/structsim/src/integrate.rs:
+crates/structsim/src/linalg.rs:
+crates/structsim/src/material.rs:
+crates/structsim/src/model.rs:
+crates/structsim/src/psd.rs:
+crates/structsim/src/substructure.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-89a7eb2221bc6325.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-89a7eb2221bc6325.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-89a7eb2221bc6325.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-655ad50a5aeb5849.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-655ad50a5aeb5849.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-655ad50a5aeb5849.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-382d2027931797a2.d: crates/shims/serde_json/src/lib.rs crates/shims/serde_json/src/parse.rs crates/shims/serde_json/src/print.rs
+
+/root/repo/target/release/deps/libserde_json-382d2027931797a2.rlib: crates/shims/serde_json/src/lib.rs crates/shims/serde_json/src/parse.rs crates/shims/serde_json/src/print.rs
+
+/root/repo/target/release/deps/libserde_json-382d2027931797a2.rmeta: crates/shims/serde_json/src/lib.rs crates/shims/serde_json/src/parse.rs crates/shims/serde_json/src/print.rs
+
+crates/shims/serde_json/src/lib.rs:
+crates/shims/serde_json/src/parse.rs:
+crates/shims/serde_json/src/print.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/checkpoint_resume-3e3eb3242b3fb38a.d: examples/checkpoint_resume.rs
+
+/root/repo/target/release/examples/checkpoint_resume-3e3eb3242b3fb38a: examples/checkpoint_resume.rs
+
+examples/checkpoint_resume.rs:

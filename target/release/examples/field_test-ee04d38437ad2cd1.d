@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/field_test-ee04d38437ad2cd1.d: examples/field_test.rs
+
+/root/repo/target/release/examples/field_test-ee04d38437ad2cd1: examples/field_test.rs
+
+examples/field_test.rs:

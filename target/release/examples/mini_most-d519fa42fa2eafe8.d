@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mini_most-d519fa42fa2eafe8.d: examples/mini_most.rs
+
+/root/repo/target/release/examples/mini_most-d519fa42fa2eafe8: examples/mini_most.rs
+
+examples/mini_most.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/most_experiment-d2fb951907ade5fa.d: examples/most_experiment.rs
+
+/root/repo/target/release/examples/most_experiment-d2fb951907ade5fa: examples/most_experiment.rs
+
+examples/most_experiment.rs:

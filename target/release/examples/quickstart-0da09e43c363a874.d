@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0da09e43c363a874.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0da09e43c363a874: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/soil_structure-899d29466695a851.d: examples/soil_structure.rs
+
+/root/repo/target/release/examples/soil_structure-899d29466695a851: examples/soil_structure.rs
+
+examples/soil_structure.rs:

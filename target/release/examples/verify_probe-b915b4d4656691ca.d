@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_probe-b915b4d4656691ca.d: examples/verify_probe.rs
+
+/root/repo/target/release/examples/verify_probe-b915b4d4656691ca: examples/verify_probe.rs
+
+examples/verify_probe.rs:

@@ -57,7 +57,12 @@ fn soil_structure_sites() -> Vec<SiteSpec> {
         Box::new(LinearElastic::new(0.8e6)),
     )));
     vec![
-        ("rpi".into(), Box::new(soil) as Box<dyn Substructure>, vec![0], 5.0e6),
+        (
+            "rpi".into(),
+            Box::new(soil) as Box<dyn Substructure>,
+            vec![0],
+            5.0e6,
+        ),
         ("uiuc".into(), Box::new(uiuc), vec![1], 1.2e6),
         ("lehigh".into(), Box::new(lehigh), vec![2], 1.0e6),
         ("ncsa".into(), Box::new(ncsa), vec![0, 1, 2], 3.0e6),
@@ -114,7 +119,10 @@ fn four_site_soil_structure_experiment_runs() {
     let uiuc_peak = outcome.history.peak_displacement(1);
     let lehigh_peak = outcome.history.peak_displacement(2);
     assert!(soil_peak > 1e-4, "soil never moved: {soil_peak}");
-    assert!(uiuc_peak > 1e-4 && lehigh_peak > 1e-4, "structures never moved");
+    assert!(
+        uiuc_peak > 1e-4 && lehigh_peak > 1e-4,
+        "structures never moved"
+    );
     assert!(
         soil_peak < 0.2 && uiuc_peak < 0.2 && lehigh_peak < 0.2,
         "unbounded response"
@@ -222,7 +230,11 @@ fn six_dof_quasi_static_loading_in_one_transaction() {
             .collect();
         let tx = format!("stage-{stage}");
         client
-            .propose(&tx, actions.clone(), neesgrid::gridsim::SimTime::from_secs(120))
+            .propose(
+                &tx,
+                actions.clone(),
+                neesgrid::gridsim::SimTime::from_secs(120),
+            )
             .unwrap();
         let results = client.execute(&tx).unwrap();
         assert_eq!(results.len(), 6);

@@ -81,7 +81,12 @@ fn both_policies_survive_silent_loss_even_when_heavy() {
     // recovery count scales with the loss rate.
     let mut last_recoveries = 0;
     for period in [64u64, 16, 8] {
-        for policy in [FaultPolicy::Partial, FaultPolicy::Full { max_step_retries: 3 }] {
+        for policy in [
+            FaultPolicy::Partial,
+            FaultPolicy::Full {
+                max_step_retries: 3,
+            },
+        ] {
             let (completed, recoveries) = run_under(periodic_drops(period), policy);
             assert_eq!(
                 completed, STEPS,
@@ -105,8 +110,12 @@ fn resets_separate_the_policies() {
     plan.reset_at(LinkKey::new("coordinator", "beta"), 2 * 60);
     let (completed_partial, _) = run_under(plan.clone(), FaultPolicy::Partial);
     assert_eq!(completed_partial, 60);
-    let (completed_full, recoveries) =
-        run_under(plan, FaultPolicy::Full { max_step_retries: 3 });
+    let (completed_full, recoveries) = run_under(
+        plan,
+        FaultPolicy::Full {
+            max_step_retries: 3,
+        },
+    );
     assert_eq!(completed_full, STEPS);
     assert!(recoveries >= 1);
 }
@@ -121,7 +130,12 @@ fn repeated_resets_on_one_step_exhaust_bounded_retries() {
     for i in 0..20 {
         plan.reset_at(LinkKey::new("coordinator", "alpha"), 2 * 50 + i);
     }
-    let (completed, _) = run_under(plan, FaultPolicy::Full { max_step_retries: 2 });
+    let (completed, _) = run_under(
+        plan,
+        FaultPolicy::Full {
+            max_step_retries: 2,
+        },
+    );
     assert_eq!(completed, 50, "bounded retries must eventually abort");
 }
 
@@ -167,7 +181,9 @@ fn results_are_identical_across_policies_when_both_complete() {
             .history
     };
     let partial = run(FaultPolicy::Partial);
-    let full = run(FaultPolicy::Full { max_step_retries: 3 });
+    let full = run(FaultPolicy::Full {
+        max_step_retries: 3,
+    });
     assert_eq!(partial.steps_completed, 80);
     assert!(partial.max_displacement_difference(&full) < 1e-15);
 }

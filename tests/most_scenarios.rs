@@ -7,7 +7,7 @@
 //! terminates prematurely at step 1493 on a final link reset.
 
 use neesgrid::coordinator::Termination;
-use neesgrid::most::{Scenario, MostConfig};
+use neesgrid::most::{MostConfig, Scenario};
 
 #[test]
 fn dry_run_completes_all_1500_steps() {
@@ -31,7 +31,11 @@ fn dry_run_completes_all_1500_steps() {
         artifacts.report.virtual_duration
     );
     // Data was archived incrementally throughout.
-    assert!(artifacts.files_ingested >= 10, "files: {}", artifacts.files_ingested);
+    assert!(
+        artifacts.files_ingested >= 10,
+        "files: {}",
+        artifacts.files_ingested
+    );
     assert!(artifacts.bytes_ingested > 0);
 }
 

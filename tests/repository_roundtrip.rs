@@ -96,7 +96,11 @@ fn ingest_then_discover_then_download() {
         ts.push(SimTime::from_millis(i * 10), (i as f64 * 0.03).sin() * 0.01);
     }
     let csv = ts.to_csv();
-    upload(&site_nfms, "/experiments/most/data/window-0001.csv", csv.as_bytes());
+    upload(
+        &site_nfms,
+        "/experiments/most/data/window-0001.csv",
+        csv.as_bytes(),
+    );
     site_nmds
         .call_value(
             "create",
@@ -131,7 +135,10 @@ fn ingest_then_discover_then_download() {
         .unwrap();
     assert_eq!(ids["ids"][0], "/experiments/most/records/window-0001");
     let record = res_nmds
-        .call_value("get", json!({"id": "/experiments/most/records/window-0001"}))
+        .call_value(
+            "get",
+            json!({"id": "/experiments/most/records/window-0001"}),
+        )
         .unwrap();
     let logical = record["body"]["logical_file"].as_str().unwrap();
     let bytes = download(&res_nfms, logical);
@@ -160,7 +167,10 @@ fn metadata_versioning_survives_the_network() {
         assert_eq!(v["version"], rev);
     }
     let v2 = nmds
-        .call_value("get", json!({"id": "/experiments/most/setup", "version": 2}))
+        .call_value(
+            "get",
+            json!({"id": "/experiments/most/setup", "version": 2}),
+        )
         .unwrap();
     assert_eq!(v2["body"]["rev"], 2);
     let latest = nmds
