@@ -1,0 +1,524 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The linter does not need a full grammar — only a token stream that is
+//! *correct about what is code and what is not*. Getting strings, char
+//! literals, lifetimes, raw strings, and nested block comments right is the
+//! whole game: a naive substring scan would flag `"panic!"` inside a doc
+//! string or miss `unwrap` because of an intervening comment. Everything
+//! else (attributes, item boundaries, brace matching) is reconstructed from
+//! this stream by the rule engine.
+//!
+//! The lexer also extracts the two comment artefacts the rules care about:
+//! outer doc comments (`///`, `/** */`) become [`TokKind::DocComment`]
+//! tokens so `missing-docs` can see them in sequence with items, and
+//! `// analyzer:allow(...)` comments are collected as raw [`Pragma`]s for
+//! the suppression machinery.
+
+/// Bracket-like delimiter kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` / `)`
+    Paren,
+    /// `[` / `]`
+    Bracket,
+    /// `{` / `}`
+    Brace,
+}
+
+/// The token kinds the rule engine consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An outer doc comment (`///` or `/** */`), position-significant for
+    /// the `missing-docs` rule.
+    DocComment,
+    /// A string / char / byte / numeric literal (content discarded).
+    Lit,
+    /// `#`
+    Pound,
+    /// `!`
+    Bang,
+    /// `.`
+    Dot,
+    /// `::`
+    PathSep,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// An opening delimiter.
+    Open(Delim),
+    /// A closing delimiter.
+    Close(Delim),
+    /// Any other punctuation character.
+    Op(char),
+}
+
+/// A token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// An unparsed `// analyzer:allow…` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Comment text from `analyzer:allow` to end of line.
+    pub text: String,
+}
+
+/// Output of [`lex`].
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The significant tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Every `analyzer:allow` comment encountered, in source order.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Marker that starts a suppression comment.
+pub const PRAGMA_MARKER: &str = "analyzer:allow";
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+}
+
+/// Tokenize `src`, separating code from comments and literals.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' => {
+                cur.bump();
+                match cur.peek() {
+                    Some('/') => lex_line_comment(&mut cur, line, &mut out),
+                    Some('*') => lex_block_comment(&mut cur, line, &mut out),
+                    _ => out.tokens.push(Token {
+                        kind: TokKind::Op('/'),
+                        line,
+                    }),
+                }
+            }
+            '"' => {
+                cur.bump();
+                consume_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Lit,
+                    line,
+                });
+            }
+            '\'' => {
+                cur.bump();
+                lex_quote(&mut cur, line, &mut out);
+            }
+            c if c.is_ascii_digit() => {
+                consume_number(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Lit,
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let ident = consume_ident(&mut cur);
+                let kind = match try_literal_prefix(&mut cur, &ident) {
+                    Prefix::Literal => TokKind::Lit,
+                    Prefix::RawIdent(name) => TokKind::Ident(name),
+                    Prefix::No => TokKind::Ident(ident),
+                };
+                out.tokens.push(Token { kind, line });
+            }
+            ':' => {
+                cur.bump();
+                let kind = if cur.peek() == Some(':') {
+                    cur.bump();
+                    TokKind::PathSep
+                } else {
+                    TokKind::Op(':')
+                };
+                out.tokens.push(Token { kind, line });
+            }
+            _ => {
+                cur.bump();
+                let kind = match c {
+                    '#' => TokKind::Pound,
+                    '!' => TokKind::Bang,
+                    '.' => TokKind::Dot,
+                    ',' => TokKind::Comma,
+                    ';' => TokKind::Semi,
+                    '(' => TokKind::Open(Delim::Paren),
+                    ')' => TokKind::Close(Delim::Paren),
+                    '[' => TokKind::Open(Delim::Bracket),
+                    ']' => TokKind::Close(Delim::Bracket),
+                    '{' => TokKind::Open(Delim::Brace),
+                    '}' => TokKind::Close(Delim::Brace),
+                    other => TokKind::Op(other),
+                };
+                out.tokens.push(Token { kind, line });
+            }
+        }
+    }
+    out
+}
+
+/// `cur` sits on the second `/`. Classify `///` doc vs `//!` inner doc vs
+/// plain comment (possibly carrying a pragma).
+fn lex_line_comment(cur: &mut Cursor<'_>, line: u32, out: &mut Lexed) {
+    cur.bump(); // second '/'
+    let mut body = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        body.push(c);
+        cur.bump();
+    }
+    // `///x` is a doc comment; `////…` (a rule-off line) is not.
+    if body.starts_with('/') && !body.starts_with("//") {
+        out.tokens.push(Token {
+            kind: TokKind::DocComment,
+            line,
+        });
+    } else if body.starts_with('!') {
+        // `//!` inner doc: prose, never a pragma (doc text may quote the
+        // pragma syntax without enabling it).
+    } else if let Some(at) = body.find(PRAGMA_MARKER) {
+        out.pragmas.push(Pragma {
+            line,
+            text: body[at + PRAGMA_MARKER.len()..].trim().to_string(),
+        });
+    }
+}
+
+/// `cur` sits on the `*` of `/*`. Handles nesting; `/** … */` is a doc.
+fn lex_block_comment(cur: &mut Cursor<'_>, line: u32, out: &mut Lexed) {
+    cur.bump(); // '*'
+    let mut doc = false;
+    if cur.peek() == Some('*') {
+        // `/**…` is an outer doc unless it is the empty comment `/**/`.
+        let mut lookahead = cur.chars.clone();
+        lookahead.next();
+        doc = lookahead.next() != Some('/');
+    }
+    let mut depth = 1u32;
+    let mut prev = '\0';
+    while let Some(c) = cur.bump() {
+        match (prev, c) {
+            ('/', '*') => {
+                depth += 1;
+                prev = '\0';
+            }
+            ('*', '/') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                prev = '\0';
+            }
+            _ => prev = c,
+        }
+    }
+    if doc {
+        out.tokens.push(Token {
+            kind: TokKind::DocComment,
+            line,
+        });
+    }
+}
+
+/// Consume a double-quoted string body (opening quote already taken).
+fn consume_string(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consume a raw string: `cur` sits just past `r`; `hashes` were counted by
+/// the caller. Body ends at `"` followed by the same number of `#`.
+fn consume_raw_string(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut seen = 0;
+            while seen < hashes && cur.peek() == Some('#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                break;
+            }
+        }
+    }
+}
+
+/// What an apparent identifier turned out to be once the next characters
+/// were examined.
+enum Prefix {
+    /// It was a literal prefix (`r"`, `r#"`, `b"`, `br#"`, `b'`); the whole
+    /// literal has been consumed.
+    Literal,
+    /// It was a raw identifier (`r#name`); the real name is carried here.
+    RawIdent(String),
+    /// Just an ordinary identifier.
+    No,
+}
+
+/// After an identifier, check whether it is actually a literal prefix or a
+/// raw identifier, consuming whichever it is.
+fn try_literal_prefix(cur: &mut Cursor<'_>, ident: &str) -> Prefix {
+    let raw = matches!(ident, "r" | "br");
+    let bytes = matches!(ident, "b" | "br");
+    if !raw && !bytes {
+        return Prefix::No;
+    }
+    match cur.peek() {
+        Some('"') => {
+            cur.bump();
+            if raw {
+                consume_raw_string(cur, 0);
+            } else {
+                consume_string(cur);
+            }
+            Prefix::Literal
+        }
+        Some('#') if raw => {
+            // Count hashes; only a quote after them makes this a literal.
+            // (A lone `r#ident` raw identifier has no quote.)
+            let mut hashes = 0;
+            while cur.peek() == Some('#') {
+                cur.bump();
+                hashes += 1;
+            }
+            if cur.peek() == Some('"') {
+                cur.bump();
+                consume_raw_string(cur, hashes);
+                Prefix::Literal
+            } else {
+                // Raw identifier such as `r#type`.
+                Prefix::RawIdent(consume_ident(cur))
+            }
+        }
+        Some('\'') if ident == "b" => {
+            cur.bump();
+            consume_char_literal(cur);
+            Prefix::Literal
+        }
+        _ => Prefix::No,
+    }
+}
+
+/// `cur` sits just past a `'`. Distinguish a lifetime from a char literal.
+fn lex_quote(cur: &mut Cursor<'_>, line: u32, out: &mut Lexed) {
+    let mut lookahead = cur.chars.clone();
+    let first = lookahead.next();
+    let second = lookahead.next();
+    let is_lifetime =
+        matches!(first, Some(c) if c.is_alphabetic() || c == '_') && second != Some('\'');
+    if is_lifetime {
+        let name = consume_ident(cur);
+        out.tokens.push(Token {
+            kind: TokKind::Op('\''),
+            line,
+        });
+        out.tokens.push(Token {
+            kind: TokKind::Ident(name),
+            line,
+        });
+    } else {
+        consume_char_literal(cur);
+        out.tokens.push(Token {
+            kind: TokKind::Lit,
+            line,
+        });
+    }
+}
+
+/// Consume a char literal body (opening quote already taken).
+fn consume_char_literal(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+}
+
+fn consume_ident(cur: &mut Cursor<'_>) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            s.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// Consume a numeric literal. A `.` is part of the number only when a digit
+/// follows (so `0..7` stays a range, `1.5e-3`'s mantissa is one literal).
+fn consume_number(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            cur.bump();
+        } else if c == '.' {
+            let mut lookahead = cur.chars.clone();
+            lookahead.next();
+            if matches!(lookahead.next(), Some(d) if d.is_ascii_digit()) {
+                cur.bump();
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn code_inside_strings_and_comments_is_invisible() {
+        let src = r#"
+            // panic! in a comment
+            /* unwrap() in a block /* nested */ still comment */
+            let s = "panic!(\"no\")";
+            let r = r#inner; // raw identifier stays code
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"inner".to_string()));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_single_literals() {
+        let ids = idents(r##"let x = r#"unwrap()"#; let y = b"panic!"; let z = br#"todo!"#;"##);
+        assert_eq!(ids, vec!["let", "x", "let", "y", "let", "z"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(ids, vec!["fn", "f", "a", "x", "a", "str", "a", "str", "x"]);
+    }
+
+    #[test]
+    fn char_literals_including_quotes() {
+        let ids = idents(r"let c = 'x'; let q = '\''; let n = '\n'; let p = '(';");
+        assert_eq!(ids, vec!["let", "c", "let", "q", "let", "n", "let", "p"]);
+    }
+
+    #[test]
+    fn doc_comments_become_tokens() {
+        let lexed = lex("/// docs\npub fn f() {}\n/** block */\npub struct S;");
+        let docs: Vec<u32> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::DocComment)
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(docs, vec![1, 3]);
+    }
+
+    #[test]
+    fn inner_docs_and_comment_rules_are_not_outer_docs() {
+        let lexed = lex("//! inner\n//// ruled off\n/*! inner block */\nfn f() {}");
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokKind::DocComment));
+    }
+
+    #[test]
+    fn pragmas_are_collected_with_lines() {
+        let lexed = lex("fn f() {\n    // analyzer:allow(no-unwrap, reason = \"x\")\n    g();\n}");
+        assert_eq!(lexed.pragmas.len(), 1);
+        assert_eq!(lexed.pragmas[0].line, 2);
+        assert!(lexed.pragmas[0].text.starts_with("(no-unwrap"));
+    }
+
+    #[test]
+    fn pragma_syntax_quoted_in_doc_comments_is_not_a_pragma() {
+        let lexed = lex(
+            "//! Use `// analyzer:allow(<rule>, reason = \"…\")` to waive.\n/// Same: analyzer:allow(x, y).\nfn f() {}\n",
+        );
+        assert!(lexed.pragmas.is_empty(), "{:?}", lexed.pragmas);
+    }
+
+    #[test]
+    fn path_sep_and_ranges_lex_distinctly() {
+        let lexed = lex("Instant::now(); 0..7; 1.5e-3");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::PathSep));
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Dot)
+            .count();
+        assert_eq!(dots, 2, "range dots survive, float dot does not");
+    }
+
+    #[test]
+    fn lines_advance_through_multiline_constructs() {
+        let lexed = lex("let a = \"line\nbreak\";\nlet b = 1;");
+        let b_line = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("b".into()))
+            .unwrap()
+            .line;
+        assert_eq!(b_line, 3);
+    }
+}

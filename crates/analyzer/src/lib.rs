@@ -1,0 +1,28 @@
+//! # neesgrid-analyzer — the workspace's own static-analysis gate
+//!
+//! Two tools the compiler and `cargo test` cannot replace, born from the
+//! paper's step-1493 failure (an unhandled network error under an
+//! untested interleaving) and PR 1's determinism-dependent checkpoint
+//! guarantee:
+//!
+//! * [`rules`] + [`lexer`] — an **invariant linter** over the workspace
+//!   source: no `unwrap()`/`expect()`/`panic!` in protocol-crate library
+//!   code, no wall-clock reads outside annotated real-time paths, no
+//!   `todo!`, documented public protocol APIs. Hand-rolled lexer, zero
+//!   external dependencies, same vendoring policy as `crates/shims`.
+//! * [`checker`] — an **exhaustive schedule checker** that drives the
+//!   NTCP propose/execute/cancel machine through every interleaving of
+//!   message duplication, reply loss, and snapshot/restore within a
+//!   bounded budget, proving at-most-once execution and dedup-cache
+//!   consistency across a checkpoint-restore boundary.
+//!
+//! Both run from one binary (`cargo run -p neesgrid-analyzer -- lint` /
+//! `-- check-ntcp`) and both gate `scripts/check.sh`.
+
+pub mod checker;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use checker::{check, CheckConfig, CheckReport, Mutation, Violation};
+pub use rules::{lint_source, lint_workspace, rules_for, Finding, LintSummary, RuleSet};

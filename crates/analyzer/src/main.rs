@@ -1,0 +1,156 @@
+//! CLI for the analyzer: `lint` and `check-ntcp` subcommands.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use neesgrid_analyzer::{check, report, rules, CheckConfig, Mutation};
+
+const USAGE: &str = "\
+neesgrid-analyzer — workspace invariant linter + NTCP schedule checker
+
+USAGE:
+    neesgrid-analyzer lint [--json] [--root <dir>]
+    neesgrid-analyzer check-ntcp [--json] [--dup-budget N] [--drop-budget N]
+                                 [--max-schedules N] [--mutate clear-dedup-on-restore]
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("check-ntcp") => run_check(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Locate the workspace root: walk up from `start` looking for a
+/// `Cargo.toml` that declares `[workspace]`.
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            other => return usage(&format!("unknown lint flag '{other}'")),
+        }
+    }
+    let root = match root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        find_root(cwd).or_else(|| {
+            // Fallback for `cargo run` from anywhere inside the target dir.
+            Some(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."))
+        })
+    }) {
+        Some(r) => r,
+        None => return usage("cannot locate workspace root; pass --root"),
+    };
+    match rules::lint_workspace(&root) {
+        Ok(summary) => {
+            // A gate that scanned nothing proves nothing — refuse to pass
+            // vacuously (wrong --root, renamed crates dir, …).
+            if summary.files_scanned == 0 {
+                eprintln!(
+                    "analyzer: no lintable files under {} — wrong workspace root?",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+            if json {
+                println!("{}", report::lint_json(&summary));
+            } else {
+                print!("{}", report::lint_text(&summary));
+            }
+            if summary.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("analyzer: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn next_num(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<u64, String> {
+    it.next()
+        .ok_or_else(|| format!("{name} needs a number"))?
+        .parse::<u64>()
+        .map_err(|e| format!("{name}: {e}"))
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut cfg = CheckConfig::default();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--dup-budget" => match next_num(&mut it, "--dup-budget") {
+                Ok(n) => cfg.dup_budget = n as u32,
+                Err(e) => return usage(&e),
+            },
+            "--drop-budget" => match next_num(&mut it, "--drop-budget") {
+                Ok(n) => cfg.drop_budget = n as u32,
+                Err(e) => return usage(&e),
+            },
+            "--max-schedules" => match next_num(&mut it, "--max-schedules") {
+                Ok(n) => cfg.max_schedules = n,
+                Err(e) => return usage(&e),
+            },
+            "--mutate" => match it.next().map(String::as_str) {
+                Some("clear-dedup-on-restore") => {
+                    cfg.mutation = Some(Mutation::ClearDedupOnRestore)
+                }
+                _ => return usage("--mutate takes 'clear-dedup-on-restore'"),
+            },
+            other => return usage(&format!("unknown check-ntcp flag '{other}'")),
+        }
+    }
+    // analyzer:allow(no-wall-clock, reason = "host-side progress timing for the report, not simulation state")
+    let started = std::time::Instant::now();
+    let report_data = check(&cfg);
+    let elapsed_ms = started.elapsed().as_millis();
+    if json {
+        println!("{}", report::check_json(&report_data, elapsed_ms));
+    } else {
+        print!("{}", report::check_text(&report_data, elapsed_ms));
+    }
+    if report_data.violation.is_none() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("neesgrid-analyzer: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,678 @@
+//! The invariant lint rules and the engine that applies them.
+//!
+//! Four rules, each guarding a property the rest of the workspace depends
+//! on but the compiler cannot check:
+//!
+//! | rule            | invariant                                              |
+//! |-----------------|--------------------------------------------------------|
+//! | `no-unwrap`     | protocol crates never `unwrap()`/`expect()`/`panic!` in non-test library code — the step-1493 failure class |
+//! | `no-wall-clock` | nothing outside annotated real-time paths reads the wall clock (`Instant::now`, `SystemTime::now`, `thread::sleep`) — checkpoint replay and fault-plan indexing assume determinism |
+//! | `no-todo`       | no `todo!`/`unimplemented!` ships                       |
+//! | `missing-docs`  | public items of protocol crates carry doc comments      |
+//!
+//! Code inside `#[cfg(test)]` / `#[test]` regions is exempt from every
+//! rule. A finding can be waived in place with
+//! `// analyzer:allow(<rule>, reason = "…")` on the offending line or the
+//! line above; a pragma without a real reason is itself a violation.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Delim, Pragma, TokKind, Token};
+
+/// The four enforceable rules, in reporting order.
+pub const RULE_NAMES: [&str; 4] = ["no-unwrap", "no-wall-clock", "no-todo", "missing-docs"];
+
+/// Rule id reported for malformed or reasonless suppression pragmas.
+pub const BAD_PRAGMA: &str = "bad-pragma";
+
+/// Which rules apply to one file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    /// `no-unwrap` applies.
+    pub unwrap: bool,
+    /// `no-wall-clock` applies.
+    pub wall_clock: bool,
+    /// `no-todo` applies.
+    pub todo: bool,
+    /// `missing-docs` applies.
+    pub docs: bool,
+}
+
+impl RuleSet {
+    /// Every rule on (used by tests).
+    pub fn all() -> Self {
+        RuleSet {
+            unwrap: true,
+            wall_clock: true,
+            todo: true,
+            docs: true,
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (one of [`RULE_NAMES`] or [`BAD_PRAGMA`]).
+    pub rule: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Violations found (bad pragmas included).
+    pub findings: Vec<Finding>,
+    /// Number of findings waived by valid pragmas.
+    pub suppressed: usize,
+}
+
+/// Result of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct LintSummary {
+    /// All violations, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Total findings waived by valid pragmas.
+    pub suppressed: usize,
+}
+
+impl LintSummary {
+    /// Count of findings per rule, for the trend summary line.
+    pub fn per_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for f in &self.findings {
+            *m.entry(f.rule).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// A validated suppression.
+struct Suppression {
+    line: u32,
+    rule: &'static str,
+}
+
+/// Parse pragmas into suppressions; malformed ones become findings.
+fn parse_pragmas(file: &str, pragmas: &[Pragma], findings: &mut Vec<Finding>) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for p in pragmas {
+        match parse_pragma_text(&p.text) {
+            Ok(rule) => out.push(Suppression { line: p.line, rule }),
+            Err(why) => findings.push(Finding {
+                file: file.to_string(),
+                line: p.line,
+                rule: BAD_PRAGMA,
+                message: why,
+            }),
+        }
+    }
+    out
+}
+
+/// Parse `(<rule>, reason = "…")`, returning the canonical rule name.
+fn parse_pragma_text(text: &str) -> Result<&'static str, String> {
+    let body = text
+        .strip_prefix('(')
+        .and_then(|t| t.rfind(')').map(|end| &t[..end]))
+        .ok_or_else(|| "pragma must be `analyzer:allow(<rule>, reason = \"…\")`".to_string())?;
+    let (rule_part, rest) = body
+        .split_once(',')
+        .ok_or_else(|| "pragma is missing the `reason = \"…\"` clause".to_string())?;
+    let rule_name = rule_part.trim();
+    let rule = RULE_NAMES
+        .iter()
+        .find(|r| **r == rule_name)
+        .copied()
+        .ok_or_else(|| format!("unknown rule '{rule_name}' in pragma"))?;
+    let rest = rest.trim();
+    let reason = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| "pragma is missing the `reason = \"…\"` clause".to_string())?;
+    let inner = reason
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| "pragma reason must be a quoted string".to_string())?;
+    if inner.trim().is_empty() {
+        return Err("pragma reason must not be empty".to_string());
+    }
+    Ok(rule)
+}
+
+/// Mark every token that sits inside `#[cfg(test)]` / `#[test]` code.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokKind::Pound
+            && matches!(
+                tokens.get(i + 1).map(|t| &t.kind),
+                Some(TokKind::Open(Delim::Bracket))
+            )
+        {
+            if let Some(close) = matching(tokens, i + 1, Delim::Bracket) {
+                if attr_is_test(&tokens[i + 2..close]) {
+                    mark_following_block(tokens, close + 1, &mut mask, i);
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Does an attribute body (`cfg(test)`, `test`, …) gate test-only code?
+/// `cfg` attributes count when they mention `test` without a `not`.
+fn attr_is_test(body: &[Token]) -> bool {
+    let idents: Vec<&str> = body
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    }
+}
+
+/// From `start` (just past a test attribute), skip further attributes and
+/// the item header, then mark the item's braced body — and the attribute
+/// span itself, from `attr_start` — as test code. An item ending in `;`
+/// has no body to mark.
+fn mark_following_block(tokens: &[Token], start: usize, mask: &mut [bool], attr_start: usize) {
+    let mut i = start;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokKind::Pound
+                if matches!(
+                    tokens.get(i + 1).map(|t| &t.kind),
+                    Some(TokKind::Open(Delim::Bracket))
+                ) =>
+            {
+                match matching(tokens, i + 1, Delim::Bracket) {
+                    Some(close) => i = close + 1,
+                    None => return,
+                }
+            }
+            TokKind::Semi => return,
+            TokKind::Open(Delim::Brace) => {
+                let end = matching(tokens, i, Delim::Brace).unwrap_or(tokens.len() - 1);
+                for m in mask.iter_mut().take(end + 1).skip(attr_start) {
+                    *m = true;
+                }
+                return;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Index of the delimiter closing the one opened at `open`.
+fn matching(tokens: &[Token], open: usize, delim: Delim) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokKind::Open(d) if *d == delim => depth += 1,
+            TokKind::Close(d) if *d == delim => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Lint a single source text under the given rule set.
+pub fn lint_source(file: &str, src: &str, rules: RuleSet) -> FileOutcome {
+    let lexed = lex(src);
+    let mut outcome = FileOutcome::default();
+    let suppressions = parse_pragmas(file, &lexed.pragmas, &mut outcome.findings);
+    let mask = test_mask(&lexed.tokens);
+    let tokens = &lexed.tokens;
+
+    let mut raw: Vec<Finding> = Vec::new();
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        let line = tokens[i].line;
+        let ident = match &tokens[i].kind {
+            TokKind::Ident(s) => s.as_str(),
+            _ => continue,
+        };
+        let next_bang = matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokKind::Bang));
+        let prev_dot = i > 0 && tokens[i - 1].kind == TokKind::Dot;
+        let call_after = matches!(
+            tokens.get(i + 1).map(|t| &t.kind),
+            Some(TokKind::Open(Delim::Paren))
+        );
+
+        if rules.unwrap {
+            if prev_dot && call_after && (ident == "unwrap" || ident == "expect") {
+                raw.push(finding(file, line, "no-unwrap", format!(".{ident}() in protocol library code — propagate a Result or add an allow pragma with the invariant")));
+            }
+            if ident == "panic" && next_bang {
+                raw.push(finding(
+                    file,
+                    line,
+                    "no-unwrap",
+                    "panic! in protocol library code — return an error instead".into(),
+                ));
+            }
+        }
+        if rules.todo && next_bang && (ident == "todo" || ident == "unimplemented") {
+            raw.push(finding(
+                file,
+                line,
+                "no-todo",
+                format!("{ident}! must not ship in library code"),
+            ));
+        }
+        if rules.wall_clock {
+            let path_next = |want: &str| {
+                matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokKind::PathSep))
+                    && matches!(tokens.get(i + 2).map(|t| &t.kind), Some(TokKind::Ident(s)) if s == want)
+            };
+            let hit = match ident {
+                "Instant" | "SystemTime" if path_next("now") => Some(format!("{ident}::now")),
+                "thread" if path_next("sleep") => Some("thread::sleep".into()),
+                _ => None,
+            };
+            if let Some(what) = hit {
+                raw.push(finding(file, line, "no-wall-clock", format!("{what} breaks determinism — use the virtual clock (SimClock/SimTime), or annotate a genuinely real-time path")));
+            }
+        }
+        if rules.docs && ident == "pub" {
+            if let Some(f) = check_missing_docs(file, tokens, i) {
+                raw.push(f);
+            }
+        }
+    }
+
+    for f in raw {
+        let waived = suppressions
+            .iter()
+            .any(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line));
+        if waived {
+            outcome.suppressed += 1;
+        } else {
+            outcome.findings.push(f);
+        }
+    }
+    outcome.findings.sort_by_key(|f| f.line);
+    outcome
+}
+
+fn finding(file: &str, line: u32, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule,
+        message,
+    }
+}
+
+/// Item keywords whose `pub` declarations require a doc comment.
+const ITEM_KEYWORDS: [&str; 8] = [
+    "fn", "struct", "enum", "trait", "mod", "const", "static", "type",
+];
+
+/// If `tokens[at]` (an `Ident("pub")`) introduces an undocumented public
+/// item, produce the finding.
+fn check_missing_docs(file: &str, tokens: &[Token], at: usize) -> Option<Finding> {
+    // Must be at item position: start of file/block, after an item end, or
+    // after an attribute or doc comment.
+    if at > 0
+        && !matches!(
+            tokens[at - 1].kind,
+            TokKind::Open(Delim::Brace)
+                | TokKind::Close(Delim::Brace)
+                | TokKind::Semi
+                | TokKind::Close(Delim::Bracket)
+                | TokKind::DocComment
+        )
+    {
+        return None;
+    }
+    // `pub(crate)`/`pub(super)` are not public API.
+    if matches!(
+        tokens.get(at + 1).map(|t| &t.kind),
+        Some(TokKind::Open(Delim::Paren))
+    ) {
+        return None;
+    }
+    // Find the item keyword, skipping modifiers (`const` doubles as both).
+    let mut k = at + 1;
+    let kw = loop {
+        match tokens.get(k).map(|t| &t.kind) {
+            Some(TokKind::Ident(s)) if s == "const" => {
+                if matches!(tokens.get(k + 1).map(|t| &t.kind), Some(TokKind::Ident(n)) if n == "fn")
+                {
+                    k += 1;
+                } else {
+                    break "const";
+                }
+            }
+            Some(TokKind::Ident(s)) if matches!(s.as_str(), "unsafe" | "async" | "extern") => {
+                k += 1;
+            }
+            Some(TokKind::Lit) => k += 1, // extern "C"
+            Some(TokKind::Ident(s)) if ITEM_KEYWORDS.contains(&s.as_str()) => break s.as_str(),
+            _ => return None, // `pub use` re-exports and anything else
+        }
+    };
+    let kw: String = kw.to_string();
+    let name = tokens[k + 1..]
+        .iter()
+        .find_map(|t| match &t.kind {
+            TokKind::Ident(s) => Some(s.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    // Walk back over attributes; a doc comment must sit above them.
+    let mut j = at;
+    loop {
+        if j == 0 {
+            break;
+        }
+        match tokens[j - 1].kind {
+            TokKind::DocComment => return None, // documented
+            TokKind::Close(Delim::Bracket) => {
+                // Skip back over `#[…]`.
+                let mut depth = 0usize;
+                let mut b = j - 1;
+                loop {
+                    match tokens[b].kind {
+                        TokKind::Close(Delim::Bracket) => depth += 1,
+                        TokKind::Open(Delim::Bracket) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if b == 0 {
+                        return None; // malformed; stay quiet
+                    }
+                    b -= 1;
+                }
+                if b > 0 && tokens[b - 1].kind == TokKind::Pound {
+                    j = b - 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    Some(finding(
+        file,
+        tokens[at].line,
+        "missing-docs",
+        format!("public {kw} `{name}` has no doc comment"),
+    ))
+}
+
+/// Decide which rules apply to a repo-relative path; `None` = not scanned.
+pub fn rules_for(rel: &str) -> Option<RuleSet> {
+    let rel = rel.replace('\\', "/");
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    if rel.starts_with("crates/shims/") {
+        return None; // vendored API shims, not ours to lint
+    }
+    let in_crate_src = rel.starts_with("crates/") && rel.contains("/src/");
+    let in_root_src = rel.starts_with("src/");
+    if !in_crate_src && !in_root_src {
+        return None; // tests/, benches/, examples/ are exercise code
+    }
+    let protocol = ["ntcp", "gridsim", "coordinator", "checkpoint"]
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    Some(RuleSet {
+        unwrap: protocol,
+        docs: protocol,
+        wall_clock: !rel.starts_with("crates/bench/"),
+        todo: true,
+    })
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every in-scope file under the workspace `root`.
+pub fn lint_workspace(root: &Path) -> Result<LintSummary, String> {
+    let mut files = Vec::new();
+    for base in ["crates", "src"] {
+        let dir = root.join(base);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut summary = LintSummary::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(rules) = rules_for(&rel) else {
+            continue;
+        };
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let outcome = lint_source(&rel, &src, rules);
+        summary.files_scanned += 1;
+        summary.suppressed += outcome.suppressed;
+        summary.findings.extend(outcome.findings);
+    }
+    summary
+        .findings
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> FileOutcome {
+        lint_source("test.rs", src, RuleSet::all())
+    }
+
+    fn rules_of(out: &FileOutcome) -> Vec<&'static str> {
+        out.findings.iter().map(|f| f.rule).collect()
+    }
+
+    // ---- no-unwrap ----
+
+    #[test]
+    fn unwrap_expect_panic_flagged() {
+        let out = lint(
+            "/// d\npub fn f(x: Option<u8>) -> u8 {\n    let a = x.unwrap();\n    let b = x.expect(\"b\");\n    panic!(\"boom\");\n}\n",
+        );
+        assert_eq!(rules_of(&out), vec!["no-unwrap", "no-unwrap", "no-unwrap"]);
+        assert_eq!(out.findings[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let out = lint(
+            "/// d\npub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn unwrap_in_test_module_exempt() {
+        let out = lint(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); panic!(); }\n}\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn test_fn_outside_mod_exempt() {
+        let out = lint("#[test]\nfn t() { None::<u8>.unwrap(); }\n");
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn pragma_suppresses_on_same_or_next_line() {
+        let out = lint(
+            "/// d\npub fn f(x: Option<u8>) -> u8 {\n    // analyzer:allow(no-unwrap, reason = \"checked two lines up\")\n    x.unwrap()\n}\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn pragma_for_wrong_rule_does_not_suppress() {
+        let out = lint(
+            "/// d\npub fn f(x: Option<u8>) -> u8 {\n    // analyzer:allow(no-todo, reason = \"mismatched\")\n    x.unwrap()\n}\n",
+        );
+        assert_eq!(rules_of(&out), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn reasonless_or_unknown_pragma_is_a_violation() {
+        let out = lint("// analyzer:allow(no-unwrap)\n// analyzer:allow(no-unwrap, reason = \"\")\n// analyzer:allow(nonsense, reason = \"x\")\n");
+        assert_eq!(rules_of(&out), vec![BAD_PRAGMA, BAD_PRAGMA, BAD_PRAGMA]);
+    }
+
+    // ---- no-wall-clock ----
+
+    #[test]
+    fn wall_clock_patterns_flagged() {
+        let out = lint(
+            "fn f() {\n    let t = std::time::Instant::now();\n    let s = SystemTime::now();\n    std::thread::sleep(d);\n}\n",
+        );
+        assert_eq!(
+            rules_of(&out),
+            vec!["no-wall-clock", "no-wall-clock", "no-wall-clock"]
+        );
+        assert!(out.findings[0].message.contains("Instant::now"));
+    }
+
+    #[test]
+    fn wall_clock_in_tests_exempt() {
+        let out = lint("#[cfg(test)]\nmod tests {\n    fn f() { let t = Instant::now(); }\n}\n");
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn virtual_clock_identifiers_unflagged() {
+        let out = lint("fn f(c: &SimClock) -> SimTime { c.now() }\n");
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    // ---- no-todo ----
+
+    #[test]
+    fn todo_and_unimplemented_flagged() {
+        let out = lint("fn f() { todo!() }\nfn g() { unimplemented!(\"later\") }\n");
+        assert_eq!(rules_of(&out), vec!["no-todo", "no-todo"]);
+    }
+
+    #[test]
+    fn todo_ident_without_bang_unflagged() {
+        let out = lint("fn f(todo: u8) -> u8 { todo }\n");
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    // ---- missing-docs ----
+
+    #[test]
+    fn undocumented_pub_items_flagged() {
+        let out = lint("pub fn f() {}\npub struct S;\npub enum E { A }\n");
+        assert_eq!(
+            rules_of(&out),
+            vec!["missing-docs", "missing-docs", "missing-docs"]
+        );
+        assert!(out.findings[0].message.contains("`f`"));
+    }
+
+    #[test]
+    fn documented_and_attributed_items_pass() {
+        let out = lint(
+            "/// Docs.\npub fn f() {}\n/// Docs.\n#[derive(Debug)]\npub struct S;\n/** block */\npub const X: u8 = 0;\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn pub_crate_and_pub_use_exempt() {
+        let out = lint("pub(crate) fn f() {}\npub use other::Thing;\n");
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn pub_const_fn_reports_fn() {
+        let out = lint("pub const fn f() {}\n");
+        assert_eq!(rules_of(&out), vec!["missing-docs"]);
+        assert!(out.findings[0].message.contains("public fn"));
+    }
+
+    #[test]
+    fn attribute_between_doc_and_item_still_documented() {
+        let out = lint("/// Docs.\n#[derive(Debug, Clone)]\n#[repr(C)]\npub struct S;\n");
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    // ---- scoping ----
+
+    #[test]
+    fn rule_scope_by_path() {
+        let p = rules_for("crates/ntcp/src/server.rs").unwrap();
+        assert!(p.unwrap && p.docs && p.wall_clock && p.todo);
+        let o = rules_for("crates/ogsi/src/rpc.rs").unwrap();
+        assert!(!o.unwrap && !o.docs && o.wall_clock && o.todo);
+        let b = rules_for("crates/bench/src/lib.rs").unwrap();
+        assert!(!b.wall_clock && b.todo);
+        assert_eq!(rules_for("crates/shims/rand/src/lib.rs"), None);
+        assert_eq!(rules_for("crates/ntcp/tests/integration.rs"), None);
+        assert_eq!(rules_for("tests/most.rs"), None);
+        assert!(rules_for("src/lib.rs").is_some());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let out = lint("#[cfg(not(test))]\nfn f() { x.unwrap(); }\n");
+        assert_eq!(rules_of(&out), vec!["no-unwrap"]);
+    }
+}

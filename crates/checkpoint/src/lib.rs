@@ -34,9 +34,13 @@
 //! `tests/checkpoint_resume.rs` proves it on the full 1,500-step MOST
 //! public run.
 
+/// The checkpoint hook driving snapshot capture during a run.
 pub mod checkpointer;
+/// When to checkpoint: every-N, on-transient-fault, ring retention.
 pub mod policy;
+/// Versioned, CRC-checked snapshot encoding.
 pub mod snapshot;
+/// Where snapshots live: in-memory and repository-directory stores.
 pub mod store;
 
 pub use checkpointer::{Checkpointable, Checkpointer};

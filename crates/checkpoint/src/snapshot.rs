@@ -118,6 +118,7 @@ impl std::error::Error for CheckpointError {}
 
 /// Encode a snapshot: header line + JSON payload.
 pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
+    // analyzer:allow(no-unwrap, reason = "Snapshot is a plain derive(Serialize) tree of JSON-safe types; self-serialization is infallible")
     let payload = serde_json::to_string(snapshot).expect("serialize snapshot");
     let crc = crc32(payload.as_bytes());
     let mut out = format!("{HEADER_PREFIX}{} crc32={crc:08x}\n", snapshot.version).into_bytes();

@@ -245,7 +245,17 @@ impl SimulationCoordinator {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("propose thread"))
+                .map(|h| {
+                    // A panicked site worker must not take the whole
+                    // coordinator down mid-experiment (the paper's MOST run
+                    // died exactly that way); surface it as a step error
+                    // and let the retry/checkpoint policy decide.
+                    h.join().unwrap_or_else(|_| {
+                        Err(NtcpError::BadResponse(
+                            "propose worker thread panicked".into(),
+                        ))
+                    })
+                })
                 .collect()
         });
         if let Some((idx, err)) = proposals
@@ -273,7 +283,13 @@ impl SimulationCoordinator {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("execute thread"))
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(NtcpError::BadResponse(
+                                "execute worker thread panicked".into(),
+                            ))
+                        })
+                    })
                     .collect()
             });
         let mut restoring = vec![0.0; self.masses.len()];

@@ -25,10 +25,15 @@
 //! * [`builder`] — a construction facade with the ergonomics of the MATLAB
 //!   toolbox the experiment's earthquake engineer actually used (§3.1).
 
+/// MATLAB-toolbox-style construction facade for hybrid experiments.
 pub mod builder;
+/// The multi-site simulation coordinator (the MOST NTCP client).
 pub mod coordinator;
+/// The per-step experiment log and its JSONL archival form.
 pub mod log;
+/// Retry/abort policy for transient site and network faults.
 pub mod policy;
+/// Remote-site handles: endpoints, credentials, substructure bindings.
 pub mod remote;
 
 pub use builder::SimCoordBuilder;

@@ -117,6 +117,7 @@ impl ExperimentLog {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for event in &self.events {
+            // analyzer:allow(no-unwrap, reason = "LogEvent is a plain derive(Serialize) tree of JSON-safe types; self-serialization is infallible")
             out.push_str(&serde_json::to_string(event).expect("serialize log event"));
             out.push('\n');
         }

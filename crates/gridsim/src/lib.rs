@@ -20,12 +20,19 @@
 //! *interleaving* across threads may vary, but the NEESgrid coordinator
 //! lock-steps each experiment time-step, so results are interleaving-free.
 
+/// Scripted per-link fault plans (drop, duplicate, delay, partition).
 pub mod fault;
+/// Deterministic per-link latency models.
 pub mod latency;
+/// Envelopes and control notices carried by the virtual network.
 pub mod message;
+/// The virtual network router and its endpoints.
 pub mod network;
+/// Node identifiers.
 pub mod node;
+/// Per-link and network-wide delivery statistics.
 pub mod stats;
+/// Virtual time: [`time::SimTime`], [`time::SimClock`], [`time::Pacer`].
 pub mod time;
 
 pub use fault::{FaultAction, FaultPlan, LinkKey};

@@ -85,6 +85,7 @@ pub enum ControlNotice {
 impl ControlNotice {
     /// Serialize for transport in a control envelope payload.
     pub fn to_bytes(&self) -> Bytes {
+        // analyzer:allow(no-unwrap, reason = "ControlNotice is a plain derive(Serialize) enum of JSON-safe types; self-serialization is infallible")
         Bytes::from(serde_json::to_vec(self).expect("control notice serializes"))
     }
 

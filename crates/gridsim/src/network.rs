@@ -206,6 +206,7 @@ impl VirtualNetwork {
                     }
                 }
             })
+            // analyzer:allow(no-unwrap, reason = "thread::Builder::spawn fails only on OS resource exhaustion at construction time; no experiment is in flight yet and there is nothing to unwind")
             .expect("spawn router thread");
         VirtualNetwork {
             to_router: tx,

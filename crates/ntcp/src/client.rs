@@ -121,6 +121,7 @@ impl NtcpClient {
             actions,
             timeout,
         })
+        // analyzer:allow(no-unwrap, reason = "ProposeBody is a plain derive(Serialize) tree of JSON-safe types; self-serialization is infallible")
         .expect("serialize propose");
         let reply = self.rpc.call("propose", body)?;
         self.note_attempts(reply.attempts);

@@ -34,10 +34,15 @@
 //! used at NCSA and CU; the Shore-Western and LabVIEW hardware bridges live
 //! in `neesgrid-apparatus` next to the rigs they drive.
 
+/// Coordinator-side NTCP client: retried RPC calls with stable request ids.
 pub mod client;
+/// Wire types: control points, results, proposal decisions.
 pub mod msg;
+/// The [`plugin::ControlPlugin`] site abstraction and its implementations.
 pub mod plugin;
+/// The transaction server: policy checks, dedup, snapshot/restore.
 pub mod server;
+/// The Figure 1 transaction state machine.
 pub mod transaction;
 
 pub use client::{NtcpClient, NtcpError};

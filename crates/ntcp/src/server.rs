@@ -116,14 +116,16 @@ impl NtcpServer {
         }
         let decision = match rejection {
             None => {
-                tx.transition(TxState::Accepted, ctx.now)
-                    .expect("proposed→accepted");
+                tx.transition(TxState::Accepted, ctx.now).map_err(|e| {
+                    ServiceFault::permanent("Internal", format!("{}: {e}", req.transaction))
+                })?;
                 ProposalDecision::Accepted
             }
             Some(reason) => {
                 tx.reason = Some(reason.clone());
-                tx.transition(TxState::Rejected, ctx.now)
-                    .expect("proposed→rejected");
+                tx.transition(TxState::Rejected, ctx.now).map_err(|e| {
+                    ServiceFault::permanent("Internal", format!("{}: {e}", req.transaction))
+                })?;
                 ProposalDecision::Rejected { reason }
             }
         };
@@ -162,13 +164,16 @@ impl NtcpServer {
                 // (a server that has been idle has an older local clock).
                 self.clock.advance_to(ctx.now);
                 let done_at = self.clock.advance(out.duration);
-                let tx = self
-                    .transactions
-                    .get_mut(&req.transaction)
-                    .expect("present");
+                let tx = self.transactions.get_mut(&req.transaction).ok_or_else(|| {
+                    ServiceFault::permanent(
+                        "Internal",
+                        format!("transaction '{}' vanished mid-execute", req.transaction),
+                    )
+                })?;
                 tx.results = Some(out.results.clone());
-                tx.transition(TxState::Completed, done_at)
-                    .expect("executing→completed");
+                tx.transition(TxState::Completed, done_at).map_err(|e| {
+                    ServiceFault::permanent("Internal", format!("{}: {e}", req.transaction))
+                })?;
                 self.publish(&req.transaction, done_at);
                 Ok(json!(ExecuteResponse {
                     results: out.results,
@@ -176,13 +181,16 @@ impl NtcpServer {
                 }))
             }
             Err(e) => {
-                let tx = self
-                    .transactions
-                    .get_mut(&req.transaction)
-                    .expect("present");
+                let tx = self.transactions.get_mut(&req.transaction).ok_or_else(|| {
+                    ServiceFault::permanent(
+                        "Internal",
+                        format!("transaction '{}' vanished mid-execute", req.transaction),
+                    )
+                })?;
                 tx.reason = Some(e.message.clone());
-                tx.transition(TxState::Failed, ctx.now)
-                    .expect("executing→failed");
+                tx.transition(TxState::Failed, ctx.now).map_err(|e| {
+                    ServiceFault::permanent("Internal", format!("{}: {e}", req.transaction))
+                })?;
                 self.publish(&req.transaction, ctx.now);
                 Err(if e.retryable {
                     ServiceFault::transient("ExecutionFailed", e.message)
@@ -448,10 +456,11 @@ mod tests {
         let out = s
             .handle(&ctx(1), "propose", &propose_body("t1", 0.2, 1000.0))
             .unwrap();
-        match serde_json::from_value::<ProposalDecision>(out["decision"].clone()).unwrap() {
-            ProposalDecision::Rejected { reason } => assert!(reason.contains("displacement")),
-            other => panic!("expected rejection, got {other:?}"),
-        }
+        let decision = serde_json::from_value::<ProposalDecision>(out["decision"].clone()).unwrap();
+        assert!(
+            matches!(&decision, ProposalDecision::Rejected { reason } if reason.contains("displacement")),
+            "over-limit displacement should be rejected by site policy, got {decision:?}"
+        );
         // The rejected transaction cannot be executed.
         let err = s
             .handle(&ctx(2), "execute", &json!({"transaction": "t1"}))
@@ -557,10 +566,11 @@ mod tests {
         let out = s
             .handle(&ctx(1), "propose", &propose_body("t1", 0.001, 10.0))
             .unwrap();
-        match serde_json::from_value::<ProposalDecision>(out["decision"].clone()).unwrap() {
-            ProposalDecision::Rejected { reason } => assert!(reason.contains("emergency")),
-            other => panic!("expected rejection, got {other:?}"),
-        }
+        let decision = serde_json::from_value::<ProposalDecision>(out["decision"].clone()).unwrap();
+        assert!(
+            matches!(&decision, ProposalDecision::Rejected { reason } if reason.contains("emergency")),
+            "an engaged emergency stop should reject every proposal, got {decision:?}"
+        );
     }
 
     #[test]

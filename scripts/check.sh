@@ -19,9 +19,19 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> analyzer lint (workspace invariants)"
+# Prints the violation-count summary line used for trend tracking.
+cargo run -q -p neesgrid-analyzer -- lint
+
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo build --release (tier-1)"
     cargo build --release
+
+    echo "==> analyzer check-ntcp (exhaustive schedule checker)"
+    cargo run -q --release -p neesgrid-analyzer -- check-ntcp
+else
+    echo "==> analyzer check-ntcp (reduced budgets for --quick)"
+    cargo run -q -p neesgrid-analyzer -- check-ntcp --dup-budget 1 --drop-budget 1
 fi
 
 echo "==> cargo test -q (tier-1)"

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neesgrid_analyzer-14feadba5f32bf47.d: crates/analyzer/src/main.rs
+
+/root/repo/target/debug/deps/neesgrid_analyzer-14feadba5f32bf47: crates/analyzer/src/main.rs
+
+crates/analyzer/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyzer

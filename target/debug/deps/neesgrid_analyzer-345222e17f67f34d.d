@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neesgrid_analyzer-345222e17f67f34d.d: crates/analyzer/src/main.rs
+
+/root/repo/target/debug/deps/neesgrid_analyzer-345222e17f67f34d: crates/analyzer/src/main.rs
+
+crates/analyzer/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyzer

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neesgrid_analyzer-767af44fd96525c6.d: crates/analyzer/src/lib.rs crates/analyzer/src/checker.rs crates/analyzer/src/lexer.rs crates/analyzer/src/report.rs crates/analyzer/src/rules.rs
+
+/root/repo/target/debug/deps/neesgrid_analyzer-767af44fd96525c6: crates/analyzer/src/lib.rs crates/analyzer/src/checker.rs crates/analyzer/src/lexer.rs crates/analyzer/src/report.rs crates/analyzer/src/rules.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/checker.rs:
+crates/analyzer/src/lexer.rs:
+crates/analyzer/src/report.rs:
+crates/analyzer/src/rules.rs:

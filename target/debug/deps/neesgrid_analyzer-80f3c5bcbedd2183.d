@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neesgrid_analyzer-80f3c5bcbedd2183.d: crates/analyzer/src/lib.rs crates/analyzer/src/checker.rs crates/analyzer/src/lexer.rs crates/analyzer/src/report.rs crates/analyzer/src/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_analyzer-80f3c5bcbedd2183.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/checker.rs crates/analyzer/src/lexer.rs crates/analyzer/src/report.rs crates/analyzer/src/rules.rs Cargo.toml
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/checker.rs:
+crates/analyzer/src/lexer.rs:
+crates/analyzer/src/report.rs:
+crates/analyzer/src/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

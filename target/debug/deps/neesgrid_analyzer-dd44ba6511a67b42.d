@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neesgrid_analyzer-dd44ba6511a67b42.d: crates/analyzer/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneesgrid_analyzer-dd44ba6511a67b42.rmeta: crates/analyzer/src/main.rs Cargo.toml
+
+crates/analyzer/src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyzer
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/neesgrid_analyzer-e3587bde76d8dfd6.d: crates/analyzer/src/lib.rs crates/analyzer/src/checker.rs crates/analyzer/src/lexer.rs crates/analyzer/src/report.rs crates/analyzer/src/rules.rs
+
+/root/repo/target/debug/deps/libneesgrid_analyzer-e3587bde76d8dfd6.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/checker.rs crates/analyzer/src/lexer.rs crates/analyzer/src/report.rs crates/analyzer/src/rules.rs
+
+/root/repo/target/debug/deps/libneesgrid_analyzer-e3587bde76d8dfd6.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/checker.rs crates/analyzer/src/lexer.rs crates/analyzer/src/report.rs crates/analyzer/src/rules.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/checker.rs:
+crates/analyzer/src/lexer.rs:
+crates/analyzer/src/report.rs:
+crates/analyzer/src/rules.rs:

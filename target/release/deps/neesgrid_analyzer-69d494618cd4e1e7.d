@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/neesgrid_analyzer-69d494618cd4e1e7.d: crates/analyzer/src/lib.rs crates/analyzer/src/checker.rs crates/analyzer/src/lexer.rs crates/analyzer/src/report.rs crates/analyzer/src/rules.rs
+
+/root/repo/target/release/deps/libneesgrid_analyzer-69d494618cd4e1e7.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/checker.rs crates/analyzer/src/lexer.rs crates/analyzer/src/report.rs crates/analyzer/src/rules.rs
+
+/root/repo/target/release/deps/libneesgrid_analyzer-69d494618cd4e1e7.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/checker.rs crates/analyzer/src/lexer.rs crates/analyzer/src/report.rs crates/analyzer/src/rules.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/checker.rs:
+crates/analyzer/src/lexer.rs:
+crates/analyzer/src/report.rs:
+crates/analyzer/src/rules.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neesgrid_analyzer-ae35d591b763778a.d: crates/analyzer/src/main.rs
+
+/root/repo/target/release/deps/neesgrid_analyzer-ae35d591b763778a: crates/analyzer/src/main.rs
+
+crates/analyzer/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyzer
