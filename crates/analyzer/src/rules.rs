@@ -6,7 +6,7 @@
 //! | rule            | invariant                                              |
 //! |-----------------|--------------------------------------------------------|
 //! | `no-unwrap`     | protocol crates never `unwrap()`/`expect()`/`panic!` in non-test library code — the step-1493 failure class |
-//! | `no-wall-clock` | nothing outside annotated real-time paths reads the wall clock (`Instant::now`, `SystemTime::now`, `thread::sleep`) — checkpoint replay and fault-plan indexing assume determinism |
+//! | `no-wall-clock` | nothing outside annotated real-time paths reads the wall clock (`Instant::now`, `SystemTime::now`, `thread::sleep`) — checkpoint replay and fault-plan indexing assume determinism. In protocol and `ogsi` library code the rule also flags the blocking-wait patterns `recv_timeout(…)` and `Duration::from_secs(…)`: with the event engine owning time, a hard-coded real-seconds wait is almost always a bug |
 //! | `no-todo`       | no `todo!`/`unimplemented!` ships                       |
 //! | `missing-docs`  | public items of protocol crates carry doc comments      |
 //!
@@ -33,6 +33,9 @@ pub struct RuleSet {
     pub unwrap: bool,
     /// `no-wall-clock` applies.
     pub wall_clock: bool,
+    /// The stricter `no-wall-clock` extension for event-engine code:
+    /// `recv_timeout` and `Duration::from_secs` are also flagged.
+    pub blocking: bool,
     /// `no-todo` applies.
     pub todo: bool,
     /// `missing-docs` applies.
@@ -45,6 +48,7 @@ impl RuleSet {
         RuleSet {
             unwrap: true,
             wall_clock: true,
+            blocking: true,
             todo: true,
             docs: true,
         }
@@ -300,6 +304,14 @@ pub fn lint_source(file: &str, src: &str, rules: RuleSet) -> FileOutcome {
             if let Some(what) = hit {
                 raw.push(finding(file, line, "no-wall-clock", format!("{what} breaks determinism — use the virtual clock (SimClock/SimTime), or annotate a genuinely real-time path")));
             }
+            if rules.blocking {
+                if prev_dot && call_after && ident == "recv_timeout" {
+                    raw.push(finding(file, line, "no-wall-clock", ".recv_timeout() blocks a real thread on a real duration — schedule a virtual timer on the event engine, or annotate a live-thread escape hatch".into()));
+                }
+                if ident == "Duration" && path_next("from_secs") {
+                    raw.push(finding(file, line, "no-wall-clock", "Duration::from_secs in event-engine code is a hard-coded real-time wait — derive waits from virtual time, or annotate why this path is genuinely real-time".into()));
+                }
+            }
         }
         if rules.docs && ident == "pub" {
             if let Some(f) = check_missing_docs(file, tokens, i) {
@@ -454,6 +466,9 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         unwrap: protocol,
         docs: protocol,
         wall_clock: !rel.starts_with("crates/bench/"),
+        // The event engine owns time in the protocol crates and the ogsi
+        // RPC/hosting layer; a blocking real-time wait there defeats it.
+        blocking: protocol || rel.starts_with("crates/ogsi/src/"),
         todo: true,
     })
 }
@@ -601,6 +616,41 @@ mod tests {
         assert!(out.findings.is_empty(), "{:?}", out.findings);
     }
 
+    #[test]
+    fn blocking_wait_patterns_flagged() {
+        let out = lint(
+            "fn f(rx: &Receiver<u8>) {\n    let _ = rx.recv_timeout(d);\n    let d = Duration::from_secs(5);\n}\n",
+        );
+        assert_eq!(rules_of(&out), vec!["no-wall-clock", "no-wall-clock"]);
+        assert!(out.findings[0].message.contains("recv_timeout"));
+        assert!(out.findings[1].message.contains("from_secs"));
+    }
+
+    #[test]
+    fn virtual_time_and_subsecond_durations_unflagged() {
+        // SimTime::from_secs is virtual time; from_secs_f64 and from_millis
+        // are distinct identifiers; a bare `recv` doesn't block on a
+        // duration.
+        let out = lint(
+            "fn f(rx: &Receiver<u8>) -> SimTime {\n    let _ = rx.recv();\n    let _ = Duration::from_secs_f64(0.5);\n    let _ = Duration::from_millis(5);\n    SimTime::from_secs(60)\n}\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn blocking_waits_unflagged_without_blocking_rule() {
+        let rules = RuleSet {
+            blocking: false,
+            ..RuleSet::all()
+        };
+        let out = lint_source(
+            "test.rs",
+            "fn f(rx: &Receiver<u8>) { let _ = rx.recv_timeout(Duration::from_secs(5)); }\n",
+            rules,
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
     // ---- no-todo ----
 
     #[test]
@@ -659,11 +709,13 @@ mod tests {
     #[test]
     fn rule_scope_by_path() {
         let p = rules_for("crates/ntcp/src/server.rs").unwrap();
-        assert!(p.unwrap && p.docs && p.wall_clock && p.todo);
+        assert!(p.unwrap && p.docs && p.wall_clock && p.blocking && p.todo);
         let o = rules_for("crates/ogsi/src/rpc.rs").unwrap();
-        assert!(!o.unwrap && !o.docs && o.wall_clock && o.todo);
+        assert!(!o.unwrap && !o.docs && o.wall_clock && o.blocking && o.todo);
+        let m = rules_for("crates/most/src/runner.rs").unwrap();
+        assert!(m.wall_clock && !m.blocking);
         let b = rules_for("crates/bench/src/lib.rs").unwrap();
-        assert!(!b.wall_clock && b.todo);
+        assert!(!b.wall_clock && !b.blocking && b.todo);
         assert_eq!(rules_for("crates/shims/rand/src/lib.rs"), None);
         assert_eq!(rules_for("crates/ntcp/tests/integration.rs"), None);
         assert_eq!(rules_for("tests/most.rs"), None);

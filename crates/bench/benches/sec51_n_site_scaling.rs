@@ -1,0 +1,62 @@
+//! §5.1 — scaling the two-phase step discipline beyond three sites.
+//!
+//! The paper asks how far the MOST architecture generalizes; the event
+//! engine makes the question cheap to answer. This harness runs the
+//! N-site experiment at N = 3, 8, 16, 64 (100 steps each, fully virtual,
+//! single-threaded), reports steps/second, double-runs the largest
+//! configuration to prove bit-identical determinism, and writes
+//! `BENCH_scaling.json` at the repo root.
+
+use std::time::Instant;
+
+use neesgrid_coordinator::Termination;
+use neesgrid_most::n_site;
+
+const STEPS: usize = 100;
+const SEED: u64 = 2004;
+
+fn main() {
+    let mut rows = Vec::new();
+    for n in [3usize, 8, 16, 64] {
+        let started = Instant::now();
+        let outcome = n_site(n, SEED).run(STEPS);
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(outcome.termination, Termination::Completed),
+            "N={n} run did not complete"
+        );
+        assert_eq!(outcome.steps_completed(), STEPS);
+        let steps_per_sec = STEPS as f64 / elapsed.as_secs_f64();
+        eprintln!(
+            "sec51/n_site: N={n:>2}  {STEPS} steps in {:>8.2?}  ({steps_per_sec:>9.1} steps/s)",
+            elapsed
+        );
+        rows.push(serde_json::json!({
+            "sites": n,
+            "steps": STEPS,
+            "wall_clock_ms": elapsed.as_secs_f64() * 1e3,
+            "steps_per_sec": steps_per_sec,
+        }));
+    }
+
+    // Determinism at the largest configuration: the full observable record
+    // of two same-seed runs must match bit for bit.
+    let a = n_site(64, SEED).run(STEPS);
+    let b = n_site(64, SEED).run(STEPS);
+    let deterministic = a.log.events == b.log.events
+        && a.history.displacement == b.history.displacement
+        && a.history.restoring == b.history.restoring;
+    assert!(deterministic, "64-site runs with the same seed diverged");
+    eprintln!("sec51/n_site: 64-site double-run bit-identical: {deterministic}");
+
+    let doc = serde_json::json!({
+        "bench": "sec51_n_site_scaling",
+        "seed": SEED,
+        "rows": rows,
+        "deterministic_at_64_sites": deterministic,
+    });
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+    std::fs::write(out, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write BENCH_scaling.json");
+    eprintln!("sec51/n_site: wrote {out}");
+}

@@ -25,11 +25,14 @@ pub fn single_site(
         plugin,
         net.clock(),
     );
-    let _handle = ServiceContainer::new(net.endpoint(name))
+    let _handle = ServiceContainer::new(net.endpoint(name).expect("endpoint name is unique"))
         .with_service("ntcp", Box::new(server))
         .permissive()
         .run();
-    let mux = RpcMux::new(net.endpoint(format!("bench-client-{name}")));
+    let mux = RpcMux::new(
+        net.endpoint(format!("bench-client-{name}"))
+            .expect("endpoint name is unique"),
+    );
     NtcpClient::new(
         RpcClient::new(
             Arc::clone(&mux),

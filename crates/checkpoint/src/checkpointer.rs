@@ -195,7 +195,7 @@ mod tests {
             policy,
             store,
             Vec::new(),
-            RpcMux::new(net.endpoint("coordinator")),
+            RpcMux::new(net.endpoint("coordinator").unwrap()),
             net.clock(),
         )
     }
@@ -219,7 +219,7 @@ mod tests {
     fn capture_carries_watermark_and_clock() {
         let store = Arc::new(MemoryCheckpointStore::new());
         let net = VirtualNetwork::new(NetworkConfig::default());
-        let mux = RpcMux::new(net.endpoint("coordinator"));
+        let mux = RpcMux::new(net.endpoint("coordinator").unwrap());
         mux.advance_correlation_to(42);
         net.clock()
             .advance_to(neesgrid_gridsim::SimTime::from_secs(9));

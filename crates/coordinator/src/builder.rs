@@ -120,11 +120,11 @@ mod tests {
             )),
             net.clock(),
         );
-        let _h = ServiceContainer::new(net.endpoint("uiuc"))
+        let _h = ServiceContainer::new(net.endpoint("uiuc").unwrap())
             .with_service("ntcp", Box::new(server))
             .permissive()
             .run();
-        let mux = RpcMux::new(net.endpoint("coordinator"));
+        let mux = RpcMux::new(net.endpoint("coordinator").unwrap());
         let client = NtcpClient::new(RpcClient::new(
             mux,
             NodeId::new("uiuc"),

@@ -230,70 +230,38 @@ impl SimulationCoordinator {
         target: &Vector,
     ) -> Result<Vector, (String, NtcpError)> {
         let tx_name = format!("step-{step:06}-a{attempt}");
-        // Phase 1: propose everywhere, in parallel.
-        let proposals: Vec<Result<(), NtcpError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .sites
-                .iter()
-                .zip(clients)
-                .map(|(site, client)| {
-                    let actions = self.actions_for(site, target);
-                    let tx = tx_name.clone();
-                    let timeout = self.transaction_timeout;
-                    scope.spawn(move || client.propose(&tx, actions, timeout))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    // A panicked site worker must not take the whole
-                    // coordinator down mid-experiment (the paper's MOST run
-                    // died exactly that way); surface it as a step error
-                    // and let the retry/checkpoint policy decide.
-                    h.join().unwrap_or_else(|_| {
-                        Err(NtcpError::BadResponse(
-                            "propose worker thread panicked".into(),
-                        ))
-                    })
-                })
-                .collect()
-        });
+        // Phase 1: propose everywhere. All proposals go on the wire before
+        // any reply is awaited; one event-engine pump resolves the batch on
+        // this thread — no worker threads, no join, nothing to panic.
+        let proposals: Vec<Result<(), NtcpError>> =
+            NtcpClient::propose_all(self.sites.iter().zip(clients).map(|(site, client)| {
+                (
+                    client,
+                    tx_name.as_str(),
+                    self.actions_for(site, target),
+                    self.transaction_timeout,
+                )
+            }));
         if let Some((idx, err)) = proposals
             .iter()
             .enumerate()
             .find_map(|(i, r)| r.as_ref().err().map(|e| (i, e.clone())))
         {
             // Withdraw whatever was accepted: nothing may move this step.
-            for (i, r) in proposals.iter().enumerate() {
-                if r.is_ok() {
-                    let _ = clients[i].cancel(&tx_name);
-                }
-            }
+            let _ = NtcpClient::cancel_all(
+                proposals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.is_ok())
+                    .map(|(i, _)| (&clients[i], tx_name.as_str())),
+            );
             return Err((self.sites[idx].name.clone(), err));
         }
-        // Phase 2: execute everywhere, in parallel.
+        // Phase 2: execute everywhere, same single-threaded multiplexed wait.
         let executions: Vec<Result<Vec<neesgrid_ntcp::ControlPointResult>, NtcpError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = clients
-                    .iter()
-                    .map(|client| {
-                        let tx = tx_name.clone();
-                        scope.spawn(move || client.execute(&tx))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join().unwrap_or_else(|_| {
-                            Err(NtcpError::BadResponse(
-                                "execute worker thread panicked".into(),
-                            ))
-                        })
-                    })
-                    .collect()
-            });
+            NtcpClient::execute_all(clients.iter().map(|client| (client, tx_name.as_str())));
         let mut restoring = vec![0.0; self.masses.len()];
-        for ((site, result), _client) in self.sites.iter().zip(executions).zip(clients) {
+        for (site, result) in self.sites.iter().zip(executions) {
             match result {
                 Ok(results) => {
                     let forces: Vec<f64> = results.iter().map(|r| r.force_n).collect();
@@ -549,7 +517,7 @@ mod tests {
 
     fn start_sites(net: &VirtualNetwork) -> Vec<SiteHandle> {
         let caller = DistinguishedName::nees_user("NCSA", "Coordinator");
-        let mux = RpcMux::new(net.endpoint("coordinator"));
+        let mux = RpcMux::new(net.endpoint("coordinator").unwrap());
         substructures()
             .into_iter()
             .map(|(name, sub, dofs, k)| {
@@ -559,7 +527,7 @@ mod tests {
                     Box::new(SimulationPlugin::new(format!("{name}-plugin"), sub)),
                     net.clock(),
                 );
-                let container = ServiceContainer::new(net.endpoint(name.as_str()))
+                let container = ServiceContainer::new(net.endpoint(name.as_str()).unwrap())
                     .with_service("ntcp", Box::new(server))
                     .permissive();
                 let _h = container.run();
@@ -692,7 +660,7 @@ mod tests {
         // step and the coordinator reports the policy reason.
         let net = VirtualNetwork::new(NetworkConfig::default());
         let caller = DistinguishedName::nees_user("NCSA", "Coordinator");
-        let mux = RpcMux::new(net.endpoint("coordinator"));
+        let mux = RpcMux::new(net.endpoint("coordinator").unwrap());
         let mut sites = Vec::new();
         for (name, sub, dofs, k) in substructures() {
             let limits = if name == "uiuc" {
@@ -710,7 +678,7 @@ mod tests {
                 Box::new(SimulationPlugin::new(format!("{name}-plugin"), sub)),
                 net.clock(),
             );
-            let _h = ServiceContainer::new(net.endpoint(name.as_str()))
+            let _h = ServiceContainer::new(net.endpoint(name.as_str()).unwrap())
                 .with_service("ntcp", Box::new(server))
                 .permissive()
                 .run();

@@ -136,11 +136,11 @@ mod tests {
             )),
             net.clock(),
         );
-        let _h = ServiceContainer::new(net.endpoint(name))
+        let _h = ServiceContainer::new(net.endpoint(name).unwrap())
             .with_service("ntcp", Box::new(server))
             .permissive()
             .run();
-        let mux = RpcMux::new(net.endpoint(format!("client-{name}")));
+        let mux = RpcMux::new(net.endpoint(format!("client-{name}")).unwrap());
         NtcpSubstructure::new(
             name,
             NtcpClient::new(RpcClient::new(
@@ -204,7 +204,7 @@ mod tests {
     #[test]
     fn unreachable_site_is_a_substructure_error() {
         let net = VirtualNetwork::new(NetworkConfig::default());
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let mut remote = NtcpSubstructure::new(
             "ghost-site",
             NtcpClient::new(RpcClient::new(

@@ -1,0 +1,439 @@
+//! The deterministic discrete-event engine.
+//!
+//! The engine owns the two kinds of future work in a simulated deployment:
+//!
+//! * **Deliveries** — envelopes in flight, keyed by `(delivery SimTime,
+//!   tie-break seq)` in a binary heap. Popping a delivery advances the shared
+//!   [`SimClock`] to its timestamp and runs its action (typically invoking a
+//!   node's installed handler).
+//! * **Timers** — virtual-time deadlines (RPC attempt timeouts) kept in a
+//!   separate ordered collection so they can be cancelled when the awaited
+//!   reply arrives first.
+//!
+//! The quiescence rule: a timer may only fire when no delivery is pending.
+//! Deliveries always win, regardless of their virtual timestamps — a reply
+//! that is *in flight* must beat the attempt timer that is waiting on it,
+//! exactly as the old wall-clock `recv_timeout` long-stop let a slow-but-sent
+//! WAN reply land before declaring a loss. In a fully-virtual deployment
+//! (every node runs an installed handler) quiescence is decidable instantly;
+//! in a mixed deployment (some nodes are live threads draining channel
+//! inboxes) the pumping caller grants a short real-time grace for those
+//! threads to produce traffic before the timer verdict stands.
+
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{SimClock, SimTime};
+
+type Action = Box<dyn FnOnce() + Send>;
+
+/// Handle to a scheduled virtual timer, used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId {
+    at_ns: u64,
+    seq: u64,
+}
+
+struct Delivery {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Delivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Delivery {}
+impl PartialOrd for Delivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. `seq` breaks ties deterministically in schedule order.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct EngineState {
+    deliveries: BinaryHeap<Delivery>,
+    timers: BTreeMap<TimerId, Action>,
+    next_seq: u64,
+    /// Bumped on every schedule, run, cancellation, and explicit notify;
+    /// `wait_activity` sleeps until it changes.
+    activity: u64,
+}
+
+/// The event queue shared by a [`crate::VirtualNetwork`] and everything
+/// built on top of it.
+///
+/// Time moves only here: `run_one` and `fire_next_timer` advance the shared
+/// clock to the popped event's timestamp before running its action, so any
+/// component that pumps the engine observes a monotonic virtual present.
+pub struct EventEngine {
+    state: Mutex<EngineState>,
+    activity_cv: Condvar,
+    clock: Arc<SimClock>,
+    /// Number of registered nodes drained by live threads (channel inboxes)
+    /// rather than installed handlers. While this is non-zero the deployment
+    /// is "mixed": engine quiescence alone cannot prove no reply is coming,
+    /// so timer verdicts are grace-gated (see [`EventEngine::wait_activity`]).
+    external_actors: AtomicUsize,
+}
+
+impl EventEngine {
+    /// A new, empty engine advancing `clock`.
+    pub fn new(clock: Arc<SimClock>) -> Arc<Self> {
+        Arc::new(EventEngine {
+            state: Mutex::new(EngineState {
+                deliveries: BinaryHeap::new(),
+                timers: BTreeMap::new(),
+                next_seq: 0,
+                activity: 0,
+            }),
+            activity_cv: Condvar::new(),
+            clock,
+            external_actors: AtomicUsize::new(0),
+        })
+    }
+
+    /// The clock this engine advances.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Schedule `action` to run when virtual time reaches `at`. Events with
+    /// equal timestamps run in schedule order.
+    pub fn schedule_delivery(&self, at: SimTime, action: impl FnOnce() + Send + 'static) {
+        let mut s = self.state.lock();
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.deliveries.push(Delivery {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+        s.activity += 1;
+        drop(s);
+        self.activity_cv.notify_all();
+    }
+
+    /// Arm a virtual timer at `deadline`. It fires only once the engine is
+    /// quiescent (no deliveries pending); cancel it with
+    /// [`EventEngine::cancel_timer`] when the awaited event arrives first.
+    pub fn schedule_timer(
+        &self,
+        deadline: SimTime,
+        action: impl FnOnce() + Send + 'static,
+    ) -> TimerId {
+        let mut s = self.state.lock();
+        let id = TimerId {
+            at_ns: deadline.as_nanos(),
+            seq: s.next_seq,
+        };
+        s.next_seq += 1;
+        s.timers.insert(id, Box::new(action));
+        s.activity += 1;
+        drop(s);
+        self.activity_cv.notify_all();
+        id
+    }
+
+    /// Disarm a timer. Returns `false` if it already fired (or was cancelled).
+    pub fn cancel_timer(&self, id: TimerId) -> bool {
+        let mut s = self.state.lock();
+        let hit = s.timers.remove(&id).is_some();
+        if hit {
+            s.activity += 1;
+            drop(s);
+            self.activity_cv.notify_all();
+        }
+        hit
+    }
+
+    /// Pop and run the earliest pending delivery, advancing the clock to its
+    /// timestamp first. Returns `false` if no delivery was pending. The
+    /// action runs outside the engine lock, so it may schedule further work.
+    pub fn run_one(&self) -> bool {
+        let delivery = {
+            let mut s = self.state.lock();
+            match s.deliveries.pop() {
+                Some(d) => {
+                    s.activity += 1;
+                    d
+                }
+                None => return false,
+            }
+        };
+        self.clock.advance_to(delivery.at);
+        (delivery.action)();
+        self.activity_cv.notify_all();
+        true
+    }
+
+    /// Drain every currently runnable delivery. Returns how many ran.
+    pub fn run_until_idle(&self) -> usize {
+        let mut n = 0;
+        while self.run_one() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Fire the earliest armed timer, advancing the clock to its deadline.
+    /// Returns `false` if no timer was armed. Callers are responsible for the
+    /// quiescence rule: fire timers only when [`EventEngine::has_deliveries`]
+    /// is false (and, in mixed deployments, after a grace wait).
+    pub fn fire_next_timer(&self) -> bool {
+        let (id, action) = {
+            let mut s = self.state.lock();
+            let Some((&id, _)) = s.timers.iter().next() else {
+                return false;
+            };
+            let Some(action) = s.timers.remove(&id) else {
+                return false;
+            };
+            s.activity += 1;
+            (id, action)
+        };
+        self.clock.advance_to(SimTime::from_nanos(id.at_ns));
+        action();
+        self.activity_cv.notify_all();
+        true
+    }
+
+    /// Whether any delivery is pending.
+    pub fn has_deliveries(&self) -> bool {
+        !self.state.lock().deliveries.is_empty()
+    }
+
+    /// Whether any timer is armed.
+    pub fn has_timers(&self) -> bool {
+        !self.state.lock().timers.is_empty()
+    }
+
+    /// Wake every `wait_activity` caller so it re-checks its predicate (used
+    /// when external state a waiter watches — e.g. an RPC completion slot —
+    /// changes without any engine event).
+    pub fn notify(&self) {
+        let mut s = self.state.lock();
+        s.activity += 1;
+        drop(s);
+        self.activity_cv.notify_all();
+    }
+
+    /// Block until engine activity occurs (a schedule, run, cancel, or
+    /// [`EventEngine::notify`]) or `timeout` real time elapses. Returns
+    /// `true` if activity occurred. This is the mixed-deployment grace: a
+    /// pumping caller about to declare a timeout verdict waits here first,
+    /// giving live threads a window to inject the reply they owe.
+    pub fn wait_activity(&self, timeout: Duration) -> bool {
+        let mut s = self.state.lock();
+        let seen = s.activity;
+        if !s.deliveries.is_empty() {
+            return true;
+        }
+        // analyzer:allow(no-wall-clock, reason = "this is the one sanctioned real-time wait: the grace window for live threads (mixed deployments) to produce traffic before a virtual timer verdict stands; fully-virtual runs never reach it")
+        let timed_out = self.activity_cv.wait_for(&mut s, timeout).timed_out();
+        !timed_out || s.activity != seen
+    }
+
+    /// Register a live-thread (channel-inbox) actor.
+    pub fn register_external(&self) {
+        self.external_actors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deregister a live-thread actor (it shut down or switched to a
+    /// handler).
+    pub fn deregister_external(&self) {
+        // Saturating: shutdown may clear the registry wholesale first.
+        let _ = self
+            .external_actors
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+    }
+
+    /// Force the live-thread actor count (used by network shutdown).
+    pub fn reset_external(&self) {
+        self.external_actors.store(0, Ordering::Relaxed);
+    }
+
+    /// Whether any node is drained by a live thread rather than a handler.
+    /// When `false` the deployment is fully virtual: engine quiescence is
+    /// authoritative and timers may fire eagerly.
+    pub fn has_external_actors(&self) -> bool {
+        self.external_actors.load(Ordering::Relaxed) > 0
+    }
+
+    /// Drop every pending delivery and timer (network shutdown). Actions are
+    /// dropped, not run; this also breaks `Arc` cycles through captured
+    /// handler state.
+    pub fn clear(&self) {
+        let (deliveries, timers) = {
+            let mut s = self.state.lock();
+            s.activity += 1;
+            (
+                std::mem::take(&mut s.deliveries),
+                std::mem::take(&mut s.timers),
+            )
+        };
+        // Drop outside the lock: destructors of captured state may touch the
+        // engine (e.g. an Endpoint deregistering).
+        drop(deliveries);
+        drop(timers);
+        self.activity_cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for EventEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("EventEngine")
+            .field("deliveries", &s.deliveries.len())
+            .field("timers", &s.timers.len())
+            .field(
+                "external_actors",
+                &self.external_actors.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn deliveries_run_in_time_then_schedule_order() {
+        let clock = SimClock::new();
+        let engine = EventEngine::new(Arc::clone(&clock));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (tag, at) in [(1u32, 20u64), (2, 10), (3, 10), (4, 5)] {
+            let order = Arc::clone(&order);
+            engine.schedule_delivery(SimTime::from_millis(at), move || {
+                order.lock().push(tag);
+            });
+        }
+        assert_eq!(engine.run_until_idle(), 4);
+        // t=5 first, then the two t=10 events in schedule order, then t=20.
+        assert_eq!(*order.lock(), vec![4, 2, 3, 1]);
+        assert_eq!(clock.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn running_a_delivery_advances_the_clock() {
+        let clock = SimClock::new();
+        let engine = EventEngine::new(Arc::clone(&clock));
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let c2 = Arc::clone(&clock);
+        engine.schedule_delivery(SimTime::from_secs(3), move || {
+            seen2.store(c2.now().as_nanos(), Ordering::SeqCst);
+        });
+        assert!(engine.run_one());
+        assert_eq!(
+            seen.load(Ordering::SeqCst),
+            SimTime::from_secs(3).as_nanos()
+        );
+        assert!(!engine.run_one());
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let engine = EventEngine::new(SimClock::new());
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        let id = engine.schedule_timer(SimTime::from_secs(1), move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(engine.cancel_timer(id));
+        assert!(!engine.cancel_timer(id));
+        assert!(!engine.fire_next_timer());
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn timers_fire_earliest_first_and_advance_the_clock() {
+        let clock = SimClock::new();
+        let engine = EventEngine::new(Arc::clone(&clock));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (tag, at) in [(1u32, 300u64), (2, 100)] {
+            let order = Arc::clone(&order);
+            engine.schedule_timer(SimTime::from_millis(at), move || {
+                order.lock().push(tag);
+            });
+        }
+        assert!(engine.fire_next_timer());
+        assert_eq!(clock.now(), SimTime::from_millis(100));
+        assert!(engine.fire_next_timer());
+        assert!(!engine.fire_next_timer());
+        assert_eq!(*order.lock(), vec![2, 1]);
+        assert_eq!(clock.now(), SimTime::from_millis(300));
+    }
+
+    #[test]
+    fn actions_may_schedule_further_work() {
+        let engine = EventEngine::new(SimClock::new());
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let e2 = Arc::clone(&engine);
+        engine.schedule_delivery(SimTime::from_millis(1), move || {
+            let h2 = Arc::clone(&h);
+            e2.schedule_delivery(SimTime::from_millis(2), move || {
+                h2.fetch_add(10, Ordering::SeqCst);
+            });
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(engine.run_until_idle(), 2);
+        assert_eq!(hits.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn wait_activity_sees_concurrent_schedules() {
+        let engine = EventEngine::new(SimClock::new());
+        let e2 = Arc::clone(&engine);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            e2.schedule_delivery(SimTime::ZERO, || {});
+        });
+        assert!(engine.wait_activity(Duration::from_secs(5)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_activity_times_out_when_idle() {
+        let engine = EventEngine::new(SimClock::new());
+        assert!(!engine.wait_activity(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn external_actor_count_saturates_at_zero() {
+        let engine = EventEngine::new(SimClock::new());
+        assert!(!engine.has_external_actors());
+        engine.register_external();
+        assert!(engine.has_external_actors());
+        engine.deregister_external();
+        engine.deregister_external();
+        assert!(!engine.has_external_actors());
+    }
+
+    #[test]
+    fn clear_drops_pending_work() {
+        let engine = EventEngine::new(SimClock::new());
+        engine.schedule_delivery(SimTime::from_secs(1), || panic!("must not run"));
+        engine.schedule_timer(SimTime::from_secs(1), || panic!("must not run"));
+        engine.clear();
+        assert!(!engine.run_one());
+        assert!(!engine.fire_next_timer());
+        assert!(!engine.has_deliveries());
+        assert!(!engine.has_timers());
+    }
+}

@@ -20,6 +20,8 @@
 //! *interleaving* across threads may vary, but the NEESgrid coordinator
 //! lock-steps each experiment time-step, so results are interleaving-free.
 
+/// The deterministic discrete-event engine (deliveries + virtual timers).
+pub mod event;
 /// Scripted per-link fault plans (drop, duplicate, delay, partition).
 pub mod fault;
 /// Deterministic per-link latency models.
@@ -35,10 +37,11 @@ pub mod stats;
 /// Virtual time: [`time::SimTime`], [`time::SimClock`], [`time::Pacer`].
 pub mod time;
 
+pub use event::{EventEngine, TimerId};
 pub use fault::{FaultAction, FaultPlan, LinkKey};
 pub use latency::LatencyModel;
 pub use message::{ControlNotice, Envelope, MessageKind};
-pub use network::{Endpoint, NetworkConfig, VirtualNetwork};
+pub use network::{Endpoint, NetworkConfig, NetworkError, VirtualNetwork};
 pub use node::NodeId;
 pub use stats::{LinkStats, NetworkStats};
 pub use time::{Pacer, SimClock, SimTime};

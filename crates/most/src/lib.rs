@@ -40,4 +40,4 @@ pub use frame_model::reference_history;
 pub use mini::{run_mini_most, MiniMostConfig, MiniMostOutcome};
 pub use report::MostReport;
 pub use runner::{MostDeployment, MostRunArtifacts};
-pub use scenarios::{public_run_fault_plan, Scenario};
+pub use scenarios::{n_site, public_run_fault_plan, NSiteExperiment, Scenario};

@@ -114,11 +114,15 @@ pub fn run_mini_most(config: &MiniMostConfig) -> MiniMostOutcome {
         plugin,
         net.clock(),
     );
-    let _handle = ServiceContainer::new(net.endpoint("mini-most"))
-        .with_service("ntcp", Box::new(server))
-        .permissive()
-        .run();
-    let mux = RpcMux::new(net.endpoint("coordinator"));
+    let _handle =
+        ServiceContainer::new(net.endpoint("mini-most").expect("endpoint name is unique"))
+            .with_service("ntcp", Box::new(server))
+            .permissive()
+            .run();
+    let mux = RpcMux::new(
+        net.endpoint("coordinator")
+            .expect("endpoint name is unique"),
+    );
     let client = NtcpClient::new(
         RpcClient::new(
             mux,

@@ -214,9 +214,10 @@ impl MostDeployment {
             cred_life,
             3,
         );
-        let mut repo_container = ServiceContainer::new(net.endpoint("repository"))
-            .with_service("nfms", Box::new(NfmsService::new(Nfms::new(store.clone()))))
-            .with_service("nmds", Box::new(NmdsService::new(Nmds::new())));
+        let mut repo_container =
+            ServiceContainer::new(net.endpoint("repository").expect("endpoint name is unique"))
+                .with_service("nfms", Box::new(NfmsService::new(Nfms::new(store.clone()))))
+                .with_service("nmds", Box::new(NmdsService::new(Nmds::new())));
         for cred in [&coordinator_proxy, &ingester_cred] {
             let session = authenticate(cred, &repo_host, &ca.verifier(), SimTime::ZERO)
                 .expect("repo session");
@@ -230,8 +231,14 @@ impl MostDeployment {
             ("cu", config.cu_role, vec![1], config.cu_stiffness()),
             ("ncsa", config.ncsa_role, vec![0, 1], config.beam_stiffness),
         ];
-        let coordinator_mux = RpcMux::new(net.endpoint("coordinator"));
-        let checkpointer_mux = RpcMux::new(net.endpoint("checkpointer"));
+        let coordinator_mux = RpcMux::new(
+            net.endpoint("coordinator")
+                .expect("endpoint name is unique"),
+        );
+        let checkpointer_mux = RpcMux::new(
+            net.endpoint("checkpointer")
+                .expect("endpoint name is unique"),
+        );
         let mut sites = Vec::new();
         let mut checkpoint_clients = Vec::new();
         let mut daqs = Vec::new();
@@ -324,7 +331,8 @@ impl MostDeployment {
                 1000 + sites.len() as u64,
             );
             let mut container =
-                ServiceContainer::new(net.endpoint(name)).with_service("ntcp", Box::new(server));
+                ServiceContainer::new(net.endpoint(name).expect("endpoint name is unique"))
+                    .with_service("ntcp", Box::new(server));
             container.install_session(
                 authenticate(
                     &coordinator_proxy,

@@ -9,7 +9,7 @@
 use serde_json::json;
 
 use neesgrid_gridsim::SimTime;
-use neesgrid_ogsi::{RpcClient, RpcError};
+use neesgrid_ogsi::{wait_all, RpcClient, RpcCompletion, RpcError, RpcReply};
 
 use crate::msg::{
     ControlPoint, ControlPointResult, ExecuteResponse, ProposalDecision, ProposeBody,
@@ -108,22 +108,8 @@ impl NtcpClient {
         }
     }
 
-    /// Propose a transaction. `Ok(())` means accepted; a rejection is the
-    /// [`NtcpError::Rejected`] variant.
-    pub fn propose(
-        &self,
-        transaction: &str,
-        actions: Vec<ControlPoint>,
-        timeout: SimTime,
-    ) -> Result<(), NtcpError> {
-        let body = serde_json::to_value(ProposeBody {
-            transaction: transaction.to_string(),
-            actions,
-            timeout,
-        })
-        // analyzer:allow(no-unwrap, reason = "ProposeBody is a plain derive(Serialize) tree of JSON-safe types; self-serialization is infallible")
-        .expect("serialize propose");
-        let reply = self.rpc.call("propose", body)?;
+    fn finish_propose(&self, reply: Result<RpcReply, RpcError>) -> Result<(), NtcpError> {
+        let reply = reply?;
         self.note_attempts(reply.attempts);
         let decision: ProposalDecision = serde_json::from_value(reply.value["decision"].clone())
             .map_err(|e| NtcpError::BadResponse(format!("decision: {e}")))?;
@@ -133,15 +119,134 @@ impl NtcpClient {
         }
     }
 
-    /// Execute an accepted transaction, returning measured results.
-    pub fn execute(&self, transaction: &str) -> Result<Vec<ControlPointResult>, NtcpError> {
-        let reply = self
-            .rpc
-            .call("execute", json!({ "transaction": transaction }))?;
+    fn finish_execute(
+        &self,
+        reply: Result<RpcReply, RpcError>,
+    ) -> Result<Vec<ControlPointResult>, NtcpError> {
+        let reply = reply?;
         self.note_attempts(reply.attempts);
         let resp: ExecuteResponse = serde_json::from_value(reply.value)
             .map_err(|e| NtcpError::BadResponse(format!("execute response: {e}")))?;
         Ok(resp.results)
+    }
+
+    /// Propose a transaction. `Ok(())` means accepted; a rejection is the
+    /// [`NtcpError::Rejected`] variant.
+    pub fn propose(
+        &self,
+        transaction: &str,
+        actions: Vec<ControlPoint>,
+        timeout: SimTime,
+    ) -> Result<(), NtcpError> {
+        self.propose_async(transaction, actions, timeout).wait()
+    }
+
+    /// Start a propose without waiting. Combine with
+    /// [`NtcpClient::propose_all`] to fan a step out to every site from one
+    /// thread.
+    pub fn propose_async(
+        &self,
+        transaction: &str,
+        actions: Vec<ControlPoint>,
+        timeout: SimTime,
+    ) -> ProposePending {
+        let body = serde_json::to_value(ProposeBody {
+            transaction: transaction.to_string(),
+            actions,
+            timeout,
+        })
+        // analyzer:allow(no-unwrap, reason = "ProposeBody is a plain derive(Serialize) tree of JSON-safe types; self-serialization is infallible")
+        .expect("serialize propose");
+        ProposePending {
+            client: self.clone(),
+            completion: self.rpc.call_async("propose", body),
+        }
+    }
+
+    /// Execute an accepted transaction, returning measured results.
+    pub fn execute(&self, transaction: &str) -> Result<Vec<ControlPointResult>, NtcpError> {
+        self.execute_async(transaction).wait()
+    }
+
+    /// Start an execute without waiting.
+    pub fn execute_async(&self, transaction: &str) -> ExecutePending {
+        ExecutePending {
+            client: self.clone(),
+            completion: self
+                .rpc
+                .call_async("execute", json!({ "transaction": transaction })),
+        }
+    }
+
+    /// Propose one transaction per site, multiplexed on the calling thread:
+    /// all requests go out before any reply is awaited, and the shared event
+    /// engine is pumped once for the whole batch. Results come back in
+    /// batch order.
+    pub fn propose_all<'a>(
+        batch: impl IntoIterator<Item = (&'a NtcpClient, &'a str, Vec<ControlPoint>, SimTime)>,
+    ) -> Vec<Result<(), NtcpError>> {
+        let pending: Vec<ProposePending> = batch
+            .into_iter()
+            .map(|(client, tx, actions, timeout)| client.propose_async(tx, actions, timeout))
+            .collect();
+        let (clients, completions): (Vec<_>, Vec<_>) = pending
+            .into_iter()
+            .map(|p| (p.client, p.completion))
+            .unzip();
+        clients
+            .iter()
+            .zip(wait_all(completions))
+            .map(|(client, reply)| client.finish_propose(reply))
+            .collect()
+    }
+
+    /// Execute one accepted transaction per site, multiplexed on the calling
+    /// thread (see [`NtcpClient::propose_all`]).
+    pub fn execute_all<'a>(
+        batch: impl IntoIterator<Item = (&'a NtcpClient, &'a str)>,
+    ) -> Vec<Result<Vec<ControlPointResult>, NtcpError>> {
+        let pending: Vec<ExecutePending> = batch
+            .into_iter()
+            .map(|(client, tx)| client.execute_async(tx))
+            .collect();
+        let (clients, completions): (Vec<_>, Vec<_>) = pending
+            .into_iter()
+            .map(|p| (p.client, p.completion))
+            .unzip();
+        clients
+            .iter()
+            .zip(wait_all(completions))
+            .map(|(client, reply)| client.finish_execute(reply))
+            .collect()
+    }
+
+    /// Cancel accepted-but-unexecuted transactions on many sites at once,
+    /// multiplexed on the calling thread. Used by the coordinator to back
+    /// out a partially accepted step.
+    pub fn cancel_all<'a>(
+        batch: impl IntoIterator<Item = (&'a NtcpClient, &'a str)>,
+    ) -> Vec<Result<(), NtcpError>> {
+        let pending: Vec<(NtcpClient, RpcCompletion)> = batch
+            .into_iter()
+            .map(|(client, tx)| {
+                (
+                    client.clone(),
+                    client
+                        .rpc
+                        .call_async("cancel", json!({ "transaction": tx })),
+                )
+            })
+            .collect();
+        let (clients, completions): (Vec<_>, Vec<_>) = pending.into_iter().unzip();
+        clients
+            .iter()
+            .zip(wait_all(completions))
+            .map(|(client, reply)| {
+                let reply = reply?;
+                client.note_attempts(reply.attempts);
+                Ok(())
+            })
+            .collect()
     }
 
     /// Cancel an accepted-but-unexecuted transaction.
@@ -178,6 +283,49 @@ impl NtcpClient {
     }
 }
 
+/// An in-flight propose started by [`NtcpClient::propose_async`].
+///
+/// Dropping it abandons the call (the underlying RPC completion cancels its
+/// retry timer and deregisters itself).
+#[must_use = "a pending propose does nothing until waited on"]
+pub struct ProposePending {
+    client: NtcpClient,
+    completion: RpcCompletion,
+}
+
+impl ProposePending {
+    /// True once a reply (or terminal failure) has been recorded.
+    pub fn is_done(&self) -> bool {
+        self.completion.is_done()
+    }
+
+    /// Drive the shared event engine until this propose resolves.
+    pub fn wait(self) -> Result<(), NtcpError> {
+        let ProposePending { client, completion } = self;
+        client.finish_propose(completion.wait())
+    }
+}
+
+/// An in-flight execute started by [`NtcpClient::execute_async`].
+#[must_use = "a pending execute does nothing until waited on"]
+pub struct ExecutePending {
+    client: NtcpClient,
+    completion: RpcCompletion,
+}
+
+impl ExecutePending {
+    /// True once a reply (or terminal failure) has been recorded.
+    pub fn is_done(&self) -> bool {
+        self.completion.is_done()
+    }
+
+    /// Drive the shared event engine until this execute resolves.
+    pub fn wait(self) -> Result<Vec<ControlPointResult>, NtcpError> {
+        let ExecutePending { client, completion } = self;
+        client.finish_execute(completion.wait())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,11 +351,11 @@ mod tests {
             Box::new(plugin),
             net.clock(),
         );
-        let container = ServiceContainer::new(net.endpoint(name))
+        let container = ServiceContainer::new(net.endpoint(name).unwrap())
             .with_service("ntcp", Box::new(server))
             .permissive();
         let _handle = container.run();
-        let mux = RpcMux::new(net.endpoint(format!("client-{name}")));
+        let mux = RpcMux::new(net.endpoint(format!("client-{name}")).unwrap());
         NtcpClient::new(
             RpcClient::new(
                 mux,
@@ -309,6 +457,40 @@ mod tests {
             .call_value("ogsi:query", json!({"pattern": "transaction/*"}))
             .unwrap();
         assert_eq!(out["elements"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn batched_propose_and_execute_across_sites() {
+        // The coordinator's whole-step fan-out: every propose goes on the
+        // wire before any reply is awaited, then one batched wait resolves
+        // them all; same for execute. Different stiffnesses per site prove
+        // the results come back in batch order.
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let clients: Vec<NtcpClient> = (0..4)
+            .map(|i| start_site(&net, &format!("site-{i}"), 1.0e5 * (i + 1) as f64))
+            .collect();
+        let accepted = NtcpClient::propose_all(clients.iter().map(|c| {
+            (
+                c,
+                "step-1",
+                vec![ControlPoint::displacement("dof-0", 0.002, 5000.0)],
+                SimTime::from_secs(30),
+            )
+        }));
+        assert_eq!(accepted.len(), 4);
+        for r in &accepted {
+            assert!(r.is_ok(), "propose failed: {r:?}");
+        }
+        let executed = NtcpClient::execute_all(clients.iter().map(|c| (c, "step-1")));
+        for (i, r) in executed.iter().enumerate() {
+            let results = r.as_ref().unwrap();
+            let expect = 1.0e5 * (i + 1) as f64 * 0.002;
+            assert!(
+                (results[0].force_n - expect).abs() < 1e-9,
+                "site {i}: got {} want {expect}",
+                results[0].force_n
+            );
+        }
     }
 
     #[test]

@@ -15,12 +15,14 @@
 //! action limits checked inside the NTCP service itself.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
+use parking_lot::Mutex;
 use serde_json::{json, Value};
 
-use neesgrid_gridsim::{Endpoint, MessageKind, SimTime};
+use neesgrid_gridsim::{Endpoint, Envelope, MessageKind, SimTime};
 use neesgrid_gsi::{DistinguishedName, SecurityContext};
 
 use crate::fault::ServiceFault;
@@ -70,7 +72,8 @@ impl ServiceContainer {
         self
     }
 
-    /// Start the container's dispatch loop on its own thread.
+    /// Start the container's dispatch loop on its own thread (channel mode —
+    /// the container is a live actor draining its inbox).
     pub fn run(self) -> ContainerHandle {
         let name = format!("container-{}", self.endpoint.id());
         let handle = std::thread::Builder::new()
@@ -82,54 +85,72 @@ impl ServiceContainer {
         }
     }
 
+    /// Attach the container to the network's event engine (handler mode):
+    /// incoming envelopes become scheduled events dispatched when virtual
+    /// time reaches their delivery timestamp, with no container thread at
+    /// all. This is the fully-deterministic hosting mode used by the N-site
+    /// scenarios — whoever pumps the engine runs this container.
+    pub fn attach(self) -> AttachedContainer {
+        let endpoint = self.endpoint.clone();
+        let shared = Arc::new(Mutex::new(self));
+        let dispatch = Arc::clone(&shared);
+        endpoint.install_handler(move |env| dispatch.lock().handle_envelope(env));
+        AttachedContainer { container: shared }
+    }
+
     fn dispatch_loop(mut self) {
         while let Some(env) = self.endpoint.recv() {
-            match env.kind {
-                MessageKind::Request => {
-                    let reply_to = env.src.clone();
-                    let correlation = env.correlation_id;
-                    let service_name = env.service.clone();
-                    self.endpoint.clock().advance_to(env.delivered_at());
-                    let now = self.endpoint.clock().now();
-                    let response = match serde_json::from_slice::<RpcRequest>(&env.payload) {
-                        Ok(req) => RpcResponse {
-                            request_id: req.request_id,
-                            outcome: match self.process(&service_name, &req, now) {
-                                Ok(v) => RpcOutcome::Ok(v),
-                                Err(f) => RpcOutcome::Fault(f),
-                            },
+            self.handle_envelope(env);
+        }
+    }
+
+    /// Dispatch one envelope: answer requests, absorb one-ways, drop strays.
+    fn handle_envelope(&mut self, env: Envelope) {
+        match env.kind {
+            MessageKind::Request => {
+                let reply_to = env.src.clone();
+                let correlation = env.correlation_id;
+                let service_name = env.service.clone();
+                self.endpoint.clock().advance_to(env.delivered_at());
+                let now = self.endpoint.clock().now();
+                let response = match serde_json::from_slice::<RpcRequest>(&env.payload) {
+                    Ok(req) => RpcResponse {
+                        request_id: req.request_id,
+                        outcome: match self.process(&service_name, &req, now) {
+                            Ok(v) => RpcOutcome::Ok(v),
+                            Err(f) => RpcOutcome::Fault(f),
                         },
-                        Err(_) => RpcResponse {
-                            request_id: correlation,
-                            outcome: RpcOutcome::Fault(ServiceFault::permanent(
-                                "BadRequest",
-                                "undecodable request payload",
-                            )),
-                        },
-                    };
-                    let payload =
-                        Bytes::from(serde_json::to_vec(&response).expect("serialize response"));
-                    self.endpoint.send(
-                        reply_to,
-                        &service_name,
-                        MessageKind::Reply,
-                        correlation,
-                        payload,
-                    );
-                    self.tick_services(now);
+                    },
+                    Err(_) => RpcResponse {
+                        request_id: correlation,
+                        outcome: RpcOutcome::Fault(ServiceFault::permanent(
+                            "BadRequest",
+                            "undecodable request payload",
+                        )),
+                    },
+                };
+                let payload =
+                    Bytes::from(serde_json::to_vec(&response).expect("serialize response"));
+                self.endpoint.send(
+                    reply_to,
+                    &service_name,
+                    MessageKind::Reply,
+                    correlation,
+                    payload,
+                );
+                self.tick_services(now);
+            }
+            MessageKind::OneWay => {
+                self.endpoint.clock().advance_to(env.delivered_at());
+                let now = self.endpoint.clock().now();
+                if let Ok(req) = serde_json::from_slice::<RpcRequest>(&env.payload) {
+                    let _ = self.process(&env.service, &req, now);
                 }
-                MessageKind::OneWay => {
-                    self.endpoint.clock().advance_to(env.delivered_at());
-                    let now = self.endpoint.clock().now();
-                    if let Ok(req) = serde_json::from_slice::<RpcRequest>(&env.payload) {
-                        let _ = self.process(&env.service, &req, now);
-                    }
-                    self.tick_services(now);
-                }
-                MessageKind::Reply | MessageKind::Control => {
-                    // Containers are pure servers; stray replies/notices are
-                    // dropped.
-                }
+                self.tick_services(now);
+            }
+            MessageKind::Reply | MessageKind::Control => {
+                // Containers are pure servers; stray replies/notices are
+                // dropped.
             }
         }
     }
@@ -196,6 +217,22 @@ impl ServiceContainer {
         for svc in self.services.values_mut() {
             svc.tick(now);
         }
+    }
+}
+
+/// Handle to a container attached to the event engine (handler mode).
+///
+/// Dropping the handle does not detach the container: the network registry
+/// keeps the dispatch handler alive until network shutdown, matching how
+/// [`ContainerHandle`] detaches its thread.
+pub struct AttachedContainer {
+    container: Arc<Mutex<ServiceContainer>>,
+}
+
+impl AttachedContainer {
+    /// Access the hosted container (e.g. to install sessions after attach).
+    pub fn with_container<R>(&self, f: impl FnOnce(&mut ServiceContainer) -> R) -> R {
+        f(&mut self.container.lock())
     }
 }
 
@@ -275,11 +312,11 @@ mod tests {
 
     fn permissive_setup() -> (VirtualNetwork, RpcClient) {
         let net = VirtualNetwork::new(NetworkConfig::default());
-        let container = ServiceContainer::new(net.endpoint("site"))
+        let container = ServiceContainer::new(net.endpoint("site").unwrap())
             .with_service("counter", Counter::boxed())
             .permissive();
         let _handle = container.run();
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("site"), "counter", caller());
         (net, client)
     }
@@ -300,7 +337,7 @@ mod tests {
     #[test]
     fn unknown_service_faults() {
         let (net, _client) = permissive_setup();
-        let mux = RpcMux::new(net.endpoint("client2"));
+        let mux = RpcMux::new(net.endpoint("client2").unwrap());
         let client = RpcClient::new(mux, NodeId::new("site"), "nope", caller());
         match client.call("x", Value::Null) {
             Err(RpcError::Fault(f)) => assert_eq!(f.code, "NoSuchService"),
@@ -326,10 +363,10 @@ mod tests {
     #[test]
     fn unauthenticated_caller_refused_when_strict() {
         let net = VirtualNetwork::new(NetworkConfig::default());
-        let container =
-            ServiceContainer::new(net.endpoint("site")).with_service("counter", Counter::boxed());
+        let container = ServiceContainer::new(net.endpoint("site").unwrap())
+            .with_service("counter", Counter::boxed());
         let _handle = container.run();
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("site"), "counter", caller());
         match client.call("increment", Value::Null) {
             Err(RpcError::Fault(f)) => assert_eq!(f.code, "AccessDenied"),
@@ -350,11 +387,11 @@ mod tests {
             2,
         );
         let session = authenticate(&user, &host, &ca.verifier(), SimTime::ZERO).unwrap();
-        let mut container =
-            ServiceContainer::new(net.endpoint("site")).with_service("counter", Counter::boxed());
+        let mut container = ServiceContainer::new(net.endpoint("site").unwrap())
+            .with_service("counter", Counter::boxed());
         container.install_session(session);
         let _handle = container.run();
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("site"), "counter", caller());
         assert_eq!(
             client.call_value("increment", Value::Null).unwrap()["count"],
@@ -374,11 +411,11 @@ mod tests {
     #[test]
     fn oneway_requests_are_processed_without_reply() {
         let net = VirtualNetwork::new(NetworkConfig::default());
-        let container = ServiceContainer::new(net.endpoint("site"))
+        let container = ServiceContainer::new(net.endpoint("site").unwrap())
             .with_service("counter", Counter::boxed())
             .permissive();
         let _handle = container.run();
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         // Fire a one-way increment shaped like an RpcRequest.
         let req = RpcRequest {
             request_id: 1,

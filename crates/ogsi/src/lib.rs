@@ -30,10 +30,13 @@ pub mod rpc;
 pub mod sde;
 pub mod service;
 
-pub use container::{ContainerHandle, ServiceContainer};
+pub use container::{AttachedContainer, ContainerHandle, ServiceContainer};
 pub use dedup::DedupCache;
 pub use fault::ServiceFault;
 pub use lifetime::{Lease, LifetimeManager};
-pub use rpc::{RetryPolicy, RpcClient, RpcError, RpcMux, RpcReply, RpcRequest, RpcResponse};
+pub use rpc::{
+    wait_all, RetryPolicy, RpcClient, RpcCompletion, RpcError, RpcMux, RpcReply, RpcRequest,
+    RpcResponse,
+};
 pub use sde::{SdeChange, ServiceData, ServiceDataElement};
 pub use service::{CallContext, GridService};

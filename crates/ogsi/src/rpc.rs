@@ -9,22 +9,30 @@
 //! `request_id` across retransmissions plus the server-side
 //! [`crate::dedup::DedupCache`].
 //!
-//! Virtual time: the mux advances the shared clock to each reply's
-//! `delivered_at`, so end-to-end virtual round-trip times accumulate
-//! without any real sleeping (bench `sec50_realtime_sweep` relies on this).
+//! Virtual time: the mux runs in *handler mode* on the network's
+//! [`EventEngine`] — replies and control notices are scheduled events, and
+//! attempt timeouts are **virtual timers**, not wall-clock deadlines. A
+//! caller blocked in [`RpcCompletion::wait`] pumps the engine: it runs
+//! deliveries (advancing the shared clock to each event's timestamp) and,
+//! only when no delivery is pending, lets the earliest timer fire. A
+//! fault-schedule run with losses therefore completes in milliseconds of
+//! wall time; the old 2-second real-time long-stop survives only as a grace
+//! window for deployments that still host live threads (channel-mode
+//! containers).
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
-use neesgrid_gridsim::{ControlNotice, Endpoint, Envelope, MessageKind, NodeId, SimTime};
+use neesgrid_gridsim::{
+    ControlNotice, Endpoint, Envelope, EventEngine, MessageKind, NodeId, SimTime, TimerId,
+};
 use neesgrid_gsi::DistinguishedName;
 
 use crate::fault::ServiceFault;
@@ -145,78 +153,327 @@ pub struct RpcReply {
     pub attempts: u32,
 }
 
-enum Routed {
-    Reply(Envelope),
-    Notice(ControlNotice),
+/// Grace window granted to live threads (channel-mode containers, backend
+/// ports) in a *mixed* deployment before a virtual timer verdict stands.
+/// Mirrors the long-stop deadline of the retired blocking implementation.
+/// Fully-virtual deployments never wait on it.
+// analyzer:allow(no-wall-clock, reason = "the one sanctioned real-time constant: a grace window for live threads to inject traffic before a timer fires; fully-virtual (all-handler) deployments never reach it")
+const MIXED_GRACE: Duration = Duration::from_secs(2);
+
+/// Slice length for grace waiting, so pumpers re-check completion promptly.
+const PUMP_SLICE: Duration = Duration::from_millis(25);
+
+/// One in-flight logical call: the retransmission state machine.
+///
+/// Mutated from engine event actions (reply/notice deliveries, timer fires)
+/// under its own lock; the lock is never held while waiting.
+struct CallSlot {
+    engine: Arc<EventEngine>,
+    endpoint: Endpoint,
+    dst: NodeId,
+    service: String,
+    request_id: u64,
+    payload: Bytes,
+    attempt_timeout: Duration,
+    policy: RetryPolicy,
+    state: Mutex<SlotState>,
+}
+
+struct SlotState {
+    attempts: u32,
+    first_send: SimTime,
+    timer: Option<TimerId>,
+    result: Option<Result<RpcReply, RpcError>>,
+}
+
+impl CallSlot {
+    fn attempt_timeout_virtual(&self) -> SimTime {
+        SimTime::from_secs_f64(self.attempt_timeout.as_secs_f64())
+    }
+
+    /// Send one attempt and arm the virtual attempt timer. Retries charge
+    /// one attempt-timeout of virtual back-off *after* the retransmission is
+    /// posted, so the resent envelope carries the pre-advance timestamp
+    /// (matching the retired blocking implementation exactly).
+    fn send_attempt(self: &Arc<Self>, st: &mut SlotState) {
+        st.attempts += 1;
+        self.endpoint.send(
+            self.dst.clone(),
+            &self.service,
+            MessageKind::Request,
+            self.request_id,
+            self.payload.clone(),
+        );
+        if st.attempts > 1 {
+            self.endpoint
+                .clock()
+                .advance(self.attempt_timeout_virtual());
+        }
+        let deadline = self.endpoint.clock().now() + self.attempt_timeout_virtual();
+        let slot = Arc::clone(self);
+        st.timer = Some(
+            self.engine
+                .schedule_timer(deadline, move || slot.on_timer()),
+        );
+    }
+
+    fn disarm(&self, st: &mut SlotState) {
+        if let Some(id) = st.timer.take() {
+            self.engine.cancel_timer(id);
+        }
+    }
+
+    fn complete(&self, st: &mut SlotState, result: Result<RpcReply, RpcError>) {
+        self.disarm(st);
+        st.result = Some(result);
+        // Wake concurrent pumpers blocked in a grace wait: their predicate
+        // (slot done) changed without an engine event of their own.
+        self.engine.notify();
+    }
+
+    fn on_reply(self: &Arc<Self>, env: Envelope) {
+        let mut st = self.state.lock();
+        if st.result.is_some() {
+            return;
+        }
+        let response: Result<RpcResponse, _> = serde_json::from_slice(&env.payload);
+        let result = match response {
+            Err(_) => Err(RpcError::Fault(ServiceFault::permanent(
+                "BadResponse",
+                "undecodable response payload",
+            ))),
+            Ok(response) => match response.outcome {
+                RpcOutcome::Ok(value) => Ok(RpcReply {
+                    value,
+                    virtual_rtt: env.delivered_at().saturating_sub(st.first_send),
+                    attempts: st.attempts,
+                }),
+                RpcOutcome::Fault(fault) => Err(RpcError::Fault(fault)),
+            },
+        };
+        self.complete(&mut st, result);
+    }
+
+    fn on_notice(self: &Arc<Self>, notice: ControlNotice) {
+        let mut st = self.state.lock();
+        if st.result.is_some() {
+            return;
+        }
+        match notice {
+            ControlNotice::LinkReset { .. } => {
+                if self.policy.retry_on_reset && st.attempts < self.policy.max_attempts {
+                    self.disarm(&mut st);
+                    self.send_attempt(&mut st);
+                } else {
+                    self.complete(&mut st, Err(RpcError::LinkReset));
+                }
+            }
+            ControlNotice::NoRoute { .. } => {
+                self.complete(&mut st, Err(RpcError::NoRoute));
+            }
+            // A silent loss, surfaced deterministically: semantically this
+            // *is* the attempt timeout (the caller waited out its deadline),
+            // so it follows the timeout retry policy and error shape exactly.
+            ControlNotice::Dropped { .. } => {
+                let attempts = st.attempts;
+                if self.policy.retry_on_timeout && attempts < self.policy.max_attempts {
+                    self.disarm(&mut st);
+                    self.send_attempt(&mut st);
+                } else {
+                    self.complete(&mut st, Err(RpcError::Timeout { attempts }));
+                }
+            }
+        }
+    }
+
+    /// The virtual attempt timer fired: no reply and no loss notice inside
+    /// the attempt window (a wedged or silent peer).
+    fn on_timer(self: &Arc<Self>) {
+        let mut st = self.state.lock();
+        if st.result.is_some() {
+            return;
+        }
+        st.timer = None;
+        let attempts = st.attempts;
+        if self.policy.retry_on_timeout && attempts < self.policy.max_attempts {
+            self.send_attempt(&mut st);
+        } else {
+            self.complete(&mut st, Err(RpcError::Timeout { attempts }));
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().result.is_some()
+    }
+}
+
+/// Handle to one in-flight [`RpcMux::call_async`] request.
+///
+/// Poll with [`RpcCompletion::is_done`], or block on
+/// [`RpcCompletion::wait`] — waiting pumps the shared event engine, so a
+/// single thread can drive any number of overlapping calls (see
+/// [`wait_all`]). Dropping the handle abandons the call and releases its
+/// timer and mux slot.
+pub struct RpcCompletion {
+    slot: Arc<CallSlot>,
+    calls: Arc<Mutex<HashMap<u64, Arc<CallSlot>>>>,
+}
+
+impl RpcCompletion {
+    /// Whether a result is available (reply, fault, or exhausted retries).
+    pub fn is_done(&self) -> bool {
+        self.slot.is_done()
+    }
+
+    /// The stable request id (also the correlation id on the wire).
+    pub fn request_id(&self) -> u64 {
+        self.slot.request_id
+    }
+
+    /// Block until this call completes, pumping the event engine.
+    pub fn wait(self) -> Result<RpcReply, RpcError> {
+        let engine = Arc::clone(&self.slot.engine);
+        pump_until(&engine, || self.slot.is_done());
+        self.finish()
+    }
+
+    /// Take the result without pumping (used by [`wait_all`] after its own
+    /// pump). An unfinished call yields [`RpcError::MuxClosed`].
+    fn finish(self) -> Result<RpcReply, RpcError> {
+        self.slot
+            .state
+            .lock()
+            .result
+            .take()
+            .unwrap_or(Err(RpcError::MuxClosed))
+    }
+}
+
+impl Drop for RpcCompletion {
+    fn drop(&mut self) {
+        self.calls.lock().remove(&self.slot.request_id);
+        let mut st = self.slot.state.lock();
+        self.slot.disarm(&mut st);
+    }
+}
+
+/// Drive the engine until `done` holds.
+///
+/// The quiescence rule lives here: deliveries always run first; a timer may
+/// fire only when no delivery is pending — and, if live threads are attached
+/// (mixed deployment), only after [`MIXED_GRACE`] of engine inactivity, the
+/// window those threads get to produce the traffic they owe. Returns `false`
+/// if the engine went idle with no way for `done` to ever hold (fully
+/// virtual, nothing scheduled).
+fn pump_until(engine: &EventEngine, done: impl Fn() -> bool) -> bool {
+    let mut idle = Duration::ZERO;
+    loop {
+        if done() {
+            return true;
+        }
+        if engine.run_one() {
+            idle = Duration::ZERO;
+            continue;
+        }
+        if !engine.has_external_actors() {
+            // Fully virtual: engine quiescence is authoritative.
+            if engine.fire_next_timer() {
+                continue;
+            }
+            if engine.has_deliveries() {
+                continue;
+            }
+            return done();
+        }
+        // Mixed deployment: grant live threads their grace window, in
+        // slices so this pumper notices completions filled by others.
+        if engine.wait_activity(PUMP_SLICE) {
+            idle = Duration::ZERO;
+            continue;
+        }
+        idle += PUMP_SLICE;
+        if idle >= MIXED_GRACE {
+            idle = Duration::ZERO;
+            engine.fire_next_timer();
+        }
+    }
+}
+
+/// Wait for a batch of completions, pumping their shared engine once.
+///
+/// Results come back in argument order. All completions must come from
+/// muxes on the same [`VirtualNetwork`](neesgrid_gridsim::VirtualNetwork)
+/// (they share its engine) — which is every deployment this repo builds.
+pub fn wait_all(completions: Vec<RpcCompletion>) -> Vec<Result<RpcReply, RpcError>> {
+    let Some(first) = completions.first() else {
+        return Vec::new();
+    };
+    let engine = Arc::clone(&first.slot.engine);
+    pump_until(&engine, || completions.iter().all(|c| c.is_done()));
+    completions.into_iter().map(|c| c.finish()).collect()
 }
 
 /// Correlation-id demultiplexer over one endpoint.
 ///
 /// One mux serves any number of concurrent callers (the coordinator fans
-/// proposals out to all sites in parallel through a single mux). Push-style
-/// (one-way) traffic for a named local service can be claimed with
-/// [`RpcMux::register_sink`].
+/// proposals out to all sites through a single mux). Construction installs
+/// an event-engine handler on the endpoint: replies and control notices
+/// resolve in-flight [`CallSlot`]s, push-style (one-way) traffic for a named
+/// local service can be claimed with [`RpcMux::register_sink`].
 pub struct RpcMux {
     endpoint: Endpoint,
-    pending: Arc<Mutex<HashMap<u64, Sender<Routed>>>>,
+    engine: Arc<EventEngine>,
+    calls: Arc<Mutex<HashMap<u64, Arc<CallSlot>>>>,
     sinks: Arc<Mutex<HashMap<String, Sender<Envelope>>>>,
-    reader: Option<JoinHandle<()>>,
 }
 
 impl RpcMux {
-    /// Wrap an endpoint and start the reader thread.
+    /// Wrap an endpoint, switching it to handler (event-scheduled) delivery.
     pub fn new(endpoint: Endpoint) -> Arc<Self> {
-        let pending: Arc<Mutex<HashMap<u64, Sender<Routed>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let engine = endpoint.engine();
+        let calls: Arc<Mutex<HashMap<u64, Arc<CallSlot>>>> = Arc::new(Mutex::new(HashMap::new()));
         let sinks: Arc<Mutex<HashMap<String, Sender<Envelope>>>> =
             Arc::new(Mutex::new(HashMap::new()));
-        let reader_endpoint = endpoint.clone();
-        let reader_pending = Arc::clone(&pending);
-        let reader_sinks = Arc::clone(&sinks);
-        let clock = Arc::clone(endpoint.clock());
-        let reader = std::thread::Builder::new()
-            .name(format!("rpc-mux-{}", endpoint.id()))
-            .spawn(move || {
-                while let Some(env) = reader_endpoint.recv() {
-                    match env.kind {
-                        MessageKind::Reply => {
-                            clock.advance_to(env.delivered_at());
-                            let tx = reader_pending.lock().get(&env.correlation_id).cloned();
-                            if let Some(tx) = tx {
-                                let _ = tx.send(Routed::Reply(env));
-                            }
-                        }
-                        MessageKind::Control => {
-                            if let Some(notice) = ControlNotice::from_bytes(&env.payload) {
-                                let tx =
-                                    reader_pending.lock().get(&notice.correlation_id()).cloned();
-                                if let Some(tx) = tx {
-                                    let _ = tx.send(Routed::Notice(notice));
-                                }
-                            }
-                        }
-                        MessageKind::Request | MessageKind::OneWay => {
-                            clock.advance_to(env.delivered_at());
-                            let tx = reader_sinks.lock().get(&env.service).cloned();
-                            if let Some(tx) = tx {
-                                let _ = tx.send(env);
-                            }
-                        }
+        let handler_calls = Arc::clone(&calls);
+        let handler_sinks = Arc::clone(&sinks);
+        endpoint.install_handler(move |env| match env.kind {
+            MessageKind::Reply => {
+                let slot = handler_calls.lock().get(&env.correlation_id).cloned();
+                if let Some(slot) = slot {
+                    slot.on_reply(env);
+                }
+            }
+            MessageKind::Control => {
+                if let Some(notice) = ControlNotice::from_bytes(&env.payload) {
+                    let slot = handler_calls.lock().get(&notice.correlation_id()).cloned();
+                    if let Some(slot) = slot {
+                        slot.on_notice(notice);
                     }
                 }
-            })
-            .expect("spawn rpc mux reader");
+            }
+            MessageKind::Request | MessageKind::OneWay => {
+                let tx = handler_sinks.lock().get(&env.service).cloned();
+                if let Some(tx) = tx {
+                    let _ = tx.send(env);
+                }
+            }
+        });
         Arc::new(RpcMux {
             endpoint,
-            pending,
+            engine,
+            calls,
             sinks,
-            reader: Some(reader),
         })
     }
 
     /// The underlying endpoint's node id.
     pub fn node(&self) -> &NodeId {
         self.endpoint.id()
+    }
+
+    /// The event engine this mux schedules on.
+    pub fn engine(&self) -> &Arc<EventEngine> {
+        &self.engine
     }
 
     /// The endpoint's correlation watermark (see
@@ -246,7 +503,15 @@ impl RpcMux {
             .send(dst, service, MessageKind::OneWay, corr, payload);
     }
 
-    /// Issue a request with retransmission per `policy`.
+    /// Run every currently runnable scheduled delivery (for push-style
+    /// consumers that poll a [`RpcMux::register_sink`] receiver without an
+    /// in-flight call to pump for them). Returns how many events ran.
+    pub fn pump(&self) -> usize {
+        self.engine.run_until_idle()
+    }
+
+    /// Start a request with retransmission per `policy`, returning a
+    /// completion to poll or wait on.
     ///
     /// (The argument list mirrors the wire fields; a params struct would
     /// just restate them.)
@@ -254,6 +519,56 @@ impl RpcMux {
     /// The same `request_id` (also used as the correlation id) is reused on
     /// every attempt so the server's dedup cache can guarantee at-most-once
     /// execution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn call_async(
+        &self,
+        dst: &NodeId,
+        service: &str,
+        caller: &DistinguishedName,
+        operation: &str,
+        body: Value,
+        attempt_timeout: Duration,
+        policy: RetryPolicy,
+    ) -> RpcCompletion {
+        let request_id = self.endpoint.next_correlation();
+        let request = RpcRequest {
+            request_id,
+            caller: caller.clone(),
+            operation: operation.to_string(),
+            body,
+        };
+        let payload = Bytes::from(serde_json::to_vec(&request).expect("serialize request"));
+        let slot = Arc::new(CallSlot {
+            engine: Arc::clone(&self.engine),
+            endpoint: self.endpoint.clone(),
+            dst: dst.clone(),
+            service: service.to_string(),
+            request_id,
+            payload,
+            attempt_timeout,
+            policy,
+            state: Mutex::new(SlotState {
+                attempts: 0,
+                first_send: self.endpoint.clock().now(),
+                timer: None,
+                result: None,
+            }),
+        });
+        // Register before the first send: a zero-latency loss notice is a
+        // scheduled event, but another pumper could run it immediately.
+        self.calls.lock().insert(request_id, Arc::clone(&slot));
+        {
+            let mut st = slot.state.lock();
+            slot.send_attempt(&mut st);
+        }
+        RpcCompletion {
+            slot,
+            calls: Arc::clone(&self.calls),
+        }
+    }
+
+    /// Issue a request and wait for its outcome (blocking façade over
+    /// [`RpcMux::call_async`]).
     #[allow(clippy::too_many_arguments)]
     pub fn call(
         &self,
@@ -265,123 +580,16 @@ impl RpcMux {
         attempt_timeout: Duration,
         policy: RetryPolicy,
     ) -> Result<RpcReply, RpcError> {
-        let request_id = self.endpoint.next_correlation();
-        let request = RpcRequest {
-            request_id,
-            caller: caller.clone(),
-            operation: operation.to_string(),
-            body,
-        };
-        let payload = Bytes::from(serde_json::to_vec(&request).expect("serialize request"));
-        let (tx, rx) = bounded::<Routed>(4);
-        self.pending.lock().insert(request_id, tx);
-        let first_send = self.endpoint.clock().now();
-        let result = self.call_inner(
+        self.call_async(
             dst,
             service,
-            request_id,
-            &payload,
+            caller,
+            operation,
+            body,
             attempt_timeout,
             policy,
-            &rx,
-            first_send,
-        );
-        self.pending.lock().remove(&request_id);
-        result
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn call_inner(
-        &self,
-        dst: &NodeId,
-        service: &str,
-        request_id: u64,
-        payload: &Bytes,
-        attempt_timeout: Duration,
-        policy: RetryPolicy,
-        rx: &Receiver<Routed>,
-        first_send: SimTime,
-    ) -> Result<RpcReply, RpcError> {
-        let mut attempts = 0;
-        loop {
-            attempts += 1;
-            self.endpoint.send(
-                dst.clone(),
-                service,
-                MessageKind::Request,
-                request_id,
-                payload.clone(),
-            );
-            // Model retransmission back-off in virtual time: each retry after
-            // the first charges one attempt-timeout of virtual waiting.
-            if attempts > 1 {
-                self.endpoint
-                    .clock()
-                    .advance(SimTime::from_secs_f64(attempt_timeout.as_secs_f64()));
-            }
-            // The router reports losses deterministically (Dropped/LinkReset/
-            // NoRoute notices), so the real-time wait is only a long-stop
-            // fallback for a wedged peer — generous enough that scheduler
-            // load cannot manufacture a spurious retransmission.
-            let real_deadline = attempt_timeout.max(Duration::from_secs(2));
-            match rx.recv_timeout(real_deadline) {
-                Ok(Routed::Reply(env)) => {
-                    let response: RpcResponse =
-                        serde_json::from_slice(&env.payload).map_err(|_| {
-                            RpcError::Fault(ServiceFault::permanent(
-                                "BadResponse",
-                                "undecodable response payload",
-                            ))
-                        })?;
-                    return match response.outcome {
-                        RpcOutcome::Ok(value) => Ok(RpcReply {
-                            value,
-                            virtual_rtt: env.delivered_at().saturating_sub(first_send),
-                            attempts,
-                        }),
-                        RpcOutcome::Fault(fault) => Err(RpcError::Fault(fault)),
-                    };
-                }
-                Ok(Routed::Notice(ControlNotice::LinkReset { .. })) => {
-                    if policy.retry_on_reset && attempts < policy.max_attempts {
-                        continue;
-                    }
-                    return Err(RpcError::LinkReset);
-                }
-                Ok(Routed::Notice(ControlNotice::NoRoute { .. })) => {
-                    return Err(RpcError::NoRoute);
-                }
-                // A silent loss, surfaced deterministically: semantically
-                // this *is* the attempt timeout (the caller waited out its
-                // deadline), so it follows the timeout retry policy and
-                // error shape exactly.
-                Ok(Routed::Notice(ControlNotice::Dropped { .. })) => {
-                    if policy.retry_on_timeout && attempts < policy.max_attempts {
-                        continue;
-                    }
-                    return Err(RpcError::Timeout { attempts });
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    if policy.retry_on_timeout && attempts < policy.max_attempts {
-                        continue;
-                    }
-                    return Err(RpcError::Timeout { attempts });
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    return Err(RpcError::MuxClosed);
-                }
-            }
-        }
-    }
-}
-
-impl Drop for RpcMux {
-    fn drop(&mut self) {
-        // The reader thread exits when the endpoint's network shuts down;
-        // detach rather than join to avoid ordering constraints.
-        if let Some(h) = self.reader.take() {
-            drop(h);
-        }
+        )
+        .wait()
     }
 }
 
@@ -392,7 +600,7 @@ pub struct RpcClient {
     dst: NodeId,
     service: String,
     caller: DistinguishedName,
-    /// Per-attempt real-time deadline (only reached when messages are lost).
+    /// Per-attempt timeout, charged in virtual time.
     pub attempt_timeout: Duration,
     /// Default retry policy.
     pub policy: RetryPolicy,
@@ -456,6 +664,19 @@ impl RpcClient {
         )
     }
 
+    /// Start `operation` without waiting (completion-based fan-out).
+    pub fn call_async(&self, operation: &str, body: Value) -> RpcCompletion {
+        self.mux.call_async(
+            &self.dst,
+            &self.service,
+            &self.caller,
+            operation,
+            body,
+            self.attempt_timeout,
+            self.policy,
+        )
+    }
+
     /// Call and keep only the value (common case).
     pub fn call_value(&self, operation: &str, body: Value) -> Result<Value, RpcError> {
         self.call(operation, body).map(|r| r.value)
@@ -467,9 +688,10 @@ mod tests {
     use super::*;
     use neesgrid_gridsim::{FaultPlan, LatencyModel, LinkKey, NetworkConfig, VirtualNetwork};
 
-    /// A trivial echo responder running on its own thread.
+    /// A trivial echo responder running on its own thread (channel mode —
+    /// deliberately exercising the mixed deployment path).
     fn spawn_echo(net: &VirtualNetwork, name: &str) {
-        let ep = net.endpoint(name);
+        let ep = net.endpoint(name).unwrap();
         std::thread::spawn(move || {
             while let Some(env) = ep.recv() {
                 if env.kind != MessageKind::Request {
@@ -509,7 +731,7 @@ mod tests {
     fn echo_roundtrip() {
         let net = VirtualNetwork::new(NetworkConfig::default());
         spawn_echo(&net, "server");
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller());
         let reply = client.call("ping", serde_json::json!({"x": 1})).unwrap();
         assert_eq!(reply.value["echo"]["x"], 1);
@@ -524,7 +746,7 @@ mod tests {
             ..Default::default()
         });
         spawn_echo(&net, "server");
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller());
         let reply = client.call("ping", Value::Null).unwrap();
         // Request leg + reply leg.
@@ -539,7 +761,7 @@ mod tests {
     fn fault_is_surfaced() {
         let net = VirtualNetwork::new(NetworkConfig::default());
         spawn_echo(&net, "server");
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller());
         match client.call("fail", Value::Null) {
             Err(RpcError::Fault(f)) => assert_eq!(f.code, "Oops"),
@@ -554,7 +776,7 @@ mod tests {
         let mut plan = FaultPlan::reliable();
         plan.drop_at(LinkKey::new("client", "server"), 0);
         net.set_fault_plan(plan);
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller())
             .with_attempt_timeout(Duration::from_millis(50));
         let reply = client.call("ping", Value::Null).unwrap();
@@ -568,7 +790,7 @@ mod tests {
         let mut plan = FaultPlan::reliable();
         plan.drop_at(LinkKey::new("server", "client"), 0);
         net.set_fault_plan(plan);
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller())
             .with_attempt_timeout(Duration::from_millis(50));
         let reply = client.call("ping", Value::Null).unwrap();
@@ -582,7 +804,7 @@ mod tests {
         let mut plan = FaultPlan::reliable();
         plan.drop_at(LinkKey::new("client", "server"), 0);
         net.set_fault_plan(plan);
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller())
             .with_policy(RetryPolicy::none())
             .with_attempt_timeout(Duration::from_millis(30));
@@ -599,7 +821,7 @@ mod tests {
         let mut plan = FaultPlan::reliable();
         plan.reset_at(LinkKey::new("client", "server"), 0);
         net.set_fault_plan(plan);
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller())
             .with_policy(RetryPolicy::timeouts_only(4));
         assert_eq!(
@@ -615,7 +837,7 @@ mod tests {
         let mut plan = FaultPlan::reliable();
         plan.reset_at(LinkKey::new("client", "server"), 0);
         net.set_fault_plan(plan);
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller());
         let reply = client.call("ping", Value::Null).unwrap();
         assert_eq!(reply.attempts, 2);
@@ -624,7 +846,7 @@ mod tests {
     #[test]
     fn no_route_is_not_retried() {
         let net = VirtualNetwork::new(NetworkConfig::default());
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("ghost"), "echo", caller());
         assert_eq!(
             client.call("ping", Value::Null).unwrap_err(),
@@ -636,7 +858,7 @@ mod tests {
     fn concurrent_calls_demultiplex() {
         let net = VirtualNetwork::new(NetworkConfig::default());
         spawn_echo(&net, "server");
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let mut handles = Vec::new();
         for i in 0..8 {
             let client = RpcClient::new(Arc::clone(&mux), NodeId::new("server"), "echo", caller());
@@ -651,17 +873,46 @@ mod tests {
     }
 
     #[test]
+    fn batched_fan_out_over_completions() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        for name in ["s0", "s1", "s2"] {
+            spawn_echo(&net, name);
+        }
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
+        let completions: Vec<RpcCompletion> = (0..3)
+            .map(|i| {
+                let client = RpcClient::new(
+                    Arc::clone(&mux),
+                    NodeId::new(format!("s{i}")),
+                    "echo",
+                    caller(),
+                );
+                client.call_async("ping", serde_json::json!({ "i": i }))
+            })
+            .collect();
+        let results = wait_all(completions);
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.into_iter().enumerate() {
+            let reply = r.unwrap();
+            assert_eq!(reply.value["echo"]["i"], i);
+            assert_eq!(reply.attempts, 1);
+        }
+    }
+
+    #[test]
     fn oneway_reaches_registered_sink() {
         let net = VirtualNetwork::new(NetworkConfig::default());
-        let server_mux = RpcMux::new(net.endpoint("server"));
+        let server_mux = RpcMux::new(net.endpoint("server").unwrap());
         let sink = server_mux.register_sink("nsds");
-        let client_mux = RpcMux::new(net.endpoint("client"));
+        let client_mux = RpcMux::new(net.endpoint("client").unwrap());
         client_mux.send_oneway(
             NodeId::new("server"),
             "nsds",
             &serde_json::json!({"sample": 0.5}),
         );
-        let env = sink.recv_timeout(Duration::from_secs(1)).unwrap();
+        // One-way delivery is a scheduled event; pump it through.
+        assert!(server_mux.pump() > 0);
+        let env = sink.try_recv().unwrap();
         let v: Value = serde_json::from_slice(&env.payload).unwrap();
         assert_eq!(v["sample"], 0.5);
     }
@@ -674,12 +925,40 @@ mod tests {
         plan.drop_at(LinkKey::new("client", "server"), 0);
         net.set_fault_plan(plan);
         let clock = net.clock();
-        let mux = RpcMux::new(net.endpoint("client"));
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
         let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller())
             .with_attempt_timeout(Duration::from_millis(50));
         let before = clock.now();
         client.call("ping", Value::Null).unwrap();
         // One retransmission → at least one attempt-timeout of virtual wait.
         assert!(clock.now().saturating_sub(before) >= SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn all_drops_exhaust_retries_quickly() {
+        // Regression guard on the removed 2-second real-time long-stop:
+        // exhausting every retry against a fully lossy link must be a
+        // virtual-time affair.
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        spawn_echo(&net, "server");
+        let mut plan = FaultPlan::reliable();
+        for i in 0..64 {
+            plan.drop_at(LinkKey::new("client", "server"), i);
+        }
+        net.set_fault_plan(plan);
+        let mux = RpcMux::new(net.endpoint("client").unwrap());
+        let client = RpcClient::new(mux, NodeId::new("server"), "echo", caller())
+            .with_policy(RetryPolicy::transient(4))
+            .with_attempt_timeout(Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            client.call("ping", Value::Null).unwrap_err(),
+            RpcError::Timeout { attempts: 4 }
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "took {:?}",
+            t0.elapsed()
+        );
     }
 }

@@ -29,13 +29,13 @@ fn main() {
         Box::new(SimulationPlugin::new("demo-plugin", Box::new(substructure))),
         net.clock(),
     );
-    let _site = ServiceContainer::new(net.endpoint("demo-site"))
+    let _site = ServiceContainer::new(net.endpoint("demo-site").unwrap())
         .with_service("ntcp", Box::new(server))
         .permissive()
         .run();
 
     // 3. A client.
-    let mux = RpcMux::new(net.endpoint("operator"));
+    let mux = RpcMux::new(net.endpoint("operator").unwrap());
     let client = NtcpClient::new(
         RpcClient::new(
             mux,

@@ -30,7 +30,7 @@ use neesgrid::structsim::GroundMotion;
 fn main() {
     let net = VirtualNetwork::new(NetworkConfig::default());
     let caller = DistinguishedName::nees_user("NCSA", "SSI Coordinator");
-    let mux = RpcMux::new(net.endpoint("coordinator"));
+    let mux = RpcMux::new(net.endpoint("coordinator").unwrap());
 
     // DOF 0: soil (RPI centrifuge). DOF 1: UIUC pier. DOF 2: Lehigh pier.
     type SiteSpec<'a> = (&'a str, Box<dyn Substructure>, Vec<usize>, f64);
@@ -105,7 +105,7 @@ fn main() {
             Box::new(SimulationPlugin::new(format!("{name}-plugin"), sub)),
             net.clock(),
         );
-        let _ = ServiceContainer::new(net.endpoint(name))
+        let _ = ServiceContainer::new(net.endpoint(name).unwrap())
             .with_service("ntcp", Box::new(server))
             .permissive()
             .run();

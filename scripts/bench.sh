@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Benchmark gate: the MOST run benchmarks plus the N-site scaling sweep.
+#
+#   scripts/bench.sh            # sec34 MOST runs + sec51 N-site scaling
+#   scripts/bench.sh --all      # every bench target in the harness
+#
+# sec51 writes steps/second for N = 3, 8, 16, 64 to BENCH_scaling.json at
+# the repo root (and asserts 64-site double-run determinism).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+all=0
+[[ "${1:-}" == "--all" ]] && all=1
+
+echo "==> sec34_most_run (§3.4 scenarios)"
+cargo bench -p neesgrid-bench --bench sec34_most_run
+
+echo "==> sec51_n_site_scaling (N = 3, 8, 16, 64 → BENCH_scaling.json)"
+cargo bench -p neesgrid-bench --bench sec51_n_site_scaling
+
+if [[ $all -eq 1 ]]; then
+    echo "==> full bench suite"
+    cargo bench -p neesgrid-bench
+fi
+
+echo "Benchmarks done."

@@ -32,6 +32,9 @@ if [[ $quick -eq 0 ]]; then
 else
     echo "==> analyzer check-ntcp (reduced budgets for --quick)"
     cargo run -q -p neesgrid-analyzer -- check-ntcp --dup-budget 1 --drop-budget 1
+
+    echo "==> N=8 event-engine smoke (determinism + virtual-time retries)"
+    cargo test -q --test event_engine
 fi
 
 echo "==> cargo test -q (tier-1)"

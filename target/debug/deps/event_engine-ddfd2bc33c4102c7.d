@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/event_engine-ddfd2bc33c4102c7.d: tests/event_engine.rs
+
+/root/repo/target/debug/deps/event_engine-ddfd2bc33c4102c7: tests/event_engine.rs
+
+tests/event_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/event_engine-f6bbbd260a757b17.d: tests/event_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevent_engine-f6bbbd260a757b17.rmeta: tests/event_engine.rs Cargo.toml
+
+tests/event_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

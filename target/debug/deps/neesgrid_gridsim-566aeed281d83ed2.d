@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/neesgrid_gridsim-566aeed281d83ed2.d: crates/gridsim/src/lib.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
+/root/repo/target/debug/deps/neesgrid_gridsim-566aeed281d83ed2.d: crates/gridsim/src/lib.rs crates/gridsim/src/event.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
 
-/root/repo/target/debug/deps/neesgrid_gridsim-566aeed281d83ed2: crates/gridsim/src/lib.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
+/root/repo/target/debug/deps/neesgrid_gridsim-566aeed281d83ed2: crates/gridsim/src/lib.rs crates/gridsim/src/event.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
 
 crates/gridsim/src/lib.rs:
+crates/gridsim/src/event.rs:
 crates/gridsim/src/fault.rs:
 crates/gridsim/src/latency.rs:
 crates/gridsim/src/message.rs:

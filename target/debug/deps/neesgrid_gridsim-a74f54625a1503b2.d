@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/neesgrid_gridsim-a74f54625a1503b2.d: crates/gridsim/src/lib.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/neesgrid_gridsim-a74f54625a1503b2.d: crates/gridsim/src/lib.rs crates/gridsim/src/event.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs Cargo.toml
 
-/root/repo/target/debug/deps/libneesgrid_gridsim-a74f54625a1503b2.rmeta: crates/gridsim/src/lib.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libneesgrid_gridsim-a74f54625a1503b2.rmeta: crates/gridsim/src/lib.rs crates/gridsim/src/event.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs Cargo.toml
 
 crates/gridsim/src/lib.rs:
+crates/gridsim/src/event.rs:
 crates/gridsim/src/fault.rs:
 crates/gridsim/src/latency.rs:
 crates/gridsim/src/message.rs:

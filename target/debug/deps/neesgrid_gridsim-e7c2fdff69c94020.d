@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/neesgrid_gridsim-e7c2fdff69c94020.d: crates/gridsim/src/lib.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
+/root/repo/target/debug/deps/neesgrid_gridsim-e7c2fdff69c94020.d: crates/gridsim/src/lib.rs crates/gridsim/src/event.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
 
-/root/repo/target/debug/deps/libneesgrid_gridsim-e7c2fdff69c94020.rlib: crates/gridsim/src/lib.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
+/root/repo/target/debug/deps/libneesgrid_gridsim-e7c2fdff69c94020.rlib: crates/gridsim/src/lib.rs crates/gridsim/src/event.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
 
-/root/repo/target/debug/deps/libneesgrid_gridsim-e7c2fdff69c94020.rmeta: crates/gridsim/src/lib.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
+/root/repo/target/debug/deps/libneesgrid_gridsim-e7c2fdff69c94020.rmeta: crates/gridsim/src/lib.rs crates/gridsim/src/event.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
 
 crates/gridsim/src/lib.rs:
+crates/gridsim/src/event.rs:
 crates/gridsim/src/fault.rs:
 crates/gridsim/src/latency.rs:
 crates/gridsim/src/message.rs:

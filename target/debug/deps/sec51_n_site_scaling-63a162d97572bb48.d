@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sec51_n_site_scaling-63a162d97572bb48.d: crates/bench/benches/sec51_n_site_scaling.rs
+
+/root/repo/target/debug/deps/sec51_n_site_scaling-63a162d97572bb48: crates/bench/benches/sec51_n_site_scaling.rs
+
+crates/bench/benches/sec51_n_site_scaling.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

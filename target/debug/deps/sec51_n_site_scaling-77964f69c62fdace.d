@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sec51_n_site_scaling-77964f69c62fdace.d: crates/bench/benches/sec51_n_site_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec51_n_site_scaling-77964f69c62fdace.rmeta: crates/bench/benches/sec51_n_site_scaling.rs Cargo.toml
+
+crates/bench/benches/sec51_n_site_scaling.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/neesgrid_gridsim-4684239398844a80.d: crates/gridsim/src/lib.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
+/root/repo/target/release/deps/neesgrid_gridsim-4684239398844a80.d: crates/gridsim/src/lib.rs crates/gridsim/src/event.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
 
-/root/repo/target/release/deps/libneesgrid_gridsim-4684239398844a80.rlib: crates/gridsim/src/lib.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
+/root/repo/target/release/deps/libneesgrid_gridsim-4684239398844a80.rlib: crates/gridsim/src/lib.rs crates/gridsim/src/event.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
 
-/root/repo/target/release/deps/libneesgrid_gridsim-4684239398844a80.rmeta: crates/gridsim/src/lib.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
+/root/repo/target/release/deps/libneesgrid_gridsim-4684239398844a80.rmeta: crates/gridsim/src/lib.rs crates/gridsim/src/event.rs crates/gridsim/src/fault.rs crates/gridsim/src/latency.rs crates/gridsim/src/message.rs crates/gridsim/src/network.rs crates/gridsim/src/node.rs crates/gridsim/src/stats.rs crates/gridsim/src/time.rs
 
 crates/gridsim/src/lib.rs:
+crates/gridsim/src/event.rs:
 crates/gridsim/src/fault.rs:
 crates/gridsim/src/latency.rs:
 crates/gridsim/src/message.rs:

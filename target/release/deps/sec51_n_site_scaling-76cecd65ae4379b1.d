@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sec51_n_site_scaling-76cecd65ae4379b1.d: crates/bench/benches/sec51_n_site_scaling.rs
+
+/root/repo/target/release/deps/sec51_n_site_scaling-76cecd65ae4379b1: crates/bench/benches/sec51_n_site_scaling.rs
+
+crates/bench/benches/sec51_n_site_scaling.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -73,7 +73,7 @@ fn soil_structure_sites() -> Vec<SiteSpec> {
 fn four_site_soil_structure_experiment_runs() {
     let net = VirtualNetwork::new(NetworkConfig::default());
     let caller = DistinguishedName::nees_user("NCSA", "SSI Coordinator");
-    let mux = RpcMux::new(net.endpoint("coordinator"));
+    let mux = RpcMux::new(net.endpoint("coordinator").unwrap());
     let mut builder = SimCoordBuilder::new(vec![50_000.0, 9_000.0, 8_000.0], net.clock())
         .dt(0.005)
         .fault_policy(FaultPolicy::Full {
@@ -93,7 +93,7 @@ fn four_site_soil_structure_experiment_runs() {
             Box::new(SimulationPlugin::new(format!("{name}-plugin"), sub)),
             net.clock(),
         );
-        let _ = ServiceContainer::new(net.endpoint(name.as_str()))
+        let _ = ServiceContainer::new(net.endpoint(name.as_str()).unwrap())
             .with_service("ntcp", Box::new(server))
             .permissive()
             .run();
@@ -200,11 +200,11 @@ fn six_dof_quasi_static_loading_in_one_transaction() {
         Box::new(SimulationPlugin::new("umn-6dof", Box::new(specimen))),
         net.clock(),
     );
-    let _ = ServiceContainer::new(net.endpoint("umn"))
+    let _ = ServiceContainer::new(net.endpoint("umn").unwrap())
         .with_service("ntcp", Box::new(server))
         .permissive()
         .run();
-    let mux = RpcMux::new(net.endpoint("operator"));
+    let mux = RpcMux::new(net.endpoint("operator").unwrap());
     let client = NtcpClient::new(
         RpcClient::new(
             mux,
@@ -265,7 +265,7 @@ fn emergency_stop_mid_experiment_aborts_cleanly() {
     // and shuts the experiment down rather than pressing on.
     let net = VirtualNetwork::new(NetworkConfig::default());
     let caller = DistinguishedName::nees_user("NCSA", "Coordinator");
-    let mux = RpcMux::new(net.endpoint("coordinator"));
+    let mux = RpcMux::new(net.endpoint("coordinator").unwrap());
 
     // A policy whose emergency stop engages partway through: model by a
     // displacement limit the response will cross as it builds up.
@@ -289,7 +289,7 @@ fn emergency_stop_mid_experiment_aborts_cleanly() {
         )),
         net.clock(),
     );
-    let _ = ServiceContainer::new(net.endpoint("uiuc"))
+    let _ = ServiceContainer::new(net.endpoint("uiuc").unwrap())
         .with_service("ntcp", Box::new(server))
         .permissive()
         .run();

@@ -27,7 +27,7 @@ const STEPS: usize = 120;
 fn run_under(plan: FaultPlan, policy: FaultPolicy) -> (usize, u64) {
     let net = VirtualNetwork::new(NetworkConfig::default());
     let caller = DistinguishedName::nees_user("NCSA", "Coordinator");
-    let mux = RpcMux::new(net.endpoint("coordinator"));
+    let mux = RpcMux::new(net.endpoint("coordinator").unwrap());
     let mut builder = SimCoordBuilder::new(vec![1000.0, 1000.0], net.clock())
         .dt(0.01)
         .fault_policy(policy);
@@ -44,7 +44,7 @@ fn run_under(plan: FaultPlan, policy: FaultPolicy) -> (usize, u64) {
             )),
             net.clock(),
         );
-        let _ = ServiceContainer::new(net.endpoint(name))
+        let _ = ServiceContainer::new(net.endpoint(name).unwrap())
             .with_service("ntcp", Box::new(server))
             .permissive()
             .run();
@@ -146,7 +146,7 @@ fn results_are_identical_across_policies_when_both_complete() {
     let run = |policy| {
         let net = VirtualNetwork::new(NetworkConfig::default());
         let caller = DistinguishedName::nees_user("NCSA", "Coordinator");
-        let mux = RpcMux::new(net.endpoint("coordinator"));
+        let mux = RpcMux::new(net.endpoint("coordinator").unwrap());
         let server = NtcpServer::new(
             "alpha",
             SitePolicy::permissive("alpha", ActionLimits::most_large_scale()),
@@ -159,7 +159,7 @@ fn results_are_identical_across_policies_when_both_complete() {
             )),
             net.clock(),
         );
-        let _ = ServiceContainer::new(net.endpoint("alpha"))
+        let _ = ServiceContainer::new(net.endpoint("alpha").unwrap())
             .with_service("ntcp", Box::new(server))
             .permissive()
             .run();

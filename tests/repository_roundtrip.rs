@@ -17,7 +17,7 @@ use neesgrid::repo::{crc32, from_hex, to_hex, Nfms, NfmsService, Nmds, NmdsServi
 
 fn start_repository(net: &VirtualNetwork) {
     let store = VirtualStore::new();
-    let container = ServiceContainer::new(net.endpoint("repository"))
+    let container = ServiceContainer::new(net.endpoint("repository").unwrap())
         .with_service("nfms", Box::new(NfmsService::new(Nfms::new(store))))
         .with_service("nmds", Box::new(NmdsService::new(Nmds::new())))
         .permissive();
@@ -25,7 +25,7 @@ fn start_repository(net: &VirtualNetwork) {
 }
 
 fn clients(net: &VirtualNetwork, node: &str, user: &str) -> (RpcClient, RpcClient) {
-    let mux = RpcMux::new(net.endpoint(node));
+    let mux = RpcMux::new(net.endpoint(node).unwrap());
     let dn = DistinguishedName::nees_user("NEES", user);
     (
         RpcClient::new(

@@ -65,8 +65,8 @@ impl Rig {
             )),
             self.net.clock(),
         );
-        let mut container =
-            ServiceContainer::new(self.net.endpoint("uiuc")).with_service("ntcp", Box::new(server));
+        let mut container = ServiceContainer::new(self.net.endpoint("uiuc").unwrap())
+            .with_service("ntcp", Box::new(server));
         for cred in admitted {
             let session = authenticate(cred, &self.host_cred, &self.ca.verifier(), SimTime::ZERO)
                 .expect("handshake");
@@ -76,7 +76,7 @@ impl Rig {
     }
 
     fn client(&self, name: &str, as_user: &DistinguishedName) -> NtcpClient {
-        let mux = RpcMux::new(self.net.endpoint(name));
+        let mux = RpcMux::new(self.net.endpoint(name).unwrap());
         NtcpClient::new(
             RpcClient::new(mux, NodeId::new("uiuc"), "ntcp", as_user.clone())
                 .with_attempt_timeout(Duration::from_millis(80)),
@@ -155,11 +155,11 @@ fn site_force_limits_refuse_dangerous_commands_before_motion() {
         )),
         net.clock(),
     );
-    let _ = ServiceContainer::new(net.endpoint("uiuc"))
+    let _ = ServiceContainer::new(net.endpoint("uiuc").unwrap())
         .with_service("ntcp", Box::new(server))
         .permissive()
         .run();
-    let mux = RpcMux::new(net.endpoint("client"));
+    let mux = RpcMux::new(net.endpoint("client").unwrap());
     let client = NtcpClient::new(RpcClient::new(
         mux,
         NodeId::new("uiuc"),
@@ -201,11 +201,11 @@ fn hardware_interlock_backstops_the_policy_layer() {
         },
     );
     let server = NtcpServer::new("uiuc", lax, Box::new(plugin), net.clock());
-    let _ = ServiceContainer::new(net.endpoint("uiuc"))
+    let _ = ServiceContainer::new(net.endpoint("uiuc").unwrap())
         .with_service("ntcp", Box::new(server))
         .permissive()
         .run();
-    let mux = RpcMux::new(net.endpoint("client"));
+    let mux = RpcMux::new(net.endpoint("client").unwrap());
     let client = NtcpClient::new(RpcClient::new(
         mux,
         NodeId::new("uiuc"),
