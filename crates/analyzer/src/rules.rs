@@ -1,6 +1,6 @@
 //! The invariant lint rules and the engine that applies them.
 //!
-//! Four rules, each guarding a property the rest of the workspace depends
+//! Five rules, each guarding a property the rest of the workspace depends
 //! on but the compiler cannot check:
 //!
 //! | rule            | invariant                                              |
@@ -9,6 +9,7 @@
 //! | `no-wall-clock` | nothing outside annotated real-time paths reads the wall clock (`Instant::now`, `SystemTime::now`, `thread::sleep`) — checkpoint replay and fault-plan indexing assume determinism. In protocol and `ogsi` library code the rule also flags the blocking-wait patterns `recv_timeout(…)` and `Duration::from_secs(…)`: with the event engine owning time, a hard-coded real-seconds wait is almost always a bug |
 //! | `no-todo`       | no `todo!`/`unimplemented!` ships                       |
 //! | `missing-docs`  | public items of protocol crates carry doc comments      |
+//! | `telemetry-span-balance` | in protocol crates a function that calls `.span_start(…)` must also call `.span_end(…)`, with no `return` or `?` between the first start and the last end — the wrapper pattern that guarantees spans close on every path. Cross-function spans (the ogsi RPC call/complete pair) live in exempt crates |
 //!
 //! Code inside `#[cfg(test)]` / `#[test]` regions is exempt from every
 //! rule. A finding can be waived in place with
@@ -20,8 +21,14 @@ use std::path::{Path, PathBuf};
 
 use crate::lexer::{lex, Delim, Pragma, TokKind, Token};
 
-/// The four enforceable rules, in reporting order.
-pub const RULE_NAMES: [&str; 4] = ["no-unwrap", "no-wall-clock", "no-todo", "missing-docs"];
+/// The five enforceable rules, in reporting order.
+pub const RULE_NAMES: [&str; 5] = [
+    "no-unwrap",
+    "no-wall-clock",
+    "no-todo",
+    "missing-docs",
+    "telemetry-span-balance",
+];
 
 /// Rule id reported for malformed or reasonless suppression pragmas.
 pub const BAD_PRAGMA: &str = "bad-pragma";
@@ -40,6 +47,8 @@ pub struct RuleSet {
     pub todo: bool,
     /// `missing-docs` applies.
     pub docs: bool,
+    /// `telemetry-span-balance` applies.
+    pub span_balance: bool,
 }
 
 impl RuleSet {
@@ -51,6 +60,7 @@ impl RuleSet {
             blocking: true,
             todo: true,
             docs: true,
+            span_balance: true,
         }
     }
 }
@@ -320,6 +330,10 @@ pub fn lint_source(file: &str, src: &str, rules: RuleSet) -> FileOutcome {
         }
     }
 
+    if rules.span_balance {
+        check_span_balance(file, tokens, &mask, &mut raw);
+    }
+
     for f in raw {
         let waived = suppressions
             .iter()
@@ -340,6 +354,94 @@ fn finding(file: &str, line: u32, rule: &'static str, message: String) -> Findin
         line,
         rule,
         message,
+    }
+}
+
+/// The `telemetry-span-balance` pass. For every non-test function body:
+/// a `.span_start(…)` call demands a `.span_end(…)` call in the same body,
+/// and no `return` or `?` may sit between the first start and the last end.
+/// That is the structural shape of the wrapper pattern — compute the result
+/// into a binding, end the span, then return — which guarantees the span
+/// closes on every path without flow analysis. Functions *named*
+/// `span_start`/`span_end` (the telemetry crate's own definitions and
+/// wrappers around them) are exempt.
+fn check_span_balance(file: &str, tokens: &[Token], mask: &[bool], raw: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if mask[i] || !matches!(&tokens[i].kind, TokKind::Ident(s) if s == "fn") {
+            i += 1;
+            continue;
+        }
+        let name = match tokens.get(i + 1).map(|t| &t.kind) {
+            Some(TokKind::Ident(s)) => s.clone(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // Find the body's opening brace; a `;` first means a bodyless
+        // declaration (trait method signature).
+        let mut j = i + 2;
+        let open = loop {
+            match tokens.get(j).map(|t| &t.kind) {
+                Some(TokKind::Open(Delim::Brace)) => break Some(j),
+                Some(TokKind::Semi) | None => break None,
+                _ => j += 1,
+            }
+        };
+        let Some(open) = open else {
+            i = j;
+            continue;
+        };
+        let close = matching(tokens, open, Delim::Brace).unwrap_or(tokens.len() - 1);
+        if name != "span_start" && name != "span_end" {
+            let body = &tokens[open + 1..close];
+            let is_call = |k: usize, want: &str| {
+                matches!(&body[k].kind, TokKind::Ident(s) if s == want)
+                    && k > 0
+                    && body[k - 1].kind == TokKind::Dot
+                    && matches!(
+                        body.get(k + 1).map(|t| &t.kind),
+                        Some(TokKind::Open(Delim::Paren))
+                    )
+            };
+            let starts: Vec<usize> = (0..body.len())
+                .filter(|&k| is_call(k, "span_start"))
+                .collect();
+            let ends: Vec<usize> = (0..body.len())
+                .filter(|&k| is_call(k, "span_end"))
+                .collect();
+            if !starts.is_empty() {
+                if ends.is_empty() {
+                    raw.push(finding(
+                        file,
+                        body[starts[0]].line,
+                        "telemetry-span-balance",
+                        format!("fn `{name}` starts a telemetry span but never ends one — every span_start needs a span_end on all return paths"),
+                    ));
+                } else {
+                    let lo = starts[0];
+                    let hi = ends[ends.len() - 1];
+                    for tok in body.iter().take(hi).skip(lo) {
+                        let exits_early = match &tok.kind {
+                            TokKind::Ident(s) => s == "return",
+                            TokKind::Op(c) => *c == '?',
+                            _ => false,
+                        };
+                        if exits_early {
+                            raw.push(finding(
+                                file,
+                                tok.line,
+                                "telemetry-span-balance",
+                                format!("fn `{name}` may exit between span_start and span_end — use the wrapper pattern: bind the result, end the span, then return"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Descend into the body: nested fns get their own pass.
+        i = open + 1;
     }
 }
 
@@ -459,7 +561,7 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
     if !in_crate_src && !in_root_src {
         return None; // tests/, benches/, examples/ are exercise code
     }
-    let protocol = ["ntcp", "gridsim", "coordinator", "checkpoint"]
+    let protocol = ["ntcp", "gridsim", "coordinator", "checkpoint", "telemetry"]
         .iter()
         .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
     Some(RuleSet {
@@ -470,6 +572,10 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         // RPC/hosting layer; a blocking real-time wait there defeats it.
         blocking: protocol || rel.starts_with("crates/ogsi/src/"),
         todo: true,
+        // ogsi is deliberately exempt: its rpc call/complete pair is a
+        // legitimate cross-function span (started in call_async, ended in
+        // complete). Protocol crates must keep spans function-local.
+        span_balance: protocol,
     })
 }
 
@@ -704,16 +810,74 @@ mod tests {
         assert!(out.findings.is_empty(), "{:?}", out.findings);
     }
 
+    // ---- telemetry-span-balance ----
+
+    #[test]
+    fn span_start_without_end_flagged() {
+        let out = lint(
+            "fn f(&self) {\n    let s = self.telemetry.span_start(t, \"x\", \"y\", vec![]);\n    work();\n}\n",
+        );
+        assert_eq!(rules_of(&out), vec!["telemetry-span-balance"]);
+        assert!(out.findings[0].message.contains("never ends"));
+    }
+
+    #[test]
+    fn return_between_start_and_end_flagged() {
+        let out = lint(
+            "fn f(&self) -> u8 {\n    let s = self.telemetry.span_start(t, \"x\", \"y\", vec![]);\n    if bad { return 0; }\n    self.telemetry.span_end(t, s, vec![]);\n    1\n}\n",
+        );
+        assert_eq!(rules_of(&out), vec!["telemetry-span-balance"]);
+        assert_eq!(out.findings[0].line, 3);
+    }
+
+    #[test]
+    fn question_mark_between_start_and_end_flagged() {
+        let out = lint(
+            "fn f(&self) -> Result<u8, E> {\n    let s = self.telemetry.span_start(t, \"x\", \"y\", vec![]);\n    let v = fallible()?;\n    self.telemetry.span_end(t, s, vec![]);\n    Ok(v)\n}\n",
+        );
+        assert_eq!(rules_of(&out), vec!["telemetry-span-balance"]);
+    }
+
+    #[test]
+    fn wrapper_pattern_passes() {
+        // The sanctioned shape: start, compute into a binding (the inner
+        // call may fail — that's its problem), end, then return.
+        let out = lint(
+            "fn f(&self) -> Result<u8, E> {\n    let s = self.telemetry.span_start(t, \"x\", \"y\", vec![]);\n    let result = self.inner();\n    self.telemetry.span_end(t, s, vec![]);\n    result\n}\nfn g(&self) -> Result<u8, E> {\n    let v = fallible()?;\n    Ok(v)\n}\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn span_fn_definitions_exempt() {
+        // The telemetry crate's own span_start/span_end (and wrappers named
+        // after them) are not unbalanced spans.
+        let out = lint(
+            "pub(crate) fn span_start(&self, t: u64) -> SpanId {\n    self.record(t);\n    SpanId(1)\n}\npub(crate) fn span_end(&self, t: u64) {\n    self.record(t);\n}\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn span_in_test_module_exempt() {
+        let out = lint(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let s = tel.span_start(0, \"a\", \"b\", vec![]); }\n}\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
     // ---- scoping ----
 
     #[test]
     fn rule_scope_by_path() {
         let p = rules_for("crates/ntcp/src/server.rs").unwrap();
-        assert!(p.unwrap && p.docs && p.wall_clock && p.blocking && p.todo);
+        assert!(p.unwrap && p.docs && p.wall_clock && p.blocking && p.todo && p.span_balance);
+        let t = rules_for("crates/telemetry/src/lib.rs").unwrap();
+        assert!(t.unwrap && t.docs && t.wall_clock && t.blocking && t.todo && t.span_balance);
         let o = rules_for("crates/ogsi/src/rpc.rs").unwrap();
-        assert!(!o.unwrap && !o.docs && o.wall_clock && o.blocking && o.todo);
+        assert!(!o.unwrap && !o.docs && o.wall_clock && o.blocking && o.todo && !o.span_balance);
         let m = rules_for("crates/most/src/runner.rs").unwrap();
-        assert!(m.wall_clock && !m.blocking);
+        assert!(m.wall_clock && !m.blocking && !m.span_balance);
         let b = rules_for("crates/bench/src/lib.rs").unwrap();
         assert!(!b.wall_clock && !b.blocking && b.todo);
         assert_eq!(rules_for("crates/shims/rand/src/lib.rs"), None);

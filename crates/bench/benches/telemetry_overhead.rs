@@ -1,0 +1,94 @@
+//! Telemetry overhead — proving the instrumentation is affordable.
+//!
+//! Runs the 8-site experiment uninstrumented and fully instrumented
+//! (trace + metrics + flight recorder all live), takes the best of
+//! several runs of each, and writes `BENCH_telemetry_overhead.json` at
+//! the repo root. The acceptance bar is <5% wall-clock overhead; the
+//! harness asserts a looser 25% ceiling so a noisy CI machine cannot
+//! turn a measurement into a flake, and records the measured figure for
+//! the driver to judge.
+
+use std::time::Instant;
+
+use neesgrid_coordinator::Termination;
+use neesgrid_most::{n_site, n_site_with_telemetry};
+use neesgrid_telemetry::Telemetry;
+
+const SITES: usize = 8;
+const STEPS: usize = 200;
+const SEED: u64 = 2004;
+const RUNS: usize = 12;
+
+fn main() {
+    // Warm-up: fault both code paths into cache and let the allocator reach
+    // steady state (the trace buffer is multi-megabyte; its first-ever
+    // allocation faults pages that later runs reuse) before timing anything.
+    n_site(SITES, SEED).run(STEPS);
+    n_site_with_telemetry(SITES, SEED, Telemetry::recording()).run(STEPS);
+
+    // Interleave the two configurations, alternating which goes first in
+    // each pair, so CPU-frequency drift, background load, and cache state
+    // hit both equally; compare bests.
+    let mut plain_ms = f64::INFINITY;
+    let mut instrumented_ms = f64::INFINITY;
+    let mut trace_lines = 0usize;
+    let run_plain = |plain_ms: &mut f64| {
+        let started = Instant::now();
+        let outcome = n_site(SITES, SEED).run(STEPS);
+        assert!(matches!(outcome.termination, Termination::Completed));
+        *plain_ms = plain_ms.min(started.elapsed().as_secs_f64() * 1e3);
+    };
+    let run_instrumented = |instrumented_ms: &mut f64, trace_lines: &mut usize| {
+        let telemetry = Telemetry::recording();
+        let started = Instant::now();
+        let outcome = n_site_with_telemetry(SITES, SEED, telemetry.clone()).run(STEPS);
+        let elapsed = started.elapsed().as_secs_f64() * 1e3;
+        assert!(matches!(outcome.termination, Termination::Completed));
+        *trace_lines = telemetry.export_jsonl().lines().count();
+        *instrumented_ms = instrumented_ms.min(elapsed);
+    };
+    for round in 0..RUNS {
+        if round % 2 == 0 {
+            run_plain(&mut plain_ms);
+            run_instrumented(&mut instrumented_ms, &mut trace_lines);
+        } else {
+            run_instrumented(&mut instrumented_ms, &mut trace_lines);
+            run_plain(&mut plain_ms);
+        }
+    }
+    eprintln!("telemetry_overhead: uninstrumented best of {RUNS}: {plain_ms:>8.2} ms");
+    eprintln!("telemetry_overhead: instrumented   best of {RUNS}: {instrumented_ms:>8.2} ms");
+
+    let overhead = instrumented_ms / plain_ms - 1.0;
+    eprintln!(
+        "telemetry_overhead: {SITES} sites x {STEPS} steps, {trace_lines} trace lines, \
+         overhead {:+.2}%",
+        overhead * 1e2
+    );
+    assert!(
+        overhead < 0.25,
+        "telemetry overhead {:.1}% is far above the 5% budget",
+        overhead * 1e2
+    );
+
+    let doc = serde_json::json!({
+        "bench": "telemetry_overhead",
+        "sites": SITES,
+        "steps": STEPS,
+        "seed": SEED,
+        "runs_each": RUNS,
+        "uninstrumented_ms": plain_ms,
+        "instrumented_ms": instrumented_ms,
+        "overhead_fraction": overhead,
+        "trace_lines": trace_lines,
+        "budget_fraction": 0.05,
+        "within_budget": overhead < 0.05,
+    });
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_telemetry_overhead.json"
+    );
+    std::fs::write(out, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write BENCH_telemetry_overhead.json");
+    eprintln!("telemetry_overhead: wrote {out}");
+}

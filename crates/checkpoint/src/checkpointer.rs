@@ -14,6 +14,7 @@ use neesgrid_gridsim::SimClock;
 use neesgrid_ntcp::NtcpClient;
 use neesgrid_ogsi::RpcMux;
 use neesgrid_structsim::GroundMotion;
+use neesgrid_telemetry::{Field, Telemetry};
 
 use crate::policy::CheckpointPolicy;
 use crate::snapshot::{CheckpointError, SiteCheckpoint, Snapshot, FORMAT_VERSION};
@@ -28,6 +29,7 @@ pub struct Checkpointer {
     mux: Arc<RpcMux>,
     clock: Arc<SimClock>,
     saved: Vec<u64>,
+    telemetry: Telemetry,
 }
 
 impl Checkpointer {
@@ -51,7 +53,16 @@ impl Checkpointer {
             mux,
             clock,
             saved: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Install a telemetry handle: each successful save emits a
+    /// `checkpoint/snapshot` instant carrying the step and serialized
+    /// snapshot size. Defaults to disabled.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The policy in force.
@@ -89,6 +100,18 @@ impl Checkpointer {
         let snapshot = self.capture(coordinator)?;
         let step = snapshot.step;
         self.store.save(&snapshot)?;
+        if self.telemetry.enabled() {
+            let bytes = serde_json::to_vec(&snapshot)
+                .map(|v| v.len() as u64)
+                .unwrap_or(0);
+            self.telemetry.counter_add("checkpoint.saves", 1);
+            self.telemetry.instant(
+                self.clock.now().as_nanos(),
+                "checkpoint",
+                "snapshot",
+                [("step", Field::U64(step)), ("bytes", Field::U64(bytes))],
+            );
+        }
         if !self.saved.contains(&step) {
             self.saved.push(step);
         }

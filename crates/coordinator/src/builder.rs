@@ -11,6 +11,7 @@ use neesgrid_gridsim::SimClock;
 use neesgrid_ntcp::NtcpClient;
 use neesgrid_structsim::linalg::Matrix;
 use neesgrid_structsim::substructure::SubstructureBinding;
+use neesgrid_telemetry::Telemetry;
 
 use crate::coordinator::{SimulationCoordinator, SiteHandle};
 use crate::policy::FaultPolicy;
@@ -23,6 +24,7 @@ pub struct SimCoordBuilder {
     sites: Vec<SiteHandle>,
     policy: FaultPolicy,
     clock: Arc<SimClock>,
+    telemetry: Telemetry,
 }
 
 impl SimCoordBuilder {
@@ -37,7 +39,15 @@ impl SimCoordBuilder {
                 max_step_retries: 3,
             },
             clock,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Install a telemetry handle on the built coordinator (default:
+    /// disabled, zero overhead).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Set the integration time step (default 0.01 s).
@@ -83,14 +93,16 @@ impl SimCoordBuilder {
             "a coordinator needs at least one site"
         );
         let n = self.masses.len();
-        SimulationCoordinator::new(
+        let mut coord = SimulationCoordinator::new(
             self.masses,
             self.damping.unwrap_or_else(|| Matrix::zeros(n, n)),
             self.dt,
             self.sites,
             self.policy,
             self.clock,
-        )
+        );
+        coord.set_telemetry(self.telemetry);
+        coord
     }
 }
 

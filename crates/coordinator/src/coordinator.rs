@@ -27,6 +27,7 @@ use neesgrid_structsim::linalg::{Matrix, Vector};
 use neesgrid_structsim::psd::PsdHistory;
 use neesgrid_structsim::substructure::SubstructureBinding;
 use neesgrid_structsim::GroundMotion;
+use neesgrid_telemetry::{Field, FieldList, SpanId, Telemetry};
 
 use crate::log::{EventKind, ExperimentLog};
 use crate::policy::FaultPolicy;
@@ -150,6 +151,7 @@ pub struct SimulationCoordinator {
     clock: Arc<SimClock>,
     on_step: Option<StepObserver>,
     checkpoint: Option<(CheckpointCadence, CheckpointHook)>,
+    telemetry: Telemetry,
 }
 
 /// Per-step observer callback type.
@@ -184,7 +186,16 @@ impl SimulationCoordinator {
             clock,
             on_step: None,
             checkpoint: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Install a telemetry handle. Each step gets a `coordinator/step` span
+    /// wrapping `propose_phase` and `execute_phase` child spans; aborts emit
+    /// a `coordinator/abort` instant and trigger a flight-recorder dump;
+    /// resumes emit `coordinator/resume`. Defaults to disabled.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Install a per-step observer (streams to NSDS / the CHEF viewer).
@@ -229,19 +240,112 @@ impl SimulationCoordinator {
         attempt: u32,
         target: &Vector,
     ) -> Result<Vector, (String, NtcpError)> {
-        let tx_name = format!("step-{step:06}-a{attempt}");
-        // Phase 1: propose everywhere. All proposals go on the wire before
-        // any reply is awaited; one event-engine pump resolves the batch on
-        // this thread — no worker threads, no join, nothing to panic.
+        let span = if self.telemetry.enabled() {
+            self.telemetry.span_start(
+                self.clock.now().as_nanos(),
+                "coordinator",
+                "step",
+                [
+                    ("step", Field::U64(step)),
+                    ("attempt", Field::U64(attempt as u64)),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
+        let result = self.run_step_phases(clients, step, attempt, target);
+        if self.telemetry.enabled() {
+            let mut fields = FieldList::from([("step", Field::U64(step))]);
+            match &result {
+                Ok(_) => fields.push("ok", Field::Bool(true)),
+                Err((site, err)) => {
+                    fields.push("ok", Field::Bool(false));
+                    fields.push("site", Field::Str(site.clone()));
+                    fields.push("error", Field::Str(err.to_string()));
+                }
+            }
+            self.telemetry
+                .span_end(self.clock.now().as_nanos(), span, fields);
+        }
+        result
+    }
+
+    /// Phase 1: propose everywhere. All proposals go on the wire before
+    /// any reply is awaited; one event-engine pump resolves the batch on
+    /// this thread — no worker threads, no join, nothing to panic.
+    fn propose_phase(
+        &self,
+        clients: &[NtcpClient],
+        step: u64,
+        tx_name: &str,
+        target: &Vector,
+    ) -> Vec<Result<(), NtcpError>> {
+        let span = if self.telemetry.enabled() {
+            self.telemetry.span_start(
+                self.clock.now().as_nanos(),
+                "coordinator",
+                "propose_phase",
+                [("step", Field::U64(step))],
+            )
+        } else {
+            SpanId::NONE
+        };
         let proposals: Vec<Result<(), NtcpError>> =
             NtcpClient::propose_all(self.sites.iter().zip(clients).map(|(site, client)| {
                 (
                     client,
-                    tx_name.as_str(),
+                    tx_name,
                     self.actions_for(site, target),
                     self.transaction_timeout,
                 )
             }));
+        if self.telemetry.enabled() {
+            self.telemetry.span_end(
+                self.clock.now().as_nanos(),
+                span,
+                [("step", Field::U64(step))],
+            );
+        }
+        proposals
+    }
+
+    /// Phase 2: execute everywhere, same single-threaded multiplexed wait.
+    fn execute_phase(
+        &self,
+        clients: &[NtcpClient],
+        step: u64,
+        tx_name: &str,
+    ) -> Vec<Result<Vec<neesgrid_ntcp::ControlPointResult>, NtcpError>> {
+        let span = if self.telemetry.enabled() {
+            self.telemetry.span_start(
+                self.clock.now().as_nanos(),
+                "coordinator",
+                "execute_phase",
+                [("step", Field::U64(step))],
+            )
+        } else {
+            SpanId::NONE
+        };
+        let executions = NtcpClient::execute_all(clients.iter().map(|client| (client, tx_name)));
+        if self.telemetry.enabled() {
+            self.telemetry.span_end(
+                self.clock.now().as_nanos(),
+                span,
+                [("step", Field::U64(step))],
+            );
+        }
+        executions
+    }
+
+    fn run_step_phases(
+        &self,
+        clients: &[NtcpClient],
+        step: u64,
+        attempt: u32,
+        target: &Vector,
+    ) -> Result<Vector, (String, NtcpError)> {
+        let tx_name = format!("step-{step:06}-a{attempt}");
+        let proposals = self.propose_phase(clients, step, tx_name.as_str(), target);
         if let Some((idx, err)) = proposals
             .iter()
             .enumerate()
@@ -257,9 +361,7 @@ impl SimulationCoordinator {
             );
             return Err((self.sites[idx].name.clone(), err));
         }
-        // Phase 2: execute everywhere, same single-threaded multiplexed wait.
-        let executions: Vec<Result<Vec<neesgrid_ntcp::ControlPointResult>, NtcpError>> =
-            NtcpClient::execute_all(clients.iter().map(|client| (client, tx_name.as_str())));
+        let executions = self.execute_phase(clients, step, tx_name.as_str());
         let mut restoring = vec![0.0; self.masses.len()];
         for (site, result) in self.sites.iter().zip(executions) {
             match result {
@@ -328,6 +430,14 @@ impl SimulationCoordinator {
                 );
                 let mut log = state.log;
                 log.record(self.clock.now(), state.step, EventKind::Resumed);
+                if self.telemetry.enabled() {
+                    self.telemetry.instant(
+                        self.clock.now().as_nanos(),
+                        "coordinator",
+                        "resume",
+                        [("step", Field::U64(state.step))],
+                    );
+                }
                 (
                     integrator,
                     state.history,
@@ -428,6 +538,23 @@ impl SimulationCoordinator {
                                 error: err.to_string(),
                             },
                         );
+                        if self.telemetry.enabled() {
+                            let now_ns = self.clock.now().as_nanos();
+                            self.telemetry.instant(
+                                now_ns,
+                                "coordinator",
+                                "abort",
+                                [
+                                    ("step", Field::U64(n)),
+                                    ("site", Field::Str(site.clone())),
+                                    ("error", Field::Str(err.to_string())),
+                                ],
+                            );
+                            self.telemetry.flight_dump(
+                                now_ns,
+                                &format!("coordinator aborted at step {n}: site {site}: {err}"),
+                            );
+                        }
                         termination = Termination::Aborted {
                             step: n,
                             site,

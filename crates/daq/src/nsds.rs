@@ -15,6 +15,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use neesgrid_gridsim::SimTime;
+use neesgrid_telemetry::{CounterHandle, Telemetry};
 
 /// One streamed sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,6 +34,12 @@ struct SubscriptionInner {
     capacity: usize,
     dropped: u64,
     delivered: u64,
+    // Metric names preformatted at subscribe time so the per-sample
+    // publish path never builds a key string; the counter handles are
+    // resolved lazily on the first instrumented publish.
+    delivered_key: String,
+    dropped_key: String,
+    handles: Option<(CounterHandle, CounterHandle)>,
 }
 
 /// A best-effort subscription handle.
@@ -73,6 +80,7 @@ impl NsdsSubscription {
 pub struct NsdsServer {
     subscriptions: Mutex<Vec<Arc<Mutex<SubscriptionInner>>>>,
     published: Mutex<u64>,
+    telemetry: Mutex<Telemetry>,
 }
 
 impl NsdsServer {
@@ -85,32 +93,60 @@ impl NsdsServer {
     /// in `*`), buffering up to `capacity` samples.
     pub fn subscribe(&self, pattern: impl Into<String>, capacity: usize) -> NsdsSubscription {
         assert!(capacity > 0);
+        let pattern = pattern.into();
         let inner = Arc::new(Mutex::new(SubscriptionInner {
-            pattern: pattern.into(),
+            delivered_key: format!("nsds.delivered{{{pattern}}}"),
+            dropped_key: format!("nsds.dropped{{{pattern}}}"),
+            pattern,
             buffer: VecDeque::with_capacity(capacity.min(1024)),
             capacity,
             dropped: 0,
             delivered: 0,
+            handles: None,
         }));
         self.subscriptions.lock().push(Arc::clone(&inner));
         NsdsSubscription { inner }
     }
 
+    /// Install a telemetry handle: per-subscription delivery and overflow
+    /// counters (`nsds.delivered{pattern}` / `nsds.dropped{pattern}`).
+    /// Defaults to disabled.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        *self.telemetry.lock() = telemetry;
+        // Cached handles belong to the previous registry.
+        for sub in self.subscriptions.lock().iter() {
+            sub.lock().handles = None;
+        }
+    }
+
     /// Publish one sample to all matching subscriptions (never blocks).
     pub fn publish(&self, sample: NsdsSample) {
         *self.published.lock() += 1;
+        let telemetry = self.telemetry.lock().clone();
         let subs = self.subscriptions.lock();
         for sub in subs.iter() {
             let mut s = sub.lock();
             if !pattern_matches(&s.pattern, &sample.channel) {
                 continue;
             }
+            if telemetry.enabled() && s.handles.is_none() {
+                s.handles = Some((
+                    telemetry.counter_handle(&s.delivered_key),
+                    telemetry.counter_handle(&s.dropped_key),
+                ));
+            }
             if s.buffer.len() == s.capacity {
                 s.buffer.pop_front();
                 s.dropped += 1;
+                if let Some((_, dropped)) = &s.handles {
+                    dropped.add(1);
+                }
             }
             s.buffer.push_back(sample.clone());
             s.delivered += 1;
+            if let Some((delivered, _)) = &s.handles {
+                delivered.add(1);
+            }
         }
     }
 

@@ -28,6 +28,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use neesgrid_telemetry::{CounterHandle, Field, HistogramHandle, Telemetry};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -85,6 +86,34 @@ enum Sink {
     Handler(Arc<dyn Fn(Envelope) + Send + Sync>),
 }
 
+/// Pre-resolved per-link telemetry instruments, built once per link so
+/// the per-message hot path never formats a metric key or locks the
+/// metrics registry.
+struct LinkTelemetryKeys {
+    label: String,
+    sent: CounterHandle,
+    delivered: CounterHandle,
+    bytes: CounterHandle,
+    dropped: CounterHandle,
+    reset: CounterHandle,
+    latency: HistogramHandle,
+}
+
+impl LinkTelemetryKeys {
+    fn new(link: &LinkKey, telemetry: &Telemetry) -> Self {
+        let label = format!("{}->{}", link.src, link.dst);
+        LinkTelemetryKeys {
+            sent: telemetry.counter_handle(&format!("link.sent{{{label}}}")),
+            delivered: telemetry.counter_handle(&format!("link.delivered{{{label}}}")),
+            bytes: telemetry.counter_handle(&format!("link.bytes{{{label}}}")),
+            dropped: telemetry.counter_handle(&format!("link.dropped{{{label}}}")),
+            reset: telemetry.counter_handle(&format!("link.reset{{{label}}}")),
+            latency: telemetry.histogram_handle("net.latency_ns"),
+            label,
+        }
+    }
+}
+
 struct RouterState {
     registry: HashMap<NodeId, Sink>,
     link_latency: HashMap<LinkKey, LatencyModel>,
@@ -93,6 +122,8 @@ struct RouterState {
     link_counts: HashMap<LinkKey, u64>,
     rng: StdRng,
     stats: NetworkStats,
+    telemetry: Telemetry,
+    link_keys: HashMap<LinkKey, LinkTelemetryKeys>,
 }
 
 impl RouterState {
@@ -103,6 +134,14 @@ impl RouterState {
         i
     }
 
+    fn link_keys(&mut self, link: &LinkKey) -> &LinkTelemetryKeys {
+        if !self.link_keys.contains_key(link) {
+            let keys = LinkTelemetryKeys::new(link, &self.telemetry);
+            self.link_keys.insert(link.clone(), keys);
+        }
+        &self.link_keys[link]
+    }
+
     fn route(&mut self, mut env: Envelope, engine: &EventEngine, clock: &SimClock) {
         let link = LinkKey {
             src: env.src.clone(),
@@ -111,9 +150,13 @@ impl RouterState {
         let index = self.next_index(&link);
         env.seq = index;
         self.stats.record_sent(&link);
+        if self.telemetry.enabled() {
+            self.link_keys(&link).sent.add(1);
+        }
 
         let Some(dest) = self.registry.get(&env.dst).cloned() else {
             self.stats.record_dropped(&link);
+            self.note_fault(&link, index, "no_route", &env, clock);
             self.notify_sender(
                 &env.src,
                 ControlNotice::NoRoute {
@@ -136,18 +179,28 @@ impl RouterState {
                 env.latency = latency;
                 self.stats
                     .record_delivered(&link, env.wire_bytes(), latency);
+                if self.telemetry.enabled() {
+                    let wire_bytes = env.wire_bytes() as u64;
+                    let keys = self.link_keys(&link);
+                    keys.delivered.add(1);
+                    keys.bytes.add(wire_bytes);
+                    keys.latency.observe_ns(latency.as_nanos());
+                }
                 if let Err(env) = Self::deliver(dest, env, engine) {
                     // A receiver that has shut down behaves like a drop.
                     self.stats.record_dropped(&link);
+                    self.note_fault(&link, index, "drop", &env, clock);
                     self.notify_loss(&env, engine, clock);
                 }
             }
             FaultAction::Drop => {
                 self.stats.record_dropped(&link);
+                self.note_fault(&link, index, "drop", &env, clock);
                 self.notify_loss(&env, engine, clock);
             }
             FaultAction::Reset => {
                 self.stats.record_reset(&link);
+                self.note_fault(&link, index, "reset", &env, clock);
                 self.notify_sender(
                     &env.src,
                     ControlNotice::LinkReset {
@@ -159,6 +212,40 @@ impl RouterState {
                 );
             }
         }
+    }
+
+    /// Record a routing fault (drop / reset / no-route) as both a per-link
+    /// counter and a flight-recorder-visible trace event.
+    fn note_fault(
+        &mut self,
+        link: &LinkKey,
+        index: u64,
+        what: &'static str,
+        env: &Envelope,
+        clock: &SimClock,
+    ) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let telemetry = self.telemetry.clone();
+        let corr = env.correlation_id;
+        let keys = self.link_keys(link);
+        let counter = if what == "reset" {
+            &keys.reset
+        } else {
+            &keys.dropped
+        };
+        counter.add(1);
+        telemetry.instant(
+            clock.now().as_nanos(),
+            "net",
+            what,
+            [
+                ("link", Field::Str(keys.label.clone())),
+                ("index", Field::U64(index)),
+                ("corr", Field::U64(corr)),
+            ],
+        );
     }
 
     /// Hand `env` to its destination sink: immediately for channel inboxes,
@@ -268,6 +355,8 @@ impl VirtualNetwork {
             link_counts: HashMap::new(),
             rng: StdRng::seed_from_u64(config.seed),
             stats: stats.clone(),
+            telemetry: Telemetry::disabled(),
+            link_keys: HashMap::new(),
         };
         VirtualNetwork {
             core: Arc::new(NetCore {
@@ -332,6 +421,17 @@ impl VirtualNetwork {
     /// Install (replace) the fault plan.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
         self.core.state.lock().fault_plan = plan;
+    }
+
+    /// Install a telemetry handle: the router will record per-link
+    /// sent/delivered/dropped/reset/bytes counters and emit a trace event
+    /// for every routing fault. Defaults to [`Telemetry::disabled`], which
+    /// keeps routing allocation-free.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        let mut st = self.core.state.lock();
+        st.telemetry = telemetry;
+        // Cached per-link handles belong to the previous registry.
+        st.link_keys.clear();
     }
 
     /// Tear the network down: deregister every node and drop all scheduled

@@ -37,7 +37,9 @@ pub mod scenarios;
 pub use config::{MostConfig, SiteRole};
 pub use field_test::{run_field_test, Excitation, FieldTestConfig, FieldTestOutcome};
 pub use frame_model::reference_history;
-pub use mini::{run_mini_most, MiniMostConfig, MiniMostOutcome};
+pub use mini::{run_mini_most, run_mini_most_with_telemetry, MiniMostConfig, MiniMostOutcome};
 pub use report::MostReport;
 pub use runner::{MostDeployment, MostRunArtifacts};
-pub use scenarios::{n_site, public_run_fault_plan, NSiteExperiment, Scenario};
+pub use scenarios::{
+    n_site, n_site_with_telemetry, public_run_fault_plan, NSiteExperiment, Scenario,
+};

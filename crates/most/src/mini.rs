@@ -30,6 +30,7 @@ use neesgrid_ntcp::{ControlPlugin, NtcpClient, NtcpServer};
 use neesgrid_ogsi::{RpcClient, RpcMux, ServiceContainer};
 use neesgrid_structsim::psd::PsdHistory;
 use neesgrid_structsim::GroundMotion;
+use neesgrid_telemetry::Telemetry;
 
 /// Mini-MOST configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +90,20 @@ pub struct MiniMostOutcome {
 
 /// Run Mini-MOST: one site, one coordinator, tabletop scale.
 pub fn run_mini_most(config: &MiniMostConfig) -> MiniMostOutcome {
+    run_mini_most_with_telemetry(config, Telemetry::disabled())
+}
+
+/// [`run_mini_most`] with an instrumentation handle threaded through the
+/// WAN, RPC mux, NTCP server, and coordinator. Note the tabletop container
+/// runs on a live service thread, so event interleaving (and therefore
+/// trace byte-identity) is not guaranteed across runs; use the fully
+/// attached `n_site` scenario for golden traces.
+pub fn run_mini_most_with_telemetry(
+    config: &MiniMostConfig,
+    telemetry: Telemetry,
+) -> MiniMostOutcome {
     let net = VirtualNetwork::new(NetworkConfig::default());
+    net.set_telemetry(telemetry.clone());
     let beam = SteelColumn::mini_most_beam();
     let stiffness = beam.initial_stiffness();
     let plugin: Box<dyn ControlPlugin> = if config.use_kinetic_simulator {
@@ -108,12 +122,13 @@ pub fn run_mini_most(config: &MiniMostConfig) -> MiniMostOutcome {
             StrainGauge::new("mini/strain", 303, 3000.0),
         ))
     };
-    let server = NtcpServer::new(
+    let mut server = NtcpServer::new(
         "mini-most",
         SitePolicy::permissive("mini-most", ActionLimits::mini_most()),
         plugin,
         net.clock(),
     );
+    server.set_telemetry(telemetry.clone());
     let _handle =
         ServiceContainer::new(net.endpoint("mini-most").expect("endpoint name is unique"))
             .with_service("ntcp", Box::new(server))
@@ -123,6 +138,7 @@ pub fn run_mini_most(config: &MiniMostConfig) -> MiniMostOutcome {
         net.endpoint("coordinator")
             .expect("endpoint name is unique"),
     );
+    mux.set_telemetry(telemetry.clone());
     let client = NtcpClient::new(
         RpcClient::new(
             mux,
@@ -137,6 +153,7 @@ pub fn run_mini_most(config: &MiniMostConfig) -> MiniMostOutcome {
         .fault_policy(FaultPolicy::Full {
             max_step_retries: 2,
         })
+        .telemetry(telemetry)
         .site("mini-most", client, vec![0], stiffness)
         .build();
     let _ = Arc::strong_count(&net.clock());

@@ -48,6 +48,7 @@ use neesgrid_repo::{crc32, to_hex, Nfms, NfmsService, Nmds, NmdsService, Virtual
 use neesgrid_structsim::element::CouplingSpring;
 use neesgrid_structsim::material::{BilinearHysteretic, LinearElastic};
 use neesgrid_structsim::substructure::SimulatedSubstructure;
+use neesgrid_telemetry::Telemetry;
 
 use crate::config::{MostConfig, SiteRole};
 use crate::report::MostReport;
@@ -148,6 +149,7 @@ pub struct MostDeployment {
     /// Snapshot/restore RPCs ride these links so they never shift the
     /// experiment links' deterministic fault-plan message indices.
     checkpoint_clients: Vec<(String, NtcpClient)>,
+    telemetry: Telemetry,
 }
 
 /// Everything a run produces.
@@ -170,7 +172,12 @@ impl MostDeployment {
     /// Build the full deployment with `participants` synthetic remote
     /// observers.
     pub fn build(config: MostConfig, participants: usize) -> Self {
-        Self::build_with_store(config, participants, VirtualStore::new())
+        Self::build_full(
+            config,
+            participants,
+            VirtualStore::new(),
+            Telemetry::disabled(),
+        )
     }
 
     /// Build the deployment around an existing repository backing store.
@@ -179,12 +186,38 @@ impl MostDeployment {
     /// new deployment sees every file — and checkpoint — the old one
     /// deposited.
     pub fn build_with_store(config: MostConfig, participants: usize, store: VirtualStore) -> Self {
+        Self::build_full(config, participants, store, Telemetry::disabled())
+    }
+
+    /// Build a fully instrumented deployment: the handle is threaded into
+    /// the WAN, the RPC muxes, every NTCP server, NSDS, the coordinator,
+    /// and the checkpointer. Pass [`Telemetry::disabled`] (or use
+    /// [`MostDeployment::build`]) for an uninstrumented run — default
+    /// goldens stay byte-identical.
+    pub fn build_with_telemetry(
+        config: MostConfig,
+        participants: usize,
+        telemetry: Telemetry,
+    ) -> Self {
+        Self::build_full(config, participants, VirtualStore::new(), telemetry)
+    }
+
+    /// [`MostDeployment::build_with_telemetry`] around an existing backing
+    /// store — the instrumented crash-and-restart path.
+    pub fn build_full(
+        config: MostConfig,
+        participants: usize,
+        store: VirtualStore,
+        telemetry: Telemetry,
+    ) -> Self {
         let net = VirtualNetwork::new(NetworkConfig {
             default_latency: LatencyModel::wan_2003(),
             seed: config.motion_seed,
         });
         let clock = net.clock();
+        net.set_telemetry(telemetry.clone());
         let nsds = Arc::new(NsdsServer::new());
+        nsds.set_telemetry(telemetry.clone());
         let ca = CertificateAuthority::nees(0x6E65_6573);
         let cred_life = SimTime::from_secs(1000 * 3600);
         let coordinator_cred = Credential::issue(
@@ -235,10 +268,12 @@ impl MostDeployment {
             net.endpoint("coordinator")
                 .expect("endpoint name is unique"),
         );
+        coordinator_mux.set_telemetry(telemetry.clone());
         let checkpointer_mux = RpcMux::new(
             net.endpoint("checkpointer")
                 .expect("endpoint name is unique"),
         );
+        checkpointer_mux.set_telemetry(telemetry.clone());
         let mut sites = Vec::new();
         let mut checkpoint_clients = Vec::new();
         let mut daqs = Vec::new();
@@ -317,12 +352,13 @@ impl MostDeployment {
                 nsds: Arc::clone(&nsds),
                 clock: Arc::clone(&clock),
             };
-            let server = NtcpServer::new(
+            let mut server = NtcpServer::new(
                 name,
                 SitePolicy::permissive(name, ActionLimits::most_large_scale()),
                 Box::new(plugin),
                 Arc::clone(&clock),
             );
+            server.set_telemetry(telemetry.clone());
             let host_cred = Credential::issue(
                 &ca,
                 DistinguishedName::nees_host(name, "ntcp"),
@@ -438,6 +474,7 @@ impl MostDeployment {
             store,
             coordinator_mux,
             checkpoint_clients,
+            telemetry,
         }
     }
 
@@ -590,7 +627,8 @@ impl MostDeployment {
             Arc::clone(&clock),
         )
         .dt(self.config.dt)
-        .fault_policy(policy);
+        .fault_policy(policy)
+        .telemetry(self.telemetry.clone());
         for s in self.sites.drain(..) {
             builder = builder.site(
                 s.name.clone(),
@@ -664,14 +702,17 @@ impl MostDeployment {
         }
 
         if let Some((run_id, ckpt_policy, ckpt_store)) = checkpoints {
-            coordinator.checkpoint_into(Checkpointer::new(
-                run_id,
-                ckpt_policy,
-                ckpt_store,
-                self.checkpoint_clients.clone(),
-                Arc::clone(&self.coordinator_mux),
-                Arc::clone(&clock),
-            ));
+            coordinator.checkpoint_into(
+                Checkpointer::new(
+                    run_id,
+                    ckpt_policy,
+                    ckpt_store,
+                    self.checkpoint_clients.clone(),
+                    Arc::clone(&self.coordinator_mux),
+                    Arc::clone(&clock),
+                )
+                .with_telemetry(self.telemetry.clone()),
+            );
         }
 
         let outcome = match resume {
@@ -683,7 +724,8 @@ impl MostDeployment {
                     self.checkpoint_clients.clone(),
                     Arc::clone(&self.coordinator_mux),
                     Arc::clone(&clock),
-                );
+                )
+                .with_telemetry(self.telemetry.clone());
                 checkpointer.prepare_resume(&snapshot)?;
                 coordinator.resume_from(snapshot, &motion, steps)
             }

@@ -24,6 +24,7 @@ use neesgrid_ogsi::{AttachedContainer, RpcClient, RpcMux, ServiceContainer};
 use neesgrid_structsim::material::LinearElastic;
 use neesgrid_structsim::substructure::SimulatedSubstructure;
 use neesgrid_structsim::GroundMotion;
+use neesgrid_telemetry::Telemetry;
 
 use crate::config::MostConfig;
 use crate::runner::{MostDeployment, MostRunArtifacts};
@@ -150,24 +151,36 @@ fn site_stiffness(seed: u64, i: u64) -> f64 {
 /// global DOF `i`, and runs a numerical spring-to-ground substructure with
 /// stiffness [`site_stiffness`]`(seed, i)`.
 pub fn n_site(n: usize, seed: u64) -> NSiteExperiment {
+    n_site_with_telemetry(n, seed, Telemetry::disabled())
+}
+
+/// [`n_site`] with an instrumentation handle. Because every actor is
+/// attached (no live threads), an instrumented run is single-threaded and
+/// fully virtual: two runs with the same `(n, seed)` produce byte-identical
+/// trace exports.
+pub fn n_site_with_telemetry(n: usize, seed: u64, telemetry: Telemetry) -> NSiteExperiment {
     assert!(n > 0, "an experiment needs at least one site");
     let net = VirtualNetwork::new(NetworkConfig {
         default_latency: LatencyModel::wan_2003(),
         seed,
     });
+    net.set_telemetry(telemetry.clone());
     let clock = net.clock();
     let mux = RpcMux::new(
         net.endpoint("coordinator")
             .expect("coordinator endpoint is unique"),
     );
+    mux.set_telemetry(telemetry.clone());
     let caller = DistinguishedName::nees_user("NCSA", "Coordinator");
     let dt = 0.01;
     let mut containers = Vec::with_capacity(n);
-    let mut builder = SimCoordBuilder::new(vec![1000.0; n], Arc::clone(&clock)).dt(dt);
+    let mut builder = SimCoordBuilder::new(vec![1000.0; n], Arc::clone(&clock))
+        .dt(dt)
+        .telemetry(telemetry.clone());
     for i in 0..n {
         let name = format!("site-{i:03}");
         let k = site_stiffness(seed, i as u64);
-        let server = NtcpServer::new(
+        let mut server = NtcpServer::new(
             name.clone(),
             SitePolicy::permissive(&name, ActionLimits::most_large_scale()),
             Box::new(SimulationPlugin::new(
@@ -179,6 +192,7 @@ pub fn n_site(n: usize, seed: u64) -> NSiteExperiment {
             )),
             Arc::clone(&clock),
         );
+        server.set_telemetry(telemetry.clone());
         containers.push(
             ServiceContainer::new(
                 net.endpoint(name.as_str())

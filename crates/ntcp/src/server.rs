@@ -12,6 +12,7 @@ use std::sync::Arc;
 use neesgrid_gridsim::{SimClock, SimTime};
 use neesgrid_gsi::SitePolicy;
 use neesgrid_ogsi::{CallContext, DedupCache, GridService, ServiceData, ServiceFault};
+use neesgrid_telemetry::{Field, SpanId, Telemetry};
 
 use crate::msg::{ControlPoint, ExecuteResponse, ProposalDecision, ProposeBody, TransactionRef};
 use crate::plugin::ControlPlugin;
@@ -24,6 +25,9 @@ const DEDUP_CAPACITY: usize = 4096;
 /// An NTCP server for one experiment site.
 pub struct NtcpServer {
     site: String,
+    // The site name as a shared str so per-request trace events clone a
+    // refcount instead of the string.
+    site_tag: std::sync::Arc<str>,
     policy: SitePolicy,
     plugin: Box<dyn ControlPlugin>,
     clock: Arc<SimClock>,
@@ -31,6 +35,7 @@ pub struct NtcpServer {
     sde: ServiceData,
     dedup: DedupCache<u64, Result<Value, ServiceFault>>,
     executions: u64,
+    telemetry: Telemetry,
 }
 
 impl NtcpServer {
@@ -49,6 +54,7 @@ impl NtcpServer {
             clock.now(),
         );
         NtcpServer {
+            site_tag: site.as_str().into(),
             site,
             policy,
             plugin,
@@ -57,7 +63,16 @@ impl NtcpServer {
             sde,
             dedup: DedupCache::new(DEDUP_CAPACITY),
             executions: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Install a telemetry handle: mutating operations get an `ntcp`
+    /// lifecycle span (propose / execute / cancel, stamped at the request's
+    /// virtual arrival time) and dedup-cache replays are annotated with an
+    /// `ntcp/dedup_hit` instant event. Defaults to disabled.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Number of plugin executions performed (at-most-once verification).
@@ -374,14 +389,72 @@ impl GridService for NtcpServer {
             _ => {}
         }
         if let Some(remembered) = self.dedup.check(&ctx.request_id) {
+            if self.telemetry.enabled() {
+                self.telemetry.instant(
+                    ctx.now.as_nanos(),
+                    "ntcp",
+                    "dedup_hit",
+                    [
+                        ("site", Field::Shared(self.site_tag.clone())),
+                        ("op", Field::Str(operation.to_string())),
+                        ("corr", Field::U64(ctx.request_id)),
+                    ],
+                );
+            }
             return remembered;
         }
+        // Lifecycle span around the mutating dispatch. Same-function
+        // start/end with no early exits in between, so the analyzer's
+        // telemetry-span-balance rule can prove the span always closes.
+        let span = if self.telemetry.enabled() {
+            let tx = body["transaction"].as_str().unwrap_or("?").to_string();
+            // Span names are &'static: map the operation onto the fixed
+            // taxonomy (the unknown-operation error path is "other").
+            let op_name: &'static str = match operation {
+                "propose" => "propose",
+                "execute" => "execute",
+                "cancel" => "cancel",
+                _ => "other",
+            };
+            self.telemetry.span_start(
+                ctx.now.as_nanos(),
+                "ntcp",
+                op_name,
+                [
+                    ("site", Field::Shared(self.site_tag.clone())),
+                    ("tx", Field::Str(tx)),
+                    ("corr", Field::U64(ctx.request_id)),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
         let result = match operation {
             "propose" => self.do_propose(ctx, body),
             "execute" => self.do_execute(ctx, body),
             "cancel" => self.do_cancel(ctx, body),
             other => Err(ServiceFault::no_such_operation(other)),
         };
+        if self.telemetry.enabled() {
+            let outcome = match &result {
+                Ok(value) => {
+                    if operation == "propose" && value["decision"] != json!("Accepted") {
+                        Field::Static("rejected")
+                    } else {
+                        Field::Static("ok")
+                    }
+                }
+                Err(fault) => Field::Str(format!("err:{}", fault.code)),
+            };
+            self.telemetry.span_end(
+                self.clock.now().as_nanos(),
+                span,
+                [
+                    ("site", Field::Shared(self.site_tag.clone())),
+                    ("outcome", outcome),
+                ],
+            );
+        }
         self.dedup.remember(ctx.request_id, result.clone());
         result
     }

@@ -34,6 +34,7 @@ use neesgrid_gridsim::{
     ControlNotice, Endpoint, Envelope, EventEngine, MessageKind, NodeId, SimTime, TimerId,
 };
 use neesgrid_gsi::DistinguishedName;
+use neesgrid_telemetry::{CounterHandle, Field, FieldList, HistogramHandle, SpanId, Telemetry};
 
 use crate::fault::ServiceFault;
 
@@ -163,6 +164,31 @@ const MIXED_GRACE: Duration = Duration::from_secs(2);
 /// Slice length for grace waiting, so pumpers re-check completion promptly.
 const PUMP_SLICE: Duration = Duration::from_millis(25);
 
+/// Pre-resolved RPC metric instruments, shared by every call slot so the
+/// per-call hot path never locks the metrics registry or looks up a name.
+/// Detached (updates discarded) until a recording telemetry handle is
+/// installed.
+#[derive(Clone)]
+struct RpcInstruments {
+    calls: CounterHandle,
+    retries: CounterHandle,
+    failures: CounterHandle,
+    completion_waits: CounterHandle,
+    rtt: HistogramHandle,
+}
+
+impl RpcInstruments {
+    fn new(telemetry: &Telemetry) -> Self {
+        RpcInstruments {
+            calls: telemetry.counter_handle("rpc.calls"),
+            retries: telemetry.counter_handle("rpc.retries"),
+            failures: telemetry.counter_handle("rpc.failures"),
+            completion_waits: telemetry.counter_handle("rpc.completion_waits"),
+            rtt: telemetry.histogram_handle("rpc.rtt_ns"),
+        }
+    }
+}
+
 /// One in-flight logical call: the retransmission state machine.
 ///
 /// Mutated from engine event actions (reply/notice deliveries, timer fires)
@@ -172,10 +198,14 @@ struct CallSlot {
     endpoint: Endpoint,
     dst: NodeId,
     service: String,
+    operation: String,
     request_id: u64,
     payload: Bytes,
     attempt_timeout: Duration,
     policy: RetryPolicy,
+    telemetry: Telemetry,
+    instruments: RpcInstruments,
+    span: SpanId,
     state: Mutex<SlotState>,
 }
 
@@ -208,8 +238,36 @@ impl CallSlot {
             self.endpoint
                 .clock()
                 .advance(self.attempt_timeout_virtual());
+            if self.telemetry.enabled() {
+                self.instruments.retries.add(1);
+                self.telemetry.instant(
+                    self.endpoint.clock().now().as_nanos(),
+                    "rpc",
+                    "retry",
+                    [
+                        ("dst", Field::Str(self.dst.to_string())),
+                        ("op", Field::Str(self.operation.clone())),
+                        ("attempt", Field::U64(st.attempts as u64)),
+                        ("corr", Field::U64(self.request_id)),
+                    ],
+                );
+            }
         }
         let deadline = self.endpoint.clock().now() + self.attempt_timeout_virtual();
+        // First-attempt timers are implied by the open call span; only
+        // retransmission timers are interesting enough for the trace (and
+        // the flight-recorder "pending retransmission timers" story).
+        if self.telemetry.enabled() && st.attempts > 1 {
+            self.telemetry.instant(
+                self.endpoint.clock().now().as_nanos(),
+                "rpc",
+                "timer_armed",
+                [
+                    ("corr", Field::U64(self.request_id)),
+                    ("deadline_ns", Field::U64(deadline.as_nanos())),
+                ],
+            );
+        }
         let slot = Arc::clone(self);
         st.timer = Some(
             self.engine
@@ -225,10 +283,49 @@ impl CallSlot {
 
     fn complete(&self, st: &mut SlotState, result: Result<RpcReply, RpcError>) {
         self.disarm(st);
+        if self.telemetry.enabled() {
+            self.note_completion(st.attempts, &result);
+        }
         st.result = Some(result);
         // Wake concurrent pumpers blocked in a grace wait: their predicate
         // (slot done) changed without an engine event of their own.
         self.engine.notify();
+    }
+
+    /// Close the call's span and update RPC metrics; a terminal transport
+    /// failure (retries exhausted, final reset, no route) additionally
+    /// triggers a flight-recorder dump — this is the "RPC exhausts retries"
+    /// trigger for the step-1493 post-mortem.
+    fn note_completion(&self, attempts: u32, result: &Result<RpcReply, RpcError>) {
+        let now_ns = self.endpoint.clock().now().as_nanos();
+        // dst/op live on the span-start line; the end line carries only the
+        // outcome, which keeps the per-call hot path free of string clones.
+        let mut fields = FieldList::from([("attempts", Field::U64(attempts as u64))]);
+        match result {
+            Ok(reply) => {
+                self.instruments
+                    .rtt
+                    .observe_ns(reply.virtual_rtt.as_nanos());
+                fields.push("ok", Field::Bool(true));
+            }
+            Err(err) => {
+                self.instruments.failures.add(1);
+                fields.push("ok", Field::Bool(false));
+                fields.push("error", Field::Str(err.to_string()));
+            }
+        }
+        self.telemetry.span_end(now_ns, self.span, fields);
+        if let Err(err @ (RpcError::Timeout { .. } | RpcError::LinkReset | RpcError::NoRoute)) =
+            result
+        {
+            self.telemetry.flight_dump(
+                now_ns,
+                &format!(
+                    "rpc {} to {} failed after {attempts} attempt(s): {err}",
+                    self.operation, self.dst
+                ),
+            );
+        }
     }
 
     fn on_reply(self: &Arc<Self>, env: Envelope) {
@@ -333,6 +430,7 @@ impl RpcCompletion {
     /// Block until this call completes, pumping the event engine.
     pub fn wait(self) -> Result<RpcReply, RpcError> {
         let engine = Arc::clone(&self.slot.engine);
+        self.slot.instruments.completion_waits.add(1);
         pump_until(&engine, || self.slot.is_done());
         self.finish()
     }
@@ -409,6 +507,7 @@ pub fn wait_all(completions: Vec<RpcCompletion>) -> Vec<Result<RpcReply, RpcErro
         return Vec::new();
     };
     let engine = Arc::clone(&first.slot.engine);
+    first.slot.instruments.completion_waits.add(1);
     pump_until(&engine, || completions.iter().all(|c| c.is_done()));
     completions.into_iter().map(|c| c.finish()).collect()
 }
@@ -425,6 +524,8 @@ pub struct RpcMux {
     engine: Arc<EventEngine>,
     calls: Arc<Mutex<HashMap<u64, Arc<CallSlot>>>>,
     sinks: Arc<Mutex<HashMap<String, Sender<Envelope>>>>,
+    telemetry: Mutex<Telemetry>,
+    instruments: Mutex<RpcInstruments>,
 }
 
 impl RpcMux {
@@ -463,7 +564,17 @@ impl RpcMux {
             engine,
             calls,
             sinks,
+            telemetry: Mutex::new(Telemetry::disabled()),
+            instruments: Mutex::new(RpcInstruments::new(&Telemetry::disabled())),
         })
+    }
+
+    /// Install a telemetry handle: subsequent calls get an `rpc/call` span
+    /// (latency histogram, retry counters) and terminal transport failures
+    /// trigger a flight-recorder dump. Defaults to disabled.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        *self.instruments.lock() = RpcInstruments::new(&telemetry);
+        *self.telemetry.lock() = telemetry;
     }
 
     /// The underlying endpoint's node id.
@@ -538,15 +649,47 @@ impl RpcMux {
             body,
         };
         let payload = Bytes::from(serde_json::to_vec(&request).expect("serialize request"));
+        let telemetry = self.telemetry.lock().clone();
+        let instruments = self.instruments.lock().clone();
+        let span = if telemetry.enabled() {
+            instruments.calls.add(1);
+            // Known NTCP/OGSI operations tag the span without allocating.
+            let op_tag = match operation {
+                "propose" => Field::Static("propose"),
+                "execute" => Field::Static("execute"),
+                "cancel" => Field::Static("cancel"),
+                "getStatus" => Field::Static("getStatus"),
+                "getTransaction" => Field::Static("getTransaction"),
+                "snapshotSite" => Field::Static("snapshotSite"),
+                "restoreSite" => Field::Static("restoreSite"),
+                other => Field::Str(other.to_string()),
+            };
+            telemetry.span_start(
+                self.endpoint.clock().now().as_nanos(),
+                "rpc",
+                "call",
+                [
+                    ("dst", Field::Str(dst.to_string())),
+                    ("op", op_tag),
+                    ("corr", Field::U64(request_id)),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
         let slot = Arc::new(CallSlot {
             engine: Arc::clone(&self.engine),
             endpoint: self.endpoint.clone(),
             dst: dst.clone(),
             service: service.to_string(),
+            operation: operation.to_string(),
             request_id,
             payload,
             attempt_timeout,
             policy,
+            telemetry,
+            instruments,
+            span,
             state: Mutex::new(SlotState {
                 attempts: 0,
                 first_send: self.endpoint.clock().now(),

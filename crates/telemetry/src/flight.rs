@@ -1,0 +1,142 @@
+//! The flight recorder: bounded rings of recent events per subsystem,
+//! plus the post-mortem "step 1493 report".
+//!
+//! The paper's public MOST run died at step 1493 on an error whose cause
+//! had to be reconstructed by hand. The flight recorder makes that
+//! reconstruction automatic: every trace event is also appended to a small
+//! per-subsystem ring buffer, and when the coordinator aborts (or an RPC
+//! exhausts its retries) a dump is rendered from the rings, the in-flight
+//! spans, and a metrics snapshot — the last N NTCP transactions, per-link
+//! drop/reset counters, open proposals, and pending retransmission timers,
+//! all at the virtual instant of the failure.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::lock;
+use crate::metrics::MetricsSnapshot;
+use crate::trace::TraceEvent;
+
+/// Default ring capacity per subsystem: enough for the last ~10 steps of
+/// a three-site run (each step is ~a dozen events per subsystem).
+pub const DEFAULT_RING_CAPACITY: usize = 128;
+
+/// The dump renderer and the collected dumps.
+///
+/// The recent-event rings themselves live inside the trace recorder (one
+/// lock on the hot path, one `u64` per observation); this type turns the
+/// rings, the open spans, and a metrics snapshot into the post-mortem
+/// text and keeps every dump produced so far.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    dumps: Mutex<Vec<String>>,
+}
+
+impl FlightRecorder {
+    /// Render and store a post-mortem dump. `open_spans` are the spans
+    /// started but not yet ended at the moment of the failure (in-flight
+    /// proposals, armed retransmission timers); `metrics` is the registry
+    /// snapshot carrying the per-link counters; `events` is the full
+    /// recorded trace, indexed by sequence number to resolve `rings`, the
+    /// per-subsystem deques of recent event seqs.
+    pub fn dump(
+        &self,
+        t_ns: u64,
+        reason: &str,
+        open_spans: &[TraceEvent],
+        metrics: &MetricsSnapshot,
+        events: &[TraceEvent],
+        rings: &[(&'static str, VecDeque<u64>)],
+    ) -> String {
+        let mut out = String::new();
+        out.push_str("==== FLIGHT RECORDER DUMP ====\n");
+        out.push_str(&format!("reason: {reason}\n"));
+        out.push_str(&format!(
+            "virtual-time: {:.6}s ({t_ns} ns)\n",
+            t_ns as f64 / 1e9
+        ));
+
+        out.push_str("-- in-flight spans (started, not ended) --\n");
+        if open_spans.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for span in open_spans {
+            out.push_str("  ");
+            out.push_str(&span.to_display_line());
+            out.push('\n');
+        }
+
+        out.push_str("-- metrics --\n");
+        let lines = metrics.to_display_lines();
+        if lines.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for line in &lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+
+        let mut rings: Vec<&(&'static str, VecDeque<u64>)> = rings.iter().collect();
+        rings.sort_by_key(|(name, _)| *name);
+        for (subsystem, ring) in rings {
+            out.push_str(&format!(
+                "-- recent {subsystem} events (last {} of ring) --\n",
+                ring.len()
+            ));
+            for seq in ring.iter() {
+                if let Some(event) = events.get(*seq as usize) {
+                    out.push_str("  ");
+                    out.push_str(&event.to_display_line());
+                    out.push('\n');
+                }
+            }
+        }
+
+        out.push_str("==== END DUMP ====\n");
+        lock(&self.dumps).push(out.clone());
+        out
+    }
+
+    /// All dumps collected so far, oldest first.
+    pub fn dumps(&self) -> Vec<String> {
+        lock(&self.dumps).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Field, TraceKind};
+
+    fn event(seq: u64, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            t_ns: seq * 1000,
+            seq,
+            kind: TraceKind::Instant,
+            span: 0,
+            subsystem: "ntcp",
+            name,
+            fields: [("site", Field::Str("cu".into()))].into(),
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_dump_reports_recent_events() {
+        let rec = FlightRecorder::default();
+        let events: Vec<TraceEvent> = (0..10).map(|i| event(i, "propose")).collect();
+        // A capacity-3 ring: only the last three seqs survived.
+        let rings = vec![("ntcp", events[7..].iter().map(|e| e.seq).collect())];
+        let dump = rec.dump(
+            10_000,
+            "test abort",
+            &[],
+            &MetricsSnapshot::default(),
+            &events,
+            &rings,
+        );
+        assert!(dump.contains("reason: test abort"));
+        assert!(dump.contains("seq=9"), "newest event kept");
+        assert!(!dump.contains("seq=5"), "old events evicted");
+        assert_eq!(rec.dumps().len(), 1);
+    }
+}

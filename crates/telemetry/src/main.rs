@@ -1,0 +1,50 @@
+//! CLI for the telemetry crate: `report` renders a trace JSONL file.
+
+use std::process::ExitCode;
+
+use neesgrid_telemetry::render_report;
+
+const USAGE: &str = "\
+neesgrid-telemetry — trace tooling for the NEESgrid stack
+
+USAGE:
+    neesgrid-telemetry report <trace.jsonl>
+
+Renders a canonical trace (written by Telemetry::export_jsonl, or a
+merge_resumed combination) as a per-site / per-step / per-link summary.
+
+Exit codes: 0 ok, 2 usage or I/O error.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => {
+            let path = match args.get(1) {
+                Some(p) => p,
+                None => return usage("report needs a trace file"),
+            };
+            let jsonl = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => return usage(&format!("cannot read {path}: {e}")),
+            };
+            match render_report(&jsonl) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => usage(&format!("{path}: {e}")),
+            }
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("neesgrid-telemetry: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}

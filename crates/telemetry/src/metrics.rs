@@ -1,0 +1,291 @@
+//! Metrics registry: counters, gauges, and fixed-bucket virtual-time
+//! histograms.
+//!
+//! Designed for hot paths: a disabled [`crate::Telemetry`] handle never
+//! reaches this module, and an enabled one pays one mutex acquisition and
+//! one `BTreeMap` lookup per update. Histogram buckets are fixed at
+//! compile time so that the exported form is identical across runs by
+//! construction. All durations are **virtual** nanoseconds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonValue;
+use crate::lock;
+
+/// Histogram bucket upper bounds, in virtual milliseconds. The final
+/// implicit bucket is `+inf`. Chosen around the WAN latencies the paper's
+/// testbed saw (tens to hundreds of milliseconds per two-phase exchange).
+pub const BUCKET_BOUNDS_MS: [u64; 12] = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000];
+
+/// A fixed-bucket histogram of virtual durations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket counts; index `i` counts values `<= BUCKET_BOUNDS_MS[i]`,
+    /// with one trailing overflow bucket.
+    pub buckets: [u64; BUCKET_BOUNDS_MS.len() + 1],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values, ns.
+    pub sum_ns: u64,
+    /// Largest observed value, ns.
+    pub max_ns: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, value_ns: u64) {
+        let ms = value_ns / 1_000_000;
+        let idx = BUCKET_BOUNDS_MS
+            .iter()
+            .position(|bound| ms <= *bound)
+            .unwrap_or(BUCKET_BOUNDS_MS.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(value_ns);
+        self.max_ns = self.max_ns.max(value_ns);
+    }
+
+    /// Mean observation in virtual milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum_ns as f64 / self.count as f64) / 1e6
+        }
+    }
+}
+
+/// A pre-resolved counter: updates are one relaxed atomic add — no lock,
+/// no name lookup. Obtain via [`MetricsRegistry::counter_handle`] (or
+/// `Telemetry::counter_handle`) once, then use on the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Add `by` to the counter.
+    pub fn add(&self, by: u64) {
+        self.0.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A pre-resolved histogram: one small mutex per observation, no name
+/// lookup. Obtain via [`MetricsRegistry::histogram_handle`] once.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    /// Record one virtual duration.
+    pub fn observe_ns(&self, value_ns: u64) {
+        lock(&self.0).observe(value_ns);
+    }
+}
+
+/// An immutable view of the registry at one moment.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Render as canonical JSON lines, one metric per line, sorted by
+    /// kind then name (deterministic given deterministic values).
+    pub fn to_canonical_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (name, value) in &self.counters {
+            lines.push(
+                JsonValue::Obj(vec![
+                    ("kind".into(), JsonValue::Str("counter".into())),
+                    ("name".into(), JsonValue::Str(name.clone())),
+                    ("value".into(), JsonValue::U64(*value)),
+                ])
+                .to_canonical(),
+            );
+        }
+        for (name, value) in &self.gauges {
+            lines.push(
+                JsonValue::Obj(vec![
+                    ("kind".into(), JsonValue::Str("gauge".into())),
+                    ("name".into(), JsonValue::Str(name.clone())),
+                    ("value".into(), JsonValue::I64(*value)),
+                ])
+                .to_canonical(),
+            );
+        }
+        for (name, h) in &self.histograms {
+            lines.push(
+                JsonValue::Obj(vec![
+                    ("kind".into(), JsonValue::Str("histogram".into())),
+                    ("name".into(), JsonValue::Str(name.clone())),
+                    ("count".into(), JsonValue::U64(h.count)),
+                    ("sum_ns".into(), JsonValue::U64(h.sum_ns)),
+                    ("max_ns".into(), JsonValue::U64(h.max_ns)),
+                    (
+                        "buckets".into(),
+                        JsonValue::Arr(h.buckets.iter().map(|n| JsonValue::U64(*n)).collect()),
+                    ),
+                ])
+                .to_canonical(),
+            );
+        }
+        lines
+    }
+
+    /// Render as aligned human-readable lines for reports and dumps.
+    pub fn to_display_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (name, value) in &self.counters {
+            lines.push(format!("  {name:<44} {value:>10}"));
+        }
+        for (name, value) in &self.gauges {
+            lines.push(format!("  {name:<44} {value:>10}"));
+        }
+        for (name, h) in &self.histograms {
+            lines.push(format!(
+                "  {name:<44} n={:<7} mean={:.3}ms max={:.3}ms",
+                h.count,
+                h.mean_ms(),
+                h.max_ns as f64 / 1e6
+            ));
+        }
+        lines
+    }
+}
+
+/// Counters, gauges, and histograms, keyed by name. Clone-free interior
+/// mutability so one registry can be shared by every subsystem.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, CounterHandle>>,
+    gauges: Mutex<BTreeMap<String, i64>>,
+    histograms: Mutex<BTreeMap<String, HistogramHandle>>,
+}
+
+impl MetricsRegistry {
+    /// Resolve (creating at zero) a counter once; the handle then updates
+    /// without locking the registry.
+    pub fn counter_handle(&self, name: &str) -> CounterHandle {
+        let mut g = lock(&self.counters);
+        match g.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = CounterHandle::default();
+                g.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
+    /// Resolve (creating empty) a histogram once; the handle then records
+    /// without locking the registry.
+    pub fn histogram_handle(&self, name: &str) -> HistogramHandle {
+        let mut g = lock(&self.histograms);
+        match g.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = HistogramHandle::default();
+                g.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
+    /// Add `by` to the counter `name`, creating it at zero.
+    pub fn counter_add(&self, name: &str, by: u64) {
+        let g = lock(&self.counters);
+        match g.get(name) {
+            Some(h) => h.add(by),
+            None => {
+                drop(g);
+                self.counter_handle(name).add(by);
+            }
+        }
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        lock(&self.gauges).insert(name.to_string(), value);
+    }
+
+    /// Record a virtual duration into histogram `name`.
+    pub fn observe_ns(&self, name: &str, value_ns: u64) {
+        let g = lock(&self.histograms);
+        match g.get(name) {
+            Some(h) => h.observe_ns(value_ns),
+            None => {
+                drop(g);
+                self.histogram_handle(name).observe_ns(value_ns);
+            }
+        }
+    }
+
+    /// Read one counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        lock(&self.counters).get(name).map(|h| h.get()).unwrap_or(0)
+    }
+
+    /// Snapshot everything, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, h)| (k.clone(), h.get()))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, h)| (k.clone(), lock(&h.0).clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_summary() {
+        let reg = MetricsRegistry::default();
+        reg.observe_ns("rpc.rtt", 500_000); // 0.5 ms → bucket 0 (<=1ms)
+        reg.observe_ns("rpc.rtt", 45_000_000); // 45 ms → <=50ms bucket
+        reg.observe_ns("rpc.rtt", 9_000_000_000); // 9 s → overflow
+        let snap = reg.snapshot();
+        let (_, h) = &snap.histograms[0];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[5], 1);
+        assert_eq!(h.buckets[BUCKET_BOUNDS_MS.len()], 1);
+        assert_eq!(h.max_ns, 9_000_000_000);
+    }
+
+    #[test]
+    fn counters_and_gauges_snapshot_sorted() {
+        let reg = MetricsRegistry::default();
+        reg.counter_add("z.later", 2);
+        reg.counter_add("a.first", 1);
+        reg.counter_add("z.later", 3);
+        reg.gauge_set("depth", -4);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.first".to_string(), 1), ("z.later".to_string(), 5)]
+        );
+        assert_eq!(snap.gauges, vec![("depth".to_string(), -4)]);
+        assert_eq!(reg.counter("z.later"), 5);
+        assert!(snap.to_canonical_lines()[0].contains("\"counter\""));
+    }
+}

@@ -7,10 +7,14 @@
 //! remote participants watching).
 //!
 //! Run with: `cargo run --release --example most_experiment`
-//! (add `-- --steps 300` for a quicker, proportionally scaled replay)
+//! (add `-- --steps 300` for a quicker, proportionally scaled replay;
+//! add `-- --trace most.jsonl` to also replay the public run fully
+//! instrumented and write its telemetry trace for
+//! `cargo run -p neesgrid-telemetry -- report most.jsonl`)
 
 use neesgrid::coordinator::Termination;
-use neesgrid::most::Scenario;
+use neesgrid::most::{MostDeployment, Scenario};
+use neesgrid::telemetry::Telemetry;
 
 fn main() {
     let steps: usize = std::env::args()
@@ -18,6 +22,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1500);
+    let trace_path: Option<String> = std::env::args().skip_while(|a| a != "--trace").nth(1);
 
     for scenario in [
         Scenario::SimulationOnly,
@@ -67,4 +72,22 @@ fn main() {
     }
     println!("Paper §3.4: dry run completed 1500/1500 in ~5.5 h; public run");
     println!("exited prematurely at step 1493 after >5 h; >130 participants.");
+
+    if let Some(path) = trace_path {
+        let scenario = Scenario::PublicRun;
+        let telemetry = Telemetry::recording();
+        let deployment = MostDeployment::build_with_telemetry(
+            scenario.config().with_steps(steps),
+            scenario.participants(),
+            telemetry.clone(),
+        );
+        deployment.set_fault_plan(scenario.fault_plan(steps));
+        deployment.run(scenario.policy());
+        std::fs::write(&path, telemetry.export_jsonl()).expect("write trace");
+        for dump in telemetry.dumps() {
+            println!("{dump}");
+        }
+        println!("Instrumented public-run trace written to {path}; render with");
+        println!("  cargo run -p neesgrid-telemetry -- report {path}");
+    }
 }

@@ -35,6 +35,9 @@ else
 
     echo "==> N=8 event-engine smoke (determinism + virtual-time retries)"
     cargo test -q --test event_engine
+
+    echo "==> trace-determinism smoke (same-seed byte-identical telemetry)"
+    cargo test -q --test telemetry_trace same_seed
 fi
 
 echo "==> cargo test -q (tier-1)"

@@ -22,6 +22,8 @@
 //!   killed mid-experiment (the step-1493 failure) restarts and finishes
 //! * [`chef`] — collaboration portal (chat, notebook, data viewer, cameras)
 //! * [`most`] — the MOST and Mini-MOST experiments end-to-end
+//! * [`telemetry`] — virtual-time tracing, metrics, and the flight
+//!   recorder whose post-mortem dump explains failures like step 1493
 //!
 //! ## Quickstart
 //!
@@ -40,3 +42,4 @@ pub use neesgrid_ntcp as ntcp;
 pub use neesgrid_ogsi as ogsi;
 pub use neesgrid_repo as repo;
 pub use neesgrid_structsim as structsim;
+pub use neesgrid_telemetry as telemetry;

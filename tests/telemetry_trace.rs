@@ -1,0 +1,190 @@
+//! E16 — telemetry: deterministic traces and the step-1493 flight report.
+//!
+//! Three properties the `neesgrid-telemetry` crate promises:
+//!
+//! 1. An instrumented fully-virtual run is deterministic: two runs with the
+//!    same seed export byte-identical trace JSONL.
+//! 2. Replaying the public run's fault schedule produces a flight-recorder
+//!    dump that names the faulted link and the in-flight NTCP transaction —
+//!    the post-mortem the 2004 operators did by hand.
+//! 3. A crashed run's trace and its checkpoint-resumed continuation merge
+//!    into one logical trace with no duplicate transaction spans.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use neesgrid::checkpoint::{CheckpointPolicy, CheckpointStore, RepoCheckpointStore};
+use neesgrid::coordinator::{FaultPolicy, Termination};
+use neesgrid::gridsim::{FaultPlan, LinkKey};
+use neesgrid::most::{n_site_with_telemetry, public_run_fault_plan, MostConfig, MostDeployment};
+use neesgrid::repo::VirtualStore;
+use neesgrid::telemetry::json::parse;
+use neesgrid::telemetry::{merge_resumed, render_report, Telemetry};
+
+#[test]
+fn same_seed_runs_export_byte_identical_traces() {
+    let trace = |seed: u64| {
+        let telemetry = Telemetry::recording();
+        let experiment = n_site_with_telemetry(4, seed, telemetry.clone());
+        let outcome = experiment.run(40);
+        assert_eq!(outcome.steps_completed(), 40);
+        telemetry.export_jsonl()
+    };
+    let a = trace(0xABCD);
+    let b = trace(0xABCD);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed instrumented runs must trace identically");
+    // The trace covers the whole stack: network, RPC, NTCP, coordinator.
+    for marker in [
+        "link.delivered",
+        "net.latency_ns",
+        "\"sub\":\"rpc\"",
+        "\"sub\":\"ntcp\"",
+        "\"sub\":\"coordinator\"",
+        "\"kind\":\"counter\"",
+        "\"kind\":\"histogram\"",
+    ] {
+        assert!(a.contains(marker), "trace missing {marker}");
+    }
+    // A different seed genuinely changes the trace (the check above is not
+    // comparing two empties or two constants).
+    let c = trace(0x1234);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn public_run_flight_dump_names_the_faulted_link_and_transaction() {
+    let steps = 150; // 150 · 1493/1500 = 149: the proportional fatal step
+    let config = MostConfig::simulation_only().with_steps(steps);
+    let telemetry = Telemetry::recording();
+    let deployment = MostDeployment::build_with_telemetry(config, 0, telemetry.clone());
+    deployment.set_fault_plan(public_run_fault_plan(steps));
+    let artifacts = deployment.run(FaultPolicy::Partial);
+
+    match &artifacts.outcome.termination {
+        Termination::Aborted { step, site, .. } => {
+            assert_eq!(*step, 149);
+            assert_eq!(site, "cu");
+        }
+        other => panic!("expected the public-run abort, got {other:?}"),
+    }
+
+    let dumps = telemetry.dumps();
+    assert!(!dumps.is_empty(), "the abort must trigger a flight dump");
+    let all = dumps.join("\n");
+    // The faulted link, by name…
+    assert!(all.contains("coordinator->cu"), "dump:\n{all}");
+    // …the transaction that was in flight when it died…
+    assert!(all.contains("step-000149"), "dump:\n{all}");
+    // …and the coordinator's own post-mortem with step and site.
+    assert!(
+        dumps
+            .iter()
+            .any(|d| d.contains("aborted at step 149") && d.contains("cu")),
+        "dump:\n{all}"
+    );
+
+    // The rendered report tells the same story.
+    let report = render_report(&telemetry.export_jsonl()).expect("trace renders");
+    assert!(report.contains("ABORTED at step 149 site cu"), "{report}");
+}
+
+#[test]
+fn merged_crash_and_resume_trace_has_no_duplicate_transaction_spans() {
+    const RUN_ID: &str = "most-traced";
+    let config = MostConfig::simulation_only().with_steps(300);
+    let backing = VirtualStore::new();
+    let ckpt_store = |backing: &VirtualStore, deployment: &MostDeployment| {
+        Arc::new(RepoCheckpointStore::new(
+            backing.clone(),
+            deployment.clock(),
+            "/experiments/most",
+        )) as Arc<dyn CheckpointStore>
+    };
+
+    // Crash at step 250 (propose request 2·250 on coordinator→cu reset),
+    // with checkpoints every 100 steps.
+    let crashed_telemetry = Telemetry::recording();
+    let crashed = {
+        let deployment = MostDeployment::build_full(
+            config.clone(),
+            0,
+            backing.clone(),
+            crashed_telemetry.clone(),
+        );
+        let mut plan = FaultPlan::reliable();
+        plan.reset_at(LinkKey::new("coordinator", "cu"), 2 * 250);
+        deployment.set_fault_plan(plan);
+        let store = ckpt_store(&backing, &deployment);
+        deployment.run_with_checkpoints(
+            FaultPolicy::Partial,
+            RUN_ID,
+            CheckpointPolicy::every(100),
+            store,
+        )
+    };
+    assert_eq!(crashed.outcome.steps_completed(), 250);
+
+    // Resume from the step-200 snapshot on a fresh instrumented deployment.
+    let resumed_telemetry = Telemetry::recording();
+    let resumed = {
+        let deployment = MostDeployment::build_full(
+            config.clone(),
+            0,
+            backing.clone(),
+            resumed_telemetry.clone(),
+        );
+        let store = ckpt_store(&backing, &deployment);
+        deployment
+            .resume_latest(
+                FaultPolicy::Full {
+                    max_step_retries: 3,
+                },
+                RUN_ID,
+                store,
+            )
+            .expect("resume from the step-200 snapshot")
+    };
+    assert_eq!(resumed.outcome.steps_completed(), 300);
+
+    // Steps 200..250 ran in both deployments; the merge must keep exactly
+    // one copy of every NTCP transaction span.
+    let merged = merge_resumed(
+        &crashed_telemetry.export_jsonl(),
+        &resumed_telemetry.export_jsonl(),
+    )
+    .expect("resumed trace carries a coordinator/resume event");
+    let mut spans: HashMap<(String, String, String), u32> = HashMap::new();
+    for line in merged.lines() {
+        let Ok(doc) = parse(line) else { continue };
+        if doc.get("kind").and_then(|v| v.as_str()) != Some("span_start")
+            || doc.get("sub").and_then(|v| v.as_str()) != Some("ntcp")
+        {
+            continue;
+        }
+        let field = |name: &str| -> String {
+            doc.get("fields")
+                .and_then(|f| f.get(name))
+                .and_then(|v| v.as_str())
+                .unwrap_or_default()
+                .to_string()
+        };
+        let name = doc
+            .get("name")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_string();
+        *spans.entry((field("site"), name, field("tx"))).or_insert(0) += 1;
+    }
+    assert!(!spans.is_empty(), "merged trace has NTCP lifecycle spans");
+    for (key, count) in &spans {
+        assert_eq!(
+            *count, 1,
+            "transaction span duplicated after merge: {key:?}"
+        );
+    }
+    // Both halves contributed: pre-crash steps from the primary, the
+    // replayed-and-beyond steps from the resumed run.
+    assert!(spans.keys().any(|(_, _, tx)| tx.starts_with("step-000050")));
+    assert!(spans.keys().any(|(_, _, tx)| tx.starts_with("step-000299")));
+}
