@@ -1,6 +1,6 @@
 //! The invariant lint rules and the engine that applies them.
 //!
-//! Five rules, each guarding a property the rest of the workspace depends
+//! Six rules, each guarding a property the rest of the workspace depends
 //! on but the compiler cannot check:
 //!
 //! | rule            | invariant                                              |
@@ -10,6 +10,7 @@
 //! | `no-todo`       | no `todo!`/`unimplemented!` ships                       |
 //! | `missing-docs`  | public items of protocol crates carry doc comments      |
 //! | `telemetry-span-balance` | in protocol crates a function that calls `.span_start(…)` must also call `.span_end(…)`, with no `return` or `?` between the first start and the last end — the wrapper pattern that guarantees spans close on every path. Cross-function spans (the ogsi RPC call/complete pair) live in exempt crates |
+//! | `no-unbounded-channel` | queueing code (portal, coordinator, daq) never constructs an unbounded queue: `unbounded(…)`, zero-capacity `channel()`, and `VecDeque::new()` are flagged. Multi-tenant admission only sheds load if every queue has an explicit capacity and an explicit policy at the push site |
 //!
 //! Code inside `#[cfg(test)]` / `#[test]` regions is exempt from every
 //! rule. A finding can be waived in place with
@@ -21,13 +22,14 @@ use std::path::{Path, PathBuf};
 
 use crate::lexer::{lex, Delim, Pragma, TokKind, Token};
 
-/// The five enforceable rules, in reporting order.
-pub const RULE_NAMES: [&str; 5] = [
+/// The six enforceable rules, in reporting order.
+pub const RULE_NAMES: [&str; 6] = [
     "no-unwrap",
     "no-wall-clock",
     "no-todo",
     "missing-docs",
     "telemetry-span-balance",
+    "no-unbounded-channel",
 ];
 
 /// Rule id reported for malformed or reasonless suppression pragmas.
@@ -49,6 +51,8 @@ pub struct RuleSet {
     pub docs: bool,
     /// `telemetry-span-balance` applies.
     pub span_balance: bool,
+    /// `no-unbounded-channel` applies.
+    pub bounded_queues: bool,
 }
 
 impl RuleSet {
@@ -61,6 +65,7 @@ impl RuleSet {
             todo: true,
             docs: true,
             span_balance: true,
+            bounded_queues: true,
         }
     }
 }
@@ -323,6 +328,30 @@ pub fn lint_source(file: &str, src: &str, rules: RuleSet) -> FileOutcome {
                 }
             }
         }
+        if rules.bounded_queues {
+            let path_next = |want: &str| {
+                matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokKind::PathSep))
+                    && matches!(tokens.get(i + 2).map(|t| &t.kind), Some(TokKind::Ident(s)) if s == want)
+            };
+            let next_is_path_sep =
+                matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokKind::PathSep));
+            let empty_call = call_after
+                && matches!(
+                    tokens.get(i + 2).map(|t| &t.kind),
+                    Some(TokKind::Close(Delim::Paren))
+                );
+            // `unbounded(…)` or `unbounded::<T>(…)` — but not `use …::unbounded;`.
+            if ident == "unbounded" && (call_after || next_is_path_sep) {
+                raw.push(finding(file, line, "no-unbounded-channel", "unbounded() gives the producer no backpressure — use a bounded channel and shed explicitly, or annotate the pragma with the growth bound".into()));
+            }
+            // Zero-argument `channel()` is std mpsc's unbounded constructor.
+            if ident == "channel" && empty_call {
+                raw.push(finding(file, line, "no-unbounded-channel", "zero-capacity channel() is unbounded — use a bounded constructor (sync_channel / bounded) with an explicit capacity".into()));
+            }
+            if ident == "VecDeque" && path_next("new") {
+                raw.push(finding(file, line, "no-unbounded-channel", "VecDeque::new() starts a queue with no capacity bound — use with_capacity and enforce the bound at the push site, or annotate the pragma with the invariant".into()));
+            }
+        }
         if rules.docs && ident == "pub" {
             if let Some(f) = check_missing_docs(file, tokens, i) {
                 raw.push(f);
@@ -576,6 +605,12 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         // legitimate cross-function span (started in call_async, ended in
         // complete). Protocol crates must keep spans function-local.
         span_balance: protocol,
+        // The crates that queue between tenants: the portal's admission
+        // queue, the coordinator's scheduling structures, and the daq
+        // streaming buffers. Everywhere else an unbounded Vec is idiomatic.
+        bounded_queues: ["portal", "coordinator", "daq"]
+            .iter()
+            .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
     })
 }
 
@@ -866,20 +901,80 @@ mod tests {
         assert!(out.findings.is_empty(), "{:?}", out.findings);
     }
 
+    // ---- no-unbounded-channel ----
+
+    #[test]
+    fn unbounded_constructors_flagged() {
+        let out = lint(
+            "fn f() {\n    let (tx, rx) = unbounded();\n    let (a, b) = crossbeam::channel::unbounded::<u8>();\n    let (c, d) = std::sync::mpsc::channel();\n    let q: VecDeque<u8> = VecDeque::new();\n}\n",
+        );
+        assert_eq!(
+            rules_of(&out),
+            vec![
+                "no-unbounded-channel",
+                "no-unbounded-channel",
+                "no-unbounded-channel",
+                "no-unbounded-channel"
+            ]
+        );
+        assert!(out.findings[1].message.contains("backpressure"));
+        assert!(out.findings[3].message.contains("with_capacity"));
+    }
+
+    #[test]
+    fn bounded_constructors_unflagged() {
+        let out = lint(
+            "fn f() {\n    let (tx, rx) = bounded(64);\n    let (a, b) = sync_channel(16);\n    let (c, d) = channel(32);\n    let q: VecDeque<u8> = VecDeque::with_capacity(8);\n}\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn unbounded_pragma_and_scope_respected() {
+        let out = lint(
+            "fn f() {\n    // analyzer:allow(no-unbounded-channel, reason = \"drained every tick, bounded by pool size\")\n    let q: VecDeque<u8> = VecDeque::new();\n}\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.suppressed, 1);
+        let rules = RuleSet {
+            bounded_queues: false,
+            ..RuleSet::all()
+        };
+        let out = lint_source("test.rs", "fn f() { let (tx, rx) = unbounded(); }\n", rules);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn unbounded_in_tests_exempt() {
+        let out = lint(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let q: VecDeque<u8> = VecDeque::new(); }\n}\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
     // ---- scoping ----
 
     #[test]
     fn rule_scope_by_path() {
         let p = rules_for("crates/ntcp/src/server.rs").unwrap();
         assert!(p.unwrap && p.docs && p.wall_clock && p.blocking && p.todo && p.span_balance);
+        assert!(!p.bounded_queues);
         let t = rules_for("crates/telemetry/src/lib.rs").unwrap();
         assert!(t.unwrap && t.docs && t.wall_clock && t.blocking && t.todo && t.span_balance);
         let o = rules_for("crates/ogsi/src/rpc.rs").unwrap();
         assert!(!o.unwrap && !o.docs && o.wall_clock && o.blocking && o.todo && !o.span_balance);
         let m = rules_for("crates/most/src/runner.rs").unwrap();
-        assert!(m.wall_clock && !m.blocking && !m.span_balance);
+        assert!(m.wall_clock && !m.blocking && !m.span_balance && !m.bounded_queues);
         let b = rules_for("crates/bench/src/lib.rs").unwrap();
         assert!(!b.wall_clock && !b.blocking && b.todo);
+        let q = rules_for("crates/portal/src/scheduler.rs").unwrap();
+        assert!(q.bounded_queues && q.wall_clock && !q.unwrap && !q.docs);
+        assert!(
+            rules_for("crates/coordinator/src/coordinator.rs")
+                .unwrap()
+                .bounded_queues
+        );
+        assert!(rules_for("crates/daq/src/nsds.rs").unwrap().bounded_queues);
         assert_eq!(rules_for("crates/shims/rand/src/lib.rs"), None);
         assert_eq!(rules_for("crates/ntcp/tests/integration.rs"), None);
         assert_eq!(rules_for("tests/most.rs"), None);

@@ -5,7 +5,8 @@
 //! collaboration framework" (§3). Over 130 of them did, during the public
 //! run. This crate provides that portal:
 //!
-//! * [`session`] — GSI-authenticated login sessions with roles;
+//! * [`session`] — GSI-authenticated login sessions with roles, served
+//!   by the `neesgrid-portal` service and re-exported here;
 //! * [`chat`] — the chat / message board ("CHEF's chat feature was crucial
 //!   to user interaction");
 //! * [`notebook`] — the electronic notebook;
@@ -14,9 +15,11 @@
 //!   timeline, and hysteresis plots;
 //! * [`telepresence`] — remotely operable pan/tilt/zoom cameras (three of
 //!   them at MOST), with exclusive-control leases;
-//! * [`portal`] — the facade tying it together, including repository data
-//!   download through the https bridge and a synthetic participant load
-//!   generator for the §3.4 scale test.
+//! * [`portal`] — the facade tying it together. Since the portal became
+//!   a multi-tenant wire service (`neesgrid-portal`), this is a thin
+//!   client: login, boards, and stream observers all travel as
+//!   length-prefixed JSON frames; only the cameras and the https
+//!   download bridge stay client-local.
 
 pub mod chat;
 pub mod notebook;
@@ -27,7 +30,7 @@ pub mod viewer;
 
 pub use chat::{ChatMessage, ChatRoom};
 pub use notebook::{Notebook, NotebookEntry};
-pub use portal::CollabPortal;
-pub use session::{Role, Session, SessionManager};
+pub use portal::{CollabPortal, RemoteFeed};
+pub use session::{LoginError, Role, Session};
 pub use telepresence::{Camera, CameraFrame, CameraServer};
 pub use viewer::{DataViewer, VcrState};

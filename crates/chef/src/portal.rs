@@ -1,94 +1,272 @@
-//! The portal facade.
+//! The portal facade — a thin client of the portal wire service.
 //!
-//! Ties the pieces into the experience §3 describes: log in with a GSI
-//! credential, join the chat, watch the structure respond in the data
-//! viewer (fed from an NSDS subscription), drive a camera, download
-//! archived data through the https bridge — and, for the §3.4 scale
-//! test, generate a MOST-sized synthetic crowd.
+//! CHEF no longer owns sessions, chat, or stream fan-out: every one of
+//! those flows through the `neesgrid-portal` wire API as length-prefixed
+//! JSON frames. Logging in presents the credential's serializable token;
+//! chat and the notebook are service-side collaboration boards; the data
+//! viewer is fed by polling a facility observer held open on the
+//! service. Only strictly client-local equipment stays here: the camera
+//! fleet (control gated on a live wire session) and the https download
+//! bridge.
+
+use std::sync::Arc;
 
 use bytes::Bytes;
 
-use neesgrid_daq::nsds::{NsdsServer, NsdsSubscription};
-use neesgrid_gridsim::SimTime;
-use neesgrid_gsi::{CaVerifier, Credential, DistinguishedName};
+use neesgrid_gridsim::{NetworkError, NodeId, SimClock, SimTime, VirtualNetwork};
+use neesgrid_gsi::{Credential, DistinguishedName};
+use neesgrid_portal::{BoardEntry, PortalClient, Request, Response, Role, Session};
 use neesgrid_repo::{HttpsBridge, Nfms};
 
-use crate::chat::ChatRoom;
-use crate::notebook::Notebook;
-use crate::session::{Role, Session, SessionManager};
 use crate::telepresence::CameraServer;
 use crate::viewer::DataViewer;
 
-/// The collaboration portal for one experiment.
+/// The collaboration portal client for one experiment.
 pub struct CollabPortal {
-    /// Session management.
-    pub sessions: SessionManager,
-    /// The main chat room.
-    pub chat: ChatRoom,
-    /// The experiment notebook.
-    pub notebook: Notebook,
-    /// Camera fleet.
+    client: PortalClient,
+    clock: Arc<SimClock>,
+    /// Camera fleet (control is gated on a live wire session).
     pub cameras: CameraServer,
     bridge: HttpsBridge,
     downloads: u64,
 }
 
-impl CollabPortal {
-    /// A portal trusting `root`, with the MOST camera fleet.
-    pub fn new(root: CaVerifier) -> Self {
-        CollabPortal {
-            sessions: SessionManager::new(root),
-            chat: ChatRoom::new(),
-            notebook: Notebook::new(),
-            cameras: CameraServer::most(),
-            bridge: HttpsBridge::new(),
-            downloads: 0,
+/// A facility-stream observer held open on the portal service. Pumping
+/// it drains samples over the wire into a [`DataViewer`].
+pub struct RemoteFeed {
+    client: PortalClient,
+    owner: DistinguishedName,
+    observer: u64,
+    dropped: u64,
+}
+
+impl RemoteFeed {
+    /// Drain everything currently buffered on the service into `viewer`.
+    pub fn pump(&mut self, viewer: &mut DataViewer) -> Result<usize, String> {
+        let mut total = 0;
+        loop {
+            let reply = self
+                .client
+                .call_as(
+                    &self.owner,
+                    Request::Poll {
+                        observer: self.observer,
+                        max: 1024,
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            match reply {
+                Response::Samples {
+                    samples, dropped, ..
+                } => {
+                    self.dropped = dropped;
+                    if samples.is_empty() {
+                        return Ok(total);
+                    }
+                    total += samples.len();
+                    for s in &samples {
+                        viewer.ingest(&s.channel, s.t, s.value);
+                    }
+                }
+                Response::Rejected { rejection } => return Err(rejection.to_string()),
+                Response::Error { message } => return Err(message),
+                other => return Err(format!("unexpected Poll reply: {other:?}")),
+            }
         }
     }
 
-    /// Log a participant in.
-    pub fn login(&mut self, credential: &Credential, now: SimTime) -> Result<Session, String> {
-        self.sessions
-            .login(credential, now)
-            .map_err(|e| e.to_string())
+    /// Samples this observer has lost to ring overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
-    /// Post to chat (requires a live Participant+ session).
+    /// Release the observer slot on the service.
+    pub fn close(self) -> Result<(), String> {
+        match self
+            .client
+            .call_as(
+                &self.owner,
+                Request::Unobserve {
+                    observer: self.observer,
+                },
+            )
+            .map_err(|e| e.to_string())?
+        {
+            Response::Ok => Ok(()),
+            Response::Rejected { rejection } => Err(rejection.to_string()),
+            other => Err(format!("unexpected Unobserve reply: {other:?}")),
+        }
+    }
+}
+
+impl CollabPortal {
+    /// Connect a CHEF client node to a served portal on the same control
+    /// network.
+    pub fn connect(
+        net: &VirtualNetwork,
+        node: &str,
+        portal: impl Into<NodeId>,
+    ) -> Result<CollabPortal, NetworkError> {
+        let client = PortalClient::connect(net, node, portal)?;
+        Ok(CollabPortal {
+            clock: Arc::clone(client.clock()),
+            client,
+            cameras: CameraServer::most(),
+            bridge: HttpsBridge::new(),
+            downloads: 0,
+        })
+    }
+
+    /// The underlying wire client (for operations beyond the facade).
+    pub fn client(&self) -> &PortalClient {
+        &self.client
+    }
+
+    /// Issue a request as `user`, flattening rejections into strings.
+    fn call(&self, user: &DistinguishedName, request: Request) -> Result<Response, String> {
+        match self
+            .client
+            .call_as(user, request)
+            .map_err(|e| e.to_string())?
+        {
+            Response::Rejected { rejection } => Err(rejection.to_string()),
+            Response::Error { message } => Err(message),
+            other => Ok(other),
+        }
+    }
+
+    /// Log a participant in over the wire.
+    pub fn login(&mut self, credential: &Credential, now: SimTime) -> Result<Session, String> {
+        self.clock.advance_to(now);
+        let user = credential.identity().clone();
+        match self.call(
+            &user,
+            Request::Login {
+                token: credential.token(),
+            },
+        )? {
+            Response::Session { role, expires_at } => Ok(Session {
+                user,
+                role,
+                opened_at: now,
+                expires_at,
+            }),
+            other => Err(format!("unexpected Login reply: {other:?}")),
+        }
+    }
+
+    /// The caller's live role, per the service.
+    pub fn whoami(&self, user: &DistinguishedName, now: SimTime) -> Result<Role, String> {
+        self.clock.advance_to(now);
+        match self.call(user, Request::Whoami)? {
+            Response::Session { role, .. } => Ok(role),
+            other => Err(format!("unexpected Whoami reply: {other:?}")),
+        }
+    }
+
+    /// Post to the chat board (requires a Participant+ session).
     pub fn post_chat(
         &mut self,
         user: &DistinguishedName,
         text: impl Into<String>,
         now: SimTime,
     ) -> Result<u64, String> {
-        let session = self
-            .sessions
-            .session(user, now)
-            .ok_or_else(|| format!("{user} has no live session"))?;
-        if session.role == Role::Observer {
-            return Err(format!("{user} is observer-only"));
-        }
-        Ok(self.chat.post(user.clone(), text, now))
+        self.post_board(user, "chat", text, now)
     }
 
-    /// Open a data viewer fed from an NSDS subscription over `pattern`.
-    /// Returns the viewer and the subscription to pump.
+    /// Post to the electronic notebook (requires a Participant+ session).
+    pub fn post_note(
+        &mut self,
+        user: &DistinguishedName,
+        text: impl Into<String>,
+        now: SimTime,
+    ) -> Result<u64, String> {
+        self.post_board(user, "notebook", text, now)
+    }
+
+    fn post_board(
+        &mut self,
+        user: &DistinguishedName,
+        board: &str,
+        text: impl Into<String>,
+        now: SimTime,
+    ) -> Result<u64, String> {
+        self.clock.advance_to(now);
+        match self.call(
+            user,
+            Request::Post {
+                board: board.to_string(),
+                text: text.into(),
+            },
+        )? {
+            Response::Posted { seq } => Ok(seq),
+            other => Err(format!("unexpected Post reply: {other:?}")),
+        }
+    }
+
+    /// Read a collaboration board (any live session).
+    pub fn board(&self, user: &DistinguishedName, board: &str) -> Result<Vec<BoardEntry>, String> {
+        match self.call(
+            user,
+            Request::Board {
+                board: board.to_string(),
+            },
+        )? {
+            Response::BoardEntries { entries } => Ok(entries),
+            other => Err(format!("unexpected Board reply: {other:?}")),
+        }
+    }
+
+    /// Open a data viewer fed from a facility observer over `pattern`.
+    /// Returns the viewer and the remote feed to pump.
     pub fn open_viewer(
         &self,
-        nsds: &NsdsServer,
+        user: &DistinguishedName,
         pattern: &str,
         buffer: usize,
-    ) -> (DataViewer, NsdsSubscription) {
-        (DataViewer::new(), nsds.subscribe(pattern, buffer))
+    ) -> Result<(DataViewer, RemoteFeed), String> {
+        match self.call(
+            user,
+            Request::ObserveFacility {
+                pattern: pattern.to_string(),
+                buffer,
+            },
+        )? {
+            Response::Observing { observer } => Ok((
+                DataViewer::new(),
+                RemoteFeed {
+                    client: self.client.clone(),
+                    owner: user.clone(),
+                    observer,
+                    dropped: 0,
+                },
+            )),
+            other => Err(format!("unexpected ObserveFacility reply: {other:?}")),
+        }
     }
 
-    /// Pump pending NSDS samples into a viewer (called on the UI cadence).
-    pub fn pump_viewer(viewer: &mut DataViewer, subscription: &NsdsSubscription) -> usize {
-        let samples = subscription.drain();
-        let n = samples.len();
-        for s in samples {
-            viewer.ingest(&s.channel, s.t, s.value);
+    /// Pump pending samples from a remote feed into a viewer (called on
+    /// the UI cadence).
+    pub fn pump_viewer(viewer: &mut DataViewer, feed: &mut RemoteFeed) -> usize {
+        feed.pump(viewer).unwrap_or(0)
+    }
+
+    /// Take exclusive control of a camera (requires a Participant+
+    /// session on the service).
+    pub fn acquire_camera(
+        &mut self,
+        user: &DistinguishedName,
+        camera: &str,
+        now: SimTime,
+    ) -> Result<(), String> {
+        let role = self.whoami(user, now)?;
+        if role < Role::Participant {
+            return Err(format!("{user} is observer-only"));
         }
-        n
+        self.cameras
+            .camera_mut(camera)
+            .ok_or_else(|| format!("no camera '{camera}'"))?
+            .acquire(user.clone())
     }
 
     /// Download an archived file through the https bridge (requires a
@@ -100,9 +278,8 @@ impl CollabPortal {
         logical: &str,
         now: SimTime,
     ) -> Result<Bytes, String> {
-        if self.sessions.session(user, now).is_none() {
-            return Err(format!("{user} has no live session"));
-        }
+        self.whoami(user, now)
+            .map_err(|e| format!("{user} has no live session: {e}"))?;
         let bytes = self.bridge.get(nfms, logical)?;
         self.downloads += 1;
         Ok(bytes)
@@ -117,14 +294,32 @@ impl CollabPortal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use neesgrid_daq::nsds::NsdsSample;
+    use neesgrid_checkpoint::MemoryCheckpointStore;
+    use neesgrid_daq::nsds::{NsdsSample, NsdsServer};
+    use neesgrid_gridsim::{LatencyModel, NetworkConfig};
     use neesgrid_gsi::CertificateAuthority;
+    use neesgrid_portal::{Portal, PortalConfig};
     use neesgrid_repo::VirtualStore;
 
-    fn setup() -> (CertificateAuthority, CollabPortal) {
+    fn setup() -> (VirtualNetwork, CertificateAuthority, Portal, CollabPortal) {
+        let net = VirtualNetwork::new(NetworkConfig {
+            default_latency: LatencyModel::wan_2003(),
+            seed: 33,
+        });
         let ca = CertificateAuthority::nees(33);
-        let portal = CollabPortal::new(ca.verifier());
-        (ca, portal)
+        let service = Portal::serve(
+            &net,
+            "portal",
+            ca.verifier(),
+            Arc::new(MemoryCheckpointStore::new()),
+            PortalConfig {
+                default_role: Role::Observer,
+                ..PortalConfig::default()
+            },
+        )
+        .expect("portal node is fresh");
+        let portal = CollabPortal::connect(&net, "chef", "portal").expect("client node is fresh");
+        (net, ca, service, portal)
     }
 
     fn participant(ca: &CertificateAuthority, name: &str, seed: u64) -> Credential {
@@ -139,12 +334,10 @@ mod tests {
 
     #[test]
     fn observer_cannot_chat_participant_can() {
-        let (ca, mut portal) = setup();
+        let (_net, ca, service, mut portal) = setup();
         let obs = participant(&ca, "observer", 1);
         let part = participant(&ca, "participant", 2);
-        portal
-            .sessions
-            .assign_role(part.identity().clone(), Role::Participant);
+        service.assign_role(part.identity().clone(), Role::Participant);
         portal.login(&obs, SimTime::from_secs(1)).unwrap();
         portal.login(&part, SimTime::from_secs(1)).unwrap();
         assert!(portal
@@ -153,30 +346,40 @@ mod tests {
         portal
             .post_chat(part.identity(), "step 100 done", SimTime::from_secs(2))
             .unwrap();
-        assert_eq!(portal.chat.len(), 1);
+        assert_eq!(portal.board(part.identity(), "chat").unwrap().len(), 1);
+        // The notebook is a separate board.
+        portal
+            .post_note(part.identity(), "observations", SimTime::from_secs(3))
+            .unwrap();
+        assert_eq!(portal.board(part.identity(), "notebook").unwrap().len(), 1);
     }
 
     #[test]
-    fn viewer_fed_from_nsds() {
-        let (_, portal) = setup();
-        let nsds = NsdsServer::new();
-        let (mut viewer, sub) = portal.open_viewer(&nsds, "resp/*", 256);
+    fn viewer_fed_from_facility_hub_over_the_wire() {
+        let (_net, ca, service, mut portal) = setup();
+        let hub = Arc::new(NsdsServer::new());
+        service.attach_facility_hub(Arc::clone(&hub));
+        let user = participant(&ca, "viewer", 4);
+        portal.login(&user, SimTime::from_secs(1)).unwrap();
+        let (mut viewer, mut feed) = portal.open_viewer(user.identity(), "resp/*", 256).unwrap();
         for i in 0..50u64 {
-            nsds.publish(NsdsSample {
+            hub.publish(NsdsSample {
                 channel: "resp/dof-0".into(),
                 t: SimTime::from_millis(i * 10),
                 value: i as f64,
             });
         }
-        let n = CollabPortal::pump_viewer(&mut viewer, &sub);
+        let n = CollabPortal::pump_viewer(&mut viewer, &mut feed);
         assert_eq!(n, 50);
+        assert_eq!(feed.dropped(), 0);
         viewer.seek(viewer.live_edge);
         assert_eq!(viewer.visible_series("resp/dof-0").len(), 50);
+        feed.close().unwrap();
     }
 
     #[test]
     fn download_requires_session() {
-        let (ca, mut portal) = setup();
+        let (_net, ca, _service, mut portal) = setup();
         let mut nfms = Nfms::new(VirtualStore::new());
         nfms.upload("/most/d.csv", Bytes::from_static(b"x,y"), SimTime::ZERO)
             .unwrap();
@@ -194,28 +397,51 @@ mod tests {
     }
 
     #[test]
+    fn camera_control_gated_by_wire_session_role() {
+        let (_net, ca, service, mut portal) = setup();
+        let obs = participant(&ca, "watcher", 5);
+        let driver = participant(&ca, "driver", 6);
+        service.assign_role(driver.identity().clone(), Role::Participant);
+        portal.login(&obs, SimTime::from_secs(1)).unwrap();
+        portal.login(&driver, SimTime::from_secs(1)).unwrap();
+        let camera = portal.cameras.names()[0].to_string();
+        assert!(portal
+            .acquire_camera(obs.identity(), &camera, SimTime::from_secs(2))
+            .is_err());
+        portal
+            .acquire_camera(driver.identity(), &camera, SimTime::from_secs(2))
+            .unwrap();
+    }
+
+    #[test]
     fn most_scale_crowd() {
         // §3.4: "over 130 remote participants logged on to observe MOST."
-        let (ca, mut portal) = setup();
-        let nsds = NsdsServer::new();
+        let (_net, ca, service, mut portal) = setup();
+        let hub = Arc::new(NsdsServer::new());
+        service.attach_facility_hub(Arc::clone(&hub));
         let mut viewers = Vec::new();
         for i in 0..132 {
             let cred = participant(&ca, &format!("crowd-{i}"), 1000 + i);
             portal.login(&cred, SimTime::from_secs(1)).unwrap();
-            viewers.push(portal.open_viewer(&nsds, "resp/*", 128));
+            viewers.push(
+                portal
+                    .open_viewer(cred.identity(), "resp/*", 128)
+                    .expect("observer slot within quota"),
+            );
         }
         // Stream a burst of response data to the whole crowd.
         for i in 0..100u64 {
-            nsds.publish(NsdsSample {
+            hub.publish(NsdsSample {
                 channel: "resp/dof-0".into(),
                 t: SimTime::from_millis(i * 10),
                 value: (i as f64 * 0.01).sin(),
             });
         }
-        for (viewer, sub) in viewers.iter_mut() {
-            CollabPortal::pump_viewer(viewer, sub);
-            assert_eq!(sub.dropped(), 0);
+        for (viewer, feed) in viewers.iter_mut() {
+            CollabPortal::pump_viewer(viewer, feed);
+            assert_eq!(feed.dropped(), 0);
         }
-        assert!(portal.sessions.peak_concurrent() >= 130);
+        assert!(service.peak_sessions() >= 130);
+        assert_eq!(service.stats().observers, 132);
     }
 }

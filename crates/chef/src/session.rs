@@ -1,221 +1,11 @@
-//! Portal login sessions.
+//! Portal login sessions — served by `neesgrid-portal`.
 //!
-//! "The CHEF interface used the various NEESgrid protocols to authenticate
-//! to NEESgrid resources" — logging in means presenting a GSI credential;
-//! the portal validates it against the community trust root and opens a
-//! role-scoped session bounded by the credential's lifetime.
+//! "The CHEF interface used the various NEESgrid protocols to
+//! authenticate to NEESgrid resources" — CHEF now does exactly that: it
+//! logs in over the portal wire API, and the session state machine
+//! (credential validation, roles, expiry, peak-concurrency tracking)
+//! lives server-side in [`neesgrid_portal::tenant::TenantDirectory`].
+//! These re-exports keep chef's public names stable for code that only
+//! consumes the types.
 
-use std::collections::HashMap;
-
-use neesgrid_gridsim::SimTime;
-use neesgrid_gsi::{CaVerifier, Credential, CredentialError, DistinguishedName};
-
-/// What a logged-in user may do.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Role {
-    /// Watch streams, read chat/notebook.
-    Observer,
-    /// Observer + post to chat/notebook, drive cameras.
-    Participant,
-    /// Participant + experiment control surfaces.
-    Operator,
-}
-
-/// An open portal session.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Session {
-    /// The authenticated identity.
-    pub user: DistinguishedName,
-    /// Granted role.
-    pub role: Role,
-    /// Login time.
-    pub opened_at: SimTime,
-    /// Expiry (credential-bounded).
-    pub expires_at: SimTime,
-}
-
-impl Session {
-    /// Whether the session is live at `now`.
-    pub fn valid_at(&self, now: SimTime) -> bool {
-        now >= self.opened_at && now < self.expires_at
-    }
-}
-
-/// Login failures.
-#[derive(Debug, Clone, PartialEq)]
-pub enum LoginError {
-    /// Credential failed validation.
-    BadCredential(CredentialError),
-    /// Already logged in.
-    AlreadyLoggedIn,
-}
-
-impl std::fmt::Display for LoginError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LoginError::BadCredential(e) => write!(f, "credential rejected: {e}"),
-            LoginError::AlreadyLoggedIn => write!(f, "already logged in"),
-        }
-    }
-}
-
-impl std::error::Error for LoginError {}
-
-/// Manages the portal's live sessions.
-pub struct SessionManager {
-    trust_root: CaVerifier,
-    sessions: HashMap<DistinguishedName, Session>,
-    /// Role assignments (default: Observer).
-    roles: HashMap<DistinguishedName, Role>,
-    peak_concurrent: usize,
-}
-
-impl SessionManager {
-    /// A manager trusting the given root.
-    pub fn new(trust_root: CaVerifier) -> Self {
-        SessionManager {
-            trust_root,
-            sessions: HashMap::new(),
-            roles: HashMap::new(),
-            peak_concurrent: 0,
-        }
-    }
-
-    /// Pre-assign a role to an identity (defaults to Observer otherwise).
-    pub fn assign_role(&mut self, user: DistinguishedName, role: Role) {
-        self.roles.insert(user, role);
-    }
-
-    /// Log in with a credential; returns the opened session.
-    pub fn login(&mut self, credential: &Credential, now: SimTime) -> Result<Session, LoginError> {
-        credential
-            .validate(&self.trust_root, now)
-            .map_err(LoginError::BadCredential)?;
-        let user = credential.identity().clone();
-        if let Some(existing) = self.sessions.get(&user) {
-            if existing.valid_at(now) {
-                return Err(LoginError::AlreadyLoggedIn);
-            }
-        }
-        let role = self.roles.get(&user).copied().unwrap_or(Role::Observer);
-        let session = Session {
-            user: user.clone(),
-            role,
-            opened_at: now,
-            expires_at: credential.expires_at(),
-        };
-        self.sessions.insert(user, session.clone());
-        self.peak_concurrent = self.peak_concurrent.max(self.active_count(now));
-        Ok(session)
-    }
-
-    /// Log out.
-    pub fn logout(&mut self, user: &DistinguishedName) -> bool {
-        self.sessions.remove(user).is_some()
-    }
-
-    /// The live session for a user, if any.
-    pub fn session(&self, user: &DistinguishedName, now: SimTime) -> Option<&Session> {
-        self.sessions.get(user).filter(|s| s.valid_at(now))
-    }
-
-    /// Number of live sessions at `now`.
-    pub fn active_count(&self, now: SimTime) -> usize {
-        self.sessions.values().filter(|s| s.valid_at(now)).count()
-    }
-
-    /// Highest concurrent session count seen (the "over 130 remote
-    /// participants" figure).
-    pub fn peak_concurrent(&self) -> usize {
-        self.peak_concurrent
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use neesgrid_gsi::CertificateAuthority;
-
-    fn setup() -> (CertificateAuthority, SessionManager) {
-        let ca = CertificateAuthority::nees(21);
-        let mgr = SessionManager::new(ca.verifier());
-        (ca, mgr)
-    }
-
-    fn cred(ca: &CertificateAuthority, name: &str, seed: u64) -> Credential {
-        Credential::issue(
-            ca,
-            DistinguishedName::nees_user("REMOTE", name),
-            SimTime::ZERO,
-            SimTime::from_secs(3600),
-            seed,
-        )
-    }
-
-    #[test]
-    fn login_opens_role_scoped_session() {
-        let (ca, mut mgr) = setup();
-        let c = cred(&ca, "viewer", 1);
-        let s = mgr.login(&c, SimTime::from_secs(1)).unwrap();
-        assert_eq!(s.role, Role::Observer);
-        assert_eq!(s.expires_at, SimTime::from_secs(3600));
-        assert!(mgr.session(c.identity(), SimTime::from_secs(2)).is_some());
-    }
-
-    #[test]
-    fn assigned_roles_stick() {
-        let (ca, mut mgr) = setup();
-        let c = cred(&ca, "spencer", 2);
-        mgr.assign_role(c.identity().clone(), Role::Operator);
-        let s = mgr.login(&c, SimTime::from_secs(1)).unwrap();
-        assert_eq!(s.role, Role::Operator);
-    }
-
-    #[test]
-    fn foreign_credential_rejected() {
-        let (_, mut mgr) = setup();
-        let other_ca = CertificateAuthority::nees(99);
-        let c = cred(&other_ca, "eve", 3);
-        assert!(matches!(
-            mgr.login(&c, SimTime::from_secs(1)).unwrap_err(),
-            LoginError::BadCredential(_)
-        ));
-    }
-
-    #[test]
-    fn double_login_refused_until_expiry_or_logout() {
-        let (ca, mut mgr) = setup();
-        let c = cred(&ca, "viewer", 4);
-        mgr.login(&c, SimTime::from_secs(1)).unwrap();
-        assert_eq!(
-            mgr.login(&c, SimTime::from_secs(2)).unwrap_err(),
-            LoginError::AlreadyLoggedIn
-        );
-        assert!(mgr.logout(c.identity()));
-        mgr.login(&c, SimTime::from_secs(3)).unwrap();
-    }
-
-    #[test]
-    fn sessions_expire_with_credentials() {
-        let (ca, mut mgr) = setup();
-        let c = cred(&ca, "viewer", 5);
-        mgr.login(&c, SimTime::from_secs(1)).unwrap();
-        assert!(mgr
-            .session(c.identity(), SimTime::from_secs(3599))
-            .is_some());
-        assert!(mgr
-            .session(c.identity(), SimTime::from_secs(3600))
-            .is_none());
-        assert_eq!(mgr.active_count(SimTime::from_secs(3600)), 0);
-    }
-
-    #[test]
-    fn peak_concurrent_tracks_the_most_participants() {
-        let (ca, mut mgr) = setup();
-        for i in 0..135 {
-            let c = cred(&ca, &format!("user-{i}"), 100 + i);
-            mgr.login(&c, SimTime::from_secs(1)).unwrap();
-        }
-        assert!(mgr.peak_concurrent() >= 130, "MOST-scale participation");
-    }
-}
+pub use neesgrid_portal::tenant::{LoginError, Role, Session};

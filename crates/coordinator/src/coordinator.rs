@@ -95,6 +95,22 @@ impl ExperimentOutcome {
     }
 }
 
+/// Outcome of a bounded slice of work ([`SimulationCoordinator::run_slice`]).
+///
+/// A long experiment can be cooperatively scheduled by running it a few
+/// steps at a time: `Paused` hands back the exact boundary state that
+/// [`SimulationCoordinator::resume`] (or the next `run_slice` call)
+/// continues from, so a sliced run's trajectory is bit-identical to an
+/// uninterrupted one.
+#[allow(clippy::large_enum_variant)]
+pub enum SliceOutcome {
+    /// The slice bound was reached with steps still to run; pass the state
+    /// back as `resume` to continue.
+    Paused(CoordinatorState),
+    /// The experiment ended (completed or aborted) within the slice.
+    Finished(ExperimentOutcome),
+}
+
 /// Everything the coordinator needs to continue a run from a step
 /// boundary — the coordinator's share of a checkpoint. Captured *between*
 /// steps: step `step` has not run yet, steps `0..step` are committed.
@@ -403,12 +419,49 @@ impl SimulationCoordinator {
         self.run_from(motion, steps, Some(state))
     }
 
+    /// Run at most `max_slice_steps` steps of the experiment, then pause at
+    /// the step boundary and hand the state back. The first slice passes
+    /// `resume = None`; later slices pass the previous `Paused` state (the
+    /// site servers retain their own state between slices — nothing needs
+    /// restoring when the deployment stays up). This is the worker-pool
+    /// scheduling primitive: one coordinator thread can interleave many
+    /// experiments without losing determinism.
+    pub fn run_slice(
+        &mut self,
+        motion: &GroundMotion,
+        steps: usize,
+        resume: Option<CoordinatorState>,
+        max_slice_steps: u64,
+    ) -> SliceOutcome {
+        assert!(max_slice_steps > 0, "a slice must cover at least one step");
+        let start = resume.as_ref().map(|s| s.step).unwrap_or(0);
+        self.run_bounded(
+            motion,
+            steps,
+            resume,
+            Some(start.saturating_add(max_slice_steps)),
+        )
+    }
+
     fn run_from(
         &mut self,
         motion: &GroundMotion,
         steps: usize,
         resume: Option<CoordinatorState>,
     ) -> ExperimentOutcome {
+        match self.run_bounded(motion, steps, resume, None) {
+            SliceOutcome::Finished(outcome) => outcome,
+            SliceOutcome::Paused(_) => unreachable!("unbounded run cannot pause"),
+        }
+    }
+
+    fn run_bounded(
+        &mut self,
+        motion: &GroundMotion,
+        steps: usize,
+        resume: Option<CoordinatorState>,
+        pause_at: Option<u64>,
+    ) -> SliceOutcome {
         // Bind every site client to the policy's transport behaviour.
         let clients: Vec<NtcpClient> = self
             .sites
@@ -475,6 +528,21 @@ impl SimulationCoordinator {
         let mut transient_in_last_step = false;
 
         'steps: for n in start_step..steps as u64 {
+            // Slice bound: pause at this boundary and hand the state back
+            // (same capture as a checkpoint — steps 0..n are committed).
+            if pause_at.is_some_and(|stop| n >= stop) {
+                let retransmissions =
+                    retrans_baseline + clients.iter().map(|c| c.retransmissions()).sum::<u64>();
+                let (d_prev, d_curr, step) = integrator.state();
+                return SliceOutcome::Paused(CoordinatorState {
+                    step,
+                    d_prev: d_prev.as_slice().to_vec(),
+                    d_curr: d_curr.as_slice().to_vec(),
+                    history,
+                    log,
+                    retransmissions,
+                });
+            }
             // Checkpoint at the boundary: steps 0..n are committed, step n
             // has not started, so a snapshot taken here resumes at n.
             if let Some((cadence, hook)) = self.checkpoint.as_mut() {
@@ -590,13 +658,13 @@ impl SimulationCoordinator {
         }
         let retransmissions =
             retrans_baseline + clients.iter().map(|c| c.retransmissions()).sum::<u64>();
-        ExperimentOutcome {
+        SliceOutcome::Finished(ExperimentOutcome {
             steps_requested: steps,
             history,
             log,
             termination,
             retransmissions,
-        }
+        })
     }
 }
 
@@ -845,6 +913,43 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e.kind, EventKind::ProposalRejected { .. })));
+    }
+
+    #[test]
+    fn sliced_run_matches_straight_run_bit_identically() {
+        let net = VirtualNetwork::new(NetworkConfig::default());
+        let mut coord = coordinator(
+            &net,
+            FaultPolicy::Full {
+                max_step_retries: 2,
+            },
+        );
+        let straight = coord.run(&motion(), 120);
+        // Fresh identical deployment, run 7 steps at a time.
+        let net2 = VirtualNetwork::new(NetworkConfig::default());
+        let mut coord2 = coordinator(
+            &net2,
+            FaultPolicy::Full {
+                max_step_retries: 2,
+            },
+        );
+        let mut state = None;
+        let mut slices = 0;
+        let outcome = loop {
+            match coord2.run_slice(&motion(), 120, state.take(), 7) {
+                SliceOutcome::Paused(s) => {
+                    state = Some(s);
+                    slices += 1;
+                }
+                SliceOutcome::Finished(o) => break o,
+            }
+        };
+        assert!(slices >= 17, "expected many pauses, saw {slices}");
+        assert_eq!(outcome.steps_completed(), 120);
+        let diff = outcome
+            .history
+            .max_displacement_difference(&straight.history);
+        assert_eq!(diff, 0.0, "sliced vs straight diff {diff}");
     }
 
     #[test]

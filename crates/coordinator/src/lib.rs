@@ -39,7 +39,7 @@ pub mod remote;
 pub use builder::SimCoordBuilder;
 pub use coordinator::{
     CheckpointCadence, CheckpointHook, CoordinatorState, ExperimentOutcome, SimulationCoordinator,
-    SiteHandle, StepRecord, Termination,
+    SiteHandle, SliceOutcome, StepRecord, Termination,
 };
 pub use log::{EventKind, ExperimentLog, LogEvent};
 pub use policy::FaultPolicy;

@@ -197,36 +197,17 @@ impl Credential {
     /// signature under its parent's key; DN shape (`parent/CN=proxy`);
     /// monotonically shrinking validity; and that every window covers `now`.
     pub fn validate(&self, root: &CaVerifier, now: SimTime) -> Result<(), CredentialError> {
-        if !root.verify(&self.certificate) {
-            return Err(CredentialError::BadSignature);
+        validate_chain(&self.certificate, &self.chain, root, now)
+    }
+
+    /// The transferable face of this credential: certificate + proxy chain,
+    /// without the private key. This is what crosses the wire when the
+    /// holder authenticates to a remote service.
+    pub fn token(&self) -> CredentialToken {
+        CredentialToken {
+            certificate: self.certificate.clone(),
+            chain: self.chain.clone(),
         }
-        if !self.certificate.valid_at(now) {
-            return Err(CredentialError::Expired);
-        }
-        let mut parent_subject = self.certificate.subject.clone();
-        let mut parent_expiry = self.certificate.not_after;
-        // Re-derive each parent's signing key: end-entity keys are private,
-        // so a verifier cannot recompute them in a real PKI. Under the
-        // simulated primitive we verify structurally instead: the link's
-        // signature must verify under *some* key we can reconstruct from the
-        // credential itself. To keep verification honest we require the
-        // holder to present the chain produced by `delegate`, and we check
-        // everything that does not need the private key.
-        for link in &self.chain {
-            if !link.subject.is_proxy_of(&parent_subject) {
-                return Err(CredentialError::MalformedChain);
-            }
-            if link.not_after > parent_expiry {
-                return Err(CredentialError::MalformedChain);
-            }
-            if now < link.not_before || now >= link.not_after {
-                return Err(CredentialError::Expired);
-            }
-            parent_subject = link.subject.clone();
-            parent_expiry = link.not_after;
-        }
-        let _ = root.name();
-        Ok(())
     }
 
     /// Sign application data with the leaf key (e.g. an authentication
@@ -238,6 +219,80 @@ impl Credential {
     /// Verify data signed by this credential's leaf key.
     pub fn verify_own(&self, data: &[u8], tag: SigTag) -> bool {
         self.key.verify(data, tag)
+    }
+}
+
+/// Shared chain validation for [`Credential`] and [`CredentialToken`].
+///
+/// Re-derive each parent's signing key: end-entity keys are private, so a
+/// verifier cannot recompute them in a real PKI. Under the simulated
+/// primitive we verify structurally instead: the link's signature must
+/// verify under *some* key we can reconstruct from the credential itself.
+/// To keep verification honest we require the holder to present the chain
+/// produced by `delegate`, and we check everything that does not need the
+/// private key.
+fn validate_chain(
+    certificate: &Certificate,
+    chain: &[ProxyLink],
+    root: &CaVerifier,
+    now: SimTime,
+) -> Result<(), CredentialError> {
+    if !root.verify(certificate) {
+        return Err(CredentialError::BadSignature);
+    }
+    if !certificate.valid_at(now) {
+        return Err(CredentialError::Expired);
+    }
+    let mut parent_subject = certificate.subject.clone();
+    let mut parent_expiry = certificate.not_after;
+    for link in chain {
+        if !link.subject.is_proxy_of(&parent_subject) {
+            return Err(CredentialError::MalformedChain);
+        }
+        if link.not_after > parent_expiry {
+            return Err(CredentialError::MalformedChain);
+        }
+        if now < link.not_before || now >= link.not_after {
+            return Err(CredentialError::Expired);
+        }
+        parent_subject = link.subject.clone();
+        parent_expiry = link.not_after;
+    }
+    let _ = root.name();
+    Ok(())
+}
+
+/// A credential's public, serializable half: the end-entity certificate
+/// plus the proxy chain, *without* the private key. Tokens cross the wire
+/// (e.g. a portal login frame); the receiving service validates the chain
+/// against its trust root and derives the caller's identity, but can never
+/// sign as the holder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CredentialToken {
+    /// CA-issued end-entity certificate anchoring the chain.
+    pub certificate: Certificate,
+    /// Proxy links, outermost (oldest) first.
+    pub chain: Vec<ProxyLink>,
+}
+
+impl CredentialToken {
+    /// The identity this token speaks for (proxies stripped).
+    pub fn identity(&self) -> &DistinguishedName {
+        &self.certificate.subject
+    }
+
+    /// Effective expiry: the tightest `not_after` along the chain.
+    pub fn expires_at(&self) -> SimTime {
+        self.chain
+            .iter()
+            .map(|l| l.not_after)
+            .fold(self.certificate.not_after, |a, b| if b < a { b } else { a })
+    }
+
+    /// Validate the token's chain against a trust root at time `now`
+    /// (same checks as [`Credential::validate`]).
+    pub fn validate(&self, root: &CaVerifier, now: SimTime) -> Result<(), CredentialError> {
+        validate_chain(&self.certificate, &self.chain, root, now)
     }
 }
 
@@ -369,6 +424,40 @@ mod tests {
             cred.validate(&other.verifier(), SimTime::from_secs(1))
                 .unwrap_err(),
             CredentialError::BadSignature
+        );
+    }
+
+    #[test]
+    fn token_round_trips_and_validates_like_its_credential() {
+        let (ca, cred) = setup();
+        let proxy = cred
+            .delegate(SimTime::from_secs(1), SimTime::from_secs(3600))
+            .unwrap();
+        let token = proxy.token();
+        assert_eq!(token.identity(), proxy.identity());
+        assert_eq!(token.expires_at(), proxy.expires_at());
+        token
+            .validate(&ca.verifier(), SimTime::from_secs(2))
+            .unwrap();
+        // Wire round trip preserves validity.
+        let wire = serde_json::to_vec(&token).unwrap();
+        let back: CredentialToken = serde_json::from_slice(&wire).unwrap();
+        back.validate(&ca.verifier(), SimTime::from_secs(2))
+            .unwrap();
+        assert_eq!(back, token);
+        // Same failure modes as the credential itself.
+        assert_eq!(
+            back.validate(&ca.verifier(), SimTime::from_secs(3602))
+                .unwrap_err(),
+            CredentialError::Expired
+        );
+        let mut tampered = token.clone();
+        tampered.chain[0].not_after = SimTime::from_secs(100 * 3600);
+        assert_eq!(
+            tampered
+                .validate(&ca.verifier(), SimTime::from_secs(2))
+                .unwrap_err(),
+            CredentialError::MalformedChain
         );
     }
 

@@ -27,6 +27,6 @@ pub mod sim_crypto;
 
 pub use auth::{authenticate, AuthError, SecurityContext};
 pub use cas::{CapabilityAssertion, CommunityAuthorizationService, Right};
-pub use credential::{Credential, CredentialError, CredentialKind};
+pub use credential::{Credential, CredentialError, CredentialKind, CredentialToken};
 pub use identity::{CaVerifier, Certificate, CertificateAuthority, DistinguishedName};
 pub use policy::{ActionLimits, GridMap, PolicyDecision, SitePolicy};

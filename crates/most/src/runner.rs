@@ -30,11 +30,12 @@ use neesgrid_apparatus::{
     ShoreWesternController, ShoreWesternPlugin, SteelColumn, XpcTarget,
 };
 use neesgrid_checkpoint::{
-    CheckpointError, CheckpointPolicy, CheckpointStore, Checkpointable, Checkpointer, Snapshot,
+    CheckpointError, CheckpointPolicy, CheckpointStore, Checkpointable, Checkpointer,
+    MemoryCheckpointStore, Snapshot,
 };
-use neesgrid_chef::{CollabPortal, DataViewer};
+use neesgrid_chef::{CollabPortal, DataViewer, RemoteFeed};
 use neesgrid_coordinator::{FaultPolicy, SimCoordBuilder, SiteHandle};
-use neesgrid_daq::nsds::{NsdsSample, NsdsServer, NsdsSubscription};
+use neesgrid_daq::nsds::{NsdsSample, NsdsServer};
 use neesgrid_daq::{ChannelConfig, DaqSystem, FileDropDir};
 use neesgrid_gridsim::{FaultPlan, LatencyModel, NetworkConfig, NodeId, SimTime, VirtualNetwork};
 use neesgrid_gsi::{authenticate, CertificateAuthority, Credential, DistinguishedName};
@@ -44,6 +45,7 @@ use neesgrid_ntcp::{
     NtcpServer, PluginError, SimulationPlugin,
 };
 use neesgrid_ogsi::{RpcClient, RpcMux, ServiceContainer};
+use neesgrid_portal::{Portal, PortalConfig, Role};
 use neesgrid_repo::{crc32, to_hex, Nfms, NfmsService, Nmds, NmdsService, VirtualStore};
 use neesgrid_structsim::element::CouplingSpring;
 use neesgrid_structsim::material::{BilinearHysteretic, LinearElastic};
@@ -135,14 +137,16 @@ pub struct MostDeployment {
     pub config: MostConfig,
     /// The streaming data service.
     pub nsds: Arc<NsdsServer>,
-    /// The collaboration portal.
+    /// The collaboration portal client (the CHEF node).
     pub portal: CollabPortal,
+    /// The portal wire service the crowd's frames land on.
+    pub portal_service: Portal,
     sites: Vec<SiteHandle>,
     daqs: Vec<(String, DaqSystem)>,
     drop_dir: FileDropDir,
     nfms_client: RpcClient,
     nmds_client: RpcClient,
-    participants: Vec<(DataViewer, NsdsSubscription)>,
+    participants: Vec<(DataViewer, RemoteFeed)>,
     store: VirtualStore,
     coordinator_mux: Arc<RpcMux>,
     /// Per-site NTCP clients on the dedicated `checkpointer` endpoint.
@@ -443,8 +447,24 @@ impl MostDeployment {
         )
         .with_attempt_timeout(Duration::from_millis(150));
 
-        // CHEF portal + synthetic crowd.
-        let mut portal = CollabPortal::new(ca.verifier());
+        // CHEF portal service + synthetic crowd, all through the wire
+        // API: every login and observer slot is a portal frame, and the
+        // crowd's streams come from a facility observer on the service.
+        let portal_service = Portal::serve(
+            &net,
+            "chef-portal",
+            ca.verifier(),
+            Arc::new(MemoryCheckpointStore::new()),
+            PortalConfig {
+                default_role: Role::Observer,
+                ..PortalConfig::default()
+            },
+        )
+        .expect("portal node is unique in this deployment");
+        portal_service.attach_facility_hub(Arc::clone(&nsds));
+        portal_service.set_telemetry(telemetry.clone());
+        let mut portal =
+            CollabPortal::connect(&net, "chef-client", "chef-portal").expect("client node unique");
         let mut viewers = Vec::new();
         for i in 0..participants {
             let cred = Credential::issue(
@@ -457,7 +477,11 @@ impl MostDeployment {
             portal
                 .login(&cred, SimTime::ZERO)
                 .expect("participant login");
-            viewers.push(portal.open_viewer(&nsds, "*", 8192));
+            viewers.push(
+                portal
+                    .open_viewer(cred.identity(), "*", 8192)
+                    .expect("observer slot within quota"),
+            );
         }
 
         MostDeployment {
@@ -465,6 +489,7 @@ impl MostDeployment {
             config,
             nsds,
             portal,
+            portal_service,
             sites,
             daqs,
             drop_dir: FileDropDir::new(),
@@ -732,16 +757,16 @@ impl MostDeployment {
             None => coordinator.run(&motion, steps),
         };
 
-        // Let the crowd catch up on the stream.
-        for (viewer, sub) in self.participants.iter_mut() {
-            CollabPortal::pump_viewer(viewer, sub);
+        // Let the crowd catch up on the stream, over the wire.
+        for (viewer, feed) in self.participants.iter_mut() {
+            CollabPortal::pump_viewer(viewer, feed);
             viewer.seek(viewer.live_edge);
         }
 
         let report = MostReport::from_outcome(
             &self.config,
             &outcome,
-            self.portal.sessions.peak_concurrent(),
+            self.portal_service.peak_sessions(),
             files_counter.load(Ordering::Relaxed),
             bytes_counter.load(Ordering::Relaxed),
             clock.now(),
@@ -752,7 +777,7 @@ impl MostDeployment {
             files_ingested: files_counter.load(Ordering::Relaxed),
             bytes_ingested: bytes_counter.load(Ordering::Relaxed),
             nsds_published: self.nsds.published(),
-            participants: self.portal.sessions.peak_concurrent(),
+            participants: self.portal_service.peak_sessions(),
         })
     }
 }

@@ -1,0 +1,168 @@
+//! The portal wire client.
+//!
+//! A [`PortalClient`] owns one channel-mode endpoint on the control
+//! network. Every call is synchronous request/reply on a fresh
+//! correlation id: encode the frame, send it, then pump the shared event
+//! engine until the matching reply lands in our inbox. Because the
+//! portal handler executes inline at delivery, a call usually completes
+//! in two engine steps; the pump loop exists for mixed deployments where
+//! other live threads share the engine.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use neesgrid_gridsim::{
+    Endpoint, EventEngine, MessageKind, NetworkError, NodeId, SimClock, VirtualNetwork,
+};
+use neesgrid_gsi::DistinguishedName;
+
+use crate::frame::{self, FrameError, Request, RequestFrame, Response, PORTAL_SERVICE};
+
+/// How long the engine is pumped per wait when other live threads share
+/// it.
+const PUMP_SLICE: Duration = Duration::from_millis(1);
+
+/// Accumulated idle time after which a call gives up.
+const CALL_GRACE: Duration = Duration::from_millis(250);
+
+/// Wire-client failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Encode/decode failure on our side.
+    Frame(FrameError),
+    /// The network reported the portal node unreachable.
+    NoRoute,
+    /// The engine went idle with no reply owed — the portal is gone.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::NoRoute => write!(f, "no route to portal"),
+            ClientError::Disconnected => write!(f, "portal unreachable: engine idle, no reply"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connected portal client. Clone-cheap; one endpoint per client node.
+#[derive(Clone)]
+pub struct PortalClient {
+    endpoint: Endpoint,
+    engine: Arc<EventEngine>,
+    portal: NodeId,
+    tenant: Option<DistinguishedName>,
+}
+
+impl PortalClient {
+    /// Register `node` on the control network and aim at `portal`.
+    pub fn connect(
+        net: &VirtualNetwork,
+        node: &str,
+        portal: impl Into<NodeId>,
+    ) -> Result<PortalClient, NetworkError> {
+        let endpoint = net.endpoint(node)?;
+        Ok(PortalClient {
+            engine: endpoint.engine(),
+            endpoint,
+            portal: portal.into(),
+            tenant: None,
+        })
+    }
+
+    /// Bind a default tenant identity for [`PortalClient::call`].
+    pub fn with_tenant(mut self, tenant: DistinguishedName) -> PortalClient {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// The bound default tenant, if any.
+    pub fn tenant(&self) -> Option<&DistinguishedName> {
+        self.tenant.as_ref()
+    }
+
+    /// The control network's clock (callers advance it to model local
+    /// wall time between requests).
+    pub fn clock(&self) -> &Arc<SimClock> {
+        self.endpoint.clock()
+    }
+
+    /// Issue a request as the bound tenant.
+    ///
+    /// # Panics
+    /// If no tenant was bound with [`PortalClient::with_tenant`].
+    pub fn call(&self, request: Request) -> Result<Response, ClientError> {
+        let tenant = self
+            .tenant
+            .clone()
+            .expect("call() requires with_tenant(); use call_as() otherwise");
+        self.call_as(&tenant, request)
+    }
+
+    /// Issue a request as an explicit tenant (one client node can proxy
+    /// many identities — the CHEF crowd pattern).
+    pub fn call_as(
+        &self,
+        tenant: &DistinguishedName,
+        request: Request,
+    ) -> Result<Response, ClientError> {
+        let correlation = self.endpoint.next_correlation();
+        let payload = frame::encode(&RequestFrame {
+            tenant: tenant.clone(),
+            request,
+        })
+        .map_err(ClientError::Frame)?;
+        self.endpoint.send(
+            self.portal.clone(),
+            PORTAL_SERVICE,
+            MessageKind::Request,
+            correlation,
+            payload,
+        );
+        let mut idle = Duration::ZERO;
+        loop {
+            while let Some(env) = self.endpoint.try_recv() {
+                if env.correlation_id != correlation {
+                    // A stale reply from an abandoned call; skip it.
+                    continue;
+                }
+                match env.kind {
+                    MessageKind::Reply => {
+                        return frame::decode(&env.payload).map_err(ClientError::Frame)
+                    }
+                    MessageKind::Control => return Err(ClientError::NoRoute),
+                    _ => {}
+                }
+            }
+            // Drive the engine: our request's delivery executes the
+            // portal handler inline, which schedules the reply.
+            if self.engine.run_one() {
+                idle = Duration::ZERO;
+                continue;
+            }
+            if !self.engine.has_external_actors() {
+                if self.engine.fire_next_timer() || self.engine.has_deliveries() {
+                    continue;
+                }
+                return Err(ClientError::Disconnected);
+            }
+            // Mixed deployment: another live thread may produce our
+            // reply. Wait briefly; give up after a grace of pure idle.
+            if self.engine.wait_activity(PUMP_SLICE) {
+                idle = Duration::ZERO;
+                continue;
+            }
+            idle += PUMP_SLICE;
+            if idle >= CALL_GRACE {
+                if self.engine.fire_next_timer() || self.engine.has_deliveries() {
+                    idle = Duration::ZERO;
+                    continue;
+                }
+                return Err(ClientError::Disconnected);
+            }
+        }
+    }
+}

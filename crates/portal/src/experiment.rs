@@ -1,0 +1,397 @@
+//! What a tenant submits, and how a worker runs it.
+//!
+//! Each admitted experiment gets its own fully-virtual deployment (the
+//! N-site topology of §5): a private [`VirtualNetwork`] seeded from the
+//! spec, one NTCP site container per requested site attached in handler
+//! mode, and a [`SimulationCoordinator`] driven a *slice* of steps at a
+//! time so one worker thread can interleave many runs. Checkpoints ride a
+//! dedicated `checkpointer` endpoint into the portal's shared store; after
+//! a worker crash the run is rebuilt from the same spec, the latest
+//! snapshot is re-applied, and the trajectory continues bit-identical.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_checkpoint::{
+    CheckpointError, CheckpointPolicy, CheckpointStore, Checkpointable, Checkpointer,
+};
+use neesgrid_coordinator::{
+    CoordinatorState, ExperimentOutcome, SimCoordBuilder, SimulationCoordinator, SliceOutcome,
+};
+use neesgrid_daq::nsds::{NsdsSample, NsdsServer};
+use neesgrid_gridsim::{LatencyModel, NetworkConfig, NodeId, VirtualNetwork};
+use neesgrid_gsi::{ActionLimits, DistinguishedName, SitePolicy};
+use neesgrid_ntcp::{NtcpClient, NtcpServer, SimulationPlugin};
+use neesgrid_ogsi::{AttachedContainer, RpcClient, RpcMux, ServiceContainer};
+use neesgrid_structsim::material::LinearElastic;
+use neesgrid_structsim::substructure::SimulatedSubstructure;
+use neesgrid_structsim::GroundMotion;
+
+/// Integration time step every portal run uses.
+pub const DT: f64 = 0.01;
+
+/// Most sites a single submission may request.
+pub const MAX_SITES: usize = 32;
+
+/// Most steps a single submission may request.
+pub const MAX_STEPS: usize = 1_000_000;
+
+/// A tenant's experiment request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Number of experiment sites (one global DOF each).
+    pub sites: usize,
+    /// Pseudo-dynamic steps to run.
+    pub steps: usize,
+    /// Seed for the ground motion, site stiffnesses, and network latency.
+    pub seed: u64,
+    /// Checkpoint every N step boundaries (0 = never — such a run
+    /// restarts from scratch after a worker crash).
+    pub checkpoint_every: u64,
+}
+
+impl ExperimentSpec {
+    /// Structural validation at admission time.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sites == 0 || self.sites > MAX_SITES {
+            return Err(format!("sites must be 1..={MAX_SITES}, got {}", self.sites));
+        }
+        if self.steps == 0 || self.steps > MAX_STEPS {
+            return Err(format!("steps must be 1..={MAX_STEPS}, got {}", self.steps));
+        }
+        Ok(())
+    }
+}
+
+/// Per-site stiffness, deterministic in `(seed, index)` (splitmix64) —
+/// the MOST columns' stiffness neighbourhood.
+fn site_stiffness(seed: u64, i: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    1.5e5 + (z % 100_000) as f64
+}
+
+/// Progress of one scheduling slice.
+#[allow(clippy::large_enum_variant)]
+pub enum RunProgress {
+    /// Steps remain; call [`WorkerRun::advance`] again.
+    InFlight,
+    /// The experiment ended within this slice.
+    Done(ExperimentOutcome),
+}
+
+/// One experiment executing on a worker: a private deterministic
+/// deployment plus the paused coordinator state between slices.
+pub struct WorkerRun {
+    run_id: String,
+    owner: DistinguishedName,
+    spec: ExperimentSpec,
+    // The run's private WAN; dropped (and shut down) with the run.
+    _net: VirtualNetwork,
+    coordinator: SimulationCoordinator,
+    // Site containers stay attached for the run's lifetime.
+    _containers: Vec<AttachedContainer>,
+    // A second checkpointer over the same clients/store, kept for
+    // `prepare_resume` (the coordinator owns the one inside its hook).
+    restorer: Checkpointer,
+    motion: GroundMotion,
+    state: Option<CoordinatorState>,
+}
+
+impl WorkerRun {
+    /// Build a fresh deployment for `spec`, streaming per-step samples to
+    /// `stream` under the `{run_id}/…` channel namespace and checkpointing
+    /// into `store`.
+    pub fn build(
+        run_id: &str,
+        owner: DistinguishedName,
+        spec: ExperimentSpec,
+        store: Arc<dyn CheckpointStore>,
+        stream: Arc<NsdsServer>,
+    ) -> WorkerRun {
+        let net = VirtualNetwork::new(NetworkConfig {
+            default_latency: LatencyModel::wan_2003(),
+            seed: spec.seed,
+        });
+        let clock = net.clock();
+        let mux = RpcMux::new(
+            net.endpoint("coordinator")
+                .expect("coordinator endpoint is unique per run network"),
+        );
+        let ck_mux = RpcMux::new(
+            net.endpoint("checkpointer")
+                .expect("checkpointer endpoint is unique per run network"),
+        );
+        let caller = DistinguishedName::nees_user("PORTAL", run_id);
+        let mut containers = Vec::with_capacity(spec.sites);
+        let mut ck_sites = Vec::with_capacity(spec.sites);
+        let mut builder = SimCoordBuilder::new(vec![1000.0; spec.sites], Arc::clone(&clock)).dt(DT);
+        for i in 0..spec.sites {
+            let name = format!("site-{i:03}");
+            let k = site_stiffness(spec.seed, i as u64);
+            let server = NtcpServer::new(
+                name.clone(),
+                SitePolicy::permissive(&name, ActionLimits::most_large_scale()),
+                Box::new(SimulationPlugin::new(
+                    format!("{name}-sim"),
+                    Box::new(SimulatedSubstructure::spring_to_ground(
+                        format!("{name}-column"),
+                        Box::new(LinearElastic::new(k)),
+                    )),
+                )),
+                Arc::clone(&clock),
+            );
+            containers.push(
+                ServiceContainer::new(
+                    net.endpoint(name.as_str())
+                        .expect("site endpoint is unique per run network"),
+                )
+                .with_service("ntcp", Box::new(server))
+                .permissive()
+                .attach(),
+            );
+            let client = NtcpClient::new(
+                RpcClient::new(
+                    Arc::clone(&mux),
+                    NodeId::new(name.as_str()),
+                    "ntcp",
+                    caller.clone(),
+                )
+                .with_attempt_timeout(Duration::from_millis(150)),
+            );
+            ck_sites.push((
+                name.clone(),
+                NtcpClient::new(
+                    RpcClient::new(
+                        Arc::clone(&ck_mux),
+                        NodeId::new(name.as_str()),
+                        "ntcp",
+                        caller.clone(),
+                    )
+                    .with_attempt_timeout(Duration::from_millis(150)),
+                ),
+            ));
+            builder = builder.site(name, client, vec![i], k);
+        }
+        let mut coordinator = builder.build();
+
+        // Stream every step into the portal's run hub, namespaced by run
+        // id so tenant isolation holds at the channel level.
+        let channel_run = run_id.to_string();
+        let hub = Arc::clone(&stream);
+        coordinator.set_on_step(Box::new(move |rec| {
+            for (i, d) in rec.displacement.iter().enumerate() {
+                hub.publish(NsdsSample {
+                    channel: format!("{channel_run}/dof-{i}"),
+                    t: rec.at,
+                    value: *d,
+                });
+            }
+            hub.publish(NsdsSample {
+                channel: format!("{channel_run}/step"),
+                t: rec.at,
+                value: rec.step as f64,
+            });
+        }));
+
+        let policy = if spec.checkpoint_every > 0 {
+            CheckpointPolicy::every(spec.checkpoint_every).retaining(2)
+        } else {
+            CheckpointPolicy::never()
+        };
+        coordinator.checkpoint_into(Checkpointer::new(
+            run_id,
+            policy,
+            Arc::clone(&store),
+            ck_sites.clone(),
+            Arc::clone(&mux),
+            Arc::clone(&clock),
+        ));
+        let restorer = Checkpointer::new(run_id, policy, store, ck_sites, mux, clock);
+        WorkerRun {
+            run_id: run_id.to_string(),
+            owner,
+            spec,
+            motion: GroundMotion::synthetic(spec.seed, DT, spec.steps, 2.0),
+            coordinator,
+            _containers: containers,
+            _net: net,
+            restorer,
+            state: None,
+        }
+    }
+
+    /// Rebuild a run after a worker crash: fresh deployment, then re-apply
+    /// the latest snapshot (clock, correlation watermark, site state).
+    /// Returns `Ok(false)` if no snapshot exists yet — the run restarts
+    /// from step 0, which is still bit-identical because the whole
+    /// deployment is a pure function of the spec.
+    pub fn resume_from_store(&mut self) -> Result<bool, CheckpointError> {
+        let snapshot = match self.restorer.load_latest() {
+            Ok(s) => s,
+            Err(CheckpointError::NotFound { .. }) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        self.restorer.prepare_resume(&snapshot)?;
+        self.state = Some(snapshot.coordinator);
+        Ok(true)
+    }
+
+    /// Run up to `slice_steps` more steps.
+    pub fn advance(&mut self, slice_steps: u64) -> RunProgress {
+        let resume = self.state.take();
+        match self
+            .coordinator
+            .run_slice(&self.motion, self.spec.steps, resume, slice_steps)
+        {
+            SliceOutcome::Paused(s) => {
+                self.state = Some(s);
+                RunProgress::InFlight
+            }
+            SliceOutcome::Finished(outcome) => RunProgress::Done(outcome),
+        }
+    }
+
+    /// Steps committed so far (between slices).
+    pub fn steps_completed(&self) -> usize {
+        self.state
+            .as_ref()
+            .map(|s| s.history.steps_completed)
+            .unwrap_or(0)
+    }
+
+    /// The run's id.
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
+    /// The submitting tenant.
+    pub fn owner(&self) -> &DistinguishedName {
+        &self.owner
+    }
+
+    /// The spec this run executes.
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neesgrid_checkpoint::MemoryCheckpointStore;
+    use neesgrid_coordinator::Termination;
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec {
+            sites: 2,
+            steps: 40,
+            seed: 7,
+            checkpoint_every: 10,
+        }
+    }
+
+    fn owner() -> DistinguishedName {
+        DistinguishedName::nees_user("REMOTE", "alice")
+    }
+
+    #[test]
+    fn spec_validation_bounds() {
+        assert!(spec().validate().is_ok());
+        assert!(ExperimentSpec { sites: 0, ..spec() }.validate().is_err());
+        assert!(ExperimentSpec {
+            sites: MAX_SITES + 1,
+            ..spec()
+        }
+        .validate()
+        .is_err());
+        assert!(ExperimentSpec { steps: 0, ..spec() }.validate().is_err());
+    }
+
+    #[test]
+    fn sliced_run_streams_and_completes() {
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemoryCheckpointStore::new());
+        let hub = Arc::new(NsdsServer::new());
+        let sub = hub.subscribe("run-000001/dof-0", 4096);
+        let mut run = WorkerRun::build("run-000001", owner(), spec(), store, Arc::clone(&hub));
+        let mut slices = 0;
+        let outcome = loop {
+            match run.advance(8) {
+                RunProgress::InFlight => slices += 1,
+                RunProgress::Done(o) => break o,
+            }
+        };
+        assert!(matches!(outcome.termination, Termination::Completed));
+        assert_eq!(outcome.steps_completed(), 40);
+        assert!(slices >= 4);
+        assert_eq!(sub.delivered(), 40, "one dof-0 sample per step");
+    }
+
+    #[test]
+    fn crash_rebuild_resumes_from_snapshot_bit_identical() {
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemoryCheckpointStore::new());
+        let hub = Arc::new(NsdsServer::new());
+        // Uninterrupted reference.
+        let mut reference = WorkerRun::build(
+            "run-ref",
+            owner(),
+            spec(),
+            Arc::new(MemoryCheckpointStore::new()),
+            Arc::clone(&hub),
+        );
+        let reference_outcome = loop {
+            if let RunProgress::Done(o) = reference.advance(64) {
+                break o;
+            }
+        };
+        // Crash victim: run past the step-10 checkpoint, then drop it.
+        let mut victim = WorkerRun::build(
+            "run-a",
+            owner(),
+            spec(),
+            Arc::clone(&store),
+            Arc::clone(&hub),
+        );
+        assert!(matches!(victim.advance(16), RunProgress::InFlight));
+        assert!(victim.steps_completed() >= 10);
+        drop(victim);
+        // Rebuild + resume from the stored snapshot.
+        let mut revived = WorkerRun::build(
+            "run-a",
+            owner(),
+            spec(),
+            Arc::clone(&store),
+            Arc::clone(&hub),
+        );
+        assert!(revived.resume_from_store().unwrap(), "snapshot existed");
+        assert!(revived.steps_completed() >= 10);
+        let outcome = loop {
+            if let RunProgress::Done(o) = revived.advance(8) {
+                break o;
+            }
+        };
+        assert_eq!(outcome.steps_completed(), 40);
+        assert_eq!(
+            outcome
+                .history
+                .max_displacement_difference(&reference_outcome.history),
+            0.0,
+            "rescheduled trajectory must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn resume_without_snapshot_restarts_cleanly() {
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemoryCheckpointStore::new());
+        let hub = Arc::new(NsdsServer::new());
+        let mut run = WorkerRun::build("run-b", owner(), spec(), store, hub);
+        assert!(!run.resume_from_store().unwrap());
+        assert_eq!(run.steps_completed(), 0);
+    }
+}

@@ -1,0 +1,516 @@
+//! The portal wire protocol: length-prefixed JSON frames.
+//!
+//! Every payload crossing a portal link is one frame: a 4-byte big-endian
+//! length followed by exactly that many bytes of JSON. The prefix makes
+//! truncation and trailing garbage detectable at the transport layer —
+//! a malformed frame is refused before any field is interpreted — and
+//! bounds the decode (`MAX_FRAME_BYTES`) so a hostile client cannot make
+//! the service allocate unboundedly.
+
+use bytes::Bytes;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use neesgrid_daq::nsds::NsdsSample;
+use neesgrid_gridsim::SimTime;
+use neesgrid_gsi::{CredentialToken, DistinguishedName, PolicyDecision};
+use neesgrid_structsim::psd::PsdHistory;
+
+use crate::experiment::ExperimentSpec;
+use crate::tenant::Role;
+
+/// Hard cap on one frame's JSON body. Larger messages (e.g. a huge
+/// history fetch) must be refused, not silently truncated.
+pub const MAX_FRAME_BYTES: usize = 4 * 1024 * 1024;
+
+/// The service name portal frames ride under.
+pub const PORTAL_SERVICE: &str = "portal";
+
+/// Framing / codec failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the 4-byte length prefix promises.
+    Truncated {
+        /// Bytes the prefix declared.
+        declared: usize,
+        /// Bytes actually present after the prefix.
+        present: usize,
+    },
+    /// Bytes left over after the declared body.
+    TrailingGarbage(usize),
+    /// Declared body exceeds [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+    /// The body is not valid JSON for the expected type.
+    Json(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { declared, present } => {
+                write!(
+                    f,
+                    "frame truncated: declared {declared} bytes, got {present}"
+                )
+            }
+            FrameError::TrailingGarbage(n) => write!(f, "{n} bytes after frame body"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds cap {MAX_FRAME_BYTES}")
+            }
+            FrameError::Json(e) => write!(f, "frame body undecodable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode a value as one length-prefixed JSON frame.
+pub fn encode<T: Serialize>(value: &T) -> Result<Bytes, FrameError> {
+    let body = serde_json::to_vec(value).map_err(|e| FrameError::Json(e.to_string()))?;
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(body.len()));
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+    Ok(Bytes::from(out))
+}
+
+/// Decode one length-prefixed JSON frame.
+pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, FrameError> {
+    if bytes.len() < 4 {
+        return Err(FrameError::Truncated {
+            declared: 4,
+            present: bytes.len(),
+        });
+    }
+    let declared = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if declared > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(declared));
+    }
+    let body = &bytes[4..];
+    if body.len() < declared {
+        return Err(FrameError::Truncated {
+            declared,
+            present: body.len(),
+        });
+    }
+    if body.len() > declared {
+        return Err(FrameError::TrailingGarbage(body.len() - declared));
+    }
+    serde_json::from_slice(&body[..declared]).map_err(|e| FrameError::Json(e.to_string()))
+}
+
+/// One client request: who is asking, and what for. The tenant identity
+/// must match a live session for everything except `Login` itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestFrame {
+    /// The calling tenant.
+    pub tenant: DistinguishedName,
+    /// The operation.
+    pub request: Request,
+}
+
+/// Portal operations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Open a session by presenting a serialized credential token.
+    Login {
+        /// The tenant's credential (certificate + proxy chain, no key).
+        token: CredentialToken,
+    },
+    /// Close the caller's session.
+    Logout,
+    /// Report the caller's live session, if any.
+    Whoami,
+    /// Submit an experiment for admission.
+    Submit {
+        /// What to run.
+        spec: ExperimentSpec,
+    },
+    /// Report a run's status.
+    Status {
+        /// Run id from `Submitted`.
+        run: String,
+    },
+    /// Fetch a completed run's full trajectory (owner only).
+    Fetch {
+        /// Run id.
+        run: String,
+    },
+    /// Cancel a queued or running experiment (owner only).
+    Cancel {
+        /// Run id.
+        run: String,
+    },
+    /// Open a streaming observer on one of the caller's runs.
+    Observe {
+        /// Run id (owner only).
+        run: String,
+        /// Channel pattern *within* the run's namespace (e.g. `dof-*`).
+        channels: String,
+        /// Observer ring-buffer capacity (samples).
+        buffer: usize,
+    },
+    /// Open a streaming observer on the facility-wide hub (the CHEF
+    /// viewer path: DAQ channels, not tenant run channels).
+    ObserveFacility {
+        /// Channel pattern on the facility hub.
+        pattern: String,
+        /// Observer ring-buffer capacity (samples).
+        buffer: usize,
+    },
+    /// Drain buffered samples from an observer.
+    Poll {
+        /// Observer id from `Observing`.
+        observer: u64,
+        /// Max samples in this reply (frame-size bound).
+        max: usize,
+    },
+    /// Close an observer and free its slot.
+    Unobserve {
+        /// Observer id.
+        observer: u64,
+    },
+    /// Post to a collaboration board ("chat", "notebook").
+    Post {
+        /// Board name.
+        board: String,
+        /// Entry text.
+        text: String,
+    },
+    /// Read a collaboration board.
+    Board {
+        /// Board name.
+        board: String,
+    },
+    /// Service-wide statistics.
+    Stats,
+}
+
+/// Portal replies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Generic success.
+    Ok,
+    /// Session opened / reported.
+    Session {
+        /// Granted role.
+        role: Role,
+        /// Session expiry (credential-bounded).
+        expires_at: SimTime,
+    },
+    /// Submission accepted.
+    Submitted {
+        /// Assigned run id.
+        run: String,
+        /// Queue position at admission (0 = next to schedule).
+        queued: usize,
+    },
+    /// Request refused, with a typed reason.
+    Rejected {
+        /// Why.
+        rejection: Rejection,
+    },
+    /// Run status.
+    Status {
+        /// The report.
+        report: RunReport,
+    },
+    /// Observer opened.
+    Observing {
+        /// Handle for `Poll` / `Unobserve`.
+        observer: u64,
+    },
+    /// Drained samples.
+    Samples {
+        /// Oldest-first samples (≤ requested max).
+        samples: Vec<NsdsSample>,
+        /// Samples lost to this observer's ring overflow so far.
+        dropped: u64,
+        /// Whether the observed run has finished and the buffer is dry.
+        done: bool,
+    },
+    /// Completed trajectory.
+    History {
+        /// The full pseudo-dynamic history.
+        history: PsdHistory,
+        /// CRC-32 of the canonical JSON encoding of `history`.
+        digest: u32,
+    },
+    /// Board entry accepted.
+    Posted {
+        /// Sequence number on the board.
+        seq: u64,
+    },
+    /// Board contents.
+    BoardEntries {
+        /// Oldest-first entries (bounded retention).
+        entries: Vec<BoardEntry>,
+    },
+    /// Service statistics.
+    Stats {
+        /// The report.
+        report: PortalStats,
+    },
+    /// Internal failure (malformed frame, unknown operation…).
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Why the portal refused a request — typed, so clients can branch
+/// (retry later on `QueueFull`, give up on `QuotaSteps`, alert on
+/// `CrossTenant`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Rejection {
+    /// No live session for the calling tenant.
+    NotLoggedIn,
+    /// Login credential failed validation.
+    BadCredential {
+        /// Validation failure.
+        error: String,
+    },
+    /// A live session already exists for this tenant.
+    AlreadyLoggedIn,
+    /// The caller's role does not permit the operation.
+    RoleDenied {
+        /// Minimum role required.
+        need: Role,
+    },
+    /// The submission queue is full — explicit shed, try again later.
+    QueueFull {
+        /// The bound that was hit.
+        capacity: usize,
+    },
+    /// Tenant already has its maximum concurrent experiments in flight.
+    QuotaConcurrent {
+        /// Per-tenant concurrency limit.
+        limit: usize,
+    },
+    /// Submission would exceed the tenant's total step budget.
+    QuotaSteps {
+        /// Per-tenant lifetime step budget.
+        limit: u64,
+        /// Steps this submission asked for.
+        requested: u64,
+        /// Steps already consumed by earlier submissions.
+        used: u64,
+    },
+    /// Tenant already holds its maximum observer slots.
+    QuotaObservers {
+        /// Per-tenant observer-slot limit.
+        limit: usize,
+    },
+    /// GSI tenant-isolation denial: the caller does not own the run.
+    CrossTenant {
+        /// The policy decision, with reason.
+        decision: PolicyDecision,
+    },
+    /// No such run (or no such observer).
+    UnknownRun {
+        /// The id that failed to resolve.
+        run: String,
+    },
+    /// The submitted spec is invalid.
+    BadSpec {
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::NotLoggedIn => write!(f, "no live session"),
+            Rejection::BadCredential { error } => write!(f, "credential rejected: {error}"),
+            Rejection::AlreadyLoggedIn => write!(f, "already logged in"),
+            Rejection::RoleDenied { need } => write!(f, "requires role {need:?}"),
+            Rejection::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            Rejection::QuotaConcurrent { limit } => {
+                write!(f, "concurrent-experiment quota ({limit}) exhausted")
+            }
+            Rejection::QuotaSteps {
+                limit,
+                requested,
+                used,
+            } => write!(
+                f,
+                "step budget exceeded: {used} used + {requested} requested > {limit}"
+            ),
+            Rejection::QuotaObservers { limit } => {
+                write!(f, "observer-slot quota ({limit}) exhausted")
+            }
+            Rejection::CrossTenant { decision } => {
+                write!(f, "cross-tenant access denied: {}", decision.reason)
+            }
+            Rejection::UnknownRun { run } => write!(f, "unknown run '{run}'"),
+            Rejection::BadSpec { reason } => write!(f, "invalid spec: {reason}"),
+        }
+    }
+}
+
+/// One run's externally visible state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Run id.
+    pub run: String,
+    /// Lifecycle state.
+    pub state: RunState,
+    /// Steps committed so far.
+    pub steps_completed: usize,
+    /// Steps requested.
+    pub steps_requested: usize,
+}
+
+/// Run lifecycle states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// Executing on a worker.
+    Running {
+        /// Worker slot index.
+        worker: usize,
+    },
+    /// Its worker died; waiting to be rescheduled from checkpoint.
+    Rescheduling,
+    /// Finished all requested steps.
+    Completed,
+    /// Cancelled by its owner.
+    Cancelled,
+    /// Aborted by the experiment itself (site failure past policy).
+    Failed {
+        /// The abort reason.
+        error: String,
+    },
+}
+
+/// One collaboration-board entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoardEntry {
+    /// Sequence number (monotonic per board).
+    pub seq: u64,
+    /// Author.
+    pub author: DistinguishedName,
+    /// Posted at (portal virtual time).
+    pub at: SimTime,
+    /// The text.
+    pub text: String,
+}
+
+/// Service-wide statistics (the `Stats` reply).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PortalStats {
+    /// Submissions admitted.
+    pub admitted: u64,
+    /// Submissions shed with a typed rejection.
+    pub shed: u64,
+    /// Runs completed.
+    pub completed: u64,
+    /// Runs cancelled by their owners.
+    pub cancelled: u64,
+    /// Runs that aborted.
+    pub failed: u64,
+    /// Worker crashes observed.
+    pub worker_crashes: u64,
+    /// Runs rescheduled from checkpoint after a crash.
+    pub rescheduled: u64,
+    /// Current queue depth.
+    pub queue_depth: usize,
+    /// Live worker count.
+    pub workers: usize,
+    /// Highest concurrent session count seen.
+    pub peak_sessions: usize,
+    /// Live observer count.
+    pub observers: usize,
+    /// p99 of submission→first-step latency, virtual nanoseconds
+    /// (0 until a run has taken its first step).
+    pub p99_first_step_ns: u64,
+}
+
+/// CRC-32 (IEEE) over a byte slice — the digest `Fetch` replies carry so
+/// two histories can be compared without shipping both.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let frame = RequestFrame {
+            tenant: DistinguishedName::nees_user("REMOTE", "alice"),
+            request: Request::Stats,
+        };
+        let wire = encode(&frame).unwrap();
+        assert_eq!(
+            u32::from_be_bytes([wire[0], wire[1], wire[2], wire[3]]) as usize,
+            wire.len() - 4
+        );
+        let back: RequestFrame = decode(&wire).unwrap();
+        assert_eq!(back.tenant, frame.tenant);
+        assert!(matches!(back.request, Request::Stats));
+    }
+
+    #[test]
+    fn truncated_and_padded_frames_are_refused() {
+        let wire = encode(&Response::Ok).unwrap();
+        assert!(matches!(
+            decode::<Response>(&wire[..wire.len() - 1]),
+            Err(FrameError::Truncated { .. })
+        ));
+        let mut padded = wire.to_vec();
+        padded.push(0);
+        assert!(matches!(
+            decode::<Response>(&padded),
+            Err(FrameError::TrailingGarbage(1))
+        ));
+        assert!(matches!(
+            decode::<Response>(&[1, 2]),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn oversize_declaration_is_refused_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_be_bytes());
+        wire.extend_from_slice(b"{}");
+        assert!(matches!(
+            decode::<Response>(&wire),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_json_is_a_typed_error() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&4u32.to_be_bytes());
+        wire.extend_from_slice(b"!!!!");
+        assert!(matches!(
+            decode::<Response>(&wire),
+            Err(FrameError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

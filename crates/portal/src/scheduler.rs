@@ -1,0 +1,188 @@
+//! Admission queue and worker pool.
+//!
+//! The portal never holds unbounded work: submissions land in a
+//! fixed-capacity FIFO and are *shed with a typed rejection* once it is
+//! full (the client sees [`crate::frame::Rejection::QueueFull`] and can
+//! retry later). A small pool of worker slots drains the queue; each slot
+//! runs one [`WorkerRun`] a slice of steps at a time. Runs orphaned by a
+//! worker crash re-enter at the *front* of the queue — they were already
+//! admitted, so they bypass the shed check and preempt new arrivals.
+
+use std::collections::VecDeque;
+
+use crate::experiment::WorkerRun;
+
+/// Bounded FIFO of admitted-but-unscheduled run ids.
+pub struct SubmissionQueue {
+    queue: VecDeque<String>,
+    capacity: usize,
+}
+
+impl SubmissionQueue {
+    /// A queue that sheds once `capacity` submissions are waiting.
+    pub fn new(capacity: usize) -> SubmissionQueue {
+        assert!(capacity > 0, "queue capacity must be positive");
+        SubmissionQueue {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Whether the next [`SubmissionQueue::admit`] would shed.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Enqueue a new submission. Returns its queue position (0 = next to
+    /// schedule) or `Err(capacity)` when the queue is full — the caller
+    /// must shed, not block.
+    pub fn admit(&mut self, run_id: String) -> Result<usize, usize> {
+        if self.is_full() {
+            return Err(self.capacity);
+        }
+        self.queue.push_back(run_id);
+        Ok(self.queue.len() - 1)
+    }
+
+    /// Re-enqueue an already-admitted run at the front (crash recovery).
+    /// Bypasses the shed check: the run holds admission already, and at
+    /// most one orphan per worker slot can be in flight, so the overshoot
+    /// is bounded by the pool size.
+    pub fn reinstate(&mut self, run_id: String) {
+        self.queue.push_front(run_id);
+    }
+
+    /// Take the next run to schedule.
+    pub fn pop(&mut self) -> Option<String> {
+        self.queue.pop_front()
+    }
+
+    /// Drop a queued run (cancellation). Returns whether it was present.
+    pub fn remove(&mut self, run_id: &str) -> bool {
+        if let Some(pos) = self.queue.iter().position(|r| r == run_id) {
+            self.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Waiting submissions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The shed threshold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Fixed set of worker slots, each running at most one experiment.
+pub struct WorkerPool {
+    slots: Vec<Option<WorkerRun>>,
+}
+
+impl WorkerPool {
+    /// A pool of `workers` slots.
+    pub fn new(workers: usize) -> WorkerPool {
+        assert!(workers > 0, "worker pool must have at least one slot");
+        WorkerPool {
+            slots: (0..workers).map(|_| None).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool has no slots (never true — see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// First idle slot, if any.
+    pub fn idle(&self) -> Option<usize> {
+        self.slots.iter().position(|s| s.is_none())
+    }
+
+    /// Number of busy slots.
+    pub fn running(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Place a run on an idle slot.
+    pub fn place(&mut self, worker: usize, run: WorkerRun) {
+        debug_assert!(self.slots[worker].is_none(), "slot {worker} is busy");
+        self.slots[worker] = Some(run);
+    }
+
+    /// Remove and return a slot's run (completion, cancellation, crash).
+    pub fn take(&mut self, worker: usize) -> Option<WorkerRun> {
+        self.slots.get_mut(worker).and_then(|s| s.take())
+    }
+
+    /// The run on a slot, if busy.
+    pub fn get_mut(&mut self, worker: usize) -> Option<&mut WorkerRun> {
+        self.slots.get_mut(worker).and_then(|s| s.as_mut())
+    }
+
+    /// Which slot runs `run_id`, if any.
+    pub fn slot_of(&self, run_id: &str) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|r| r.run_id() == run_id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_sheds_at_capacity_with_explicit_error() {
+        let mut q = SubmissionQueue::new(2);
+        assert_eq!(q.admit("a".into()), Ok(0));
+        assert_eq!(q.admit("b".into()), Ok(1));
+        assert!(q.is_full());
+        assert_eq!(q.admit("c".into()), Err(2), "shed reports the bound");
+        assert_eq!(q.len(), 2, "shed submission was not enqueued");
+    }
+
+    #[test]
+    fn reinstated_runs_preempt_new_arrivals() {
+        let mut q = SubmissionQueue::new(4);
+        q.admit("new-1".into()).unwrap();
+        q.admit("new-2".into()).unwrap();
+        q.reinstate("orphan".into());
+        assert_eq!(q.pop().as_deref(), Some("orphan"));
+        assert_eq!(q.pop().as_deref(), Some("new-1"));
+    }
+
+    #[test]
+    fn cancellation_removes_from_anywhere_in_the_queue() {
+        let mut q = SubmissionQueue::new(4);
+        q.admit("a".into()).unwrap();
+        q.admit("b".into()).unwrap();
+        q.admit("c".into()).unwrap();
+        assert!(q.remove("b"));
+        assert!(!q.remove("b"), "second removal is a no-op");
+        assert_eq!(q.pop().as_deref(), Some("a"));
+        assert_eq!(q.pop().as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn pool_tracks_idle_and_busy_slots() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.idle(), Some(0));
+        assert_eq!(pool.running(), 0);
+        assert_eq!(pool.slot_of("nope"), None);
+    }
+}

@@ -1,0 +1,318 @@
+//! Tenants: sessions, roles, quotas, usage accounting.
+//!
+//! The portal is the shared facility of §3: many remote users hold live
+//! sessions at once, each bounded by their GSI credential's lifetime.
+//! Login presents a [`CredentialToken`] (the credential's serializable
+//! half) which is validated against the community trust root; everything
+//! after that is keyed by the authenticated distinguished name. Quotas are
+//! per-tenant so one aggressive user cannot starve the facility.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_gridsim::SimTime;
+use neesgrid_gsi::{CaVerifier, CredentialError, CredentialToken, DistinguishedName};
+
+/// What a logged-in tenant may do. Ordered: each role includes the
+/// rights of the ones below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Role {
+    /// Watch streams, read boards.
+    Observer,
+    /// Observer + post to boards, submit/cancel own experiments.
+    Participant,
+    /// Participant + experiment control surfaces.
+    Operator,
+}
+
+/// An open portal session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// The authenticated identity.
+    pub user: DistinguishedName,
+    /// Granted role.
+    pub role: Role,
+    /// Login time.
+    pub opened_at: SimTime,
+    /// Expiry (credential-bounded).
+    pub expires_at: SimTime,
+}
+
+impl Session {
+    /// Whether the session is live at `now`.
+    pub fn valid_at(&self, now: SimTime) -> bool {
+        now >= self.opened_at && now < self.expires_at
+    }
+}
+
+/// Login failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoginError {
+    /// Credential failed validation.
+    BadCredential(CredentialError),
+    /// Already logged in.
+    AlreadyLoggedIn,
+}
+
+impl std::fmt::Display for LoginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoginError::BadCredential(e) => write!(f, "credential rejected: {e}"),
+            LoginError::AlreadyLoggedIn => write!(f, "already logged in"),
+        }
+    }
+}
+
+impl std::error::Error for LoginError {}
+
+/// Per-tenant admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantQuotas {
+    /// Experiments a tenant may have in flight (queued or running).
+    pub max_concurrent: usize,
+    /// Lifetime step budget across all of a tenant's submissions.
+    pub max_total_steps: u64,
+    /// Observer slots a tenant may hold open at once.
+    pub max_observers: usize,
+}
+
+impl Default for TenantQuotas {
+    fn default() -> Self {
+        TenantQuotas {
+            max_concurrent: 2,
+            max_total_steps: 100_000,
+            max_observers: 8,
+        }
+    }
+}
+
+/// What a tenant has consumed so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Experiments currently in flight (queued or running).
+    pub in_flight: usize,
+    /// Steps admitted across all submissions (cancelled runs refund the
+    /// steps they never ran).
+    pub steps_admitted: u64,
+    /// Observer slots currently open.
+    pub observers: usize,
+}
+
+/// The portal's tenant registry: live sessions, role assignments, quota
+/// overrides, and usage counters.
+pub struct TenantDirectory {
+    trust_root: CaVerifier,
+    default_role: Role,
+    default_quotas: TenantQuotas,
+    sessions: HashMap<DistinguishedName, Session>,
+    roles: HashMap<DistinguishedName, Role>,
+    quota_overrides: HashMap<DistinguishedName, TenantQuotas>,
+    usage: HashMap<DistinguishedName, TenantUsage>,
+    peak_concurrent: usize,
+}
+
+impl TenantDirectory {
+    /// A directory trusting the given root. New tenants get
+    /// `default_role` and `default_quotas`.
+    pub fn new(trust_root: CaVerifier, default_role: Role, default_quotas: TenantQuotas) -> Self {
+        TenantDirectory {
+            trust_root,
+            default_role,
+            default_quotas,
+            sessions: HashMap::new(),
+            roles: HashMap::new(),
+            quota_overrides: HashMap::new(),
+            usage: HashMap::new(),
+            peak_concurrent: 0,
+        }
+    }
+
+    /// Pre-assign a role to an identity (otherwise the default applies).
+    pub fn assign_role(&mut self, user: DistinguishedName, role: Role) {
+        self.roles.insert(user, role);
+    }
+
+    /// Override one tenant's quotas.
+    pub fn set_quotas(&mut self, user: DistinguishedName, quotas: TenantQuotas) {
+        self.quota_overrides.insert(user, quotas);
+    }
+
+    /// The quotas in force for a tenant.
+    pub fn quotas(&self, user: &DistinguishedName) -> TenantQuotas {
+        self.quota_overrides
+            .get(user)
+            .copied()
+            .unwrap_or(self.default_quotas)
+    }
+
+    /// Usage counters for a tenant (zeros if never seen).
+    pub fn usage(&self, user: &DistinguishedName) -> TenantUsage {
+        self.usage.get(user).copied().unwrap_or_default()
+    }
+
+    /// Mutable usage counters for a tenant.
+    pub fn usage_mut(&mut self, user: &DistinguishedName) -> &mut TenantUsage {
+        self.usage.entry(user.clone()).or_default()
+    }
+
+    /// Log in with a validated token; returns the opened session.
+    pub fn login(&mut self, token: &CredentialToken, now: SimTime) -> Result<Session, LoginError> {
+        token
+            .validate(&self.trust_root, now)
+            .map_err(LoginError::BadCredential)?;
+        let user = token.identity().clone();
+        if let Some(existing) = self.sessions.get(&user) {
+            if existing.valid_at(now) {
+                return Err(LoginError::AlreadyLoggedIn);
+            }
+        }
+        let role = self.roles.get(&user).copied().unwrap_or(self.default_role);
+        let session = Session {
+            user: user.clone(),
+            role,
+            opened_at: now,
+            expires_at: token.expires_at(),
+        };
+        self.sessions.insert(user, session.clone());
+        self.peak_concurrent = self.peak_concurrent.max(self.active_count(now));
+        Ok(session)
+    }
+
+    /// Log out.
+    pub fn logout(&mut self, user: &DistinguishedName) -> bool {
+        self.sessions.remove(user).is_some()
+    }
+
+    /// The live session for a user, if any.
+    pub fn session(&self, user: &DistinguishedName, now: SimTime) -> Option<&Session> {
+        self.sessions.get(user).filter(|s| s.valid_at(now))
+    }
+
+    /// Number of live sessions at `now`.
+    pub fn active_count(&self, now: SimTime) -> usize {
+        self.sessions.values().filter(|s| s.valid_at(now)).count()
+    }
+
+    /// Highest concurrent session count seen (the paper's "over 130
+    /// remote participants" figure).
+    pub fn peak_concurrent(&self) -> usize {
+        self.peak_concurrent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neesgrid_gsi::{CertificateAuthority, Credential};
+
+    fn setup() -> (CertificateAuthority, TenantDirectory) {
+        let ca = CertificateAuthority::nees(21);
+        let dir = TenantDirectory::new(ca.verifier(), Role::Observer, TenantQuotas::default());
+        (ca, dir)
+    }
+
+    fn token(ca: &CertificateAuthority, name: &str, seed: u64) -> CredentialToken {
+        Credential::issue(
+            ca,
+            DistinguishedName::nees_user("REMOTE", name),
+            SimTime::ZERO,
+            SimTime::from_secs(3600),
+            seed,
+        )
+        .token()
+    }
+
+    #[test]
+    fn login_opens_role_scoped_session() {
+        let (ca, mut dir) = setup();
+        let t = token(&ca, "viewer", 1);
+        let s = dir.login(&t, SimTime::from_secs(1)).unwrap();
+        assert_eq!(s.role, Role::Observer);
+        assert_eq!(s.expires_at, SimTime::from_secs(3600));
+        assert!(dir.session(t.identity(), SimTime::from_secs(2)).is_some());
+    }
+
+    #[test]
+    fn assigned_roles_stick() {
+        let (ca, mut dir) = setup();
+        let t = token(&ca, "spencer", 2);
+        dir.assign_role(t.identity().clone(), Role::Operator);
+        let s = dir.login(&t, SimTime::from_secs(1)).unwrap();
+        assert_eq!(s.role, Role::Operator);
+    }
+
+    #[test]
+    fn foreign_credential_rejected() {
+        let (_, mut dir) = setup();
+        let other_ca = CertificateAuthority::nees(99);
+        let t = token(&other_ca, "eve", 3);
+        assert!(matches!(
+            dir.login(&t, SimTime::from_secs(1)).unwrap_err(),
+            LoginError::BadCredential(_)
+        ));
+    }
+
+    #[test]
+    fn double_login_refused_until_expiry_or_logout() {
+        let (ca, mut dir) = setup();
+        let t = token(&ca, "viewer", 4);
+        dir.login(&t, SimTime::from_secs(1)).unwrap();
+        assert_eq!(
+            dir.login(&t, SimTime::from_secs(2)).unwrap_err(),
+            LoginError::AlreadyLoggedIn
+        );
+        assert!(dir.logout(t.identity()));
+        dir.login(&t, SimTime::from_secs(3)).unwrap();
+    }
+
+    #[test]
+    fn sessions_expire_with_credentials() {
+        let (ca, mut dir) = setup();
+        let t = token(&ca, "viewer", 5);
+        dir.login(&t, SimTime::from_secs(1)).unwrap();
+        assert!(dir
+            .session(t.identity(), SimTime::from_secs(3599))
+            .is_some());
+        assert!(dir
+            .session(t.identity(), SimTime::from_secs(3600))
+            .is_none());
+        assert_eq!(dir.active_count(SimTime::from_secs(3600)), 0);
+    }
+
+    #[test]
+    fn peak_concurrent_tracks_the_most_participants() {
+        let (ca, mut dir) = setup();
+        for i in 0..135 {
+            let t = token(&ca, &format!("user-{i}"), 100 + i);
+            dir.login(&t, SimTime::from_secs(1)).unwrap();
+        }
+        assert!(dir.peak_concurrent() >= 130, "MOST-scale participation");
+    }
+
+    #[test]
+    fn roles_are_ordered() {
+        assert!(Role::Observer < Role::Participant);
+        assert!(Role::Participant < Role::Operator);
+    }
+
+    #[test]
+    fn quota_overrides_apply_per_tenant() {
+        let (ca, mut dir) = setup();
+        let t = token(&ca, "big", 7);
+        assert_eq!(dir.quotas(t.identity()), TenantQuotas::default());
+        dir.set_quotas(
+            t.identity().clone(),
+            TenantQuotas {
+                max_concurrent: 10,
+                max_total_steps: 1_000_000,
+                max_observers: 64,
+            },
+        );
+        assert_eq!(dir.quotas(t.identity()).max_concurrent, 10);
+        // Usage starts at zero and is tracked per tenant.
+        assert_eq!(dir.usage(t.identity()), TenantUsage::default());
+        dir.usage_mut(t.identity()).in_flight += 1;
+        assert_eq!(dir.usage(t.identity()).in_flight, 1);
+    }
+}

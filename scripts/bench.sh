@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Benchmark gate: the MOST run benchmarks plus the N-site scaling sweep.
+# Benchmark gate: the MOST run benchmarks, the N-site scaling sweep, and
+# the multi-tenant portal load run.
 #
-#   scripts/bench.sh            # sec34 MOST runs + sec51 N-site scaling
+#   scripts/bench.sh            # sec34 MOST + sec51 scaling + portal_load
 #   scripts/bench.sh --all      # every bench target in the harness
 #
 # sec51 writes steps/second for N = 3, 8, 16, 64 to BENCH_scaling.json at
-# the repo root (and asserts 64-site double-run determinism).
+# the repo root (and asserts 64-site double-run determinism); portal_load
+# drives 10,000 tenants through the portal service and writes
+# experiments/sec + p99 submission→first-step latency to BENCH_portal.json
+# (asserting zero cross-tenant leaks).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,6 +22,9 @@ cargo bench -p neesgrid-bench --bench sec34_most_run
 
 echo "==> sec51_n_site_scaling (N = 3, 8, 16, 64 → BENCH_scaling.json)"
 cargo bench -p neesgrid-bench --bench sec51_n_site_scaling
+
+echo "==> portal_load (10k tenants → BENCH_portal.json)"
+cargo bench -p neesgrid-bench --bench portal_load
 
 if [[ $all -eq 1 ]]; then
     echo "==> full bench suite"

@@ -38,6 +38,9 @@ else
 
     echo "==> trace-determinism smoke (same-seed byte-identical telemetry)"
     cargo test -q --test telemetry_trace same_seed
+
+    echo "==> portal smoke (wire API, crash recovery, tenant isolation)"
+    cargo test -q --test portal_service
 fi
 
 echo "==> cargo test -q (tier-1)"

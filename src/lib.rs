@@ -20,7 +20,11 @@
 //! * [`coordinator`] — the MS-PSDS simulation coordinator
 //! * [`checkpoint`] — checkpoint & resume: checksummed snapshots so a run
 //!   killed mid-experiment (the step-1493 failure) restarts and finishes
-//! * [`chef`] — collaboration portal (chat, notebook, data viewer, cameras)
+//! * [`portal`] — the multi-tenant experiment service: wire API,
+//!   admission control + quotas, worker-pool scheduling, streaming
+//!   observers, and checkpoint-based crash recovery
+//! * [`chef`] — collaboration portal client (chat, notebook, data
+//!   viewer, cameras) speaking the portal wire API
 //! * [`most`] — the MOST and Mini-MOST experiments end-to-end
 //! * [`telemetry`] — virtual-time tracing, metrics, and the flight
 //!   recorder whose post-mortem dump explains failures like step 1493
@@ -40,6 +44,7 @@ pub use neesgrid_gsi as gsi;
 pub use neesgrid_most as most;
 pub use neesgrid_ntcp as ntcp;
 pub use neesgrid_ogsi as ogsi;
+pub use neesgrid_portal as portal;
 pub use neesgrid_repo as repo;
 pub use neesgrid_structsim as structsim;
 pub use neesgrid_telemetry as telemetry;
