@@ -1,0 +1,248 @@
+//! The lint **baseline ratchet**: a committed snapshot of accepted
+//! findings and pragma'd sites, compared against every lint run.
+//!
+//! The linter's job is to stop *new* debt, not to force a big-bang
+//! cleanup. The baseline records, per `(file, rule)`, how many findings
+//! and how many suppressed (pragma-waived) sites the tree carried when
+//! the snapshot was taken. `lint --baseline <path>` then fails if any
+//! `(file, rule)` cell *exceeds* its recorded count — a new violation or
+//! a new pragma both trip the ratchet — while cells that shrink or
+//! disappear pass silently, so the debt can only go down.
+//!
+//! `lint --write-baseline <path>` regenerates the snapshot; the diff is
+//! reviewed like any other code change.
+
+use std::collections::BTreeMap;
+
+use serde_json::{json, Value};
+
+use crate::rules::LintSummary;
+
+/// Accepted counts for one `(file, rule)` cell.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Open findings accepted at snapshot time.
+    pub findings: usize,
+    /// Pragma-suppressed sites accepted at snapshot time.
+    pub suppressed: usize,
+}
+
+/// The full snapshot.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(file, rule)` → accepted counts. BTreeMap keeps the serialized
+    /// form stable so regenerated baselines diff cleanly.
+    pub cells: BTreeMap<(String, String), Cell>,
+}
+
+/// One cell that got worse than the baseline allows.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Regression {
+    pub file: String,
+    pub rule: String,
+    /// What exceeded: "findings" or "suppressed".
+    pub kind: &'static str,
+    pub allowed: usize,
+    pub actual: usize,
+}
+
+impl Baseline {
+    /// Snapshot the current lint result.
+    pub fn from_summary(summary: &LintSummary) -> Baseline {
+        let mut cells: BTreeMap<(String, String), Cell> = BTreeMap::new();
+        for f in &summary.findings {
+            cells
+                .entry((f.file.clone(), f.rule.to_string()))
+                .or_default()
+                .findings += 1;
+        }
+        for ((file, rule), n) in &summary.suppressed_sites {
+            cells
+                .entry((file.clone(), rule.clone()))
+                .or_default()
+                .suppressed += n;
+        }
+        Baseline { cells }
+    }
+
+    /// Serialize to the committed JSON form.
+    pub fn to_json(&self) -> Value {
+        let entries: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|((file, rule), c)| {
+                json!({
+                    "file": file,
+                    "rule": rule,
+                    "findings": c.findings as u64,
+                    "suppressed": c.suppressed as u64,
+                })
+            })
+            .collect();
+        json!({ "version": 1u64, "entries": entries })
+    }
+
+    /// Parse a committed baseline file.
+    pub fn from_json(src: &str) -> Result<Baseline, String> {
+        let v: Value =
+            serde_json::from_str(src).map_err(|e| format!("baseline is not valid JSON: {e:?}"))?;
+        if v.get("version").and_then(Value::as_u64) != Some(1) {
+            return Err("baseline version must be 1".into());
+        }
+        let entries = v
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or("baseline has no `entries` array")?;
+        let mut cells = BTreeMap::new();
+        for e in entries {
+            let file = e
+                .get("file")
+                .and_then(Value::as_str)
+                .ok_or("entry missing `file`")?;
+            let rule = e
+                .get("rule")
+                .and_then(Value::as_str)
+                .ok_or("entry missing `rule`")?;
+            let findings = e.get("findings").and_then(Value::as_u64).unwrap_or(0) as usize;
+            let suppressed = e.get("suppressed").and_then(Value::as_u64).unwrap_or(0) as usize;
+            cells.insert(
+                (file.to_string(), rule.to_string()),
+                Cell {
+                    findings,
+                    suppressed,
+                },
+            );
+        }
+        Ok(Baseline { cells })
+    }
+
+    /// Compare a fresh lint run against this baseline. Empty result means
+    /// the ratchet holds; each entry is a cell that regressed.
+    pub fn check(&self, summary: &LintSummary) -> Vec<Regression> {
+        let current = Baseline::from_summary(summary);
+        let mut out = Vec::new();
+        for ((file, rule), cur) in &current.cells {
+            let allowed = self
+                .cells
+                .get(&(file.clone(), rule.clone()))
+                .copied()
+                .unwrap_or_default();
+            if cur.findings > allowed.findings {
+                out.push(Regression {
+                    file: file.clone(),
+                    rule: rule.clone(),
+                    kind: "findings",
+                    allowed: allowed.findings,
+                    actual: cur.findings,
+                });
+            }
+            if cur.suppressed > allowed.suppressed {
+                out.push(Regression {
+                    file: file.clone(),
+                    rule: rule.clone(),
+                    kind: "suppressed",
+                    allowed: allowed.suppressed,
+                    actual: cur.suppressed,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Render regressions for the text report.
+pub fn regressions_text(regs: &[Regression]) -> String {
+    let mut out = String::new();
+    for r in regs {
+        out.push_str(&format!(
+            "{}: [{}] {} {} exceeds baseline {} — fix the new site or regenerate the baseline with --write-baseline (reviewed like code)\n",
+            r.file, r.rule, r.actual, r.kind, r.allowed
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    fn summary(
+        findings: Vec<(&str, &'static str)>,
+        sites: Vec<(&str, &str, usize)>,
+    ) -> LintSummary {
+        LintSummary {
+            findings: findings
+                .into_iter()
+                .map(|(file, rule)| Finding {
+                    file: file.into(),
+                    line: 1,
+                    rule,
+                    message: "m".into(),
+                })
+                .collect(),
+            files_scanned: 1,
+            suppressed: sites.iter().map(|(_, _, n)| n).sum(),
+            suppressed_sites: sites
+                .into_iter()
+                .map(|(f, r, n)| ((f.to_string(), r.to_string()), n))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let s = summary(
+            vec![
+                ("a.rs", "no-unwrap"),
+                ("a.rs", "no-unwrap"),
+                ("b.rs", "lock-order"),
+            ],
+            vec![("a.rs", "no-hash-iteration", 2)],
+        );
+        let base = Baseline::from_summary(&s);
+        let text = serde_json::to_string_pretty(&base.to_json()).unwrap();
+        let back = Baseline::from_json(&text).unwrap();
+        assert_eq!(base, back);
+        assert_eq!(
+            back.cells[&("a.rs".to_string(), "no-unwrap".to_string())].findings,
+            2
+        );
+    }
+
+    #[test]
+    fn ratchet_holds_when_debt_shrinks() {
+        let old = summary(vec![("a.rs", "no-unwrap")], vec![("a.rs", "no-todo", 1)]);
+        let base = Baseline::from_summary(&old);
+        let improved = summary(vec![], vec![]);
+        assert!(base.check(&improved).is_empty());
+    }
+
+    #[test]
+    fn new_finding_trips_the_ratchet() {
+        let base = Baseline::from_summary(&summary(vec![], vec![]));
+        let cur = summary(vec![("a.rs", "no-unwrap")], vec![]);
+        let regs = base.check(&cur);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].kind, "findings");
+        assert_eq!((regs[0].allowed, regs[0].actual), (0, 1));
+    }
+
+    #[test]
+    fn new_pragma_site_trips_the_ratchet() {
+        let base = Baseline::from_summary(&summary(vec![], vec![("a.rs", "no-unwrap", 1)]));
+        let cur = summary(vec![], vec![("a.rs", "no-unwrap", 2)]);
+        let regs = base.check(&cur);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].kind, "suppressed");
+        let text = regressions_text(&regs);
+        assert!(text.contains("exceeds baseline 1"));
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::from_json("{").is_err());
+        assert!(Baseline::from_json("{\"version\": 2, \"entries\": []}").is_err());
+        assert!(Baseline::from_json("{\"version\": 1}").is_err());
+    }
+}

@@ -1,0 +1,697 @@
+//! Contract rules built on the parse layer: `no-hash-iteration` and
+//! `bounded-buffer-contract`.
+//!
+//! Both reason about *what* code touches, not which tokens appear:
+//!
+//! * [`check_hash_iteration`] tracks which struct fields, locals, and
+//!   parameters are `HashMap`/`HashSet`-typed (through `Arc`/`Mutex`
+//!   wrappers and `use … as` aliases) and flags any iteration over them —
+//!   `.iter()`, `.values()`, `.drain()`, `for x in &map`, … — because hash
+//!   iteration order varies run-to-run and silently breaks the platform's
+//!   bit-identical-replay guarantee. Iterations that visibly re-sort in
+//!   the same statement (a `BTreeMap`/`BTreeSet` collect or a `sort*`
+//!   call) pass; everything else needs a `BTreeMap` conversion or an
+//!   `analyzer:allow(no-hash-iteration, …)` pragma stating the invariant.
+//! * [`check_buffer_contract`] demands that every bounded channel/ring
+//!   construction (`sync_channel`, `bounded`, `VecDeque::with_capacity`)
+//!   in queueing code carries a machine-checkable declaration —
+//!   `// analyzer:buffer(cap = <expr>, drop = oldest|shed|block)` — whose
+//!   capacity expression textually matches the constructed one. The
+//!   declaration is the reviewable contract (what bounds the queue, what
+//!   happens on overflow); the rule keeps it from rotting.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::lexer::{Delim, TokKind, Token};
+use crate::parse::{call_chains, render, ParsedFile};
+use crate::rules::Finding;
+
+/// Methods whose call iterates the receiver in storage order.
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Methods that hand back the same underlying collection (possibly behind
+/// a guard), so a binding of the result stays hash-typed.
+const GUARD_METHODS: [&str; 9] = [
+    "lock",
+    "read",
+    "write",
+    "borrow",
+    "borrow_mut",
+    "clone",
+    "as_ref",
+    "as_mut",
+    "get_mut",
+];
+
+/// True when `name` occurs in `text` as a whole word (identifier
+/// boundaries on both sides), so `TxHashMapIdx` does not match `HashMap`.
+fn word_contains(text: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = text[from..].find(name) {
+        let at = from + at;
+        let before_ok = at == 0
+            || !text[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + name.len();
+        let after_ok = after >= text.len()
+            || !text[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + name.len();
+    }
+    false
+}
+
+/// Does an identifier mark the statement as explicitly ordered? A
+/// `BTreeMap`/`BTreeSet` (collect target or conversion) or any `sort*`
+/// call counts.
+fn is_ordering_ident(s: &str) -> bool {
+    s.starts_with("BTree") || s.starts_with("sort")
+}
+
+/// The `no-hash-iteration` pass over one file.
+pub fn check_hash_iteration(
+    file: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    parsed: &ParsedFile,
+    raw: &mut Vec<Finding>,
+) {
+    // Hash type names in force in this file: the std names plus any
+    // `use std::collections::HashMap as …` aliases from the use graph.
+    let mut hash_names: BTreeSet<String> = ["HashMap", "HashSet"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for b in parsed.bindings_of(&["collections::HashMap", "collections::HashSet"]) {
+        if b != "*" {
+            hash_names.insert(b);
+        }
+    }
+
+    // Struct fields whose type text mentions a hash type (wrappers like
+    // `Arc<Mutex<HashMap<…>>>` included).
+    let mut hash_fields: BTreeSet<String> = BTreeSet::new();
+    for st in &parsed.structs {
+        for f in &st.fields {
+            if hash_names.iter().any(|n| word_contains(&f.ty, n)) {
+                hash_fields.insert(f.name.clone());
+            }
+        }
+    }
+
+    // Analyze each outermost fn body once (nested fns are contained in
+    // their parent's range and would double-report).
+    let mut covered: Vec<Range<usize>> = Vec::new();
+    for f in &parsed.fns {
+        if covered
+            .iter()
+            .any(|r| r.start <= f.body.start && f.body.end <= r.end)
+        {
+            continue;
+        }
+        covered.push(f.body.clone());
+        let base = f.body.start;
+        let body = &tokens[f.body.clone()];
+        let header = &tokens[f.header.clone()];
+        let locals = hash_locals(header, body, &hash_names, &hash_fields);
+        let resolve = |root: &[String]| -> Option<String> {
+            let last = root.last()?;
+            if last == "#" {
+                return None;
+            }
+            let is_hash = if root.len() == 1 {
+                locals.contains(last)
+            } else {
+                hash_fields.contains(last)
+            };
+            is_hash.then(|| root.join("."))
+        };
+
+        for chain in call_chains(body) {
+            // The first link that is not a guard/alias hop is the one that
+            // determines what happens to the container: `.lock().values()`
+            // still iterates the hash map behind the guard.
+            let Some(link) = chain
+                .links
+                .iter()
+                .find(|l| !GUARD_METHODS.contains(&l.method.as_str()))
+            else {
+                continue;
+            };
+            if mask[base + link.tok] || !ITER_METHODS.contains(&link.method.as_str()) {
+                continue;
+            }
+            let Some(what) = resolve(&chain.root) else {
+                continue;
+            };
+            if statement_is_ordered(body, chain.start, link.tok) {
+                continue;
+            }
+            raw.push(Finding {
+                file: file.to_string(),
+                line: link.line,
+                rule: "no-hash-iteration",
+                message: format!(
+                    "iterating hash-ordered `{what}` via .{}() is nondeterministic across runs — use a BTreeMap/BTreeSet, sort in the same statement, or pragma the ordering invariant",
+                    link.method
+                ),
+            });
+        }
+
+        check_for_loops(file, body, base, mask, &locals, &hash_fields, raw);
+    }
+}
+
+/// Hash-typed bindings in one fn: typed parameters, annotated lets,
+/// constructor lets, and guard/alias propagation from hash fields.
+fn hash_locals(
+    header: &[Token],
+    body: &[Token],
+    hash_names: &BTreeSet<String>,
+    hash_fields: &BTreeSet<String>,
+) -> BTreeSet<String> {
+    let mut locals: BTreeSet<String> = BTreeSet::new();
+    // Parameters: `name: Type` pairs in the signature.
+    let mut i = 0;
+    while i < header.len() {
+        if let TokKind::Ident(name) = &header[i].kind {
+            if matches!(header.get(i + 1).map(|t| &t.kind), Some(TokKind::Op(':')))
+                && !matches!(header.get(i + 2).map(|t| &t.kind), Some(TokKind::PathSep))
+            {
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                while j < header.len() {
+                    match header[j].kind {
+                        TokKind::Op('<') => angle += 1,
+                        TokKind::Op('>') => angle -= 1,
+                        TokKind::Comma if angle <= 0 => break,
+                        TokKind::Close(Delim::Paren) if angle <= 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let ty = render(&header[i + 2..j]);
+                if hash_names.iter().any(|n| word_contains(&ty, n)) {
+                    locals.insert(name.clone());
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // Lets in the body.
+    let mut i = 0;
+    while i < body.len() {
+        if !matches!(&body[i].kind, TokKind::Ident(s) if s == "let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if matches!(&body.get(j).map(|t| &t.kind), Some(TokKind::Ident(s)) if *s == "mut") {
+            j += 1;
+        }
+        let Some(TokKind::Ident(name)) = body.get(j).map(|t| &t.kind) else {
+            i += 1;
+            continue;
+        };
+        let name = name.clone();
+        // The statement's remaining tokens, to the terminating `;`.
+        let mut end = j + 1;
+        let mut depth = 0i32;
+        while end < body.len() {
+            match body[end].kind {
+                TokKind::Open(_) => depth += 1,
+                TokKind::Close(_) => depth -= 1,
+                TokKind::Semi if depth <= 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let stmt = &body[j + 1..end.min(body.len())];
+        let text = render(stmt);
+        let mut is_hash = hash_names.iter().any(|n| word_contains(&text, n));
+        if !is_hash {
+            // Guard/alias propagation: `= self.field.lock()`, `= &map`.
+            if let Some(eq) = stmt.iter().position(|t| t.kind == TokKind::Op('=')) {
+                let rhs = &stmt[eq + 1..];
+                let chains = call_chains(rhs);
+                if let Some(c) = chains.iter().find(|c| c.start <= 1) {
+                    let rooted = match c.root.last() {
+                        Some(last) if last != "#" => {
+                            (c.root.len() > 1 && hash_fields.contains(last))
+                                || (c.root.len() == 1
+                                    && (locals.contains(last) || hash_fields.contains(last)))
+                        }
+                        _ => false,
+                    };
+                    is_hash = rooted
+                        && c.links
+                            .iter()
+                            .all(|l| GUARD_METHODS.contains(&l.method.as_str()));
+                } else {
+                    // Bare alias: `= &self.map;`
+                    let rhs_text = render(rhs);
+                    let path = rhs_text.trim_start_matches(['&', ' ', '*']);
+                    let last = path.rsplit('.').next().unwrap_or("");
+                    is_hash = !last.is_empty()
+                        && last.chars().all(|c| c.is_alphanumeric() || c == '_')
+                        && (hash_fields.contains(last) || locals.contains(last));
+                }
+            }
+        }
+        if is_hash {
+            locals.insert(name);
+        }
+        i = end;
+    }
+    locals
+}
+
+/// Does the statement containing tokens `[start, end]` visibly restore an
+/// order (BTree collect target or a sort)? The window runs from the
+/// previous statement boundary to the next `;` or block open.
+fn statement_is_ordered(body: &[Token], start: usize, end: usize) -> bool {
+    let mut lo = start;
+    while lo > 0 {
+        match body[lo - 1].kind {
+            TokKind::Semi | TokKind::Open(Delim::Brace) | TokKind::Close(Delim::Brace) => break,
+            _ => lo -= 1,
+        }
+    }
+    let mut hi = end;
+    while hi < body.len() {
+        match body[hi].kind {
+            TokKind::Semi | TokKind::Open(Delim::Brace) => break,
+            _ => hi += 1,
+        }
+    }
+    body[lo..hi]
+        .iter()
+        .any(|t| matches!(&t.kind, TokKind::Ident(s) if is_ordering_ident(s)))
+}
+
+/// Flag `for pat in <hash container> { … }` loops where the container is
+/// referenced bare (method-call iterations are handled by the chain pass).
+fn check_for_loops(
+    file: &str,
+    body: &[Token],
+    base: usize,
+    mask: &[bool],
+    locals: &BTreeSet<String>,
+    hash_fields: &BTreeSet<String>,
+    raw: &mut Vec<Finding>,
+) {
+    let mut i = 0;
+    while i < body.len() {
+        if mask[base + i] || !matches!(&body[i].kind, TokKind::Ident(s) if s == "for") {
+            i += 1;
+            continue;
+        }
+        // Find `in` at bracket depth 0 (the pattern may destructure).
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let in_at = loop {
+            match body.get(j).map(|t| &t.kind) {
+                Some(TokKind::Open(Delim::Brace)) | Some(TokKind::Semi) | None => break None,
+                Some(TokKind::Open(_)) => depth += 1,
+                Some(TokKind::Close(_)) => depth -= 1,
+                Some(TokKind::Ident(s)) if s == "in" && depth <= 0 => break Some(j),
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(in_at) = in_at else {
+            i += 1;
+            continue;
+        };
+        // Expression runs to the loop body's `{` at depth 0.
+        let mut k = in_at + 1;
+        let mut depth = 0i32;
+        while k < body.len() {
+            match body[k].kind {
+                TokKind::Open(Delim::Brace) if depth <= 0 => break,
+                TokKind::Open(_) => depth += 1,
+                TokKind::Close(_) => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let expr = &body[in_at + 1..k];
+        let ordered = expr
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Ident(s) if is_ordering_ident(s)));
+        if !ordered {
+            // Bare container paths in the expression, not followed by `(`.
+            let mut e = 0;
+            while e < expr.len() {
+                let starts = matches!(&expr[e].kind, TokKind::Ident(_))
+                    && (e == 0 || !matches!(expr[e - 1].kind, TokKind::Dot | TokKind::PathSep));
+                if !starts {
+                    e += 1;
+                    continue;
+                }
+                let mut path: Vec<String> = Vec::new();
+                let mut p = e;
+                while let Some(TokKind::Ident(s)) = expr.get(p).map(|t| &t.kind) {
+                    path.push(s.clone());
+                    p += 1;
+                    match expr.get(p).map(|t| &t.kind) {
+                        Some(TokKind::Dot) | Some(TokKind::PathSep) => p += 1,
+                        _ => break,
+                    }
+                }
+                let is_call = matches!(
+                    expr.get(p).map(|t| &t.kind),
+                    Some(TokKind::Open(Delim::Paren))
+                );
+                if !is_call {
+                    if let Some(last) = path.last() {
+                        let hit = (path.len() == 1 && locals.contains(last))
+                            || hash_fields.contains(last);
+                        if hit {
+                            raw.push(Finding {
+                                file: file.to_string(),
+                                line: expr[e].line,
+                                rule: "no-hash-iteration",
+                                message: format!(
+                                    "`for … in {}` iterates a hash-ordered container nondeterministically — use a BTreeMap/BTreeSet or an explicitly sorted view, or pragma the ordering invariant",
+                                    path.join(".")
+                                ),
+                            });
+                        }
+                    }
+                }
+                e = p.max(e + 1);
+            }
+        }
+        i = k;
+    }
+}
+
+/// A parsed `// analyzer:buffer(cap = …, drop = …)` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferDecl {
+    /// 1-based line of the pragma comment.
+    pub line: u32,
+    /// Declared capacity expression, verbatim.
+    pub cap: String,
+    /// Declared overflow policy: `oldest`, `shed`, or `block`.
+    pub drop: String,
+    /// Set when a construction site claims this declaration.
+    pub used: bool,
+}
+
+/// Constructor idents whose call builds a bounded channel.
+const CHANNEL_CTORS: [&str; 2] = ["sync_channel", "bounded"];
+
+/// The `bounded-buffer-contract` pass: every channel/ring construction in
+/// scope must carry a matching [`BufferDecl`] on the same or previous line.
+pub fn check_buffer_contract(
+    file: &str,
+    src: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    decls: &mut [BufferDecl],
+    raw: &mut Vec<Finding>,
+) {
+    let line_starts: Vec<usize> = std::iter::once(0)
+        .chain(
+            src.char_indices()
+                .filter(|&(_, c)| c == '\n')
+                .map(|(i, _)| i + 1),
+        )
+        .collect();
+
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        let TokKind::Ident(ident) = &tokens[i].kind else {
+            continue;
+        };
+        let ctor: Option<&str> = if CHANNEL_CTORS.contains(&ident.as_str()) {
+            let callish = matches!(
+                tokens.get(i + 1).map(|t| &t.kind),
+                Some(TokKind::Open(Delim::Paren)) | Some(TokKind::PathSep)
+            );
+            let prev_dot = i > 0 && tokens[i - 1].kind == TokKind::Dot;
+            let is_decl = i > 0 && matches!(&tokens[i - 1].kind, TokKind::Ident(s) if s == "fn");
+            (callish && !prev_dot && !is_decl).then_some(ident.as_str())
+        } else if ident == "with_capacity"
+            && i >= 2
+            && tokens[i - 1].kind == TokKind::PathSep
+            && matches!(&tokens[i - 2].kind, TokKind::Ident(s) if s == "VecDeque")
+        {
+            Some("with_capacity")
+        } else {
+            None
+        };
+        let Some(ctor) = ctor else { continue };
+        let line = tokens[i].line;
+
+        let Some(decl) = decls
+            .iter_mut()
+            .find(|d| d.line == line || d.line + 1 == line)
+        else {
+            raw.push(Finding {
+                file: file.to_string(),
+                line,
+                rule: "bounded-buffer-contract",
+                message: format!(
+                    "`{ctor}` constructs a bounded buffer without a contract — declare `// analyzer:buffer(cap = <expr>, drop = oldest|shed|block)` on the line above, matching the constructed capacity"
+                ),
+            });
+            continue;
+        };
+        decl.used = true;
+        if let Some(arg) = extract_call_arg(src, &line_starts, line, ctor) {
+            let declared: String = decl.cap.chars().filter(|c| !c.is_whitespace()).collect();
+            let actual: String = arg.chars().filter(|c| !c.is_whitespace()).collect();
+            if declared != actual {
+                raw.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: "bounded-buffer-contract",
+                    message: format!(
+                        "buffer contract declares cap = `{}` but the construction uses `{}` — keep the declaration in sync with the code",
+                        decl.cap, arg
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Extract the argument text of `ctor(…)` starting on 1-based `line`,
+/// balancing parentheses across lines.
+fn extract_call_arg(src: &str, line_starts: &[usize], line: u32, ctor: &str) -> Option<String> {
+    let start = *line_starts.get(line as usize - 1)?;
+    let at = src[start..].find(ctor)? + start;
+    let open = src[at..].find('(')? + at;
+    let mut depth = 0i32;
+    for (off, c) in src[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    // A trailing comma is formatting, not capacity.
+                    let arg = src[open + 1..open + off].trim().trim_end_matches(',');
+                    return Some(arg.trim().to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::{lint_source, RuleSet};
+
+    fn hash_findings(src: &str) -> Vec<(u32, String)> {
+        let out = lint_source("test.rs", src, RuleSet::all());
+        out.findings
+            .iter()
+            .filter(|f| f.rule == "no-hash-iteration")
+            .map(|f| (f.line, f.message.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(word_contains("Arc<Mutex<HashMap<K,V>>>", "HashMap"));
+        assert!(!word_contains("TxHashMapIdx", "HashMap"));
+        assert!(word_contains("HashMap", "HashMap"));
+    }
+
+    #[test]
+    fn field_iteration_is_flagged() {
+        let f = hash_findings(
+            "use std::collections::HashMap;\nstruct S { m: HashMap<u8, u8> }\nimpl S {\n    fn f(&self) {\n        for v in self.m.values() { use_it(v); }\n    }\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].0, 5);
+        assert!(f[0].1.contains("self.m"));
+    }
+
+    #[test]
+    fn local_and_param_iteration_flagged() {
+        let f = hash_findings(
+            "fn f(m: &HashMap<u8, u8>) {\n    let n = HashMap::new();\n    m.keys().count();\n    n.iter().count();\n    for x in &n {}\n}\n",
+        );
+        assert_eq!(f.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn guard_propagation_through_lock() {
+        let f = hash_findings(
+            "struct S { inner: Arc<Mutex<HashMap<u8, u8>>> }\nimpl S {\n    fn f(&self) {\n        let g = self.inner.lock();\n        for v in g.values() { use_it(v); }\n    }\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].0, 5);
+    }
+
+    #[test]
+    fn btreemap_and_sorted_statements_pass() {
+        let f = hash_findings(
+            "struct S { m: HashMap<u8, u8>, b: BTreeMap<u8, u8> }\nimpl S {\n    fn f(&self) {\n        for v in self.b.values() {}\n        let v: BTreeMap<u8, u8> = self.m.iter().map(|(k, v)| (*k, *v)).collect();\n        let mut k: Vec<u8> = self.m.keys().copied().collect::<BTreeSet<u8>>().into_iter().collect();\n    }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn lookup_calls_are_not_iteration() {
+        let f = hash_findings(
+            "struct S { m: HashMap<u8, u8> }\nimpl S {\n    fn f(&self) {\n        self.m.get(&1);\n        self.m.len();\n        self.m.contains_key(&1);\n        self.m.insert(1, 2);\n    }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn alias_imports_are_tracked() {
+        let f = hash_findings(
+            "use std::collections::HashMap as Map;\nstruct S { m: Map<u8, u8> }\nimpl S {\n    fn f(&self) { self.m.values().count(); }\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn pragma_waives_hash_iteration() {
+        let out = lint_source(
+            "test.rs",
+            "struct S { m: HashMap<u8, u8> }\nimpl S {\n    fn f(&self) {\n        // analyzer:allow(no-hash-iteration, reason = \"order folded through a commutative sum\")\n        self.m.values().sum::<u8>();\n    }\n}\n",
+            RuleSet::all(),
+        );
+        assert!(
+            out.findings.iter().all(|f| f.rule != "no-hash-iteration"),
+            "{:?}",
+            out.findings
+        );
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn hash_iteration_in_tests_exempt() {
+        let f = hash_findings(
+            "struct S { m: HashMap<u8, u8> }\n#[cfg(test)]\nmod tests {\n    fn f(s: &super::S) { s.m.values().count(); }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    fn buffer_findings(src: &str) -> Vec<(u32, String)> {
+        let out = lint_source("test.rs", src, RuleSet::all());
+        out.findings
+            .iter()
+            .filter(|f| f.rule == "bounded-buffer-contract")
+            .map(|f| (f.line, f.message.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn undeclared_construction_flagged() {
+        let f = buffer_findings(
+            "fn f() {\n    let q: VecDeque<u8> = VecDeque::with_capacity(64);\n    let (tx, rx) = sync_channel(16);\n    let (a, b) = bounded(8);\n}\n",
+        );
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f[0].1.contains("analyzer:buffer"));
+    }
+
+    #[test]
+    fn matching_declaration_passes() {
+        let f = buffer_findings(
+            "fn f(capacity: usize) {\n    // analyzer:buffer(cap = capacity, drop = shed)\n    let q: VecDeque<u8> = VecDeque::with_capacity(capacity);\n    // analyzer:buffer(cap = 16, drop = block)\n    let (tx, rx) = sync_channel(16);\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn mismatched_capacity_flagged() {
+        let f = buffer_findings(
+            "fn f() {\n    // analyzer:buffer(cap = 32, drop = oldest)\n    let q: VecDeque<u8> = VecDeque::with_capacity(64);\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].1.contains("cap = `32`"));
+        assert!(f[0].1.contains("`64`"));
+    }
+
+    #[test]
+    fn complex_capacity_expressions_compare_whitespace_insensitively() {
+        let f = buffer_findings(
+            "fn f(capacity: usize) {\n    // analyzer:buffer(cap = capacity.min(1024), drop = oldest)\n    let q: VecDeque<u8> = VecDeque::with_capacity(capacity.min( 1024 ));\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn method_calls_and_fn_decls_named_bounded_ignored() {
+        let f = buffer_findings(
+            "fn run_bounded(&self) { self.run_bounded(1); }\nfn g(x: &S) { x.bounded(3); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn vec_with_capacity_is_not_a_queue() {
+        let f = buffer_findings("fn f() { let v = Vec::with_capacity(64); }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn extract_arg_spans_lines() {
+        let src = "let q = VecDeque::with_capacity(\n    BOARD_RETENTION,\n);\n";
+        let starts: Vec<usize> = std::iter::once(0)
+            .chain(
+                src.char_indices()
+                    .filter(|&(_, c)| c == '\n')
+                    .map(|(i, _)| i + 1),
+            )
+            .collect();
+        assert_eq!(
+            extract_call_arg(src, &starts, 1, "with_capacity").as_deref(),
+            Some("BOARD_RETENTION")
+        );
+        let _ = lex(src);
+    }
+}

@@ -11,8 +11,8 @@
 //! The lexer also extracts the two comment artefacts the rules care about:
 //! outer doc comments (`///`, `/** */`) become [`TokKind::DocComment`]
 //! tokens so `missing-docs` can see them in sequence with items, and
-//! `// analyzer:allow(...)` comments are collected as raw [`Pragma`]s for
-//! the suppression machinery.
+//! `// analyzer:<kind>(...)` comments (`allow`, `buffer`, …) are collected
+//! as raw [`Pragma`]s for the suppression and contract machinery.
 
 /// Bracket-like delimiter kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,12 +64,15 @@ pub struct Token {
     pub line: u32,
 }
 
-/// An unparsed `// analyzer:allow…` comment.
+/// An unparsed `// analyzer:<kind>…` comment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pragma {
     /// 1-based line the comment sits on.
     pub line: u32,
-    /// Comment text from `analyzer:allow` to end of line.
+    /// The word after `analyzer:` (`allow`, `buffer`, or a typo for the
+    /// rule engine to reject).
+    pub kind: String,
+    /// Comment text after the kind, to end of line.
     pub text: String,
 }
 
@@ -78,12 +81,12 @@ pub struct Pragma {
 pub struct Lexed {
     /// The significant tokens, in source order.
     pub tokens: Vec<Token>,
-    /// Every `analyzer:allow` comment encountered, in source order.
+    /// Every `analyzer:` comment encountered, in source order.
     pub pragmas: Vec<Pragma>,
 }
 
-/// Marker that starts a suppression comment.
-pub const PRAGMA_MARKER: &str = "analyzer:allow";
+/// Marker that starts an analyzer comment (`allow`, `buffer`, …).
+pub const PRAGMA_MARKER: &str = "analyzer:";
 
 struct Cursor<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
@@ -146,7 +149,10 @@ pub fn lex(src: &str) -> Lexed {
                 lex_quote(&mut cur, line, &mut out);
             }
             c if c.is_ascii_digit() => {
-                consume_number(&mut cur);
+                // After a `.` this is a tuple field index (`x.0.1`), which
+                // must not swallow the next `.`-digit pair as a float.
+                let field_index = matches!(out.tokens.last(), Some(t) if t.kind == TokKind::Dot);
+                consume_number(&mut cur, field_index);
                 out.tokens.push(Token {
                     kind: TokKind::Lit,
                     line,
@@ -216,10 +222,21 @@ fn lex_line_comment(cur: &mut Cursor<'_>, line: u32, out: &mut Lexed) {
         // `//!` inner doc: prose, never a pragma (doc text may quote the
         // pragma syntax without enabling it).
     } else if let Some(at) = body.find(PRAGMA_MARKER) {
-        out.pragmas.push(Pragma {
-            line,
-            text: body[at + PRAGMA_MARKER.len()..].trim().to_string(),
-        });
+        let rest = &body[at + PRAGMA_MARKER.len()..];
+        let kind_len = rest
+            .char_indices()
+            .take_while(|&(_, c)| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        // A bare `analyzer:` with no kind word is prose, not a directive.
+        if kind_len > 0 {
+            out.pragmas.push(Pragma {
+                line,
+                kind: rest[..kind_len].to_string(),
+                text: rest[kind_len..].trim().to_string(),
+            });
+        }
     }
 }
 
@@ -399,11 +416,13 @@ fn consume_ident(cur: &mut Cursor<'_>) -> String {
 
 /// Consume a numeric literal. A `.` is part of the number only when a digit
 /// follows (so `0..7` stays a range, `1.5e-3`'s mantissa is one literal).
-fn consume_number(cur: &mut Cursor<'_>) {
+/// A tuple field index (`field_index`) never contains a `.` — `x.0.1` is
+/// two indices, not the float `0.1`.
+fn consume_number(cur: &mut Cursor<'_>, field_index: bool) {
     while let Some(c) = cur.peek() {
         if c.is_ascii_alphanumeric() || c == '_' {
             cur.bump();
-        } else if c == '.' {
+        } else if c == '.' && !field_index {
             let mut lookahead = cur.chars.clone();
             lookahead.next();
             if matches!(lookahead.next(), Some(d) if d.is_ascii_digit()) {
@@ -487,7 +506,19 @@ mod tests {
         let lexed = lex("fn f() {\n    // analyzer:allow(no-unwrap, reason = \"x\")\n    g();\n}");
         assert_eq!(lexed.pragmas.len(), 1);
         assert_eq!(lexed.pragmas[0].line, 2);
+        assert_eq!(lexed.pragmas[0].kind, "allow");
         assert!(lexed.pragmas[0].text.starts_with("(no-unwrap"));
+    }
+
+    #[test]
+    fn non_allow_pragma_kinds_are_collected() {
+        let lexed = lex("// analyzer:buffer(cap = 64, drop = oldest)\nlet q = mk(64);");
+        assert_eq!(lexed.pragmas.len(), 1);
+        assert_eq!(lexed.pragmas[0].kind, "buffer");
+        assert!(lexed.pragmas[0].text.starts_with("(cap"));
+        // A typo'd kind is still collected so the rule engine can reject it.
+        let typo = lex("// analyzer:alow(no-unwrap, reason = \"x\")\n");
+        assert_eq!(typo.pragmas[0].kind, "alow");
     }
 
     #[test]
@@ -508,6 +539,74 @@ mod tests {
             .filter(|t| t.kind == TokKind::Dot)
             .count();
         assert_eq!(dots, 2, "range dots survive, float dot does not");
+    }
+
+    #[test]
+    fn tuple_field_chains_keep_their_dots() {
+        // `x.0.1` is two field accesses; a naive number scan reads `0.1`
+        // as a float and loses the second access.
+        let lexed = lex("let y = x.0.1;");
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Dot)
+            .count();
+        assert_eq!(dots, 2, "{:?}", lexed.tokens);
+        let lits = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .count();
+        assert_eq!(lits, 2);
+        // Plain floats are unaffected.
+        let float = lex("let z = 0.125 + 1.5e-3;");
+        assert_eq!(
+            float
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Dot)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn byte_strings_with_escapes_and_quotes() {
+        // An escaped quote must not terminate the byte string early.
+        let ids = idents(r#"let a = b"quote \" unwrap()"; done();"#);
+        assert_eq!(ids, vec!["let", "a", "done"]);
+        // Byte char with an escaped quote.
+        let ids = idents(r"let c = b'\''; after();");
+        assert_eq!(ids, vec!["let", "c", "after"]);
+    }
+
+    #[test]
+    fn nested_hash_raw_strings_terminate_on_matching_hashes() {
+        // `br##"…"#…"##`: an interior `"#` must not end the literal.
+        let src = r####"let s = br##"body "# panic!() still body"##; end();"####;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "end"]);
+        // Same for plain raw strings with more hashes than the body uses.
+        let src = r####"let t = r##"quote "# inner"##; tail();"####;
+        assert_eq!(idents(src), vec!["let", "t", "tail"]);
+    }
+
+    #[test]
+    fn multiline_byte_and_raw_strings_advance_lines() {
+        let lexed = lex("let a = b\"one\ntwo\";\nlet b = r#\"three\nfour\"#;\nlet c = 1;");
+        let c_line = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("c".into()))
+            .unwrap()
+            .line;
+        assert_eq!(c_line, 5);
+    }
+
+    #[test]
+    fn pragma_text_inside_string_literals_is_not_collected() {
+        let lexed = lex("let s = \"// analyzer:allow(no-unwrap, reason = \\\"x\\\")\";");
+        assert!(lexed.pragmas.is_empty(), "{:?}", lexed.pragmas);
     }
 
     #[test]

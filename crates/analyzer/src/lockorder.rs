@@ -1,0 +1,269 @@
+//! The `lock-order` pass: derive the mutex-acquisition partial order and
+//! flag pairs acquired in both orders.
+//!
+//! A deadlock needs two locks and two code paths that take them in
+//! opposite orders — exactly the kind of bug that survives testing
+//! (both paths work alone) and strikes under an unlucky interleaving,
+//! like the paper's step-1493 failure. This pass extracts, per function,
+//! the ordered sequence of `.lock()` receivers (`self.core`,
+//! `handler_core`, …), merges the sequences across every file in scope
+//! into a directed acquired-before graph, and reports every 2-cycle:
+//! `a → b` somewhere and `b → a` somewhere else.
+//!
+//! Guard lifetimes are not tracked: two sequential `.lock()` calls in one
+//! function count as nested even if the first guard was dropped. That is
+//! deliberately conservative — if the pair is provably disjoint, the
+//! `analyzer:allow(lock-order, reason = "…")` pragma states the proof
+//! where the next reader needs it.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::lexer::Token;
+use crate::parse::{call_chains, ParsedFile};
+use crate::rules::Finding;
+
+/// One lock acquisition: the receiver path text and its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// Receiver rendered as text, e.g. `self.core` or `state.inner`.
+    pub receiver: String,
+    /// 1-based line of the `.lock()` call.
+    pub line: u32,
+}
+
+/// One file's contribution to the workspace-wide pass.
+#[derive(Debug, Default)]
+pub struct FileLocks {
+    /// Repo-relative path.
+    pub file: String,
+    /// Per-function acquisition sequences, in source order.
+    pub seqs: Vec<Vec<LockSite>>,
+    /// Lines carrying an `analyzer:allow(lock-order, …)` pragma.
+    pub allows: Vec<u32>,
+}
+
+/// Result of the cross-file pass.
+#[derive(Debug, Default)]
+pub struct LockOrderOutcome {
+    /// Unsuppressed inversion findings.
+    pub findings: Vec<Finding>,
+    /// Findings waived by pragmas.
+    pub suppressed: usize,
+    /// `(file, line)` of every pragma that waived at least one finding.
+    pub used_allows: Vec<(String, u32)>,
+}
+
+/// Extract per-function lock-acquisition sequences from one file. Each
+/// `.lock()` call is attributed to the innermost enclosing function, so a
+/// nested helper's acquisitions do not leak into its parent's sequence.
+pub fn lock_sequences(tokens: &[Token], mask: &[bool], parsed: &ParsedFile) -> Vec<Vec<LockSite>> {
+    let mut out = Vec::new();
+    for (fi, f) in parsed.fns.iter().enumerate() {
+        let inner: Vec<&Range<usize>> = parsed
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(gi, g)| *gi != fi && f.body.start <= g.body.start && g.body.end <= f.body.end)
+            .map(|(_, g)| &g.body)
+            .collect();
+        let base = f.body.start;
+        let body = &tokens[f.body.clone()];
+        let mut seq = Vec::new();
+        for chain in call_chains(body) {
+            let Some(pos) = chain.links.iter().position(|l| l.method == "lock") else {
+                continue;
+            };
+            let link = &chain.links[pos];
+            let abs = base + link.tok;
+            if mask[abs] || inner.iter().any(|r| r.contains(&abs)) {
+                continue;
+            }
+            let mut receiver = chain.root.join(".");
+            for l in &chain.links[..pos] {
+                receiver.push_str(&format!(".{}()", l.method));
+            }
+            seq.push(LockSite {
+                receiver,
+                line: link.line,
+            });
+        }
+        if !seq.is_empty() {
+            out.push(seq);
+        }
+    }
+    out
+}
+
+/// Merge every file's sequences into the acquired-before graph and report
+/// each pair of locks taken in both orders, applying per-file pragmas.
+pub fn check_lock_order(files: &[FileLocks]) -> LockOrderOutcome {
+    // (first, second) -> first site where `second` was acquired while
+    // `first` was (conservatively) held.
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for fl in files {
+        for seq in &fl.seqs {
+            for i in 0..seq.len() {
+                for j in i + 1..seq.len() {
+                    let (a, b) = (&seq[i], &seq[j]);
+                    if a.receiver == b.receiver {
+                        continue;
+                    }
+                    edges
+                        .entry((a.receiver.clone(), b.receiver.clone()))
+                        .or_insert((fl.file.clone(), b.line));
+                }
+            }
+        }
+    }
+
+    let mut outcome = LockOrderOutcome::default();
+    let mut raw: Vec<Finding> = Vec::new();
+    for ((a, b), (file, line)) in &edges {
+        // Visit each unordered pair once.
+        if a >= b {
+            continue;
+        }
+        let Some((rfile, rline)) = edges.get(&(b.clone(), a.clone())) else {
+            continue;
+        };
+        raw.push(Finding {
+            file: file.clone(),
+            line: *line,
+            rule: "lock-order",
+            message: format!(
+                "lock-order inversion: `{a}` is held when `{b}` is acquired here, but {rfile}:{rline} acquires them in the opposite order — deadlock under an unlucky interleaving; pick one global order or pragma the proven-disjoint pair"
+            ),
+        });
+        raw.push(Finding {
+            file: rfile.clone(),
+            line: *rline,
+            rule: "lock-order",
+            message: format!(
+                "lock-order inversion: `{b}` is held when `{a}` is acquired here, but {file}:{line} acquires them in the opposite order — deadlock under an unlucky interleaving; pick one global order or pragma the proven-disjoint pair"
+            ),
+        });
+    }
+
+    for f in raw {
+        let waiver = files.iter().find(|fl| fl.file == f.file).and_then(|fl| {
+            fl.allows
+                .iter()
+                .find(|&&l| l == f.line || l + 1 == f.line)
+                .copied()
+        });
+        match waiver {
+            Some(line) => {
+                outcome.suppressed += 1;
+                if !outcome.used_allows.contains(&(f.file.clone(), line)) {
+                    outcome.used_allows.push((f.file.clone(), line));
+                }
+            }
+            None => outcome.findings.push(f),
+        }
+    }
+    outcome
+        .findings
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    outcome.used_allows.sort();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask_for;
+
+    fn locks_of(src: &str) -> FileLocks {
+        let lexed = lex(src);
+        let parsed = ParsedFile::parse(&lexed.tokens);
+        let mask = test_mask_for(&lexed.tokens);
+        FileLocks {
+            file: "test.rs".into(),
+            seqs: lock_sequences(&lexed.tokens, &mask, &parsed),
+            allows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sequences_follow_source_order() {
+        let fl = locks_of(
+            "fn f(&self) {\n    let a = self.core.lock();\n    let b = self.aux.lock();\n}\n",
+        );
+        assert_eq!(fl.seqs.len(), 1);
+        let recv: Vec<&str> = fl.seqs[0].iter().map(|s| s.receiver.as_str()).collect();
+        assert_eq!(recv, vec!["self.core", "self.aux"]);
+    }
+
+    #[test]
+    fn nested_fn_locks_do_not_leak_into_parent() {
+        let fl = locks_of(
+            "fn outer(&self) {\n    fn inner(s: &S) { s.aux.lock(); }\n    self.core.lock();\n}\n",
+        );
+        // Two sequences of one lock each — no ordered pair exists.
+        assert_eq!(fl.seqs.len(), 2);
+        assert!(fl.seqs.iter().all(|s| s.len() == 1));
+        let out = check_lock_order(&[fl]);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn consistent_global_order_is_clean() {
+        let a = locks_of("fn f(&self) { self.core.lock(); self.aux.lock(); }\n");
+        let b = locks_of("fn g(&self) { self.core.lock(); self.aux.lock(); }\n");
+        let out = check_lock_order(&[a, b]);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn seeded_inversion_is_caught_across_files() {
+        // The planted bug: one file locks core→aux, another aux→core.
+        let mut a = locks_of("fn f(&self) {\n    self.core.lock();\n    self.aux.lock();\n}\n");
+        a.file = "crates/x/src/a.rs".into();
+        let mut b = locks_of("fn g(&self) {\n    self.aux.lock();\n    self.core.lock();\n}\n");
+        b.file = "crates/x/src/b.rs".into();
+        let out = check_lock_order(&[a, b]);
+        assert_eq!(out.findings.len(), 2, "{:?}", out.findings);
+        assert!(out.findings[0].message.contains("opposite order"));
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.file == "crates/x/src/a.rs" && f.line == 3));
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.file == "crates/x/src/b.rs" && f.line == 3));
+    }
+
+    #[test]
+    fn pragma_waives_one_direction_and_is_marked_used() {
+        let mut a = locks_of("fn f(&self) {\n    self.core.lock();\n    self.aux.lock();\n}\n");
+        a.file = "a.rs".into();
+        a.allows = vec![2]; // line above the second acquisition
+        let mut b = locks_of("fn g(&self) { self.aux.lock(); self.core.lock(); }\n");
+        b.file = "b.rs".into();
+        b.allows = vec![1];
+        let out = check_lock_order(&[a, b]);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.suppressed, 2);
+        assert_eq!(
+            out.used_allows,
+            vec![("a.rs".to_string(), 2), ("b.rs".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn guard_receivers_render_through_calls() {
+        let fl = locks_of("fn f(&self) { self.state().lock(); }\n");
+        assert_eq!(fl.seqs[0][0].receiver, "self.state()");
+    }
+
+    #[test]
+    fn test_code_locks_are_masked() {
+        let fl = locks_of(
+            "#[cfg(test)]\nmod tests {\n    fn t(s: &S) { s.aux.lock(); s.core.lock(); }\n}\n",
+        );
+        assert!(fl.seqs.is_empty(), "{:?}", fl.seqs);
+    }
+}

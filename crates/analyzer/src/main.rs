@@ -1,17 +1,29 @@
-//! CLI for the analyzer: `lint` and `check-ntcp` subcommands.
+//! CLI for the analyzer: `lint`, `check-ntcp`, `check-portal`, and
+//! `bench` subcommands.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use neesgrid_analyzer::baseline::{regressions_text, Baseline};
+use neesgrid_analyzer::portal_checker::{check_portal, PortalCheckConfig, PortalMutation};
 use neesgrid_analyzer::{check, report, rules, CheckConfig, Mutation};
 
 const USAGE: &str = "\
-neesgrid-analyzer — workspace invariant linter + NTCP schedule checker
+neesgrid-analyzer — workspace invariant linter + exhaustive schedule checkers
 
 USAGE:
-    neesgrid-analyzer lint [--json] [--root <dir>]
+    neesgrid-analyzer lint [--json] [--root <dir>] [--baseline <file>]
+                           [--write-baseline <file>]
     neesgrid-analyzer check-ntcp [--json] [--dup-budget N] [--drop-budget N]
                                  [--max-schedules N] [--mutate clear-dedup-on-restore]
+    neesgrid-analyzer check-portal [--json] [--submissions N] [--steps N]
+                                   [--kill-budget N] [--cancel-budget N]
+                                   [--max-schedules N] [--mutate skip-cancel-refund]
+    neesgrid-analyzer bench [--out <file>]
+
+lint --baseline fails (exit 1) when any (file, rule) cell exceeds the
+committed counts — new violations and new pragmas both trip the ratchet.
+--write-baseline regenerates the snapshot (review the diff like code).
 
 Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
 ";
@@ -21,6 +33,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("check-ntcp") => run_check(&args[1..]),
+        Some("check-portal") => run_check_portal(&args[1..]),
+        Some("bench") => run_bench(&args[1..]),
         _ => {
             eprint!("{USAGE}");
             ExitCode::from(2)
@@ -48,6 +62,8 @@ fn find_root(start: PathBuf) -> Option<PathBuf> {
 fn run_lint(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -55,6 +71,14 @@ fn run_lint(args: &[String]) -> ExitCode {
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory"),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a file"),
+            },
+            "--write-baseline" => match it.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => return usage("--write-baseline needs a file"),
             },
             other => return usage(&format!("unknown lint flag '{other}'")),
         }
@@ -69,32 +93,103 @@ fn run_lint(args: &[String]) -> ExitCode {
         Some(r) => r,
         None => return usage("cannot locate workspace root; pass --root"),
     };
-    match rules::lint_workspace(&root) {
-        Ok(summary) => {
-            // A gate that scanned nothing proves nothing — refuse to pass
-            // vacuously (wrong --root, renamed crates dir, …).
-            if summary.files_scanned == 0 {
-                eprintln!(
-                    "analyzer: no lintable files under {} — wrong workspace root?",
-                    root.display()
-                );
-                return ExitCode::from(2);
-            }
-            if json {
-                println!("{}", report::lint_json(&summary));
-            } else {
-                print!("{}", report::lint_text(&summary));
-            }
-            if summary.findings.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
+    let summary = match rules::lint_workspace(&root) {
+        Ok(summary) => summary,
         Err(e) => {
             eprintln!("analyzer: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    // A gate that scanned nothing proves nothing — refuse to pass
+    // vacuously (wrong --root, renamed crates dir, …).
+    if summary.files_scanned == 0 {
+        eprintln!(
+            "analyzer: no lintable files under {} — wrong workspace root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    if let Some(path) = write_baseline {
+        let snapshot = Baseline::from_summary(&summary);
+        let text = match serde_json::to_string_pretty(&snapshot.to_json()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("analyzer: baseline unencodable: {e:?}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, text + "\n") {
+            eprintln!("analyzer: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "analyzer: baseline written to {} ({} findings, {} suppressed sites accepted)",
+            path.display(),
+            summary.findings.len(),
+            summary.suppressed,
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Against a baseline, the ratchet decides the exit code: accepted
+    // debt passes, anything beyond it fails.
+    let regressions = match &baseline_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("analyzer: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let base = match Baseline::from_json(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("analyzer: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            Some(base.check(&summary))
+        }
+        None => None,
+    };
+
+    if json {
+        let mut v = report::lint_json(&summary);
+        if let Some(regs) = &regressions {
+            if let serde_json::Value::Object(map) = &mut v {
+                map.insert(
+                    "baseline_regressions".into(),
+                    serde_json::json!(regs
+                        .iter()
+                        .map(|r| serde_json::json!({
+                            "file": r.file,
+                            "rule": r.rule,
+                            "kind": r.kind,
+                            "allowed": r.allowed as u64,
+                            "actual": r.actual as u64,
+                        }))
+                        .collect::<Vec<serde_json::Value>>()),
+                );
+            }
+        }
+        println!("{v}");
+    } else {
+        print!("{}", report::lint_text(&summary));
+        if let Some(regs) = &regressions {
+            print!("{}", regressions_text(regs));
+            println!("analyzer: baseline ratchet: {} regression(s)", regs.len());
+        }
+    }
+    let failed = match &regressions {
+        Some(regs) => !regs.is_empty(),
+        None => !summary.findings.is_empty(),
+    };
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -147,6 +242,133 @@ fn run_check(args: &[String]) -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+fn run_check_portal(args: &[String]) -> ExitCode {
+    let mut cfg = PortalCheckConfig::default();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--submissions" => match next_num(&mut it, "--submissions") {
+                Ok(n) => cfg.submissions = n as usize,
+                Err(e) => return usage(&e),
+            },
+            "--steps" => match next_num(&mut it, "--steps") {
+                Ok(n) => cfg.steps = n as usize,
+                Err(e) => return usage(&e),
+            },
+            "--kill-budget" => match next_num(&mut it, "--kill-budget") {
+                Ok(n) => cfg.kill_budget = n as usize,
+                Err(e) => return usage(&e),
+            },
+            "--cancel-budget" => match next_num(&mut it, "--cancel-budget") {
+                Ok(n) => cfg.cancel_budget = n as usize,
+                Err(e) => return usage(&e),
+            },
+            "--max-schedules" => match next_num(&mut it, "--max-schedules") {
+                Ok(n) => cfg.max_schedules = n,
+                Err(e) => return usage(&e),
+            },
+            "--mutate" => match it.next().map(String::as_str) {
+                Some("skip-cancel-refund") => cfg.mutation = Some(PortalMutation::SkipCancelRefund),
+                _ => return usage("--mutate takes 'skip-cancel-refund'"),
+            },
+            other => return usage(&format!("unknown check-portal flag '{other}'")),
+        }
+    }
+    // analyzer:allow(no-wall-clock, reason = "host-side progress timing for the report, not simulation state")
+    let started = std::time::Instant::now();
+    let report_data = check_portal(&cfg);
+    let elapsed_ms = started.elapsed().as_millis();
+    if json {
+        println!("{}", report::portal_check_json(&report_data, elapsed_ms));
+    } else {
+        print!("{}", report::portal_check_text(&report_data, elapsed_ms));
+    }
+    if report_data.violation.is_none() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// `bench`: run both exhaustive checkers at their default configs and
+/// record schedule counts + wall time, optionally into a JSON file for
+/// `scripts/bench.sh` trend tracking.
+fn run_bench(args: &[String]) -> ExitCode {
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => return usage("--out needs a file"),
+            },
+            other => return usage(&format!("unknown bench flag '{other}'")),
+        }
+    }
+
+    // analyzer:allow(no-wall-clock, reason = "host-side bench timing for the report, not simulation state")
+    let started = std::time::Instant::now();
+    let ntcp = check(&CheckConfig::default());
+    let ntcp_ms = started.elapsed().as_millis();
+    if let Some(v) = &ntcp.violation {
+        eprintln!(
+            "bench: check-ntcp found a violation: {} — {}",
+            v.invariant, v.detail
+        );
+        return ExitCode::from(1);
+    }
+    println!(
+        "bench: check-ntcp {} schedules (deepest {}) in {} ms",
+        ntcp.schedules, ntcp.deepest, ntcp_ms
+    );
+
+    // analyzer:allow(no-wall-clock, reason = "host-side bench timing for the report, not simulation state")
+    let started = std::time::Instant::now();
+    let portal = check_portal(&PortalCheckConfig::default());
+    let portal_ms = started.elapsed().as_millis();
+    if let Some(v) = &portal.violation {
+        eprintln!(
+            "bench: check-portal found a violation: {} — {}",
+            v.invariant, v.detail
+        );
+        return ExitCode::from(1);
+    }
+    println!(
+        "bench: check-portal {} schedules (deepest {}) in {} ms",
+        portal.schedules, portal.deepest, portal_ms
+    );
+
+    if let Some(path) = out_path {
+        let doc = serde_json::json!({
+            "check_ntcp": {
+                "schedules": ntcp.schedules,
+                "deepest": ntcp.deepest as u64,
+                "elapsed_ms": ntcp_ms as u64,
+            },
+            "check_portal": {
+                "schedules": portal.schedules,
+                "deepest": portal.deepest as u64,
+                "elapsed_ms": portal_ms as u64,
+            },
+        });
+        let text = match serde_json::to_string_pretty(&doc) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench: unencodable: {e:?}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, text + "\n") {
+            eprintln!("bench: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("bench: wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
 }
 
 fn usage(msg: &str) -> ExitCode {

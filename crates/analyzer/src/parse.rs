@@ -1,0 +1,693 @@
+//! A lightweight parse layer over the token stream.
+//!
+//! The token-stream rules of PR 2 ask "which tokens appear"; the contract
+//! rules of this layer ask "*what* is iterated, locked, or constructed".
+//! That needs just enough structure — no full grammar:
+//!
+//! * the **use graph** ([`UsePath`]): every `use` declaration flattened,
+//!   `{…}` groups expanded and `as` aliases recorded, so a rule can tell
+//!   that `Map` *is* `std::collections::HashMap` in this file;
+//! * **items**: struct declarations with their fields' type text (enough
+//!   to see `Arc<Mutex<HashMap<…>>>` through the wrappers) and function
+//!   bodies as token ranges;
+//! * **method-call chains** ([`Chain`]): a receiver path (`self.sessions`,
+//!   `guard`) plus the ordered `.method(…)` links hanging off it, which is
+//!   what the `no-hash-iteration` and `lock-order` passes walk.
+//!
+//! Everything here is resilient by construction: unparseable stretches are
+//! skipped, never fatal, because a linter that dies on odd syntax is worse
+//! than one that under-reports it.
+
+use std::ops::Range;
+
+use crate::lexer::{Delim, TokKind, Token};
+
+/// One flattened `use` path, e.g. `std::collections::HashMap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsePath {
+    /// Path segments, in order.
+    pub segments: Vec<String>,
+    /// The name this import binds (`as` alias, or the last segment).
+    pub binding: String,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+}
+
+/// A struct field with its type rendered back to text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Type text with whitespace collapsed, e.g. `Arc<Mutex<HashMap<K,V>>>`.
+    pub ty: String,
+    /// 1-based line the field starts on.
+    pub line: u32,
+}
+
+/// A struct item and its named fields (tuple structs report none).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// Named fields.
+    pub fields: Vec<Field>,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+}
+
+/// A function body located in the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Token indices of the signature, from the `fn` keyword to the body's
+    /// opening brace (exclusive) — parameter types live here.
+    pub header: Range<usize>,
+    /// Token indices of the body, exclusive of the braces.
+    pub body: Range<usize>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One `.method(…)` link of a call chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainLink {
+    /// Method name.
+    pub method: String,
+    /// 1-based line of the method identifier.
+    pub line: u32,
+    /// Token index of the method identifier.
+    pub tok: usize,
+}
+
+/// A method-call chain: the receiver path and its ordered links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// Leading receiver path, e.g. `["self", "sessions"]` or `["guard"]`.
+    /// Tuple-index fields appear as `"#"` placeholders.
+    pub root: Vec<String>,
+    /// The `.method(…)` calls, in order.
+    pub links: Vec<ChainLink>,
+    /// Token index where the chain's first root segment sits.
+    pub start: usize,
+}
+
+/// The parse-layer view of one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Flattened `use` graph.
+    pub uses: Vec<UsePath>,
+    /// Struct items with field types.
+    pub structs: Vec<StructItem>,
+    /// Function bodies (nested functions are reported separately, their
+    /// ranges contained in the parent's).
+    pub fns: Vec<FnItem>,
+}
+
+impl ParsedFile {
+    /// Parse the token stream into uses, structs, and fn bodies.
+    pub fn parse(tokens: &[Token]) -> ParsedFile {
+        let mut out = ParsedFile::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            match ident_at(tokens, i) {
+                Some("use") => {
+                    i = parse_use(tokens, i, &mut out.uses);
+                    continue;
+                }
+                Some("struct") => {
+                    if let Some(next) = parse_struct(tokens, i, &mut out.structs) {
+                        i = next;
+                        continue;
+                    }
+                }
+                Some("fn") => {
+                    if let Some((item, descend)) = parse_fn(tokens, i) {
+                        out.fns.push(item);
+                        // Descend into the body so nested fns are found.
+                        i = descend;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// The local names (binding or alias) under which any of `targets`
+    /// (full path suffixes like `collections::HashMap`) are imported.
+    pub fn bindings_of(&self, targets: &[&str]) -> Vec<String> {
+        let mut out = Vec::new();
+        for u in &self.uses {
+            let joined = u.segments.join("::");
+            if targets
+                .iter()
+                .any(|t| joined == *t || joined.ends_with(&format!("::{t}")))
+            {
+                out.push(u.binding.clone());
+            }
+        }
+        out
+    }
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Parse `use a::b::{c, d as e};` starting at the `use` keyword; returns
+/// the index just past the terminating `;`.
+fn parse_use(tokens: &[Token], at: usize, out: &mut Vec<UsePath>) -> usize {
+    let line = tokens[at].line;
+    let mut i = at + 1;
+    let mut prefix: Vec<String> = Vec::new();
+    collect_use_tree(tokens, &mut i, &mut prefix, line, out);
+    // Skip to just past the `;` (collect_use_tree stops at it or at EOF).
+    while i < tokens.len() && tokens[i].kind != TokKind::Semi {
+        i += 1;
+    }
+    i + 1
+}
+
+/// Recursive descent over one use-tree level. `i` advances in place.
+fn collect_use_tree(
+    tokens: &[Token],
+    i: &mut usize,
+    prefix: &mut Vec<String>,
+    line: u32,
+    out: &mut Vec<UsePath>,
+) {
+    let depth_here = prefix.len();
+    loop {
+        match tokens.get(*i).map(|t| &t.kind) {
+            Some(TokKind::Ident(s)) if s == "as" => {
+                *i += 1;
+                if let Some(alias) = ident_at(tokens, *i) {
+                    out.push(UsePath {
+                        segments: prefix.clone(),
+                        binding: alias.to_string(),
+                        line,
+                    });
+                    *i += 1;
+                }
+                prefix.truncate(depth_here);
+            }
+            Some(TokKind::Ident(s)) => {
+                prefix.push(s.clone());
+                *i += 1;
+                match tokens.get(*i).map(|t| &t.kind) {
+                    Some(TokKind::PathSep) => {
+                        *i += 1;
+                    }
+                    Some(TokKind::Ident(a)) if a == "as" => { /* handled next loop */ }
+                    _ => {
+                        // Path ends here: bind the last segment.
+                        out.push(UsePath {
+                            segments: prefix.clone(),
+                            binding: prefix.last().cloned().unwrap_or_default(),
+                            line,
+                        });
+                        prefix.truncate(depth_here);
+                    }
+                }
+            }
+            Some(TokKind::Op('*')) => {
+                // Glob import: record with a `*` binding (unusable as an
+                // alias, but keeps the graph complete).
+                out.push(UsePath {
+                    segments: prefix.clone(),
+                    binding: "*".to_string(),
+                    line,
+                });
+                *i += 1;
+                prefix.truncate(depth_here);
+            }
+            Some(TokKind::Open(Delim::Brace)) => {
+                *i += 1;
+                collect_use_tree(tokens, i, prefix, line, out);
+                prefix.truncate(depth_here);
+            }
+            Some(TokKind::Comma) => {
+                *i += 1;
+                prefix.truncate(depth_here);
+            }
+            Some(TokKind::Close(Delim::Brace)) => {
+                *i += 1;
+                return;
+            }
+            Some(TokKind::Semi) | None => return,
+            _ => {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Parse a struct declaration at the `struct` keyword. Returns the index
+/// just past the item, or `None` if this isn't a declaration site (e.g.
+/// the ident `struct` appearing in other positions).
+fn parse_struct(tokens: &[Token], at: usize, out: &mut Vec<StructItem>) -> Option<usize> {
+    let line = tokens[at].line;
+    let name = ident_at(tokens, at + 1)?.to_string();
+    let mut i = at + 2;
+    // Skip generics `<…>` by angle-depth counting.
+    if matches!(tokens.get(i).map(|t| &t.kind), Some(TokKind::Op('<'))) {
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match tokens[i].kind {
+                TokKind::Op('<') => depth += 1,
+                TokKind::Op('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Skip a where-clause up to the body/semicolon.
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokKind::Semi => {
+                // Unit struct (or tuple struct whose parens we skipped past).
+                out.push(StructItem {
+                    name,
+                    fields: Vec::new(),
+                    line,
+                });
+                return Some(i + 1);
+            }
+            TokKind::Open(Delim::Paren) => {
+                // Tuple struct: skip the parens, fields are unnamed.
+                let close = matching_tok(tokens, i, Delim::Paren)?;
+                i = close + 1;
+            }
+            TokKind::Open(Delim::Brace) => {
+                let close = matching_tok(tokens, i, Delim::Brace)?;
+                let fields = parse_fields(&tokens[i + 1..close]);
+                out.push(StructItem { name, fields, line });
+                return Some(close + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Parse `name: Type,` field lists inside a struct body.
+fn parse_fields(body: &[Token]) -> Vec<Field> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // Skip attributes and doc comments.
+        match &body[i].kind {
+            TokKind::DocComment => {
+                i += 1;
+                continue;
+            }
+            TokKind::Pound => {
+                if let Some(close) = matching_tok(body, i + 1, Delim::Bracket) {
+                    i = close + 1;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        // Optional `pub` / `pub(crate)` prefix.
+        if ident_at(body, i) == Some("pub") {
+            i += 1;
+            if matches!(
+                body.get(i).map(|t| &t.kind),
+                Some(TokKind::Open(Delim::Paren))
+            ) {
+                if let Some(close) = matching_tok(body, i, Delim::Paren) {
+                    i = close + 1;
+                }
+            }
+        }
+        let Some(name) = ident_at(body, i) else {
+            i += 1;
+            continue;
+        };
+        if !matches!(body.get(i + 1).map(|t| &t.kind), Some(TokKind::Op(':'))) {
+            i += 1;
+            continue;
+        }
+        let line = body[i].line;
+        let name = name.to_string();
+        // Type text runs to the next comma at angle/paren depth zero.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        let ty_start = j;
+        while j < body.len() {
+            match body[j].kind {
+                TokKind::Op('<') => angle += 1,
+                TokKind::Op('>') => angle -= 1,
+                TokKind::Open(Delim::Paren) => paren += 1,
+                TokKind::Close(Delim::Paren) => paren -= 1,
+                TokKind::Comma if angle <= 0 && paren <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(Field {
+            name,
+            ty: render(&body[ty_start..j]),
+            line,
+        });
+        i = j + 1;
+    }
+    out
+}
+
+/// Parse a fn at the `fn` keyword; returns the item and the index to
+/// continue scanning from (inside the body, so nested fns are seen).
+fn parse_fn(tokens: &[Token], at: usize) -> Option<(FnItem, usize)> {
+    let line = tokens[at].line;
+    let name = ident_at(tokens, at + 1)?.to_string();
+    let mut j = at + 2;
+    let open = loop {
+        match tokens.get(j).map(|t| &t.kind) {
+            Some(TokKind::Open(Delim::Brace)) => break j,
+            Some(TokKind::Semi) | None => return None, // bodyless signature
+            _ => j += 1,
+        }
+    };
+    let close = matching_tok(tokens, open, Delim::Brace).unwrap_or(tokens.len() - 1);
+    Some((
+        FnItem {
+            name,
+            header: at..open,
+            body: open + 1..close,
+            line,
+        },
+        open + 1,
+    ))
+}
+
+/// Index of the delimiter closing the one opened at `open`.
+fn matching_tok(tokens: &[Token], open: usize, delim: Delim) -> Option<usize> {
+    if !matches!(tokens.get(open).map(|t| &t.kind), Some(TokKind::Open(d)) if *d == delim) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokKind::Open(d) if *d == delim => depth += 1,
+            TokKind::Close(d) if *d == delim => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Render tokens back to compact text (whitespace collapsed, literals as
+/// `_`). Good enough to substring-match type names through wrappers.
+pub fn render(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        match &t.kind {
+            TokKind::Ident(id) => {
+                if s.ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+                    s.push(' ');
+                }
+                s.push_str(id);
+            }
+            TokKind::PathSep => s.push_str("::"),
+            TokKind::Dot => s.push('.'),
+            TokKind::Comma => s.push(','),
+            TokKind::Semi => s.push(';'),
+            TokKind::Pound => s.push('#'),
+            TokKind::Bang => s.push('!'),
+            TokKind::Lit => s.push('_'),
+            TokKind::DocComment => {}
+            TokKind::Open(Delim::Paren) => s.push('('),
+            TokKind::Close(Delim::Paren) => s.push(')'),
+            TokKind::Open(Delim::Bracket) => s.push('['),
+            TokKind::Close(Delim::Bracket) => s.push(']'),
+            TokKind::Open(Delim::Brace) => s.push('{'),
+            TokKind::Close(Delim::Brace) => s.push('}'),
+            TokKind::Op(c) => s.push(*c),
+        }
+    }
+    s
+}
+
+/// Extract every method-call chain in `body` (token indices are relative
+/// to the slice handed in). A chain starts at a path not preceded by `.`
+/// and records each `.method(…)` link; plain field accesses extend the
+/// root until the first call.
+pub fn call_chains(body: &[Token]) -> Vec<Chain> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // A chain root starts at an identifier not preceded by `.` or `::`.
+        let starts_root = matches!(&body[i].kind, TokKind::Ident(_))
+            && (i == 0 || !matches!(body[i - 1].kind, TokKind::Dot | TokKind::PathSep));
+        if !starts_root {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut root: Vec<String> = Vec::new();
+        // Leading `a::b::c` path.
+        while let Some(TokKind::Ident(s)) = body.get(i).map(|t| &t.kind) {
+            root.push(s.clone());
+            i += 1;
+            if matches!(body.get(i).map(|t| &t.kind), Some(TokKind::PathSep)) {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        // `.field` accesses extend the root; the first `.method(` starts
+        // the links.
+        let mut links: Vec<ChainLink> = Vec::new();
+        loop {
+            if !matches!(body.get(i).map(|t| &t.kind), Some(TokKind::Dot)) {
+                break;
+            }
+            match body.get(i + 1).map(|t| &t.kind) {
+                Some(TokKind::Ident(m)) => {
+                    let is_call = matches!(
+                        body.get(i + 2).map(|t| &t.kind),
+                        Some(TokKind::Open(Delim::Paren))
+                    ) || (
+                        // Turbofish: `.collect::<T>()`.
+                        matches!(body.get(i + 2).map(|t| &t.kind), Some(TokKind::PathSep))
+                            && matches!(body.get(i + 3).map(|t| &t.kind), Some(TokKind::Op('<')))
+                    );
+                    if is_call {
+                        links.push(ChainLink {
+                            method: m.clone(),
+                            line: body[i + 1].line,
+                            tok: i + 1,
+                        });
+                        // Skip past the call's argument list (and any
+                        // turbofish) so nested chains inside arguments are
+                        // scanned on their own.
+                        let mut k = i + 2;
+                        if matches!(body.get(k).map(|t| &t.kind), Some(TokKind::PathSep)) {
+                            // `::<…>` — skip to the matching `>`.
+                            k += 1;
+                            let mut depth = 0i32;
+                            while k < body.len() {
+                                match body[k].kind {
+                                    TokKind::Op('<') => depth += 1,
+                                    TokKind::Op('>') => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            k += 1;
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                        }
+                        if matches!(
+                            body.get(k).map(|t| &t.kind),
+                            Some(TokKind::Open(Delim::Paren))
+                        ) {
+                            match matching_tok(body, k, Delim::Paren) {
+                                Some(close) => {
+                                    // Recurse into the argument list so
+                                    // chains inside closures and nested
+                                    // calls are found on their own.
+                                    let off = k + 1;
+                                    for mut c in call_chains(&body[off..close]) {
+                                        c.start += off;
+                                        for l in &mut c.links {
+                                            l.tok += off;
+                                        }
+                                        out.push(c);
+                                    }
+                                    i = close + 1;
+                                }
+                                None => {
+                                    i = body.len();
+                                }
+                            }
+                        } else {
+                            i = k;
+                        }
+                    } else if links.is_empty() {
+                        // Field access before any call: part of the root.
+                        root.push(m.clone());
+                        i += 2;
+                    } else {
+                        // Field access after a call (`x.lock().field`):
+                        // ends the interesting part of the chain.
+                        i += 2;
+                        break;
+                    }
+                }
+                Some(TokKind::Lit) if links.is_empty() => {
+                    // Tuple index in the root (`pair.0`).
+                    root.push("#".to_string());
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        if !links.is_empty() {
+            out.push(Chain { root, links, start });
+        }
+        if i == start {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        ParsedFile::parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn use_graph_flattens_groups_and_aliases() {
+        let p = parse(
+            "use std::collections::{HashMap, BTreeMap as Sorted};\nuse std::sync::Arc;\nuse crate::x::*;\n",
+        );
+        let bindings: Vec<(&str, &str)> = p
+            .uses
+            .iter()
+            .map(|u| {
+                (
+                    u.binding.as_str(),
+                    u.segments.last().map(String::as_str).unwrap_or(""),
+                )
+            })
+            .collect();
+        assert!(bindings.contains(&("HashMap", "HashMap")));
+        assert!(bindings.contains(&("Sorted", "BTreeMap")));
+        assert!(bindings.contains(&("Arc", "Arc")));
+        assert!(bindings.contains(&("*", "x")));
+        assert_eq!(
+            p.bindings_of(&["collections::HashMap"]),
+            vec!["HashMap".to_string()]
+        );
+        assert_eq!(
+            p.bindings_of(&["collections::BTreeMap"]),
+            vec!["Sorted".to_string()]
+        );
+    }
+
+    #[test]
+    fn struct_fields_carry_type_text() {
+        let p = parse(
+            "pub struct Dir {\n    /// doc\n    pub sessions: HashMap<Name, Session>,\n    inner: Arc<Mutex<HashMap<LinkKey, LinkStats>>>,\n    n: usize,\n}\nstruct Unit;\nstruct Tup(u8, u8);\n",
+        );
+        assert_eq!(p.structs.len(), 3);
+        let dir = &p.structs[0];
+        assert_eq!(dir.name, "Dir");
+        assert_eq!(dir.fields.len(), 3);
+        assert_eq!(dir.fields[0].name, "sessions");
+        assert!(dir.fields[0].ty.contains("HashMap<Name,Session>"));
+        assert!(dir.fields[1]
+            .ty
+            .contains("Mutex<HashMap<LinkKey,LinkStats>>"));
+        assert_eq!(p.structs[1].fields.len(), 0);
+        assert_eq!(p.structs[2].fields.len(), 0);
+    }
+
+    #[test]
+    fn fn_bodies_are_ranged_and_nested_fns_found() {
+        let src = "fn outer() {\n    fn inner() { x(); }\n    y();\n}\nfn sig();\n";
+        let p = parse(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        let outer = &p.fns[0];
+        let inner = &p.fns[1];
+        assert!(outer.body.start < inner.body.start && inner.body.end < outer.body.end);
+    }
+
+    #[test]
+    fn call_chains_resolve_roots_and_links() {
+        let toks = lex(
+            "self.sessions.values().filter(|s| s.ok()).count();\nm.iter();\nstd::mem::drop(x);\n",
+        )
+        .tokens;
+        let chains = call_chains(&toks);
+        let summary: Vec<(Vec<String>, Vec<String>)> = chains
+            .iter()
+            .map(|c| {
+                (
+                    c.root.clone(),
+                    c.links.iter().map(|l| l.method.clone()).collect(),
+                )
+            })
+            .collect();
+        assert!(summary.contains(&(
+            vec!["self".into(), "sessions".into()],
+            vec!["values".into(), "filter".into(), "count".into()]
+        )));
+        assert!(summary.contains(&(vec!["m".into()], vec!["iter".into()])));
+        // Closure arguments are scanned independently.
+        assert!(summary.contains(&(vec!["s".into()], vec!["ok".into()])));
+    }
+
+    #[test]
+    fn turbofish_collect_is_a_link() {
+        let toks = lex("let v = m.iter().collect::<Vec<_>>();").tokens;
+        let chains = call_chains(&toks);
+        assert_eq!(chains.len(), 1);
+        let methods: Vec<&str> = chains[0].links.iter().map(|l| l.method.as_str()).collect();
+        assert_eq!(methods, vec!["iter", "collect"]);
+    }
+
+    #[test]
+    fn guard_field_access_ends_chain_root() {
+        // `x.lock().field.iter()` — the iter belongs to a post-call chain,
+        // but the root chain records lock first.
+        let toks = lex("self.inner.lock();").tokens;
+        let chains = call_chains(&toks);
+        assert_eq!(
+            chains[0].root,
+            vec!["self".to_string(), "inner".to_string()]
+        );
+        assert_eq!(chains[0].links[0].method, "lock");
+    }
+}

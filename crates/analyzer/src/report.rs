@@ -3,6 +3,7 @@
 use serde_json::{json, Value};
 
 use crate::checker::CheckReport;
+use crate::portal_checker::PortalCheckReport;
 use crate::rules::LintSummary;
 
 /// Human-readable lint report: one `file:line: [rule] message` per
@@ -100,6 +101,55 @@ pub fn check_json(report: &CheckReport, elapsed_ms: u128) -> Value {
     })
 }
 
+/// Human-readable portal-checker report.
+pub fn portal_check_text(report: &PortalCheckReport, elapsed_ms: u128) -> String {
+    let mut out = format!(
+        "check-portal: {} schedule(s) explored (deepest {} events) in {} ms{}\n",
+        report.schedules,
+        report.deepest,
+        elapsed_ms,
+        if report.truncated {
+            " [truncated by --max-schedules]"
+        } else {
+            ""
+        }
+    );
+    match &report.violation {
+        None => out.push_str(
+            "check-portal: all schedules satisfy at-most-once, budget-conservation, \
+             bit-identical-completion\n",
+        ),
+        Some(v) => {
+            out.push_str(&format!(
+                "check-portal: VIOLATION of {} — {}\n  schedule:\n",
+                v.invariant, v.detail
+            ));
+            for (i, step) in v.trace.iter().enumerate() {
+                out.push_str(&format!("    {:>2}. {step}\n", i + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Machine-readable portal-checker report.
+pub fn portal_check_json(report: &PortalCheckReport, elapsed_ms: u128) -> Value {
+    json!({
+        "schedules": report.schedules,
+        "deepest": report.deepest,
+        "elapsed_ms": elapsed_ms as u64,
+        "truncated": report.truncated,
+        "violation": match &report.violation {
+            None => Value::Null,
+            Some(v) => json!({
+                "invariant": v.invariant,
+                "detail": v.detail,
+                "trace": v.trace,
+            }),
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +166,7 @@ mod tests {
             }],
             files_scanned: 3,
             suppressed: 2,
+            suppressed_sites: Default::default(),
         };
         let text = lint_text(&summary);
         assert!(text.contains("crates/x/src/lib.rs:7: [no-unwrap] bad"));
@@ -130,6 +181,7 @@ mod tests {
             findings: vec![],
             files_scanned: 5,
             suppressed: 1,
+            suppressed_sites: Default::default(),
         };
         let v = lint_json(&summary);
         assert_eq!(v["violations"], json!(0));

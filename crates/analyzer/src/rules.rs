@@ -1,6 +1,6 @@
 //! The invariant lint rules and the engine that applies them.
 //!
-//! Six rules, each guarding a property the rest of the workspace depends
+//! Nine rules, each guarding a property the rest of the workspace depends
 //! on but the compiler cannot check:
 //!
 //! | rule            | invariant                                              |
@@ -11,29 +11,43 @@
 //! | `missing-docs`  | public items of protocol crates carry doc comments      |
 //! | `telemetry-span-balance` | in protocol crates a function that calls `.span_start(…)` must also call `.span_end(…)`, with no `return` or `?` between the first start and the last end — the wrapper pattern that guarantees spans close on every path. Cross-function spans (the ogsi RPC call/complete pair) live in exempt crates |
 //! | `no-unbounded-channel` | queueing code (portal, coordinator, daq) never constructs an unbounded queue: `unbounded(…)`, zero-capacity `channel()`, and `VecDeque::new()` are flagged. Multi-tenant admission only sheds load if every queue has an explicit capacity and an explicit policy at the push site |
+//! | `no-hash-iteration` | replay-relevant crates (gridsim, ogsi, ntcp, coordinator, portal, telemetry) never iterate a `HashMap`/`HashSet` — hash order varies run-to-run and breaks bit-identical replay. Tracked through fields, locals, params, `use … as` aliases, and lock guards by the [`crate::parse`] layer; a `BTreeMap` conversion or an in-statement sort passes |
+//! | `lock-order` | across portal/coordinator, no two mutexes are acquired in both orders (the 2-cycle in the acquired-before graph) — see [`crate::lockorder`] |
+//! | `bounded-buffer-contract` | every channel/ring construction in queueing code carries a `// analyzer:buffer(cap = …, drop = oldest\|shed\|block)` declaration whose capacity matches the code — the machine-checked half of the bounded-buffering contract |
 //!
 //! Code inside `#[cfg(test)]` / `#[test]` regions is exempt from every
 //! rule. A finding can be waived in place with
 //! `// analyzer:allow(<rule>, reason = "…")` on the offending line or the
-//! line above; a pragma without a real reason is itself a violation.
+//! line above; a pragma without a real reason is itself a violation
+//! (`bad-pragma`), and a pragma that no longer suppresses anything is one
+//! too (`dead-pragma`) — stale waivers rot into false documentation.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use crate::contracts::{check_buffer_contract, check_hash_iteration, BufferDecl};
 use crate::lexer::{lex, Delim, Pragma, TokKind, Token};
+use crate::lockorder::{self, FileLocks};
+use crate::parse::ParsedFile;
 
-/// The six enforceable rules, in reporting order.
-pub const RULE_NAMES: [&str; 6] = [
+/// The nine enforceable rules, in reporting order.
+pub const RULE_NAMES: [&str; 9] = [
     "no-unwrap",
     "no-wall-clock",
     "no-todo",
     "missing-docs",
     "telemetry-span-balance",
     "no-unbounded-channel",
+    "no-hash-iteration",
+    "lock-order",
+    "bounded-buffer-contract",
 ];
 
 /// Rule id reported for malformed or reasonless suppression pragmas.
 pub const BAD_PRAGMA: &str = "bad-pragma";
+
+/// Rule id reported for pragmas that no longer suppress anything.
+pub const DEAD_PRAGMA: &str = "dead-pragma";
 
 /// Which rules apply to one file.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,6 +67,13 @@ pub struct RuleSet {
     pub span_balance: bool,
     /// `no-unbounded-channel` applies.
     pub bounded_queues: bool,
+    /// `no-hash-iteration` applies.
+    pub hash_iteration: bool,
+    /// `lock-order` sequences are extracted (the cross-file check runs in
+    /// [`lint_workspace`]).
+    pub lock_order: bool,
+    /// `bounded-buffer-contract` applies.
+    pub buffer_contract: bool,
 }
 
 impl RuleSet {
@@ -66,6 +87,9 @@ impl RuleSet {
             docs: true,
             span_balance: true,
             bounded_queues: true,
+            hash_iteration: true,
+            lock_order: true,
+            buffer_contract: true,
         }
     }
 }
@@ -90,6 +114,14 @@ pub struct FileOutcome {
     pub findings: Vec<Finding>,
     /// Number of findings waived by valid pragmas.
     pub suppressed: usize,
+    /// Findings waived, broken down by rule (for the baseline ratchet).
+    pub suppressed_by_rule: BTreeMap<&'static str, usize>,
+    /// Per-function lock-acquisition sequences (when `lock_order` is on;
+    /// consumed by the cross-file pass in [`lint_workspace`]).
+    pub lock_seqs: Vec<Vec<lockorder::LockSite>>,
+    /// Lines carrying `analyzer:allow(lock-order, …)` pragmas — their
+    /// dead/used status is only known after the cross-file pass.
+    pub lock_allows: Vec<u32>,
 }
 
 /// Result of linting the whole workspace.
@@ -101,6 +133,9 @@ pub struct LintSummary {
     pub files_scanned: usize,
     /// Total findings waived by valid pragmas.
     pub suppressed: usize,
+    /// Waived findings per `(file, rule)` — the baseline ratchet compares
+    /// these so a new pragma'd site fails CI just like a new violation.
+    pub suppressed_sites: BTreeMap<(String, String), usize>,
 }
 
 impl LintSummary {
@@ -118,23 +153,87 @@ impl LintSummary {
 struct Suppression {
     line: u32,
     rule: &'static str,
+    /// How many findings this pragma waived (zero at the end = dead).
+    used: usize,
 }
 
-/// Parse pragmas into suppressions; malformed ones become findings.
-fn parse_pragmas(file: &str, pragmas: &[Pragma], findings: &mut Vec<Finding>) -> Vec<Suppression> {
-    let mut out = Vec::new();
+/// Parse pragmas into suppressions and buffer declarations; malformed or
+/// unknown-kind pragmas become findings.
+fn parse_pragmas(
+    file: &str,
+    pragmas: &[Pragma],
+    findings: &mut Vec<Finding>,
+) -> (Vec<Suppression>, Vec<BufferDecl>) {
+    let mut allows = Vec::new();
+    let mut buffers = Vec::new();
     for p in pragmas {
-        match parse_pragma_text(&p.text) {
-            Ok(rule) => out.push(Suppression { line: p.line, rule }),
-            Err(why) => findings.push(Finding {
+        let parsed = match p.kind.as_str() {
+            "allow" => parse_pragma_text(&p.text).map(|rule| {
+                allows.push(Suppression {
+                    line: p.line,
+                    rule,
+                    used: 0,
+                });
+            }),
+            "buffer" => parse_buffer_text(&p.text).map(|(cap, drop)| {
+                buffers.push(BufferDecl {
+                    line: p.line,
+                    cap,
+                    drop,
+                    used: false,
+                });
+            }),
+            other => Err(format!(
+                "unknown analyzer pragma kind '{other}' — expected `allow` or `buffer`"
+            )),
+        };
+        if let Err(why) = parsed {
+            findings.push(Finding {
                 file: file.to_string(),
                 line: p.line,
                 rule: BAD_PRAGMA,
                 message: why,
-            }),
+            });
         }
     }
-    out
+    (allows, buffers)
+}
+
+/// Parse `(cap = <expr>, drop = oldest|shed|block)`.
+fn parse_buffer_text(text: &str) -> Result<(String, String), String> {
+    let body = text
+        .strip_prefix('(')
+        .and_then(|t| t.rfind(')').map(|end| &t[..end]))
+        .ok_or_else(|| {
+            "buffer pragma must be `analyzer:buffer(cap = <expr>, drop = oldest|shed|block)`"
+                .to_string()
+        })?;
+    let (cap_part, drop_part) = body
+        .rsplit_once(',')
+        .ok_or_else(|| "buffer pragma is missing the `drop = …` clause".to_string())?;
+    let cap = cap_part
+        .trim()
+        .strip_prefix("cap")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| "buffer pragma must start with `cap = <expr>`".to_string())?;
+    if cap.is_empty() {
+        return Err("buffer pragma capacity must not be empty".to_string());
+    }
+    let drop = drop_part
+        .trim()
+        .strip_prefix("drop")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| "buffer pragma is missing the `drop = …` clause".to_string())?;
+    if !matches!(drop, "oldest" | "shed" | "block") {
+        return Err(format!(
+            "buffer pragma drop policy '{drop}' must be oldest, shed, or block"
+        ));
+    }
+    Ok((cap.to_string(), drop.to_string()))
 }
 
 /// Parse `(<rule>, reason = "…")`, returning the canonical rule name.
@@ -167,6 +266,12 @@ fn parse_pragma_text(text: &str) -> Result<&'static str, String> {
         return Err("pragma reason must not be empty".to_string());
     }
     Ok(rule)
+}
+
+/// Public view of [`test_mask`] for the sibling passes (lock-order test
+/// fixtures, the contract rules).
+pub fn test_mask_for(tokens: &[Token]) -> Vec<bool> {
+    test_mask(tokens)
 }
 
 /// Mark every token that sits inside `#[cfg(test)]` / `#[test]` code.
@@ -264,7 +369,8 @@ fn matching(tokens: &[Token], open: usize, delim: Delim) -> Option<usize> {
 pub fn lint_source(file: &str, src: &str, rules: RuleSet) -> FileOutcome {
     let lexed = lex(src);
     let mut outcome = FileOutcome::default();
-    let suppressions = parse_pragmas(file, &lexed.pragmas, &mut outcome.findings);
+    let (mut suppressions, mut buffer_decls) =
+        parse_pragmas(file, &lexed.pragmas, &mut outcome.findings);
     let mask = test_mask(&lexed.tokens);
     let tokens = &lexed.tokens;
 
@@ -363,14 +469,61 @@ pub fn lint_source(file: &str, src: &str, rules: RuleSet) -> FileOutcome {
         check_span_balance(file, tokens, &mask, &mut raw);
     }
 
+    if rules.hash_iteration || rules.buffer_contract || rules.lock_order {
+        let parsed = ParsedFile::parse(tokens);
+        if rules.hash_iteration {
+            check_hash_iteration(file, tokens, &mask, &parsed, &mut raw);
+        }
+        if rules.buffer_contract {
+            check_buffer_contract(file, src, tokens, &mask, &mut buffer_decls, &mut raw);
+        }
+        if rules.lock_order {
+            outcome.lock_seqs = lockorder::lock_sequences(tokens, &mask, &parsed);
+        }
+    }
+
     for f in raw {
         let waived = suppressions
-            .iter()
-            .any(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line));
-        if waived {
+            .iter_mut()
+            .find(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line));
+        if let Some(s) = waived {
+            s.used += 1;
             outcome.suppressed += 1;
+            *outcome.suppressed_by_rule.entry(s.rule).or_insert(0) += 1;
         } else {
             outcome.findings.push(f);
+        }
+    }
+
+    // Dead-pragma accounting. `lock-order` allows are adjudicated by the
+    // cross-file pass; everything else that waived nothing is stale.
+    for s in &suppressions {
+        if s.rule == "lock-order" {
+            outcome.lock_allows.push(s.line);
+        } else if s.used == 0 {
+            outcome.findings.push(Finding {
+                file: file.to_string(),
+                line: s.line,
+                rule: DEAD_PRAGMA,
+                message: format!(
+                    "allow({}) pragma no longer suppresses anything — remove it or the invariant it documents is fiction",
+                    s.rule
+                ),
+            });
+        }
+    }
+    if rules.buffer_contract {
+        for d in &buffer_decls {
+            if !d.used {
+                outcome.findings.push(Finding {
+                    file: file.to_string(),
+                    line: d.line,
+                    rule: DEAD_PRAGMA,
+                    message:
+                        "buffer pragma attaches to no channel/ring construction on this or the next line — remove or move it"
+                            .to_string(),
+                });
+            }
         }
     }
     outcome.findings.sort_by_key(|f| f.line);
@@ -611,6 +764,28 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         bounded_queues: ["portal", "coordinator", "daq"]
             .iter()
             .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
+        // Replay-relevant crates: anything whose iteration order feeds the
+        // simulation, the wire, or a checkpoint. Hash iteration there
+        // breaks the bit-identical-replay guarantee silently.
+        hash_iteration: [
+            "gridsim",
+            "ogsi",
+            "ntcp",
+            "coordinator",
+            "portal",
+            "telemetry",
+        ]
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
+        // The crates that hold mutexes across a shared-service boundary.
+        lock_order: ["portal", "coordinator"]
+            .iter()
+            .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
+        // Same scope as `no-unbounded-channel`: where a queue must be
+        // bounded, its bound must also be declared and kept in sync.
+        buffer_contract: ["portal", "coordinator", "daq"]
+            .iter()
+            .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
     })
 }
 
@@ -641,6 +816,7 @@ pub fn lint_workspace(root: &Path) -> Result<LintSummary, String> {
     files.sort();
 
     let mut summary = LintSummary::default();
+    let mut lock_files: Vec<FileLocks> = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -655,8 +831,50 @@ pub fn lint_workspace(root: &Path) -> Result<LintSummary, String> {
         let outcome = lint_source(&rel, &src, rules);
         summary.files_scanned += 1;
         summary.suppressed += outcome.suppressed;
+        for (rule, n) in &outcome.suppressed_by_rule {
+            *summary
+                .suppressed_sites
+                .entry((rel.clone(), rule.to_string()))
+                .or_insert(0) += n;
+        }
         summary.findings.extend(outcome.findings);
+        if !outcome.lock_seqs.is_empty() || !outcome.lock_allows.is_empty() {
+            lock_files.push(FileLocks {
+                file: rel,
+                seqs: outcome.lock_seqs,
+                allows: outcome.lock_allows,
+            });
+        }
     }
+
+    // The cross-file lock-order pass, plus dead-pragma adjudication for
+    // its allows.
+    let lock_outcome = lockorder::check_lock_order(&lock_files);
+    summary.suppressed += lock_outcome.suppressed;
+    for (file, _line) in &lock_outcome.used_allows {
+        *summary
+            .suppressed_sites
+            .entry((file.clone(), "lock-order".to_string()))
+            .or_insert(0) += 1;
+    }
+    summary.findings.extend(lock_outcome.findings);
+    for fl in &lock_files {
+        for &line in &fl.allows {
+            if !lock_outcome
+                .used_allows
+                .iter()
+                .any(|(f, l)| *f == fl.file && *l == line)
+            {
+                summary.findings.push(Finding {
+                    file: fl.file.clone(),
+                    line,
+                    rule: DEAD_PRAGMA,
+                    message: "allow(lock-order) pragma no longer suppresses anything — remove it or the invariant it documents is fiction".to_string(),
+                });
+            }
+        }
+    }
+
     summary
         .findings
         .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
@@ -722,7 +940,22 @@ mod tests {
         let out = lint(
             "/// d\npub fn f(x: Option<u8>) -> u8 {\n    // analyzer:allow(no-todo, reason = \"mismatched\")\n    x.unwrap()\n}\n",
         );
-        assert_eq!(rules_of(&out), vec!["no-unwrap"]);
+        // The unwrap stays a violation, and the mismatched pragma — which
+        // suppressed nothing — is reported dead.
+        assert_eq!(rules_of(&out), vec![DEAD_PRAGMA, "no-unwrap"]);
+    }
+
+    #[test]
+    fn dead_pragmas_are_flagged_and_live_ones_are_not() {
+        let out = lint(
+            "/// d\npub fn f(x: Option<u8>) -> u8 {\n    // analyzer:allow(no-unwrap, reason = \"nothing to waive anymore\")\n    x.unwrap_or(0)\n}\n",
+        );
+        assert_eq!(rules_of(&out), vec![DEAD_PRAGMA]);
+        assert!(out.findings[0].message.contains("no longer suppresses"));
+        let out = lint(
+            "/// d\npub fn f(x: Option<u8>) -> u8 {\n    // analyzer:allow(no-unwrap, reason = \"checked above\")\n    x.unwrap()\n}\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
     }
 
     #[test]
@@ -923,8 +1156,17 @@ mod tests {
 
     #[test]
     fn bounded_constructors_unflagged() {
-        let out = lint(
+        // buffer_contract off: this test checks only that bounded ctors
+        // escape the no-unbounded-channel rule (the contract rule has its
+        // own tests in `contracts`).
+        let rules = RuleSet {
+            buffer_contract: false,
+            ..RuleSet::all()
+        };
+        let out = lint_source(
+            "test.rs",
             "fn f() {\n    let (tx, rx) = bounded(64);\n    let (a, b) = sync_channel(16);\n    let (c, d) = channel(32);\n    let q: VecDeque<u8> = VecDeque::with_capacity(8);\n}\n",
+            rules,
         );
         assert!(out.findings.is_empty(), "{:?}", out.findings);
     }
@@ -975,6 +1217,18 @@ mod tests {
                 .bounded_queues
         );
         assert!(rules_for("crates/daq/src/nsds.rs").unwrap().bounded_queues);
+        // Determinism/concurrency contracts: hash iteration everywhere
+        // replayability matters, lock order + buffer contracts where the
+        // concurrency actually lives.
+        assert!(p.hash_iteration && !p.lock_order && !p.buffer_contract);
+        assert!(t.hash_iteration);
+        assert!(o.hash_iteration);
+        assert!(!m.hash_iteration && !m.lock_order);
+        assert!(q.hash_iteration && q.lock_order && q.buffer_contract);
+        let c = rules_for("crates/coordinator/src/coordinator.rs").unwrap();
+        assert!(c.hash_iteration && c.lock_order && c.buffer_contract);
+        let d = rules_for("crates/daq/src/nsds.rs").unwrap();
+        assert!(!d.hash_iteration && !d.lock_order && d.buffer_contract);
         assert_eq!(rules_for("crates/shims/rand/src/lib.rs"), None);
         assert_eq!(rules_for("crates/ntcp/tests/integration.rs"), None);
         assert_eq!(rules_for("tests/most.rs"), None);

@@ -98,6 +98,7 @@ impl NsdsServer {
             delivered_key: format!("nsds.delivered{{{pattern}}}"),
             dropped_key: format!("nsds.dropped{{{pattern}}}"),
             pattern,
+            // analyzer:buffer(cap = capacity.min(1024), drop = oldest)
             buffer: VecDeque::with_capacity(capacity.min(1024)),
             capacity,
             dropped: 0,

@@ -241,7 +241,9 @@ impl EventEngine {
         if !s.deliveries.is_empty() {
             return true;
         }
-        // analyzer:allow(no-wall-clock, reason = "this is the one sanctioned real-time wait: the grace window for live threads (mixed deployments) to produce traffic before a virtual timer verdict stands; fully-virtual runs never reach it")
+        // This is the one sanctioned real-time wait: the grace window for
+        // live threads (mixed deployments) to produce traffic before a
+        // virtual timer verdict stands; fully-virtual runs never reach it.
         let timed_out = self.activity_cv.wait_for(&mut s, timeout).timed_out();
         !timed_out || s.activity != seen
     }

@@ -10,7 +10,7 @@
 //! clock. A [`FaultPlan`] is an explicit schedule, so the MOST scenarios in
 //! `neesgrid-most` can state precisely which messages die.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -18,7 +18,7 @@ use crate::message::MessageKind;
 use crate::node::NodeId;
 
 /// A directed link between two nodes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LinkKey {
     /// Sending node.
     pub src: NodeId,
@@ -82,7 +82,7 @@ pub struct PartitionWindow {
 /// (JSON maps cannot have structured keys).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
-    point_faults: HashMap<LinkKey, HashMap<u64, FaultAction>>,
+    point_faults: BTreeMap<LinkKey, BTreeMap<u64, FaultAction>>,
     partitions: Vec<PartitionWindow>,
     /// If true, control-plane notices themselves are exempt from faults
     /// (default). The network's own error reports are reliable.

@@ -5,7 +5,7 @@
 //! fault plan consumed — the observable side of §3.4's "several transient
 //! network failures".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -53,7 +53,7 @@ impl LinkStats {
 /// Shared, thread-safe network statistics.
 #[derive(Debug, Clone, Default)]
 pub struct NetworkStats {
-    inner: Arc<Mutex<HashMap<LinkKey, LinkStats>>>,
+    inner: Arc<Mutex<BTreeMap<LinkKey, LinkStats>>>,
 }
 
 impl NetworkStats {
@@ -92,7 +92,7 @@ impl NetworkStats {
     }
 
     /// Snapshot of every link.
-    pub fn all(&self) -> HashMap<LinkKey, LinkStats> {
+    pub fn all(&self) -> BTreeMap<LinkKey, LinkStats> {
         self.inner.lock().clone()
     }
 

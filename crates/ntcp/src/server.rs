@@ -6,7 +6,7 @@
 //! the [`ControlPlugin`].
 
 use serde_json::{json, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use neesgrid_gridsim::{SimClock, SimTime};
@@ -31,7 +31,7 @@ pub struct NtcpServer {
     policy: SitePolicy,
     plugin: Box<dyn ControlPlugin>,
     clock: Arc<SimClock>,
-    transactions: HashMap<String, Transaction>,
+    transactions: BTreeMap<String, Transaction>,
     sde: ServiceData,
     dedup: DedupCache<u64, Result<Value, ServiceFault>>,
     executions: u64,
@@ -59,7 +59,7 @@ impl NtcpServer {
             policy,
             plugin,
             clock,
-            transactions: HashMap::new(),
+            transactions: BTreeMap::new(),
             sde,
             dedup: DedupCache::new(DEDUP_CAPACITY),
             executions: 0,
@@ -293,7 +293,7 @@ impl NtcpServer {
                 ),
             ));
         }
-        let transactions: HashMap<String, Transaction> =
+        let transactions: BTreeMap<String, Transaction> =
             serde_json::from_value(snap["transactions"].clone()).map_err(|e| {
                 ServiceFault::permanent("BadSnapshot", format!("transactions: {e}"))
             })?;

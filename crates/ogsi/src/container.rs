@@ -14,7 +14,7 @@
 //! the enforcement point the paper's §4 leans on, together with per-site
 //! action limits checked inside the NTCP service itself.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -32,8 +32,8 @@ use crate::service::{CallContext, GridService};
 /// A container hosting one or more grid services on a node.
 pub struct ServiceContainer {
     endpoint: Endpoint,
-    services: HashMap<String, Box<dyn GridService>>,
-    sessions: HashMap<DistinguishedName, SecurityContext>,
+    services: BTreeMap<String, Box<dyn GridService>>,
+    sessions: BTreeMap<DistinguishedName, SecurityContext>,
     /// When true, requests from identities without an installed session are
     /// admitted (used by simulation-only phases and unit tests).
     pub allow_unauthenticated: bool,
@@ -44,8 +44,8 @@ impl ServiceContainer {
     pub fn new(endpoint: Endpoint) -> Self {
         ServiceContainer {
             endpoint,
-            services: HashMap::new(),
-            sessions: HashMap::new(),
+            services: BTreeMap::new(),
+            sessions: BTreeMap::new(),
             allow_unauthenticated: false,
         }
     }

@@ -6,7 +6,7 @@
 //! the OGSI mechanisms NEESgrid services make good use of — NTCP transaction
 //! records and NSDS subscriptions are both lease-bound.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -31,7 +31,7 @@ impl Lease {
 /// Tracks leases for a family of named resources.
 #[derive(Debug, Default)]
 pub struct LifetimeManager {
-    leases: HashMap<String, Lease>,
+    leases: BTreeMap<String, Lease>,
     /// Longest extension a single request may ask for; requests beyond it
     /// are clipped (OGSI lets the service negotiate down).
     pub max_extension: Option<SimTime>,
@@ -46,7 +46,7 @@ impl LifetimeManager {
     /// A manager that clips each extension to `max_extension`.
     pub fn with_max_extension(max_extension: SimTime) -> Self {
         LifetimeManager {
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
             max_extension: Some(max_extension),
         }
     }

@@ -9,7 +9,7 @@
 //! * *a "most recently changed" SDE* used "to monitor the behavior of the
 //!   server as a whole".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
@@ -52,7 +52,7 @@ pub struct SdeChange {
 /// same thread.
 #[derive(Debug, Default)]
 pub struct ServiceData {
-    elements: HashMap<String, ServiceDataElement>,
+    elements: BTreeMap<String, ServiceDataElement>,
     subscribers: Vec<(String, Sender<SdeChange>)>,
     most_recently_changed: Option<String>,
 }

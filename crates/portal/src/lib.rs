@@ -52,5 +52,7 @@ pub use frame::{
     Response, RunReport, RunState, MAX_FRAME_BYTES, PORTAL_SERVICE,
 };
 pub use scheduler::{SubmissionQueue, WorkerPool};
-pub use service::{Portal, PortalConfig, TickReport, BOARD_RETENTION, POLL_CHUNK_MAX};
+pub use service::{
+    Portal, PortalConfig, PortalFaults, TickReport, BOARD_RETENTION, POLL_CHUNK_MAX,
+};
 pub use tenant::{LoginError, Role, Session, TenantDirectory, TenantQuotas, TenantUsage};

@@ -23,6 +23,7 @@ impl SubmissionQueue {
     pub fn new(capacity: usize) -> SubmissionQueue {
         assert!(capacity > 0, "queue capacity must be positive");
         SubmissionQueue {
+            // analyzer:buffer(cap = capacity, drop = shed)
             queue: VecDeque::with_capacity(capacity),
             capacity,
         }

@@ -58,6 +58,18 @@ pub struct PortalConfig {
     pub slice_steps: u64,
     /// Control-plane virtual time added per tick.
     pub tick_quantum: SimTime,
+    /// Seeded faults for checker mutation testing (all off in service).
+    pub faults: PortalFaults,
+}
+
+/// Deliberate bugs the exhaustive portal checker must prove it would
+/// catch. Production deployments leave every flag off; `check-portal
+/// --mutate` flips one and demands a violated invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortalFaults {
+    /// Cancel keeps the tenant's unexecuted step budget — the classic
+    /// accounting leak where a cancelled run still counts against quota.
+    pub skip_cancel_refund: bool,
 }
 
 impl Default for PortalConfig {
@@ -69,6 +81,7 @@ impl Default for PortalConfig {
             workers: 4,
             slice_steps: 25,
             tick_quantum: SimTime::from_millis(100),
+            faults: PortalFaults::default(),
         }
     }
 }
@@ -122,6 +135,7 @@ struct Board {
 impl Board {
     fn new() -> Board {
         Board {
+            // analyzer:buffer(cap = BOARD_RETENTION, drop = oldest)
             entries: VecDeque::with_capacity(BOARD_RETENTION),
             next_seq: 0,
         }
@@ -479,9 +493,11 @@ impl PortalCore {
         // Refund the steps the run never executed.
         let usage = self.tenants.usage_mut(tenant);
         usage.in_flight = usage.in_flight.saturating_sub(1);
-        usage.steps_admitted = usage
-            .steps_admitted
-            .saturating_sub(spec.steps.saturating_sub(steps_done) as u64);
+        if !self.config.faults.skip_cancel_refund {
+            usage.steps_admitted = usage
+                .steps_admitted
+                .saturating_sub(spec.steps.saturating_sub(steps_done) as u64);
+        }
         self.counters.cancelled += 1;
         Response::Ok
     }
@@ -895,5 +911,11 @@ impl Portal {
     /// Highest concurrent session count seen.
     pub fn peak_sessions(&self) -> usize {
         self.core.lock().tenants.peak_concurrent()
+    }
+
+    /// One tenant's live usage counters — the checker's window into the
+    /// step-budget ledger (in flight, steps admitted, observer slots).
+    pub fn usage(&self, user: &DistinguishedName) -> crate::tenant::TenantUsage {
+        self.core.lock().tenants.usage(user)
     }
 }

@@ -7,7 +7,7 @@
 //! after that is keyed by the authenticated distinguished name. Quotas are
 //! per-tenant so one aggressive user cannot starve the facility.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -105,10 +105,10 @@ pub struct TenantDirectory {
     trust_root: CaVerifier,
     default_role: Role,
     default_quotas: TenantQuotas,
-    sessions: HashMap<DistinguishedName, Session>,
-    roles: HashMap<DistinguishedName, Role>,
-    quota_overrides: HashMap<DistinguishedName, TenantQuotas>,
-    usage: HashMap<DistinguishedName, TenantUsage>,
+    sessions: BTreeMap<DistinguishedName, Session>,
+    roles: BTreeMap<DistinguishedName, Role>,
+    quota_overrides: BTreeMap<DistinguishedName, TenantQuotas>,
+    usage: BTreeMap<DistinguishedName, TenantUsage>,
     peak_concurrent: usize,
 }
 
@@ -120,10 +120,10 @@ impl TenantDirectory {
             trust_root,
             default_role,
             default_quotas,
-            sessions: HashMap::new(),
-            roles: HashMap::new(),
-            quota_overrides: HashMap::new(),
-            usage: HashMap::new(),
+            sessions: BTreeMap::new(),
+            roles: BTreeMap::new(),
+            quota_overrides: BTreeMap::new(),
+            usage: BTreeMap::new(),
             peak_concurrent: 0,
         }
     }

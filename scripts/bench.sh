@@ -9,7 +9,8 @@
 # the repo root (and asserts 64-site double-run determinism); portal_load
 # drives 10,000 tenants through the portal service and writes
 # experiments/sec + p99 submission→first-step latency to BENCH_portal.json
-# (asserting zero cross-tenant leaks).
+# (asserting zero cross-tenant leaks). The analyzer stage records both
+# exhaustive checkers' schedule counts and wall time to BENCH_analyzer.json.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,6 +26,9 @@ cargo bench -p neesgrid-bench --bench sec51_n_site_scaling
 
 echo "==> portal_load (10k tenants → BENCH_portal.json)"
 cargo bench -p neesgrid-bench --bench portal_load
+
+echo "==> analyzer checkers (schedule counts → BENCH_analyzer.json)"
+cargo run -q --release -p neesgrid-analyzer -- bench --out BENCH_analyzer.json
 
 if [[ $all -eq 1 ]]; then
     echo "==> full bench suite"

@@ -19,19 +19,43 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> analyzer lint (workspace invariants)"
-# Prints the violation-count summary line used for trend tracking.
-cargo run -q -p neesgrid-analyzer -- lint
-
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo build --release (tier-1)"
     cargo build --release
 
+    echo "==> analyzer lint (workspace invariants + baseline ratchet)"
+    # Prints the violation-count summary line used for trend tracking; the
+    # committed baseline fails the gate on any new violation or new pragma.
+    cargo run -q --release -p neesgrid-analyzer -- lint --baseline analyzer-baseline.json
+
     echo "==> analyzer check-ntcp (exhaustive schedule checker)"
     cargo run -q --release -p neesgrid-analyzer -- check-ntcp
+
+    echo "==> analyzer check-portal (exhaustive scheduler checker)"
+    cargo run -q --release -p neesgrid-analyzer -- check-portal
 else
+    # The whole --quick analyzer stage (lint + both checkers at reduced
+    # budgets) carries a 10-second wall-clock budget so it stays a
+    # pre-commit-friendly gate. The binary is built outside the window.
+    cargo build -q -p neesgrid-analyzer
+    analyzer_started=$(date +%s)
+
+    echo "==> analyzer lint (workspace invariants + baseline ratchet)"
+    ./target/debug/neesgrid-analyzer lint --baseline analyzer-baseline.json
+
     echo "==> analyzer check-ntcp (reduced budgets for --quick)"
-    cargo run -q -p neesgrid-analyzer -- check-ntcp --dup-budget 1 --drop-budget 1
+    ./target/debug/neesgrid-analyzer check-ntcp --dup-budget 1 --drop-budget 1
+
+    echo "==> analyzer check-portal (reduced budgets for --quick)"
+    ./target/debug/neesgrid-analyzer check-portal --submissions 3 --steps 2 \
+        --kill-budget 1 --cancel-budget 1
+
+    analyzer_elapsed=$(( $(date +%s) - analyzer_started ))
+    if (( analyzer_elapsed > 10 )); then
+        echo "analyzer --quick stage took ${analyzer_elapsed}s (budget 10s)" >&2
+        exit 1
+    fi
+    echo "==> analyzer --quick stage done in ${analyzer_elapsed}s (budget 10s)"
 
     echo "==> N=8 event-engine smoke (determinism + virtual-time retries)"
     cargo test -q --test event_engine

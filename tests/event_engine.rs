@@ -59,7 +59,7 @@ fn all_drops_exhaust_coordinator_retries_in_virtual_time() {
 }
 
 #[test]
-fn n_site_scales_to_sixty_four_sites() {
+fn n_site_scales_to_sixty_four_sites_and_replays_bit_identically() {
     let outcome = n_site(64, 64).run(25);
     assert!(matches!(outcome.termination, Termination::Completed));
     assert_eq!(outcome.steps_completed(), 25);
@@ -69,4 +69,11 @@ fn n_site_scales_to_sixty_four_sites() {
         .restoring
         .iter()
         .all(|step| step.len() == 64));
+    // Determinism must hold at full scale, where any hash-ordered
+    // iteration over 64 sites would almost surely shuffle the record.
+    let again = n_site(64, 64).run(25);
+    assert_eq!(outcome.log.events, again.log.events);
+    assert_eq!(outcome.history.displacement, again.history.displacement);
+    assert_eq!(outcome.history.velocity, again.history.velocity);
+    assert_eq!(outcome.history.restoring, again.history.restoring);
 }
