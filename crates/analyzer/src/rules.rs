@@ -746,8 +746,13 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
     let protocol = ["ntcp", "gridsim", "coordinator", "checkpoint", "telemetry"]
         .iter()
         .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    // The archive data plane carries replay-relevant protocol state but
+    // keeps its transfer spans open across handler invocations, so it
+    // joins every protocol rule except span-balance (and docs, which
+    // rides with the original protocol set).
+    let archive = rel.starts_with("crates/archive/src/");
     Some(RuleSet {
-        unwrap: protocol,
+        unwrap: protocol || archive,
         docs: protocol,
         wall_clock: !rel.starts_with("crates/bench/"),
         // The event engine owns time in the protocol crates and the ogsi
@@ -761,31 +766,34 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         // The crates that queue between tenants: the portal's admission
         // queue, the coordinator's scheduling structures, and the daq
         // streaming buffers. Everywhere else an unbounded Vec is idiomatic.
-        bounded_queues: ["portal", "coordinator", "daq"]
-            .iter()
-            .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
+        bounded_queues: archive
+            || ["portal", "coordinator", "daq"]
+                .iter()
+                .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
         // Replay-relevant crates: anything whose iteration order feeds the
         // simulation, the wire, or a checkpoint. Hash iteration there
         // breaks the bit-identical-replay guarantee silently.
-        hash_iteration: [
-            "gridsim",
-            "ogsi",
-            "ntcp",
-            "coordinator",
-            "portal",
-            "telemetry",
-        ]
-        .iter()
-        .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
+        hash_iteration: archive
+            || [
+                "gridsim",
+                "ogsi",
+                "ntcp",
+                "coordinator",
+                "portal",
+                "telemetry",
+            ]
+            .iter()
+            .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
         // The crates that hold mutexes across a shared-service boundary.
         lock_order: ["portal", "coordinator"]
             .iter()
             .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
         // Same scope as `no-unbounded-channel`: where a queue must be
         // bounded, its bound must also be declared and kept in sync.
-        buffer_contract: ["portal", "coordinator", "daq"]
-            .iter()
-            .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
+        buffer_contract: archive
+            || ["portal", "coordinator", "daq"]
+                .iter()
+                .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
     })
 }
 
@@ -1229,6 +1237,13 @@ mod tests {
         assert!(c.hash_iteration && c.lock_order && c.buffer_contract);
         let d = rules_for("crates/daq/src/nsds.rs").unwrap();
         assert!(!d.hash_iteration && !d.lock_order && d.buffer_contract);
+        // The archive data plane: every protocol-grade rule except docs
+        // and span-balance (its transfer spans legitimately cross handler
+        // invocations, like ogsi's rpc call/complete pair).
+        let a = rules_for("crates/archive/src/stripe.rs").unwrap();
+        assert!(a.unwrap && a.wall_clock && a.hash_iteration);
+        assert!(a.bounded_queues && a.buffer_contract);
+        assert!(!a.docs && !a.span_balance && !a.lock_order && !a.blocking);
         assert_eq!(rules_for("crates/shims/rand/src/lib.rs"), None);
         assert_eq!(rules_for("crates/ntcp/tests/integration.rs"), None);
         assert_eq!(rules_for("tests/most.rs"), None);

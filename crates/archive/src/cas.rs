@@ -1,0 +1,487 @@
+//! Content-addressed block store.
+//!
+//! The archive never stores a capture twice: files are chunked into
+//! fixed-size blocks, each block is keyed by `(CRC-32, length)`, and a
+//! **manifest** object records the block sequence that reassembles the
+//! file. Two runs that produce identical NSDS captures share every block;
+//! the second ingest writes only a manifest. This mirrors the replica
+//! catalog + GridFTP design of Allcock et al. (ref 3) where the data
+//! plane moves immutable blocks and the metadata plane names them.
+//!
+//! Layout on the backing [`VirtualStore`]:
+//!
+//! ```text
+//! /cas/blocks/<crc32 hex>-<len hex>     one immutable block
+//! /cas/manifests/<logical name>         JSON manifest (ordered block refs)
+//! ```
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use neesgrid_gridsim::SimTime;
+use neesgrid_repo::gridftp::RestartMarker;
+use neesgrid_repo::{crc32, VirtualStore};
+
+/// Content address of one immutable block: CRC-32 plus exact length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockKey {
+    /// CRC-32 of the block payload.
+    pub crc: u32,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+impl BlockKey {
+    /// Address `data`.
+    pub fn of(data: &[u8]) -> Self {
+        BlockKey {
+            crc: crc32(data),
+            len: data.len() as u32,
+        }
+    }
+
+    /// Store path of the block under `/cas/blocks/`.
+    pub fn path(&self) -> String {
+        format!("/cas/blocks/{:08x}-{:x}", self.crc, self.len)
+    }
+}
+
+impl std::fmt::Display for BlockKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:08x}-{:x}", self.crc, self.len)
+    }
+}
+
+/// One entry in a manifest: where a block lands in the reassembled file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockRef {
+    /// Byte offset of the block within the file.
+    pub offset: u64,
+    /// Content address of the block.
+    pub key: BlockKey,
+}
+
+impl BlockRef {
+    /// The half-open byte range `[offset, offset+len)` this block covers.
+    pub fn range(&self) -> (u64, u64) {
+        (self.offset, self.offset + self.key.len as u64)
+    }
+}
+
+/// The metadata object naming a stored file: an ordered list of block
+/// addresses plus whole-file integrity data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Logical name (e.g. `/runs/r-0001/capture.jsonl`).
+    pub logical: String,
+    /// Total reassembled length in bytes.
+    pub total_len: u64,
+    /// Whole-file CRC-32.
+    pub digest: u32,
+    /// Chunk size the file was split with (the last block may be short).
+    pub chunk_size: u32,
+    /// Blocks in file order.
+    pub blocks: Vec<BlockRef>,
+}
+
+impl Manifest {
+    /// Store path of the manifest under `/cas/manifests`.
+    pub fn path(&self) -> String {
+        manifest_path(&self.logical)
+    }
+
+    /// Canonical JSON encoding (field order fixed by the struct).
+    pub fn encode(&self) -> Bytes {
+        // analyzer:allow(no-unwrap, reason = "Manifest is a plain derive(Serialize) struct of JSON-safe types; self-serialization is infallible")
+        Bytes::from(serde_json::to_vec(self).expect("manifest serializes"))
+    }
+
+    /// Parse a manifest back from its canonical encoding.
+    pub fn decode(bytes: &[u8]) -> Option<Manifest> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+/// Store path of the manifest object for `logical`.
+pub fn manifest_path(logical: &str) -> String {
+    format!("/cas/manifests{logical}")
+}
+
+/// Why a CAS operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CasError {
+    /// No manifest stored under the logical name.
+    UnknownManifest(String),
+    /// A manifest references a block the store does not hold.
+    MissingBlock {
+        /// The absent block.
+        key: BlockKey,
+        /// Manifest that referenced it.
+        logical: String,
+    },
+    /// A stored block no longer matches its content address.
+    CorruptBlock {
+        /// The damaged block.
+        key: BlockKey,
+    },
+    /// The reassembled file failed the manifest's whole-file CRC-32.
+    DigestMismatch {
+        /// CRC-32 actually computed.
+        actual: u32,
+        /// CRC-32 the manifest promised.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for CasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CasError::UnknownManifest(l) => write!(f, "no manifest for '{l}'"),
+            CasError::MissingBlock { key, logical } => {
+                write!(f, "manifest '{logical}' references missing block {key}")
+            }
+            CasError::CorruptBlock { key } => write!(f, "block {key} corrupt in store"),
+            CasError::DigestMismatch { actual, expected } => {
+                write!(f, "digest mismatch: {actual:#010x} != {expected:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CasError {}
+
+/// Running totals of what an ingest wrote vs deduplicated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CasStats {
+    /// Blocks newly written to the backing store.
+    pub blocks_written: u64,
+    /// Blocks skipped because the store already held them.
+    pub blocks_deduped: u64,
+    /// Bytes newly written.
+    pub bytes_written: u64,
+    /// Bytes skipped by dedup.
+    pub bytes_deduped: u64,
+    /// Manifests written.
+    pub manifests: u64,
+}
+
+/// A content-addressed store layered on one site's [`VirtualStore`].
+///
+/// Cloning shares the backing store and the stats; a site's NFMS view and
+/// its archive view can coexist on the same store without clashing (the
+/// CAS keeps to the `/cas/` prefix).
+#[derive(Clone)]
+pub struct CasStore {
+    store: VirtualStore,
+    stats: Arc<Mutex<CasStats>>,
+}
+
+impl CasStore {
+    /// Wrap a backing store.
+    pub fn new(store: VirtualStore) -> Self {
+        CasStore {
+            store,
+            stats: Arc::new(Mutex::new(CasStats::default())),
+        }
+    }
+
+    /// The backing store (shared).
+    pub fn backing(&self) -> &VirtualStore {
+        &self.store
+    }
+
+    /// Chunk `content`, write every block not already present, and record
+    /// the manifest. Returns the manifest; stats count what deduplicated.
+    pub fn ingest(
+        &self,
+        logical: impl Into<String>,
+        content: &Bytes,
+        chunk_size: u32,
+        now: SimTime,
+    ) -> Manifest {
+        let logical = logical.into();
+        let chunk = (chunk_size.max(1)) as usize;
+        let mut blocks = Vec::new();
+        let mut offset = 0usize;
+        while offset < content.len() {
+            let end = (offset + chunk).min(content.len());
+            let data = content.slice(offset..end);
+            let key = BlockKey::of(&data);
+            self.put_block(key, data, now);
+            blocks.push(BlockRef {
+                offset: offset as u64,
+                key,
+            });
+            offset = end;
+        }
+        let manifest = Manifest {
+            logical,
+            total_len: content.len() as u64,
+            digest: crc32(content),
+            chunk_size: chunk_size.max(1),
+            blocks,
+        };
+        self.put_manifest(&manifest, now);
+        manifest
+    }
+
+    /// Store one block unless its address is already present. Returns
+    /// whether the block was newly written.
+    pub fn put_block(&self, key: BlockKey, data: Bytes, now: SimTime) -> bool {
+        let path = key.path();
+        let mut stats = self.stats.lock();
+        if self.store.exists(&path) {
+            stats.blocks_deduped += 1;
+            stats.bytes_deduped += key.len as u64;
+            false
+        } else {
+            stats.blocks_written += 1;
+            stats.bytes_written += key.len as u64;
+            self.store.put(path, data, now);
+            true
+        }
+    }
+
+    /// Whether a block is present.
+    pub fn has_block(&self, key: &BlockKey) -> bool {
+        self.store.exists(&key.path())
+    }
+
+    /// Read one block, verifying it still matches its address.
+    pub fn get_block(&self, key: &BlockKey) -> Result<Bytes, CasError> {
+        let file = self
+            .store
+            .get(&key.path())
+            .ok_or(CasError::CorruptBlock { key: *key })?;
+        if file.checksum != key.crc || file.content.len() as u32 != key.len {
+            return Err(CasError::CorruptBlock { key: *key });
+        }
+        Ok(file.content)
+    }
+
+    /// Record (or replace) a manifest object.
+    pub fn put_manifest(&self, manifest: &Manifest, now: SimTime) {
+        self.stats.lock().manifests += 1;
+        self.store.put(manifest.path(), manifest.encode(), now);
+    }
+
+    /// Look up the manifest for a logical name.
+    pub fn manifest(&self, logical: &str) -> Option<Manifest> {
+        let file = self.store.get(&manifest_path(logical))?;
+        Manifest::decode(&file.content)
+    }
+
+    /// Logical names of every stored manifest, sorted.
+    pub fn manifests(&self) -> Vec<String> {
+        let prefix = "/cas/manifests";
+        self.store
+            .list(prefix)
+            .into_iter()
+            .map(|p| p[prefix.len()..].to_string())
+            .collect()
+    }
+
+    /// The byte ranges of `manifest` covered by blocks already present
+    /// locally — the receiver's opening restart marker. A fresh site
+    /// returns an empty marker; a site that already archived an identical
+    /// capture covers everything and the transfer sends nothing.
+    pub fn coverage(&self, manifest: &Manifest) -> RestartMarker {
+        let mut marker = RestartMarker::default();
+        for b in &manifest.blocks {
+            if self.has_block(&b.key) {
+                let (s, e) = b.range();
+                add_range(&mut marker.ranges, s, e);
+            }
+        }
+        marker
+    }
+
+    /// Reassemble a manifest's content from local blocks, verifying every
+    /// block address and the whole-file digest.
+    pub fn assemble(&self, manifest: &Manifest) -> Result<Bytes, CasError> {
+        let mut out = vec![0u8; manifest.total_len as usize];
+        for b in &manifest.blocks {
+            let data = match self.get_block(&b.key) {
+                Ok(d) => d,
+                Err(CasError::CorruptBlock { key }) if !self.has_block(&b.key) => {
+                    return Err(CasError::MissingBlock {
+                        key,
+                        logical: manifest.logical.clone(),
+                    })
+                }
+                Err(e) => return Err(e),
+            };
+            let (s, e) = b.range();
+            out[s as usize..e as usize].copy_from_slice(&data);
+        }
+        let actual = crc32(&out);
+        if actual != manifest.digest {
+            return Err(CasError::DigestMismatch {
+                actual,
+                expected: manifest.digest,
+            });
+        }
+        Ok(Bytes::from(out))
+    }
+
+    /// Fetch a manifest by name and reassemble it.
+    pub fn read(&self, logical: &str) -> Result<Bytes, CasError> {
+        let manifest = self
+            .manifest(logical)
+            .ok_or_else(|| CasError::UnknownManifest(logical.to_string()))?;
+        self.assemble(&manifest)
+    }
+
+    /// Ingest/dedup totals so far.
+    pub fn stats(&self) -> CasStats {
+        *self.stats.lock()
+    }
+
+    /// A CRC-32 digest over the entire store state (sorted path +
+    /// checksum + length per entry) — the determinism oracle for
+    /// same-seed double runs.
+    pub fn store_digest(&self) -> u32 {
+        let mut acc = String::new();
+        for path in self.store.list("/cas/") {
+            if let Some(f) = self.store.get(&path) {
+                acc.push_str(&path);
+                acc.push(':');
+                acc.push_str(&format!("{:08x}:{:x}\n", f.checksum, f.content.len()));
+            }
+        }
+        crc32(acc.as_bytes())
+    }
+}
+
+/// Insert `[start, end)` into a sorted, coalesced range list.
+pub(crate) fn add_range(ranges: &mut Vec<(u64, u64)>, start: u64, end: u64) {
+    ranges.push((start, end));
+    ranges.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+    for &(s, e) in ranges.iter() {
+        match merged.last_mut() {
+            Some((_, pe)) if s <= *pe => *pe = (*pe).max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    *ranges = merged;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Bytes {
+        // Multiplicative mixing so 1 KiB-aligned chunks are all distinct
+        // (a linear byte pattern repeats every 256 bytes and would make
+        // every chunk dedupe to one block).
+        Bytes::from(
+            (0..n)
+                .map(|i| ((i as u32).wrapping_mul(2_654_435_761) >> 24) as u8)
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    #[test]
+    fn ingest_read_roundtrip() {
+        let cas = CasStore::new(VirtualStore::new());
+        let content = payload(10_000);
+        let m = cas.ingest("/runs/a", &content, 1024, SimTime::ZERO);
+        assert_eq!(m.blocks.len(), 10);
+        assert_eq!(m.total_len, 10_000);
+        assert_eq!(cas.read("/runs/a").unwrap(), content);
+    }
+
+    #[test]
+    fn identical_content_dedupes_fully() {
+        let cas = CasStore::new(VirtualStore::new());
+        let content = payload(8_192);
+        cas.ingest("/runs/a", &content, 1024, SimTime::ZERO);
+        let before = cas.stats();
+        assert_eq!(before.blocks_written, 8);
+        assert_eq!(before.blocks_deduped, 0);
+        cas.ingest("/runs/b", &content, 1024, SimTime::ZERO);
+        let after = cas.stats();
+        assert_eq!(after.blocks_written, 8, "second ingest writes no blocks");
+        assert_eq!(after.blocks_deduped, 8);
+        assert_eq!(after.bytes_deduped, 8_192);
+        assert_eq!(cas.read("/runs/b").unwrap(), content);
+    }
+
+    #[test]
+    fn partial_overlap_dedupes_shared_prefix() {
+        let cas = CasStore::new(VirtualStore::new());
+        let a = payload(4_096);
+        let mut b_bytes = a.to_vec();
+        b_bytes.extend_from_slice(&[0xEE; 1_024]);
+        let b = Bytes::from(b_bytes);
+        cas.ingest("/a", &a, 1024, SimTime::ZERO);
+        cas.ingest("/b", &b, 1024, SimTime::ZERO);
+        let s = cas.stats();
+        assert_eq!(s.blocks_deduped, 4, "the shared 4 KiB prefix dedupes");
+        assert_eq!(cas.read("/b").unwrap(), b);
+    }
+
+    #[test]
+    fn coverage_reports_present_ranges() {
+        let cas = CasStore::new(VirtualStore::new());
+        let content = payload(4_096);
+        let m = cas.ingest("/a", &content, 1024, SimTime::ZERO);
+        let fresh = CasStore::new(VirtualStore::new());
+        assert!(fresh.coverage(&m).ranges.is_empty());
+        // Copy just the second block across.
+        let key = m.blocks[1].key;
+        fresh.put_block(key, cas.get_block(&key).unwrap(), SimTime::ZERO);
+        assert_eq!(fresh.coverage(&m).ranges, vec![(1024, 2048)]);
+        assert_eq!(cas.coverage(&m).ranges, vec![(0, 4096)]);
+    }
+
+    #[test]
+    fn missing_block_is_reported() {
+        let cas = CasStore::new(VirtualStore::new());
+        let m = cas.ingest("/a", &payload(2_048), 1024, SimTime::ZERO);
+        cas.backing().delete(&m.blocks[1].key.path());
+        assert!(matches!(cas.read("/a"), Err(CasError::MissingBlock { .. })));
+    }
+
+    #[test]
+    fn corrupt_block_is_reported() {
+        let cas = CasStore::new(VirtualStore::new());
+        let m = cas.ingest("/a", &payload(2_048), 1024, SimTime::ZERO);
+        let path = m.blocks[0].key.path();
+        cas.backing()
+            .put(path, Bytes::from_static(b"junk"), SimTime::ZERO);
+        assert!(matches!(cas.read("/a"), Err(CasError::CorruptBlock { .. })));
+    }
+
+    #[test]
+    fn manifest_encoding_roundtrips() {
+        let cas = CasStore::new(VirtualStore::new());
+        let m = cas.ingest("/runs/r/capture", &payload(3_000), 512, SimTime::ZERO);
+        let back = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(cas.manifests(), vec!["/runs/r/capture"]);
+    }
+
+    #[test]
+    fn store_digest_is_deterministic_and_content_sensitive() {
+        let a = CasStore::new(VirtualStore::new());
+        let b = CasStore::new(VirtualStore::new());
+        a.ingest("/x", &payload(5_000), 512, SimTime::ZERO);
+        b.ingest("/x", &payload(5_000), 512, SimTime::ZERO);
+        assert_eq!(a.store_digest(), b.store_digest());
+        b.ingest("/y", &payload(100), 512, SimTime::ZERO);
+        assert_ne!(a.store_digest(), b.store_digest());
+    }
+
+    #[test]
+    fn empty_file_ingest() {
+        let cas = CasStore::new(VirtualStore::new());
+        let m = cas.ingest("/empty", &Bytes::new(), 1024, SimTime::ZERO);
+        assert!(m.blocks.is_empty());
+        assert_eq!(cas.read("/empty").unwrap(), Bytes::new());
+    }
+}

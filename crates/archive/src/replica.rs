@@ -1,0 +1,241 @@
+//! Replica placement and the logical-name catalog.
+//!
+//! The NEESgrid repository kept each experiment's artifacts at the central
+//! archive plus mirrors at participating sites. Here placement is a pure
+//! function of the topology: policies rank candidate sites either by name
+//! (mirror-k) or by the minimum latency of the virtual link from the
+//! origin (nearest-by-latency), so the same topology always yields the
+//! same replica set — placement is part of the deterministic replay.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use neesgrid_gridsim::{LinkKey, SimTime, VirtualNetwork};
+
+/// How many replicas of an artifact to keep, and where.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Mirror to the first `k` candidate sites in name order. Predictable
+    /// and topology-independent; the paper-era default of "central
+    /// repository plus fixed mirrors".
+    MirrorK {
+        /// Replica count (excluding the origin).
+        k: usize,
+    },
+    /// Mirror to the `k` candidates with the lowest minimum link latency
+    /// from the origin, ties broken by name.
+    NearestByLatency {
+        /// Replica count (excluding the origin).
+        k: usize,
+    },
+}
+
+impl PlacementPolicy {
+    /// Choose replica sites for an artifact ingested at `origin`.
+    /// `candidates` is the universe of archive sites (the origin is
+    /// excluded automatically). Deterministic for a given topology.
+    pub fn place(&self, net: &VirtualNetwork, origin: &str, candidates: &[String]) -> Vec<String> {
+        let mut pool: Vec<&String> = candidates.iter().filter(|c| *c != origin).collect();
+        pool.sort();
+        match self {
+            PlacementPolicy::MirrorK { k } => pool.into_iter().take(*k).cloned().collect(),
+            PlacementPolicy::NearestByLatency { k } => {
+                let mut ranked: Vec<(SimTime, &String)> = pool
+                    .into_iter()
+                    .map(|c| (link_floor(net, origin, c), c))
+                    .collect();
+                ranked.sort();
+                ranked
+                    .into_iter()
+                    .take(*k)
+                    .map(|(_, c)| c.clone())
+                    .collect()
+            }
+        }
+    }
+
+    /// Rank `replicas` for a reader at `site`, nearest first, ties broken
+    /// by name. This is the read path's failover order.
+    pub fn read_order(
+        net: &VirtualNetwork,
+        site: &str,
+        replicas: &BTreeSet<String>,
+    ) -> Vec<String> {
+        let mut ranked: Vec<(SimTime, &String)> = replicas
+            .iter()
+            .map(|r| {
+                let cost = if r == site {
+                    SimTime::ZERO
+                } else {
+                    link_floor(net, site, r)
+                };
+                (cost, r)
+            })
+            .collect();
+        ranked.sort();
+        ranked.into_iter().map(|(_, r)| r.clone()).collect()
+    }
+}
+
+/// The best-case (minimum) latency of the link `a → b`.
+fn link_floor(net: &VirtualNetwork, a: &str, b: &str) -> SimTime {
+    net.link_latency(&LinkKey::new(a, b)).min_latency()
+}
+
+/// One cataloged artifact: where its replicas live and what they must
+/// hash to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaEntry {
+    /// Logical name (e.g. `/runs/most-42/nsds.jsonl`).
+    pub logical: String,
+    /// Whole-artifact CRC from the manifest; every replica must agree.
+    pub digest: u32,
+    /// Artifact length in bytes.
+    pub total_len: u64,
+    /// Sites holding a sealed replica.
+    pub sites: BTreeSet<String>,
+}
+
+/// Catalog mapping logical names to replica locations. Plain data — the
+/// cluster layer in [`crate::service`] keeps it consistent with the
+/// actual site stores.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaCatalog {
+    entries: BTreeMap<String, ReplicaEntry>,
+}
+
+impl ReplicaCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `site` holds a sealed replica of `logical`.
+    pub fn record(&mut self, logical: &str, digest: u32, total_len: u64, site: &str) {
+        let entry = self
+            .entries
+            .entry(logical.to_string())
+            .or_insert_with(|| ReplicaEntry {
+                logical: logical.to_string(),
+                digest,
+                total_len,
+                sites: BTreeSet::new(),
+            });
+        entry.sites.insert(site.to_string());
+    }
+
+    /// Forget `site`'s replica of `logical` (e.g. after a failed read).
+    pub fn evict(&mut self, logical: &str, site: &str) {
+        if let Some(entry) = self.entries.get_mut(logical) {
+            entry.sites.remove(site);
+        }
+    }
+
+    /// The catalog entry for `logical`.
+    pub fn entry(&self, logical: &str) -> Option<&ReplicaEntry> {
+        self.entries.get(logical)
+    }
+
+    /// Sites holding `logical`, in name order.
+    pub fn sites(&self, logical: &str) -> Vec<String> {
+        self.entries
+            .get(logical)
+            .map(|e| e.sites.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// All cataloged logical names, sorted.
+    pub fn logicals(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Number of cataloged artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cataloged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neesgrid_gridsim::{LatencyModel, NetworkConfig};
+
+    fn net() -> VirtualNetwork {
+        VirtualNetwork::new(NetworkConfig {
+            default_latency: LatencyModel::Fixed(SimTime::from_millis(30)),
+            seed: 1,
+        })
+    }
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mirror_k_is_name_ordered_and_skips_origin() {
+        let net = net();
+        let policy = PlacementPolicy::MirrorK { k: 2 };
+        let picked = policy.place(&net, "ncsa", &names(&["uiuc", "ncsa", "boulder"]));
+        assert_eq!(picked, names(&["boulder", "uiuc"]));
+    }
+
+    #[test]
+    fn nearest_by_latency_prefers_fast_links() {
+        let net = net();
+        // boulder is 5ms away, uiuc 30ms (default), anchorage 90ms.
+        net.set_link_latency(
+            LinkKey::new("ncsa", "boulder"),
+            LatencyModel::Fixed(SimTime::from_millis(5)),
+        );
+        net.set_link_latency(
+            LinkKey::new("ncsa", "anchorage"),
+            LatencyModel::Fixed(SimTime::from_millis(90)),
+        );
+        let policy = PlacementPolicy::NearestByLatency { k: 2 };
+        let picked = policy.place(&net, "ncsa", &names(&["anchorage", "uiuc", "boulder"]));
+        assert_eq!(picked, names(&["boulder", "uiuc"]));
+    }
+
+    #[test]
+    fn nearest_ties_break_by_name() {
+        let net = net();
+        let policy = PlacementPolicy::NearestByLatency { k: 2 };
+        let picked = policy.place(&net, "x", &names(&["c", "a", "b"]));
+        assert_eq!(picked, names(&["a", "b"]));
+    }
+
+    #[test]
+    fn read_order_puts_local_replica_first() {
+        let net = net();
+        net.set_link_latency(
+            LinkKey::new("reader", "far"),
+            LatencyModel::Fixed(SimTime::from_millis(80)),
+        );
+        let mut replicas = BTreeSet::new();
+        replicas.insert("far".to_string());
+        replicas.insert("reader".to_string());
+        replicas.insert("near".to_string());
+        let order = PlacementPolicy::read_order(&net, "reader", &replicas);
+        assert_eq!(order, names(&["reader", "near", "far"]));
+    }
+
+    #[test]
+    fn catalog_records_and_evicts() {
+        let mut cat = ReplicaCatalog::new();
+        cat.record("/runs/x", 0xdead_beef, 100, "a");
+        cat.record("/runs/x", 0xdead_beef, 100, "b");
+        assert_eq!(cat.sites("/runs/x"), names(&["a", "b"]));
+        cat.evict("/runs/x", "a");
+        assert_eq!(cat.sites("/runs/x"), names(&["b"]));
+        assert_eq!(cat.entry("/runs/x").map(|e| e.digest), Some(0xdead_beef));
+        assert_eq!(cat.logicals(), names(&["/runs/x"]));
+        assert_eq!(cat.len(), 1);
+        assert!(!cat.is_empty());
+    }
+}

@@ -17,14 +17,18 @@
 //! * [`filedrop`] — the shared-directory handoff between LabVIEW and the
 //!   repository uploader;
 //! * [`nsds`] — the streaming service with bounded, loss-counting
-//!   subscriptions.
+//!   subscriptions;
+//! * [`capture`] — byte-stable JSONL encoding of captured NSDS samples,
+//!   the durable form the archive stores and replicates.
 
+pub mod capture;
 pub mod channel;
 pub mod filedrop;
 pub mod nsds;
 pub mod sampler;
 pub mod timeseries;
 
+pub use capture::{decode_jsonl, encode_jsonl};
 pub use channel::{Calibration, ChannelConfig};
 pub use filedrop::{DropFile, FileDropDir};
 pub use nsds::{NsdsSample, NsdsServer, NsdsSubscription};

@@ -418,6 +418,18 @@ impl VirtualNetwork {
         self.core.state.lock().link_latency.insert(link, model);
     }
 
+    /// The latency model currently governing `link`: the per-link override
+    /// if one was set, the network default otherwise. Replica placement
+    /// policies use this to rank candidate sites by proximity.
+    pub fn link_latency(&self, link: &LinkKey) -> LatencyModel {
+        let state = self.core.state.lock();
+        state
+            .link_latency
+            .get(link)
+            .unwrap_or(&state.default_latency)
+            .clone()
+    }
+
     /// Install (replace) the fault plan.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
         self.core.state.lock().fault_plan = plan;

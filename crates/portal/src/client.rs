@@ -34,6 +34,9 @@ pub enum ClientError {
     NoRoute,
     /// The engine went idle with no reply owed — the portal is gone.
     Disconnected,
+    /// The portal answered, but with a refusal or error instead of the
+    /// reply the convenience helper needed.
+    Refused(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -42,6 +45,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Frame(e) => write!(f, "frame error: {e}"),
             ClientError::NoRoute => write!(f, "no route to portal"),
             ClientError::Disconnected => write!(f, "portal unreachable: engine idle, no reply"),
+            ClientError::Refused(why) => write!(f, "portal refused: {why}"),
         }
     }
 }
@@ -162,6 +166,46 @@ impl PortalClient {
                     continue;
                 }
                 return Err(ClientError::Disconnected);
+            }
+        }
+    }
+
+    /// Download one of a run's archived artifacts in full, issuing as
+    /// many chunked `FetchArtifact` calls as the frame cap requires.
+    /// Returns the bytes and the archive's whole-artifact CRC-32.
+    pub fn fetch_artifact(&self, run: &str, artifact: &str) -> Result<(Vec<u8>, u32), ClientError> {
+        let mut bytes: Vec<u8> = Vec::new();
+        loop {
+            let response = self.call(Request::FetchArtifact {
+                run: run.to_string(),
+                artifact: artifact.to_string(),
+                offset: bytes.len() as u64,
+                max: frame::ARTIFACT_CHUNK_MAX,
+            })?;
+            match response {
+                Response::Artifact {
+                    offset,
+                    data,
+                    eof,
+                    digest,
+                    ..
+                } => {
+                    if offset != bytes.len() as u64 {
+                        return Err(ClientError::Refused(format!(
+                            "artifact chunk at {offset}, expected {}",
+                            bytes.len()
+                        )));
+                    }
+                    bytes.extend_from_slice(&data);
+                    if eof {
+                        return Ok((bytes, digest));
+                    }
+                }
+                Response::Rejected { rejection } => {
+                    return Err(ClientError::Refused(rejection.to_string()))
+                }
+                Response::Error { message } => return Err(ClientError::Refused(message)),
+                other => return Err(ClientError::Refused(format!("unexpected reply {other:?}"))),
             }
         }
     }

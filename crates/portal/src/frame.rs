@@ -23,6 +23,11 @@ use crate::tenant::Role;
 /// history fetch) must be refused, not silently truncated.
 pub const MAX_FRAME_BYTES: usize = 4 * 1024 * 1024;
 
+/// Most artifact bytes one `FetchArtifact` reply may carry. JSON encodes
+/// each byte as up to four characters, so this keeps the worst-case
+/// reply frame comfortably under [`MAX_FRAME_BYTES`].
+pub const ARTIFACT_CHUNK_MAX: usize = 256 * 1024;
+
 /// The service name portal frames ride under.
 pub const PORTAL_SERVICE: &str = "portal";
 
@@ -138,6 +143,20 @@ pub enum Request {
         /// Run id.
         run: String,
     },
+    /// Stream one of a run's archived artifacts (owner only). Artifacts
+    /// exist once the run finishes and the portal has an archive
+    /// attached: `capture.jsonl` (the NSDS capture) and `history.json`
+    /// (the sealed trajectory).
+    FetchArtifact {
+        /// Run id.
+        run: String,
+        /// Artifact file name within the run's archive namespace.
+        artifact: String,
+        /// Byte offset to read from.
+        offset: u64,
+        /// Max bytes in this reply (clamped to [`ARTIFACT_CHUNK_MAX`]).
+        max: usize,
+    },
     /// Cancel a queued or running experiment (owner only).
     Cancel {
         /// Run id.
@@ -230,6 +249,21 @@ pub enum Response {
         dropped: u64,
         /// Whether the observed run has finished and the buffer is dry.
         done: bool,
+    },
+    /// One chunk of an archived artifact.
+    Artifact {
+        /// Artifact file name echoed back.
+        artifact: String,
+        /// Total artifact length in bytes.
+        total_len: u64,
+        /// Whole-artifact CRC-32, from the archive manifest.
+        digest: u32,
+        /// Offset of `data` within the artifact.
+        offset: u64,
+        /// The chunk (≤ [`ARTIFACT_CHUNK_MAX`] bytes).
+        data: Vec<u8>,
+        /// True when `offset + data.len()` reaches `total_len`.
+        eof: bool,
     },
     /// Completed trajectory.
     History {

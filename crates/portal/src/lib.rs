@@ -49,7 +49,7 @@ pub use client::{ClientError, PortalClient};
 pub use experiment::{ExperimentSpec, RunProgress, WorkerRun, DT, MAX_SITES, MAX_STEPS};
 pub use frame::{
     crc32, decode, encode, BoardEntry, FrameError, PortalStats, Rejection, Request, RequestFrame,
-    Response, RunReport, RunState, MAX_FRAME_BYTES, PORTAL_SERVICE,
+    Response, RunReport, RunState, ARTIFACT_CHUNK_MAX, MAX_FRAME_BYTES, PORTAL_SERVICE,
 };
 pub use scheduler::{SubmissionQueue, WorkerPool};
 pub use service::{

@@ -20,8 +20,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use neesgrid_archive::ArchiveSite;
 use neesgrid_checkpoint::CheckpointStore;
 use neesgrid_coordinator::Termination;
+use neesgrid_daq::capture::encode_jsonl;
 use neesgrid_daq::nsds::{NsdsSample, NsdsServer, NsdsSubscription};
 use neesgrid_gridsim::{
     Endpoint, Envelope, MessageKind, NetworkError, SimClock, SimTime, VirtualNetwork,
@@ -32,7 +34,7 @@ use neesgrid_telemetry::{Field, Telemetry};
 use crate::experiment::{ExperimentSpec, RunProgress, WorkerRun};
 use crate::frame::{
     self, BoardEntry, PortalStats, Rejection, Request, RequestFrame, Response, RunReport, RunState,
-    PORTAL_SERVICE,
+    ARTIFACT_CHUNK_MAX, PORTAL_SERVICE,
 };
 use crate::scheduler::{SubmissionQueue, WorkerPool};
 use crate::tenant::{LoginError, Role, TenantDirectory, TenantQuotas};
@@ -42,6 +44,11 @@ pub const BOARD_RETENTION: usize = 1024;
 
 /// Most samples one `Poll` reply may carry, whatever the client asks.
 pub const POLL_CHUNK_MAX: usize = 4096;
+
+/// Ring capacity of the internal per-run capture subscription feeding
+/// the archive. Drained every tick, so overflow needs a single slice to
+/// publish this many samples.
+pub const CAPTURE_BUFFER: usize = 64 * 1024;
 
 /// Service tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +114,11 @@ struct RunEntry {
     steps_completed: usize,
     history_json: Option<Vec<u8>>,
     digest: Option<u32>,
+    /// Internal NSDS subscription on `{run_id}/*`, opened at placement so
+    /// the archive capture sees every sample the run ever streams.
+    capture: Option<NsdsSubscription>,
+    /// Samples drained from `capture` so far, in publish order.
+    captured: Vec<NsdsSample>,
 }
 
 impl RunEntry {
@@ -180,6 +192,8 @@ pub struct PortalCore {
     runs_nsds: Arc<NsdsServer>,
     /// Optional facility-wide hub (the CHEF viewer path).
     facility_nsds: Option<Arc<NsdsServer>>,
+    /// Optional archive site finished runs deposit their artifacts into.
+    archive: Option<ArchiveSite>,
     queue: SubmissionQueue,
     pool: WorkerPool,
     runs: HashMap<String, RunEntry>,
@@ -211,6 +225,7 @@ impl PortalCore {
             store,
             runs_nsds: Arc::new(NsdsServer::new()),
             facility_nsds: None,
+            archive: None,
             runs: HashMap::new(),
             observers: HashMap::new(),
             boards: HashMap::new(),
@@ -307,6 +322,12 @@ impl PortalCore {
                         Err(rejection) => rejected(rejection),
                     },
                     Request::Fetch { run } => self.fetch(&tenant, run),
+                    Request::FetchArtifact {
+                        run,
+                        artifact,
+                        offset,
+                        max,
+                    } => self.fetch_artifact(&tenant, run, artifact, *offset, *max),
                     Request::Cancel { run } => self.cancel(&tenant, role, run),
                     Request::Observe {
                         run,
@@ -403,6 +424,8 @@ impl PortalCore {
                 steps_completed: 0,
                 history_json: None,
                 digest: None,
+                capture: None,
+                captured: Vec::new(),
             },
         );
         let usage = self.tenants.usage_mut(tenant);
@@ -459,6 +482,61 @@ impl PortalCore {
             _ => Response::Error {
                 message: format!("run {run} has no completed history yet"),
             },
+        }
+    }
+
+    /// Stream a chunk of a run's archived artifact. Ownership is checked
+    /// first, and the logical name is built from the *resolved* run id
+    /// plus a separator-free artifact name, so a tenant cannot address
+    /// outside its own run's archive namespace.
+    fn fetch_artifact(
+        &mut self,
+        tenant: &DistinguishedName,
+        run: &str,
+        artifact: &str,
+        offset: u64,
+        max: usize,
+    ) -> Response {
+        if let Err(rejection) = self.owned_run(tenant, run) {
+            return rejected(rejection);
+        }
+        if artifact.is_empty() || artifact.contains('/') || artifact.contains("..") {
+            return Response::Error {
+                message: format!("invalid artifact name '{artifact}'"),
+            };
+        }
+        let Some(archive) = &self.archive else {
+            return Response::Error {
+                message: "no archive attached to this portal".into(),
+            };
+        };
+        let logical = format!("/runs/{run}/{artifact}");
+        let Some(manifest) = archive.cas().manifest(&logical) else {
+            return Response::Error {
+                message: format!("run {run} has no archived artifact '{artifact}'"),
+            };
+        };
+        let content = match archive.cas().read(&logical) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                return Response::Error {
+                    message: format!("artifact unreadable: {e}"),
+                }
+            }
+        };
+        let total_len = content.len() as u64;
+        let start = offset.min(total_len) as usize;
+        let end = start
+            .saturating_add(max.clamp(1, ARTIFACT_CHUNK_MAX))
+            .min(content.len());
+        let data = content[start..end].to_vec();
+        Response::Artifact {
+            artifact: artifact.to_string(),
+            total_len,
+            digest: manifest.digest,
+            offset: start as u64,
+            eof: end as u64 >= total_len,
+            data,
         }
     }
 
@@ -664,6 +742,14 @@ impl PortalCore {
                 break;
             };
             let entry = self.runs.get_mut(&run_id).expect("queued run has an entry");
+            // Open the archive capture tap before the first step executes
+            // so the eventual capture.jsonl holds the whole stream.
+            if self.archive.is_some() && entry.capture.is_none() {
+                entry.capture = Some(
+                    self.runs_nsds
+                        .subscribe(format!("{run_id}/*"), CAPTURE_BUFFER),
+                );
+            }
             let mut run = WorkerRun::build(
                 &run_id,
                 entry.owner.clone(),
@@ -725,6 +811,9 @@ impl PortalCore {
                 Sliced::InFlight(run_id, steps) => {
                     let entry = self.runs.get_mut(&run_id).expect("running entry exists");
                     entry.steps_completed = steps;
+                    if let Some(capture) = &entry.capture {
+                        entry.captured.extend(capture.drain());
+                    }
                     if steps > 0 && entry.first_step_at.is_none() {
                         entry.first_step_at = Some(now);
                         let latency = now.as_nanos().saturating_sub(entry.submitted_at.as_nanos());
@@ -761,6 +850,39 @@ impl PortalCore {
         let json = serde_json::to_vec(&outcome.history).unwrap_or_default();
         entry.digest = Some(frame::crc32(&json));
         entry.history_json = Some(json);
+        // Archive the trace and the NSDS capture: chunked into the
+        // attached site's CAS, where identical captures across runs
+        // deduplicate and replication picks them up.
+        if let Some(capture) = entry.capture.take() {
+            entry.captured.extend(capture.drain());
+        }
+        if let Some(archive) = &self.archive {
+            if let Some(history) = &entry.history_json {
+                archive.ingest_local(
+                    &format!("/runs/{run_id}/history.json"),
+                    &bytes::Bytes::from(history.clone()),
+                    now,
+                );
+            }
+            let capture_bytes = encode_jsonl(&entry.captured);
+            let manifest = archive.ingest_local(
+                &format!("/runs/{run_id}/capture.jsonl"),
+                &capture_bytes,
+                now,
+            );
+            if self.telemetry.enabled() {
+                self.telemetry.instant(
+                    now.as_nanos(),
+                    "portal",
+                    "archived",
+                    [
+                        ("run", Field::Str(run_id.to_string())),
+                        ("capture_bytes", Field::U64(manifest.total_len)),
+                        ("samples", Field::U64(entry.captured.len() as u64)),
+                    ],
+                );
+            }
+        }
         let completed_ok = matches!(outcome.termination, Termination::Completed);
         entry.state = match outcome.termination {
             Termination::Completed => {
@@ -862,6 +984,15 @@ impl Portal {
     /// Attach the facility-wide NSDS hub served to `ObserveFacility`.
     pub fn attach_facility_hub(&self, hub: Arc<NsdsServer>) {
         self.core.lock().facility_nsds = Some(hub);
+    }
+
+    /// Attach an archive site. From now on every finished run deposits
+    /// its sealed history (`history.json`) and full NSDS capture
+    /// (`capture.jsonl`) into the site's content-addressed store under
+    /// `/runs/{run_id}/`, where tenants can stream them back with
+    /// `FetchArtifact` and the replica manager can mirror them off-site.
+    pub fn attach_archive(&self, site: ArchiveSite) {
+        self.core.lock().archive = Some(site);
     }
 
     /// Record portal events into a telemetry recorder.

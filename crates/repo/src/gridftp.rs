@@ -13,6 +13,66 @@ use serde::{Deserialize, Serialize};
 
 use crate::checksum::crc32;
 
+/// Why a transfer (or one of its blocks) was refused.
+///
+/// Typed like the portal's `Rejection`: callers match on the variant, the
+/// `Display` impl keeps the old human-readable text for logs and faults.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferError {
+    /// A block's byte range falls outside the negotiated file length.
+    OutOfBounds {
+        /// Block start offset.
+        start: u64,
+        /// Block end offset (exclusive).
+        end: u64,
+        /// Negotiated file length.
+        len: u64,
+    },
+    /// A block's payload failed its per-block CRC-32.
+    BlockChecksum {
+        /// Offset of the corrupt block.
+        offset: u64,
+    },
+    /// `finish` was called before every byte arrived.
+    Incomplete {
+        /// Ranges received so far.
+        have: Vec<(u64, u64)>,
+        /// Negotiated file length.
+        expected: u64,
+    },
+    /// The reassembled file failed the whole-file CRC-32.
+    FileChecksum {
+        /// CRC-32 actually computed.
+        actual: u32,
+        /// CRC-32 the control channel promised.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::OutOfBounds { start, end, len } => {
+                write!(f, "block [{start},{end}) beyond file length {len}")
+            }
+            TransferError::BlockChecksum { offset } => {
+                write!(f, "block at {offset} failed checksum")
+            }
+            TransferError::Incomplete { have, expected } => {
+                write!(f, "transfer incomplete: have {have:?} of {expected} bytes")
+            }
+            TransferError::FileChecksum { actual, expected } => {
+                write!(
+                    f,
+                    "file checksum mismatch: {actual:#010x} != {expected:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
 /// One data block on one stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransferChunk {
@@ -128,16 +188,20 @@ impl GridFtpReceiver {
 
     /// Accept one block (any order, any stream). Rejects corrupt or
     /// out-of-bounds blocks. Duplicate blocks are idempotent.
-    pub fn accept(&mut self, chunk: &TransferChunk) -> Result<(), String> {
+    pub fn accept(&mut self, chunk: &TransferChunk) -> Result<(), TransferError> {
         let start = chunk.offset;
         let end = start + chunk.data.len() as u64;
         if end > self.expected_len {
             self.blocks_rejected += 1;
-            return Err(format!("block [{start},{end}) beyond file length"));
+            return Err(TransferError::OutOfBounds {
+                start,
+                end,
+                len: self.expected_len,
+            });
         }
         if crc32(&chunk.data) != chunk.checksum {
             self.blocks_rejected += 1;
-            return Err(format!("block at {start} failed checksum"));
+            return Err(TransferError::BlockChecksum { offset: start });
         }
         self.buffer[start as usize..end as usize].copy_from_slice(&chunk.data);
         self.add_range(start, end);
@@ -177,19 +241,19 @@ impl GridFtpReceiver {
     }
 
     /// Finish: verify the whole-file checksum and hand over the content.
-    pub fn finish(self) -> Result<Bytes, String> {
+    pub fn finish(self) -> Result<Bytes, TransferError> {
         if !self.complete() {
-            return Err(format!(
-                "transfer incomplete: have {:?} of {} bytes",
-                self.ranges, self.expected_len
-            ));
+            return Err(TransferError::Incomplete {
+                have: self.ranges,
+                expected: self.expected_len,
+            });
         }
         let sum = crc32(&self.buffer);
         if sum != self.expected_checksum {
-            return Err(format!(
-                "file checksum mismatch: {sum:#010x} != {:#010x}",
-                self.expected_checksum
-            ));
+            return Err(TransferError::FileChecksum {
+                actual: sum,
+                expected: self.expected_checksum,
+            });
         }
         Ok(Bytes::from(self.buffer))
     }
@@ -250,7 +314,10 @@ mod tests {
         data[0] ^= 0xFF;
         bad.data = Bytes::from(data);
         let mut rx = GridFtpReceiver::new(sender.len(), sender.file_checksum());
-        assert!(rx.accept(&bad).unwrap_err().contains("checksum"));
+        assert_eq!(
+            rx.accept(&bad).unwrap_err(),
+            TransferError::BlockChecksum { offset: 0 }
+        );
         assert_eq!(rx.block_stats(), (0, 1));
     }
 
@@ -263,7 +330,14 @@ mod tests {
             checksum: crc32(&payload(20)),
             stream: 0,
         };
-        assert!(rx.accept(&c).unwrap_err().contains("beyond"));
+        assert!(matches!(
+            rx.accept(&c).unwrap_err(),
+            TransferError::OutOfBounds {
+                end: 110,
+                len: 100,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl HttpsBridge {
             for c in sender.chunks() {
                 rx.accept(&c).map_err(|e| e.to_string())?;
             }
-            rx.finish()?
+            rx.finish().map_err(|e| e.to_string())?
         } else {
             raw
         };

@@ -32,7 +32,7 @@ pub mod service;
 pub mod storage;
 
 pub use checksum::{crc32, from_hex, to_hex};
-pub use gridftp::{GridFtpReceiver, GridFtpSender, RestartMarker, TransferChunk};
+pub use gridftp::{GridFtpReceiver, GridFtpSender, RestartMarker, TransferChunk, TransferError};
 pub use https_bridge::HttpsBridge;
 pub use ingest::Ingester;
 pub use metadata::{MetadataObject, Schema};

@@ -204,7 +204,7 @@ impl GridService for NfmsService {
                 };
                 up.receiver
                     .accept(&chunk)
-                    .map_err(|e| ServiceFault::transient("ChunkRejected", e))?;
+                    .map_err(|e| ServiceFault::transient("ChunkRejected", e.to_string()))?;
                 Ok(json!({ "marker": up.receiver.restart_marker() }))
             }
             "commitUpload" => {
@@ -217,7 +217,7 @@ impl GridService for NfmsService {
                 let content = up
                     .receiver
                     .finish()
-                    .map_err(|e| ServiceFault::permanent("TransferIncomplete", e))?;
+                    .map_err(|e| ServiceFault::permanent("TransferIncomplete", e.to_string()))?;
                 let ticket = self
                     .nfms
                     .upload(up.logical, content, ctx.now)

@@ -9,7 +9,10 @@
 # the repo root (and asserts 64-site double-run determinism); portal_load
 # drives 10,000 tenants through the portal service and writes
 # experiments/sec + p99 submission→first-step latency to BENCH_portal.json
-# (asserting zero cross-tenant leaks). The analyzer stage records both
+# (asserting zero cross-tenant leaks). archive_ingest replicates striped
+# captures while the 64-site run shares the engine and writes ingest
+# throughput + dedup counts to BENCH_archive.json (asserting the MOST
+# history stays bit-identical). The analyzer stage records both
 # exhaustive checkers' schedule counts and wall time to BENCH_analyzer.json.
 
 set -euo pipefail
@@ -26,6 +29,9 @@ cargo bench -p neesgrid-bench --bench sec51_n_site_scaling
 
 echo "==> portal_load (10k tenants → BENCH_portal.json)"
 cargo bench -p neesgrid-bench --bench portal_load
+
+echo "==> archive_ingest (striped ingest under 64-site load → BENCH_archive.json)"
+cargo bench -p neesgrid-bench --bench archive_ingest
 
 echo "==> analyzer checkers (schedule counts → BENCH_analyzer.json)"
 cargo run -q --release -p neesgrid-analyzer -- bench --out BENCH_analyzer.json

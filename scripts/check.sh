@@ -65,6 +65,9 @@ else
 
     echo "==> portal smoke (wire API, crash recovery, tenant isolation)"
     cargo test -q --test portal_service
+
+    echo "==> archive smoke (striped resume, replica failover, artifact fetch)"
+    cargo test -q --test archive_transfer
 fi
 
 echo "==> cargo test -q (tier-1)"

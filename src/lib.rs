@@ -17,6 +17,8 @@
 //! * [`apparatus`] — emulated servo-hydraulic rigs, sensors, specimens
 //! * [`daq`] — data acquisition + NSDS streaming
 //! * [`repo`] — NMDS metadata, NFMS file management, GridFTP-sim, ingestion
+//! * [`archive`] — content-addressed experiment archive: dedup block
+//!   store, striped virtual-link transfers, replica placement & failover
 //! * [`coordinator`] — the MS-PSDS simulation coordinator
 //! * [`checkpoint`] — checkpoint & resume: checksummed snapshots so a run
 //!   killed mid-experiment (the step-1493 failure) restarts and finishes
@@ -35,6 +37,7 @@
 //! server with a simulation plugin, driven through propose/execute/cancel.
 
 pub use neesgrid_apparatus as apparatus;
+pub use neesgrid_archive as archive;
 pub use neesgrid_checkpoint as checkpoint;
 pub use neesgrid_chef as chef;
 pub use neesgrid_coordinator as coordinator;
