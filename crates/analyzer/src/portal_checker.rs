@@ -34,7 +34,7 @@
 
 use std::sync::Arc;
 
-use neesgrid_gridsim::{LatencyModel, NetworkConfig, SimTime, VirtualNetwork};
+use neesgrid_gridsim::{NetworkProfile, SimTime, VirtualNetwork};
 use neesgrid_gsi::{CertificateAuthority, Credential, DistinguishedName};
 use neesgrid_portal::{
     ExperimentSpec, Portal, PortalClient, PortalConfig, PortalFaults, Request, Response, RunState,
@@ -174,12 +174,7 @@ struct PortalWorld {
 /// The experiment every schedule submits: smallest spec that still
 /// exercises multi-slice execution and mid-run checkpoints.
 fn spec(cfg: &PortalCheckConfig) -> ExperimentSpec {
-    ExperimentSpec {
-        sites: 1,
-        steps: cfg.steps,
-        seed: 1493,
-        checkpoint_every: cfg.checkpoint_every,
-    }
+    ExperimentSpec::basic(1, cfg.steps, 1493, cfg.checkpoint_every)
 }
 
 fn portal_config(cfg: &PortalCheckConfig) -> PortalConfig {
@@ -199,10 +194,7 @@ fn deploy(
     ca: &CertificateAuthority,
     cred: &Credential,
 ) -> (VirtualNetwork, Portal, PortalClient) {
-    let net = VirtualNetwork::new(NetworkConfig {
-        default_latency: LatencyModel::wan_2003(),
-        seed: 1493,
-    });
+    let net = VirtualNetwork::new(NetworkProfile::CampusWan.config(1493));
     let portal = Portal::serve(
         &net,
         "portal",

@@ -751,8 +751,15 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
     // joins every protocol rule except span-balance (and docs, which
     // rides with the original protocol set).
     let archive = rel.starts_with("crates/archive/src/");
+    // The campaign engine drives sweeps whose whole value is reproducible
+    // verdicts: a panic mid-sweep loses the corpus, hash iteration breaks
+    // byte-identical verdict tables, and its submit queue already rides
+    // the portal's bounded admission path — so it takes the determinism
+    // and robustness rules, but not the span/docs discipline of the
+    // protocol crates.
+    let campaign = rel.starts_with("crates/campaign/src/");
     Some(RuleSet {
-        unwrap: protocol || archive,
+        unwrap: protocol || archive || campaign,
         docs: protocol,
         wall_clock: !rel.starts_with("crates/bench/"),
         // The event engine owns time in the protocol crates and the ogsi
@@ -767,6 +774,7 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         // queue, the coordinator's scheduling structures, and the daq
         // streaming buffers. Everywhere else an unbounded Vec is idiomatic.
         bounded_queues: archive
+            || campaign
             || ["portal", "coordinator", "daq"]
                 .iter()
                 .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
@@ -774,6 +782,7 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         // simulation, the wire, or a checkpoint. Hash iteration there
         // breaks the bit-identical-replay guarantee silently.
         hash_iteration: archive
+            || campaign
             || [
                 "gridsim",
                 "ogsi",
@@ -791,6 +800,7 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         // Same scope as `no-unbounded-channel`: where a queue must be
         // bounded, its bound must also be declared and kept in sync.
         buffer_contract: archive
+            || campaign
             || ["portal", "coordinator", "daq"]
                 .iter()
                 .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
@@ -1244,6 +1254,13 @@ mod tests {
         assert!(a.unwrap && a.wall_clock && a.hash_iteration);
         assert!(a.bounded_queues && a.buffer_contract);
         assert!(!a.docs && !a.span_balance && !a.lock_order && !a.blocking);
+        // The campaign engine: determinism + robustness rules (a panic
+        // loses the sweep, hash iteration un-reproduces the verdict
+        // table), minus the protocol span/docs discipline.
+        let g = rules_for("crates/campaign/src/runner.rs").unwrap();
+        assert!(g.unwrap && g.wall_clock && g.hash_iteration);
+        assert!(g.bounded_queues && g.buffer_contract);
+        assert!(!g.docs && !g.span_balance && !g.lock_order && !g.blocking);
         assert_eq!(rules_for("crates/shims/rand/src/lib.rs"), None);
         assert_eq!(rules_for("crates/ntcp/tests/integration.rs"), None);
         assert_eq!(rules_for("tests/most.rs"), None);

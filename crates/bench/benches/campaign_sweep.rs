@@ -1,0 +1,111 @@
+//! Campaign sweep — a declarative scenario matrix through the portal.
+//!
+//! Expands three DSL scenarios (a deterministic mid-run reset, a clean
+//! control, and a recoverable drop) into a 240-cell (scenario × seed)
+//! matrix, drives every cell through the portal's admission queue and
+//! worker pool, signatures each trace, and archives every run into the
+//! content-addressed corpus. Reports runs/sec (wall clock), the unique
+//! failure-signature count, and the corpus dedup ratio — 240 runs that
+//! collapse to a handful of signatures are the whole point of a
+//! regression corpus. Asserts a second same-seed sweep reproduces the
+//! verdict table byte-for-byte, and writes `BENCH_campaign.json`.
+
+use std::time::Instant;
+
+use neesgrid_campaign::{run_campaign, CampaignConfig, ScenarioDoc};
+
+const RESET: &str = r#"
+campaign "bench-reset" {
+  sites   { count = 2; }
+  faults  { reset "coordinator" -> "site-000" at step 3 phase execute; }
+  run     { steps = 8; checkpoint-every = 0; policy = partial; }
+  sweep   { seeds = 1..120; }
+}
+"#;
+
+const CLEAN: &str = r#"
+campaign "bench-clean" {
+  sites { count = 2; }
+  run   { steps = 8; checkpoint-every = 0; }
+  sweep { seeds = 1..60; }
+}
+"#;
+
+const DROP: &str = r#"
+campaign "bench-drop" {
+  sites  { count = 2; }
+  faults { drop "coordinator" -> "site-000" at step 2 phase propose; }
+  run    { steps = 8; checkpoint-every = 0; policy = full; }
+  sweep  { seeds = 1..60; }
+}
+"#;
+
+fn main() {
+    let docs: Vec<ScenarioDoc> = [RESET, CLEAN, DROP]
+        .iter()
+        .map(|src| ScenarioDoc::parse(src).expect("bench scenario parses"))
+        .collect();
+    let config = CampaignConfig {
+        workers: 8,
+        slice_steps: 16,
+        queue_capacity: 32,
+    };
+
+    let started = Instant::now();
+    let report = run_campaign(&docs, &config).expect("campaign runs");
+    let elapsed = started.elapsed();
+
+    let runs = report.verdicts.len();
+    let runs_per_sec = runs as f64 / elapsed.as_secs_f64();
+    let unique = report.unique_signatures();
+    // 240 archived runs over N distinct signatures: the corpus keeps one
+    // novel entry per signature, everything else is a reproduction.
+    let novel = report.entries.iter().filter(|e| e.novel).count();
+    let dedup_ratio = runs as f64 / unique.max(1) as f64;
+
+    assert_eq!(runs, 240, "matrix expands to 240 cells");
+    assert_eq!(report.entries.len(), runs, "every run archived");
+    assert_eq!(novel, unique, "one novel corpus entry per signature");
+    assert!(
+        unique <= 4,
+        "failure classes collapsed ({unique} signatures)"
+    );
+
+    // Determinism gate: the same matrix re-run must reproduce the verdict
+    // table and corpus digest byte-for-byte.
+    let again = run_campaign(&docs, &config).expect("second sweep runs");
+    assert_eq!(
+        report.verdict_table(),
+        again.verdict_table(),
+        "same-seed sweeps must be byte-identical"
+    );
+    assert_eq!(report.corpus_digest, again.corpus_digest);
+
+    eprintln!(
+        "campaign_sweep: {runs} runs in {elapsed:.2?}  ({runs_per_sec:.1} runs/s through the portal)"
+    );
+    eprintln!(
+        "campaign_sweep: {unique} unique signatures, {novel} novel corpus entries, dedup ratio {dedup_ratio:.1}x, {} QueueFull retries",
+        report.queue_full_retries
+    );
+
+    let doc = serde_json::json!({
+        "bench": "campaign_sweep",
+        "runs": runs,
+        "steps_per_run": 8,
+        "workers": config.workers,
+        "wall_clock_ms": elapsed.as_secs_f64() * 1e3,
+        "runs_per_sec": runs_per_sec,
+        "unique_signatures": unique,
+        "novel_corpus_entries": novel,
+        "corpus_dedup_ratio": dedup_ratio,
+        "queue_full_retries": report.queue_full_retries,
+        "ticks": report.ticks,
+        "corpus_digest": report.corpus_digest,
+        "deterministic_rerun": true,
+    });
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(out, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write BENCH_campaign.json");
+    eprintln!("campaign_sweep: wrote {out}");
+}

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use neesgrid_checkpoint::MemoryCheckpointStore;
-use neesgrid_gridsim::{LatencyModel, NetworkConfig, SimTime, VirtualNetwork};
+use neesgrid_gridsim::{NetworkProfile, SimTime, VirtualNetwork};
 use neesgrid_gsi::{CertificateAuthority, Credential, DistinguishedName};
 use neesgrid_portal::{
     ExperimentSpec, Portal, PortalClient, PortalConfig, Rejection, Request, Response,
@@ -32,10 +32,7 @@ fn call(client: &PortalClient, who: &DistinguishedName, request: Request) -> Res
 }
 
 fn main() {
-    let net = VirtualNetwork::new(NetworkConfig {
-        default_latency: LatencyModel::wan_2003(),
-        seed: SEED,
-    });
+    let net = VirtualNetwork::new(NetworkProfile::CampusWan.config(SEED));
     let ca = CertificateAuthority::nees(SEED);
     let service = Portal::serve(
         &net,
@@ -78,14 +75,9 @@ fn main() {
             other => panic!("tenant {i} login refused: {other:?}"),
         }
 
-        let spec = ExperimentSpec {
-            sites: 1,
-            steps: STEPS,
-            seed: SEED + i,
-            checkpoint_every: 0,
-        };
+        let spec = ExperimentSpec::basic(1, STEPS, SEED + i, 0);
         let run = loop {
-            match call(&client, &who, Request::Submit { spec }) {
+            match call(&client, &who, Request::Submit { spec: spec.clone() }) {
                 Response::Submitted { run, .. } => break run,
                 Response::Rejected {
                     rejection: Rejection::QueueFull { .. },

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use neesgrid_gridsim::{LatencyModel, NetworkConfig, NodeId, VirtualNetwork};
+use neesgrid_gridsim::{NetworkConfig, NetworkProfile, NodeId, VirtualNetwork};
 use neesgrid_gsi::{ActionLimits, DistinguishedName, SitePolicy};
 use neesgrid_ntcp::{ControlPlugin, NtcpClient, NtcpServer};
 use neesgrid_ogsi::{RpcClient, RpcMux, ServiceContainer};
@@ -49,10 +49,10 @@ pub fn loopback_net() -> VirtualNetwork {
     VirtualNetwork::new(NetworkConfig::default())
 }
 
-/// A 2003-grade WAN for end-to-end benches.
+/// A 2003-grade WAN for end-to-end benches (the campus-WAN preset).
 pub fn wan_net() -> VirtualNetwork {
     VirtualNetwork::new(NetworkConfig {
-        default_latency: LatencyModel::wan_2003(),
+        default_latency: NetworkProfile::CampusWan.latency(),
         ..Default::default()
     })
 }

@@ -1,0 +1,40 @@
+//! # neesgrid-campaign — the scenario campaign engine
+//!
+//! The paper's experiments were *campaigns*, not single runs: the MOST
+//! team rehearsed with dry runs, varied conditions, and catalogued the
+//! failures they hit (transient drops all day; the fatal reset at step
+//! 1493). This crate turns that practice into infrastructure over the
+//! deterministic stack:
+//!
+//! * [`dsl`] — a declarative scenario language: ground-motion suites,
+//!   heterogeneous site mixes, per-link network profiles, a
+//!   fault-injection grammar (point faults by step or message index,
+//!   deterministic fault rates, worker kills), and sweep axes.
+//! * [`plan`] — expands one scenario × its sweep axes into an ordered
+//!   run matrix of fully-specified portal submissions.
+//! * [`runner`] — pushes the matrix through the portal's wire API as a
+//!   quota'd tenant (bounded queue, typed sheds, worker pool), drives
+//!   the scheduler with declared kills, and collects per-run verdicts.
+//! * [`corpus`] — archives every run (scenario source + seed + trace +
+//!   verdict) as content-addressed manifests, dedupes failures by
+//!   their [`neesgrid_telemetry::TraceSignature`], and replays entries
+//!   bit-identically.
+//!
+//! Determinism is the contract end to end: same scenarios + same seeds
+//! → the same run matrix, the same verdict table bytes, and the same
+//! corpus digest. Scenario files live under `scenarios/` at the repo
+//! root; `neesgrid-campaign run scenarios/*.scn` executes them.
+
+/// The content-addressed regression corpus and replay.
+pub mod corpus;
+/// The scenario DSL: lexer, parser, document model.
+pub mod dsl;
+/// Run-matrix expansion.
+pub mod plan;
+/// The sweep runner over the portal wire API.
+pub mod runner;
+
+pub use corpus::{replay_entry, Corpus, CorpusEntry, EntryArtifact, ReplayReport};
+pub use dsl::{FaultStmt, ParseError, ScenarioDoc, Sweep, WorkerKill};
+pub use plan::{build_fault_plan, expand, RunPlan};
+pub use runner::{run_campaign, CampaignConfig, CampaignError, CampaignReport, RunVerdict};

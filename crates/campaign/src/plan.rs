@@ -1,0 +1,180 @@
+//! Run-matrix expansion: one [`ScenarioDoc`] × its sweep axes → an
+//! ordered list of fully-specified [`RunPlan`]s.
+//!
+//! Expansion order is fixed (profile, suite, amplitude, policy, seed —
+//! outermost to innermost), so the same scenario always yields the same
+//! matrix in the same order, and run labels sort the same way in every
+//! sweep. That ordering is what makes verdict tables byte-comparable
+//! across re-runs.
+
+use neesgrid_gridsim::{FaultAction, FaultPlan, NetworkProfile, RateFault};
+use neesgrid_portal::{ExperimentSpec, MotionSuite, RunPolicy};
+
+use crate::dsl::{FaultStmt, ScenarioDoc, Sweep};
+
+/// Salt tweak separating DSL-declared rate faults from the profile's
+/// own background-loss salts (which use the seed directly).
+const RATE_SALT_TWEAK: u64 = 0xCA4B;
+
+/// One cell of the run matrix: a label, the seed, and the exact spec
+/// the portal will receive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPlan {
+    /// Stable, human-readable identity: campaign name + every swept
+    /// axis value + the seed. Unique within a campaign.
+    pub label: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// The submission payload (always `record_trace = true`: signatures
+    /// and the corpus need the trace).
+    pub spec: ExperimentSpec,
+}
+
+/// Expand the scenario into its ordered run matrix.
+pub fn expand(doc: &ScenarioDoc) -> Vec<RunPlan> {
+    let Sweep {
+        seed_lo, seed_hi, ..
+    } = doc.sweep;
+    let profiles: Vec<NetworkProfile> = axis(&doc.sweep.profiles, doc.profile);
+    let suites: Vec<MotionSuite> = axis(&doc.sweep.suites, doc.suite);
+    let amplitudes: Vec<f64> = axis(&doc.sweep.amplitudes, doc.amplitude);
+    let policies: Vec<RunPolicy> = axis(&doc.sweep.policies, doc.policy);
+
+    let mut plans = Vec::new();
+    for profile in &profiles {
+        for suite in &suites {
+            for amplitude in &amplitudes {
+                for policy in &policies {
+                    for seed in seed_lo..=seed_hi {
+                        let mut spec =
+                            ExperimentSpec::basic(doc.sites, doc.steps, seed, doc.checkpoint_every);
+                        spec.profile = *profile;
+                        spec.links = doc.links.clone();
+                        spec.mix = doc.mix.clone();
+                        spec.faults = build_fault_plan(&doc.faults, seed);
+                        spec.policy = *policy;
+                        spec.motion = *suite;
+                        spec.amplitude = *amplitude;
+                        spec.record_trace = true;
+                        plans.push(RunPlan {
+                            label: format!(
+                                "{}/{}/{}/a{}/{}/seed-{:04}",
+                                doc.name,
+                                profile.name(),
+                                suite.name(),
+                                amplitude,
+                                policy.name(),
+                                seed
+                            ),
+                            seed,
+                            spec,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    plans
+}
+
+fn axis<T: Copy>(swept: &[T], base: T) -> Vec<T> {
+    if swept.is_empty() {
+        vec![base]
+    } else {
+        swept.to_vec()
+    }
+}
+
+/// Build the spec's fault plan for one seed. Point faults are
+/// seed-independent; rate faults get a seed-derived salt so each seed
+/// draws a different (but replayable) fault pattern, with a per-statement
+/// offset so two identical rate statements don't collapse onto the same
+/// message selection.
+pub fn build_fault_plan(stmts: &[FaultStmt], seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::reliable();
+    for (i, stmt) in stmts.iter().enumerate() {
+        match stmt {
+            FaultStmt::Point {
+                action,
+                link,
+                index,
+            } => {
+                match action {
+                    FaultAction::Drop => plan.drop_at(link.clone(), *index),
+                    FaultAction::Reset => plan.reset_at(link.clone(), *index),
+                    FaultAction::Duplicate => plan.dup_at(link.clone(), *index),
+                    FaultAction::Deliver => &mut plan, // unreachable from the DSL
+                };
+            }
+            FaultStmt::Rate {
+                action,
+                per_mille,
+                link,
+            } => {
+                plan.rate(RateFault {
+                    link: link.clone(),
+                    per_mille: *per_mille,
+                    action: *action,
+                    salt: seed
+                        .wrapping_mul(RATE_SALT_TWEAK)
+                        .wrapping_add(i as u64 + 1),
+                });
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::ScenarioDoc;
+
+    fn doc(src: &str) -> ScenarioDoc {
+        ScenarioDoc::parse(src).expect("scenario parses")
+    }
+
+    #[test]
+    fn matrix_is_the_axis_product_times_seeds() {
+        let d = doc(
+            "campaign \"m\" { sweep { seeds = 1..4; amplitude = [1.0, 2.0]; \
+             profile = [lan, lossy-wan]; } }",
+        );
+        let plans = expand(&d);
+        assert_eq!(plans.len(), 4 * 2 * 2);
+        // Labels are unique and sorted-stable in expansion order.
+        let mut labels: Vec<&str> = plans.iter().map(|p| p.label.as_str()).collect();
+        labels.dedup();
+        assert_eq!(labels.len(), plans.len());
+        assert!(plans[0].label.starts_with("m/lan/nominal/a1/"));
+        assert!(plans[0].spec.record_trace, "campaign runs always trace");
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let d = doc("campaign \"d\" { sweep { seeds = 3..7; policy = [full, partial]; } }");
+        assert_eq!(expand(&d), expand(&d));
+    }
+
+    #[test]
+    fn point_faults_are_seed_independent_and_rates_are_not() {
+        let d = doc("campaign \"f\" { faults { \
+               drop \"a\" -> \"b\" at step 2; \
+               drop rate 100/1000 on \"a\" -> \"b\"; } \
+             sweep { seeds = 1..2; } }");
+        let plans = expand(&d);
+        assert_eq!(plans.len(), 2);
+        let (p1, p2) = (&plans[0].spec.faults, &plans[1].spec.faults);
+        assert_eq!(p1.point_fault_count(), p2.point_fault_count());
+        assert_ne!(p1, p2, "rate salts differ per seed");
+    }
+
+    #[test]
+    fn duplicate_rate_statements_draw_independent_patterns() {
+        let d = doc("campaign \"r\" { faults { \
+               drop rate 200/1000 on \"a\" -> \"b\"; \
+               drop rate 200/1000 on \"a\" -> \"b\"; } }");
+        let plans = expand(&d);
+        assert_eq!(plans[0].spec.faults.rate_count(), 2);
+    }
+}

@@ -296,16 +296,13 @@ mod tests {
     use super::*;
     use neesgrid_checkpoint::MemoryCheckpointStore;
     use neesgrid_daq::nsds::{NsdsSample, NsdsServer};
-    use neesgrid_gridsim::{LatencyModel, NetworkConfig};
+    use neesgrid_gridsim::NetworkProfile;
     use neesgrid_gsi::CertificateAuthority;
     use neesgrid_portal::{Portal, PortalConfig};
     use neesgrid_repo::VirtualStore;
 
     fn setup() -> (VirtualNetwork, CertificateAuthority, Portal, CollabPortal) {
-        let net = VirtualNetwork::new(NetworkConfig {
-            default_latency: LatencyModel::wan_2003(),
-            seed: 33,
-        });
+        let net = VirtualNetwork::new(NetworkProfile::CampusWan.config(33));
         let ca = CertificateAuthority::nees(33);
         let service = Portal::serve(
             &net,

@@ -209,7 +209,9 @@ impl SimulationCoordinator {
     /// Install a telemetry handle. Each step gets a `coordinator/step` span
     /// wrapping `propose_phase` and `execute_phase` child spans; aborts emit
     /// a `coordinator/abort` instant and trigger a flight-recorder dump;
-    /// resumes emit `coordinator/resume`. Defaults to disabled.
+    /// checkpoint resumes emit `coordinator/resume` (ordinary slice
+    /// continuations stay silent, so a run's trace is independent of how
+    /// it was scheduled). Defaults to disabled.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
     }
@@ -435,11 +437,15 @@ impl SimulationCoordinator {
     ) -> SliceOutcome {
         assert!(max_slice_steps > 0, "a slice must cover at least one step");
         let start = resume.as_ref().map(|s| s.step).unwrap_or(0);
+        // Slice continuations are a scheduling artifact, not a recovery:
+        // the trace stays silent so it reads the same however the worker
+        // pool happened to slice the run.
         self.run_bounded(
             motion,
             steps,
             resume,
             Some(start.saturating_add(max_slice_steps)),
+            false,
         )
     }
 
@@ -449,7 +455,7 @@ impl SimulationCoordinator {
         steps: usize,
         resume: Option<CoordinatorState>,
     ) -> ExperimentOutcome {
-        match self.run_bounded(motion, steps, resume, None) {
+        match self.run_bounded(motion, steps, resume, None, true) {
             SliceOutcome::Finished(outcome) => outcome,
             SliceOutcome::Paused(_) => unreachable!("unbounded run cannot pause"),
         }
@@ -461,6 +467,7 @@ impl SimulationCoordinator {
         steps: usize,
         resume: Option<CoordinatorState>,
         pause_at: Option<u64>,
+        announce_resume: bool,
     ) -> SliceOutcome {
         // Bind every site client to the policy's transport behaviour.
         let clients: Vec<NtcpClient> = self
@@ -483,7 +490,7 @@ impl SimulationCoordinator {
                 );
                 let mut log = state.log;
                 log.record(self.clock.now(), state.step, EventKind::Resumed);
-                if self.telemetry.enabled() {
+                if announce_resume && self.telemetry.enabled() {
                     self.telemetry.instant(
                         self.clock.now().as_nanos(),
                         "coordinator",

@@ -124,7 +124,14 @@ impl NsdsServer {
     pub fn publish(&self, sample: NsdsSample) {
         *self.published.lock() += 1;
         let telemetry = self.telemetry.lock().clone();
-        let subs = self.subscriptions.lock();
+        let mut subs = self.subscriptions.lock();
+        // A subscription whose handle is gone can never be polled again:
+        // reclaim it here, so publish cost tracks live subscribers rather
+        // than every subscription ever opened. Long-lived hubs (the
+        // portal's run stream across a 10k-run bench or a campaign sweep)
+        // otherwise scan an ever-growing tail of closed observers and
+        // finished capture taps on every sample.
+        subs.retain(|sub| Arc::strong_count(sub) > 1);
         for sub in subs.iter() {
             let mut s = sub.lock();
             if !pattern_matches(&s.pattern, &sample.channel) {
@@ -167,8 +174,9 @@ impl NsdsServer {
         *self.published.lock()
     }
 
-    /// Active subscription count (subscriptions are never auto-removed;
-    /// NSDS lifetimes are managed by the OGSI lease layer in deployment).
+    /// Active subscription count. Subscriptions whose handle has been
+    /// dropped are reclaimed lazily on the next `publish`, so this may
+    /// briefly over-count between a drop and the next sample.
     pub fn subscription_count(&self) -> usize {
         self.subscriptions.lock().len()
     }

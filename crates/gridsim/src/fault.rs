@@ -48,6 +48,10 @@ pub enum FaultAction {
     /// notified via a [`crate::ControlNotice::LinkReset`]. Models TCP RST /
     /// peer crash — the error class that ended the MOST public run.
     Reset,
+    /// Deliver the message twice, each copy with an independently sampled
+    /// latency. Models retransmission races; NTCP's at-most-once dedup cache
+    /// is what keeps a duplicated request from executing twice.
+    Duplicate,
 }
 
 /// One scheduled fault.
@@ -73,17 +77,68 @@ pub struct PartitionWindow {
     pub to_index: u64,
 }
 
+/// A background fault *rate*: roughly `per_mille` out of every 1000 messages
+/// on the matching link(s) suffer `action`. Selection is a pure function of
+/// `(salt, link, message index)`, never of randomness consumed elsewhere, so
+/// a rate fault is exactly as replayable as a scheduled one — the lossy-WAN
+/// profile is a schedule you haven't enumerated, not a coin flip.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateFault {
+    /// Affected directed link; `None` applies to every link.
+    pub link: Option<LinkKey>,
+    /// How many out of every 1000 messages are hit (clamped to 1000).
+    pub per_mille: u16,
+    /// What happens to a selected message.
+    pub action: FaultAction,
+    /// Mixed into the selection hash so independent rate faults on the same
+    /// link pick uncorrelated message sets.
+    pub salt: u64,
+}
+
+impl RateFault {
+    fn selects(&self, link: &LinkKey, index: u64) -> bool {
+        if let Some(l) = &self.link {
+            if l != link {
+                return false;
+            }
+        }
+        let mut h = fnv1a(self.salt, link);
+        h ^= index;
+        h = h.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        h ^= h >> 33;
+        (h % 1000) < u64::from(self.per_mille.min(1000))
+    }
+}
+
+/// FNV-1a over the salt and the link's node names — a stable, dependency-free
+/// hash so rate-fault selection never rides on `std` hasher internals.
+fn fnv1a(salt: u64, link: &LinkKey) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&salt.to_le_bytes());
+    eat(link.src.as_str().as_bytes());
+    eat(&[0]);
+    eat(link.dst.as_str().as_bytes());
+    h
+}
+
 /// A deterministic schedule of network faults.
 ///
-/// Point faults take precedence over partition windows, so a window can be
-/// punched through with [`FaultAction::Deliver`].
+/// Point faults take precedence over partition windows and rate faults, so a
+/// window can be punched through with [`FaultAction::Deliver`].
 ///
 /// Serialized as a flat list of [`ScheduledFault`]s plus partition windows
-/// (JSON maps cannot have structured keys).
+/// and rate faults (JSON maps cannot have structured keys).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     point_faults: BTreeMap<LinkKey, BTreeMap<u64, FaultAction>>,
     partitions: Vec<PartitionWindow>,
+    rates: Vec<RateFault>,
     /// If true, control-plane notices themselves are exempt from faults
     /// (default). The network's own error reports are reliable.
     pub exempt_control: bool,
@@ -93,6 +148,7 @@ pub struct FaultPlan {
 struct FaultPlanWire {
     faults: Vec<ScheduledFault>,
     partitions: Vec<PartitionWindow>,
+    rates: Vec<RateFault>,
     exempt_control: bool,
 }
 
@@ -120,6 +176,7 @@ impl Serialize for FaultPlan {
         FaultPlanWire {
             faults,
             partitions: self.partitions.clone(),
+            rates: self.rates.clone(),
             exempt_control: self.exempt_control,
         }
         .serialize(serializer)
@@ -132,6 +189,7 @@ impl<'de> Deserialize<'de> for FaultPlan {
         let mut plan = FaultPlan {
             exempt_control: wire.exempt_control,
             partitions: wire.partitions,
+            rates: wire.rates,
             ..Default::default()
         };
         for f in wire.faults {
@@ -177,6 +235,21 @@ impl FaultPlan {
         })
     }
 
+    /// Convenience: deliver message `index` on `link` twice.
+    pub fn dup_at(&mut self, link: LinkKey, index: u64) -> &mut Self {
+        self.schedule(ScheduledFault {
+            link,
+            message_index: index,
+            action: FaultAction::Duplicate,
+        })
+    }
+
+    /// Add a background fault rate.
+    pub fn rate(&mut self, rate: RateFault) -> &mut Self {
+        self.rates.push(rate);
+        self
+    }
+
     /// Add a partition window.
     pub fn partition(&mut self, window: PartitionWindow) -> &mut Self {
         self.partitions.push(window);
@@ -198,6 +271,11 @@ impl FaultPlan {
                 return FaultAction::Drop;
             }
         }
+        for r in &self.rates {
+            if r.selects(link, index) {
+                return r.action;
+            }
+        }
         FaultAction::Deliver
     }
 
@@ -209,6 +287,11 @@ impl FaultPlan {
     /// Number of partition windows.
     pub fn partition_count(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// Number of background fault rates.
+    pub fn rate_count(&self) -> usize {
+        self.rates.len()
     }
 }
 
@@ -356,5 +439,117 @@ mod tests {
             back.decide(&link(), 1493, MessageKind::Request),
             FaultAction::Reset
         );
+    }
+
+    #[test]
+    fn duplicate_is_a_point_action() {
+        let mut plan = FaultPlan::reliable();
+        plan.dup_at(link(), 3);
+        assert_eq!(
+            plan.decide(&link(), 3, MessageKind::Request),
+            FaultAction::Duplicate
+        );
+        assert_eq!(
+            plan.decide(&link(), 4, MessageKind::Request),
+            FaultAction::Deliver
+        );
+    }
+
+    #[test]
+    fn rate_fault_is_deterministic_and_roughly_calibrated() {
+        let mut plan = FaultPlan::reliable();
+        plan.rate(RateFault {
+            link: Some(link()),
+            per_mille: 100,
+            action: FaultAction::Drop,
+            salt: 7,
+        });
+        let verdicts: Vec<FaultAction> = (0..10_000)
+            .map(|i| plan.decide(&link(), i, MessageKind::Request))
+            .collect();
+        let again: Vec<FaultAction> = (0..10_000)
+            .map(|i| plan.decide(&link(), i, MessageKind::Request))
+            .collect();
+        assert_eq!(verdicts, again, "pure function of (salt, link, index)");
+        let hit = verdicts.iter().filter(|v| **v == FaultAction::Drop).count();
+        // 10% nominal; allow a generous band for the hash distribution.
+        assert!((700..1300).contains(&hit), "hit {hit} of 10000");
+        // A different link with a link-scoped rate is untouched.
+        assert_eq!(
+            plan.decide(&LinkKey::new("x", "y"), 0, MessageKind::Request),
+            FaultAction::Deliver
+        );
+    }
+
+    #[test]
+    fn rate_salts_pick_different_message_sets() {
+        let plan_for = |salt: u64| {
+            let mut p = FaultPlan::reliable();
+            p.rate(RateFault {
+                link: None,
+                per_mille: 50,
+                action: FaultAction::Drop,
+                salt,
+            });
+            p
+        };
+        let a = plan_for(1);
+        let b = plan_for(2);
+        let picks = |p: &FaultPlan| -> Vec<u64> {
+            (0..2000)
+                .filter(|&i| p.decide(&link(), i, MessageKind::Request) == FaultAction::Drop)
+                .collect()
+        };
+        assert_ne!(picks(&a), picks(&b));
+    }
+
+    #[test]
+    fn point_fault_overrides_rate() {
+        let mut plan = FaultPlan::reliable();
+        plan.rate(RateFault {
+            link: None,
+            per_mille: 1000,
+            action: FaultAction::Drop,
+            salt: 0,
+        });
+        plan.schedule(ScheduledFault {
+            link: link(),
+            message_index: 5,
+            action: FaultAction::Deliver,
+        });
+        assert_eq!(
+            plan.decide(&link(), 5, MessageKind::Request),
+            FaultAction::Deliver
+        );
+        assert_eq!(
+            plan.decide(&link(), 6, MessageKind::Request),
+            FaultAction::Drop
+        );
+    }
+
+    #[test]
+    fn rates_survive_serde() {
+        let mut plan = FaultPlan::reliable();
+        plan.rate(RateFault {
+            link: Some(link()),
+            per_mille: 15,
+            action: FaultAction::Drop,
+            salt: 42,
+        });
+        plan.rate(RateFault {
+            link: None,
+            per_mille: 3,
+            action: FaultAction::Duplicate,
+            salt: 43,
+        });
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rate_count(), 2);
+        for i in 0..5000 {
+            assert_eq!(
+                plan.decide(&link(), i, MessageKind::Request),
+                back.decide(&link(), i, MessageKind::Request)
+            );
+        }
     }
 }

@@ -32,16 +32,19 @@ pub mod message;
 pub mod network;
 /// Node identifiers.
 pub mod node;
+/// Named network-condition presets (LAN / campus-WAN / lossy-WAN).
+pub mod profile;
 /// Per-link and network-wide delivery statistics.
 pub mod stats;
 /// Virtual time: [`time::SimTime`], [`time::SimClock`], [`time::Pacer`].
 pub mod time;
 
 pub use event::{EventEngine, TimerId};
-pub use fault::{FaultAction, FaultPlan, LinkKey};
+pub use fault::{FaultAction, FaultPlan, LinkKey, RateFault};
 pub use latency::LatencyModel;
 pub use message::{ControlNotice, Envelope, MessageKind};
 pub use network::{Endpoint, NetworkConfig, NetworkError, VirtualNetwork};
 pub use node::NodeId;
+pub use profile::NetworkProfile;
 pub use stats::{LinkStats, NetworkStats};
 pub use time::{Pacer, SimClock, SimTime};

@@ -96,6 +96,7 @@ struct LinkTelemetryKeys {
     bytes: CounterHandle,
     dropped: CounterHandle,
     reset: CounterHandle,
+    duplicated: CounterHandle,
     latency: HistogramHandle,
 }
 
@@ -108,6 +109,7 @@ impl LinkTelemetryKeys {
             bytes: telemetry.counter_handle(&format!("link.bytes{{{label}}}")),
             dropped: telemetry.counter_handle(&format!("link.dropped{{{label}}}")),
             reset: telemetry.counter_handle(&format!("link.reset{{{label}}}")),
+            duplicated: telemetry.counter_handle(&format!("link.duplicated{{{label}}}")),
             latency: telemetry.histogram_handle("net.latency_ns"),
             label,
         }
@@ -211,6 +213,35 @@ impl RouterState {
                     clock,
                 );
             }
+            FaultAction::Duplicate => {
+                self.stats.record_duplicated(&link);
+                self.note_fault(&link, index, "dup", &env, clock);
+                // Two copies, each with an independently sampled latency, so
+                // the duplicate can arrive before *or* after the original —
+                // the reordering NTCP's dedup cache has to survive.
+                let copy = env.clone();
+                for mut c in [env, copy] {
+                    let latency = self
+                        .link_latency
+                        .get(&link)
+                        .unwrap_or(&self.default_latency)
+                        .sample(&mut self.rng);
+                    c.latency = latency;
+                    self.stats.record_delivered(&link, c.wire_bytes(), latency);
+                    if self.telemetry.enabled() {
+                        let wire_bytes = c.wire_bytes() as u64;
+                        let keys = self.link_keys(&link);
+                        keys.delivered.add(1);
+                        keys.bytes.add(wire_bytes);
+                        keys.latency.observe_ns(latency.as_nanos());
+                    }
+                    if let Err(c) = Self::deliver(dest.clone(), c, engine) {
+                        self.stats.record_dropped(&link);
+                        self.note_fault(&link, index, "drop", &c, clock);
+                        self.notify_loss(&c, engine, clock);
+                    }
+                }
+            }
         }
     }
 
@@ -230,10 +261,10 @@ impl RouterState {
         let telemetry = self.telemetry.clone();
         let corr = env.correlation_id;
         let keys = self.link_keys(link);
-        let counter = if what == "reset" {
-            &keys.reset
-        } else {
-            &keys.dropped
+        let counter = match what {
+            "reset" => &keys.reset,
+            "dup" => &keys.duplicated,
+            _ => &keys.dropped,
         };
         counter.add(1);
         telemetry.instant(
@@ -747,6 +778,25 @@ mod tests {
         }
         let got: Vec<u64> = std::iter::from_fn(|| b.try_recv().map(|e| e.correlation_id)).collect();
         assert_eq!(got, vec![0, 3]);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        let net = net();
+        let a = net.endpoint("a").unwrap();
+        let b = net.endpoint("b").unwrap();
+        let mut plan = FaultPlan::reliable();
+        plan.dup_at(LinkKey::new("a", "b"), 0);
+        net.set_fault_plan(plan);
+        a.send(b.id().clone(), "s", MessageKind::Request, 41, Bytes::new());
+        a.send(b.id().clone(), "s", MessageKind::Request, 42, Bytes::new());
+        let got: Vec<u64> = std::iter::from_fn(|| b.try_recv().map(|e| e.correlation_id)).collect();
+        // Index 0 arrives twice (same seq/correlation), index 1 once.
+        assert_eq!(got, vec![41, 41, 42]);
+        let s = net.stats().link(&LinkKey::new("a", "b"));
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.delivered, 3);
+        assert_eq!(s.duplicated, 1);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Named network-profile presets.
+//!
+//! Before these existed, every test and deployment that wanted "the MOST
+//! WAN" or "a campus LAN" restated the latency literals by hand. A
+//! [`NetworkProfile`] names the three conditions the paper's experiments
+//! actually ran under, so tests, the portal, and the campaign DSL all mean
+//! the same thing by `campus-wan`:
+//!
+//! * `lan` — co-located components, 100–500 µs uniform latency, no loss.
+//! * `campus-wan` — the 2003 Abilene path between the MOST sites: ~30 ms
+//!   one way with a 5 ms exponential tail, no background loss.
+//! * `lossy-wan` — the same path on a bad day: campus-wan latency plus a
+//!   deterministic background fault rate (15‰ silent drops, 3‰ duplicate
+//!   deliveries) in the spirit of §3.4's "several transient network
+//!   failures throughout the day".
+//!
+//! Loss lives in the [`FaultPlan`] (via [`RateFault`]), not the latency
+//! model, so it stays keyed by per-link message index and replays exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fault::{FaultAction, FaultPlan, LinkKey, RateFault};
+use crate::latency::LatencyModel;
+use crate::network::NetworkConfig;
+
+/// Background drop rate of the `lossy-wan` profile, per mille.
+pub const LOSSY_WAN_DROP_PER_MILLE: u16 = 15;
+/// Background duplicate-delivery rate of the `lossy-wan` profile, per mille.
+pub const LOSSY_WAN_DUP_PER_MILLE: u16 = 3;
+
+// Salt tweaks so a profile's drop and duplicate rates select uncorrelated
+// message sets even when layered with the same user-provided salt.
+const DROP_SALT_TWEAK: u64 = 0xD209;
+const DUP_SALT_TWEAK: u64 = 0xD0B1;
+
+/// A named link-condition preset: latency model plus background fault rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum NetworkProfile {
+    /// Co-located components: 100–500 µs uniform, no loss.
+    Lan,
+    /// The 2003 MOST inter-site path: ~30 ms + 5 ms tail, no loss.
+    #[default]
+    CampusWan,
+    /// Campus-WAN latency plus deterministic background drops and dups.
+    LossyWan,
+}
+
+impl NetworkProfile {
+    /// Every preset, in severity order.
+    pub const ALL: [NetworkProfile; 3] = [
+        NetworkProfile::Lan,
+        NetworkProfile::CampusWan,
+        NetworkProfile::LossyWan,
+    ];
+
+    /// The canonical spelling used by the DSL and serialized forms.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkProfile::Lan => "lan",
+            NetworkProfile::CampusWan => "campus-wan",
+            NetworkProfile::LossyWan => "lossy-wan",
+        }
+    }
+
+    /// Parse the canonical spelling back into a profile.
+    pub fn parse(s: &str) -> Option<Self> {
+        NetworkProfile::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// The latency model this profile charges per message.
+    pub fn latency(self) -> LatencyModel {
+        match self {
+            NetworkProfile::Lan => LatencyModel::lan(),
+            NetworkProfile::CampusWan | NetworkProfile::LossyWan => LatencyModel::wan_2003(),
+        }
+    }
+
+    /// Background silent-drop rate, per mille of messages.
+    pub fn drop_per_mille(self) -> u16 {
+        match self {
+            NetworkProfile::LossyWan => LOSSY_WAN_DROP_PER_MILLE,
+            _ => 0,
+        }
+    }
+
+    /// Background duplicate-delivery rate, per mille of messages.
+    pub fn dup_per_mille(self) -> u16 {
+        match self {
+            NetworkProfile::LossyWan => LOSSY_WAN_DUP_PER_MILLE,
+            _ => 0,
+        }
+    }
+
+    /// A [`NetworkConfig`] whose default link carries this profile's latency.
+    /// Lossy profiles additionally need [`NetworkProfile::overlay`] applied
+    /// to the network's fault plan.
+    pub fn config(self, seed: u64) -> NetworkConfig {
+        NetworkConfig {
+            default_latency: self.latency(),
+            seed,
+        }
+    }
+
+    /// Layer this profile's background fault rates onto `plan`, scoped to
+    /// `link` (or every link when `None`). `salt` keys the deterministic
+    /// message selection; reuse the experiment seed so the loss pattern is
+    /// part of the replayable identity of a run.
+    pub fn overlay(self, plan: &mut FaultPlan, link: Option<LinkKey>, salt: u64) {
+        if self.drop_per_mille() > 0 {
+            plan.rate(RateFault {
+                link: link.clone(),
+                per_mille: self.drop_per_mille(),
+                action: FaultAction::Drop,
+                salt: salt ^ DROP_SALT_TWEAK,
+            });
+        }
+        if self.dup_per_mille() > 0 {
+            plan.rate(RateFault {
+                link,
+                per_mille: self.dup_per_mille(),
+                action: FaultAction::Duplicate,
+                salt: salt ^ DUP_SALT_TWEAK,
+            });
+        }
+    }
+
+    /// A standalone fault plan holding just this profile's background rates.
+    pub fn fault_plan(self, salt: u64) -> FaultPlan {
+        let mut plan = FaultPlan::reliable();
+        self.overlay(&mut plan, None, salt);
+        plan
+    }
+}
+
+impl std::fmt::Display for NetworkProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in NetworkProfile::ALL {
+            assert_eq!(NetworkProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(NetworkProfile::parse("dialup"), None);
+    }
+
+    #[test]
+    fn serde_uses_kebab_names() {
+        let json = serde_json::to_string(&NetworkProfile::LossyWan).unwrap();
+        assert_eq!(json, "\"lossy-wan\"");
+        let back: NetworkProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, NetworkProfile::LossyWan);
+    }
+
+    #[test]
+    fn latency_matches_the_named_models() {
+        assert_eq!(NetworkProfile::Lan.latency(), LatencyModel::lan());
+        assert_eq!(
+            NetworkProfile::CampusWan.latency(),
+            LatencyModel::wan_2003()
+        );
+        assert_eq!(NetworkProfile::LossyWan.latency(), LatencyModel::wan_2003());
+    }
+
+    #[test]
+    fn only_lossy_wan_overlays_rates() {
+        for p in [NetworkProfile::Lan, NetworkProfile::CampusWan] {
+            assert_eq!(p.fault_plan(1).rate_count(), 0);
+        }
+        let lossy = NetworkProfile::LossyWan.fault_plan(1);
+        assert_eq!(lossy.rate_count(), 2);
+    }
+
+    #[test]
+    fn lossy_wan_rates_are_roughly_calibrated() {
+        let plan = NetworkProfile::LossyWan.fault_plan(2004);
+        let link = LinkKey::new("coordinator", "uiuc");
+        let mut drops = 0u32;
+        let mut dups = 0u32;
+        for i in 0..100_000 {
+            match plan.decide(&link, i, MessageKind::Request) {
+                FaultAction::Drop => drops += 1,
+                FaultAction::Duplicate => dups += 1,
+                _ => {}
+            }
+        }
+        // Nominal 1500 drops and 300 dups per 100k.
+        assert!((1000..2000).contains(&drops), "drops {drops}");
+        assert!((150..500).contains(&dups), "dups {dups}");
+    }
+
+    #[test]
+    fn link_scoped_overlay_spares_other_links() {
+        let mut plan = FaultPlan::reliable();
+        NetworkProfile::LossyWan.overlay(&mut plan, Some(LinkKey::new("coordinator", "uiuc")), 7);
+        let other = LinkKey::new("uiuc", "coordinator");
+        for i in 0..10_000 {
+            assert_eq!(
+                plan.decide(&other, i, MessageKind::Request),
+                FaultAction::Deliver
+            );
+        }
+    }
+}

@@ -24,6 +24,9 @@ pub struct LinkStats {
     pub dropped: u64,
     /// Messages killed with a link reset.
     pub reset: u64,
+    /// Messages delivered twice by the fault plan (counted once here; both
+    /// copies also count in `delivered`).
+    pub duplicated: u64,
     /// Payload bytes delivered.
     pub bytes_delivered: u64,
     /// Sum of sampled virtual latencies over delivered messages.
@@ -86,6 +89,15 @@ impl NetworkStats {
         self.inner.lock().entry(link.clone()).or_default().reset += 1;
     }
 
+    /// Record a duplicated delivery.
+    pub fn record_duplicated(&self, link: &LinkKey) {
+        self.inner
+            .lock()
+            .entry(link.clone())
+            .or_default()
+            .duplicated += 1;
+    }
+
     /// Snapshot counters for one link.
     pub fn link(&self, link: &LinkKey) -> LinkStats {
         self.inner.lock().get(link).cloned().unwrap_or_default()
@@ -105,6 +117,7 @@ impl NetworkStats {
             t.delivered += s.delivered;
             t.dropped += s.dropped;
             t.reset += s.reset;
+            t.duplicated += s.duplicated;
             t.bytes_delivered += s.bytes_delivered;
             t.total_latency += s.total_latency;
         }

@@ -37,7 +37,7 @@ use neesgrid_chef::{CollabPortal, DataViewer, RemoteFeed};
 use neesgrid_coordinator::{FaultPolicy, SimCoordBuilder, SiteHandle};
 use neesgrid_daq::nsds::{NsdsSample, NsdsServer};
 use neesgrid_daq::{ChannelConfig, DaqSystem, FileDropDir};
-use neesgrid_gridsim::{FaultPlan, LatencyModel, NetworkConfig, NodeId, SimTime, VirtualNetwork};
+use neesgrid_gridsim::{FaultPlan, NetworkProfile, NodeId, SimTime, VirtualNetwork};
 use neesgrid_gsi::{authenticate, CertificateAuthority, Credential, DistinguishedName};
 use neesgrid_gsi::{ActionLimits, SitePolicy};
 use neesgrid_ntcp::{
@@ -214,10 +214,7 @@ impl MostDeployment {
         store: VirtualStore,
         telemetry: Telemetry,
     ) -> Self {
-        let net = VirtualNetwork::new(NetworkConfig {
-            default_latency: LatencyModel::wan_2003(),
-            seed: config.motion_seed,
-        });
+        let net = VirtualNetwork::new(NetworkProfile::CampusWan.config(config.motion_seed));
         let clock = net.clock();
         net.set_telemetry(telemetry.clone());
         let nsds = Arc::new(NsdsServer::new());

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use neesgrid_coordinator::{ExperimentOutcome, FaultPolicy, SimCoordBuilder};
-use neesgrid_gridsim::{FaultPlan, LatencyModel, LinkKey, NetworkConfig, NodeId, VirtualNetwork};
+use neesgrid_gridsim::{FaultPlan, LinkKey, NetworkProfile, NodeId, VirtualNetwork};
 use neesgrid_gsi::{ActionLimits, DistinguishedName, SitePolicy};
 use neesgrid_ntcp::{NtcpClient, NtcpServer, SimulationPlugin};
 use neesgrid_ogsi::{AttachedContainer, RpcClient, RpcMux, ServiceContainer};
@@ -160,10 +160,7 @@ pub fn n_site(n: usize, seed: u64) -> NSiteExperiment {
 /// trace exports.
 pub fn n_site_with_telemetry(n: usize, seed: u64, telemetry: Telemetry) -> NSiteExperiment {
     assert!(n > 0, "an experiment needs at least one site");
-    let net = VirtualNetwork::new(NetworkConfig {
-        default_latency: LatencyModel::wan_2003(),
-        seed,
-    });
+    let net = VirtualNetwork::new(NetworkProfile::CampusWan.config(seed));
     net.set_telemetry(telemetry.clone());
     let clock = net.clock();
     let mux = RpcMux::new(

@@ -18,16 +18,18 @@ use neesgrid_checkpoint::{
     CheckpointError, CheckpointPolicy, CheckpointStore, Checkpointable, Checkpointer,
 };
 use neesgrid_coordinator::{
-    CoordinatorState, ExperimentOutcome, SimCoordBuilder, SimulationCoordinator, SliceOutcome,
+    CoordinatorState, ExperimentOutcome, FaultPolicy, SimCoordBuilder, SimulationCoordinator,
+    SliceOutcome,
 };
 use neesgrid_daq::nsds::{NsdsSample, NsdsServer};
-use neesgrid_gridsim::{LatencyModel, NetworkConfig, NodeId, VirtualNetwork};
+use neesgrid_gridsim::{FaultPlan, LinkKey, NetworkProfile, NodeId, VirtualNetwork};
 use neesgrid_gsi::{ActionLimits, DistinguishedName, SitePolicy};
 use neesgrid_ntcp::{NtcpClient, NtcpServer, SimulationPlugin};
 use neesgrid_ogsi::{AttachedContainer, RpcClient, RpcMux, ServiceContainer};
-use neesgrid_structsim::material::LinearElastic;
+use neesgrid_structsim::material::{BilinearHysteretic, LinearElastic, Material};
 use neesgrid_structsim::substructure::SimulatedSubstructure;
 use neesgrid_structsim::GroundMotion;
+use neesgrid_telemetry::{Field, Telemetry};
 
 /// Integration time step every portal run uses.
 pub const DT: f64 = 0.01;
@@ -38,8 +40,150 @@ pub const MAX_SITES: usize = 32;
 /// Most steps a single submission may request.
 pub const MAX_STEPS: usize = 1_000_000;
 
+/// Which substructure model a site runs — the heterogeneity axis of a
+/// campaign's site mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum SiteKind {
+    /// Purely numerical: a linear-elastic column (the MOST NCSA role).
+    #[default]
+    Numerical,
+    /// Emulates a physical specimen: a bilinear hysteretic column with
+    /// yielding, the behaviour the UIUC/CU test structures exhibited.
+    Emulated,
+}
+
+impl SiteKind {
+    /// Canonical spelling used by the DSL and serialized forms.
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteKind::Numerical => "numerical",
+            SiteKind::Emulated => "emulated",
+        }
+    }
+
+    /// Parse the canonical spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "numerical" => Some(SiteKind::Numerical),
+            "emulated" => Some(SiteKind::Emulated),
+            _ => None,
+        }
+    }
+
+    fn material(self, k: f64) -> Box<dyn Material> {
+        match self {
+            SiteKind::Numerical => Box::new(LinearElastic::new(k)),
+            // Yield at 20% of the elastic force range with 3% hardening —
+            // the neighbourhood the MOST specimens were proportioned to.
+            SiteKind::Emulated => Box::new(BilinearHysteretic::new(k, 0.2 * k, 0.03)),
+        }
+    }
+}
+
+/// A named ground-motion record family. All suites are synthetic (seeded
+/// from the spec), scaled to different peak accelerations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum MotionSuite {
+    /// The design-level event (peak 2.0 m/s²) every portal run used
+    /// before suites existed.
+    #[default]
+    Nominal,
+    /// A rare event at 3.5 m/s² peak.
+    Strong,
+    /// A maximum-considered event at 5.0 m/s² peak — drives emulated
+    /// specimens well into yield.
+    Extreme,
+}
+
+impl MotionSuite {
+    /// Canonical spelling used by the DSL and serialized forms.
+    pub fn name(self) -> &'static str {
+        match self {
+            MotionSuite::Nominal => "nominal",
+            MotionSuite::Strong => "strong",
+            MotionSuite::Extreme => "extreme",
+        }
+    }
+
+    /// Parse the canonical spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "nominal" => Some(MotionSuite::Nominal),
+            "strong" => Some(MotionSuite::Strong),
+            "extreme" => Some(MotionSuite::Extreme),
+            _ => None,
+        }
+    }
+
+    /// Peak ground acceleration of the suite, m/s².
+    pub fn peak(self) -> f64 {
+        match self {
+            MotionSuite::Nominal => 2.0,
+            MotionSuite::Strong => 3.5,
+            MotionSuite::Extreme => 5.0,
+        }
+    }
+}
+
+/// Which fault-tolerance configuration the run's coordinator uses — the
+/// axis that separated the MOST dry run from the public run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum RunPolicy {
+    /// Every NTCP fault-tolerance feature on (the dry-run configuration):
+    /// retransmit on timeout and reset, retry failed steps.
+    #[default]
+    Full,
+    /// The public run's incomplete handling: timeouts retransmit, but a
+    /// link reset terminates the experiment — the §3.4 failure class.
+    Partial,
+}
+
+impl RunPolicy {
+    /// Canonical spelling used by the DSL and serialized forms.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunPolicy::Full => "full",
+            RunPolicy::Partial => "partial",
+        }
+    }
+
+    /// Parse the canonical spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "full" => Some(RunPolicy::Full),
+            "partial" => Some(RunPolicy::Partial),
+            _ => None,
+        }
+    }
+
+    fn fault_policy(self) -> FaultPolicy {
+        match self {
+            RunPolicy::Full => FaultPolicy::Full {
+                max_step_retries: 3,
+            },
+            RunPolicy::Partial => FaultPolicy::Partial,
+        }
+    }
+}
+
+/// A per-link network-profile override inside a run's private deployment.
+/// Node names follow the run topology: `coordinator`, `checkpointer`, and
+/// `site-NNN`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Sending node name.
+    pub src: String,
+    /// Receiving node name.
+    pub dst: String,
+    /// Condition preset applied to this directed link.
+    pub profile: NetworkProfile,
+}
+
 /// A tenant's experiment request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentSpec {
     /// Number of experiment sites (one global DOF each).
     pub sites: usize,
@@ -50,9 +194,48 @@ pub struct ExperimentSpec {
     /// Checkpoint every N step boundaries (0 = never — such a run
     /// restarts from scratch after a worker crash).
     pub checkpoint_every: u64,
+    /// Default network condition of the run's private deployment.
+    pub profile: NetworkProfile,
+    /// Per-link overrides layered on top of `profile`.
+    pub links: Vec<LinkProfile>,
+    /// Site material mix, cycled over site indices; empty = all
+    /// [`SiteKind::Numerical`].
+    pub mix: Vec<SiteKind>,
+    /// Injected network faults, keyed by per-link message index on the
+    /// run's private network.
+    pub faults: FaultPlan,
+    /// Coordinator fault-tolerance configuration.
+    pub policy: RunPolicy,
+    /// Ground-motion suite driving the run.
+    pub motion: MotionSuite,
+    /// Scale factor applied to the suite's peak acceleration.
+    pub amplitude: f64,
+    /// Record a full telemetry trace of the run (network faults, NTCP
+    /// transactions, coordinator phases) and archive it as
+    /// `trace.jsonl` alongside the run's other artifacts.
+    pub record_trace: bool,
 }
 
 impl ExperimentSpec {
+    /// The pre-campaign spec shape: campus-WAN, all-numerical sites, a
+    /// reliable network, and the nominal motion suite.
+    pub fn basic(sites: usize, steps: usize, seed: u64, checkpoint_every: u64) -> ExperimentSpec {
+        ExperimentSpec {
+            sites,
+            steps,
+            seed,
+            checkpoint_every,
+            profile: NetworkProfile::CampusWan,
+            links: Vec::new(),
+            mix: Vec::new(),
+            faults: FaultPlan::reliable(),
+            policy: RunPolicy::Full,
+            motion: MotionSuite::Nominal,
+            amplitude: 1.0,
+            record_trace: false,
+        }
+    }
+
     /// Structural validation at admission time.
     pub fn validate(&self) -> Result<(), String> {
         if self.sites == 0 || self.sites > MAX_SITES {
@@ -61,7 +244,32 @@ impl ExperimentSpec {
         if self.steps == 0 || self.steps > MAX_STEPS {
             return Err(format!("steps must be 1..={MAX_STEPS}, got {}", self.steps));
         }
+        if !self.amplitude.is_finite() || self.amplitude <= 0.0 || self.amplitude > 10.0 {
+            return Err(format!(
+                "amplitude must be finite in (0, 10], got {}",
+                self.amplitude
+            ));
+        }
+        for l in &self.links {
+            if l.src.is_empty() || l.dst.is_empty() || l.src == l.dst {
+                return Err(format!("invalid link override '{}'->'{}'", l.src, l.dst));
+            }
+        }
         Ok(())
+    }
+
+    /// The material model for site `i` under this spec's mix.
+    pub fn site_kind(&self, i: usize) -> SiteKind {
+        if self.mix.is_empty() {
+            SiteKind::Numerical
+        } else {
+            self.mix[i % self.mix.len()]
+        }
+    }
+
+    /// The ground-motion peak after suite scaling.
+    pub fn motion_peak(&self) -> f64 {
+        self.motion.peak() * self.amplitude
     }
 }
 
@@ -102,6 +310,8 @@ pub struct WorkerRun {
     restorer: Checkpointer,
     motion: GroundMotion,
     state: Option<CoordinatorState>,
+    /// Recording when the spec asked for a trace, disabled otherwise.
+    telemetry: Telemetry,
 }
 
 impl WorkerRun {
@@ -115,15 +325,30 @@ impl WorkerRun {
         store: Arc<dyn CheckpointStore>,
         stream: Arc<NsdsServer>,
     ) -> WorkerRun {
-        let net = VirtualNetwork::new(NetworkConfig {
-            default_latency: LatencyModel::wan_2003(),
-            seed: spec.seed,
-        });
+        let telemetry = if spec.record_trace {
+            Telemetry::recording()
+        } else {
+            Telemetry::disabled()
+        };
+        let net = VirtualNetwork::new(spec.profile.config(spec.seed));
+        net.set_telemetry(telemetry.clone());
+        // Network conditions: the default profile's background loss, then
+        // per-link overrides (latency + link-scoped loss), then the spec's
+        // scheduled faults — all folded into one deterministic plan.
+        let mut plan = spec.faults.clone();
+        spec.profile.overlay(&mut plan, None, spec.seed);
+        for l in &spec.links {
+            let link = LinkKey::new(l.src.as_str(), l.dst.as_str());
+            net.set_link_latency(link.clone(), l.profile.latency());
+            l.profile.overlay(&mut plan, Some(link), spec.seed);
+        }
+        net.set_fault_plan(plan);
         let clock = net.clock();
         let mux = RpcMux::new(
             net.endpoint("coordinator")
                 .expect("coordinator endpoint is unique per run network"),
         );
+        mux.set_telemetry(telemetry.clone());
         let ck_mux = RpcMux::new(
             net.endpoint("checkpointer")
                 .expect("checkpointer endpoint is unique per run network"),
@@ -131,22 +356,26 @@ impl WorkerRun {
         let caller = DistinguishedName::nees_user("PORTAL", run_id);
         let mut containers = Vec::with_capacity(spec.sites);
         let mut ck_sites = Vec::with_capacity(spec.sites);
-        let mut builder = SimCoordBuilder::new(vec![1000.0; spec.sites], Arc::clone(&clock)).dt(DT);
+        let mut builder = SimCoordBuilder::new(vec![1000.0; spec.sites], Arc::clone(&clock))
+            .dt(DT)
+            .fault_policy(spec.policy.fault_policy())
+            .telemetry(telemetry.clone());
         for i in 0..spec.sites {
             let name = format!("site-{i:03}");
             let k = site_stiffness(spec.seed, i as u64);
-            let server = NtcpServer::new(
+            let mut server = NtcpServer::new(
                 name.clone(),
                 SitePolicy::permissive(&name, ActionLimits::most_large_scale()),
                 Box::new(SimulationPlugin::new(
                     format!("{name}-sim"),
                     Box::new(SimulatedSubstructure::spring_to_ground(
                         format!("{name}-column"),
-                        Box::new(LinearElastic::new(k)),
+                        spec.site_kind(i).material(k),
                     )),
                 )),
                 Arc::clone(&clock),
             );
+            server.set_telemetry(telemetry.clone());
             containers.push(
                 ServiceContainer::new(
                     net.endpoint(name.as_str())
@@ -217,13 +446,14 @@ impl WorkerRun {
         WorkerRun {
             run_id: run_id.to_string(),
             owner,
+            motion: GroundMotion::synthetic(spec.seed, DT, spec.steps, spec.motion_peak()),
             spec,
-            motion: GroundMotion::synthetic(spec.seed, DT, spec.steps, 2.0),
             coordinator,
             _containers: containers,
             _net: net,
             restorer,
             state: None,
+            telemetry,
         }
     }
 
@@ -239,6 +469,18 @@ impl WorkerRun {
             Err(e) => return Err(e),
         };
         self.restorer.prepare_resume(&snapshot)?;
+        // A genuine checkpoint recovery is trace-worthy (ordinary slice
+        // continuations are not — see `SimulationCoordinator::run_slice`),
+        // and it is the worker who knows the difference, so the instant
+        // is emitted here.
+        if self.telemetry.enabled() {
+            self.telemetry.instant(
+                self._net.clock().now().as_nanos(),
+                "coordinator",
+                "resume",
+                [("step", Field::U64(snapshot.coordinator.step))],
+            );
+        }
         self.state = Some(snapshot.coordinator);
         Ok(true)
     }
@@ -280,6 +522,18 @@ impl WorkerRun {
     pub fn spec(&self) -> &ExperimentSpec {
         &self.spec
     }
+
+    /// The run's telemetry handle (recording iff the spec asked for a
+    /// trace).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Surrender the telemetry handle when the run leaves its worker, so
+    /// the portal can export and archive the trace.
+    pub fn into_telemetry(self) -> Telemetry {
+        self.telemetry
+    }
 }
 
 #[cfg(test)]
@@ -289,12 +543,7 @@ mod tests {
     use neesgrid_coordinator::Termination;
 
     fn spec() -> ExperimentSpec {
-        ExperimentSpec {
-            sites: 2,
-            steps: 40,
-            seed: 7,
-            checkpoint_every: 10,
-        }
+        ExperimentSpec::basic(2, 40, 7, 10)
     }
 
     fn owner() -> DistinguishedName {
@@ -312,6 +561,90 @@ mod tests {
         .validate()
         .is_err());
         assert!(ExperimentSpec { steps: 0, ..spec() }.validate().is_err());
+    }
+
+    #[test]
+    fn extended_spec_knobs() {
+        let mut s = spec();
+        s.mix = vec![SiteKind::Emulated, SiteKind::Numerical];
+        assert_eq!(s.site_kind(0), SiteKind::Emulated);
+        assert_eq!(s.site_kind(2), SiteKind::Emulated);
+        assert_eq!(s.site_kind(3), SiteKind::Numerical);
+        s.motion = MotionSuite::Strong;
+        s.amplitude = 1.5;
+        assert!((s.motion_peak() - 5.25).abs() < 1e-12);
+        assert!(s.validate().is_ok());
+        s.amplitude = 0.0;
+        assert!(s.validate().is_err());
+        s.amplitude = 1.0;
+        s.links.push(LinkProfile {
+            src: "coordinator".into(),
+            dst: "coordinator".into(),
+            profile: neesgrid_gridsim::NetworkProfile::Lan,
+        });
+        assert!(s.validate().is_err(), "self-link override rejected");
+    }
+
+    #[test]
+    fn traced_run_with_reset_fault_aborts_and_records() {
+        let mut s = spec();
+        s.record_trace = true;
+        s.policy = RunPolicy::Partial;
+        // Kill the execute-phase request of step 5 with a connection
+        // reset — the error class that ended the MOST public run.
+        s.faults.reset_at(
+            neesgrid_gridsim::LinkKey::new("coordinator", "site-000"),
+            11,
+        );
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemoryCheckpointStore::new());
+        let hub = Arc::new(NsdsServer::new());
+        let mut run = WorkerRun::build("run-trace", owner(), s, store, hub);
+        assert!(run.telemetry().enabled());
+        let outcome = loop {
+            if let RunProgress::Done(o) = run.advance(16) {
+                break o;
+            }
+        };
+        assert!(
+            matches!(outcome.termination, Termination::Aborted { .. }),
+            "reset during execute must abort"
+        );
+        let trace = run.into_telemetry().export_jsonl();
+        assert!(trace.contains("\"reset\""), "net fault recorded");
+        assert!(trace.contains("\"abort\""), "coordinator abort recorded");
+    }
+
+    #[test]
+    fn emulated_mix_changes_the_trajectory() {
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemoryCheckpointStore::new());
+        let hub = Arc::new(NsdsServer::new());
+        let run_with = |mix: Vec<SiteKind>| {
+            let mut s = spec();
+            s.mix = mix;
+            s.motion = MotionSuite::Extreme;
+            let mut run = WorkerRun::build(
+                "run-mix",
+                owner(),
+                s,
+                Arc::new(MemoryCheckpointStore::new()),
+                Arc::new(NsdsServer::new()),
+            );
+            loop {
+                if let RunProgress::Done(o) = run.advance(64) {
+                    break o;
+                }
+            }
+        };
+        let _ = (&store, &hub);
+        let numerical = run_with(vec![SiteKind::Numerical]);
+        let emulated = run_with(vec![SiteKind::Emulated]);
+        assert!(
+            numerical
+                .history
+                .max_displacement_difference(&emulated.history)
+                > 0.0,
+            "a yielding specimen must diverge from the elastic one"
+        );
     }
 
     #[test]

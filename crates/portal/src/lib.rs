@@ -46,7 +46,10 @@ pub mod service;
 pub mod tenant;
 
 pub use client::{ClientError, PortalClient};
-pub use experiment::{ExperimentSpec, RunProgress, WorkerRun, DT, MAX_SITES, MAX_STEPS};
+pub use experiment::{
+    ExperimentSpec, LinkProfile, MotionSuite, RunPolicy, RunProgress, SiteKind, WorkerRun, DT,
+    MAX_SITES, MAX_STEPS,
+};
 pub use frame::{
     crc32, decode, encode, BoardEntry, FrameError, PortalStats, Rejection, Request, RequestFrame,
     Response, RunReport, RunState, ARTIFACT_CHUNK_MAX, MAX_FRAME_BYTES, PORTAL_SERVICE,

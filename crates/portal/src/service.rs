@@ -309,7 +309,7 @@ impl PortalCore {
                         self.tenants.logout(&tenant);
                         Response::Ok
                     }
-                    Request::Submit { spec } => self.submit(&tenant, role, *spec, now),
+                    Request::Submit { spec } => self.submit(&tenant, role, spec.clone(), now),
                     Request::Status { run } => match self.owned_run(&tenant, run) {
                         Ok(entry) => Response::Status {
                             report: RunReport {
@@ -413,6 +413,7 @@ impl PortalCore {
             .queue
             .admit(run_id.clone())
             .expect("queue checked non-full above");
+        let spec_steps = spec.steps;
         self.runs.insert(
             run_id.clone(),
             RunEntry {
@@ -430,7 +431,7 @@ impl PortalCore {
         );
         let usage = self.tenants.usage_mut(tenant);
         usage.in_flight += 1;
-        usage.steps_admitted += spec.steps as u64;
+        usage.steps_admitted += spec_steps as u64;
         self.counters.admitted += 1;
         if self.telemetry.enabled() {
             self.telemetry.counter_add("portal.admitted", 1);
@@ -440,7 +441,7 @@ impl PortalCore {
                 "submit",
                 [
                     ("run", Field::Str(run_id.clone())),
-                    ("steps", Field::U64(spec.steps as u64)),
+                    ("steps", Field::U64(spec_steps as u64)),
                 ],
             );
         }
@@ -555,7 +556,7 @@ impl PortalCore {
                 message: format!("run {run} already finished"),
             };
         }
-        let (spec, steps_done) = (entry.spec, entry.steps_completed);
+        let (spec_steps, steps_done) = (entry.spec.steps, entry.steps_completed);
         match entry.state.clone() {
             RunState::Queued | RunState::Rescheduling => {
                 self.queue.remove(run);
@@ -574,7 +575,7 @@ impl PortalCore {
         if !self.config.faults.skip_cancel_refund {
             usage.steps_admitted = usage
                 .steps_admitted
-                .saturating_sub(spec.steps.saturating_sub(steps_done) as u64);
+                .saturating_sub(spec_steps.saturating_sub(steps_done) as u64);
         }
         self.counters.cancelled += 1;
         Response::Ok
@@ -753,7 +754,7 @@ impl PortalCore {
             let mut run = WorkerRun::build(
                 &run_id,
                 entry.owner.clone(),
-                entry.spec,
+                entry.spec.clone(),
                 Arc::clone(&self.store),
                 Arc::clone(&self.runs_nsds),
             );
@@ -821,8 +822,12 @@ impl PortalCore {
                     }
                 }
                 Sliced::Done(run_id, outcome) => {
-                    let _ = self.pool.take(worker);
-                    self.finalize(&run_id, outcome, now);
+                    let trace = self
+                        .pool
+                        .take(worker)
+                        .map(WorkerRun::into_telemetry)
+                        .unwrap_or_else(Telemetry::disabled);
+                    self.finalize(&run_id, outcome, now, trace);
                     report.completed += 1;
                 }
             }
@@ -831,11 +836,14 @@ impl PortalCore {
     }
 
     /// Seal a finished run: digest, lifecycle state, quota accounting.
+    /// `trace` is the run's own telemetry handle (recording only when the
+    /// spec asked for `record_trace`), exported and archived here.
     fn finalize(
         &mut self,
         run_id: &str,
         outcome: neesgrid_coordinator::ExperimentOutcome,
         now: SimTime,
+        trace: Telemetry,
     ) {
         let entry = self
             .runs
@@ -870,6 +878,13 @@ impl PortalCore {
                 &capture_bytes,
                 now,
             );
+            if trace.enabled() {
+                archive.ingest_local(
+                    &format!("/runs/{run_id}/trace.jsonl"),
+                    &bytes::Bytes::from(trace.export_jsonl().into_bytes()),
+                    now,
+                );
+            }
             if self.telemetry.enabled() {
                 self.telemetry.instant(
                     now.as_nanos(),
@@ -897,14 +912,14 @@ impl PortalCore {
             }
         };
         let owner = entry.owner.clone();
-        let (spec, steps_done) = (entry.spec, entry.steps_completed);
+        let (spec_steps, steps_done) = (entry.spec.steps, entry.steps_completed);
         let usage = self.tenants.usage_mut(&owner);
         usage.in_flight = usage.in_flight.saturating_sub(1);
         if !completed_ok {
             // Aborted runs refund their unexecuted steps.
             usage.steps_admitted = usage
                 .steps_admitted
-                .saturating_sub(spec.steps.saturating_sub(steps_done) as u64);
+                .saturating_sub(spec_steps.saturating_sub(steps_done) as u64);
         }
         // Lifecycle marker on the run's own channel namespace, so
         // observers see the end of stream in-band.

@@ -28,6 +28,8 @@ pub mod json;
 pub mod metrics;
 /// The trace-JSONL → human-readable report renderer.
 pub mod report;
+/// Noise-free failure signatures for deduplicating campaign runs.
+pub mod signature;
 /// Trace events, spans, and their canonical wire form.
 pub mod trace;
 
@@ -40,6 +42,7 @@ pub use metrics::{
     CounterHandle, Histogram, HistogramHandle, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS_MS,
 };
 pub use report::render_report;
+pub use signature::{AbortSite, FaultEvent, TraceSignature};
 pub use trace::{Field, FieldList, SpanId, TraceEvent, TraceKind, MAX_FIELDS};
 
 /// Trace buffer slots reserved when a recording handle is created (~3 MB).

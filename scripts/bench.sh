@@ -12,8 +12,12 @@
 # (asserting zero cross-tenant leaks). archive_ingest replicates striped
 # captures while the 64-site run shares the engine and writes ingest
 # throughput + dedup counts to BENCH_archive.json (asserting the MOST
-# history stays bit-identical). The analyzer stage records both
-# exhaustive checkers' schedule counts and wall time to BENCH_analyzer.json.
+# history stays bit-identical). campaign_sweep expands a 240-cell DSL
+# scenario matrix through the portal and writes runs/sec, unique failure
+# signatures, and the corpus dedup ratio to BENCH_campaign.json
+# (asserting a same-seed re-sweep is byte-identical). The analyzer stage
+# records both exhaustive checkers' schedule counts and wall time to
+# BENCH_analyzer.json.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,6 +36,9 @@ cargo bench -p neesgrid-bench --bench portal_load
 
 echo "==> archive_ingest (striped ingest under 64-site load → BENCH_archive.json)"
 cargo bench -p neesgrid-bench --bench archive_ingest
+
+echo "==> campaign_sweep (240-cell scenario matrix → BENCH_campaign.json)"
+cargo bench -p neesgrid-bench --bench campaign_sweep
 
 echo "==> analyzer checkers (schedule counts → BENCH_analyzer.json)"
 cargo run -q --release -p neesgrid-analyzer -- bench --out BENCH_analyzer.json

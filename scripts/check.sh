@@ -68,6 +68,12 @@ else
 
     echo "==> archive smoke (striped resume, replica failover, artifact fetch)"
     cargo test -q --test archive_transfer
+
+    # Small grid (2 scenarios × few seeds) through the portal: dedup,
+    # corpus digests, and same-seed byte-identity in well under 10s.
+    echo "==> campaign smoke (DSL sweep, signature dedup, corpus determinism)"
+    cargo test -q --test campaign_engine same_seed_sweep_is_byte_identical
+    cargo test -q --test campaign_engine seeded_duplicate_failures_collapse_to_one_signature
 fi
 
 echo "==> cargo test -q (tier-1)"

@@ -38,6 +38,7 @@
 
 pub use neesgrid_apparatus as apparatus;
 pub use neesgrid_archive as archive;
+pub use neesgrid_campaign as campaign;
 pub use neesgrid_checkpoint as checkpoint;
 pub use neesgrid_chef as chef;
 pub use neesgrid_coordinator as coordinator;

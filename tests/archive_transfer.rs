@@ -18,7 +18,9 @@ use neesgrid::archive::{
 };
 use neesgrid::checkpoint::MemoryCheckpointStore;
 use neesgrid::gridsim::fault::PartitionWindow;
-use neesgrid::gridsim::{FaultPlan, LatencyModel, LinkKey, NetworkConfig, SimTime, VirtualNetwork};
+use neesgrid::gridsim::{
+    FaultPlan, LatencyModel, LinkKey, NetworkConfig, NetworkProfile, SimTime, VirtualNetwork,
+};
 use neesgrid::gsi::{CertificateAuthority, Credential, DistinguishedName};
 use neesgrid::portal::{ExperimentSpec, Portal, PortalClient, PortalConfig, Request, Response};
 use neesgrid::repo::VirtualStore;
@@ -244,10 +246,7 @@ fn faulted_link_failover_serves_from_surviving_replica() {
 /// isolation gate.
 #[test]
 fn portal_runs_archive_their_artifacts_and_stream_them_back() {
-    let net = VirtualNetwork::new(NetworkConfig {
-        default_latency: LatencyModel::wan_2003(),
-        seed: 61,
-    });
+    let net = VirtualNetwork::new(NetworkProfile::CampusWan.config(61));
     let ca = CertificateAuthority::nees(61);
     let portal = Portal::serve(
         &net,
@@ -292,12 +291,7 @@ fn portal_runs_archive_their_artifacts_and_stream_them_back() {
     let bob = issue("bob", 2);
     login(&alice);
     login(&bob);
-    let spec = ExperimentSpec {
-        sites: 2,
-        steps: 30,
-        seed: 7,
-        checkpoint_every: 5,
-    };
+    let spec = ExperimentSpec::basic(2, 30, 7, 5);
     let run = match client
         .call_as(alice.identity(), Request::Submit { spec })
         .expect("submit round-trips")

@@ -1,0 +1,342 @@
+//! E17 — the scenario campaign engine, end to end.
+//!
+//! A campaign is the paper's experimental practice made executable:
+//! declare conditions and faults once, sweep them across seeds, and
+//! keep every failure as a replayable corpus entry. The headline
+//! properties verified here:
+//!
+//! * determinism — two same-seed sweeps produce byte-identical verdict
+//!   tables and corpus digests;
+//! * dedup — one injected failure reproduced under many seeds collapses
+//!   to one trace signature;
+//! * replay — a corpus entry re-executes bit-identically from nothing
+//!   but its scenario source, label, and run id;
+//! * fidelity — the MOST fault plans expressed in the DSL decide every
+//!   message exactly like the code-built plans they transcribe;
+//! * scale — a 200-run matrix flows through the portal's admission
+//!   queue and worker pool, and every run is archived.
+
+use neesgrid::campaign::{
+    build_fault_plan, expand, replay_entry, run_campaign, CampaignConfig, ScenarioDoc,
+};
+use neesgrid::gridsim::{FaultPlan, LinkKey, MessageKind};
+use neesgrid::most;
+
+fn doc(src: &str) -> ScenarioDoc {
+    ScenarioDoc::parse(src).expect("scenario parses")
+}
+
+fn small_config() -> CampaignConfig {
+    CampaignConfig {
+        workers: 4,
+        slice_steps: 32,
+        queue_capacity: 16,
+    }
+}
+
+/// A reset mid-run under the partial policy: every seed aborts the same
+/// way — the dedup workhorse.
+const RESET_SWEEP: &str = r#"
+campaign "reset-sweep" {
+  sites   { count = 2; mix = [numerical, emulated]; }
+  network { profile = campus-wan; }
+  faults  { reset "coordinator" -> "site-000" at step 5 phase execute; }
+  run     { steps = 12; checkpoint-every = 4; policy = partial; }
+  sweep   { seeds = 1..4; }
+}
+"#;
+
+/// A clean campaign: no faults, everything completes.
+const CLEAN_SWEEP: &str = r#"
+campaign "clean-sweep" {
+  sites { count = 2; }
+  run   { steps = 10; checkpoint-every = 0; }
+  sweep { seeds = 1..3; }
+}
+"#;
+
+#[test]
+fn same_seed_sweep_is_byte_identical() {
+    let docs = vec![doc(RESET_SWEEP), doc(CLEAN_SWEEP)];
+    let a = run_campaign(&docs, &small_config()).expect("first sweep runs");
+    let b = run_campaign(&docs, &small_config()).expect("second sweep runs");
+    assert_eq!(
+        a.verdict_table(),
+        b.verdict_table(),
+        "verdict tables must be byte-identical across same-seed sweeps"
+    );
+    assert_eq!(a.corpus_digest, b.corpus_digest);
+    assert!(!a.verdict_table().is_empty());
+}
+
+#[test]
+fn seeded_duplicate_failures_collapse_to_one_signature() {
+    let report = run_campaign(&[doc(RESET_SWEEP)], &small_config()).expect("sweep runs");
+    assert_eq!(report.verdicts.len(), 4);
+    for v in &report.verdicts {
+        assert_eq!(v.outcome, "failed", "{}: {}", v.label, v.error);
+        assert!(v.signature.is_abort());
+        assert!(v.signature.saw_faults());
+        let abort = v.signature.abort.as_ref().expect("abort site");
+        assert_eq!(abort.step, 5);
+        assert_eq!(abort.site, "site-000");
+    }
+    assert_eq!(
+        report.unique_signatures(),
+        1,
+        "four seeds of the same failure must dedupe to one signature: {:?}",
+        report.groups
+    );
+    let labels = report.groups.values().next().expect("one group");
+    assert_eq!(labels.len(), 4);
+    // Exactly one corpus entry is novel; the rest are reproductions.
+    assert_eq!(report.entries.iter().filter(|e| e.novel).count(), 1);
+}
+
+#[test]
+fn distinct_failures_get_distinct_signatures() {
+    let other = r#"
+campaign "reset-elsewhere" {
+  sites   { count = 2; mix = [numerical, emulated]; }
+  network { profile = campus-wan; }
+  faults  { reset "coordinator" -> "site-001" at step 5 phase execute; }
+  run     { steps = 12; checkpoint-every = 4; policy = partial; }
+  sweep   { seeds = 1..2; }
+}
+"#;
+    let report =
+        run_campaign(&[doc(RESET_SWEEP), doc(other)], &small_config()).expect("sweep runs");
+    assert_eq!(
+        report.unique_signatures(),
+        2,
+        "resets on different links are different failures: {:?}",
+        report.groups
+    );
+}
+
+#[test]
+fn corpus_entry_replays_bit_identically() {
+    let docs = vec![doc(RESET_SWEEP)];
+    let report = run_campaign(&docs, &small_config()).expect("sweep runs");
+    let entry = report
+        .entries
+        .iter()
+        .find(|e| e.novel)
+        .expect("a novel entry");
+    assert!(!entry.resumed, "no kills in this campaign");
+    let trace_logical = format!("/corpus/{}/trace.jsonl", entry.label);
+    let recorded = report
+        .archive
+        .cas()
+        .read(&trace_logical)
+        .expect("trace is archived");
+    let recorded = String::from_utf8(recorded.to_vec()).expect("trace is utf-8");
+    assert!(!recorded.is_empty());
+    let replay = replay_entry(&docs[0].source, &entry.label, &entry.run_id, &recorded)
+        .expect("replay executes");
+    assert!(replay.bit_identical, "{}", replay.detail);
+}
+
+#[test]
+fn worker_kill_reschedules_and_flags_resumed() {
+    let src = r#"
+campaign "crash" {
+  sites  { count = 2; }
+  faults { kill worker 0 at tick 2; }
+  run    { steps = 48; checkpoint-every = 8; }
+  sweep  { seeds = 1..2; }
+}
+"#;
+    // Small slices so the kill lands mid-run, late enough that the
+    // step-8 snapshot exists and recovery is a genuine resume.
+    let config = CampaignConfig {
+        workers: 2,
+        slice_steps: 8,
+        queue_capacity: 16,
+    };
+    let report = run_campaign(&[doc(src)], &config).expect("sweep runs");
+    assert_eq!(report.stats.worker_crashes, 1);
+    assert_eq!(report.stats.rescheduled, 1);
+    let resumed: Vec<_> = report.verdicts.iter().filter(|v| v.resumed).collect();
+    assert_eq!(resumed.len(), 1, "exactly one run rode the killed worker");
+    let victim = resumed[0];
+    assert_eq!(victim.outcome, "completed", "recovery finishes the run");
+    assert_eq!(victim.steps_completed, 48);
+    // A resumed trace can't replay bit-identically (it starts at the
+    // checkpoint), but its signature must still match an undisturbed
+    // replay of the same cell — same failure shape, or here, none.
+    let entry = report
+        .entries
+        .iter()
+        .find(|e| e.run_id == victim.run_id)
+        .expect("corpus entry");
+    assert!(entry.resumed);
+}
+
+#[test]
+fn most_fault_plans_in_dsl_decide_like_the_code_built_plans() {
+    // The scenario files transcribe neesgrid-most's plans with the
+    // portal's site naming; equivalence is decision-by-decision over
+    // every (link, index, kind) the plans could see.
+    let renames = [
+        ("uiuc", "site-000"),
+        ("ncsa", "site-001"),
+        ("cu", "site-002"),
+    ];
+    let cases: [(&str, FaultPlan); 2] = [
+        (
+            "scenarios/most-dry-run.scn",
+            most::Scenario::DryRun.fault_plan(1500),
+        ),
+        (
+            "scenarios/most-public-run.scn",
+            most::public_run_fault_plan(1500),
+        ),
+    ];
+    for (path, code_plan) in cases {
+        let src = std::fs::read_to_string(format!("{}/{}", env!("CARGO_MANIFEST_DIR"), path))
+            .expect("scenario file exists");
+        let parsed = doc(&src);
+        assert_eq!(parsed.steps, 1500, "{path} runs at paper scale");
+        let dsl_plan = build_fault_plan(&parsed.faults, 0);
+        for (most_name, portal_name) in renames {
+            for (src_node, dst_node) in [("coordinator", most_name), (most_name, "coordinator")] {
+                let code_link = LinkKey::new(src_node, dst_node);
+                let dsl_link = LinkKey::new(
+                    if src_node == "coordinator" {
+                        "coordinator"
+                    } else {
+                        portal_name
+                    },
+                    if dst_node == "coordinator" {
+                        "coordinator"
+                    } else {
+                        portal_name
+                    },
+                );
+                for index in 0..3200u64 {
+                    for kind in [MessageKind::Request, MessageKind::Reply] {
+                        assert_eq!(
+                            dsl_plan.decide(&dsl_link, index, kind),
+                            code_plan.decide(&code_link, index, kind),
+                            "{path}: {code_link:?} index {index} {kind:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn two_hundred_run_campaign_executes_dedupes_and_archives() {
+    // ≥200 (scenario × seed) cells through one portal deployment:
+    // 100 seeds of a reset failure, 50 clean seeds, 50 seeds with a
+    // recoverable drop under the full policy.
+    let reset = r#"
+campaign "accept-reset" {
+  sites   { count = 2; }
+  faults  { reset "coordinator" -> "site-000" at step 3 phase execute; }
+  run     { steps = 8; checkpoint-every = 0; policy = partial; }
+  sweep   { seeds = 1..100; }
+}
+"#;
+    let clean = r#"
+campaign "accept-clean" {
+  sites { count = 2; }
+  run   { steps = 8; checkpoint-every = 0; }
+  sweep { seeds = 1..50; }
+}
+"#;
+    let dropped = r#"
+campaign "accept-drop" {
+  sites  { count = 2; }
+  faults { drop "coordinator" -> "site-000" at step 2 phase propose; }
+  run    { steps = 8; checkpoint-every = 0; policy = full; }
+  sweep  { seeds = 1..50; }
+}
+"#;
+    let docs = vec![doc(reset), doc(clean), doc(dropped)];
+    let config = CampaignConfig {
+        workers: 8,
+        slice_steps: 16,
+        queue_capacity: 32,
+    };
+    let report = run_campaign(&docs, &config).expect("campaign runs");
+    assert_eq!(report.verdicts.len(), 200);
+    assert!(
+        report.queue_full_retries > 0,
+        "a 200-run matrix must exercise the bounded queue"
+    );
+
+    // Every run is archived: 4 artifacts, none empty.
+    assert_eq!(report.entries.len(), 200);
+    for entry in &report.entries {
+        assert_eq!(entry.artifacts.len(), 4, "{}", entry.label);
+        for artifact in &entry.artifacts {
+            assert!(artifact.total_len > 0, "{} is empty", artifact.logical);
+            assert!(
+                report.archive.cas().manifest(&artifact.logical).is_some(),
+                "{} has no manifest",
+                artifact.logical
+            );
+        }
+    }
+
+    // The injected reset collapses to exactly one signature across all
+    // 100 seeds; clean and drop-recovered runs never share it.
+    let reset_labels: Vec<&str> = report
+        .verdicts
+        .iter()
+        .filter(|v| v.label.starts_with("accept-reset/"))
+        .map(|v| v.label.as_str())
+        .collect();
+    assert_eq!(reset_labels.len(), 100);
+    let reset_sigs: std::collections::BTreeSet<String> = report
+        .verdicts
+        .iter()
+        .filter(|v| v.label.starts_with("accept-reset/"))
+        .map(|v| v.signature.id())
+        .collect();
+    assert_eq!(
+        reset_sigs.len(),
+        1,
+        "100 seeds of one failure must be one signature"
+    );
+    for v in &report.verdicts {
+        if v.label.starts_with("accept-reset/") {
+            assert_eq!(v.outcome, "failed", "{}", v.label);
+        } else {
+            assert_eq!(v.outcome, "completed", "{}: {}", v.label, v.error);
+            assert!(
+                !reset_sigs.contains(&v.signature.id()),
+                "{} shares the reset signature",
+                v.label
+            );
+        }
+    }
+    // Drop-recovered runs saw their fault fire; clean runs saw none.
+    for v in &report.verdicts {
+        if v.label.starts_with("accept-drop/") {
+            assert!(v.signature.saw_faults(), "{}", v.label);
+        }
+        if v.label.starts_with("accept-clean/") {
+            assert!(!v.signature.saw_faults(), "{}", v.label);
+        }
+    }
+}
+
+#[test]
+fn expansion_matches_the_run_matrix_contract() {
+    let d = doc(
+        "campaign \"grid\" { sweep { seeds = 1..5; profile = [lan, campus-wan]; \
+         suite = [nominal, extreme]; } }",
+    );
+    let plans = expand(&d);
+    assert_eq!(plans.len(), 5 * 2 * 2);
+    let mut labels: Vec<&String> = plans.iter().map(|p| &p.label).collect();
+    let before = labels.len();
+    labels.sort();
+    labels.dedup();
+    assert_eq!(labels.len(), before, "labels are unique");
+}

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use neesgrid::checkpoint::MemoryCheckpointStore;
-use neesgrid::gridsim::{LatencyModel, NetworkConfig, SimTime, VirtualNetwork};
+use neesgrid::gridsim::{NetworkProfile, SimTime, VirtualNetwork};
 use neesgrid::gsi::{CertificateAuthority, Credential, DistinguishedName};
 use neesgrid::portal::{
     ExperimentSpec, Portal, PortalClient, PortalConfig, Rejection, Request, Response, RunState,
@@ -20,10 +20,7 @@ use neesgrid::portal::{
 fn deployment(
     config: PortalConfig,
 ) -> (VirtualNetwork, CertificateAuthority, Portal, PortalClient) {
-    let net = VirtualNetwork::new(NetworkConfig {
-        default_latency: LatencyModel::wan_2003(),
-        seed: 61,
-    });
+    let net = VirtualNetwork::new(NetworkProfile::CampusWan.config(61));
     let ca = CertificateAuthority::nees(61);
     let service = Portal::serve(
         &net,
@@ -87,12 +84,7 @@ fn fetch(client: &PortalClient, who: &DistinguishedName, run: &str) -> (Vec<Vec<
 }
 
 fn spec(steps: usize, seed: u64) -> ExperimentSpec {
-    ExperimentSpec {
-        sites: 2,
-        steps,
-        seed,
-        checkpoint_every: 5,
-    }
+    ExperimentSpec::basic(2, steps, seed, 5)
 }
 
 #[test]
